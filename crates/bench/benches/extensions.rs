@@ -1,0 +1,87 @@
+//! Benches for the extension systems: the adaptive re-contracting loop,
+//! the labeling market, and trace replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcc_bench::bench_trace;
+use dcc_core::{
+    design_contracts, replay_trace, AdaptiveAgent, AdaptiveConfig, AdaptiveSimulation,
+    ConductModel, DesignConfig, ModelParams,
+};
+use dcc_detect::{run_pipeline, PipelineConfig};
+use dcc_label::{LabelMarket, MarketConfig};
+use dcc_numerics::Quadratic;
+use std::hint::black_box;
+
+fn bench_adaptive(c: &mut Criterion) {
+    let agents: Vec<AdaptiveAgent> = (0..30)
+        .map(|id| AdaptiveAgent {
+            id,
+            group: 0,
+            base_omega: 0.0,
+            base_weight: 1.0 + 0.1 * (id % 10) as f64,
+            true_psi: Quadratic::new(-0.15, 2.5, 1.0),
+            conduct: ConductModel::Stationary,
+        })
+        .collect();
+    let params = ModelParams {
+        mu: 1.0,
+        ..ModelParams::default()
+    };
+    let mut group = c.benchmark_group("ext_adaptive");
+    group.sample_size(10);
+    for recontract in [0usize, 5] {
+        group.bench_with_input(
+            BenchmarkId::new("run40", recontract),
+            &recontract,
+            |b, &recontract| {
+                let config = AdaptiveConfig {
+                    recontract_every: recontract,
+                    ..AdaptiveConfig::default()
+                };
+                b.iter(|| {
+                    AdaptiveSimulation::new(params, config)
+                        .run(black_box(&agents))
+                        .expect("adaptive run")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_label(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_label");
+    group.sample_size(10);
+    group.bench_function("market", |b| {
+        b.iter(|| {
+            LabelMarket::new(black_box(MarketConfig::default()))
+                .run()
+                .expect("market")
+        });
+    });
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let trace = bench_trace();
+    let detection = run_pipeline(&trace, PipelineConfig::default());
+    let config = DesignConfig::default();
+    let design = design_contracts(&trace, &detection, &config).expect("design");
+    let mut group = c.benchmark_group("ext_replay");
+    group.sample_size(10);
+    group.bench_function("trace_replay", |b| {
+        b.iter(|| {
+            replay_trace(
+                black_box(&trace),
+                black_box(&detection),
+                black_box(&design),
+                &config.params,
+            )
+            .expect("replay")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive, bench_label, bench_replay);
+criterion_main!(benches);

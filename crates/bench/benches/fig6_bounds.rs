@@ -1,0 +1,21 @@
+//! E1 bench: regenerating the Fig. 6 bound series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    for ms in [&[2usize, 8, 32][..], &dcc_experiments::fig6::DEFAULT_MS[..]] {
+        group.bench_with_input(
+            BenchmarkId::new("bound_series", format!("{}pts", ms.len())),
+            ms,
+            |b, ms| {
+                b.iter(|| dcc_experiments::fig6::run(black_box(ms)).expect("fig6"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

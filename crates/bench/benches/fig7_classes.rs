@@ -1,0 +1,15 @@
+//! E3 bench: class-level effort/feedback aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcc_bench::bench_trace;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = bench_trace();
+    c.bench_function("fig7/class_means", |b| {
+        b.iter(|| dcc_experiments::fig7::run_on(black_box(&trace)));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

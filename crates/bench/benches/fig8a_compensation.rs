@@ -1,0 +1,22 @@
+//! E5 bench: the Fig. 8(a) compensation-vs-bound panels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcc_bench::bench_trace;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("fig8a");
+    group.sample_size(10);
+    for m in [10usize, 20, 40] {
+        group.bench_with_input(BenchmarkId::new("panel", m), &m, |b, &m| {
+            b.iter(|| {
+                dcc_experiments::fig8a::run_on(black_box(&trace), &[m]).expect("fig8a")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E6 bench: the Fig. 8(b) per-class compensation distributions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcc_bench::bench_trace;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("fig8b");
+    group.sample_size(10);
+    group.bench_function("three_mu_sweep", |b| {
+        b.iter(|| {
+            dcc_experiments::fig8b::run_on(
+                black_box(&trace),
+                &dcc_experiments::fig8b::DEFAULT_MUS,
+            )
+            .expect("fig8b")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

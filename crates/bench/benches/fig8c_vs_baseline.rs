@@ -1,0 +1,18 @@
+//! E7 bench: the Fig. 8(c) strategy comparison (design + simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcc_bench::bench_trace;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("fig8c");
+    group.sample_size(10);
+    group.bench_function("single_mu", |b| {
+        b.iter(|| dcc_experiments::fig8c::run_on(black_box(&trace), &[1.0]).expect("fig8c"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

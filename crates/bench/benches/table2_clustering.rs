@@ -1,0 +1,24 @@
+//! E2 bench: collusive community clustering (§IV-A).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcc_bench::bench_trace;
+use dcc_detect::cluster_collusive;
+use dcc_trace::WorkerClass;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut suspected = trace.workers_of_class(WorkerClass::NonCollusiveMalicious);
+    suspected.extend(trace.workers_of_class(WorkerClass::CollusiveMalicious));
+
+    c.bench_function("table2/cluster_collusive", |b| {
+        b.iter(|| cluster_collusive(black_box(&trace), black_box(&suspected)));
+    });
+
+    c.bench_function("table2/full_runner", |b| {
+        b.iter(|| dcc_experiments::table2::run_on(black_box(&trace)));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

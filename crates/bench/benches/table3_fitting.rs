@@ -1,0 +1,32 @@
+//! E4 bench: polynomial fitting and the NoR table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcc_bench::bench_trace;
+use dcc_core::nor_table;
+use dcc_numerics::polyfit;
+use dcc_trace::WorkerClass;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = bench_trace();
+    let points = trace.effort_feedback_points(WorkerClass::Honest);
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+
+    let mut group = c.benchmark_group("table3");
+    for degree in [1usize, 2, 6] {
+        group.bench_with_input(BenchmarkId::new("polyfit", degree), &degree, |b, &d| {
+            b.iter(|| polyfit(black_box(&xs), black_box(&ys), d).expect("fit"));
+        });
+    }
+    group.bench_function("nor_table_deg6", |b| {
+        b.iter(|| nor_table(black_box(&points), 6).expect("table"));
+    });
+    group.bench_function("full_runner", |b| {
+        b.iter(|| dcc_experiments::table3::run_on(black_box(&trace)).expect("table3"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

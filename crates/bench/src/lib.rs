@@ -1,0 +1,28 @@
+//! # dcc-bench
+//!
+//! Criterion benchmarks for the `dyncontract` workspace: one bench per
+//! paper table/figure (regenerating the artifact under the timer) plus
+//! ablation benches for the design choices DESIGN.md calls out
+//! (decomposed vs joint solving, parallel vs serial, discretization
+//! sweeps) and micro-benchmarks of the hot kernels.
+//!
+//! Run with `cargo bench --workspace`. The benches default to the small
+//! experiment scale so a full sweep completes in minutes; the shapes they
+//! measure are scale-independent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dcc_experiments::ExperimentScale;
+use dcc_trace::TraceDataset;
+
+/// The scale benches run at.
+pub const BENCH_SCALE: ExperimentScale = ExperimentScale::Small;
+
+/// The seed benches share.
+pub const BENCH_SEED: u64 = 42;
+
+/// Generates the shared bench trace.
+pub fn bench_trace() -> TraceDataset {
+    BENCH_SCALE.generate(BENCH_SEED)
+}

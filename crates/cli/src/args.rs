@@ -1,0 +1,108 @@
+//! Minimal flag parser (the offline crate set has no `clap`).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional arguments, and
+/// `--key value` flags (`--key` alone is a boolean flag).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// Flag map; boolean flags map to `"true"`.
+    pub flags: HashMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses an argument vector (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> ParsedArgs {
+        let mut parsed = ParsedArgs::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+                    _ => "true".to_string(),
+                };
+                parsed.flags.insert(key.to_string(), value);
+            } else if parsed.command.is_none() {
+                parsed.command = Some(arg);
+            } else {
+                parsed.positional.push(arg);
+            }
+        }
+        parsed
+    }
+
+    /// A string flag with default.
+    pub fn str_flag(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// A parsed numeric flag with default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag when the value does not parse.
+    pub fn num_flag<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn bool_flag(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ParsedArgs {
+        ParsedArgs::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_flags_positional() {
+        let p = parse("design trace_dir --mu 1.5 --parallel --intervals 40");
+        assert_eq!(p.command.as_deref(), Some("design"));
+        assert_eq!(p.positional, vec!["trace_dir"]);
+        assert_eq!(p.str_flag("mu", "1.0"), "1.5");
+        assert!(p.bool_flag("parallel"));
+        assert_eq!(p.num_flag("intervals", 20usize).unwrap(), 40);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let p = parse("gen");
+        assert_eq!(p.num_flag("seed", 42u64).unwrap(), 42);
+        assert_eq!(p.str_flag("scale", "small"), "small");
+        assert!(!p.bool_flag("estimated"));
+    }
+
+    #[test]
+    fn bad_numeric_flag_is_an_error() {
+        let p = parse("gen --seed abc");
+        assert!(p.num_flag("seed", 0u64).is_err());
+    }
+
+    #[test]
+    fn empty_args() {
+        let p = parse("");
+        assert_eq!(p.command, None);
+        assert!(p.positional.is_empty());
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let p = parse("sim --verbose --rounds 5");
+        assert!(p.bool_flag("verbose"));
+        assert_eq!(p.num_flag("rounds", 0usize).unwrap(), 5);
+    }
+}

@@ -1,0 +1,627 @@
+//! Subcommand implementations. Each returns its report as a `String` so
+//! the logic is unit-testable without capturing stdout.
+
+use crate::args::ParsedArgs;
+use dcc_core::{
+    design_contracts, BaselineStrategy, DesignConfig, ModelParams, Simulation, SimulationConfig,
+    StrategyKind,
+};
+use dcc_detect::{run_pipeline, PipelineConfig, SuspectSource};
+use dcc_experiments::ExperimentScale;
+use dcc_label::{LabelMarket, MarketConfig};
+use dcc_trace::{read_trace_csv, write_trace_csv, TraceDataset, TraceSummary, WorkerClass};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Top-level error string type for the CLI (messages are printed to
+/// stderr by `main`).
+pub type CliResult = Result<String, String>;
+
+/// `dcc gen --seed N --scale small|paper --out DIR`
+pub fn cmd_gen(args: &ParsedArgs) -> CliResult {
+    let seed: u64 = args.num_flag("seed", 42)?;
+    let scale = ExperimentScale::parse(&args.str_flag("scale", "small"))
+        .ok_or_else(|| "flag --scale: expected small|paper".to_string())?;
+    let out = args.str_flag("out", "trace_out");
+    let trace = scale.generate(seed);
+    write_trace_csv(&trace, Path::new(&out)).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} reviews / {} reviewers / {} products to {out}/",
+        trace.reviews().len(),
+        trace.reviewers().len(),
+        trace.products().len()
+    ))
+}
+
+fn load_trace(args: &ParsedArgs) -> Result<TraceDataset, String> {
+    let dir = args
+        .positional
+        .first()
+        .cloned()
+        .or_else(|| args.flags.get("trace").cloned())
+        .ok_or_else(|| "expected a trace directory (positional or --trace DIR)".to_string())?;
+    read_trace_csv(Path::new(&dir)).map_err(|e| format!("cannot read trace {dir}: {e}"))
+}
+
+/// `dcc summary TRACE_DIR`
+pub fn cmd_summary(args: &ParsedArgs) -> CliResult {
+    let trace = load_trace(args)?;
+    Ok(TraceSummary::of(&trace).to_string())
+}
+
+/// `dcc detect TRACE_DIR [--estimated THRESHOLD]`
+pub fn cmd_detect(args: &ParsedArgs) -> CliResult {
+    let trace = load_trace(args)?;
+    let mut config = PipelineConfig::default();
+    if args.bool_flag("estimated") || args.flags.contains_key("threshold") {
+        config.suspects = SuspectSource::Estimated {
+            threshold: args.num_flag("threshold", 0.5)?,
+        };
+    }
+    let result = run_pipeline(&trace, config);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "suspected malicious workers: {} ({} communities, {} singletons)",
+        result.suspected.len(),
+        result.collusion.communities.len(),
+        result.collusion.singletons.len()
+    )
+    .ok();
+    for (label, pct) in result.collusion.size_percentages() {
+        writeln!(out, "  community size {label:>4}: {pct:5.1}%").ok();
+    }
+    for class in WorkerClass::ALL {
+        let ids = trace.workers_of_class(class);
+        if let Some(mean) = result.weights.mean_over(&ids) {
+            writeln!(out, "mean Eq.5 weight, {class}: {mean:.4}").ok();
+        }
+    }
+    Ok(out)
+}
+
+fn design_config(args: &ParsedArgs) -> Result<DesignConfig, String> {
+    Ok(DesignConfig {
+        params: ModelParams {
+            mu: args.num_flag("mu", 1.5)?,
+            omega: args.num_flag("omega", 1.0)?,
+            beta: args.num_flag("beta", 1.0)?,
+            ..ModelParams::default()
+        },
+        intervals: args.num_flag("intervals", 20)?,
+        effort_quantile: 95.0,
+        parallel: !args.bool_flag("serial"),
+        per_worker_fit_min_reviews: if args.flags.contains_key("per-worker") {
+            Some(args.num_flag("per-worker", 20)?)
+        } else {
+            None
+        },
+    })
+}
+
+/// `dcc design TRACE_DIR [--mu F] [--omega F] [--intervals N] [--serial]
+///  [--budget F]`
+pub fn cmd_design(args: &ParsedArgs) -> CliResult {
+    let trace = load_trace(args)?;
+    let detection = run_pipeline(&trace, PipelineConfig::default());
+    let config = design_config(args)?;
+    let design = design_contracts(&trace, &detection, &config).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "designed {} contracts; requester per-round utility {:.3}",
+        design.agents.len(),
+        design.total_requester_utility
+    )
+    .ok();
+    if args.flags.contains_key("budget") {
+        let budget: f64 = args.num_flag("budget", 0.0)?;
+        let selection = dcc_core::select_within_budget(&design.solution, budget)
+            .map_err(|e| e.to_string())?;
+        writeln!(
+            out,
+            "budget {budget:.2}: funded {} contracts, spend {:.2}, utility {:.3}",
+            selection.funded.len(),
+            selection.spend,
+            selection.utility
+        )
+        .ok();
+    }
+    if let Some(dump_dir) = args.flags.get("dump") {
+        let path = std::path::Path::new(dump_dir);
+        std::fs::create_dir_all(path).map_err(|e| e.to_string())?;
+        let mut csv = String::from("worker,k_opt,compensation,effort,knots,payments\n");
+        for a in &design.agents {
+            let knots: Vec<String> = a
+                .contract
+                .feedback_knots()
+                .iter()
+                .map(|v| format!("{v:.6}"))
+                .collect();
+            let pays: Vec<String> = a
+                .contract
+                .payments()
+                .iter()
+                .map(|v| format!("{v:.6}"))
+                .collect();
+            writeln!(
+                csv,
+                "{},{},{:.6},{:.6},{},{}",
+                a.worker.index(),
+                a.k_opt.map(|k| k.to_string()).unwrap_or_default(),
+                a.compensation,
+                a.induced_effort,
+                knots.join(";"),
+                pays.join(";")
+            )
+            .ok();
+        }
+        let file = path.join("contracts.csv");
+        std::fs::write(&file, csv).map_err(|e| e.to_string())?;
+        writeln!(out, "wrote {} contracts to {}", design.agents.len(), file.display()).ok();
+    }
+    for class in WorkerClass::ALL {
+        let comps = design.compensations_of(&trace.workers_of_class(class));
+        if comps.is_empty() {
+            continue;
+        }
+        let mean = comps.iter().sum::<f64>() / comps.len() as f64;
+        let paid = comps.iter().filter(|&&c| c > 1e-9).count();
+        writeln!(
+            out,
+            "  {class:<24} mean pay {mean:8.4}  paid {paid}/{}",
+            comps.len()
+        )
+        .ok();
+    }
+    Ok(out)
+}
+
+/// `dcc simulate TRACE_DIR [--rounds N] [--strategy dynamic|exclude|fixed]
+///  [--amount F] [--noise F] [--mu F]`
+pub fn cmd_simulate(args: &ParsedArgs) -> CliResult {
+    let trace = load_trace(args)?;
+    let detection = run_pipeline(&trace, PipelineConfig::default());
+    let config = design_config(args)?;
+    let design = design_contracts(&trace, &detection, &config).map_err(|e| e.to_string())?;
+    let suspected: std::collections::HashSet<_> = detection.suspected.iter().copied().collect();
+
+    let strategy = match args.str_flag("strategy", "dynamic").as_str() {
+        "dynamic" => StrategyKind::DynamicContract,
+        "exclude" => StrategyKind::ExcludeMalicious,
+        "fixed" => StrategyKind::FixedPayment {
+            amount: args.num_flag("amount", 1.0)?,
+        },
+        other => return Err(format!("flag --strategy: unknown strategy {other:?}")),
+    };
+    let agents = BaselineStrategy::new(strategy)
+        .assemble(&design, config.params.omega, &suspected)
+        .map_err(|e| e.to_string())?;
+    let sim = Simulation::new(
+        config.params,
+        SimulationConfig {
+            rounds: args.num_flag("rounds", 20)?,
+            feedback_noise_sd: args.num_flag("noise", 0.5)?,
+            seed: args.num_flag("seed", 7)?,
+        },
+    );
+    let outcome = sim.run(&agents).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "strategy {:?}: mean round utility {:.3}, cumulative {:.3} over {} rounds",
+        args.str_flag("strategy", "dynamic"),
+        outcome.mean_round_utility,
+        outcome.cumulative_requester_utility,
+        outcome.rounds.len()
+    ))
+}
+
+/// `dcc experiment <fig6|fig7|fig8a|fig8b|fig8c|table2|table3|adaptive|all>
+///  [--scale small|paper] [--seed N]`
+pub fn cmd_experiment(args: &ParsedArgs) -> CliResult {
+    let which = args
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let scale = ExperimentScale::parse(&args.str_flag("scale", "small"))
+        .ok_or_else(|| "flag --scale: expected small|paper".to_string())?;
+    let seed: u64 = args.num_flag("seed", dcc_experiments::DEFAULT_SEED)?;
+    let err = |e: dcc_core::CoreError| e.to_string();
+
+    let out = match which.as_str() {
+        "fig6" => dcc_experiments::fig6::run(&dcc_experiments::fig6::DEFAULT_MS)
+            .map_err(err)?
+            .table()
+            .to_string(),
+        "fig7" => dcc_experiments::fig7::run(scale, seed).table().to_string(),
+        "fig8a" => dcc_experiments::fig8a::run(scale, seed)
+            .map_err(err)?
+            .table()
+            .to_string(),
+        "fig8b" => dcc_experiments::fig8b::run(scale, seed)
+            .map_err(err)?
+            .table()
+            .to_string(),
+        "fig8c" => dcc_experiments::fig8c::run(scale, seed)
+            .map_err(err)?
+            .table()
+            .to_string(),
+        "table2" => dcc_experiments::table2::run(scale, seed).table().to_string(),
+        "table3" => dcc_experiments::table3::run(scale, seed)
+            .map_err(err)?
+            .table()
+            .to_string(),
+        "adaptive" => dcc_experiments::adaptive_ext::run(seed)
+            .map_err(err)?
+            .table()
+            .to_string(),
+        "sensitivity" => dcc_experiments::sensitivity::run(scale, seed)
+            .map_err(err)?
+            .table()
+            .to_string(),
+        "detection" => dcc_experiments::detection_quality::run(scale, seed)
+            .table()
+            .to_string(),
+        "collusion" => dcc_experiments::collusion_ablation::run(scale, seed)
+            .map_err(err)?
+            .table()
+            .to_string(),
+        "baselines" => dcc_experiments::baselines_ext::run(scale, seed)
+            .map_err(err)?
+            .table()
+            .to_string(),
+        "budget" => dcc_experiments::budget_ext::run(scale, seed)
+            .map_err(err)?
+            .table()
+            .to_string(),
+        "risk" => dcc_experiments::risk_ext::run(&dcc_experiments::risk_ext::DEFAULT_EXPONENTS)
+            .map_err(err)?
+            .table()
+            .to_string(),
+        "all" => {
+            let trace = scale.generate(seed);
+            let mut s = String::new();
+            writeln!(s, "--- Fig. 6 ---").ok();
+            s += &dcc_experiments::fig6::run(&dcc_experiments::fig6::DEFAULT_MS)
+                .map_err(err)?
+                .table()
+                .to_string();
+            writeln!(s, "--- Table II ---").ok();
+            s += &dcc_experiments::table2::run_on(&trace).table().to_string();
+            writeln!(s, "--- Fig. 7 ---").ok();
+            s += &dcc_experiments::fig7::run_on(&trace).table().to_string();
+            writeln!(s, "--- Table III ---").ok();
+            s += &dcc_experiments::table3::run_on(&trace)
+                .map_err(err)?
+                .table()
+                .to_string();
+            writeln!(s, "--- Fig. 8(a) ---").ok();
+            s += &dcc_experiments::fig8a::run_on(&trace, &dcc_experiments::fig8a::DEFAULT_MS)
+                .map_err(err)?
+                .table()
+                .to_string();
+            writeln!(s, "--- Fig. 8(b) ---").ok();
+            s += &dcc_experiments::fig8b::run_on(&trace, &dcc_experiments::fig8b::DEFAULT_MUS)
+                .map_err(err)?
+                .table()
+                .to_string();
+            writeln!(s, "--- Fig. 8(c) ---").ok();
+            s += &dcc_experiments::fig8c::run_on(&trace, &dcc_experiments::fig8b::DEFAULT_MUS)
+                .map_err(err)?
+                .table()
+                .to_string();
+            s
+        }
+        other => return Err(format!("unknown experiment {other:?}")),
+    };
+    Ok(out)
+}
+
+/// `dcc replay TRACE_DIR [--mu F]` — trace-driven evaluation: design
+/// contracts, then replay the recorded per-round feedback through them
+/// (Eq. 1 accounting) instead of simulating best responses.
+pub fn cmd_replay(args: &ParsedArgs) -> CliResult {
+    let trace = load_trace(args)?;
+    let detection = run_pipeline(&trace, PipelineConfig::default());
+    let config = design_config(args)?;
+    let design = design_contracts(&trace, &detection, &config).map_err(|e| e.to_string())?;
+    let outcome = dcc_core::replay_trace(&trace, &detection, &design, &config.params)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "replayed {} (worker, round) observations over {} rounds",
+        outcome.observations,
+        outcome.rounds.len()
+    )
+    .ok();
+    writeln!(out, "mean round utility {:.3}", outcome.mean_round_utility).ok();
+    for r in outcome.rounds.iter().take(8) {
+        writeln!(
+            out,
+            "  round {:>2}: benefit {:>12.2}  payment {:>10.2}  utility {:>12.2}",
+            r.round, r.benefit, r.payment, r.requester_utility
+        )
+        .ok();
+    }
+    Ok(out)
+}
+
+/// `dcc label [--workers N] [--items N] [--mu F]`
+pub fn cmd_label(args: &ParsedArgs) -> CliResult {
+    let mut config = MarketConfig::default();
+    config.n_workers = args.num_flag("workers", config.n_workers)?;
+    config.n_items = args.num_flag("items", config.n_items)?;
+    config.params.mu = args.num_flag("mu", config.params.mu)?;
+    config.seed = args.num_flag("seed", config.seed)?;
+    let report = LabelMarket::new(config).run().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "labeling market: contract accuracy {:.1}% (effort {:.2}, spend {:.2}) vs fixed-payment accuracy {:.1}%",
+        100.0 * report.contract_accuracy,
+        report.mean_effort,
+        report.contract_spend,
+        100.0 * report.fixed_accuracy
+    ))
+}
+
+/// `dcc check [--r2 F --r1 F --r0 F --mu F --omega F --weight F
+///  --intervals N --ymax F]` — builds a contract for the given parameters
+/// and verifies the §IV-C theory at runtime: best-response interval
+/// membership, the Lemma 4.2/4.3 compensation bracket, and the
+/// Theorem 4.1 utility bracket.
+pub fn cmd_check(args: &ParsedArgs) -> CliResult {
+    use dcc_core::{best_response, bounds, ContractBuilder, Discretization};
+    use dcc_numerics::Quadratic;
+
+    let psi = Quadratic::new(
+        args.num_flag("r2", -0.15)?,
+        args.num_flag("r1", 2.5)?,
+        args.num_flag("r0", 1.0)?,
+    );
+    let params = ModelParams {
+        mu: args.num_flag("mu", 1.0)?,
+        omega: args.num_flag("omega", 0.0)?,
+        beta: args.num_flag("beta", 1.0)?,
+        ..ModelParams::default()
+    };
+    let weight: f64 = args.num_flag("weight", 1.5)?;
+    let intervals: usize = args.num_flag("intervals", 20)?;
+    let y_max: f64 = args.num_flag("ymax", {
+        psi.peak().map(|p| 0.9 * p).unwrap_or(10.0)
+    })?;
+    let disc = Discretization::covering(intervals, y_max).map_err(|e| e.to_string())?;
+
+    let built = ContractBuilder::new(params, disc, psi)
+        .malicious(params.omega)
+        .weight(weight)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    writeln!(out, "psi = {psi}; region [0, {y_max:.3}) in {intervals} intervals").ok();
+    writeln!(
+        out,
+        "k_opt = {:?}; induced effort {:.4}; compensation {:.4}; requester utility {:.4}",
+        built.k_opt(),
+        built.induced_effort(),
+        built.compensation(),
+        built.requester_utility()
+    )
+    .ok();
+
+    // Runtime verification.
+    let response = best_response(&params, &psi, built.contract()).map_err(|e| e.to_string())?;
+    let mut checks = Vec::new();
+    if let Some(k) = built.k_opt() {
+        let in_interval = response.effort >= disc.knot(k - 1) - 1e-9
+            && response.effort <= disc.knot(k) + 1e-9;
+        checks.push(("best response in target interval", in_interval));
+        let c_lo = bounds::compensation_lower_bound(&params, &disc, k);
+        let c_hi = bounds::compensation_upper_bound(&params, &disc, &psi, k);
+        if params.omega == 0.0 {
+            checks.push((
+                "Lemma 4.2/4.3 compensation bracket",
+                built.compensation() >= c_lo - 1e-9 && built.compensation() <= c_hi + 1e-9,
+            ));
+        }
+        writeln!(out, "compensation bracket: [{c_lo:.4}, {c_hi:.4}]").ok();
+    }
+    if let Some((lo, hi)) = built.utility_bounds() {
+        checks.push((
+            "Theorem 4.1 utility bracket",
+            built.requester_utility() >= lo - 1e-9 && built.requester_utility() <= hi + 1e-9,
+        ));
+        writeln!(out, "Theorem 4.1 bracket: [{lo:.4}, {hi:.4}]").ok();
+    }
+    checks.push(("contract monotone", built.contract().is_monotone()));
+    checks.push(("worker individually rational", built.worker_utility() >= -1e-9));
+
+    let mut all_ok = true;
+    for (name, ok) in checks {
+        writeln!(out, "  [{}] {name}", if ok { "ok" } else { "FAIL" }).ok();
+        all_ok &= ok;
+    }
+
+    if args.bool_flag("plot") {
+        writeln!(out, "\ncontract (pay vs feedback):").ok();
+        out.push_str(&ascii_plot(built.contract(), 60, 12));
+    }
+
+    if all_ok {
+        writeln!(out, "all checks passed").ok();
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}
+
+/// Renders a contract as a small ASCII chart: feedback on the x-axis,
+/// payment on the y-axis.
+fn ascii_plot(contract: &dcc_core::Contract, width: usize, height: usize) -> String {
+    let knots = contract.feedback_knots();
+    let (q_lo, q_hi) = (knots[0], *knots.last().expect("contract has knots"));
+    let pay_max = contract.max_payment().max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for col in 0..width {
+        let q = q_lo + (q_hi - q_lo) * col as f64 / (width - 1).max(1) as f64;
+        let pay = contract.compensation(q);
+        let row = ((1.0 - pay / pay_max) * (height - 1) as f64).round() as usize;
+        grid[row.min(height - 1)][col] = '*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{pay_max:>8.2} |")
+        } else if i == height - 1 {
+            format!("{:>8.2} |", 0.0)
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "          +{}\n           {:<.2}{}{:>.2}\n",
+        "-".repeat(width),
+        q_lo,
+        " ".repeat(width.saturating_sub(10)),
+        q_hi
+    ));
+    out
+}
+
+/// The help text.
+pub fn help() -> String {
+    "dcc — dynamic contract design for heterogeneous crowdsourcing workers (ICDCS 2017)
+
+USAGE: dcc <COMMAND> [ARGS]
+
+COMMANDS:
+  gen        --seed N --scale small|paper --out DIR    generate a synthetic trace
+  summary    TRACE_DIR                                 dataset statistics
+  detect     TRACE_DIR [--estimated --threshold F]     detection + clustering report
+  design     TRACE_DIR [--mu F --omega F --intervals N --serial]
+                                                       design all contracts
+  simulate   TRACE_DIR [--strategy dynamic|exclude|fixed --rounds N --noise F]
+                                                       run the repeated game
+  replay     TRACE_DIR [--mu F]                        trace-driven evaluation
+  check      [--r2 F --r1 F --r0 F --mu F --omega F --weight F --intervals N]
+                                                       verify the theory at runtime
+  experiment fig6|fig7|fig8a|fig8b|fig8c|table2|table3|adaptive|sensitivity|
+             detection|collusion|all [--scale small|paper --seed N]
+                                                       regenerate paper artifacts
+  label      [--workers N --items N --mu F]            classification extension
+  help                                                 this text
+"
+    .to_string()
+}
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: &ParsedArgs) -> CliResult {
+    match args.command.as_deref() {
+        Some("gen") => cmd_gen(args),
+        Some("summary") => cmd_summary(args),
+        Some("detect") => cmd_detect(args),
+        Some("design") => cmd_design(args),
+        Some("simulate") => cmd_simulate(args),
+        Some("replay") => cmd_replay(args),
+        Some("check") => cmd_check(args),
+        Some("experiment") => cmd_experiment(args),
+        Some("label") => cmd_label(args),
+        Some("help") | None => Ok(help()),
+        Some(other) => Err(format!("unknown command {other:?}\n\n{}", help())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ParsedArgs {
+        ParsedArgs::parse(s.split_whitespace().map(String::from))
+    }
+
+    fn temp_dir(tag: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("dcc_cli_{tag}_{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn gen_summary_detect_design_simulate_roundtrip() {
+        let dir = temp_dir("rt");
+        let out = dispatch(&parse(&format!("gen --seed 5 --scale small --out {dir}"))).unwrap();
+        assert!(out.contains("reviews"));
+
+        let summary = dispatch(&parse(&format!("summary {dir}"))).unwrap();
+        assert!(summary.contains("honest"));
+
+        let detect = dispatch(&parse(&format!("detect {dir}"))).unwrap();
+        assert!(detect.contains("communities"));
+
+        let design = dispatch(&parse(&format!("design {dir} --mu 1.2"))).unwrap();
+        assert!(design.contains("designed"));
+
+        let budgeted =
+            dispatch(&parse(&format!("design {dir} --mu 1.2 --budget 100"))).unwrap();
+        assert!(budgeted.contains("funded"));
+
+        let sim =
+            dispatch(&parse(&format!("simulate {dir} --rounds 5 --strategy exclude"))).unwrap();
+        assert!(sim.contains("mean round utility"));
+
+        let replay = dispatch(&parse(&format!("replay {dir}"))).unwrap();
+        assert!(replay.contains("replayed"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn experiment_fig6_runs() {
+        let out = dispatch(&parse("experiment fig6")).unwrap();
+        assert!(out.contains("upper bound"));
+    }
+
+    #[test]
+    fn label_command_runs() {
+        let out = dispatch(&parse("label --workers 9 --items 51")).unwrap();
+        assert!(out.contains("accuracy"));
+    }
+
+    #[test]
+    fn check_command_verifies_theory() {
+        let out = dispatch(&parse("check --mu 1.2 --weight 2.0")).unwrap();
+        assert!(out.contains("all checks passed"));
+        let plotted = dispatch(&parse("check --mu 1.2 --weight 2.0 --plot")).unwrap();
+        assert!(plotted.contains('*'), "plot should draw the contract");
+        let malicious = dispatch(&parse("check --omega 0.5 --weight 1.0")).unwrap();
+        assert!(malicious.contains("all checks passed"));
+        // A convex psi must be rejected upstream.
+        assert!(dispatch(&parse("check --r2 0.1")).is_err());
+    }
+
+    #[test]
+    fn unknown_command_and_help() {
+        assert!(dispatch(&parse("bogus")).is_err());
+        assert!(dispatch(&parse("help")).unwrap().contains("USAGE"));
+        assert!(dispatch(&ParsedArgs::default()).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn missing_trace_is_an_error() {
+        let err = dispatch(&parse("summary /nonexistent/dcc")).unwrap_err();
+        assert!(err.contains("cannot read trace"));
+        assert!(dispatch(&parse("summary")).is_err());
+    }
+
+    #[test]
+    fn bad_flags_are_reported() {
+        assert!(dispatch(&parse("gen --scale huge")).is_err());
+        assert!(dispatch(&parse("experiment bogus")).is_err());
+        let dir = temp_dir("badflags");
+        dispatch(&parse(&format!("gen --out {dir}"))).unwrap();
+        assert!(dispatch(&parse(&format!("simulate {dir} --strategy nope"))).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

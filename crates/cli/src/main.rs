@@ -1,0 +1,21 @@
+//! `dcc` — the dyncontract command-line tool.
+
+mod args;
+mod commands;
+
+use args::ParsedArgs;
+use std::io::Write;
+
+fn main() {
+    let parsed = ParsedArgs::parse(std::env::args().skip(1));
+    match commands::dispatch(&parsed) {
+        Ok(report) => {
+            // Tolerate a closed pipe (e.g. `dcc ... | head`).
+            let _ = writeln!(std::io::stdout(), "{report}");
+        }
+        Err(message) => {
+            let _ = writeln!(std::io::stderr(), "error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

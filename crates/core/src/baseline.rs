@@ -1,0 +1,194 @@
+use crate::{AgentSpec, Contract, ContractDesign, CoreError};
+use dcc_numerics::Quadratic;
+use dcc_trace::ReviewerId;
+use std::collections::HashSet;
+
+/// The pricing strategies compared in Fig. 8(c).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrategyKind {
+    /// The paper's dynamic contract (§IV): every worker gets its designed
+    /// contract, malicious ones with penalized weights.
+    DynamicContract,
+    /// The intuitive baseline: exclude all suspected malicious workers
+    /// from the system; honest workers keep their designed contracts.
+    ExcludeMalicious,
+    /// The fixed-payment pricing most platforms use (§I): every in-system
+    /// worker is paid a constant `amount` per round regardless of
+    /// feedback.
+    FixedPayment {
+        /// The constant per-round payment.
+        amount: f64,
+    },
+}
+
+/// Assembles the simulation population for a strategy from a completed
+/// [`ContractDesign`].
+///
+/// All strategies share the same underlying worker behaviour (ω, true ψ,
+/// Eq. 5 weights); only participation and contracts differ:
+///
+/// - [`StrategyKind::DynamicContract`] uses the designed contracts as-is,
+/// - [`StrategyKind::ExcludeMalicious`] keeps only non-suspected agents,
+/// - [`StrategyKind::FixedPayment`] replaces every contract with a flat
+///   payment.
+///
+/// One [`AgentSpec`] per subproblem is produced (communities stay
+/// aggregated, matching the meta-worker semantics of Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineStrategy {
+    /// Which pricing strategy to assemble.
+    pub kind: StrategyKind,
+}
+
+impl BaselineStrategy {
+    /// Creates a strategy wrapper.
+    pub fn new(kind: StrategyKind) -> Self {
+        BaselineStrategy { kind }
+    }
+
+    /// Builds the agent population for this strategy.
+    ///
+    /// `true_psis` supplies each agent's *actual* behavioural response
+    /// (the designed ψ may differ from reality when detection erred):
+    /// `(honest, ncm, community)`. `suspected` lists the workers the
+    /// strategy considers malicious.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidContract`] for a negative fixed
+    /// payment, and propagates contract-construction failures.
+    pub fn assemble(
+        &self,
+        design: &ContractDesign,
+        omega: f64,
+        suspected: &HashSet<ReviewerId>,
+    ) -> Result<Vec<AgentSpec>, CoreError> {
+        let mut agents = Vec::with_capacity(design.solution.solutions.len());
+        for sol in &design.solution.solutions {
+            let members: Vec<ReviewerId> = sol.members.iter().map(|&m| ReviewerId(m)).collect();
+            let is_suspected = members.iter().any(|m| suspected.contains(m));
+            let is_community = members.len() > 1;
+            let (honest_psi, ncm_psi, cm_psi) = design.class_psis;
+            let psi: Quadratic = if is_community {
+                cm_psi
+            } else if is_suspected {
+                ncm_psi
+            } else {
+                honest_psi
+            };
+            let weight = sol.built.weight();
+
+            let (contract, in_system) = match self.kind {
+                StrategyKind::DynamicContract => (sol.built.contract().clone(), true),
+                StrategyKind::ExcludeMalicious => {
+                    (sol.built.contract().clone(), !is_suspected)
+                }
+                StrategyKind::FixedPayment { amount } => {
+                    let knots = sol.built.contract().feedback_knots();
+                    let (lo, hi) = (knots[0], *knots.last().expect("contract has knots"));
+                    (Contract::fixed(lo, hi, amount)?, true)
+                }
+            };
+
+            agents.push(AgentSpec {
+                id: sol.id,
+                members: members.len(),
+                omega: if is_suspected || is_community { omega } else { 0.0 },
+                weight,
+                psi,
+                contract,
+                in_system,
+            });
+        }
+        Ok(agents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{design_contracts, DesignConfig, ModelParams, Simulation, SimulationConfig};
+    use dcc_detect::{run_pipeline, PipelineConfig};
+    use dcc_trace::SyntheticConfig;
+
+    fn setup() -> (ContractDesign, HashSet<ReviewerId>, ModelParams) {
+        let trace = SyntheticConfig::small(201).generate();
+        let detection = run_pipeline(&trace, PipelineConfig::default());
+        let config = DesignConfig::default();
+        let design = design_contracts(&trace, &detection, &config).unwrap();
+        let suspected: HashSet<ReviewerId> = detection.suspected.iter().copied().collect();
+        (design, suspected, config.params)
+    }
+
+    #[test]
+    fn exclusion_drops_exactly_the_suspects() {
+        let (design, suspected, params) = setup();
+        let ours = BaselineStrategy::new(StrategyKind::DynamicContract)
+            .assemble(&design, params.omega, &suspected)
+            .unwrap();
+        let excl = BaselineStrategy::new(StrategyKind::ExcludeMalicious)
+            .assemble(&design, params.omega, &suspected)
+            .unwrap();
+        assert_eq!(ours.len(), excl.len());
+        let ours_in = ours.iter().filter(|a| a.in_system).count();
+        let excl_in = excl.iter().filter(|a| a.in_system).count();
+        assert!(excl_in < ours_in, "exclusion must drop someone");
+        for (a, b) in ours.iter().zip(&excl) {
+            if a.omega == 0.0 {
+                assert!(b.in_system, "honest agents stay");
+            } else {
+                assert!(!b.in_system, "suspected agents leave");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_contract_beats_exclusion_in_simulation() {
+        // The headline Fig. 8(c) claim.
+        let (design, suspected, params) = setup();
+        let sim = Simulation::new(params, SimulationConfig::default());
+        let ours = sim
+            .run(
+                &BaselineStrategy::new(StrategyKind::DynamicContract)
+                    .assemble(&design, params.omega, &suspected)
+                    .unwrap(),
+            )
+            .unwrap();
+        let excl = sim
+            .run(
+                &BaselineStrategy::new(StrategyKind::ExcludeMalicious)
+                    .assemble(&design, params.omega, &suspected)
+                    .unwrap(),
+            )
+            .unwrap();
+        assert!(
+            ours.mean_round_utility >= excl.mean_round_utility,
+            "ours {} must beat exclusion {}",
+            ours.mean_round_utility,
+            excl.mean_round_utility
+        );
+    }
+
+    #[test]
+    fn fixed_payment_buys_no_honest_effort() {
+        let (design, suspected, params) = setup();
+        let fixed = BaselineStrategy::new(StrategyKind::FixedPayment { amount: 1.0 })
+            .assemble(&design, params.omega, &suspected)
+            .unwrap();
+        let sim = Simulation::new(params, SimulationConfig::default());
+        let outcome = sim.run(&fixed).unwrap();
+        for (agent, effort) in fixed.iter().zip(&outcome.agent_effort) {
+            if agent.omega == 0.0 {
+                assert_eq!(*effort, 0.0, "flat pay induces no honest effort");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_fixed_payment_rejected() {
+        let (design, suspected, params) = setup();
+        assert!(BaselineStrategy::new(StrategyKind::FixedPayment { amount: -1.0 })
+            .assemble(&design, params.omega, &suspected)
+            .is_err());
+    }
+}

@@ -1,0 +1,165 @@
+use dcc_numerics::Quadratic;
+
+/// How a worker's true conduct evolves over the repeated game — the
+/// "more sophisticated malicious workers" the paper's §VII names as
+/// future work. The base model ([`ConductModel::Stationary`]) is what
+/// §II assumes; the other variants are the attack patterns §I mentions
+/// (malicious behavior that is "temporary or targeted in scope").
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum ConductModel {
+    /// The paper's base model: the same (ω, ψ, weight) every round.
+    #[default]
+    Stationary,
+    /// Reputation farming: behaves honestly (ω = 0, full weight) for the
+    /// first `honest_rounds` rounds, then attacks — its feedback weight
+    /// to the requester drops to `attack_weight` (possibly negative) and
+    /// it gains intrinsic motivation `attack_omega`.
+    Deceptive {
+        /// Rounds of honest-looking behaviour before the attack.
+        honest_rounds: usize,
+        /// The worker's ω once attacking (Eq. 14).
+        attack_omega: f64,
+        /// The worker's true feedback value to the requester once
+        /// attacking.
+        attack_weight: f64,
+    },
+    /// Burnout / drift: marginal productivity decays geometrically, i.e.
+    /// round `t` uses `ψ_t(y) = r₂y² + (r₁·decay^t)y + r₀`.
+    Drifting {
+        /// Per-round multiplicative decay of the linear coefficient
+        /// (`0 < decay ≤ 1`).
+        decay_per_round: f64,
+    },
+    /// Outside option: the worker only participates in rounds where its
+    /// expected utility meets a reservation level.
+    Reservation {
+        /// Minimum per-round utility required to participate.
+        reserve_utility: f64,
+    },
+}
+
+impl ConductModel {
+    /// The worker's ω in round `t`, given its designed/base ω.
+    pub fn omega_at(&self, t: usize, base_omega: f64) -> f64 {
+        match *self {
+            ConductModel::Deceptive {
+                honest_rounds,
+                attack_omega,
+                ..
+            } => {
+                if t < honest_rounds {
+                    0.0
+                } else {
+                    attack_omega
+                }
+            }
+            _ => base_omega,
+        }
+    }
+
+    /// The worker's effort function in round `t`, given its base ψ.
+    pub fn psi_at(&self, t: usize, base_psi: &Quadratic) -> Quadratic {
+        match *self {
+            ConductModel::Drifting { decay_per_round } => {
+                let decay = decay_per_round.clamp(0.0, 1.0).powi(t as i32);
+                Quadratic::new(base_psi.r2(), base_psi.r1() * decay, base_psi.r0())
+            }
+            _ => *base_psi,
+        }
+    }
+
+    /// The worker's *true* feedback weight to the requester in round `t`,
+    /// given the weight it earned in the design phase.
+    pub fn weight_at(&self, t: usize, base_weight: f64) -> f64 {
+        match *self {
+            ConductModel::Deceptive {
+                honest_rounds,
+                attack_weight,
+                ..
+            } => {
+                if t < honest_rounds {
+                    base_weight
+                } else {
+                    attack_weight
+                }
+            }
+            _ => base_weight,
+        }
+    }
+
+    /// Whether the worker participates given its expected utility this
+    /// round.
+    pub fn participates(&self, expected_utility: f64) -> bool {
+        match *self {
+            ConductModel::Reservation { reserve_utility } => {
+                expected_utility >= reserve_utility
+            }
+            _ => true,
+        }
+    }
+
+    /// `true` iff this conduct can change over rounds (anything but
+    /// [`ConductModel::Stationary`]).
+    pub fn is_dynamic(&self) -> bool {
+        !matches!(self, ConductModel::Stationary)
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psi() -> Quadratic {
+        Quadratic::new(-0.1, 2.0, 0.5)
+    }
+
+    #[test]
+    fn stationary_never_changes() {
+        let c = ConductModel::Stationary;
+        assert!(!c.is_dynamic());
+        for t in [0, 5, 100] {
+            assert_eq!(c.omega_at(t, 0.7), 0.7);
+            assert_eq!(c.psi_at(t, &psi()), psi());
+            assert_eq!(c.weight_at(t, 1.5), 1.5);
+            assert!(c.participates(-100.0));
+        }
+    }
+
+    #[test]
+    fn deceptive_switches_after_honest_phase() {
+        let c = ConductModel::Deceptive {
+            honest_rounds: 3,
+            attack_omega: 0.8,
+            attack_weight: -0.5,
+        };
+        assert!(c.is_dynamic());
+        assert_eq!(c.omega_at(2, 0.0), 0.0);
+        assert_eq!(c.weight_at(2, 1.5), 1.5);
+        assert_eq!(c.omega_at(3, 0.0), 0.8);
+        assert_eq!(c.weight_at(3, 1.5), -0.5);
+    }
+
+    #[test]
+    fn drifting_decays_marginal_productivity() {
+        let c = ConductModel::Drifting {
+            decay_per_round: 0.9,
+        };
+        let p0 = c.psi_at(0, &psi());
+        let p5 = c.psi_at(5, &psi());
+        assert_eq!(p0, psi());
+        assert!((p5.r1() - 2.0 * 0.9f64.powi(5)).abs() < 1e-12);
+        assert_eq!(p5.r2(), psi().r2());
+        assert_eq!(p5.r0(), psi().r0());
+    }
+
+    #[test]
+    fn reservation_gates_participation() {
+        let c = ConductModel::Reservation {
+            reserve_utility: 1.0,
+        };
+        assert!(c.participates(1.0));
+        assert!(!c.participates(0.99));
+    }
+}

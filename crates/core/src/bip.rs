@@ -1,0 +1,207 @@
+use crate::{BuiltContract, ContractBuilder, CoreError, Discretization, ModelParams};
+use dcc_numerics::Quadratic;
+
+/// One subproblem of the §IV-B decomposition: the contract design for a
+/// single worker, or for a collusive community treated as one
+/// "meta-worker" (Eq. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subproblem {
+    /// Caller-chosen identifier (e.g. a worker id or community id).
+    pub id: usize,
+    /// Worker indices covered by this subproblem (singleton for
+    /// individual workers; all members for a community).
+    pub members: Vec<usize>,
+    /// The feedback weight ω in the follower's utility: 0 for honest
+    /// workers, `params.omega` for malicious ones.
+    pub omega: f64,
+    /// The requester's feedback weight `w` for this subproblem (Eq. 5;
+    /// communities use their members' mean).
+    pub weight: f64,
+    /// The (fitted) effort function — the community's aggregate response
+    /// for meta-workers.
+    pub psi: Quadratic,
+    /// The effort-region discretization for this subproblem.
+    pub disc: Discretization,
+}
+
+/// The solved contract for one subproblem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubproblemSolution {
+    /// The subproblem's identifier.
+    pub id: usize,
+    /// Worker indices covered.
+    pub members: Vec<usize>,
+    /// The §IV-C result.
+    pub built: BuiltContract,
+}
+
+/// The assembled solution of the decomposed bilevel program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BipSolution {
+    /// Per-subproblem solutions, in input order.
+    pub solutions: Vec<SubproblemSolution>,
+    /// The requester's total per-round utility `Σ (w_i q_i − μ c_i)`.
+    pub total_requester_utility: f64,
+}
+
+impl BipSolution {
+    /// The solution covering worker `worker_index`, if any.
+    pub fn for_worker(&self, worker_index: usize) -> Option<&SubproblemSolution> {
+        self.solutions
+            .iter()
+            .find(|s| s.members.contains(&worker_index))
+    }
+}
+
+/// Solves every subproblem of the decomposition (§IV-B) and assembles the
+/// requester's total utility.
+///
+/// The subproblems are independent by construction — the requester's
+/// objective separates across non-collusive workers and communities — so
+/// with `parallel = true` they are solved on scoped threads
+/// (`crossbeam::thread::scope`), one chunk per available core.
+///
+/// # Errors
+///
+/// Propagates the first per-subproblem error (invalid ψ, parameters, …),
+/// identified by the subproblem id in the message.
+pub fn solve_subproblems(
+    subproblems: &[Subproblem],
+    params: &ModelParams,
+    parallel: bool,
+) -> Result<BipSolution, CoreError> {
+    let solve_one = |sp: &Subproblem| -> Result<SubproblemSolution, CoreError> {
+        let built = ContractBuilder::new(*params, sp.disc, sp.psi)
+            .malicious(sp.omega)
+            .weight(sp.weight)
+            .build()
+            .map_err(|e| {
+                CoreError::InvalidInput(format!("subproblem {} failed: {e}", sp.id))
+            })?;
+        Ok(SubproblemSolution {
+            id: sp.id,
+            members: sp.members.clone(),
+            built,
+        })
+    };
+
+    let solutions: Vec<SubproblemSolution> = if parallel && subproblems.len() > 1 {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(subproblems.len());
+        let chunk_size = subproblems.len().div_ceil(workers);
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = subproblems
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(solve_one)
+                            .collect::<Result<Vec<_>, CoreError>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("solver thread must not panic"))
+                .collect::<Result<Vec<Vec<_>>, CoreError>>()
+        })
+        .expect("scoped threads must not panic")?;
+        results.into_iter().flatten().collect()
+    } else {
+        subproblems
+            .iter()
+            .map(solve_one)
+            .collect::<Result<Vec<_>, CoreError>>()?
+    };
+
+    let total = solutions
+        .iter()
+        .map(|s| s.built.requester_utility())
+        .sum();
+    Ok(BipSolution {
+        solutions,
+        total_requester_utility: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_subproblems(n: usize) -> Vec<Subproblem> {
+        let disc = Discretization::new(12, 0.75).unwrap();
+        (0..n)
+            .map(|i| Subproblem {
+                id: i,
+                members: vec![i],
+                omega: if i % 3 == 0 { 0.0 } else { 0.4 },
+                weight: 0.5 + (i % 5) as f64 * 0.4,
+                psi: Quadratic::new(-0.05, 2.0, 0.5),
+                disc,
+            })
+            .collect()
+    }
+
+    fn params() -> ModelParams {
+        ModelParams {
+            mu: 1.5,
+            ..ModelParams::default()
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let sps = sample_subproblems(23);
+        let p = params();
+        let serial = solve_subproblems(&sps, &p, false).unwrap();
+        let parallel = solve_subproblems(&sps, &p, true).unwrap();
+        assert_eq!(serial.solutions.len(), parallel.solutions.len());
+        assert!(
+            (serial.total_requester_utility - parallel.total_requester_utility).abs() < 1e-9
+        );
+        for (s, q) in serial.solutions.iter().zip(&parallel.solutions) {
+            assert_eq!(s.id, q.id);
+            assert!((s.built.requester_utility() - q.built.requester_utility()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let sps = sample_subproblems(7);
+        let sol = solve_subproblems(&sps, &params(), false).unwrap();
+        let sum: f64 = sol
+            .solutions
+            .iter()
+            .map(|s| s.built.requester_utility())
+            .sum();
+        assert!((sol.total_requester_utility - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worker_lookup() {
+        let mut sps = sample_subproblems(3);
+        sps[2].members = vec![2, 9, 11];
+        let sol = solve_subproblems(&sps, &params(), false).unwrap();
+        assert_eq!(sol.for_worker(9).unwrap().id, 2);
+        assert_eq!(sol.for_worker(0).unwrap().id, 0);
+        assert!(sol.for_worker(99).is_none());
+    }
+
+    #[test]
+    fn empty_input_is_empty_solution() {
+        let sol = solve_subproblems(&[], &params(), true).unwrap();
+        assert!(sol.solutions.is_empty());
+        assert_eq!(sol.total_requester_utility, 0.0);
+    }
+
+    #[test]
+    fn error_identifies_subproblem() {
+        let mut sps = sample_subproblems(2);
+        sps[1].psi = Quadratic::new(0.1, 1.0, 0.0); // convex: invalid
+        let err = solve_subproblems(&sps, &params(), false).unwrap_err();
+        assert!(err.to_string().contains("subproblem 1"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Theoretical bounds of §IV-C: the Lemma 4.2 / 4.3 compensation bracket
+//! and the Theorem 4.1 requester-utility bracket.
+//!
+//! The paper prints the bounds with `β = w = 1` (its §V setting); the
+//! functions here carry the full parameterization, reducing to the
+//! printed forms at those values. The Lemma 4.3 lower bound and the
+//! Theorem 4.1 upper bound rely on the worker having no intrinsic
+//! motivation, i.e. they are guaranteed for the honest case `ω = 0`
+//! (§IV-C analyzes malicious workers and obtains honest workers as the
+//! `ω = 0` special case; a worker with `ω > 0` may be paid *less* than
+//! `β(k−1)δ` because it partly works for influence).
+
+use crate::{Discretization, ModelParams};
+use dcc_numerics::Quadratic;
+
+/// Lemma 4.2: upper bound on the compensation paid under candidate
+/// `ξ^(k)`:
+///
+/// `C_ub(k) = βkδ − 2βr₂kδ² / ψ′((k−1)δ)`
+///
+/// (the second term is positive since `r₂ < 0`).
+pub fn compensation_upper_bound(
+    params: &ModelParams,
+    disc: &Discretization,
+    psi: &Quadratic,
+    k: usize,
+) -> f64 {
+    let delta = disc.delta();
+    let kf = k as f64;
+    params.beta * kf * delta
+        - 2.0 * params.beta * psi.r2() * kf * delta * delta
+            / psi.derivative_at(disc.knot(k.saturating_sub(1)))
+}
+
+/// Lemma 4.3: lower bound `β(k−1)δ` on the compensation needed to induce
+/// an optimal effort in `[(k−1)δ, kδ)` from a worker with no intrinsic
+/// motivation (`ω = 0`) — otherwise the worker's utility at its optimum
+/// would be negative, contradicting individual rationality.
+pub fn compensation_lower_bound(params: &ModelParams, disc: &Discretization, k: usize) -> f64 {
+    params.beta * (k.saturating_sub(1)) as f64 * disc.delta()
+}
+
+/// Theorem 4.1 upper bound on the requester's per-worker utility over
+/// *any* contract inducing any interval:
+///
+/// `max_l ( w·ψ(lδ) − μ·β(l−1)δ )`
+///
+/// — in the best case the worker reaches the top of interval `l` while
+/// being paid only the Lemma 4.3 minimum. Guaranteed for `ω = 0`.
+pub fn requester_utility_upper_bound(
+    weight: f64,
+    params: &ModelParams,
+    disc: &Discretization,
+    psi: &Quadratic,
+) -> f64 {
+    (1..=disc.intervals())
+        .map(|l| {
+            weight * psi.eval(disc.knot(l))
+                - params.mu * compensation_lower_bound(params, disc, l)
+        })
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Theorem 4.1 lower bound on the requester's utility from the candidate
+/// the algorithm selects:
+///
+/// `w·ψ((k_opt−1)δ) − μ·C_ub(k_opt)`
+///
+/// — the worker produces at least the bottom of its target interval and
+/// costs at most the Lemma 4.2 cap.
+pub fn requester_utility_lower_bound(
+    weight: f64,
+    params: &ModelParams,
+    disc: &Discretization,
+    psi: &Quadratic,
+    k_opt: usize,
+) -> f64 {
+    weight * psi.eval(disc.knot(k_opt.saturating_sub(1)))
+        - params.mu * compensation_upper_bound(params, disc, psi, k_opt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{best_response, build_candidate};
+
+    fn setup() -> (ModelParams, Discretization, Quadratic) {
+        let params = ModelParams {
+            omega: 0.0,
+            mu: 1.5,
+            ..ModelParams::default()
+        };
+        let disc = Discretization::new(16, 0.625).unwrap();
+        let psi = Quadratic::new(-0.05, 2.0, 0.5);
+        (params, disc, psi)
+    }
+
+    #[test]
+    fn compensation_bracket_holds_for_all_candidates() {
+        let (params, disc, psi) = setup();
+        for k in 1..=disc.intervals() {
+            let cand = build_candidate(&params, &disc, &psi, k).unwrap();
+            let br = best_response(&params, &psi, &cand.contract).unwrap();
+            let lb = compensation_lower_bound(&params, &disc, k);
+            let ub = compensation_upper_bound(&params, &disc, &psi, k);
+            assert!(
+                br.compensation >= lb - 1e-9,
+                "k={k}: compensation {} below Lemma 4.3 bound {lb}",
+                br.compensation
+            );
+            assert!(
+                br.compensation <= ub + 1e-9,
+                "k={k}: compensation {} above Lemma 4.2 bound {ub}",
+                br.compensation
+            );
+        }
+    }
+
+    #[test]
+    fn compensation_bounds_tighten_with_m() {
+        // The bracket width at fixed effort y = k*delta shrinks as the
+        // partition refines (the convergence statement behind Fig. 6/8a).
+        let (params, _, psi) = setup();
+        let y_target = 5.0;
+        let mut prev_gap = f64::INFINITY;
+        for m in [8, 16, 32, 64] {
+            let disc = Discretization::covering(m, 10.0).unwrap();
+            let k = (y_target / disc.delta()).round() as usize;
+            let gap = compensation_upper_bound(&params, &disc, &psi, k)
+                - compensation_lower_bound(&params, &disc, k);
+            assert!(gap < prev_gap, "gap {gap} did not shrink at m={m}");
+            prev_gap = gap;
+        }
+    }
+
+    #[test]
+    fn utility_bracket_holds_for_honest_worker() {
+        let (params, disc, psi) = setup();
+        let weight = 1.0;
+        let upper = requester_utility_upper_bound(weight, &params, &disc, &psi);
+        for k in 1..=disc.intervals() {
+            let cand = build_candidate(&params, &disc, &psi, k).unwrap();
+            let br = best_response(&params, &psi, &cand.contract).unwrap();
+            let utility = weight * br.feedback - params.mu * br.compensation;
+            let lower = requester_utility_lower_bound(weight, &params, &disc, &psi, k);
+            assert!(
+                utility >= lower - 1e-9,
+                "k={k}: utility {utility} below lower bound {lower}"
+            );
+            assert!(
+                utility <= upper + 1e-9,
+                "k={k}: utility {utility} above upper bound {upper}"
+            );
+        }
+    }
+
+    #[test]
+    fn printed_form_recovered_at_unit_parameters() {
+        // With beta = w = 1, the bounds reduce to the paper's printed
+        // expressions.
+        let params = ModelParams {
+            beta: 1.0,
+            mu: 1.0,
+            omega: 0.0,
+            ..ModelParams::default()
+        };
+        let disc = Discretization::new(5, 0.5).unwrap();
+        let psi = Quadratic::new(-0.1, 3.0, 0.2);
+        let k = 3;
+        let delta = disc.delta();
+        let printed_c_ub = -2.0 * psi.r2() * k as f64 * delta * delta
+            / (2.0 * psi.r2() * (k - 1) as f64 * delta + psi.r1())
+            + k as f64 * delta;
+        assert!(
+            (compensation_upper_bound(&params, &disc, &psi, k) - printed_c_ub).abs() < 1e-12
+        );
+        let printed_lb = psi.eval((k - 1) as f64 * delta) - printed_c_ub;
+        assert!(
+            (requester_utility_lower_bound(1.0, &params, &disc, &psi, k) - printed_lb).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn k1_lower_bound_is_zero_pay() {
+        let (params, disc, _) = setup();
+        assert_eq!(compensation_lower_bound(&params, &disc, 1), 0.0);
+    }
+}

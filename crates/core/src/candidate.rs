@@ -1,0 +1,405 @@
+use crate::cases::case_window_lo;
+use crate::{Contract, CoreError, Discretization, ModelParams};
+use dcc_numerics::Quadratic;
+
+/// A candidate contract `ξ^(k)` (§IV-C): the contract designed so the
+/// worker's optimal effort falls in the target interval `[(k−1)δ, kδ)`,
+/// with the minimal slopes that still satisfy the crossing condition
+/// (Eq. 36).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Target interval index `k` (1-based).
+    pub k: usize,
+    /// The contract over the feedback knots `d_l = ψ(lδ)`.
+    pub contract: Contract,
+    /// The feedback-space slopes `α_1, …, α_m` chosen by the recurrence.
+    pub slopes: Vec<f64>,
+    /// The closed-form induced effort `y*_k` of Eq. 31 — the theoretical
+    /// optimum, to be confirmed against [`crate::best_response`].
+    pub predicted_effort: f64,
+    /// The compensation at the predicted effort.
+    pub predicted_compensation: f64,
+    /// `true` if any slope produced by the Eq. 39 recurrence fell below 0
+    /// and was clamped to keep the contract monotone (happens when ω is
+    /// large enough that the worker self-motivates through early
+    /// intervals; the theoretical guarantees then apply only past the
+    /// autonomous-effort interval).
+    pub clamped: bool,
+}
+
+/// The ε margin of Eq. 40 for interval `l` (1-based):
+/// `4βr₂²δ² / (ψ′((l−1)δ)² · ψ′(lδ))`.
+fn epsilon(params: &ModelParams, disc: &Discretization, psi: &Quadratic, l: usize) -> f64 {
+    let d_prev = psi.derivative_at(disc.knot(l - 1));
+    let d_cur = psi.derivative_at(disc.knot(l));
+    4.0 * params.beta * psi.r2() * psi.r2() * disc.delta() * disc.delta()
+        / (d_prev * d_prev * d_cur)
+}
+
+/// Builds the candidate contract `ξ^(k)` for target interval `k`
+/// (1-based) via the slope recurrence of Eqs. (39)–(40):
+///
+/// - `α_1 = β/ψ′(0) − ω + ε_1` (just above its Case-III window's lower
+///   edge),
+/// - `α_l = β² / ((α_{l−1} + ω)·ψ′((l−1)δ)²) + ε_l − ω` for `2 ≤ l ≤ k`,
+/// - `α_l = 0` for `l > k` (flat tail; §IV-C calls this step trivial).
+///
+/// The base payment is `x₀ = 0` and `x_l = x_{l−1} + α_l·(d_l − d_{l−1})`
+/// with `d_l = ψ(lδ)`. Negative recurrence slopes (large ω) are clamped
+/// to 0 and flagged in [`Candidate::clamped`].
+///
+/// This is the paper's exact construction — equivalently
+/// [`build_candidate_with_margin`] with `margin = 0`.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidParams`] if `k` is 0 or exceeds `m`, or the
+///   parameters fail validation.
+/// - [`CoreError::InvalidEffortFunction`] if ψ violates the model
+///   assumptions on the discretized region.
+pub fn build_candidate(
+    params: &ModelParams,
+    disc: &Discretization,
+    psi: &Quadratic,
+    k: usize,
+) -> Result<Candidate, CoreError> {
+    build_candidate_with_margin(params, disc, psi, k, 0.0)
+}
+
+/// [`build_candidate`] with an *incentive margin* `margin ≥ 0`.
+///
+/// The paper's construction (`margin = 0`) minimizes compensation but is
+/// knife-edge: the worker is left almost indifferent between the target
+/// interval and zero effort, so a small unmodelled drop in the worker's
+/// productivity collapses its best response to 0. With `margin > 0` the
+/// construction switches to a *robust* variant:
+///
+/// - every interval `l < k` gets the slope `(1+margin)·β/ψ′(lδ) − ω` —
+///   Case II of Lemma 4.1 with strict slack, so the worker's marginal
+///   utility while crossing the interval is at least `margin·β` and
+///   stays positive even if its productivity drops by roughly a factor
+///   `1/(1+margin)`;
+/// - the target interval `k` keeps an interior (Case III) optimum with
+///   its slope centered in the window via `β/ψ′(y_mid) − ω`.
+///
+/// Compensation is roughly `(1+margin)` times the paper's minimum — the
+/// price of robustness (measured by the `ablations` bench).
+///
+/// # Errors
+///
+/// As [`build_candidate`], plus [`CoreError::InvalidParams`] for a
+/// negative or non-finite margin.
+pub fn build_candidate_with_margin(
+    params: &ModelParams,
+    disc: &Discretization,
+    psi: &Quadratic,
+    k: usize,
+    margin: f64,
+) -> Result<Candidate, CoreError> {
+    params.validate()?;
+    crate::effort::validate_effort_function(psi, disc)?;
+    if k == 0 || k > disc.intervals() {
+        return Err(CoreError::InvalidParams(format!(
+            "target interval k = {k} outside 1..={}",
+            disc.intervals()
+        )));
+    }
+    if !(margin.is_finite() && margin >= 0.0) {
+        return Err(CoreError::InvalidParams(format!(
+            "incentive margin must be a nonnegative finite number, got {margin}"
+        )));
+    }
+
+    let m = disc.intervals();
+    let mut slopes = Vec::with_capacity(m);
+    let mut clamped = false;
+    let mut prev_alpha = f64::NAN;
+    for l in 1..=m {
+        let alpha = if l > k {
+            0.0
+        } else if margin > 0.0 {
+            if l < k {
+                // Case II with slack: push the worker through.
+                (1.0 + margin) * params.beta / psi.derivative_at(disc.knot(l)) - params.omega
+            } else {
+                // Interior optimum centered in the target window.
+                let y_mid = 0.5 * (disc.knot(k - 1) + disc.knot(k));
+                params.beta / psi.derivative_at(y_mid) - params.omega
+            }
+        } else if l == 1 {
+            case_window_lo(params, disc, psi, 1) + epsilon(params, disc, psi, 1)
+        } else {
+            let d_prev = psi.derivative_at(disc.knot(l - 1));
+            params.beta * params.beta / ((prev_alpha + params.omega) * d_prev * d_prev)
+                + epsilon(params, disc, psi, l)
+                - params.omega
+        };
+        let alpha = if alpha < 0.0 {
+            clamped = true;
+            0.0
+        } else {
+            alpha
+        };
+        prev_alpha = alpha;
+        slopes.push(alpha);
+    }
+
+    // Payments at feedback knots d_l = psi(l * delta).
+    let feedback_knots: Vec<f64> = (0..=m).map(|l| psi.eval(disc.knot(l))).collect();
+    let mut payments = Vec::with_capacity(m + 1);
+    payments.push(0.0);
+    for l in 1..=m {
+        let delta_d = feedback_knots[l] - feedback_knots[l - 1];
+        payments.push(payments[l - 1] + slopes[l - 1] * delta_d);
+    }
+    let contract = Contract::new(feedback_knots, payments)?;
+
+    // Predicted optimum inside the target interval (Eq. 31), clamped to
+    // the interval for the edge cases where clamping disturbed the theory.
+    let alpha_k = slopes[k - 1];
+    let predicted_effort = if alpha_k + params.omega > 0.0 {
+        psi.inverse_derivative(params.beta / (alpha_k + params.omega))
+            .expect("r2 < 0 validated above")
+            .clamp(disc.knot(k - 1), disc.knot(k))
+    } else {
+        disc.knot(k - 1)
+    };
+    let predicted_compensation = contract.compensation(psi.eval(predicted_effort));
+
+    Ok(Candidate {
+        k,
+        contract,
+        slopes,
+        predicted_effort,
+        predicted_compensation,
+        clamped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::{case_of_slope, SlopeCase};
+
+    fn setup(omega: f64) -> (ModelParams, Discretization, Quadratic) {
+        let params = ModelParams {
+            omega,
+            ..ModelParams::default()
+        };
+        let disc = Discretization::new(12, 0.75).unwrap();
+        let psi = Quadratic::new(-0.05, 2.0, 0.5);
+        (params, disc, psi)
+    }
+
+    #[test]
+    fn slopes_stay_in_case_iii_windows_honest() {
+        let (params, disc, psi) = setup(0.0);
+        for k in 1..=disc.intervals() {
+            let cand = build_candidate(&params, &disc, &psi, k).unwrap();
+            assert!(!cand.clamped, "no clamping expected for omega = 0");
+            for l in 1..=k {
+                assert_eq!(
+                    case_of_slope(&params, &disc, &psi, cand.slopes[l - 1], l),
+                    SlopeCase::CaseIII,
+                    "slope alpha_{l} = {} outside Case III window for k={k}",
+                    cand.slopes[l - 1]
+                );
+            }
+            for l in (k + 1)..=disc.intervals() {
+                assert_eq!(cand.slopes[l - 1], 0.0, "tail must be flat");
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_effort_in_target_interval() {
+        let (params, disc, psi) = setup(0.0);
+        for k in 1..=disc.intervals() {
+            let cand = build_candidate(&params, &disc, &psi, k).unwrap();
+            assert!(
+                cand.predicted_effort >= disc.knot(k - 1) - 1e-12
+                    && cand.predicted_effort <= disc.knot(k) + 1e-12,
+                "k={k}: predicted effort {} outside [{}, {}]",
+                cand.predicted_effort,
+                disc.knot(k - 1),
+                disc.knot(k)
+            );
+        }
+    }
+
+    #[test]
+    fn contract_is_monotone_and_zero_based() {
+        let (params, disc, psi) = setup(0.0);
+        let cand = build_candidate(&params, &disc, &psi, 5).unwrap();
+        assert!(cand.contract.is_monotone());
+        assert_eq!(cand.contract.payments()[0], 0.0);
+        // Flat beyond the target interval.
+        let pays = cand.contract.payments();
+        for l in 6..pays.len() {
+            assert!((pays[l] - pays[5]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slopes_increase_up_to_target() {
+        // Case III windows move right with l, so the recurrence yields
+        // increasing slopes (a convex contract up to k).
+        let (params, disc, psi) = setup(0.0);
+        let cand = build_candidate(&params, &disc, &psi, 8).unwrap();
+        for l in 1..8 {
+            assert!(
+                cand.slopes[l] > cand.slopes[l - 1],
+                "slopes must increase: alpha_{} = {} vs alpha_{} = {}",
+                l + 1,
+                cand.slopes[l],
+                l,
+                cand.slopes[l - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn utility_increments_positive_up_to_k() {
+        // Eq. 36: the worker's per-interval maxima strictly increase up to
+        // the target interval, so the global optimum is in interval k.
+        let (params, disc, psi) = setup(0.0);
+        let k = 7;
+        let cand = build_candidate(&params, &disc, &psi, k).unwrap();
+        let utility = |y: f64| {
+            cand.contract.compensation(psi.eval(y)) + params.omega * psi.eval(y) - params.beta * y
+        };
+        let mut prev_max = utility(0.0);
+        for l in 1..=k {
+            let (a, b) = (disc.knot(l - 1), disc.knot(l));
+            let mut m = f64::NEG_INFINITY;
+            for i in 0..=1000 {
+                let y = a + (b - a) * i as f64 / 1000.0;
+                m = m.max(utility(y));
+            }
+            assert!(
+                m > prev_max - 1e-9,
+                "interval {l} max {m} not above previous {prev_max}"
+            );
+            prev_max = m;
+        }
+    }
+
+    #[test]
+    fn omega_reduces_compensation() {
+        // A malicious worker (ω > 0) self-motivates, so inducing the same
+        // interval costs the requester weakly less.
+        let (params0, disc, psi) = setup(0.0);
+        let (params1, _, _) = setup(0.4);
+        for k in 2..=10 {
+            let honest = build_candidate(&params0, &disc, &psi, k).unwrap();
+            let malicious = build_candidate(&params1, &disc, &psi, k).unwrap();
+            assert!(
+                malicious.predicted_compensation <= honest.predicted_compensation + 1e-9,
+                "k={k}: omega should cut compensation ({} vs {})",
+                malicious.predicted_compensation,
+                honest.predicted_compensation
+            );
+        }
+    }
+
+    #[test]
+    fn large_omega_clamps_early_slopes() {
+        let (params, disc, psi) = setup(3.0);
+        let cand = build_candidate(&params, &disc, &psi, 6).unwrap();
+        assert!(cand.clamped);
+        assert!(cand.contract.is_monotone());
+        assert!(cand.slopes.iter().all(|&a| a >= 0.0));
+    }
+
+    #[test]
+    fn margin_preserves_incentives_and_raises_pay() {
+        let (params, disc, psi) = setup(0.0);
+        for margin in [0.1, 0.3, 0.6] {
+            for k in [2usize, 6, 11] {
+                let tight = build_candidate(&params, &disc, &psi, k).unwrap();
+                let slack =
+                    build_candidate_with_margin(&params, &disc, &psi, k, margin).unwrap();
+                // Pre-target slopes push the worker through (Case II with
+                // slack); the target interval keeps an interior optimum.
+                for l in 1..k {
+                    assert_eq!(
+                        case_of_slope(&params, &disc, &psi, slack.slopes[l - 1], l),
+                        SlopeCase::CaseII,
+                        "margin {margin} k={k} l={l}"
+                    );
+                }
+                assert_eq!(
+                    case_of_slope(&params, &disc, &psi, slack.slopes[k - 1], k),
+                    SlopeCase::CaseIII,
+                    "margin {margin} k={k} target"
+                );
+                // The worker's verified best response stays in interval k.
+                let br = crate::best_response(&params, &psi, &slack.contract).unwrap();
+                assert!(
+                    br.effort >= disc.knot(k - 1) - 1e-9 && br.effort <= disc.knot(k) + 1e-9,
+                    "margin {margin} k={k}: response {} outside target",
+                    br.effort
+                );
+                // Robustness costs money: payments are pointwise >= tight.
+                for (s, t) in slack.contract.payments().iter().zip(tight.contract.payments()) {
+                    assert!(
+                        *s >= *t - 1e-9,
+                        "margin {margin} k={k}: payment {s} below tight {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn margin_buys_drift_robustness() {
+        // Under the paper's tight contract a 5% productivity drop
+        // collapses the worker's response to zero effort; a 30% margin
+        // keeps the worker working.
+        let (params, disc, psi) = setup(0.0);
+        let k = 8;
+        let drifted = Quadratic::new(psi.r2(), 0.95 * psi.r1(), psi.r0());
+
+        let tight = build_candidate(&params, &disc, &psi, k).unwrap();
+        let tight_response =
+            crate::best_response(&params, &drifted, &tight.contract).unwrap();
+        assert!(
+            tight_response.effort < 0.5,
+            "tight contract should collapse under drift, got effort {}",
+            tight_response.effort
+        );
+
+        let slack = build_candidate_with_margin(&params, &disc, &psi, k, 0.3).unwrap();
+        let slack_response =
+            crate::best_response(&params, &drifted, &slack.contract).unwrap();
+        assert!(
+            slack_response.effort > 0.5 * disc.knot(k - 1),
+            "margin contract should survive drift, got effort {}",
+            slack_response.effort
+        );
+    }
+
+    #[test]
+    fn invalid_margin_rejected() {
+        let (params, disc, psi) = setup(0.0);
+        assert!(build_candidate_with_margin(&params, &disc, &psi, 3, -0.1).is_err());
+        assert!(build_candidate_with_margin(&params, &disc, &psi, 3, f64::NAN).is_err());
+        assert!(build_candidate_with_margin(&params, &disc, &psi, 3, f64::INFINITY).is_err());
+        // Large margins are permitted — they just pay more.
+        assert!(build_candidate_with_margin(&params, &disc, &psi, 3, 2.0).is_ok());
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let (params, disc, psi) = setup(0.0);
+        assert!(build_candidate(&params, &disc, &psi, 0).is_err());
+        assert!(build_candidate(&params, &disc, &psi, 13).is_err());
+    }
+
+    #[test]
+    fn invalid_psi_rejected() {
+        let (params, disc, _) = setup(0.0);
+        let convex = Quadratic::new(0.05, 2.0, 0.5);
+        assert!(build_candidate(&params, &disc, &convex, 3).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+use crate::{Discretization, ModelParams};
+use dcc_numerics::Quadratic;
+
+/// Classification of a contract piece by the sign pattern of the worker's
+/// utility derivative on its effort interval (§IV-C, Part 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlopeCase {
+    /// Utility non-increasing on the interval; the worker sits at the
+    /// left endpoint.
+    CaseI,
+    /// Utility non-decreasing; the worker pushes to the right endpoint.
+    CaseII,
+    /// Utility has an interior maximum (Eq. 31).
+    CaseIII,
+}
+
+/// The Case-III window's lower edge for interval `l` (1-based):
+/// `β/ψ′((l−1)δ) − ω`. Slopes at or below it are Case I.
+///
+/// Follows the *proof* of Lemma 4.1 (Eqs. 32–35); the lemma statement as
+/// printed swaps the two bounds.
+pub fn case_window_lo(params: &ModelParams, disc: &Discretization, psi: &Quadratic, l: usize) -> f64 {
+    params.beta / psi.derivative_at(disc.knot(l - 1)) - params.omega
+}
+
+/// The Case-III window's upper edge for interval `l` (1-based):
+/// `β/ψ′(lδ) − ω`. Slopes at or above it are Case II.
+pub fn case_window_hi(params: &ModelParams, disc: &Discretization, psi: &Quadratic, l: usize) -> f64 {
+    params.beta / psi.derivative_at(disc.knot(l)) - params.omega
+}
+
+/// Classifies the contract slope `alpha` on effort interval `l`
+/// (1-based) per Lemma 4.1.
+///
+/// The worker's utility on the interval is
+/// `U(y) = x_{l−1} + α(ψ(y) − d_{l−1}) + ωψ(y) − βy`, whose derivative
+/// `(α + ω)ψ′(y) − β` is decreasing in `y` (ψ concave), so the sign
+/// pattern is determined by the endpoints:
+///
+/// - non-positive at the left endpoint ⇒ Case I,
+/// - non-negative at the right endpoint ⇒ Case II,
+/// - otherwise ⇒ Case III with the interior optimum of Eq. 31.
+pub fn case_of_slope(
+    params: &ModelParams,
+    disc: &Discretization,
+    psi: &Quadratic,
+    alpha: f64,
+    l: usize,
+) -> SlopeCase {
+    debug_assert!(l >= 1 && l <= disc.intervals(), "interval {l} out of range");
+    if alpha <= case_window_lo(params, disc, psi, l) {
+        SlopeCase::CaseI
+    } else if alpha >= case_window_hi(params, disc, psi, l) {
+        SlopeCase::CaseII
+    } else {
+        SlopeCase::CaseIII
+    }
+}
+
+/// The worker's optimal effort within interval `l` (1-based) under
+/// contract slope `alpha` (Eq. 30): the left endpoint in Case I, the
+/// right endpoint in Case II (the supremum of the half-open interval),
+/// and the Eq. 31 closed form `ψ′⁻¹(β/(α+ω))` in Case III.
+pub fn interval_optimum(
+    params: &ModelParams,
+    disc: &Discretization,
+    psi: &Quadratic,
+    alpha: f64,
+    l: usize,
+) -> f64 {
+    match case_of_slope(params, disc, psi, alpha, l) {
+        SlopeCase::CaseI => disc.knot(l - 1),
+        SlopeCase::CaseII => disc.knot(l),
+        SlopeCase::CaseIII => {
+            let target_slope = params.beta / (alpha + params.omega);
+            psi.inverse_derivative(target_slope)
+                .expect("psi is strictly concave (r2 < 0), derivative invertible")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ModelParams, Discretization, Quadratic) {
+        let params = ModelParams {
+            omega: 0.0,
+            ..ModelParams::default()
+        };
+        let disc = Discretization::new(10, 1.0).unwrap();
+        // psi'(y) = -0.1y + 2 > 0 up to y = 20 > 10.
+        let psi = Quadratic::new(-0.05, 2.0, 0.5);
+        (params, disc, psi)
+    }
+
+    #[test]
+    fn windows_are_increasing_in_l() {
+        let (params, disc, psi) = setup();
+        for l in 1..=disc.intervals() {
+            let lo = case_window_lo(&params, &disc, &psi, l);
+            let hi = case_window_hi(&params, &disc, &psi, l);
+            assert!(lo < hi, "window empty at l={l}");
+            if l > 1 {
+                let prev_hi = case_window_hi(&params, &disc, &psi, l - 1);
+                assert!((prev_hi - lo).abs() < 1e-12, "windows must tile: {prev_hi} vs {lo}");
+            }
+        }
+    }
+
+    #[test]
+    fn classification_matches_window() {
+        let (params, disc, psi) = setup();
+        let l = 3;
+        let lo = case_window_lo(&params, &disc, &psi, l);
+        let hi = case_window_hi(&params, &disc, &psi, l);
+        assert_eq!(case_of_slope(&params, &disc, &psi, lo - 0.01, l), SlopeCase::CaseI);
+        assert_eq!(case_of_slope(&params, &disc, &psi, lo, l), SlopeCase::CaseI);
+        assert_eq!(
+            case_of_slope(&params, &disc, &psi, 0.5 * (lo + hi), l),
+            SlopeCase::CaseIII
+        );
+        assert_eq!(case_of_slope(&params, &disc, &psi, hi, l), SlopeCase::CaseII);
+        assert_eq!(case_of_slope(&params, &disc, &psi, hi + 1.0, l), SlopeCase::CaseII);
+    }
+
+    #[test]
+    fn interval_optimum_endpoints_and_interior() {
+        let (params, disc, psi) = setup();
+        let l = 4;
+        let lo = case_window_lo(&params, &disc, &psi, l);
+        let hi = case_window_hi(&params, &disc, &psi, l);
+        assert_eq!(interval_optimum(&params, &disc, &psi, lo - 0.1, l), disc.knot(l - 1));
+        assert_eq!(interval_optimum(&params, &disc, &psi, hi + 0.1, l), disc.knot(l));
+        let mid = 0.5 * (lo + hi);
+        let y = interval_optimum(&params, &disc, &psi, mid, l);
+        assert!(y > disc.knot(l - 1) && y < disc.knot(l), "interior optimum {y}");
+        // First-order condition holds at the interior optimum.
+        let foc = (mid + params.omega) * psi.derivative_at(y) - params.beta;
+        assert!(foc.abs() < 1e-10, "foc residual {foc}");
+    }
+
+    #[test]
+    fn interior_optimum_matches_grid_search() {
+        let (params, disc, psi) = setup();
+        let l = 5;
+        let lo = case_window_lo(&params, &disc, &psi, l);
+        let hi = case_window_hi(&params, &disc, &psi, l);
+        let alpha = 0.3 * lo + 0.7 * hi;
+        let y_closed = interval_optimum(&params, &disc, &psi, alpha, l);
+        // Brute-force the same maximization.
+        let utility = |y: f64| (alpha + params.omega) * psi.eval(y) - params.beta * y;
+        let mut best_y = disc.knot(l - 1);
+        let mut best_u = utility(best_y);
+        let steps = 20_000;
+        for i in 0..=steps {
+            let y = disc.knot(l - 1) + (disc.knot(l) - disc.knot(l - 1)) * i as f64 / steps as f64;
+            let u = utility(y);
+            if u > best_u {
+                best_u = u;
+                best_y = y;
+            }
+        }
+        assert!((y_closed - best_y).abs() < 1e-3, "closed {y_closed} vs grid {best_y}");
+    }
+
+    #[test]
+    fn omega_shifts_windows_down() {
+        let (mut params, disc, psi) = setup();
+        let lo0 = case_window_lo(&params, &disc, &psi, 2);
+        params.omega = 0.5;
+        let lo1 = case_window_lo(&params, &disc, &psi, 2);
+        assert!((lo0 - lo1 - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,186 @@
+use crate::CoreError;
+use dcc_numerics::PiecewiseLinear;
+use std::fmt;
+
+/// A contract: the monotone piecewise-linear map `f` from a worker's
+/// previous-round feedback `q` to this round's compensation (Eq. 1, 6).
+///
+/// Internally a [`PiecewiseLinear`] over the feedback knots
+/// `d_l = ψ(lδ)`; the payment is clamped flat outside the knot range
+/// (below `d_0` the worker earns the base payment `x_0`, above `d_m`
+/// the top payment `x_m` — §IV-C's flat tail).
+///
+/// # Example
+///
+/// ```
+/// use dcc_core::Contract;
+///
+/// # fn main() -> Result<(), dcc_core::CoreError> {
+/// let c = Contract::new(vec![0.0, 2.0, 5.0], vec![0.0, 1.0, 1.5])?;
+/// assert_eq!(c.compensation(1.0), 0.5);
+/// assert_eq!(c.compensation(100.0), 1.5);
+/// assert!(c.is_monotone());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contract {
+    pwl: PiecewiseLinear,
+}
+
+impl Contract {
+    /// Creates a contract from feedback knots `d_0 < … < d_m` and
+    /// payments `x_0 ≤ … ≤ x_m`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::InvalidContract`] if the payments decrease anywhere
+    ///   (the model requires a monotonically increasing contract, §II-A)
+    ///   or any payment is negative.
+    /// - [`CoreError::Numerics`] if the knots are malformed (non-finite,
+    ///   not strictly increasing, fewer than two).
+    pub fn new(feedback_knots: Vec<f64>, payments: Vec<f64>) -> Result<Self, CoreError> {
+        if payments.iter().any(|&x| x < 0.0) {
+            return Err(CoreError::InvalidContract(
+                "payments must be nonnegative".into(),
+            ));
+        }
+        if payments.windows(2).any(|w| w[1] < w[0] - 1e-12) {
+            return Err(CoreError::InvalidContract(
+                "payments must be nondecreasing in feedback".into(),
+            ));
+        }
+        let pwl = PiecewiseLinear::new(feedback_knots, payments)?;
+        Ok(Contract { pwl })
+    }
+
+    /// The zero contract over `[d_lo, d_hi]`: pays nothing regardless of
+    /// feedback. Used for workers the requester declines to incentivize
+    /// (negative feedback weight).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Numerics`] if `d_lo >= d_hi`.
+    pub fn zero(d_lo: f64, d_hi: f64) -> Result<Self, CoreError> {
+        let pwl = PiecewiseLinear::constant(d_lo, d_hi, 0.0)?;
+        Ok(Contract { pwl })
+    }
+
+    /// A constant contract paying `amount` regardless of feedback — the
+    /// fixed-payment pricing most platforms use (§I).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidContract`] on a negative amount and
+    /// [`CoreError::Numerics`] if `d_lo >= d_hi`.
+    pub fn fixed(d_lo: f64, d_hi: f64, amount: f64) -> Result<Self, CoreError> {
+        if amount < 0.0 {
+            return Err(CoreError::InvalidContract(
+                "payments must be nonnegative".into(),
+            ));
+        }
+        let pwl = PiecewiseLinear::constant(d_lo, d_hi, amount)?;
+        Ok(Contract { pwl })
+    }
+
+    /// The compensation `ζ(x, q)` for feedback `q` (Eq. 6), clamped flat
+    /// outside the knot range.
+    pub fn compensation(&self, feedback: f64) -> f64 {
+        self.pwl.eval(feedback)
+    }
+
+    /// Feedback knots `d_0, …, d_m`.
+    pub fn feedback_knots(&self) -> &[f64] {
+        self.pwl.knots()
+    }
+
+    /// Payments `x_0, …, x_m` at the knots.
+    pub fn payments(&self) -> &[f64] {
+        self.pwl.values()
+    }
+
+    /// Contract slope `α_l` on the `l`-th feedback segment (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not a valid segment index.
+    pub fn slope(&self, l: usize) -> f64 {
+        self.pwl.slope(l)
+    }
+
+    /// Number of linear pieces.
+    pub fn pieces(&self) -> usize {
+        self.pwl.segments()
+    }
+
+    /// The segment index whose half-open feedback range
+    /// `[d_l, d_{l+1})` contains `feedback`, or `None` outside the knot
+    /// range (where the contract is flat).
+    pub fn segment_of(&self, feedback: f64) -> Option<usize> {
+        self.pwl.segment_of(feedback)
+    }
+
+    /// `true` iff payments never decrease with feedback (always holds for
+    /// contracts built through [`Contract::new`]).
+    pub fn is_monotone(&self) -> bool {
+        self.pwl.is_monotone_nondecreasing()
+    }
+
+    /// The largest payment the contract can ever make (`x_m`).
+    pub fn max_payment(&self) -> f64 {
+        self.pwl.max_value()
+    }
+}
+
+impl fmt::Display for Contract {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "contract{}", self.pwl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_monotonicity() {
+        assert!(Contract::new(vec![0.0, 1.0], vec![1.0, 0.5]).is_err());
+        assert!(Contract::new(vec![0.0, 1.0], vec![-0.1, 0.5]).is_err());
+        assert!(Contract::new(vec![1.0, 0.0], vec![0.0, 0.5]).is_err());
+        assert!(Contract::new(vec![0.0, 1.0], vec![0.0, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn compensation_interpolates_and_clamps() {
+        let c = Contract::new(vec![1.0, 2.0, 4.0], vec![0.0, 2.0, 3.0]).unwrap();
+        assert_eq!(c.compensation(1.5), 1.0);
+        assert_eq!(c.compensation(3.0), 2.5);
+        assert_eq!(c.compensation(0.0), 0.0); // below d_0 -> x_0
+        assert_eq!(c.compensation(9.0), 3.0); // above d_m -> x_m
+    }
+
+    #[test]
+    fn zero_and_fixed_contracts() {
+        let z = Contract::zero(0.0, 10.0).unwrap();
+        assert_eq!(z.compensation(5.0), 0.0);
+        assert_eq!(z.max_payment(), 0.0);
+        let f = Contract::fixed(0.0, 10.0, 2.5).unwrap();
+        assert_eq!(f.compensation(0.0), 2.5);
+        assert_eq!(f.compensation(99.0), 2.5);
+        assert!(Contract::fixed(0.0, 10.0, -1.0).is_err());
+        assert!(Contract::zero(10.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let c = Contract::new(vec![0.0, 2.0, 3.0], vec![0.0, 1.0, 1.0]).unwrap();
+        assert_eq!(c.pieces(), 2);
+        assert_eq!(c.slope(0), 0.5);
+        assert_eq!(c.slope(1), 0.0);
+        assert_eq!(c.feedback_knots(), &[0.0, 2.0, 3.0]);
+        assert_eq!(c.payments(), &[0.0, 1.0, 1.0]);
+        assert!(c.is_monotone());
+        assert_eq!(c.max_payment(), 1.0);
+        assert!(c.to_string().starts_with("contract"));
+    }
+}

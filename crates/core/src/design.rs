@@ -1,0 +1,482 @@
+use crate::effort::fit_effort_function;
+use crate::{
+    solve_subproblems, BipSolution, Contract, CoreError, Discretization, ModelParams, Subproblem,
+};
+use dcc_detect::DetectionResult;
+use dcc_numerics::{percentile, Quadratic};
+use dcc_trace::{ReviewerId, TraceDataset};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of the end-to-end contract design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignConfig {
+    /// Model parameters (μ, β, ω, …).
+    pub params: ModelParams,
+    /// Number of effort intervals `m` per subproblem.
+    pub intervals: usize,
+    /// Quantile (0–100) of a class's observed efforts used as the end of
+    /// its effort region (clamped below the fitted ψ's peak).
+    pub effort_quantile: f64,
+    /// Solve subproblems in parallel.
+    pub parallel: bool,
+    /// When set, non-suspected workers with at least this many reviews
+    /// get an *individual* effort function fitted from their own
+    /// per-review `(effort, feedback)` history instead of the class-level
+    /// fit (falling back to the class fit when their data is degenerate).
+    pub per_worker_fit_min_reviews: Option<usize>,
+}
+
+impl Default for DesignConfig {
+    fn default() -> Self {
+        DesignConfig {
+            params: ModelParams {
+                mu: 1.5,
+                ..ModelParams::default()
+            },
+            intervals: 20,
+            effort_quantile: 95.0,
+            parallel: true,
+            per_worker_fit_min_reviews: None,
+        }
+    }
+}
+
+/// The contract assigned to one worker by [`design_contracts`].
+#[derive(Debug, Clone)]
+pub struct AgentContract {
+    /// The worker.
+    pub worker: ReviewerId,
+    /// The contract (shared with community partners for collusive
+    /// workers, per §III).
+    pub contract: Contract,
+    /// This worker's share of the induced compensation (meta-worker
+    /// payments are split equally among members).
+    pub compensation: f64,
+    /// The effort the contract induces (the worker's share of the
+    /// meta-worker effort for communities).
+    pub induced_effort: f64,
+    /// The subproblem id that produced this contract.
+    pub subproblem: usize,
+    /// The selected target interval `k_opt` (Eq. 43), `None` for the zero
+    /// contract.
+    pub k_opt: Option<usize>,
+    /// The effort-interval width δ used by the subproblem (needed to
+    /// evaluate the Lemma 4.3 lower bound `β(k−1)δ` per worker).
+    pub delta: f64,
+    /// Whether the worker was treated as malicious (suspected).
+    pub suspected: bool,
+    /// Number of collusion partners the design assumed (`A_i`).
+    pub partners: usize,
+}
+
+/// The full output of the §IV design flow.
+#[derive(Debug, Clone)]
+pub struct ContractDesign {
+    /// Per-worker contract assignments, indexable by worker.
+    pub agents: Vec<AgentContract>,
+    /// The underlying decomposition solution.
+    pub solution: BipSolution,
+    /// Fitted class effort functions: (honest, non-collusive-malicious,
+    /// community-aggregate).
+    pub class_psis: (Quadratic, Quadratic, Quadratic),
+    /// The requester's designed per-round utility `Σ (w q − μ c)`.
+    pub total_requester_utility: f64,
+}
+
+impl ContractDesign {
+    /// The assignment for one worker.
+    pub fn for_worker(&self, worker: ReviewerId) -> Option<&AgentContract> {
+        self.agents.iter().find(|a| a.worker == worker)
+    }
+
+    /// Compensations of the given workers, in order (missing workers are
+    /// skipped).
+    pub fn compensations_of(&self, workers: &[ReviewerId]) -> Vec<f64> {
+        let by_id: HashMap<ReviewerId, f64> = self
+            .agents
+            .iter()
+            .map(|a| (a.worker, a.compensation))
+            .collect();
+        workers.iter().filter_map(|w| by_id.get(w).copied()).collect()
+    }
+}
+
+/// Chooses a per-class effort region: the `quantile` of observed efforts,
+/// clamped to stay strictly below the fitted peak (the model needs ψ
+/// increasing on the whole region).
+fn effort_region(
+    points: &[(f64, f64)],
+    psi: &Quadratic,
+    quantile: f64,
+) -> Result<f64, CoreError> {
+    let efforts: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let q = percentile(&efforts, quantile)?;
+    let peak = psi.peak().unwrap_or(f64::INFINITY);
+    let y_max = q.min(0.9 * peak);
+    if y_max <= 0.0 {
+        return Err(CoreError::InvalidInput(
+            "observed efforts give an empty effort region".into(),
+        ));
+    }
+    Ok(y_max)
+}
+
+/// Runs the complete §IV design flow:
+///
+/// 1. split workers by the detection result (non-suspected ⇒ honest,
+///    suspected singletons ⇒ non-collusive malicious, communities ⇒
+///    collusive meta-workers),
+/// 2. fit each group's effort function (§IV-B; communities are fitted on
+///    their aggregate `(Σ effort, Σ feedback)` points when at least 3
+///    communities exist, else they fall back to the per-worker fit),
+/// 3. decompose into subproblems with per-worker Eq. 5 weights and solve
+///    them (in parallel) with the §IV-C algorithm,
+/// 4. assign contracts back to workers; community members share the
+///    community's contract and split its payment equally.
+///
+/// # Errors
+///
+/// Propagates fitting and solver failures; rejects traces whose classes
+/// are too small to fit.
+pub fn design_contracts(
+    trace: &TraceDataset,
+    detection: &DetectionResult,
+    config: &DesignConfig,
+) -> Result<ContractDesign, CoreError> {
+    config.params.validate()?;
+    if config.intervals == 0 {
+        return Err(CoreError::InvalidParams("intervals must be >= 1".into()));
+    }
+
+    let suspected: HashSet<ReviewerId> = detection.suspected.iter().copied().collect();
+    let in_community: HashSet<ReviewerId> = detection
+        .collusion
+        .communities
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
+    let partner_counts = detection.collusion.partner_counts();
+
+    // --- Group observation points -------------------------------------
+    let mut honest_points = Vec::new();
+    let mut ncm_points = Vec::new();
+    let mut cm_points = Vec::new();
+    let mut worker_points: HashMap<ReviewerId, (f64, f64)> = HashMap::new();
+    for reviewer in trace.reviewers() {
+        let reviews = trace.reviews_by(reviewer.id);
+        if reviews.is_empty() {
+            continue;
+        }
+        let n = reviews.len() as f64;
+        let eff = reviews.iter().map(|r| trace.effort_of(r)).sum::<f64>() / n;
+        let fb = reviews.iter().map(|r| trace.feedback_of(r)).sum::<f64>() / n;
+        worker_points.insert(reviewer.id, (eff, fb));
+        if !suspected.contains(&reviewer.id) {
+            honest_points.push((eff, fb));
+        } else if in_community.contains(&reviewer.id) {
+            cm_points.push((eff, fb));
+        } else {
+            ncm_points.push((eff, fb));
+        }
+    }
+
+    let honest_fit = fit_effort_function(&honest_points)?;
+    let ncm_fit = if ncm_points.len() >= 3 {
+        fit_effort_function(&ncm_points)?
+    } else {
+        honest_fit.clone()
+    };
+    // Community aggregate points: (sum effort, sum feedback) per community.
+    let community_points: Vec<(f64, f64)> = detection
+        .collusion
+        .communities
+        .iter()
+        .map(|members| {
+            members
+                .iter()
+                .filter_map(|m| worker_points.get(m))
+                .fold((0.0, 0.0), |acc, p| (acc.0 + p.0, acc.1 + p.1))
+        })
+        .collect();
+    let cm_fit = if community_points.len() >= 3 {
+        fit_effort_function(&community_points)?
+    } else if cm_points.len() >= 3 {
+        fit_effort_function(&cm_points)?
+    } else {
+        ncm_fit.clone()
+    };
+
+    // --- Effort regions and discretizations ----------------------------
+    let honest_disc = Discretization::covering(
+        config.intervals,
+        effort_region(&honest_points, &honest_fit.psi, config.effort_quantile)?,
+    )?;
+    let ncm_disc = if ncm_points.len() >= 3 {
+        Discretization::covering(
+            config.intervals,
+            effort_region(&ncm_points, &ncm_fit.psi, config.effort_quantile)?,
+        )?
+    } else {
+        honest_disc
+    };
+    let cm_disc = if community_points.len() >= 3 {
+        Discretization::covering(
+            config.intervals,
+            effort_region(&community_points, &cm_fit.psi, config.effort_quantile)?,
+        )?
+    } else {
+        ncm_disc
+    };
+
+    // --- Subproblems ----------------------------------------------------
+    let mut subproblems = Vec::new();
+    let mut next_id = 0usize;
+    for reviewer in trace.reviewers() {
+        if in_community.contains(&reviewer.id) || !worker_points.contains_key(&reviewer.id) {
+            continue;
+        }
+        let weight = detection.weights.weight(reviewer.id).unwrap_or(0.0);
+        let is_suspect = suspected.contains(&reviewer.id);
+
+        // Individual fit for prolific non-suspected workers, when enabled.
+        let individual = match (config.per_worker_fit_min_reviews, is_suspect) {
+            (Some(min_reviews), false) => {
+                let reviews = trace.reviews_by(reviewer.id);
+                if reviews.len() >= min_reviews {
+                    let points: Vec<(f64, f64)> = reviews
+                        .iter()
+                        .map(|r| (trace.effort_of(r), trace.feedback_of(r)))
+                        .collect();
+                    fit_effort_function(&points).ok().and_then(|fit| {
+                        let efforts: Vec<f64> = points.iter().map(|p| p.0).collect();
+                        let q = percentile(&efforts, config.effort_quantile).ok()?;
+                        let peak = fit.psi.peak().unwrap_or(f64::INFINITY);
+                        let y_max = q.min(0.9 * peak);
+                        if y_max > 0.0 {
+                            Discretization::covering(config.intervals, y_max)
+                                .ok()
+                                .map(|d| (fit.psi, d))
+                        } else {
+                            None
+                        }
+                    })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        let (psi, disc) = individual.unwrap_or(if is_suspect {
+            (ncm_fit.psi, ncm_disc)
+        } else {
+            (honest_fit.psi, honest_disc)
+        });
+
+        subproblems.push(Subproblem {
+            id: next_id,
+            members: vec![reviewer.id.index()],
+            omega: if is_suspect { config.params.omega } else { 0.0 },
+            weight,
+            psi,
+            disc,
+        });
+        next_id += 1;
+    }
+    let first_community_subproblem = next_id;
+    for members in &detection.collusion.communities {
+        let weights: Vec<f64> = members
+            .iter()
+            .filter_map(|m| detection.weights.weight(*m))
+            .collect();
+        let weight = if weights.is_empty() {
+            0.0
+        } else {
+            weights.iter().sum::<f64>() / weights.len() as f64
+        };
+        subproblems.push(Subproblem {
+            id: next_id,
+            members: members.iter().map(|m| m.index()).collect(),
+            omega: config.params.omega,
+            weight,
+            psi: cm_fit.psi,
+            disc: cm_disc,
+        });
+        next_id += 1;
+    }
+
+    let solution = solve_subproblems(&subproblems, &config.params, config.parallel)?;
+
+    // --- Per-worker assignment ------------------------------------------
+    let delta_of = |sp_id: usize| {
+        subproblems
+            .iter()
+            .find(|sp| sp.id == sp_id)
+            .map(|sp| sp.disc.delta())
+            .unwrap_or(0.0)
+    };
+    let mut agents = Vec::with_capacity(trace.reviewers().len());
+    for sol in &solution.solutions {
+        let share = sol.members.len().max(1) as f64;
+        let is_community = sol.id >= first_community_subproblem;
+        for &member in &sol.members {
+            let worker = ReviewerId(member);
+            agents.push(AgentContract {
+                worker,
+                contract: sol.built.contract().clone(),
+                compensation: sol.built.compensation() / share,
+                induced_effort: sol.built.induced_effort() / share,
+                subproblem: sol.id,
+                k_opt: sol.built.k_opt(),
+                delta: delta_of(sol.id),
+                suspected: is_community || suspected.contains(&worker),
+                partners: partner_counts.get(&worker).copied().unwrap_or(0),
+            });
+        }
+    }
+    agents.sort_by_key(|a| a.worker);
+
+    let total = solution.total_requester_utility;
+    Ok(ContractDesign {
+        agents,
+        solution,
+        class_psis: (honest_fit.psi, ncm_fit.psi, cm_fit.psi),
+        total_requester_utility: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcc_detect::{run_pipeline, PipelineConfig};
+    use dcc_trace::{SyntheticConfig, WorkerClass};
+
+    fn designed() -> (TraceDataset, ContractDesign) {
+        let trace = SyntheticConfig::small(101).generate();
+        let detection = run_pipeline(&trace, PipelineConfig::default());
+        let design = design_contracts(&trace, &detection, &DesignConfig::default()).unwrap();
+        (trace, design)
+    }
+
+    #[test]
+    fn every_reviewing_worker_gets_a_contract() {
+        let (trace, design) = designed();
+        let reviewing = trace
+            .reviewers()
+            .iter()
+            .filter(|r| !trace.reviews_by(r.id).is_empty())
+            .count();
+        assert_eq!(design.agents.len(), reviewing);
+        for a in &design.agents {
+            assert!(a.contract.is_monotone());
+            assert!(a.compensation >= 0.0);
+            assert!(a.compensation.is_finite());
+        }
+    }
+
+    #[test]
+    fn community_members_share_one_contract() {
+        let (trace, design) = designed();
+        for campaign in trace.campaigns() {
+            let assignments: Vec<&AgentContract> = campaign
+                .members
+                .iter()
+                .filter_map(|m| design.for_worker(*m))
+                .collect();
+            assert_eq!(assignments.len(), campaign.members.len());
+            let first = assignments[0];
+            for a in &assignments {
+                assert_eq!(a.subproblem, first.subproblem, "same subproblem");
+                assert_eq!(a.contract, first.contract, "same contract (§III)");
+                assert!((a.compensation - first.compensation).abs() < 1e-12, "equal split");
+                assert!(a.suspected);
+                assert_eq!(a.partners, campaign.members.len() - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fig8b_shape_honest_paid_most() {
+        let (trace, design) = designed();
+        let mean_comp = |class: WorkerClass| {
+            let comps = design.compensations_of(&trace.workers_of_class(class));
+            comps.iter().sum::<f64>() / comps.len().max(1) as f64
+        };
+        let honest = mean_comp(WorkerClass::Honest);
+        let ncm = mean_comp(WorkerClass::NonCollusiveMalicious);
+        let cm = mean_comp(WorkerClass::CollusiveMalicious);
+        assert!(honest > ncm, "honest {honest} <= ncm {ncm}");
+        assert!(ncm >= cm, "ncm {ncm} < cm {cm}");
+    }
+
+    #[test]
+    fn generous_requester_pays_weakly_more() {
+        // Fig. 8(b)'s mu effect: lower mu (a more generous requester)
+        // never lowers total compensation.
+        let trace = SyntheticConfig::small(103).generate();
+        let detection = run_pipeline(&trace, PipelineConfig::default());
+        let mut totals = Vec::new();
+        for mu in [2.0, 1.5, 1.0] {
+            let config = DesignConfig {
+                params: ModelParams {
+                    mu,
+                    ..ModelParams::default()
+                },
+                ..DesignConfig::default()
+            };
+            let design = design_contracts(&trace, &detection, &config).unwrap();
+            let total: f64 = design.agents.iter().map(|a| a.compensation).sum();
+            totals.push(total);
+        }
+        assert!(totals[0] <= totals[1] + 1e-9, "mu 2.0 vs 1.5: {totals:?}");
+        assert!(totals[1] <= totals[2] + 1e-9, "mu 1.5 vs 1.0: {totals:?}");
+    }
+
+    #[test]
+    fn per_worker_fits_apply_to_prolific_workers() {
+        let mut cfg = SyntheticConfig::small(107);
+        cfg.n_honest = 400;
+        cfg.prolific_fraction = 0.1;
+        cfg.n_products = 1_500;
+        let trace = cfg.generate();
+        let detection = run_pipeline(&trace, PipelineConfig::default());
+        let base = DesignConfig::default();
+        let individual = DesignConfig {
+            per_worker_fit_min_reviews: Some(20),
+            ..base
+        };
+        let d_class = design_contracts(&trace, &detection, &base).unwrap();
+        let d_indiv = design_contracts(&trace, &detection, &individual).unwrap();
+        assert_eq!(d_class.agents.len(), d_indiv.agents.len());
+
+        // At least one prolific worker's contract differs from the
+        // class-level design (its own curve differs from the pool's).
+        let prolific = trace.prolific_workers(WorkerClass::Honest, 20);
+        assert!(!prolific.is_empty(), "need prolific workers for this test");
+        let changed = prolific
+            .iter()
+            .filter(|id| {
+                let a = d_class.for_worker(**id).unwrap();
+                let b = d_indiv.for_worker(**id).unwrap();
+                a.contract != b.contract
+            })
+            .count();
+        assert!(changed > 0, "individual fitting changed no contracts");
+        // Everything stays structurally valid.
+        for a in &d_indiv.agents {
+            assert!(a.contract.is_monotone());
+            assert!(a.compensation.is_finite() && a.compensation >= 0.0);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let (trace, _) = designed();
+        let detection = run_pipeline(&trace, PipelineConfig::default());
+        let bad = DesignConfig {
+            intervals: 0,
+            ..DesignConfig::default()
+        };
+        assert!(design_contracts(&trace, &detection, &bad).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+use dcc_numerics::NumericsError;
+use std::fmt;
+
+/// Errors produced by the contract-design core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A model or discretization parameter was outside its valid domain.
+    InvalidParams(String),
+    /// The effort function violates the model's assumptions (§II requires
+    /// a concave, twice-differentiable ψ, increasing on the discretized
+    /// effort region).
+    InvalidEffortFunction(String),
+    /// A constructed contract violated an invariant (monotonicity, knot
+    /// ordering).
+    InvalidContract(String),
+    /// Error from the numeric substrate.
+    Numerics(NumericsError),
+    /// Input collections disagreed in length or were empty where content
+    /// was required.
+    InvalidInput(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParams(m) => write!(f, "invalid parameters: {m}"),
+            CoreError::InvalidEffortFunction(m) => write!(f, "invalid effort function: {m}"),
+            CoreError::InvalidContract(m) => write!(f, "invalid contract: {m}"),
+            CoreError::Numerics(e) => write!(f, "numerics error: {e}"),
+            CoreError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for CoreError {
+    fn from(e: NumericsError) -> Self {
+        CoreError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::InvalidParams("mu must be positive".into());
+        assert_eq!(e.to_string(), "invalid parameters: mu must be positive");
+        let n = CoreError::from(NumericsError::SingularSystem);
+        assert!(n.source().is_some());
+        assert_eq!(n.to_string(), "numerics error: linear system is singular");
+    }
+}

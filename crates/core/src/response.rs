@@ -1,0 +1,247 @@
+use crate::{Contract, CoreError, ModelParams};
+use dcc_numerics::Quadratic;
+
+/// A worker's exact best response to a contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BestResponse {
+    /// The utility-maximizing effort level `y*`.
+    pub effort: f64,
+    /// Feedback produced at that effort, `q = ψ(y*)`.
+    pub feedback: f64,
+    /// Compensation earned, `f(q)`.
+    pub compensation: f64,
+    /// The worker's utility `f(ψ(y*)) + ωψ(y*) − βy*` (Eq. 14; honest is
+    /// the ω = 0 special case, Eq. 11).
+    pub utility: f64,
+}
+
+/// Computes a worker's exact best response to an arbitrary monotone
+/// piecewise-linear contract.
+///
+/// The worker maximizes `U(y) = f(ψ(y)) + ωψ(y) − βy` over `y ≥ 0`. On
+/// each feedback segment of `f` the composite is smooth with closed-form
+/// interior optimum `ψ′⁻¹(β/(α_l + ω))`; beyond the last knot the
+/// contract is flat, leaving `ωψ(y) − βy` with interior optimum
+/// `ψ′⁻¹(β/ω)` (or nothing when ω = 0). The function evaluates every
+/// segment endpoint and admissible interior optimum and returns the best.
+///
+/// This is used to *verify* the incentives of constructed candidates
+/// rather than assuming the theory holds, and to drive the simulation.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidParams`] on invalid parameters.
+/// - [`CoreError::InvalidEffortFunction`] if ψ is not strictly concave or
+///   not increasing at `y = 0` (a worker whose feedback falls with any
+///   effort has a degenerate response of 0).
+pub fn best_response(
+    params: &ModelParams,
+    psi: &Quadratic,
+    contract: &Contract,
+) -> Result<BestResponse, CoreError> {
+    params.validate()?;
+    if psi.r2() >= 0.0 {
+        return Err(CoreError::InvalidEffortFunction(format!(
+            "psi must be strictly concave, got r2 = {}",
+            psi.r2()
+        )));
+    }
+    if psi.derivative_at(0.0) <= 0.0 {
+        return Err(CoreError::InvalidEffortFunction(
+            "psi must be increasing at 0".into(),
+        ));
+    }
+
+    // The worker never exerts effort past the feedback peak: beyond it,
+    // feedback (and hence pay) falls while effort cost rises.
+    let y_peak = psi.peak().expect("r2 < 0 has a peak");
+
+    let utility = |y: f64| {
+        let q = psi.eval(y);
+        contract.compensation(q) + params.omega * q - params.beta * y
+    };
+
+    let mut best = BestResponse {
+        effort: 0.0,
+        feedback: psi.eval(0.0),
+        compensation: contract.compensation(psi.eval(0.0)),
+        utility: utility(0.0),
+    };
+    let mut consider = |y: f64| {
+        if !(0.0..=y_peak).contains(&y) {
+            return;
+        }
+        let u = utility(y);
+        if u > best.utility + 1e-15 {
+            let q = psi.eval(y);
+            best = BestResponse {
+                effort: y,
+                feedback: q,
+                compensation: contract.compensation(q),
+                utility: u,
+            };
+        }
+    };
+
+    let knots = contract.feedback_knots();
+    // Effort levels corresponding to the feedback knots (those below
+    // psi(0) map to effort 0; those above the peak feedback are
+    // unreachable).
+    let q0 = psi.eval(0.0);
+    let q_peak = psi.eval(y_peak);
+    let mut segment_bounds: Vec<f64> = Vec::with_capacity(knots.len() + 2);
+    segment_bounds.push(0.0);
+    for &d in knots {
+        if d > q0 && d < q_peak {
+            let y = psi
+                .inverse_on_increasing(d)
+                .expect("d within attainable feedback range");
+            segment_bounds.push(y.max(0.0));
+        }
+    }
+    segment_bounds.push(y_peak);
+    segment_bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    segment_bounds.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    for window in segment_bounds.windows(2) {
+        let (lo, hi) = (window[0], window[1]);
+        consider(lo);
+        consider(hi);
+        // Exact segment slope in feedback space at the midpoint (flat
+        // outside the knot range).
+        let mid_q = psi.eval(0.5 * (lo + hi));
+        let alpha = contract
+            .segment_of(mid_q)
+            .map(|s| contract.slope(s))
+            .unwrap_or(0.0);
+        let effective = alpha.max(0.0) + params.omega;
+        if effective > 0.0 {
+            let target = params.beta / effective;
+            if let Ok(y) = psi.inverse_derivative(target) {
+                if y > lo && y < hi {
+                    consider(y);
+                }
+            }
+        }
+    }
+
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_candidate, Discretization};
+
+    fn setup(omega: f64) -> (ModelParams, Discretization, Quadratic) {
+        let params = ModelParams {
+            omega,
+            ..ModelParams::default()
+        };
+        let disc = Discretization::new(10, 1.0).unwrap();
+        let psi = Quadratic::new(-0.05, 2.0, 0.5);
+        (params, disc, psi)
+    }
+
+    /// Dense-grid reference maximizer for cross-checking.
+    fn grid_best(params: &ModelParams, psi: &Quadratic, contract: &Contract) -> (f64, f64) {
+        let y_peak = psi.peak().unwrap();
+        let mut best = (0.0, f64::NEG_INFINITY);
+        let steps = 200_000;
+        for i in 0..=steps {
+            let y = y_peak * i as f64 / steps as f64;
+            let q = psi.eval(y);
+            let u = contract.compensation(q) + params.omega * q - params.beta * y;
+            if u > best.1 {
+                best = (y, u);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn zero_contract_honest_worker_exerts_nothing() {
+        let (params, _, psi) = setup(0.0);
+        let contract = Contract::zero(psi.eval(0.0), psi.eval(10.0)).unwrap();
+        let br = best_response(&params, &psi, &contract).unwrap();
+        assert_eq!(br.effort, 0.0);
+        assert_eq!(br.compensation, 0.0);
+    }
+
+    #[test]
+    fn zero_contract_malicious_worker_self_motivates() {
+        let (params, _, psi) = setup(1.0);
+        let contract = Contract::zero(psi.eval(0.0), psi.eval(10.0)).unwrap();
+        let br = best_response(&params, &psi, &contract).unwrap();
+        // Autonomous optimum: omega * psi'(y) = beta  =>  psi'(y) = 1.
+        let expected = psi.inverse_derivative(params.beta / params.omega).unwrap();
+        assert!((br.effort - expected).abs() < 1e-6, "effort {} vs {expected}", br.effort);
+        assert_eq!(br.compensation, 0.0);
+        assert!(br.utility > 0.0);
+    }
+
+    #[test]
+    fn fixed_contract_adds_no_incentive() {
+        let (params, _, psi) = setup(0.0);
+        let flat = Contract::fixed(psi.eval(0.0), psi.eval(10.0), 3.0).unwrap();
+        let br = best_response(&params, &psi, &flat).unwrap();
+        assert_eq!(br.effort, 0.0, "flat pay cannot induce honest effort");
+        assert_eq!(br.compensation, 3.0);
+    }
+
+    #[test]
+    fn candidate_contract_induces_target_interval() {
+        // The central §IV-C property: the best response to xi^(k) falls in
+        // [(k-1)delta, k delta] and matches the Eq. 31 closed form.
+        for omega in [0.0, 0.3] {
+            let (params, disc, psi) = setup(omega);
+            for k in 1..=disc.intervals() {
+                let cand = build_candidate(&params, &disc, &psi, k).unwrap();
+                let br = best_response(&params, &psi, &cand.contract).unwrap();
+                assert!(
+                    br.effort >= disc.knot(k - 1) - 1e-6 && br.effort <= disc.knot(k) + 1e-6,
+                    "omega={omega} k={k}: best response {} outside target interval",
+                    br.effort
+                );
+                assert!(
+                    (br.effort - cand.predicted_effort).abs() < 1e-6,
+                    "omega={omega} k={k}: response {} vs predicted {}",
+                    br.effort,
+                    cand.predicted_effort
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_grid_search_on_candidates() {
+        let (params, disc, psi) = setup(0.2);
+        for k in [1, 4, 9] {
+            let cand = build_candidate(&params, &disc, &psi, k).unwrap();
+            let br = best_response(&params, &psi, &cand.contract).unwrap();
+            let (gy, gu) = grid_best(&params, &psi, &cand.contract);
+            assert!((br.effort - gy).abs() < 1e-3, "k={k}: {} vs grid {gy}", br.effort);
+            assert!(br.utility >= gu - 1e-6, "k={k}: utility {} vs grid {gu}", br.utility);
+        }
+    }
+
+    #[test]
+    fn worker_utility_is_individually_rational() {
+        // Built candidates always leave the worker at least the utility of
+        // zero effort.
+        let (params, disc, psi) = setup(0.0);
+        for k in 1..=disc.intervals() {
+            let cand = build_candidate(&params, &disc, &psi, k).unwrap();
+            let br = best_response(&params, &psi, &cand.contract).unwrap();
+            assert!(br.utility >= -1e-12, "k={k}: negative utility {}", br.utility);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_psi() {
+        let (params, _, _) = setup(0.0);
+        let contract = Contract::zero(0.0, 10.0).unwrap();
+        assert!(best_response(&params, &Quadratic::new(0.1, 1.0, 0.0), &contract).is_err());
+        assert!(best_response(&params, &Quadratic::new(-0.1, -1.0, 0.0), &contract).is_err());
+    }
+}

@@ -1,0 +1,246 @@
+use crate::{Contract, CoreError, ModelParams};
+use dcc_numerics::Quadratic;
+
+/// A worker's attitude toward payment risk/size: utility of money
+/// `u(c) = c^exponent` with `exponent ∈ (0, 1]` (CRRA-style; `1` is the
+/// paper's risk-neutral worker, smaller exponents value marginal pay
+/// less).
+///
+/// The paper assumes risk-neutral workers; this extension quantifies how
+/// much extra incentive a concave money-utility demands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiskProfile {
+    exponent: f64,
+}
+
+impl RiskProfile {
+    /// A risk-neutral profile (`u(c) = c`).
+    pub fn neutral() -> Self {
+        RiskProfile { exponent: 1.0 }
+    }
+
+    /// Creates a profile with money-utility `u(c) = c^exponent`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] unless `exponent ∈ (0, 1]`.
+    pub fn new(exponent: f64) -> Result<Self, CoreError> {
+        if !(exponent.is_finite() && 0.0 < exponent && exponent <= 1.0) {
+            return Err(CoreError::InvalidParams(format!(
+                "risk exponent must be in (0, 1], got {exponent}"
+            )));
+        }
+        Ok(RiskProfile { exponent })
+    }
+
+    /// The money-utility `u(c) = c^exponent`.
+    pub fn money_utility(&self, compensation: f64) -> f64 {
+        compensation.max(0.0).powf(self.exponent)
+    }
+
+    /// The exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+}
+
+/// A risk-adjusted best response: the worker maximizes
+/// `u(f(ψ(y))) + ω·ψ(y) − β·y` with concave money-utility `u`.
+///
+/// No closed form exists once `u` is nonlinear, so the optimum is found
+/// by a dense grid over `[0, peak]` refined by golden-section search on
+/// the best bracket — accurate to ~1e-6 of the peak effort.
+///
+/// # Errors
+///
+/// Returns model-validity errors as [`crate::best_response`] does.
+pub fn best_response_risk_averse(
+    params: &ModelParams,
+    psi: &Quadratic,
+    contract: &Contract,
+    risk: &RiskProfile,
+) -> Result<crate::BestResponse, CoreError> {
+    params.validate()?;
+    if psi.r2() >= 0.0 || psi.derivative_at(0.0) <= 0.0 {
+        return Err(CoreError::InvalidEffortFunction(
+            "psi must be strictly concave and increasing at 0".into(),
+        ));
+    }
+    let y_peak = psi.peak().expect("r2 < 0 has a peak");
+    let utility = |y: f64| {
+        let q = psi.eval(y);
+        risk.money_utility(contract.compensation(q)) + params.omega * q - params.beta * y
+    };
+
+    // Coarse grid.
+    let grid = 2_000usize;
+    let mut best_i = 0usize;
+    let mut best_u = f64::NEG_INFINITY;
+    for i in 0..=grid {
+        let y = y_peak * i as f64 / grid as f64;
+        let u = utility(y);
+        if u > best_u {
+            best_u = u;
+            best_i = i;
+        }
+    }
+    // Golden-section refinement on the bracketing cell.
+    let mut lo = y_peak * best_i.saturating_sub(1) as f64 / grid as f64;
+    let mut hi = y_peak * (best_i + 1).min(grid) as f64 / grid as f64;
+    let phi = 0.618_033_988_749_894_9;
+    for _ in 0..60 {
+        let a = hi - phi * (hi - lo);
+        let b = lo + phi * (hi - lo);
+        if utility(a) >= utility(b) {
+            hi = b;
+        } else {
+            lo = a;
+        }
+    }
+    let y = 0.5 * (lo + hi);
+    let y = if utility(y) >= best_u { y } else { y_peak * best_i as f64 / grid as f64 };
+    let q = psi.eval(y);
+    Ok(crate::BestResponse {
+        effort: y,
+        feedback: q,
+        compensation: contract.compensation(q),
+        utility: utility(y),
+    })
+}
+
+/// The *risk premium* a contract implicitly pays: the drop in induced
+/// effort when the worker's risk profile falls from neutral to `risk`,
+/// together with both responses. Requesters can use this to decide how
+/// much steeper a contract must be for risk-averse pools.
+///
+/// # Errors
+///
+/// Propagates best-response failures.
+pub fn risk_effort_drop(
+    params: &ModelParams,
+    psi: &Quadratic,
+    contract: &Contract,
+    risk: &RiskProfile,
+) -> Result<(crate::BestResponse, crate::BestResponse), CoreError> {
+    let neutral = crate::best_response(params, psi, contract)?;
+    let averse = best_response_risk_averse(params, psi, contract, risk)?;
+    Ok((neutral, averse))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{best_response, ContractBuilder, Discretization};
+
+    fn setup() -> (ModelParams, Quadratic, Contract) {
+        let params = ModelParams {
+            mu: 1.0,
+            omega: 0.0,
+            ..ModelParams::default()
+        };
+        let psi = Quadratic::new(-0.15, 2.5, 1.0);
+        let contract = ContractBuilder::new(
+            params,
+            Discretization::covering(20, 7.0).unwrap(),
+            psi,
+        )
+        .honest()
+        .weight(1.5)
+        .build()
+        .unwrap()
+        .contract()
+        .clone();
+        (params, psi, contract)
+    }
+
+    #[test]
+    fn profile_validation() {
+        assert!(RiskProfile::new(0.0).is_err());
+        assert!(RiskProfile::new(1.1).is_err());
+        assert!(RiskProfile::new(f64::NAN).is_err());
+        assert_eq!(RiskProfile::neutral().exponent(), 1.0);
+        let p = RiskProfile::new(0.5).unwrap();
+        assert_eq!(p.money_utility(4.0), 2.0);
+        assert_eq!(p.money_utility(-1.0), 0.0);
+    }
+
+    #[test]
+    fn neutral_risk_matches_closed_form_response() {
+        let (params, psi, contract) = setup();
+        let closed = best_response(&params, &psi, &contract).unwrap();
+        let numeric =
+            best_response_risk_averse(&params, &psi, &contract, &RiskProfile::neutral())
+                .unwrap();
+        assert!(
+            (closed.effort - numeric.effort).abs() < 1e-3,
+            "closed {} vs numeric {}",
+            closed.effort,
+            numeric.effort
+        );
+        assert!((closed.utility - numeric.utility).abs() < 1e-4);
+    }
+
+    #[test]
+    fn risk_aversion_weakly_lowers_effort() {
+        let (params, psi, contract) = setup();
+        let mut prev = f64::INFINITY;
+        for exponent in [1.0, 0.8, 0.6, 0.4] {
+            let risk = RiskProfile::new(exponent).unwrap();
+            let br = best_response_risk_averse(&params, &psi, &contract, &risk).unwrap();
+            assert!(
+                br.effort <= prev + 1e-6,
+                "exponent {exponent}: effort {} rose above {prev}",
+                br.effort
+            );
+            prev = br.effort;
+        }
+        // Strong enough aversion visibly cuts effort relative to neutral.
+        let (neutral, averse) = risk_effort_drop(
+            &params,
+            &psi,
+            &contract,
+            &RiskProfile::new(0.4).unwrap(),
+        )
+        .unwrap();
+        assert!(
+            averse.effort < neutral.effort,
+            "averse {} vs neutral {}",
+            averse.effort,
+            neutral.effort
+        );
+    }
+
+    #[test]
+    fn steeper_contract_restores_risk_averse_effort() {
+        // The design answer to risk aversion: pay more per unit feedback.
+        let (params, psi, contract) = setup();
+        let risk = RiskProfile::new(0.5).unwrap();
+        let base = best_response_risk_averse(&params, &psi, &contract, &risk).unwrap();
+        // Double every payment.
+        let doubled = Contract::new(
+            contract.feedback_knots().to_vec(),
+            contract.payments().iter().map(|x| 2.0 * x).collect(),
+        )
+        .unwrap();
+        let boosted = best_response_risk_averse(&params, &psi, &doubled, &risk).unwrap();
+        assert!(
+            boosted.effort > base.effort,
+            "doubling pay must raise risk-averse effort ({} vs {})",
+            boosted.effort,
+            base.effort
+        );
+    }
+
+    #[test]
+    fn invalid_psi_rejected() {
+        let (params, _, contract) = setup();
+        let convex = Quadratic::new(0.1, 1.0, 0.0);
+        assert!(best_response_risk_averse(
+            &params,
+            &convex,
+            &contract,
+            &RiskProfile::neutral()
+        )
+        .is_err());
+    }
+}

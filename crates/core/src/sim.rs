@@ -1,0 +1,325 @@
+use crate::{best_response, Contract, CoreError, ModelParams};
+use dcc_numerics::Quadratic;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One agent in the repeated Stackelberg game: an individual worker or a
+/// collusive community acting as a meta-worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentSpec {
+    /// Caller-chosen identifier.
+    pub id: usize,
+    /// Number of underlying workers (communities > 1).
+    pub members: usize,
+    /// Feedback weight ω in the agent's own utility (0 for honest).
+    pub omega: f64,
+    /// The requester's feedback weight `w` for this agent (Eq. 5).
+    pub weight: f64,
+    /// The agent's *true* effort→feedback response.
+    pub psi: Quadratic,
+    /// The contract offered to the agent.
+    pub contract: Contract,
+    /// Whether the agent participates at all; excluded agents (the
+    /// baseline of Fig. 8c) produce no feedback and receive no pay.
+    pub in_system: bool,
+}
+
+/// Per-round accounting of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundRecord {
+    /// Round index `t`.
+    pub round: usize,
+    /// The requester's benefit `p^t = Σ w_i q_i^t` (Eq. 4).
+    pub benefit: f64,
+    /// Total compensation paid out this round, `Σ c_i^t` (lagged: pay for
+    /// round `t` is determined by feedback from round `t−1`, Eq. 1).
+    pub payment: f64,
+    /// The requester's utility `p^t − μ Σ c_i^t` (Eq. 7).
+    pub requester_utility: f64,
+}
+
+/// Aggregated outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationOutcome {
+    /// Per-round records in order.
+    pub rounds: Vec<RoundRecord>,
+    /// Sum of per-round requester utilities.
+    pub cumulative_requester_utility: f64,
+    /// Mean per-round requester utility.
+    pub mean_round_utility: f64,
+    /// Total compensation each agent received across all rounds, indexed
+    /// like the input agents.
+    pub agent_compensation: Vec<f64>,
+    /// Mean per-round effort of each agent.
+    pub agent_effort: Vec<f64>,
+}
+
+/// Configuration of the repeated game.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationConfig {
+    /// Number of task rounds `T`.
+    pub rounds: usize,
+    /// Standard deviation of the additive feedback noise (0 for the
+    /// deterministic game).
+    pub feedback_noise_sd: f64,
+    /// RNG seed for the noise.
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            rounds: 20,
+            feedback_noise_sd: 0.5,
+            seed: 7,
+        }
+    }
+}
+
+/// The repeated Stackelberg game of §II: in each round every in-system
+/// agent best-responds to its contract, realizes (noisy) feedback, and is
+/// paid next round according to `c^{t+1} = f(q^t)` (Eq. 1).
+///
+/// Workers are risk-neutral stationary best responders: the contract is
+/// fixed for the simulated horizon, so the per-round best response to the
+/// *expected* feedback is the worker's optimal stationary strategy.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    params: ModelParams,
+    config: SimulationConfig,
+}
+
+impl Simulation {
+    /// Creates a simulation under the given requester parameters.
+    pub fn new(params: ModelParams, config: SimulationConfig) -> Self {
+        Simulation { params, config }
+    }
+
+    /// Runs the repeated game over the agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] for a zero-round horizon and
+    /// propagates best-response failures (invalid ψ).
+    pub fn run(&self, agents: &[AgentSpec]) -> Result<SimulationOutcome, CoreError> {
+        if self.config.rounds == 0 {
+            return Err(CoreError::InvalidParams(
+                "simulation needs at least one round".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // Stationary best responses (the agent's ω, not the requester's).
+        let mut efforts = vec![0.0; agents.len()];
+        for (i, agent) in agents.iter().enumerate() {
+            if !agent.in_system {
+                continue;
+            }
+            let agent_params = ModelParams {
+                omega: agent.omega,
+                ..self.params
+            };
+            efforts[i] = best_response(&agent_params, &agent.psi, &agent.contract)?.effort;
+        }
+
+        // Lagged payments: round 0 pays the base rate f(ψ(0)).
+        let mut pending_payment: Vec<f64> = agents
+            .iter()
+            .zip(&efforts)
+            .map(|(agent, _)| {
+                if agent.in_system {
+                    agent.contract.compensation(agent.psi.eval(0.0))
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        let mut rounds = Vec::with_capacity(self.config.rounds);
+        let mut agent_compensation = vec![0.0; agents.len()];
+        for t in 0..self.config.rounds {
+            let mut benefit = 0.0;
+            let mut payment = 0.0;
+            for (i, agent) in agents.iter().enumerate() {
+                if !agent.in_system {
+                    continue;
+                }
+                let noise = if self.config.feedback_noise_sd > 0.0 {
+                    gaussian(&mut rng) * self.config.feedback_noise_sd
+                } else {
+                    0.0
+                };
+                let feedback = (agent.psi.eval(efforts[i]) + noise).max(0.0);
+                benefit += agent.weight * feedback;
+                payment += pending_payment[i];
+                agent_compensation[i] += pending_payment[i];
+                pending_payment[i] = agent.contract.compensation(feedback);
+            }
+            let requester_utility = benefit - self.params.mu * payment;
+            rounds.push(RoundRecord {
+                round: t,
+                benefit,
+                payment,
+                requester_utility,
+            });
+        }
+
+        let cumulative: f64 = rounds.iter().map(|r| r.requester_utility).sum();
+        Ok(SimulationOutcome {
+            mean_round_utility: cumulative / rounds.len() as f64,
+            cumulative_requester_utility: cumulative,
+            agent_compensation,
+            agent_effort: efforts,
+            rounds,
+        })
+    }
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ContractBuilder, Discretization};
+
+    fn built_agent(id: usize, omega: f64, weight: f64, in_system: bool) -> AgentSpec {
+        let params = ModelParams {
+            mu: 1.5,
+            ..ModelParams::default()
+        };
+        let psi = Quadratic::new(-0.05, 2.0, 0.5);
+        let disc = Discretization::new(16, 0.625).unwrap();
+        let built = ContractBuilder::new(params, disc, psi)
+            .malicious(omega)
+            .weight(weight)
+            .build()
+            .unwrap();
+        AgentSpec {
+            id,
+            members: 1,
+            omega,
+            weight,
+            psi,
+            contract: built.contract().clone(),
+            in_system,
+        }
+    }
+
+    fn sim(noise: f64) -> Simulation {
+        Simulation::new(
+            ModelParams {
+                mu: 1.5,
+                ..ModelParams::default()
+            },
+            SimulationConfig {
+                rounds: 12,
+                feedback_noise_sd: noise,
+                seed: 11,
+            },
+        )
+    }
+
+    #[test]
+    fn deterministic_game_matches_static_design() {
+        let agent = built_agent(0, 0.0, 1.0, true);
+        let outcome = sim(0.0).run(std::slice::from_ref(&agent)).unwrap();
+        assert_eq!(outcome.rounds.len(), 12);
+        // From round 1 on (payment lag settled), each round's utility
+        // equals the static design utility w*q - mu*c.
+        let q = agent.psi.eval(outcome.agent_effort[0]);
+        let c = agent.contract.compensation(q);
+        let static_utility = agent.weight * q - 1.5 * c;
+        for r in &outcome.rounds[1..] {
+            assert!(
+                (r.requester_utility - static_utility).abs() < 1e-9,
+                "round {} utility {} vs static {static_utility}",
+                r.round,
+                r.requester_utility
+            );
+        }
+    }
+
+    #[test]
+    fn first_round_pays_base_rate() {
+        let agent = built_agent(0, 0.0, 1.0, true);
+        let base = agent.contract.compensation(agent.psi.eval(0.0));
+        let outcome = sim(0.0).run(&[agent]).unwrap();
+        assert!((outcome.rounds[0].payment - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn excluded_agents_produce_and_cost_nothing() {
+        let mut agent = built_agent(0, 0.4, 1.0, false);
+        agent.in_system = false;
+        let outcome = sim(0.0).run(&[agent]).unwrap();
+        assert_eq!(outcome.cumulative_requester_utility, 0.0);
+        assert_eq!(outcome.agent_compensation[0], 0.0);
+        assert_eq!(outcome.agent_effort[0], 0.0);
+    }
+
+    #[test]
+    fn noise_is_reproducible_per_seed() {
+        let agents = vec![built_agent(0, 0.0, 1.0, true), built_agent(1, 0.5, 0.6, true)];
+        let a = sim(0.5).run(&agents).unwrap();
+        let b = sim(0.5).run(&agents).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noisy_mean_close_to_deterministic() {
+        let agents = vec![built_agent(0, 0.0, 1.0, true); 30];
+        let det = sim(0.0).run(&agents).unwrap();
+        let noisy = Simulation::new(
+            ModelParams {
+                mu: 1.5,
+                ..ModelParams::default()
+            },
+            SimulationConfig {
+                rounds: 200,
+                feedback_noise_sd: 0.5,
+                seed: 3,
+            },
+        )
+        .run(&agents)
+        .unwrap();
+        // Contracts are convex up to the target interval, so by Jensen
+        // noisy feedback *raises* expected payments somewhat; allow that
+        // systematic gap but require the same order of magnitude.
+        let rel = (noisy.mean_round_utility - det.mean_round_utility).abs()
+            / det.mean_round_utility.abs().max(1.0);
+        assert!(
+            rel < 0.25,
+            "noisy mean {} vs det {}",
+            noisy.mean_round_utility,
+            det.mean_round_utility
+        );
+        assert!(
+            noisy.mean_round_utility <= det.mean_round_utility + 1e-9,
+            "noise cannot help the requester under a convex contract"
+        );
+    }
+
+    #[test]
+    fn zero_rounds_rejected() {
+        let s = Simulation::new(
+            ModelParams::default(),
+            SimulationConfig {
+                rounds: 0,
+                feedback_noise_sd: 0.0,
+                seed: 0,
+            },
+        );
+        assert!(s.run(&[]).is_err());
+    }
+
+    #[test]
+    fn empty_population_is_flat_zero() {
+        let outcome = sim(0.0).run(&[]).unwrap();
+        assert_eq!(outcome.cumulative_requester_utility, 0.0);
+        assert!(outcome.rounds.iter().all(|r| r.requester_utility == 0.0));
+    }
+}

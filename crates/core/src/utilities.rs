@@ -1,0 +1,154 @@
+//! The paper's utility functions as named, documented API.
+//!
+//! These are the exact objects of §III's problem formulation; the solver
+//! modules compute them inline for speed, and the tests here cross-check
+//! both against each other.
+
+use crate::{Contract, ModelParams};
+use dcc_numerics::Quadratic;
+
+/// An honest worker's utility (Eq. 11):
+/// `F² = ζ(x, ψ(y)) − β·y` — next round's compensation minus the effort
+/// cost.
+pub fn honest_worker_utility(
+    params: &ModelParams,
+    psi: &Quadratic,
+    contract: &Contract,
+    effort: f64,
+) -> f64 {
+    contract.compensation(psi.eval(effort)) - params.beta * effort
+}
+
+/// A (non-collusive) malicious worker's utility (Eq. 14):
+/// `F³ = ζ(x, ψ(y)) − β·y + ω·ψ(y)` — Eq. 11 plus the intrinsic value ω
+/// of the influence its feedback buys. Honest workers are the `ω = 0`
+/// special case (§IV-C).
+pub fn malicious_worker_utility(
+    params: &ModelParams,
+    psi: &Quadratic,
+    contract: &Contract,
+    effort: f64,
+) -> f64 {
+    honest_worker_utility(params, psi, contract, effort) + params.omega * psi.eval(effort)
+}
+
+/// A collusive community's utility (the meta-worker form of Eq. 14 under
+/// Eq. 3): the community's shared contract evaluated at the aggregate
+/// feedback `ψ_A(Σy)`, minus the summed effort cost, plus ω times the
+/// aggregate feedback.
+pub fn community_utility(
+    params: &ModelParams,
+    psi_aggregate: &Quadratic,
+    contract: &Contract,
+    member_efforts: &[f64],
+) -> f64 {
+    let total: f64 = member_efforts.iter().sum();
+    malicious_worker_utility(params, psi_aggregate, contract, total)
+}
+
+/// The requester's per-worker utility term (the summand of Eq. 7 after
+/// the §IV-B decomposition): `w·ψ(y) − μ·ζ(x, ψ(y))`.
+pub fn requester_worker_utility(
+    params: &ModelParams,
+    weight: f64,
+    psi: &Quadratic,
+    contract: &Contract,
+    effort: f64,
+) -> f64 {
+    let feedback = psi.eval(effort);
+    weight * feedback - params.mu * contract.compensation(feedback)
+}
+
+/// The requester's round utility (Eq. 7): `p^t − μ·Σc` given realized
+/// per-worker `(weight, feedback, compensation)` triples.
+pub fn requester_round_utility(params: &ModelParams, realized: &[(f64, f64, f64)]) -> f64 {
+    let benefit: f64 = realized.iter().map(|(w, q, _)| w * q).sum();
+    let payments: f64 = realized.iter().map(|(_, _, c)| c).sum();
+    benefit - params.mu * payments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{best_response, ContractBuilder, Discretization};
+
+    fn setup(omega: f64) -> (ModelParams, Discretization, Quadratic, Contract) {
+        let params = ModelParams {
+            mu: 1.5,
+            omega,
+            ..ModelParams::default()
+        };
+        let disc = Discretization::covering(16, 8.0).unwrap();
+        let psi = Quadratic::new(-0.1, 2.2, 0.8);
+        let contract = ContractBuilder::new(params, disc, psi)
+            .malicious(omega)
+            .weight(1.2)
+            .build()
+            .unwrap()
+            .contract()
+            .clone();
+        (params, disc, psi, contract)
+    }
+
+    #[test]
+    fn honest_is_omega_zero_special_case() {
+        let (params, _, psi, contract) = setup(0.7);
+        for y in [0.0, 1.5, 4.0, 7.0] {
+            let honest_params = params.for_honest();
+            assert_eq!(
+                malicious_worker_utility(&honest_params, &psi, &contract, y),
+                honest_worker_utility(&honest_params, &psi, &contract, y)
+            );
+            assert!(
+                malicious_worker_utility(&params, &psi, &contract, y)
+                    >= honest_worker_utility(&params, &psi, &contract, y)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_best_response_bookkeeping() {
+        let (params, _, psi, contract) = setup(0.4);
+        let br = best_response(&params, &psi, &contract).unwrap();
+        let direct = malicious_worker_utility(&params, &psi, &contract, br.effort);
+        assert!((direct - br.utility).abs() < 1e-9, "{direct} vs {}", br.utility);
+        // And the best response indeed maximizes the named utility on a
+        // grid.
+        for i in 0..=200 {
+            let y = 8.0 * i as f64 / 200.0;
+            assert!(
+                malicious_worker_utility(&params, &psi, &contract, y) <= br.utility + 1e-9,
+                "utility at {y} beats the best response"
+            );
+        }
+    }
+
+    #[test]
+    fn community_utility_sums_member_efforts() {
+        let (params, _, psi, contract) = setup(0.4);
+        let joint = community_utility(&params, &psi, &contract, &[1.0, 2.0, 0.5]);
+        let solo = malicious_worker_utility(&params, &psi, &contract, 3.5);
+        assert!((joint - solo).abs() < 1e-12, "meta-worker must see total effort");
+    }
+
+    #[test]
+    fn requester_utilities_consistent() {
+        let (params, _, psi, contract) = setup(0.0);
+        let y = 3.0;
+        let q = psi.eval(y);
+        let c = contract.compensation(q);
+        let per_worker = requester_worker_utility(&params, 1.2, &psi, &contract, y);
+        let round = requester_round_utility(&params, &[(1.2, q, c)]);
+        assert!((per_worker - round).abs() < 1e-12);
+        // Aggregation over several workers is the sum of the terms.
+        let total = requester_round_utility(&params, &[(1.2, q, c), (0.5, q, c)]);
+        let expected = per_worker + requester_worker_utility(&params, 0.5, &psi, &contract, y);
+        assert!((total - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_round_is_zero() {
+        let params = ModelParams::default();
+        assert_eq!(requester_round_utility(&params, &[]), 0.0);
+    }
+}

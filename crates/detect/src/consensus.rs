@@ -1,0 +1,272 @@
+use dcc_trace::{ProductId, ReviewerId, TraceDataset};
+use std::collections::HashSet;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ProductConsensus {
+    /// Consensus mean, if the product has any usable reviews.
+    mean: Option<f64>,
+    /// Sum and count of the star scores behind the crowd fallback
+    /// (enables leave-one-out adjustment).
+    crowd_sum: f64,
+    crowd_count: usize,
+    expert_backed: bool,
+}
+
+/// Per-product "ground truth" review scores `l̄` (§II).
+///
+/// The paper defines `l̄` as the average review of *experts* — workers
+/// whose accuracy and endorsements exceed system thresholds. Products no
+/// expert has reviewed fall back to the crowd mean of all their reviews
+/// (a weaker consensus, flagged by [`ConsensusMap::is_expert_backed`]).
+#[derive(Debug, Clone)]
+pub struct ConsensusMap {
+    products: Vec<ProductConsensus>,
+}
+
+impl ConsensusMap {
+    /// Builds the consensus for every product of `trace`.
+    pub fn build(trace: &TraceDataset) -> Self {
+        Self::build_excluding(trace, &HashSet::new())
+    }
+
+    /// Builds the consensus while excluding reviews by `excluded` workers
+    /// from the crowd fallback — the second pass of robust estimation,
+    /// where suspects identified in a first pass no longer pollute `l̄`.
+    ///
+    /// Expert reviews always take precedence. If excluding suspects would
+    /// leave a product with no reviews at all, the unfiltered crowd mean
+    /// is used (better a weak consensus than none).
+    pub fn build_excluding(trace: &TraceDataset, excluded: &HashSet<ReviewerId>) -> Self {
+        let n = trace.products().len();
+        let mut products = vec![ProductConsensus::default(); n];
+        for (i, slot) in products.iter_mut().enumerate() {
+            let pid = ProductId(i);
+            if let Some(expert_mean) = trace.expert_consensus(pid) {
+                slot.mean = Some(expert_mean);
+                slot.expert_backed = true;
+                continue;
+            }
+            let reviews = trace.reviews_for(pid);
+            if reviews.is_empty() {
+                continue;
+            }
+            let trusted: Vec<f64> = reviews
+                .iter()
+                .filter(|r| !excluded.contains(&r.reviewer))
+                .map(|r| r.stars)
+                .collect();
+            let scores: Vec<f64> = if trusted.is_empty() {
+                reviews.iter().map(|r| r.stars).collect()
+            } else {
+                trusted
+            };
+            slot.crowd_sum = scores.iter().sum();
+            slot.crowd_count = scores.len();
+            slot.mean = Some(slot.crowd_sum / slot.crowd_count as f64);
+        }
+        ConsensusMap { products }
+    }
+
+    /// The consensus score `l̄` for a product, or `None` if the product
+    /// has no reviews at all.
+    pub fn consensus(&self, product: ProductId) -> Option<f64> {
+        self.products.get(product.index()).and_then(|p| p.mean)
+    }
+
+    /// `true` iff the consensus came from expert reviews rather than the
+    /// crowd fallback.
+    pub fn is_expert_backed(&self, product: ProductId) -> bool {
+        self.products
+            .get(product.index())
+            .map(|p| p.expert_backed)
+            .unwrap_or(false)
+    }
+
+    /// The consensus for `product` with one crowd review of score `stars`
+    /// removed (leave-one-out). Expert-backed consensus is unaffected;
+    /// removing the only crowd review yields `None`.
+    pub fn consensus_without(&self, product: ProductId, stars: f64) -> Option<f64> {
+        let p = self.products.get(product.index())?;
+        if p.expert_backed {
+            return p.mean;
+        }
+        if p.crowd_count <= 1 {
+            return None;
+        }
+        Some((p.crowd_sum - stars) / (p.crowd_count - 1) as f64)
+    }
+
+    /// Mean absolute deviation of a worker's review scores from the
+    /// consensus, over all their reviews with a defined consensus — the
+    /// `|l_i − l̄|` accuracy term of Eq. 5. `None` if the worker has no
+    /// reviews on consensus-covered products.
+    pub fn accuracy_deviation(&self, trace: &TraceDataset, worker: ReviewerId) -> Option<f64> {
+        self.deviation_impl(trace, worker, false)
+    }
+
+    /// Like [`ConsensusMap::accuracy_deviation`], but each review is
+    /// compared against the *leave-one-out* consensus (the review itself
+    /// removed from the crowd mean), which stops a worker's own review
+    /// from masking its bias. Used by the malicious-probability estimator.
+    pub fn accuracy_deviation_loo(&self, trace: &TraceDataset, worker: ReviewerId) -> Option<f64> {
+        self.deviation_impl(trace, worker, true)
+    }
+
+    fn deviation_impl(
+        &self,
+        trace: &TraceDataset,
+        worker: ReviewerId,
+        leave_one_out: bool,
+    ) -> Option<f64> {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for review in trace.reviews_by(worker) {
+            let consensus = if leave_one_out {
+                self.consensus_without(review.product, review.stars)
+            } else {
+                self.consensus(review.product)
+            };
+            if let Some(c) = consensus {
+                total += (review.stars - c).abs();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(total / n as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcc_trace::{SyntheticConfig, WorkerClass};
+
+    #[test]
+    fn every_reviewed_product_has_consensus() {
+        let trace = SyntheticConfig::small(8).generate();
+        let cm = ConsensusMap::build(&trace);
+        for r in trace.reviews() {
+            assert!(cm.consensus(r.product).is_some());
+        }
+    }
+
+    #[test]
+    fn unreviewed_product_has_no_consensus() {
+        let trace = SyntheticConfig::small(8).generate();
+        let cm = ConsensusMap::build(&trace);
+        let unreviewed = trace
+            .products()
+            .iter()
+            .find(|p| trace.reviews_for(p.id).is_empty())
+            .expect("small config leaves products unreviewed");
+        assert_eq!(cm.consensus(unreviewed.id), None);
+        assert!(!cm.is_expert_backed(unreviewed.id));
+    }
+
+    #[test]
+    fn consensus_tracks_true_quality() {
+        let trace = SyntheticConfig::small(13).generate();
+        let cm = ConsensusMap::build(&trace);
+        let mut err = 0.0;
+        let mut n = 0;
+        for p in trace.products() {
+            if cm.is_expert_backed(p.id) {
+                err += (cm.consensus(p.id).unwrap() - p.true_quality).abs();
+                n += 1;
+            }
+        }
+        assert!(n > 0, "expert coverage expected");
+        assert!((err / n as f64) < 1.0, "expert consensus far from truth");
+    }
+
+    #[test]
+    fn malicious_deviate_more_than_honest() {
+        let trace = SyntheticConfig::small(5).generate();
+        let cm = ConsensusMap::build(&trace);
+        let mean_dev = |class| {
+            let ids = trace.workers_of_class(class);
+            let devs: Vec<f64> = ids
+                .iter()
+                .filter_map(|&id| cm.accuracy_deviation(&trace, id))
+                .collect();
+            devs.iter().sum::<f64>() / devs.len() as f64
+        };
+        let honest = mean_dev(WorkerClass::Honest);
+        let ncm = mean_dev(WorkerClass::NonCollusiveMalicious);
+        assert!(
+            ncm > honest + 0.3,
+            "ncm deviation {ncm} should exceed honest {honest}"
+        );
+    }
+
+    #[test]
+    fn leave_one_out_exposes_lone_bias() {
+        // A worker whose review is half of a 2-review crowd mean hides its
+        // bias; the LOO deviation must be at least the plain deviation on
+        // average for malicious workers.
+        let trace = SyntheticConfig::small(5).generate();
+        let cm = ConsensusMap::build(&trace);
+        let ids = trace.workers_of_class(WorkerClass::NonCollusiveMalicious);
+        let (mut plain, mut loo, mut n) = (0.0, 0.0, 0usize);
+        for id in ids {
+            if let (Some(p), Some(l)) = (
+                cm.accuracy_deviation(&trace, id),
+                cm.accuracy_deviation_loo(&trace, id),
+            ) {
+                plain += p;
+                loo += l;
+                n += 1;
+            }
+        }
+        assert!(n > 0);
+        assert!(loo / n as f64 >= plain / n as f64);
+    }
+
+    #[test]
+    fn consensus_without_on_expert_backed_is_unchanged() {
+        let trace = SyntheticConfig::small(13).generate();
+        let cm = ConsensusMap::build(&trace);
+        let expert_product = trace
+            .products()
+            .iter()
+            .find(|p| cm.is_expert_backed(p.id))
+            .expect("expert coverage expected");
+        assert_eq!(
+            cm.consensus_without(expert_product.id, 5.0),
+            cm.consensus(expert_product.id)
+        );
+    }
+
+    #[test]
+    fn excluding_suspects_shifts_consensus() {
+        let trace = SyntheticConfig::small(5).generate();
+        let raw = ConsensusMap::build(&trace);
+        let excluded: HashSet<_> = trace
+            .workers_of_class(WorkerClass::CollusiveMalicious)
+            .into_iter()
+            .chain(trace.workers_of_class(WorkerClass::NonCollusiveMalicious))
+            .collect();
+        let refined = ConsensusMap::build_excluding(&trace, &excluded);
+        // On some malicious-targeted product with honest contrast reviews
+        // the consensus must move down (malicious bias removed).
+        let mut moved = 0usize;
+        for p in trace.products() {
+            if let (Some(a), Some(b)) = (raw.consensus(p.id), refined.consensus(p.id)) {
+                if b < a - 0.05 {
+                    moved += 1;
+                }
+            }
+        }
+        assert!(moved > 0, "refinement should move some product consensus");
+    }
+
+    #[test]
+    fn accuracy_deviation_none_for_unknown_worker() {
+        let trace = SyntheticConfig::small(5).generate();
+        let cm = ConsensusMap::build(&trace);
+        assert_eq!(cm.accuracy_deviation(&trace, ReviewerId(usize::MAX - 1)), None);
+    }
+}

@@ -1,0 +1,14 @@
+//! Extension experiment (E8): adaptive re-contracting vs static design
+//! against deceptive and drifting worker populations.
+
+use dcc_experiments::DEFAULT_SEED;
+
+fn main() {
+    let result = dcc_experiments::adaptive_ext::run(DEFAULT_SEED).expect("adaptive runner");
+    println!("E8 (extension) — adaptive re-contracting vs static one-shot design\n");
+    print!("{}", result.table());
+    println!(
+        "\nshape check: adaptive ≈ static when behaviour is stationary; adaptive wins\n\
+         (especially late in the run) against deceptive and drifting workers."
+    );
+}

@@ -1,0 +1,118 @@
+//! Regenerates every table and figure in sequence.
+//!
+//! Flags: `--scale small|paper`, `--extensions` (also run E8–E14),
+//! `--csv DIR` (additionally write each artifact as CSV into DIR).
+
+use dcc_experiments::{scale_from_args, TextTable, DEFAULT_SEED};
+use std::path::PathBuf;
+
+fn csv_dir() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--csv")
+        .map(|w| PathBuf::from(&w[1]))
+}
+
+fn emit(dir: &Option<PathBuf>, name: &str, table: &TextTable) {
+    println!("{table}");
+    if let Some(dir) = dir {
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("{name}.csv"));
+            if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let csv = csv_dir();
+    let trace = scale.generate(DEFAULT_SEED);
+    println!("=== dyncontract experiment suite ({scale:?} scale, seed {DEFAULT_SEED}) ===\n");
+    println!(
+        "trace: {} reviews, {} reviewers, {} products\n",
+        trace.reviews().len(),
+        trace.reviewers().len(),
+        trace.products().len()
+    );
+
+    println!("--- E1 / Fig. 6 ---");
+    let fig6 = dcc_experiments::fig6::run(&dcc_experiments::fig6::DEFAULT_MS).expect("fig6");
+    emit(&csv, "fig6", &fig6.table());
+
+    println!("--- E2 / Table II ---");
+    let t2 = dcc_experiments::table2::run_on(&trace);
+    emit(&csv, "table2", &t2.table());
+
+    println!("--- E3 / Fig. 7 ---");
+    emit(&csv, "fig7", &dcc_experiments::fig7::run_on(&trace).table());
+
+    println!("--- E4 / Table III ---");
+    let t3 = dcc_experiments::table3::run_on(&trace).expect("table3");
+    emit(&csv, "table3", &t3.table());
+
+    println!("--- E5 / Fig. 8(a) ---");
+    let f8a = dcc_experiments::fig8a::run_on(&trace, &dcc_experiments::fig8a::DEFAULT_MS)
+        .expect("fig8a");
+    emit(&csv, "fig8a", &f8a.table());
+
+    println!("--- E6 / Fig. 8(b) ---");
+    let f8b = dcc_experiments::fig8b::run_on(&trace, &dcc_experiments::fig8b::DEFAULT_MUS)
+        .expect("fig8b");
+    emit(&csv, "fig8b", &f8b.table());
+
+    println!("--- E7 / Fig. 8(c) ---");
+    let f8c = dcc_experiments::fig8c::run_on(&trace, &dcc_experiments::fig8b::DEFAULT_MUS)
+        .expect("fig8c");
+    emit(&csv, "fig8c", &f8c.table());
+
+    if !std::env::args().any(|a| a == "--extensions") {
+        println!("(pass --extensions to also run E8-E14)");
+        return;
+    }
+
+    println!("--- E8 / adaptive re-contracting (extension) ---");
+    let e8 = dcc_experiments::adaptive_ext::run(dcc_experiments::DEFAULT_SEED).expect("e8");
+    emit(&csv, "e8_adaptive", &e8.table());
+
+    println!("--- E9 / penalty sensitivity (extension) ---");
+    let e9 = dcc_experiments::sensitivity::run_on(
+        &trace,
+        &dcc_experiments::sensitivity::DEFAULT_KAPPAS,
+        &dcc_experiments::sensitivity::DEFAULT_GAMMAS,
+    )
+    .expect("e9");
+    emit(&csv, "e9_sensitivity", &e9.table());
+
+    println!("--- E10 / detector quality (extension) ---");
+    let e10 = dcc_experiments::detection_quality::run_on(
+        &trace,
+        &dcc_experiments::detection_quality::DEFAULT_THRESHOLDS,
+    );
+    emit(&csv, "e10_detection", &e10.table());
+
+    println!("--- E11 / collusion-modeling ablation (extension) ---");
+    let e11 =
+        dcc_experiments::collusion_ablation::run_on(&trace, &dcc_experiments::fig8b::DEFAULT_MUS)
+            .expect("e11");
+    emit(&csv, "e11_collusion", &e11.table());
+
+    println!("--- E12 / baseline ladder (extension) ---");
+    let e12 = dcc_experiments::baselines_ext::run_on(&trace, &dcc_experiments::fig8b::DEFAULT_MUS)
+        .expect("e12");
+    emit(&csv, "e12_baselines", &e12.table());
+
+    println!("--- E13 / budget-feasible contracting (extension) ---");
+    let e13 = dcc_experiments::budget_ext::run_on(
+        &trace,
+        &dcc_experiments::budget_ext::DEFAULT_FRACTIONS,
+    )
+    .expect("e13");
+    emit(&csv, "e13_budget", &e13.table());
+
+    println!("--- E14 / risk-attitude premium (extension) ---");
+    let e14 =
+        dcc_experiments::risk_ext::run(&dcc_experiments::risk_ext::DEFAULT_EXPONENTS).expect("e14");
+    emit(&csv, "e14_risk", &e14.table());
+}

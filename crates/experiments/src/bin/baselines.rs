@@ -1,0 +1,11 @@
+//! Extension experiment (E12): the baseline ladder.
+
+use dcc_experiments::{baselines_ext, scale_from_args, DEFAULT_SEED};
+
+fn main() {
+    let scale = scale_from_args();
+    let result = baselines_ext::run(scale, DEFAULT_SEED).expect("baselines runner");
+    println!("E12 (extension) — dynamic contract vs the pricing-baseline ladder ({scale:?} scale)\n");
+    print!("{}", result.table());
+    println!("\nshape check: dynamic > learned linear > fixed; exclusion forfeits malicious value.");
+}

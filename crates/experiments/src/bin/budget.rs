@@ -1,0 +1,15 @@
+//! Extension experiment (E13): budget-feasible contracting.
+
+use dcc_experiments::{budget_ext, scale_from_args, DEFAULT_SEED};
+
+fn main() {
+    let scale = scale_from_args();
+    let result = budget_ext::run(scale, DEFAULT_SEED).expect("budget runner");
+    println!("E13 (extension) — requester utility under a hard payment budget ({scale:?} scale)");
+    println!(
+        "unconstrained: spend {:.2}, utility {:.2}\n",
+        result.full_spend, result.full_utility
+    );
+    print!("{}", result.table());
+    println!("\nshape check: utility is concave in the budget (best-ratio workers funded first).");
+}

@@ -1,0 +1,11 @@
+//! Extension experiment (E11): the value of collusion modeling.
+
+use dcc_experiments::{collusion_ablation, scale_from_args, DEFAULT_SEED};
+
+fn main() {
+    let scale = scale_from_args();
+    let result = collusion_ablation::run(scale, DEFAULT_SEED).expect("collusion runner");
+    println!("E11 (extension) — collusion-aware vs collusion-blind contract design ({scale:?} scale)\n");
+    print!("{}", result.table());
+    println!("\nshape check: awareness never hurts; blindness overpays collusive workers.");
+}

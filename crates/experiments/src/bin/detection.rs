@@ -1,0 +1,11 @@
+//! Extension experiment (E10): heuristic detector quality vs ground truth.
+
+use dcc_experiments::{detection_quality, scale_from_args, DEFAULT_SEED};
+
+fn main() {
+    let scale = scale_from_args();
+    let result = detection_quality::run(scale, DEFAULT_SEED);
+    println!("E10 (extension) — malicious-probability estimator quality ({scale:?} scale)\n");
+    print!("{}", result.table());
+    println!("\nbest F1 across thresholds: {:.3}", result.best_f1());
+}

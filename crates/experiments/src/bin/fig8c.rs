@@ -1,0 +1,11 @@
+//! Regenerates Fig. 8(c): requester utility, ours vs baselines.
+
+use dcc_experiments::{fig8c, scale_from_args, DEFAULT_SEED};
+
+fn main() {
+    let scale = scale_from_args();
+    let result = fig8c::run(scale, DEFAULT_SEED).expect("fig8c runner failed");
+    println!("Fig. 8(c) — requester utility: dynamic contract vs baselines ({scale:?} scale)\n");
+    print!("{}", result.table());
+    println!("\nshape check: the dynamic contract dominates exclusion at every mu.");
+}

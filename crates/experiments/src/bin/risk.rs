@@ -1,0 +1,11 @@
+//! Extension experiment (E14): risk-attitude premium.
+
+use dcc_experiments::risk_ext;
+
+fn main() {
+    let result = risk_ext::run(&risk_ext::DEFAULT_EXPONENTS).expect("risk runner");
+    println!("E14 (extension) — effort lost to risk aversion and the pay premium to restore it");
+    println!("risk-neutral induced effort: {:.3}\n", result.neutral_effort);
+    print!("{}", result.table());
+    println!("\nshape check: retained effort falls with rho; the restoring premium rises.");
+}

@@ -1,0 +1,11 @@
+//! Extension experiment (E9): Eq. 5 penalty-coefficient sensitivity.
+
+use dcc_experiments::{scale_from_args, sensitivity, DEFAULT_SEED};
+
+fn main() {
+    let scale = scale_from_args();
+    let result = sensitivity::run(scale, DEFAULT_SEED).expect("sensitivity runner");
+    println!("E9 (extension) — kappa/gamma penalty sensitivity ({scale:?} scale)\n");
+    print!("{}", result.table());
+    println!("\nshape check: honest > malicious pay at every cell; harsher penalties cut malicious pay.");
+}

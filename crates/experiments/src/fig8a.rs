@@ -1,0 +1,163 @@
+//! E5 — **Fig. 8(a)**: the compensation paid to 200 prolific honest
+//! workers (≥ 20 reviews) under the designed contracts, against the
+//! Lemma 4.3 lower bound `β(k_opt−1)δ`, for `m ∈ {10, 20, 40}`.
+//!
+//! The paper's observation: the gap between the paid compensation and its
+//! lower bound shrinks as the partition refines — the compensation
+//! converges to optimal.
+
+use crate::render::fmt_f;
+use crate::{ExperimentScale, TextTable};
+use dcc_core::{design_contracts, CoreError, DesignConfig, ModelParams};
+use dcc_detect::{run_pipeline, PipelineConfig};
+use dcc_trace::{TraceDataset, WorkerClass};
+
+/// Per-worker sample of the figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerComp {
+    /// Compensation paid under the designed contract.
+    pub compensation: f64,
+    /// The Lemma 4.3 lower bound `β(k_opt−1)δ` for this worker's
+    /// contract.
+    pub lower_bound: f64,
+}
+
+/// One panel of the figure (one value of `m`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8aPanel {
+    /// Number of effort intervals.
+    pub m: usize,
+    /// Per-worker samples (up to 200 workers, as in the paper).
+    pub workers: Vec<WorkerComp>,
+    /// Mean compensation across the sample.
+    pub mean_compensation: f64,
+    /// Mean lower bound across the sample.
+    pub mean_lower_bound: f64,
+    /// Mean gap (compensation − lower bound).
+    pub mean_gap: f64,
+}
+
+/// The full Fig. 8(a) result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8aResult {
+    /// One panel per `m`.
+    pub panels: Vec<Fig8aPanel>,
+}
+
+impl Fig8aResult {
+    /// Renders the per-panel summary table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "m".into(),
+            "workers".into(),
+            "mean comp".into(),
+            "mean bound".into(),
+            "mean gap".into(),
+        ]);
+        for p in &self.panels {
+            t.row(vec![
+                p.m.to_string(),
+                p.workers.len().to_string(),
+                fmt_f(p.mean_compensation),
+                fmt_f(p.mean_lower_bound),
+                fmt_f(p.mean_gap),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs E5 on an existing trace.
+///
+/// # Errors
+///
+/// Propagates design failures.
+pub fn run_on(trace: &TraceDataset, ms: &[usize]) -> Result<Fig8aResult, CoreError> {
+    let detection = run_pipeline(trace, PipelineConfig::default());
+    // Prolific honest workers, capped at 200 as in the paper. Falls back
+    // to the most prolific available if fewer than 200 qualify.
+    let mut prolific = trace.prolific_workers(WorkerClass::Honest, 20);
+    if prolific.is_empty() {
+        prolific = trace.prolific_workers(WorkerClass::Honest, 10);
+    }
+    prolific.truncate(200);
+
+    let mut panels = Vec::with_capacity(ms.len());
+    for &m in ms {
+        let config = DesignConfig {
+            params: ModelParams {
+                mu: 1.5,
+                ..ModelParams::default()
+            },
+            intervals: m,
+            ..DesignConfig::default()
+        };
+        let design = design_contracts(trace, &detection, &config)?;
+        let mut workers = Vec::with_capacity(prolific.len());
+        for id in &prolific {
+            if let Some(agent) = design.for_worker(*id) {
+                let k = agent.k_opt.unwrap_or(0);
+                let lower = config.params.beta * k.saturating_sub(1) as f64 * agent.delta;
+                workers.push(WorkerComp {
+                    compensation: agent.compensation,
+                    lower_bound: lower,
+                });
+            }
+        }
+        let n = workers.len().max(1) as f64;
+        let mean_compensation = workers.iter().map(|w| w.compensation).sum::<f64>() / n;
+        let mean_lower_bound = workers.iter().map(|w| w.lower_bound).sum::<f64>() / n;
+        panels.push(Fig8aPanel {
+            m,
+            mean_gap: mean_compensation - mean_lower_bound,
+            workers,
+            mean_compensation,
+            mean_lower_bound,
+        });
+    }
+    Ok(Fig8aResult { panels })
+}
+
+/// Runs E5 at the given scale and seed with the paper's `m` values.
+///
+/// # Errors
+///
+/// Propagates design failures.
+pub fn run(scale: ExperimentScale, seed: u64) -> Result<Fig8aResult, CoreError> {
+    run_on(&scale.generate(seed), &DEFAULT_MS)
+}
+
+/// The figure's `m` values.
+pub const DEFAULT_MS: [usize; 3] = [10, 20, 40];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compensation_sits_above_lower_bound_and_gap_shrinks() {
+        let result = run(ExperimentScale::Small, crate::DEFAULT_SEED).unwrap();
+        assert_eq!(result.panels.len(), 3);
+        for p in &result.panels {
+            assert!(!p.workers.is_empty(), "m={}: no sampled workers", p.m);
+            for w in &p.workers {
+                assert!(
+                    w.compensation >= w.lower_bound - 1e-9,
+                    "m={}: compensation {} below bound {}",
+                    p.m,
+                    w.compensation,
+                    w.lower_bound
+                );
+            }
+        }
+        // The mean gap shrinks as m grows (Fig. 8a's visual).
+        let gaps: Vec<f64> = result.panels.iter().map(|p| p.mean_gap).collect();
+        assert!(gaps[2] < gaps[0], "gap did not shrink: {gaps:?}");
+    }
+
+    #[test]
+    fn table_has_one_row_per_m() {
+        let result = run(ExperimentScale::Small, 11).unwrap();
+        assert_eq!(result.table().len(), 3);
+    }
+}

@@ -1,0 +1,139 @@
+//! E6 — **Fig. 8(b)**: average, 5th- and 95th-percentile compensation
+//! paid to each worker class, for `μ ∈ {1.0, 0.9, 0.8}`.
+//!
+//! The paper's two observations: compensation rises as μ falls (a more
+//! generous requester), and the class ordering is
+//! honest > non-collusive malicious > collusive malicious (the Eq. 5
+//! penalties devalue malicious feedback).
+
+use crate::render::fmt_f;
+use crate::{ExperimentScale, TextTable};
+use dcc_core::{design_contracts, CoreError, DesignConfig, ModelParams};
+use dcc_detect::{run_pipeline, PipelineConfig};
+use dcc_numerics::Summary;
+use dcc_trace::{TraceDataset, WorkerClass};
+
+/// One bar group: a class's compensation distribution at one μ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassComp {
+    /// Worker class.
+    pub class: WorkerClass,
+    /// μ used for the design.
+    pub mu: f64,
+    /// Compensation distribution summary (mean, p5, p95, …).
+    pub summary: Summary,
+}
+
+/// The full Fig. 8(b) result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8bResult {
+    /// One entry per (μ, class) pair, μ-major order.
+    pub groups: Vec<ClassComp>,
+}
+
+impl Fig8bResult {
+    /// Renders the bar groups as a table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "mu".into(),
+            "class".into(),
+            "mean".into(),
+            "p5".into(),
+            "p95".into(),
+        ]);
+        for g in &self.groups {
+            t.row(vec![
+                format!("{:.1}", g.mu),
+                g.class.to_string(),
+                fmt_f(g.summary.mean),
+                fmt_f(g.summary.p5),
+                fmt_f(g.summary.p95),
+            ]);
+        }
+        t
+    }
+
+    /// The mean compensation of `(mu, class)`.
+    pub fn mean_of(&self, mu: f64, class: WorkerClass) -> Option<f64> {
+        self.groups
+            .iter()
+            .find(|g| (g.mu - mu).abs() < 1e-9 && g.class == class)
+            .map(|g| g.summary.mean)
+    }
+}
+
+/// Runs E6 on an existing trace.
+///
+/// # Errors
+///
+/// Propagates design failures and empty-class summaries.
+pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<Fig8bResult, CoreError> {
+    let detection = run_pipeline(trace, PipelineConfig::default());
+    let mut groups = Vec::with_capacity(mus.len() * 3);
+    for &mu in mus {
+        let config = DesignConfig {
+            params: ModelParams {
+                mu,
+                ..ModelParams::default()
+            },
+            ..DesignConfig::default()
+        };
+        let design = design_contracts(trace, &detection, &config)?;
+        for class in WorkerClass::ALL {
+            let comps = design.compensations_of(&trace.workers_of_class(class));
+            let summary = Summary::of(&comps).map_err(dcc_core::CoreError::from)?;
+            groups.push(ClassComp { class, mu, summary });
+        }
+    }
+    Ok(Fig8bResult { groups })
+}
+
+/// Runs E6 at the given scale and seed with the paper's μ values.
+///
+/// # Errors
+///
+/// Propagates design failures.
+pub fn run(scale: ExperimentScale, seed: u64) -> Result<Fig8bResult, CoreError> {
+    run_on(&scale.generate(seed), &DEFAULT_MUS)
+}
+
+/// The figure's μ values.
+pub const DEFAULT_MUS: [f64; 3] = [1.0, 0.9, 0.8];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ordering_and_mu_effect() {
+        let result = run(ExperimentScale::Small, crate::DEFAULT_SEED).unwrap();
+        assert_eq!(result.groups.len(), 9);
+        for &mu in &DEFAULT_MUS {
+            let honest = result.mean_of(mu, WorkerClass::Honest).unwrap();
+            let ncm = result
+                .mean_of(mu, WorkerClass::NonCollusiveMalicious)
+                .unwrap();
+            let cm = result.mean_of(mu, WorkerClass::CollusiveMalicious).unwrap();
+            assert!(honest > ncm, "mu={mu}: honest {honest} <= ncm {ncm}");
+            assert!(ncm >= cm, "mu={mu}: ncm {ncm} < cm {cm}");
+        }
+        // Generosity effect: mu = 0.8 pays honest workers at least as much
+        // as mu = 1.0.
+        let tight = result.mean_of(1.0, WorkerClass::Honest).unwrap();
+        let generous = result.mean_of(0.8, WorkerClass::Honest).unwrap();
+        assert!(generous >= tight - 1e-9, "generous {generous} < tight {tight}");
+    }
+
+    #[test]
+    fn percentile_order_and_nonnegativity() {
+        // Note p5 <= mean need not hold: a small mass of zero-contract
+        // workers under a large mass of identical payments puts the mean
+        // below the 5th percentile.
+        let result = run(ExperimentScale::Small, 13).unwrap();
+        for g in &result.groups {
+            assert!(g.summary.p5 <= g.summary.median + 1e-9);
+            assert!(g.summary.median <= g.summary.p95 + 1e-9);
+            assert!(g.summary.min >= 0.0, "payments are nonnegative");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! E7 — **Fig. 8(c)**: the requester's utility under our dynamic
+//! contract versus the baseline that excludes all suspected malicious
+//! workers (and a fixed-payment reference), over the μ sweep.
+//!
+//! The paper's claim: our design dominates exclusion because it still
+//! extracts value from malicious workers whose reviews are biased but
+//! within an acceptable accuracy range, while near-worthless feedback is
+//! automatically devalued by Eq. 5.
+
+use crate::render::fmt_f;
+use crate::{ExperimentScale, TextTable};
+use dcc_core::{
+    design_contracts, BaselineStrategy, CoreError, DesignConfig, ModelParams, Simulation,
+    SimulationConfig, StrategyKind,
+};
+use dcc_detect::{run_pipeline, PipelineConfig};
+use dcc_trace::TraceDataset;
+use std::collections::HashSet;
+
+/// One μ row of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig8cRow {
+    /// μ used for design and accounting.
+    pub mu: f64,
+    /// Mean per-round requester utility under our dynamic contract.
+    pub ours: f64,
+    /// … under the exclude-all-malicious baseline.
+    pub exclude: f64,
+    /// … under a fixed-payment contract with the same mean spend as ours.
+    pub fixed: f64,
+}
+
+/// The full Fig. 8(c) result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8cResult {
+    /// One row per μ.
+    pub rows: Vec<Fig8cRow>,
+}
+
+impl Fig8cResult {
+    /// Renders the comparison table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "mu".into(),
+            "dynamic (ours)".into(),
+            "exclude malicious".into(),
+            "fixed payment".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                format!("{:.1}", r.mu),
+                fmt_f(r.ours),
+                fmt_f(r.exclude),
+                fmt_f(r.fixed),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs E7 on an existing trace.
+///
+/// # Errors
+///
+/// Propagates design and simulation failures.
+pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<Fig8cResult, CoreError> {
+    let detection = run_pipeline(trace, PipelineConfig::default());
+    let suspected: HashSet<_> = detection.suspected.iter().copied().collect();
+    let mut rows = Vec::with_capacity(mus.len());
+    for &mu in mus {
+        let params = ModelParams {
+            mu,
+            ..ModelParams::default()
+        };
+        let config = DesignConfig {
+            params,
+            ..DesignConfig::default()
+        };
+        let design = design_contracts(trace, &detection, &config)?;
+        let sim = Simulation::new(params, SimulationConfig::default());
+
+        let ours_agents = BaselineStrategy::new(StrategyKind::DynamicContract)
+            .assemble(&design, params.omega, &suspected)?;
+        let ours = sim.run(&ours_agents)?.mean_round_utility;
+
+        let excl_agents = BaselineStrategy::new(StrategyKind::ExcludeMalicious)
+            .assemble(&design, params.omega, &suspected)?;
+        let exclude = sim.run(&excl_agents)?.mean_round_utility;
+
+        // Fixed payment matched to our mean per-agent spend.
+        let in_system = ours_agents.iter().filter(|a| a.in_system).count().max(1);
+        let total_spend: f64 = design.agents.iter().map(|a| a.compensation).sum();
+        let amount = (total_spend / in_system as f64).max(0.0);
+        let fixed_agents = BaselineStrategy::new(StrategyKind::FixedPayment { amount })
+            .assemble(&design, params.omega, &suspected)?;
+        let fixed = sim.run(&fixed_agents)?.mean_round_utility;
+
+        rows.push(Fig8cRow {
+            mu,
+            ours,
+            exclude,
+            fixed,
+        });
+    }
+    Ok(Fig8cResult { rows })
+}
+
+/// Runs E7 at the given scale and seed with the paper's μ values.
+///
+/// # Errors
+///
+/// Propagates design and simulation failures.
+pub fn run(scale: ExperimentScale, seed: u64) -> Result<Fig8cResult, CoreError> {
+    run_on(&scale.generate(seed), &crate::fig8b::DEFAULT_MUS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ours_dominates_exclusion_at_every_mu() {
+        let result = run(ExperimentScale::Small, crate::DEFAULT_SEED).unwrap();
+        assert_eq!(result.rows.len(), 3);
+        for r in &result.rows {
+            assert!(
+                r.ours >= r.exclude,
+                "mu={}: ours {} below exclusion {}",
+                r.mu,
+                r.ours,
+                r.exclude
+            );
+            assert!(
+                r.ours >= r.fixed,
+                "mu={}: ours {} below fixed payment {}",
+                r.mu,
+                r.ours,
+                r.fixed
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let result = run(ExperimentScale::Small, 17).unwrap();
+        let s = result.table().to_string();
+        assert!(s.contains("exclude malicious"));
+    }
+}

@@ -1,0 +1,101 @@
+//! # dcc-experiments
+//!
+//! Runners that regenerate every table and figure of the paper's
+//! evaluation (§V) plus the Fig. 6 bound analysis, on the synthetic trace
+//! substrate. Each runner returns a typed result *and* renders the same
+//! rows/series the paper reports; the binaries in `src/bin` print them.
+//!
+//! | id | artifact | runner |
+//! |----|----------|--------|
+//! | E1 | Fig. 6 — utility vs Theorem 4.1 bounds over m | [`fig6::run`] |
+//! | E2 | Table II — collusive community sizes | [`table2::run`] |
+//! | E3 | Fig. 7 — class effort/feedback comparison | [`fig7::run`] |
+//! | E4 | Table III — NoR of polynomial fits | [`table3::run`] |
+//! | E5 | Fig. 8(a) — compensation vs lower bound | [`fig8a::run`] |
+//! | E6 | Fig. 8(b) — compensation by class and μ | [`fig8b::run`] |
+//! | E7 | Fig. 8(c) — ours vs exclusion baseline | [`fig8c::run`] |
+//!
+//! All runners are deterministic for a given [`ExperimentScale`] and seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive_ext;
+pub mod baselines_ext;
+pub mod budget_ext;
+pub mod risk_ext;
+pub mod collusion_ablation;
+pub mod detection_quality;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8a;
+pub mod fig8b;
+pub mod fig8c;
+pub mod sensitivity;
+pub mod table2;
+pub mod table3;
+
+mod render;
+
+pub use render::TextTable;
+
+use dcc_trace::{SyntheticConfig, TraceDataset};
+
+/// Workload scale for experiment runners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Hundreds of workers — seconds; used by tests and quick runs.
+    Small,
+    /// The paper's §V workload (19,686 reviewers, ≈118k reviews).
+    Paper,
+}
+
+impl ExperimentScale {
+    /// Parses `"small"` / `"paper"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" => Some(ExperimentScale::Small),
+            "paper" => Some(ExperimentScale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The trace generator configuration for this scale.
+    pub fn trace_config(self, seed: u64) -> SyntheticConfig {
+        match self {
+            ExperimentScale::Small => {
+                let mut cfg = SyntheticConfig::small(seed);
+                // Enough honest workers for the Fig. 8(a) prolific filter
+                // and enough communities for a stable Table II histogram.
+                cfg.n_honest = 1_000;
+                cfg.n_products = 2_000;
+                cfg.n_cm_target = 120;
+                cfg
+            }
+            ExperimentScale::Paper => SyntheticConfig::paper_scale(seed),
+        }
+    }
+
+    /// Generates the trace for this scale.
+    pub fn generate(self, seed: u64) -> TraceDataset {
+        self.trace_config(seed).generate()
+    }
+}
+
+/// Reads the scale from process args (`--scale small|paper`), defaulting
+/// to [`ExperimentScale::Paper`] for binaries.
+pub fn scale_from_args() -> ExperimentScale {
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == "--scale" {
+            if let Some(s) = ExperimentScale::parse(&pair[1]) {
+                return s;
+            }
+        }
+    }
+    ExperimentScale::Paper
+}
+
+/// The default experiment seed (shared so all artifacts come from the
+/// same trace).
+pub const DEFAULT_SEED: u64 = 42;

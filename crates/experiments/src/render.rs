@@ -1,0 +1,134 @@
+use std::fmt;
+
+/// A minimal fixed-width text table for experiment output.
+///
+/// # Example
+///
+/// ```
+/// use dcc_experiments::TextTable;
+///
+/// let mut t = TextTable::new(vec!["m".into(), "utility".into()]);
+/// t.row(vec!["10".into(), "3.25".into()]);
+/// assert!(t.to_string().contains("utility"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded or truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (header + rows). Cells containing commas
+    /// or quotes are quoted per RFC 4180.
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let mut write_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.header);
+        for row in &self.rows {
+            write_row(row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 4 significant decimals for table cells.
+pub(crate) fn fmt_f(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_rows() {
+        let mut t = TextTable::new(vec!["a".into(), "bb".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["10".into()]);
+        let s = t.to_string();
+        assert!(s.contains("a"));
+        assert!(s.contains("---"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn fmt_f_four_decimals() {
+        assert_eq!(fmt_f(1.23456), "1.2346");
+    }
+
+    #[test]
+    fn csv_escapes_and_renders() {
+        let mut t = TextTable::new(vec!["name".into(), "note".into()]);
+        t.row(vec!["plain".into(), "a,b".into()]);
+        t.row(vec!["quoted \"x\"".into(), "fine".into()]);
+        let csv = t.to_csv();
+        assert_eq!(
+            csv,
+            "name,note\nplain,\"a,b\"\n\"quoted \"\"x\"\"\",fine\n"
+        );
+    }
+}

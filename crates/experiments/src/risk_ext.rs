@@ -1,0 +1,160 @@
+//! E14 (extension) — **risk-attitude premium**: the paper's workers are
+//! risk-neutral in money; this experiment measures how much induced
+//! effort a contract loses as workers' money-utility turns concave
+//! (`u(c) = c^ρ`), and how much steeper a contract must be to restore it.
+
+use crate::render::fmt_f;
+use crate::TextTable;
+use dcc_core::{
+    best_response_risk_averse, Contract, ContractBuilder, CoreError, Discretization,
+    ModelParams, RiskProfile,
+};
+use dcc_numerics::Quadratic;
+
+/// One risk-exponent row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiskRow {
+    /// Money-utility exponent ρ.
+    pub exponent: f64,
+    /// Induced effort under the baseline (risk-neutral-designed)
+    /// contract.
+    pub effort: f64,
+    /// Effort retained relative to the risk-neutral worker.
+    pub effort_fraction: f64,
+    /// The payment multiplier needed to restore ≥95% of the risk-neutral
+    /// effort (scanned over scale factors).
+    pub restoring_multiplier: f64,
+}
+
+/// The E14 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskResult {
+    /// One row per exponent.
+    pub rows: Vec<RiskRow>,
+    /// The risk-neutral induced effort (the 100% reference).
+    pub neutral_effort: f64,
+}
+
+impl RiskResult {
+    /// Renders the premium table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "rho".into(),
+            "effort".into(),
+            "retained %".into(),
+            "pay multiplier to restore".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                format!("{:.2}", r.exponent),
+                fmt_f(r.effort),
+                format!("{:.1}", 100.0 * r.effort_fraction),
+                format!("{:.2}", r.restoring_multiplier),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs E14 on the standard single-worker configuration.
+///
+/// # Errors
+///
+/// Propagates design/response failures.
+pub fn run(exponents: &[f64]) -> Result<RiskResult, CoreError> {
+    let params = ModelParams {
+        mu: 1.0,
+        omega: 0.0,
+        ..ModelParams::default()
+    };
+    let psi = Quadratic::new(-0.15, 2.5, 1.0);
+    let disc = Discretization::covering(20, 7.0)?;
+    let built = ContractBuilder::new(params, disc, psi)
+        .honest()
+        .weight(1.5)
+        .build()?;
+    let contract = built.contract().clone();
+    let neutral_effort =
+        best_response_risk_averse(&params, &psi, &contract, &RiskProfile::neutral())?.effort;
+
+    let scaled = |factor: f64| -> Result<Contract, CoreError> {
+        Contract::new(
+            contract.feedback_knots().to_vec(),
+            contract.payments().iter().map(|x| factor * x).collect(),
+        )
+    };
+
+    let mut rows = Vec::with_capacity(exponents.len());
+    for &exponent in exponents {
+        let risk = RiskProfile::new(exponent)?;
+        let effort = best_response_risk_averse(&params, &psi, &contract, &risk)?.effort;
+
+        // Scan multipliers (geometrically — concave money-utility makes
+        // the needed premium grow like pay^(1/ρ)) for the one restoring
+        // >= 95% of neutral effort.
+        let mut restoring = f64::NAN;
+        let mut factor = 1.0;
+        while factor <= 4096.0 {
+            let boosted =
+                best_response_risk_averse(&params, &psi, &scaled(factor)?, &risk)?.effort;
+            if boosted >= 0.95 * neutral_effort {
+                restoring = factor;
+                break;
+            }
+            factor *= 1.15;
+        }
+        rows.push(RiskRow {
+            exponent,
+            effort,
+            effort_fraction: if neutral_effort > 0.0 {
+                effort / neutral_effort
+            } else {
+                0.0
+            },
+            restoring_multiplier: restoring,
+        });
+    }
+    Ok(RiskResult {
+        rows,
+        neutral_effort,
+    })
+}
+
+/// Default exponents.
+pub const DEFAULT_EXPONENTS: [f64; 5] = [1.0, 0.9, 0.75, 0.6, 0.45];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn premium_grows_as_risk_aversion_deepens() {
+        let result = run(&DEFAULT_EXPONENTS).unwrap();
+        assert_eq!(result.rows.len(), 5);
+        assert!(result.neutral_effort > 1.0);
+        // Effort falls monotonically with rho; the restoring multiplier
+        // rises.
+        for w in result.rows.windows(2) {
+            assert!(w[1].effort <= w[0].effort + 1e-6);
+            if w[0].restoring_multiplier.is_finite() && w[1].restoring_multiplier.is_finite() {
+                assert!(w[1].restoring_multiplier >= w[0].restoring_multiplier - 1e-9);
+            }
+        }
+        // The neutral row is the no-premium reference.
+        assert!((result.rows[0].effort_fraction - 1.0).abs() < 1e-6);
+        assert!((result.rows[0].restoring_multiplier - 1.0).abs() < 1e-9);
+        // Deep aversion needs a real premium.
+        let deep = result.rows.last().unwrap();
+        assert!(
+            deep.restoring_multiplier > 1.5,
+            "rho=0.45 should need a >1.5x premium, got {}",
+            deep.restoring_multiplier
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let result = run(&[1.0, 0.5]).unwrap();
+        assert!(result.table().to_string().contains("pay multiplier"));
+    }
+}

@@ -1,0 +1,160 @@
+//! E9 (extension) — **penalty-coefficient sensitivity**: how the Eq. 5
+//! penalties κ (malicious probability) and γ (partner count) shape the
+//! per-class compensation and the requester's utility.
+//!
+//! The paper fixes κ = γ = 0.1; this sweep shows the ordering
+//! honest > NCM > CM is not an artifact of that choice, and quantifies
+//! the cost of over-penalizing (useful malicious feedback discarded).
+
+use crate::render::fmt_f;
+use crate::{ExperimentScale, TextTable};
+use dcc_core::{design_contracts, CoreError, DesignConfig};
+use dcc_detect::{run_pipeline, PipelineConfig, WeightParams};
+use dcc_trace::{TraceDataset, WorkerClass};
+
+/// One (κ, γ) cell of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensitivityRow {
+    /// Malicious-probability penalty κ.
+    pub kappa: f64,
+    /// Partner-count penalty γ.
+    pub gamma: f64,
+    /// Mean compensation of honest workers.
+    pub honest_pay: f64,
+    /// Mean compensation of non-collusive malicious workers.
+    pub ncm_pay: f64,
+    /// Mean compensation of collusive malicious workers.
+    pub cm_pay: f64,
+    /// The requester's designed per-round utility.
+    pub utility: f64,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityResult {
+    /// One row per (κ, γ) pair.
+    pub rows: Vec<SensitivityRow>,
+}
+
+impl SensitivityResult {
+    /// Renders the sweep as a table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "kappa".into(),
+            "gamma".into(),
+            "honest pay".into(),
+            "ncm pay".into(),
+            "cm pay".into(),
+            "requester utility".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                format!("{:.2}", r.kappa),
+                format!("{:.2}", r.gamma),
+                fmt_f(r.honest_pay),
+                fmt_f(r.ncm_pay),
+                fmt_f(r.cm_pay),
+                fmt_f(r.utility),
+            ]);
+        }
+        t
+    }
+
+    /// The row for a (κ, γ) pair.
+    pub fn at(&self, kappa: f64, gamma: f64) -> Option<&SensitivityRow> {
+        self.rows
+            .iter()
+            .find(|r| (r.kappa - kappa).abs() < 1e-9 && (r.gamma - gamma).abs() < 1e-9)
+    }
+}
+
+/// Runs E9 on an existing trace over a (κ, γ) grid.
+///
+/// # Errors
+///
+/// Propagates design failures.
+pub fn run_on(
+    trace: &TraceDataset,
+    kappas: &[f64],
+    gammas: &[f64],
+) -> Result<SensitivityResult, CoreError> {
+    let mut rows = Vec::with_capacity(kappas.len() * gammas.len());
+    for &kappa in kappas {
+        for &gamma in gammas {
+            let detection = run_pipeline(
+                trace,
+                PipelineConfig {
+                    weights: WeightParams {
+                        kappa,
+                        gamma,
+                        ..WeightParams::default()
+                    },
+                    ..PipelineConfig::default()
+                },
+            );
+            let config = DesignConfig::default();
+            let design = design_contracts(trace, &detection, &config)?;
+            let mean_pay = |class: WorkerClass| {
+                let comps = design.compensations_of(&trace.workers_of_class(class));
+                comps.iter().sum::<f64>() / comps.len().max(1) as f64
+            };
+            rows.push(SensitivityRow {
+                kappa,
+                gamma,
+                honest_pay: mean_pay(WorkerClass::Honest),
+                ncm_pay: mean_pay(WorkerClass::NonCollusiveMalicious),
+                cm_pay: mean_pay(WorkerClass::CollusiveMalicious),
+                utility: design.total_requester_utility,
+            });
+        }
+    }
+    Ok(SensitivityResult { rows })
+}
+
+/// The default grid.
+pub const DEFAULT_KAPPAS: [f64; 3] = [0.0, 0.1, 0.4];
+/// The default γ grid.
+pub const DEFAULT_GAMMAS: [f64; 3] = [0.0, 0.1, 0.4];
+
+/// Runs E9 at the given scale and seed with the default grid.
+///
+/// # Errors
+///
+/// Propagates design failures.
+pub fn run(scale: ExperimentScale, seed: u64) -> Result<SensitivityResult, CoreError> {
+    run_on(&scale.generate(seed), &DEFAULT_KAPPAS, &DEFAULT_GAMMAS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_robust_across_grid_and_penalties_monotone() {
+        let result = run(ExperimentScale::Small, crate::DEFAULT_SEED).unwrap();
+        assert_eq!(result.rows.len(), 9);
+        for r in &result.rows {
+            assert!(
+                r.honest_pay > r.ncm_pay || r.ncm_pay < 1e-9,
+                "({}, {}): honest {} vs ncm {}",
+                r.kappa,
+                r.gamma,
+                r.honest_pay,
+                r.ncm_pay
+            );
+            assert!(r.honest_pay > r.cm_pay, "honest must out-earn collusive");
+        }
+        // Harsher gamma never raises collusive pay.
+        let soft = result.at(0.1, 0.0).unwrap();
+        let hard = result.at(0.1, 0.4).unwrap();
+        assert!(hard.cm_pay <= soft.cm_pay + 1e-9);
+        // Honest pay is unaffected by gamma (no partners).
+        assert!((hard.honest_pay - soft.honest_pay).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table_has_grid_rows() {
+        let result = run(ExperimentScale::Small, 3).unwrap();
+        assert_eq!(result.table().len(), 9);
+    }
+}

@@ -1,0 +1,92 @@
+//! E2 — **Table II**: the distribution of collusive community sizes
+//! discovered by the §IV-A clustering, next to the paper's percentages.
+
+use crate::render::fmt_f;
+use crate::{ExperimentScale, TextTable};
+use dcc_detect::{run_pipeline, PipelineConfig};
+use dcc_trace::TraceDataset;
+
+/// The paper's Table II percentages for buckets `2, 3, 4, 5, 6, ≥10`.
+pub const PAPER_PERCENTAGES: [f64; 6] = [51.2, 22.0, 7.3, 2.4, 9.8, 4.9];
+
+/// The Table II reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Result {
+    /// `(bucket label, count, ours %, paper %)` rows.
+    pub rows: Vec<(String, usize, f64, f64)>,
+    /// Total number of communities found.
+    pub communities: usize,
+    /// Total number of collusive workers found.
+    pub collusive_workers: usize,
+}
+
+impl Table2Result {
+    /// Renders the distribution table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "size".into(),
+            "count".into(),
+            "ours (%)".into(),
+            "paper (%)".into(),
+        ]);
+        for (label, count, ours, paper) in &self.rows {
+            t.row(vec![
+                label.clone(),
+                count.to_string(),
+                fmt_f(*ours),
+                fmt_f(*paper),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs E2 on an existing trace.
+pub fn run_on(trace: &TraceDataset) -> Table2Result {
+    let detection = run_pipeline(trace, PipelineConfig::default());
+    let hist = detection.collusion.size_histogram();
+    let pct = detection.collusion.size_percentages();
+    let rows = hist
+        .into_iter()
+        .zip(pct)
+        .zip(PAPER_PERCENTAGES)
+        .map(|(((label, count), (_, ours)), paper)| (label, count, ours, paper))
+        .collect();
+    Table2Result {
+        rows,
+        communities: detection.collusion.communities.len(),
+        collusive_workers: detection.collusion.collusive_worker_count(),
+    }
+}
+
+/// Runs E2 at the given scale and seed.
+pub fn run(scale: ExperimentScale, seed: u64) -> Table2Result {
+    run_on(&scale.generate(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_shape_matches_paper() {
+        let result = run(ExperimentScale::Small, crate::DEFAULT_SEED);
+        assert_eq!(result.rows.len(), 6);
+        assert!(result.communities > 0);
+        assert!(result.collusive_workers >= 2 * result.communities);
+        // Size-2 bucket dominates, as in the paper.
+        let counts: Vec<usize> = result.rows.iter().map(|r| r.1).collect();
+        assert!(counts.iter().all(|&c| c <= counts[0]));
+        // Percentages sum to 100.
+        let total: f64 = result.rows.iter().map(|r| r.2).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders() {
+        let result = run(ExperimentScale::Small, 7);
+        let s = result.table().to_string();
+        assert!(s.contains("paper"));
+        assert!(s.contains(">=10"));
+    }
+}

@@ -1,0 +1,193 @@
+use crate::{Graph, GraphError};
+
+/// A bipartite graph between `left` vertices (workers) and `right`
+/// vertices (products).
+///
+/// §IV-A's auxiliary graph connects two malicious workers iff they review
+/// the same product; that is exactly the *left projection* of the
+/// worker↔product bipartite graph, which [`Bipartite::project_left`]
+/// computes without materializing all pairwise comparisons.
+///
+/// # Example
+///
+/// ```
+/// use dcc_graph::{connected_components, Bipartite};
+///
+/// // Workers 0 and 1 both review product 0; worker 2 reviews product 1.
+/// let mut b = Bipartite::new(3, 2);
+/// b.add_edge(0, 0).unwrap();
+/// b.add_edge(1, 0).unwrap();
+/// b.add_edge(2, 1).unwrap();
+/// let g = b.project_left();
+/// assert!(g.has_edge(0, 1));
+/// assert_eq!(connected_components(&g).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bipartite {
+    left: usize,
+    right: usize,
+    /// For each right vertex, the sorted list of left vertices touching it.
+    right_adj: Vec<Vec<usize>>,
+}
+
+impl Bipartite {
+    /// Creates an empty bipartite graph with `left` workers and `right`
+    /// products.
+    pub fn new(left: usize, right: usize) -> Self {
+        Bipartite {
+            left,
+            right,
+            right_adj: vec![Vec::new(); right],
+        }
+    }
+
+    /// Number of left (worker) vertices.
+    pub fn left_count(&self) -> usize {
+        self.left
+    }
+
+    /// Number of right (product) vertices.
+    pub fn right_count(&self) -> usize {
+        self.right
+    }
+
+    /// Connects left vertex `l` to right vertex `r`. Duplicate edges are
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if either side is out of
+    /// range.
+    pub fn add_edge(&mut self, l: usize, r: usize) -> Result<(), GraphError> {
+        if l >= self.left {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: l,
+                len: self.left,
+            });
+        }
+        if r >= self.right {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: r,
+                len: self.right,
+            });
+        }
+        if !self.right_adj[r].contains(&l) {
+            self.right_adj[r].push(l);
+        }
+        Ok(())
+    }
+
+    /// The left vertices attached to right vertex `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if `r` is out of range.
+    pub fn left_of(&self, r: usize) -> Result<&[usize], GraphError> {
+        self.right_adj
+            .get(r)
+            .map(|v| v.as_slice())
+            .ok_or(GraphError::VertexOutOfRange {
+                vertex: r,
+                len: self.right,
+            })
+    }
+
+    /// Projects onto the left side: the undirected graph over workers where
+    /// two workers are adjacent iff they share at least one product.
+    ///
+    /// Each product contributes a path through its workers rather than a
+    /// clique — connectivity (and hence the communities of §IV-A) is
+    /// identical, but the projection stays linear in the input size instead
+    /// of quadratic for popular products.
+    pub fn project_left(&self) -> Graph {
+        let mut g = Graph::new(self.left);
+        for workers in &self.right_adj {
+            for pair in workers.windows(2) {
+                g.add_edge_unique(pair[0], pair[1]).expect("vertices validated on insert");
+            }
+        }
+        g
+    }
+
+    /// Projects onto the left side as a full clique per product.
+    ///
+    /// Produces the literal auxiliary graph of the paper (every pair of
+    /// co-reviewers connected). Use [`Bipartite::project_left`] unless the
+    /// pairwise edges themselves matter (e.g. for partner counting).
+    pub fn project_left_clique(&self) -> Graph {
+        let mut g = Graph::new(self.left);
+        for workers in &self.right_adj {
+            for (i, &u) in workers.iter().enumerate() {
+                for &v in &workers[i + 1..] {
+                    g.add_edge_unique(u, v).expect("vertices validated on insert");
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connected_components;
+
+    #[test]
+    fn construction_and_bounds() {
+        let mut b = Bipartite::new(2, 2);
+        assert_eq!(b.left_count(), 2);
+        assert_eq!(b.right_count(), 2);
+        assert!(b.add_edge(2, 0).is_err());
+        assert!(b.add_edge(0, 2).is_err());
+        assert!(b.left_of(5).is_err());
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut b = Bipartite::new(2, 1);
+        b.add_edge(0, 0).unwrap();
+        b.add_edge(0, 0).unwrap();
+        assert_eq!(b.left_of(0).unwrap(), &[0]);
+    }
+
+    #[test]
+    fn path_and_clique_projections_have_same_components() {
+        let mut b = Bipartite::new(6, 3);
+        // Product 0 reviewed by workers 0,1,2; product 1 by 2,3; product 2 by 5.
+        for w in [0, 1, 2] {
+            b.add_edge(w, 0).unwrap();
+        }
+        for w in [2, 3] {
+            b.add_edge(w, 1).unwrap();
+        }
+        b.add_edge(5, 2).unwrap();
+
+        let path = b.project_left();
+        let clique = b.project_left_clique();
+        assert_eq!(connected_components(&path), connected_components(&clique));
+        assert_eq!(
+            connected_components(&path),
+            vec![vec![0, 1, 2, 3], vec![4], vec![5]]
+        );
+    }
+
+    #[test]
+    fn clique_projection_has_all_pairs() {
+        let mut b = Bipartite::new(3, 1);
+        for w in 0..3 {
+            b.add_edge(w, 0).unwrap();
+        }
+        let g = b.project_left_clique();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn empty_projection() {
+        let b = Bipartite::new(3, 0);
+        let g = b.project_left();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(connected_components(&g).len(), 3);
+    }
+}

@@ -1,0 +1,125 @@
+use crate::Graph;
+
+/// Finds the connected components of an undirected graph by iterative
+/// depth-first search — the clustering step of §IV-A.
+///
+/// Components are returned in order of their smallest vertex, and the
+/// vertices inside each component are sorted ascending, so the output is
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use dcc_graph::{connected_components, Graph};
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(2, 3).unwrap();
+/// assert_eq!(connected_components(&g), vec![vec![0], vec![1], vec![2, 3]]);
+/// ```
+pub fn connected_components(g: &Graph) -> Vec<Vec<usize>> {
+    let n = g.vertex_count();
+    let mut visited = vec![false; n];
+    let mut components = Vec::new();
+    let mut stack = Vec::new();
+
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let mut component = Vec::new();
+        visited[start] = true;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            component.push(v);
+            for &w in g.neighbors(v).expect("vertex in range") {
+                if !visited[w] {
+                    visited[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+/// The multiset of component sizes, sorted descending — the statistic
+/// behind Table II's community-size distribution.
+pub fn component_sizes(g: &Graph) -> Vec<usize> {
+    let mut sizes: Vec<usize> = connected_components(g).iter().map(Vec::len).collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        assert!(connected_components(&Graph::new(0)).is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let comps = connected_components(&Graph::new(3));
+        assert_eq!(comps, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn chain_is_one_component() {
+        let mut g = Graph::new(5);
+        for i in 0..4 {
+            g.add_edge(i, i + 1).unwrap();
+        }
+        assert_eq!(connected_components(&g), vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn two_triangles() {
+        let mut g = Graph::new(6);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge(u, v).unwrap();
+        }
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn self_loops_do_not_merge() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 0).unwrap();
+        assert_eq!(connected_components(&g).len(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_harmless() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(connected_components(&g), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn sizes_sorted_descending() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g.add_edge(3, 4).unwrap();
+        assert_eq!(component_sizes(&g), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // Iterative DFS must handle paths far deeper than the call stack.
+        let n = 200_000;
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1).unwrap();
+        }
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), n);
+    }
+}

@@ -1,0 +1,36 @@
+use std::fmt;
+
+/// Errors produced by graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex index was out of range.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        len: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, len } => {
+                write!(f, "vertex {vertex} out of range for graph with {len} vertices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, len: 3 };
+        assert_eq!(e.to_string(), "vertex 9 out of range for graph with 3 vertices");
+    }
+}

@@ -1,0 +1,166 @@
+use crate::GraphError;
+
+/// A simple undirected graph over vertices `0..n` stored as adjacency
+/// lists.
+///
+/// Parallel edges are deduplicated lazily by the algorithms that care
+/// (components are insensitive to multiplicity); self-loops are permitted
+/// but ignored by traversal.
+///
+/// # Example
+///
+/// ```
+/// use dcc_graph::Graph;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 2).unwrap();
+/// assert_eq!(g.degree(0).unwrap(), 1);
+/// assert_eq!(g.neighbors(2).unwrap(), &[0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges added (self-loops count once).
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if either endpoint is out
+    /// of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        let len = self.adj.len();
+        for w in [u, v] {
+            if w >= len {
+                return Err(GraphError::VertexOutOfRange { vertex: w, len });
+            }
+        }
+        if u == v {
+            self.adj[u].push(v);
+        } else {
+            self.adj[u].push(v);
+            self.adj[v].push(u);
+        }
+        self.edges += 1;
+        Ok(())
+    }
+
+    /// Adds the edge `{u, v}` only if not already present.
+    ///
+    /// Returns `true` if the edge was inserted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if either endpoint is out
+    /// of range.
+    pub fn add_edge_unique(&mut self, u: usize, v: usize) -> Result<bool, GraphError> {
+        let len = self.adj.len();
+        for w in [u, v] {
+            if w >= len {
+                return Err(GraphError::VertexOutOfRange { vertex: w, len });
+            }
+        }
+        if self.adj[u].contains(&v) {
+            return Ok(false);
+        }
+        self.add_edge(u, v)?;
+        Ok(true)
+    }
+
+    /// The neighbor list of `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> Result<&[usize], GraphError> {
+        self.adj.get(v).map(|n| n.as_slice()).ok_or(GraphError::VertexOutOfRange {
+            vertex: v,
+            len: self.adj.len(),
+        })
+    }
+
+    /// The degree of `v` (self-loops contribute 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if `v` is out of range.
+    pub fn degree(&self, v: usize) -> Result<usize, GraphError> {
+        Ok(self.neighbors(v)?.len())
+    }
+
+    /// `true` iff `u` and `v` are directly adjacent.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj.get(u).map(|n| n.contains(&v)).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(1).unwrap(), 2);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut g = Graph::new(2);
+        assert!(g.add_edge(0, 2).is_err());
+        assert!(g.add_edge(5, 0).is_err());
+        assert!(g.neighbors(2).is_err());
+        assert!(g.degree(9).is_err());
+        assert!(!g.has_edge(9, 0));
+    }
+
+    #[test]
+    fn self_loop_allowed_once() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1).unwrap();
+        assert_eq!(g.degree(1).unwrap(), 1);
+        assert!(g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn add_edge_unique_dedups() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge_unique(0, 1).unwrap());
+        assert!(!g.add_edge_unique(0, 1).unwrap());
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0).unwrap(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # dcc-graph
+//!
+//! Graph substrate for the `dyncontract` workspace.
+//!
+//! §IV-A of the paper reduces collusive-community discovery to connected
+//! components of an *auxiliary graph*: malicious workers are vertices and
+//! an edge joins two workers that target the same product. This crate
+//! provides the undirected [`Graph`], an iterative depth-first-search
+//! [`connected_components`], a [`UnionFind`] used to cross-check the DFS,
+//! and the [`Bipartite`] worker↔product graph whose projection builds the
+//! auxiliary graph in one pass.
+//!
+//! ## Example
+//!
+//! ```
+//! use dcc_graph::{connected_components, Graph};
+//!
+//! let mut g = Graph::new(5);
+//! g.add_edge(0, 1).unwrap();
+//! g.add_edge(1, 2).unwrap();
+//! g.add_edge(3, 4).unwrap();
+//! let comps = connected_components(&g);
+//! assert_eq!(comps.len(), 2);
+//! assert_eq!(comps[0], vec![0, 1, 2]);
+//! assert_eq!(comps[1], vec![3, 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bipartite;
+mod components;
+mod error;
+mod graph;
+mod unionfind;
+
+pub use bipartite::Bipartite;
+pub use components::{component_sizes, connected_components};
+pub use error::GraphError;
+pub use graph::Graph;
+pub use unionfind::UnionFind;

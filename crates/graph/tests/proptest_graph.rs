@@ -1,0 +1,74 @@
+//! Property tests cross-checking the two component implementations.
+
+use dcc_graph::{connected_components, Bipartite, Graph, UnionFind};
+use proptest::prelude::*;
+
+proptest! {
+    /// DFS components and union-find components agree on random graphs.
+    #[test]
+    fn dfs_equals_union_find(
+        n in 1usize..40,
+        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..80),
+    ) {
+        let mut g = Graph::new(n);
+        let mut uf = UnionFind::new(n);
+        for (u, v) in edges {
+            let (u, v) = (u % n, v % n);
+            g.add_edge(u, v).unwrap();
+            uf.union(u, v);
+        }
+        let dfs = connected_components(&g);
+        let ufc = uf.components();
+        prop_assert_eq!(dfs, ufc);
+    }
+
+    /// Component vertex sets partition the vertex set.
+    #[test]
+    fn components_partition_vertices(
+        n in 1usize..40,
+        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..60),
+    ) {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u % n, v % n).unwrap();
+        }
+        let comps = connected_components(&g);
+        let mut all: Vec<usize> = comps.into_iter().flatten().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    /// The path projection and the clique projection of any bipartite
+    /// graph have identical connected components.
+    #[test]
+    fn projections_agree_on_components(
+        workers in 1usize..20,
+        products in 1usize..10,
+        edges in proptest::collection::vec((0usize..20, 0usize..10), 0..60),
+    ) {
+        let mut b = Bipartite::new(workers, products);
+        for (w, p) in edges {
+            b.add_edge(w % workers, p % products).unwrap();
+        }
+        prop_assert_eq!(
+            connected_components(&b.project_left()),
+            connected_components(&b.project_left_clique())
+        );
+    }
+
+    /// Adding an edge never increases the number of components.
+    #[test]
+    fn adding_edges_monotone(
+        n in 2usize..30,
+        edges in proptest::collection::vec((0usize..30, 0usize..30), 1..40),
+    ) {
+        let mut g = Graph::new(n);
+        let mut prev = connected_components(&g).len();
+        for (u, v) in edges {
+            g.add_edge(u % n, v % n).unwrap();
+            let cur = connected_components(&g).len();
+            prop_assert!(cur <= prev);
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,120 @@
+use crate::LabelError;
+
+/// A worker's labeling accuracy as a function of effort:
+///
+/// `p(y) = p_max − (p_max − 0.5) · exp(−rate · y)`
+///
+/// — a concave saturating curve from the coin-flip floor 0.5 toward the
+/// skill ceiling `p_max`. This plays the role ψ plays for reviews: the
+/// behavioural primitive the contract machinery fits and exploits.
+///
+/// # Example
+///
+/// ```
+/// use dcc_label::AccuracyCurve;
+///
+/// let curve = AccuracyCurve::new(0.95, 0.5).unwrap();
+/// assert!((curve.accuracy(0.0) - 0.5).abs() < 1e-12);
+/// assert!(curve.accuracy(10.0) > 0.9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyCurve {
+    p_max: f64,
+    rate: f64,
+}
+
+impl AccuracyCurve {
+    /// Creates a curve with ceiling `p_max ∈ (0.5, 1]` and learning rate
+    /// `rate > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LabelError::InvalidConfig`] on out-of-domain arguments.
+    pub fn new(p_max: f64, rate: f64) -> Result<Self, LabelError> {
+        if !(0.5..=1.0).contains(&p_max) || p_max <= 0.5 {
+            return Err(LabelError::InvalidConfig(format!(
+                "accuracy ceiling must be in (0.5, 1], got {p_max}"
+            )));
+        }
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(LabelError::InvalidConfig(format!(
+                "learning rate must be positive, got {rate}"
+            )));
+        }
+        Ok(AccuracyCurve { p_max, rate })
+    }
+
+    /// Accuracy at effort `y ≥ 0` (clamped below at 0).
+    pub fn accuracy(&self, y: f64) -> f64 {
+        let y = y.max(0.0);
+        self.p_max - (self.p_max - 0.5) * (-self.rate * y).exp()
+    }
+
+    /// The skill ceiling `p_max`.
+    pub fn ceiling(&self) -> f64 {
+        self.p_max
+    }
+
+    /// The effort at which accuracy reaches the fraction `frac ∈ (0, 1)`
+    /// of the way from 0.5 to the ceiling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LabelError::InvalidConfig`] if `frac ∉ (0, 1)`.
+    pub fn effort_for_fraction(&self, frac: f64) -> Result<f64, LabelError> {
+        if !(0.0 < frac && frac < 1.0) {
+            return Err(LabelError::InvalidConfig(format!(
+                "fraction must be in (0, 1), got {frac}"
+            )));
+        }
+        Ok(-(1.0 - frac).ln() / self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(AccuracyCurve::new(0.5, 1.0).is_err());
+        assert!(AccuracyCurve::new(1.01, 1.0).is_err());
+        assert!(AccuracyCurve::new(0.9, 0.0).is_err());
+        assert!(AccuracyCurve::new(0.9, f64::NAN).is_err());
+        assert!(AccuracyCurve::new(0.9, 1.0).is_ok());
+    }
+
+    #[test]
+    fn accuracy_is_monotone_concave_saturating() {
+        let c = AccuracyCurve::new(0.95, 0.4).unwrap();
+        let mut prev = c.accuracy(0.0);
+        let mut prev_gain = f64::INFINITY;
+        for i in 1..=20 {
+            let y = i as f64 * 0.5;
+            let p = c.accuracy(y);
+            let gain = p - prev;
+            assert!(p > prev, "accuracy must increase");
+            assert!(gain <= prev_gain + 1e-12, "gains must shrink (concavity)");
+            assert!(p < 0.95, "ceiling never exceeded");
+            prev = p;
+            prev_gain = gain;
+        }
+    }
+
+    #[test]
+    fn negative_effort_clamps_to_floor() {
+        let c = AccuracyCurve::new(0.9, 1.0).unwrap();
+        assert_eq!(c.accuracy(-3.0), c.accuracy(0.0));
+    }
+
+    #[test]
+    fn effort_for_fraction_inverts() {
+        let c = AccuracyCurve::new(0.9, 0.7).unwrap();
+        let y = c.effort_for_fraction(0.8).unwrap();
+        let p = c.accuracy(y);
+        let frac = (p - 0.5) / (0.9 - 0.5);
+        assert!((frac - 0.8).abs() < 1e-9);
+        assert!(c.effort_for_fraction(0.0).is_err());
+        assert!(c.effort_for_fraction(1.0).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Label aggregation: plain and weighted majority voting.
+
+use crate::Label;
+
+/// Majority vote over one item's labels; ties break to [`Label::One`]
+/// (deterministic, documented).
+///
+/// Returns `None` for an empty ballot.
+pub fn majority(labels: &[Label]) -> Option<Label> {
+    if labels.is_empty() {
+        return None;
+    }
+    let ones = labels.iter().filter(|&&l| l == Label::One).count();
+    let zeros = labels.len() - ones;
+    Some(if ones >= zeros { Label::One } else { Label::Zero })
+}
+
+/// Weighted majority vote: each ballot carries a weight (e.g. estimated
+/// worker accuracy); ties break to [`Label::One`]. Negative weights are
+/// clamped to 0.
+///
+/// Returns `None` for an empty ballot or all-zero weights.
+pub fn weighted_majority(labels: &[Label], weights: &[f64]) -> Option<Label> {
+    if labels.is_empty() || labels.len() != weights.len() {
+        return None;
+    }
+    let mut one_mass = 0.0;
+    let mut zero_mass = 0.0;
+    for (&l, &w) in labels.iter().zip(weights) {
+        let w = w.max(0.0);
+        match l {
+            Label::One => one_mass += w,
+            Label::Zero => zero_mass += w,
+        }
+    }
+    if one_mass == 0.0 && zero_mass == 0.0 {
+        return None;
+    }
+    Some(if one_mass >= zero_mass {
+        Label::One
+    } else {
+        Label::Zero
+    })
+}
+
+/// Aggregates every item of a ballot matrix (`labels[w][i]`) by plain
+/// majority. Items with no ballots are skipped (the output has one label
+/// per item index that received at least one ballot; callers with dense
+/// matrices get one per item).
+pub fn aggregate_majority(labels: &[Vec<Label>], n_items: usize) -> Vec<Label> {
+    (0..n_items)
+        .map(|i| {
+            let ballots: Vec<Label> = labels
+                .iter()
+                .filter_map(|worker_labels| worker_labels.get(i).copied())
+                .collect();
+            majority(&ballots).unwrap_or(Label::One)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_basic_and_tie() {
+        assert_eq!(
+            majority(&[Label::One, Label::One, Label::Zero]),
+            Some(Label::One)
+        );
+        assert_eq!(
+            majority(&[Label::Zero, Label::Zero, Label::One]),
+            Some(Label::Zero)
+        );
+        assert_eq!(majority(&[Label::Zero, Label::One]), Some(Label::One));
+        assert_eq!(majority(&[]), None);
+    }
+
+    #[test]
+    fn weighted_majority_respects_weights() {
+        let labels = [Label::One, Label::Zero, Label::Zero];
+        assert_eq!(
+            weighted_majority(&labels, &[5.0, 1.0, 1.0]),
+            Some(Label::One)
+        );
+        assert_eq!(
+            weighted_majority(&labels, &[1.0, 1.0, 1.1]),
+            Some(Label::Zero)
+        );
+        // Negative weights clamp to zero rather than invert.
+        assert_eq!(
+            weighted_majority(&labels, &[1.0, -5.0, 0.5]),
+            Some(Label::One)
+        );
+        assert_eq!(weighted_majority(&labels, &[0.0, 0.0, 0.0]), None);
+        assert_eq!(weighted_majority(&labels, &[1.0]), None);
+        assert_eq!(weighted_majority(&[], &[]), None);
+    }
+
+    #[test]
+    fn aggregate_matrix() {
+        let labels = vec![
+            vec![Label::One, Label::Zero],
+            vec![Label::One, Label::Zero],
+            vec![Label::Zero, Label::One],
+        ];
+        assert_eq!(aggregate_majority(&labels, 2), vec![Label::One, Label::Zero]);
+    }
+}

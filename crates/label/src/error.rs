@@ -1,0 +1,48 @@
+use std::fmt;
+
+/// Errors produced by the labeling extension.
+#[derive(Debug)]
+pub enum LabelError {
+    /// A configuration value was outside its valid domain.
+    InvalidConfig(String),
+    /// Failure propagated from the contract core.
+    Core(dcc_core::CoreError),
+}
+
+impl fmt::Display for LabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            LabelError::Core(e) => write!(f, "contract core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LabelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LabelError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dcc_core::CoreError> for LabelError {
+    fn from(e: dcc_core::CoreError) -> Self {
+        LabelError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = LabelError::InvalidConfig("batch must be odd".into());
+        assert_eq!(e.to_string(), "invalid configuration: batch must be odd");
+        let c = LabelError::from(dcc_core::CoreError::InvalidParams("x".into()));
+        assert!(c.source().is_some());
+    }
+}

@@ -1,0 +1,47 @@
+//! # dcc-label
+//!
+//! The classification-task extension the paper names as future work
+//! (§VII: *"we also plan to extend our model from review tasks to a more
+//! general case, which can be applied to different crowdsourcing
+//! applications, like classification"*).
+//!
+//! Workers label batches of binary items. A worker's *accuracy* rises
+//! concavely with effort ([`AccuracyCurve`]); the platform aggregates
+//! labels by (weighted) majority vote ([`aggregate`]); a worker's
+//! *feedback* is its agreement count with the aggregate — a concave
+//! function of effort, exactly the shape the contract machinery of
+//! `dcc-core` expects. [`LabelMarket`] wires it together: simulate
+//! labeling rounds, fit the effort→agreement response, design contracts
+//! with the §IV-C algorithm, and measure the aggregate label quality the
+//! incentives buy.
+//!
+//! ## Example
+//!
+//! ```
+//! use dcc_label::{AccuracyCurve, LabelMarket, MarketConfig};
+//!
+//! # fn main() -> Result<(), dcc_label::LabelError> {
+//! let market = LabelMarket::new(MarketConfig::default());
+//! let report = market.run()?;
+//! assert!(report.contract_accuracy > report.fixed_accuracy);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accuracy;
+pub mod aggregate;
+mod defense;
+mod error;
+mod market;
+mod model;
+mod synth;
+
+pub use accuracy::AccuracyCurve;
+pub use defense::{run_defense, DefenseConfig, DefenseReport};
+pub use error::LabelError;
+pub use market::{LabelMarket, MarketConfig, MarketReport};
+pub use model::{Item, Label, LabelWorker, LabelingRound, WorkerRole};
+pub use synth::{simulate_round, RoundConfig};

@@ -1,0 +1,245 @@
+use crate::{simulate_round, AccuracyCurve, LabelError, LabelWorker, RoundConfig, WorkerRole};
+use dcc_core::{
+    best_response, fit_effort_function, ContractBuilder, Discretization, ModelParams,
+};
+
+/// Configuration of the labeling market experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarketConfig {
+    /// Number of diligent workers.
+    pub n_workers: usize,
+    /// Items per labeling round (odd avoids aggregate ties).
+    pub n_items: usize,
+    /// Calibration rounds used to fit the effort→agreement response.
+    pub calibration_rounds: usize,
+    /// Evaluation rounds under each pricing scheme.
+    pub eval_rounds: usize,
+    /// Model parameters for the contract design (ω is ignored — labeling
+    /// workers here are diligent, the honest case).
+    pub params: ModelParams,
+    /// Effort intervals of the designed contracts.
+    pub intervals: usize,
+    /// The requester's per-worker feedback weight.
+    pub weight: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            n_workers: 15,
+            n_items: 101,
+            calibration_rounds: 8,
+            eval_rounds: 6,
+            params: ModelParams {
+                // Agreement feedback is on the items-per-batch scale
+                // (~100), so a unit weight against mu = 1 leaves room for
+                // an interior optimum.
+                mu: 1.0,
+                omega: 0.0,
+                ..ModelParams::default()
+            },
+            intervals: 20,
+            weight: 0.25,
+            seed: 11,
+        }
+    }
+}
+
+/// Outcome of the labeling-market comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketReport {
+    /// Mean aggregate accuracy under the designed dynamic contracts.
+    pub contract_accuracy: f64,
+    /// Mean aggregate accuracy under a fixed payment of the same total
+    /// spend.
+    pub fixed_accuracy: f64,
+    /// Mean per-round spend under the contracts.
+    pub contract_spend: f64,
+    /// Mean effort the contracts induce.
+    pub mean_effort: f64,
+    /// The fitted effort→agreement response.
+    pub fitted_psi: dcc_numerics::Quadratic,
+    /// Number of calibration observation points used for the fit.
+    pub fit_points: usize,
+}
+
+/// The end-to-end labeling market: calibrate, fit, design, evaluate.
+///
+/// The §IV pipeline transplanted to classification:
+///
+/// 1. **Calibrate** — run labeling rounds with exploratory effort levels
+///    spread over the effort range, collecting `(effort, agreement)`
+///    observations (the classification analogue of §IV-B's fitting data).
+/// 2. **Fit** — least-squares quadratic, as Eq. 19.
+/// 3. **Design** — the §IV-C candidate algorithm on the fitted response.
+/// 4. **Evaluate** — workers best-respond to their contracts; measure
+///    majority-vote accuracy and spend, against a fixed payment of equal
+///    spend (under which a rational diligent worker exerts no effort).
+#[derive(Debug, Clone)]
+pub struct LabelMarket {
+    config: MarketConfig,
+}
+
+impl LabelMarket {
+    /// Creates a market with the given configuration.
+    pub fn new(config: MarketConfig) -> Self {
+        LabelMarket { config }
+    }
+
+    /// Runs the comparison.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LabelError::InvalidConfig`] for degenerate configs and
+    /// propagates fitting/design failures.
+    pub fn run(&self) -> Result<MarketReport, LabelError> {
+        let c = &self.config;
+        if c.n_workers == 0 || c.n_items == 0 || c.calibration_rounds < 3 || c.eval_rounds == 0
+        {
+            return Err(LabelError::InvalidConfig(
+                "need workers, items, >=3 calibration rounds and >=1 eval round".into(),
+            ));
+        }
+
+        let workers: Vec<LabelWorker> = (0..c.n_workers)
+            .map(|id| LabelWorker {
+                id,
+                curve: AccuracyCurve::new(0.95, 0.2).expect("valid curve"),
+                role: WorkerRole::Diligent,
+            })
+            .collect();
+
+        // --- 1. Calibration with spread-out efforts --------------------
+        let y_probe_max = 8.0;
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        for round in 0..c.calibration_rounds {
+            let efforts: Vec<f64> = (0..c.n_workers)
+                .map(|w| {
+                    let slot = (round * c.n_workers + w) % 16;
+                    y_probe_max * (slot as f64 + 0.5) / 16.0
+                })
+                .collect();
+            let outcome = simulate_round(
+                &workers,
+                &efforts,
+                RoundConfig {
+                    n_items: c.n_items,
+                    seed: c.seed.wrapping_add(round as u64),
+                },
+            );
+            points.extend(efforts.iter().copied().zip(outcome.agreements));
+        }
+
+        // --- 2. Fit (Eq. 19 analogue) -----------------------------------
+        let fit = fit_effort_function(&points)?;
+
+        // --- 3. Design ---------------------------------------------------
+        let peak = fit.psi.peak().unwrap_or(y_probe_max);
+        let disc = Discretization::covering(c.intervals, (0.9 * peak).min(y_probe_max))?;
+        let built = ContractBuilder::new(c.params, disc, fit.psi)
+            .honest()
+            .weight(c.weight)
+            .build()?;
+        let response = best_response(&c.params.for_honest(), &fit.psi, built.contract())?;
+        let induced_effort = response.effort;
+        let spend_per_worker = response.compensation;
+
+        // --- 4. Evaluate -------------------------------------------------
+        let run_rounds = |efforts: &[f64], tag: u64| -> f64 {
+            let mut total = 0.0;
+            for round in 0..c.eval_rounds {
+                let outcome = simulate_round(
+                    &workers,
+                    efforts,
+                    RoundConfig {
+                        n_items: c.n_items,
+                        seed: c.seed.wrapping_add(1_000 + tag + round as u64),
+                    },
+                );
+                total += outcome.aggregate_accuracy;
+            }
+            total / c.eval_rounds as f64
+        };
+
+        let contract_efforts = vec![induced_effort; c.n_workers];
+        let contract_accuracy = run_rounds(&contract_efforts, 0);
+
+        // Fixed payment of equal spend: a rational diligent worker exerts
+        // nothing (pay is effort-independent).
+        let fixed_efforts = vec![0.0; c.n_workers];
+        let fixed_accuracy = run_rounds(&fixed_efforts, 500);
+
+        Ok(MarketReport {
+            contract_accuracy,
+            fixed_accuracy,
+            contract_spend: spend_per_worker * c.n_workers as f64,
+            mean_effort: induced_effort,
+            fitted_psi: fit.psi,
+            fit_points: fit.points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contracts_buy_label_quality() {
+        let report = LabelMarket::new(MarketConfig::default()).run().unwrap();
+        assert!(
+            report.contract_accuracy > report.fixed_accuracy + 0.15,
+            "contract {} vs fixed {}",
+            report.contract_accuracy,
+            report.fixed_accuracy
+        );
+        assert!(report.mean_effort > 1.0, "contracts must induce real effort");
+        assert!(report.contract_spend > 0.0);
+        assert!(report.fit_points >= 100);
+        // The fitted response is a valid model effort function.
+        assert!(report.fitted_psi.r2() < 0.0);
+    }
+
+    #[test]
+    fn fixed_payment_accuracy_near_chance() {
+        let report = LabelMarket::new(MarketConfig::default()).run().unwrap();
+        assert!(
+            (report.fixed_accuracy - 0.5).abs() < 0.2,
+            "zero-effort majority should hover near chance, got {}",
+            report.fixed_accuracy
+        );
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        for bad in [
+            MarketConfig {
+                n_workers: 0,
+                ..MarketConfig::default()
+            },
+            MarketConfig {
+                n_items: 0,
+                ..MarketConfig::default()
+            },
+            MarketConfig {
+                calibration_rounds: 2,
+                ..MarketConfig::default()
+            },
+            MarketConfig {
+                eval_rounds: 0,
+                ..MarketConfig::default()
+            },
+        ] {
+            assert!(LabelMarket::new(bad).run().is_err());
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = LabelMarket::new(MarketConfig::default()).run().unwrap();
+        let b = LabelMarket::new(MarketConfig::default()).run().unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,106 @@
+use crate::AccuracyCurve;
+use std::fmt;
+
+/// A binary label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// The negative class.
+    Zero,
+    /// The positive class.
+    One,
+}
+
+impl Label {
+    /// The opposite label.
+    pub fn flipped(self) -> Label {
+        match self {
+            Label::Zero => Label::One,
+            Label::One => Label::Zero,
+        }
+    }
+
+    /// Converts from a boolean (`true` ⇒ [`Label::One`]).
+    pub fn from_bool(b: bool) -> Label {
+        if b {
+            Label::One
+        } else {
+            Label::Zero
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Zero => f.write_str("0"),
+            Label::One => f.write_str("1"),
+        }
+    }
+}
+
+/// An item to be labeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Item {
+    /// Dense identifier.
+    pub id: usize,
+    /// Ground-truth label (hidden from workers and the aggregator).
+    pub truth: Label,
+}
+
+/// The behavioural role of a labeling worker — the heterogeneity of §II
+/// transplanted to classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkerRole {
+    /// Labels as accurately as its effort allows.
+    Diligent,
+    /// Adversarial: with probability `flip_rate`, reports the *opposite*
+    /// of what it believes, to corrupt the aggregate.
+    Adversarial {
+        /// Probability of deliberately flipping a label.
+        flip_rate: f64,
+    },
+    /// Lazy spammer: ignores the item and answers [`Label::One`] always
+    /// (effort-independent).
+    Spammer,
+}
+
+/// A labeling worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelWorker {
+    /// Dense identifier.
+    pub id: usize,
+    /// How accuracy responds to effort.
+    pub curve: AccuracyCurve,
+    /// Behavioural role.
+    pub role: WorkerRole,
+}
+
+/// The outcome of one labeling round for one worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelingRound {
+    /// Effort each worker exerted, indexed by worker.
+    pub efforts: Vec<f64>,
+    /// `labels[w][i]` = worker `w`'s label for item `i`.
+    pub labels: Vec<Vec<Label>>,
+    /// The aggregated label per item.
+    pub aggregate: Vec<Label>,
+    /// Per-worker agreement counts with the aggregate (the *feedback*
+    /// signal, analogous to upvotes).
+    pub agreements: Vec<f64>,
+    /// Fraction of items whose aggregate matches the ground truth.
+    pub aggregate_accuracy: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_flip_and_bool() {
+        assert_eq!(Label::Zero.flipped(), Label::One);
+        assert_eq!(Label::One.flipped(), Label::Zero);
+        assert_eq!(Label::from_bool(true), Label::One);
+        assert_eq!(Label::from_bool(false), Label::Zero);
+        assert_eq!(Label::One.to_string(), "1");
+    }
+}

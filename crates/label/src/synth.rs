@@ -1,0 +1,213 @@
+use crate::aggregate::aggregate_majority;
+use crate::{Item, Label, LabelWorker, LabelingRound, WorkerRole};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of one simulated labeling round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundConfig {
+    /// Number of items in the batch.
+    pub n_items: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RoundConfig {
+    fn default() -> Self {
+        RoundConfig {
+            n_items: 101,
+            seed: 3,
+        }
+    }
+}
+
+/// Simulates one labeling round: each worker labels every item with the
+/// accuracy its effort buys (role-modified), the platform aggregates by
+/// majority vote, and per-worker agreement feedback is computed.
+///
+/// `efforts[w]` is worker `w`'s effort this round.
+///
+/// # Panics
+///
+/// Panics if `efforts.len() != workers.len()` (caller contract).
+pub fn simulate_round(
+    workers: &[LabelWorker],
+    efforts: &[f64],
+    config: RoundConfig,
+) -> LabelingRound {
+    assert_eq!(
+        workers.len(),
+        efforts.len(),
+        "one effort level per worker required"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let items: Vec<Item> = (0..config.n_items)
+        .map(|id| Item {
+            id,
+            truth: Label::from_bool(rng.gen::<bool>()),
+        })
+        .collect();
+
+    let labels: Vec<Vec<Label>> = workers
+        .iter()
+        .zip(efforts)
+        .map(|(worker, &effort)| {
+            items
+                .iter()
+                .map(|item| worker_label(worker, effort, item.truth, &mut rng))
+                .collect()
+        })
+        .collect();
+
+    let aggregate = aggregate_majority(&labels, config.n_items);
+    let agreements: Vec<f64> = labels
+        .iter()
+        .map(|worker_labels| {
+            worker_labels
+                .iter()
+                .zip(&aggregate)
+                .filter(|(l, a)| l == a)
+                .count() as f64
+        })
+        .collect();
+    let correct = aggregate
+        .iter()
+        .zip(&items)
+        .filter(|(a, item)| **a == item.truth)
+        .count();
+
+    LabelingRound {
+        efforts: efforts.to_vec(),
+        labels,
+        aggregate,
+        agreements,
+        aggregate_accuracy: correct as f64 / config.n_items.max(1) as f64,
+    }
+}
+
+/// One worker's label for one item.
+fn worker_label(worker: &LabelWorker, effort: f64, truth: Label, rng: &mut StdRng) -> Label {
+    match worker.role {
+        WorkerRole::Spammer => Label::One,
+        WorkerRole::Diligent => perceive(worker, effort, truth, rng),
+        WorkerRole::Adversarial { flip_rate } => {
+            let believed = perceive(worker, effort, truth, rng);
+            if rng.gen::<f64>() < flip_rate {
+                believed.flipped()
+            } else {
+                believed
+            }
+        }
+    }
+}
+
+/// What the worker believes the label is, given its accuracy at `effort`.
+fn perceive(worker: &LabelWorker, effort: f64, truth: Label, rng: &mut StdRng) -> Label {
+    if rng.gen::<f64>() < worker.curve.accuracy(effort) {
+        truth
+    } else {
+        truth.flipped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccuracyCurve;
+
+    fn diligent(id: usize) -> LabelWorker {
+        LabelWorker {
+            id,
+            curve: AccuracyCurve::new(0.95, 0.6).unwrap(),
+            role: WorkerRole::Diligent,
+        }
+    }
+
+    #[test]
+    fn round_shapes_are_consistent() {
+        let workers: Vec<LabelWorker> = (0..7).map(diligent).collect();
+        let efforts = vec![3.0; 7];
+        let round = simulate_round(&workers, &efforts, RoundConfig::default());
+        assert_eq!(round.labels.len(), 7);
+        assert_eq!(round.aggregate.len(), 101);
+        assert_eq!(round.agreements.len(), 7);
+        assert!(round.agreements.iter().all(|&a| a <= 101.0));
+        assert!((0.0..=1.0).contains(&round.aggregate_accuracy));
+    }
+
+    #[test]
+    fn effort_raises_aggregate_accuracy() {
+        let workers: Vec<LabelWorker> = (0..9).map(diligent).collect();
+        let lazy = simulate_round(&workers, &[0.0; 9], RoundConfig::default());
+        let hard = simulate_round(&workers, &[6.0; 9], RoundConfig::default());
+        assert!(
+            hard.aggregate_accuracy > lazy.aggregate_accuracy + 0.1,
+            "hard {} vs lazy {}",
+            hard.aggregate_accuracy,
+            lazy.aggregate_accuracy
+        );
+        // At zero effort everyone is a coin flip; accuracy near 0.5.
+        assert!((lazy.aggregate_accuracy - 0.5).abs() < 0.25);
+    }
+
+    #[test]
+    fn agreement_rises_with_own_effort() {
+        // A worker exerting more effort agrees with the (good) aggregate
+        // more often.
+        let mut workers: Vec<LabelWorker> = (0..11).map(diligent).collect();
+        workers[0].id = 0;
+        let mut low = vec![5.0; 11];
+        low[0] = 0.2;
+        let mut high = vec![5.0; 11];
+        high[0] = 6.0;
+        let round_low = simulate_round(&workers, &low, RoundConfig::default());
+        let round_high = simulate_round(&workers, &high, RoundConfig::default());
+        assert!(
+            round_high.agreements[0] > round_low.agreements[0],
+            "high {} vs low {}",
+            round_high.agreements[0],
+            round_low.agreements[0]
+        );
+    }
+
+    #[test]
+    fn spammers_answer_constant_one() {
+        let workers = vec![LabelWorker {
+            id: 0,
+            curve: AccuracyCurve::new(0.9, 1.0).unwrap(),
+            role: WorkerRole::Spammer,
+        }];
+        let round = simulate_round(&workers, &[9.0], RoundConfig::default());
+        assert!(round.labels[0].iter().all(|&l| l == Label::One));
+    }
+
+    #[test]
+    fn adversaries_degrade_aggregate() {
+        let honest: Vec<LabelWorker> = (0..9).map(diligent).collect();
+        let mut poisoned = honest.clone();
+        for w in poisoned.iter_mut().take(4) {
+            w.role = WorkerRole::Adversarial { flip_rate: 1.0 };
+        }
+        let cfg = RoundConfig {
+            n_items: 201,
+            seed: 5,
+        };
+        let clean = simulate_round(&honest, &[5.0; 9], cfg);
+        let dirty = simulate_round(&poisoned, &[5.0; 9], cfg);
+        assert!(
+            dirty.aggregate_accuracy < clean.aggregate_accuracy,
+            "dirty {} vs clean {}",
+            dirty.aggregate_accuracy,
+            clean.aggregate_accuracy
+        );
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let workers: Vec<LabelWorker> = (0..5).map(diligent).collect();
+        let a = simulate_round(&workers, &[2.0; 5], RoundConfig::default());
+        let b = simulate_round(&workers, &[2.0; 5], RoundConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests of the labeling extension.
+
+use dcc_label::aggregate::{majority, weighted_majority};
+use dcc_label::{simulate_round, AccuracyCurve, Label, LabelWorker, RoundConfig, WorkerRole};
+use proptest::prelude::*;
+
+fn label_vec(max_len: usize) -> impl Strategy<Value = Vec<Label>> {
+    proptest::collection::vec(any::<bool>().prop_map(Label::from_bool), 1..max_len)
+}
+
+proptest! {
+    /// Flipping a Zero ballot to One can never flip the majority from One
+    /// to Zero (monotonicity).
+    #[test]
+    fn majority_is_monotone(labels in label_vec(25), idx in 0usize..25) {
+        let idx = idx % labels.len();
+        let before = majority(&labels).unwrap();
+        let mut flipped = labels.clone();
+        if flipped[idx] == Label::Zero {
+            flipped[idx] = Label::One;
+            let after = majority(&flipped).unwrap();
+            prop_assert!(!(before == Label::One && after == Label::Zero));
+        }
+    }
+
+    /// Weighted majority with equal positive weights equals the plain
+    /// majority.
+    #[test]
+    fn equal_weights_reduce_to_plain(labels in label_vec(25), w in 0.1f64..10.0) {
+        let weights = vec![w; labels.len()];
+        prop_assert_eq!(weighted_majority(&labels, &weights), majority(&labels));
+    }
+
+    /// Zero-weighting a ballot is the same as removing it.
+    #[test]
+    fn zero_weight_is_removal(labels in label_vec(20)) {
+        prop_assume!(labels.len() >= 2);
+        let mut weights = vec![1.0; labels.len()];
+        weights[0] = 0.0;
+        let without: Vec<Label> = labels[1..].to_vec();
+        prop_assert_eq!(
+            weighted_majority(&labels, &weights),
+            majority(&without)
+        );
+    }
+
+    /// The accuracy curve stays inside [0.5, ceiling) and is monotone.
+    #[test]
+    fn accuracy_curve_bounds(
+        p_max in 0.51f64..1.0,
+        rate in 0.01f64..3.0,
+        y1 in 0.0f64..20.0,
+        y2 in 0.0f64..20.0,
+    ) {
+        let c = AccuracyCurve::new(p_max, rate).unwrap();
+        let (lo, hi) = if y1 <= y2 { (y1, y2) } else { (y2, y1) };
+        let p_lo = c.accuracy(lo);
+        let p_hi = c.accuracy(hi);
+        prop_assert!(p_lo >= 0.5 - 1e-12);
+        prop_assert!(p_hi < p_max + 1e-12);
+        prop_assert!(p_hi >= p_lo - 1e-12, "accuracy must be monotone");
+    }
+
+    /// Round simulation invariants: agreement counts bounded by items,
+    /// aggregate length matches, determinism per seed.
+    #[test]
+    fn round_invariants(
+        n_workers in 1usize..12,
+        n_items in 1usize..80,
+        seed in 0u64..500,
+        effort in 0.0f64..8.0,
+    ) {
+        let workers: Vec<LabelWorker> = (0..n_workers)
+            .map(|id| LabelWorker {
+                id,
+                curve: AccuracyCurve::new(0.9, 0.4).unwrap(),
+                role: if id % 4 == 3 {
+                    WorkerRole::Adversarial { flip_rate: 0.5 }
+                } else {
+                    WorkerRole::Diligent
+                },
+            })
+            .collect();
+        let efforts = vec![effort; n_workers];
+        let cfg = RoundConfig { n_items, seed };
+        let a = simulate_round(&workers, &efforts, cfg);
+        prop_assert_eq!(a.aggregate.len(), n_items);
+        prop_assert_eq!(a.agreements.len(), n_workers);
+        for &agr in &a.agreements {
+            prop_assert!(agr >= 0.0 && agr <= n_items as f64);
+        }
+        prop_assert!((0.0..=1.0).contains(&a.aggregate_accuracy));
+        let b = simulate_round(&workers, &efforts, cfg);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,84 @@
+use std::fmt;
+
+/// Errors produced by the numeric substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericsError {
+    /// A matrix or vector had a dimension incompatible with the operation.
+    DimensionMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it actually received.
+        actual: String,
+    },
+    /// A linear system was singular (or numerically indistinguishable
+    /// from singular) and could not be solved.
+    SingularSystem,
+    /// A matrix passed to Cholesky factorization was not positive definite.
+    NotPositiveDefinite,
+    /// Not enough data points for the requested fit degree.
+    InsufficientData {
+        /// Number of points supplied.
+        points: usize,
+        /// Number of points required.
+        required: usize,
+    },
+    /// An argument was outside its valid domain (NaN, empty, negative, ...).
+    InvalidArgument(String),
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            NumericsError::SingularSystem => write!(f, "linear system is singular"),
+            NumericsError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            NumericsError::InsufficientData { points, required } => write!(
+                f,
+                "insufficient data: {points} points supplied, {required} required"
+            ),
+            NumericsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            NumericsError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NumericsError::DimensionMismatch {
+            expected: "3x3".into(),
+            actual: "2x3".into(),
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 3x3, got 2x3");
+        assert_eq!(
+            NumericsError::SingularSystem.to_string(),
+            "linear system is singular"
+        );
+        assert_eq!(
+            NumericsError::NoConvergence { iterations: 7 }.to_string(),
+            "no convergence after 7 iterations"
+        );
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<NumericsError>();
+    }
+}

@@ -1,0 +1,261 @@
+use crate::{Matrix, NumericsError};
+
+/// Solves the square linear system `a * x = b` by Gaussian elimination
+/// with partial pivoting.
+///
+/// # Errors
+///
+/// - [`NumericsError::DimensionMismatch`] if `a` is not square or `b` has
+///   the wrong length.
+/// - [`NumericsError::SingularSystem`] if a pivot smaller than `1e-12`
+///   (relative to the largest entry) is encountered.
+///
+/// # Example
+///
+/// ```
+/// use dcc_numerics::{solve_gaussian, Matrix};
+///
+/// # fn main() -> Result<(), dcc_numerics::NumericsError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let x = solve_gaussian(&a, &[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_gaussian(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("square matrix ({n}x{n})"),
+            actual: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    if b.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("rhs of length {n}"),
+            actual: format!("rhs of length {}", b.len()),
+        });
+    }
+
+    // Build an augmented working copy.
+    let mut m: Vec<Vec<f64>> = (0..n)
+        .map(|r| {
+            let mut row = a.row(r);
+            row.push(b[r]);
+            row
+        })
+        .collect();
+
+    let scale = m
+        .iter()
+        .flat_map(|row| row.iter().take(n))
+        .fold(0.0f64, |acc, &v| acc.max(v.abs()))
+        .max(1.0);
+
+    for col in 0..n {
+        // Partial pivoting: bring the largest remaining entry to the diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("nonempty pivot range");
+        if m[pivot_row][col].abs() < 1e-12 * scale {
+            return Err(NumericsError::SingularSystem);
+        }
+        m.swap(col, pivot_row);
+
+        for row in (col + 1)..n {
+            let factor = m[row][col] / m[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            let (pivot_row_ref, target_row) = {
+                let (a, b) = m.split_at_mut(row);
+                (&a[col], &mut b[0])
+            };
+            for k in col..=n {
+                target_row[k] -= factor * pivot_row_ref[k];
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = m[row][n];
+        for col in (row + 1)..n {
+            acc -= m[row][col] * x[col];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Ok(x)
+}
+
+/// Solves `a * x = b` for a symmetric positive-definite `a` via Cholesky
+/// factorization (`a = L·Lᵀ`).
+///
+/// This is the preferred path for least-squares normal equations, which
+/// are SPD whenever the design matrix has full column rank.
+///
+/// # Errors
+///
+/// - [`NumericsError::DimensionMismatch`] if `a` is not square or `b` has
+///   the wrong length.
+/// - [`NumericsError::NotPositiveDefinite`] if a non-positive diagonal
+///   pivot appears during factorization.
+pub fn solve_cholesky(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("square matrix ({n}x{n})"),
+            actual: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    if b.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("rhs of length {n}"),
+            actual: format!("rhs of length {}", b.len()),
+        });
+    }
+
+    // Lower-triangular factor, row-major.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(NumericsError::NotPositiveDefinite);
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = b[i];
+        for k in 0..i {
+            acc -= l[i * n + k] * y[k];
+        }
+        y[i] = acc / l[i * n + i];
+    }
+
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = y[i];
+        for k in (i + 1)..n {
+            acc -= l[k * n + i] * x[k];
+        }
+        x[i] = acc / l[i * n + i];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        a.mul_vec(x)
+            .unwrap()
+            .iter()
+            .zip(b)
+            .map(|(ax, bi)| (ax - bi).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn gaussian_solves_3x3() {
+        let a = Matrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[-2.0, 4.0, -2.0],
+            &[1.0, -2.0, 4.0],
+        ])
+        .unwrap();
+        let b = [11.0, -16.0, 17.0];
+        let x = solve_gaussian(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn gaussian_requires_pivoting() {
+        // Zero on the initial diagonal forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = solve_gaussian(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn gaussian_detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(
+            solve_gaussian(&a, &[1.0, 2.0]).unwrap_err(),
+            NumericsError::SingularSystem
+        );
+    }
+
+    #[test]
+    fn gaussian_rejects_nonsquare() {
+        let a = Matrix::zeros(2, 3).unwrap();
+        assert!(solve_gaussian(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn gaussian_rejects_bad_rhs() {
+        let a = Matrix::identity(2).unwrap();
+        assert!(solve_gaussian(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn cholesky_solves_spd() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 2.0, 0.6],
+            &[2.0, 5.0, 1.5],
+            &[0.6, 1.5, 3.8],
+        ])
+        .unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = solve_cholesky(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert_eq!(
+            solve_cholesky(&a, &[1.0, 1.0]).unwrap_err(),
+            NumericsError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn cholesky_matches_gaussian_on_spd() {
+        let a = Matrix::from_rows(&[&[6.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let b = [8.0, 5.0];
+        let xg = solve_gaussian(&a, &b).unwrap();
+        let xc = solve_cholesky(&a, &b).unwrap();
+        for (g, c) in xg.iter().zip(&xc) {
+            assert!((g - c).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(4).unwrap();
+        let b = [1.0, -2.0, 3.5, 0.0];
+        assert_eq!(solve_gaussian(&a, &b).unwrap(), b.to_vec());
+        assert_eq!(solve_cholesky(&a, &b).unwrap(), b.to_vec());
+    }
+}

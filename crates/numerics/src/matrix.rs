@@ -1,0 +1,322 @@
+use crate::NumericsError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A small dense row-major matrix of `f64`.
+///
+/// This is deliberately minimal: the workspace only needs the operations
+/// required by least-squares fitting (transpose, multiply, matrix-vector
+/// products) on matrices with at most a few thousand rows and a handful of
+/// columns. It is not a general-purpose linear-algebra library.
+///
+/// # Example
+///
+/// ```
+/// use dcc_numerics::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+/// let t = a.transpose();
+/// assert_eq!(t[(0, 1)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] if either dimension is 0.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self, NumericsError> {
+        if rows == 0 || cols == 0 {
+            return Err(NumericsError::InvalidArgument(
+                "matrix dimensions must be nonzero".into(),
+            ));
+        }
+        Ok(Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        })
+    }
+
+    /// Creates the `n x n` identity matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] if `n == 0`.
+    pub fn identity(n: usize) -> Result<Self, NumericsError> {
+        let mut m = Matrix::zeros(n, n)?;
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        Ok(m)
+    }
+
+    /// Builds a matrix from row slices. All rows must have equal length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] on empty input and
+    /// [`NumericsError::DimensionMismatch`] on ragged rows.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, NumericsError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(NumericsError::InvalidArgument(
+                "matrix must have at least one row and one column".into(),
+            ));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(NumericsError::DimensionMismatch {
+                    expected: format!("row of length {cols}"),
+                    actual: format!("row {i} of length {}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the element at `(row, col)`, or `None` if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Returns the transpose of `self`.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix {
+            rows: self.cols,
+            cols: self.rows,
+            data: vec![0.0; self.data.len()],
+        };
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.data[c * t.cols + r] = self.data[r * self.cols + c];
+            }
+        }
+        t
+    }
+
+    /// Matrix multiplication `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] unless
+    /// `self.cols() == other.rows()`.
+    pub fn mul(&self, other: &Matrix) -> Result<Matrix, NumericsError> {
+        if self.cols != other.rows {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("rhs with {} rows", self.cols),
+                actual: format!("rhs with {} rows", other.rows),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols)?;
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * other.cols + c] += a * other.data[k * other.cols + c];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] unless
+    /// `v.len() == self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if v.len() != self.cols {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                actual: format!("vector of length {}", v.len()),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (r, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (c, &vc) in v.iter().enumerate() {
+                acc += self.data[r * self.cols + c] * vc;
+            }
+            *slot = acc;
+        }
+        Ok(out)
+    }
+
+    /// Returns a copy of row `r` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> Vec<f64> {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        self.data[r * self.cols..(r + 1) * self.cols].to_vec()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>10.4}", self.data[r * self.cols + c])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3).unwrap();
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert_eq!(z[(1, 2)], 0.0);
+
+        let i = Matrix::identity(3).unwrap();
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(Matrix::zeros(0, 3).is_err());
+        assert!(Matrix::zeros(3, 0).is_err());
+        assert!(Matrix::identity(0).is_err());
+    }
+
+    #[test]
+    fn from_rows_ragged_rejected() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(err, NumericsError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn from_rows_empty_rejected() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        let empty_row: &[f64] = &[];
+        assert!(Matrix::from_rows(&[empty_row]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn multiply_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn multiply_by_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let i = Matrix::identity(3).unwrap();
+        assert_eq!(a.mul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn multiply_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3).unwrap();
+        let b = Matrix::zeros(2, 3).unwrap();
+        assert!(a.mul(&b).is_err());
+    }
+
+    #[test]
+    fn mul_vec_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let v = a.mul_vec(&[1.0, 1.0]).unwrap();
+        assert_eq!(v, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn mul_vec_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3).unwrap();
+        assert!(a.mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn get_checks_bounds() {
+        let a = Matrix::identity(2).unwrap();
+        assert_eq!(a.get(0, 0), Some(1.0));
+        assert_eq!(a.get(2, 0), None);
+        assert_eq!(a.get(0, 2), None);
+    }
+
+    #[test]
+    fn row_extraction() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.row(1), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Matrix::identity(2).unwrap();
+        assert!(!format!("{a}").is_empty());
+    }
+}

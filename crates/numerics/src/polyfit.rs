@@ -1,0 +1,325 @@
+use crate::{solve_cholesky, solve_gaussian, Matrix, NumericsError};
+use std::fmt;
+
+/// A polynomial `c₀ + c₁x + c₂x² + …` stored by ascending-degree
+/// coefficients.
+///
+/// Produced by [`polyfit`]; also constructible directly for tests and
+/// synthetic ground truths.
+///
+/// # Example
+///
+/// ```
+/// use dcc_numerics::Polynomial;
+///
+/// let p = Polynomial::new(vec![1.0, 0.0, 2.0]); // 1 + 2x^2
+/// assert_eq!(p.eval(3.0), 19.0);
+/// assert_eq!(p.degree(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from ascending-degree coefficients.
+    ///
+    /// An empty coefficient list is treated as the zero polynomial.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        if coeffs.is_empty() {
+            Polynomial { coeffs: vec![0.0] }
+        } else {
+            Polynomial { coeffs }
+        }
+    }
+
+    /// Evaluates the polynomial at `x` using Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// The coefficient of `x^k`, or `0.0` if `k` exceeds the stored degree.
+    pub fn coefficient(&self, k: usize) -> f64 {
+        self.coeffs.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// Ascending-degree coefficient slice.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// The nominal degree (length of the coefficient vector minus one;
+    /// trailing zeros are not trimmed).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// The first derivative as a new polynomial.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::new(vec![0.0]);
+        }
+        Polynomial::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(k, &c)| k as f64 * c)
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            if c == 0.0 && self.coeffs.len() > 1 {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            match k {
+                0 => write!(f, "{c}")?,
+                1 => write!(f, "{c}*x")?,
+                _ => write!(f, "{c}*x^{k}")?,
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+/// Least-squares polynomial fit of the given `degree` to points
+/// `(xs[i], ys[i])` — the from-scratch equivalent of MATLAB's `polyfit`
+/// used in §IV-B of the paper.
+///
+/// Low degrees (≤ 3) solve the normal equations `(VᵀV)c = Vᵀy`
+/// (Vandermonde `V`) via Cholesky, falling back to pivoted Gaussian
+/// elimination if round-off makes the normal matrix indefinite; higher
+/// degrees switch to Householder QR on `V` directly
+/// ([`crate::solve_least_squares`]), which avoids squaring the
+/// Vandermonde condition number.
+///
+/// # Errors
+///
+/// - [`NumericsError::DimensionMismatch`] if `xs` and `ys` differ in length.
+/// - [`NumericsError::InsufficientData`] if fewer than `degree + 1` points
+///   are supplied.
+/// - [`NumericsError::InvalidArgument`] if any coordinate is non-finite.
+/// - [`NumericsError::SingularSystem`] if the fit is degenerate (e.g. all
+///   `xs` identical with `degree >= 1`).
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Polynomial, NumericsError> {
+    if xs.len() != ys.len() {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("{} y-values", xs.len()),
+            actual: format!("{} y-values", ys.len()),
+        });
+    }
+    let n = degree + 1;
+    if xs.len() < n {
+        return Err(NumericsError::InsufficientData {
+            points: xs.len(),
+            required: n,
+        });
+    }
+    if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+        return Err(NumericsError::InvalidArgument(
+            "polyfit inputs must be finite".into(),
+        ));
+    }
+
+    if degree > 3 {
+        // High degrees: QR on the Vandermonde matrix itself.
+        let rows: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|&x| {
+                let mut row = Vec::with_capacity(n);
+                let mut xp = 1.0;
+                for _ in 0..n {
+                    row.push(xp);
+                    xp *= x;
+                }
+                row
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let vandermonde = Matrix::from_rows(&refs)?;
+        let coeffs = crate::solve_least_squares(&vandermonde, ys)?;
+        return Ok(Polynomial::new(coeffs));
+    }
+
+    // Normal matrix entries are power sums: (VᵀV)[i][j] = Σ x^(i+j).
+    let mut power_sums = vec![0.0f64; 2 * degree + 1];
+    let mut rhs = vec![0.0f64; n];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut xp = 1.0;
+        for (j, sum) in power_sums.iter_mut().enumerate() {
+            *sum += xp;
+            if j < n {
+                rhs[j] += xp * y;
+            }
+            xp *= x;
+        }
+    }
+
+    let mut normal = Matrix::zeros(n, n)?;
+    for i in 0..n {
+        for j in 0..n {
+            normal[(i, j)] = power_sums[i + j];
+        }
+    }
+
+    let coeffs = match solve_cholesky(&normal, &rhs) {
+        Ok(c) => c,
+        Err(NumericsError::NotPositiveDefinite) => solve_gaussian(&normal, &rhs)?,
+        Err(e) => return Err(e),
+    };
+    Ok(Polynomial::new(coeffs))
+}
+
+/// The *norm of residuals* of a fitted polynomial over the data it was
+/// fitted to: `sqrt(Σ (p(xᵢ) − yᵢ)²)` — the NoR measure reported in
+/// Table III of the paper.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::DimensionMismatch`] if `xs` and `ys` differ in
+/// length.
+pub fn norm_of_residuals(p: &Polynomial, xs: &[f64], ys: &[f64]) -> Result<f64, NumericsError> {
+    if xs.len() != ys.len() {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("{} y-values", xs.len()),
+            actual: format!("{} y-values", ys.len()),
+        });
+    }
+    Ok(xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let r = p.eval(x) - y;
+            r * r
+        })
+        .sum::<f64>()
+        .sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_horner_matches_naive() {
+        let p = Polynomial::new(vec![2.0, -1.0, 0.5, 3.0]);
+        for x in [-2.0, -0.5, 0.0, 1.0, 2.5] {
+            let naive = 2.0 - x + 0.5 * x * x + 3.0 * x * x * x;
+            assert!((p.eval(x) - naive).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_coefficients_is_zero_polynomial() {
+        let p = Polynomial::new(vec![]);
+        assert_eq!(p.eval(5.0), 0.0);
+        assert_eq!(p.degree(), 0);
+    }
+
+    #[test]
+    fn derivative_of_cubic() {
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let d = p.derivative();
+        assert_eq!(d.coefficients(), &[2.0, 6.0, 12.0]);
+        assert_eq!(Polynomial::new(vec![7.0]).derivative().coefficients(), &[0.0]);
+    }
+
+    #[test]
+    fn exact_quadratic_recovered() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.3 - 2.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.5 - 2.0 * x + 0.75 * x * x).collect();
+        let p = polyfit(&xs, &ys, 2).unwrap();
+        assert!((p.coefficient(0) - 1.5).abs() < 1e-9);
+        assert!((p.coefficient(1) + 2.0).abs() < 1e-9);
+        assert!((p.coefficient(2) - 0.75).abs() < 1e-9);
+        assert!(norm_of_residuals(&p, &xs, &ys).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn overfitting_degree_still_exact() {
+        // Fitting a line with a cubic must reproduce the line.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x + 1.0).collect();
+        let p = polyfit(&xs, &ys, 3).unwrap();
+        assert!(norm_of_residuals(&p, &xs, &ys).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn higher_degree_never_increases_residual() {
+        // Deterministic pseudo-noise so the data is not exactly polynomial.
+        let xs: Vec<f64> = (0..60).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (0.7 * x).sin() + 0.05 * ((i * 2654435761usize) % 101) as f64 / 101.0)
+            .collect();
+        let mut prev = f64::INFINITY;
+        for deg in 1..=6 {
+            let p = polyfit(&xs, &ys, deg).unwrap();
+            let nor = norm_of_residuals(&p, &xs, &ys).unwrap();
+            assert!(
+                nor <= prev + 1e-9,
+                "degree {deg} residual {nor} exceeds degree {} residual {prev}",
+                deg - 1
+            );
+            prev = nor;
+        }
+    }
+
+    #[test]
+    fn insufficient_points_rejected() {
+        assert!(matches!(
+            polyfit(&[1.0, 2.0], &[1.0, 2.0], 2).unwrap_err(),
+            NumericsError::InsufficientData { .. }
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(polyfit(&[1.0, 2.0, 3.0], &[1.0, 2.0], 1).is_err());
+        let p = Polynomial::new(vec![0.0]);
+        assert!(norm_of_residuals(&p, &[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(polyfit(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0], 1).is_err());
+        assert!(polyfit(&[1.0, 2.0, 3.0], &[1.0, f64::INFINITY, 3.0], 1).is_err());
+    }
+
+    #[test]
+    fn degenerate_xs_singular() {
+        let err = polyfit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0], 1).unwrap_err();
+        assert!(matches!(
+            err,
+            NumericsError::SingularSystem | NumericsError::NotPositiveDefinite
+        ));
+    }
+
+    #[test]
+    fn constant_fit_is_mean() {
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        let p = polyfit(&xs, &ys, 0).unwrap();
+        assert!((p.coefficient(0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Polynomial::new(vec![1.0, 2.0]).to_string(), "1 + 2*x");
+        assert_eq!(Polynomial::new(vec![0.0, 0.0, 3.0]).to_string(), "3*x^2");
+        assert_eq!(Polynomial::new(vec![0.0]).to_string(), "0");
+    }
+}

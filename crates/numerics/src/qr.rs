@@ -1,0 +1,205 @@
+use crate::{Matrix, NumericsError};
+
+/// Solves the least-squares problem `min ‖A·x − b‖₂` for a tall matrix
+/// `A` (rows ≥ cols) by Householder QR factorization.
+///
+/// This is numerically far better conditioned than the normal equations
+/// `(AᵀA)x = Aᵀb`: the normal matrix squares the condition number, which
+/// ruins high-degree polynomial fits (Vandermonde matrices are already
+/// ill-conditioned). [`crate::polyfit`] uses this path.
+///
+/// # Errors
+///
+/// - [`NumericsError::DimensionMismatch`] if `b` has the wrong length or
+///   `A` is wider than tall.
+/// - [`NumericsError::SingularSystem`] if `A` is (numerically) rank
+///   deficient.
+///
+/// # Example
+///
+/// ```
+/// use dcc_numerics::{solve_least_squares, Matrix};
+///
+/// # fn main() -> Result<(), dcc_numerics::NumericsError> {
+/// // Overdetermined: fit y = c0 + c1 x to three points on a line.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let x = solve_least_squares(&a, &[1.0, 3.0, 5.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+    let rows = a.rows();
+    let cols = a.cols();
+    if b.len() != rows {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("rhs of length {rows}"),
+            actual: format!("rhs of length {}", b.len()),
+        });
+    }
+    if rows < cols {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("at least {cols} rows"),
+            actual: format!("{rows} rows"),
+        });
+    }
+
+    // Working copies: r (row-major) becomes R; y carries Qᵀb.
+    let mut r: Vec<f64> = (0..rows)
+        .flat_map(|i| a.row(i))
+        .collect();
+    let mut y = b.to_vec();
+
+    let scale = r.iter().fold(0.0f64, |acc, &v| acc.max(v.abs())).max(1.0);
+
+    for col in 0..cols {
+        // Householder vector for the subcolumn r[col.., col].
+        let mut norm = 0.0;
+        for row in col..rows {
+            norm += r[row * cols + col] * r[row * cols + col];
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-13 * scale {
+            return Err(NumericsError::SingularSystem);
+        }
+        let head = r[col * cols + col];
+        let alpha = if head >= 0.0 { -norm } else { norm };
+        // v = x - alpha * e1 (stored in a scratch vector).
+        let mut v = vec![0.0; rows - col];
+        v[0] = head - alpha;
+        for row in (col + 1)..rows {
+            v[row - col] = r[row * cols + col];
+        }
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        if vtv < 1e-300 {
+            continue; // Column already triangular.
+        }
+
+        // Apply H = I - 2 v vᵀ / (vᵀv) to the remaining columns of r.
+        for j in col..cols {
+            let mut dot = 0.0;
+            for row in col..rows {
+                dot += v[row - col] * r[row * cols + j];
+            }
+            let factor = 2.0 * dot / vtv;
+            for row in col..rows {
+                r[row * cols + j] -= factor * v[row - col];
+            }
+        }
+        // ... and to y.
+        let mut dot = 0.0;
+        for row in col..rows {
+            dot += v[row - col] * y[row];
+        }
+        let factor = 2.0 * dot / vtv;
+        for row in col..rows {
+            y[row] -= factor * v[row - col];
+        }
+    }
+
+    // Back substitution on the top cols×cols triangle.
+    let mut x = vec![0.0; cols];
+    for i in (0..cols).rev() {
+        let mut acc = y[i];
+        for j in (i + 1)..cols {
+            acc -= r[i * cols + j] * x[j];
+        }
+        let diag = r[i * cols + i];
+        if diag.abs() < 1e-13 * scale {
+            return Err(NumericsError::SingularSystem);
+        }
+        x[i] = acc / diag;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_gaussian;
+
+    #[test]
+    fn square_system_matches_gaussian() {
+        let a = Matrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[-2.0, 4.0, -2.0],
+            &[1.0, -2.0, 4.0],
+        ])
+        .unwrap();
+        let b = [11.0, -16.0, 17.0];
+        let qr = solve_least_squares(&a, &b).unwrap();
+        let ge = solve_gaussian(&a, &b).unwrap();
+        for (x, y) in qr.iter().zip(&ge) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn overdetermined_consistent_system() {
+        // Exactly consistent overdetermined: solution is exact.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0], &[1.0, 4.0]]).unwrap();
+        let b: Vec<f64> = [1.0, 2.0, 3.0, 4.0].iter().map(|x| 5.0 + 2.0 * x).collect();
+        let x = solve_least_squares(&a, &b).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal() {
+        // For inconsistent systems, the residual must be orthogonal to
+        // the column space (the defining property of least squares).
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
+        let b = [0.0, 1.0, 1.0, 3.0];
+        let x = solve_least_squares(&a, &b).unwrap();
+        let ax = a.mul_vec(&x).unwrap();
+        let residual: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        for col in 0..2 {
+            let dot: f64 = (0..4).map(|row| a[(row, col)] * residual[row]).sum();
+            assert!(dot.abs() < 1e-10, "residual not orthogonal to column {col}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        assert_eq!(
+            solve_least_squares(&a, &[1.0, 2.0, 3.0]).unwrap_err(),
+            NumericsError::SingularSystem
+        );
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap(); // wide
+        assert!(solve_least_squares(&a, &[1.0]).is_err());
+        let tall = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        assert!(solve_least_squares(&tall, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn better_conditioned_than_normal_equations() {
+        // A Vandermonde system with large x values: the normal equations
+        // square the condition number; QR must still recover the exact
+        // polynomial coefficients.
+        let xs: Vec<f64> = (0..40).map(|i| 50.0 + i as f64).collect();
+        let truth = [3.0, -0.5, 0.01, -0.0002];
+        let rows: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|&x| (0..4).map(|k| x.powi(k)).collect())
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&refs).unwrap();
+        let b: Vec<f64> = xs
+            .iter()
+            .map(|&x| truth.iter().enumerate().map(|(k, c)| c * x.powi(k as i32)).sum())
+            .collect();
+        let x = solve_least_squares(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&truth) {
+            assert!(
+                (got - want).abs() < 1e-6 * want.abs().max(1e-3),
+                "QR-recovered {got} vs {want}"
+            );
+        }
+    }
+}

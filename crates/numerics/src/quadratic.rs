@@ -1,0 +1,230 @@
+use crate::NumericsError;
+use std::fmt;
+
+/// A quadratic function `q(y) = r₂y² + r₁y + r₀`.
+///
+/// The paper fits workers' effort→feedback response with quadratics
+/// (Eq. 19) and the contract algorithm exploits their closed forms:
+/// derivative, inverse derivative (Eq. 31) and inverse on the increasing
+/// branch. A *valid effort function* in the paper's sense is concave
+/// (`r₂ < 0`) and increasing on the discretized effort region.
+///
+/// # Example
+///
+/// ```
+/// use dcc_numerics::Quadratic;
+///
+/// let psi = Quadratic::new(-0.5, 4.0, 1.0);
+/// assert!(psi.is_concave());
+/// assert_eq!(psi.derivative_at(2.0), 2.0);
+/// // Effort where marginal feedback equals 2.0:
+/// assert_eq!(psi.inverse_derivative(2.0).unwrap(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quadratic {
+    r2: f64,
+    r1: f64,
+    r0: f64,
+}
+
+impl Quadratic {
+    /// Creates `r₂y² + r₁y + r₀`.
+    pub fn new(r2: f64, r1: f64, r0: f64) -> Self {
+        Quadratic { r2, r1, r0 }
+    }
+
+    /// The quadratic coefficient `r₂`.
+    pub fn r2(&self) -> f64 {
+        self.r2
+    }
+
+    /// The linear coefficient `r₁`.
+    pub fn r1(&self) -> f64 {
+        self.r1
+    }
+
+    /// The constant coefficient `r₀`.
+    pub fn r0(&self) -> f64 {
+        self.r0
+    }
+
+    /// Evaluates the quadratic at `y`.
+    pub fn eval(&self, y: f64) -> f64 {
+        (self.r2 * y + self.r1) * y + self.r0
+    }
+
+    /// The derivative `q′(y) = 2r₂y + r₁`.
+    pub fn derivative_at(&self, y: f64) -> f64 {
+        2.0 * self.r2 * y + self.r1
+    }
+
+    /// The (constant) second derivative `2r₂`.
+    pub fn second_derivative(&self) -> f64 {
+        2.0 * self.r2
+    }
+
+    /// `true` iff the quadratic is strictly concave (`r₂ < 0`).
+    pub fn is_concave(&self) -> bool {
+        self.r2 < 0.0
+    }
+
+    /// `true` iff the quadratic is strictly increasing on `[0, y_max]`,
+    /// i.e. `q′(y_max) > 0` for a concave quadratic (and `q′(0) > 0` for a
+    /// convex one).
+    pub fn is_increasing_on(&self, y_max: f64) -> bool {
+        if self.r2 <= 0.0 {
+            self.derivative_at(y_max) > 0.0
+        } else {
+            self.derivative_at(0.0) > 0.0
+        }
+    }
+
+    /// For a concave quadratic, the effort level at which the derivative
+    /// vanishes (`−r₁ / 2r₂`): the upper edge of the increasing branch.
+    ///
+    /// Returns `None` when `r₂ == 0` (a line never peaks).
+    pub fn peak(&self) -> Option<f64> {
+        if self.r2 == 0.0 {
+            None
+        } else {
+            Some(-self.r1 / (2.0 * self.r2))
+        }
+    }
+
+    /// Inverse of the derivative: the `y` with `q′(y) = slope`
+    /// (`ψ′⁻¹` in §IV-C, used by Eq. 31).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] when `r₂ == 0` (the
+    /// derivative is constant and not invertible).
+    pub fn inverse_derivative(&self, slope: f64) -> Result<f64, NumericsError> {
+        if self.r2 == 0.0 {
+            return Err(NumericsError::InvalidArgument(
+                "derivative of a linear function is not invertible".into(),
+            ));
+        }
+        Ok((slope - self.r1) / (2.0 * self.r2))
+    }
+
+    /// Inverse of the quadratic on its increasing branch: the `y ≥ branch
+    /// start` with `q(y) = value`, used to map feedback knots back to
+    /// effort knots (`d_l = ψ(lδ)` inversion).
+    ///
+    /// For a concave quadratic the increasing branch is `(−∞, peak]`; for a
+    /// line it is all of ℝ when `r₁ > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] if `value` is above the
+    /// maximum attainable on the increasing branch, or if the function is
+    /// constant.
+    pub fn inverse_on_increasing(&self, value: f64) -> Result<f64, NumericsError> {
+        if self.r2 == 0.0 {
+            if self.r1 == 0.0 {
+                return Err(NumericsError::InvalidArgument(
+                    "constant function is not invertible".into(),
+                ));
+            }
+            return Ok((value - self.r0) / self.r1);
+        }
+        // r2 y^2 + r1 y + (r0 - value) = 0
+        let disc = self.r1 * self.r1 - 4.0 * self.r2 * (self.r0 - value);
+        if disc < 0.0 {
+            return Err(NumericsError::InvalidArgument(format!(
+                "value {value} is not attained by the quadratic"
+            )));
+        }
+        let sq = disc.sqrt();
+        // (-r1 + sq) / (2 r2) selects the increasing-branch root in both
+        // curvature cases: for r2 < 0 the division by a negative yields the
+        // smaller root (left of the peak), for r2 > 0 the larger root
+        // (right of the trough).
+        Ok((-self.r1 + sq) / (2.0 * self.r2))
+    }
+}
+
+impl fmt::Display for Quadratic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}*y^2 + {}*y + {}", self.r2, self.r1, self.r0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PSI: Quadratic = Quadratic {
+        r2: -0.5,
+        r1: 4.0,
+        r0: 1.0,
+    };
+
+    #[test]
+    fn eval_and_derivative() {
+        assert_eq!(PSI.eval(0.0), 1.0);
+        assert_eq!(PSI.eval(2.0), -2.0 + 8.0 + 1.0);
+        assert_eq!(PSI.derivative_at(0.0), 4.0);
+        assert_eq!(PSI.derivative_at(4.0), 0.0);
+        assert_eq!(PSI.second_derivative(), -1.0);
+    }
+
+    #[test]
+    fn concavity_and_monotonicity() {
+        assert!(PSI.is_concave());
+        assert!(PSI.is_increasing_on(3.9));
+        assert!(!PSI.is_increasing_on(4.0));
+        let convex = Quadratic::new(0.5, 1.0, 0.0);
+        assert!(!convex.is_concave());
+        assert!(convex.is_increasing_on(100.0));
+    }
+
+    #[test]
+    fn peak_location() {
+        assert_eq!(PSI.peak(), Some(4.0));
+        assert_eq!(Quadratic::new(0.0, 2.0, 1.0).peak(), None);
+    }
+
+    #[test]
+    fn inverse_derivative_roundtrip() {
+        for y in [0.0, 0.5, 1.7, 3.2] {
+            let s = PSI.derivative_at(y);
+            assert!((PSI.inverse_derivative(s).unwrap() - y).abs() < 1e-12);
+        }
+        assert!(Quadratic::new(0.0, 1.0, 0.0).inverse_derivative(1.0).is_err());
+    }
+
+    #[test]
+    fn inverse_on_increasing_roundtrip() {
+        for y in [0.0, 1.0, 2.5, 3.99] {
+            let q = PSI.eval(y);
+            assert!((PSI.inverse_on_increasing(q).unwrap() - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_on_increasing_linear() {
+        let line = Quadratic::new(0.0, 2.0, 1.0);
+        assert!((line.inverse_on_increasing(5.0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_on_increasing_convex_branch() {
+        let convex = Quadratic::new(1.0, 0.0, 0.0); // y^2, increasing for y>=0... not quite
+        // For convex, the increasing branch is [peak, inf); value 4 -> y = -2? No:
+        // roots of y^2 = 4 are ±2; the larger root (+2) lies on the increasing branch.
+        assert!((convex.inverse_on_increasing(4.0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_rejects_unattainable() {
+        // Max of PSI is at y=4: value 9. Anything above is unattainable.
+        assert!(PSI.inverse_on_increasing(9.1).is_err());
+        assert!(Quadratic::new(0.0, 0.0, 1.0).inverse_on_increasing(2.0).is_err());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(PSI.to_string(), "-0.5*y^2 + 4*y + 1");
+    }
+}

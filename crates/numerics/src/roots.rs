@@ -1,0 +1,148 @@
+use crate::NumericsError;
+
+/// Finds a root of `f` in `[lo, hi]` by bisection, assuming
+/// `f(lo)` and `f(hi)` have opposite signs.
+///
+/// Used in tests to cross-check the closed-form interval optima of the
+/// contract algorithm (Eq. 31) against a derivative-free search.
+///
+/// # Errors
+///
+/// - [`NumericsError::InvalidArgument`] if `lo >= hi`, either endpoint is
+///   non-finite, or the endpoint values do not bracket a sign change.
+/// - [`NumericsError::NoConvergence`] if the interval does not shrink
+///   below `tol` within 200 iterations (practically impossible for sane
+///   tolerances).
+pub fn bisect<F: Fn(f64) -> f64>(
+    f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+) -> Result<f64, NumericsError> {
+    if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+        return Err(NumericsError::InvalidArgument(format!(
+            "invalid bracket [{lo}, {hi}]"
+        )));
+    }
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(NumericsError::InvalidArgument(
+            "bracket endpoints must have opposite signs".into(),
+        ));
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || (hi - lo) < tol {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(NumericsError::NoConvergence { iterations: 200 })
+}
+
+/// Newton's method for a root of `f` with derivative `df`, starting at
+/// `x0`.
+///
+/// # Errors
+///
+/// - [`NumericsError::InvalidArgument`] if `x0` is non-finite.
+/// - [`NumericsError::NoConvergence`] if `|f(x)|` does not fall below
+///   `tol` within `max_iter` iterations or the derivative vanishes.
+pub fn newton<F: Fn(f64) -> f64, D: Fn(f64) -> f64>(
+    f: F,
+    df: D,
+    x0: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, NumericsError> {
+    if !x0.is_finite() {
+        return Err(NumericsError::InvalidArgument(
+            "newton start must be finite".into(),
+        ));
+    }
+    let mut x = x0;
+    for i in 0..max_iter {
+        let fx = f(x);
+        if fx.abs() < tol {
+            return Ok(x);
+        }
+        let dfx = df(x);
+        if dfx == 0.0 || !dfx.is_finite() {
+            return Err(NumericsError::NoConvergence { iterations: i });
+        }
+        x -= fx / dfx;
+        if !x.is_finite() {
+            return Err(NumericsError::NoConvergence { iterations: i });
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: max_iter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((root - 2f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert!(bisect(|x| x, 1.0, 0.0, 1e-12).is_err());
+        assert!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12).is_err());
+        assert!(bisect(|x| x, f64::NAN, 1.0, 1e-12).is_err());
+    }
+
+    #[test]
+    fn newton_cube_root() {
+        let root = newton(|x| x * x * x - 27.0, |x| 3.0 * x * x, 5.0, 1e-12, 100).unwrap();
+        assert!((root - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newton_detects_flat_derivative() {
+        assert!(newton(|_| 1.0, |_| 0.0, 0.0, 1e-12, 10).is_err());
+    }
+
+    #[test]
+    fn newton_iteration_budget() {
+        // sign(x)*sqrt(|x|) makes Newton oscillate and never converge.
+        let f = |x: f64| x.signum() * x.abs().sqrt();
+        let df = |x: f64| 0.5 / x.abs().sqrt();
+        assert!(matches!(
+            newton(f, df, 1.0, 1e-15, 20),
+            Err(NumericsError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn newton_matches_bisect() {
+        let f = |x: f64| x.exp() - 3.0;
+        let n = newton(f, |x| x.exp(), 1.0, 1e-12, 100).unwrap();
+        let b = bisect(f, 0.0, 2.0, 1e-12).unwrap();
+        assert!((n - b).abs() < 1e-9);
+    }
+}

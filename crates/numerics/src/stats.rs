@@ -1,0 +1,223 @@
+use crate::NumericsError;
+use std::fmt;
+
+/// Arithmetic mean of a sample.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] on an empty sample.
+pub fn mean(data: &[f64]) -> Result<f64, NumericsError> {
+    if data.is_empty() {
+        return Err(NumericsError::InvalidArgument(
+            "mean of empty sample".into(),
+        ));
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Population variance of a sample.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] on an empty sample.
+pub fn variance(data: &[f64]) -> Result<f64, NumericsError> {
+    let m = mean(data)?;
+    Ok(data.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64)
+}
+
+/// Population standard deviation of a sample.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] on an empty sample.
+pub fn std_dev(data: &[f64]) -> Result<f64, NumericsError> {
+    Ok(variance(data)?.sqrt())
+}
+
+/// The `p`-th percentile (0–100) of a sample, using linear interpolation
+/// between order statistics — matching the convention used for the
+/// 5th/95th-percentile compensation series in Fig. 8(b).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] on an empty sample or if
+/// `p` is outside `[0, 100]` or non-finite.
+pub fn percentile(data: &[f64], p: f64) -> Result<f64, NumericsError> {
+    if data.is_empty() {
+        return Err(NumericsError::InvalidArgument(
+            "percentile of empty sample".into(),
+        ));
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(NumericsError::InvalidArgument(format!(
+            "percentile {p} outside [0, 100]"
+        )));
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let t = rank - lo as f64;
+        Ok(sorted[lo] + t * (sorted[hi] - sorted[lo]))
+    }
+}
+
+/// Fixed-width histogram of a sample over `[lo, hi)` with `bins` buckets;
+/// values outside the range are clamped into the edge buckets.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] if `bins == 0` or
+/// `lo >= hi`.
+pub fn histogram(data: &[f64], lo: f64, hi: f64, bins: usize) -> Result<Vec<usize>, NumericsError> {
+    if bins == 0 {
+        return Err(NumericsError::InvalidArgument("zero histogram bins".into()));
+    }
+    if lo >= hi {
+        return Err(NumericsError::InvalidArgument(format!(
+            "empty histogram range [{lo}, {hi})"
+        )));
+    }
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in data {
+        let idx = ((x - lo) / width).floor();
+        let idx = idx.clamp(0.0, (bins - 1) as f64) as usize;
+        counts[idx] += 1;
+    }
+    Ok(counts)
+}
+
+/// Descriptive summary of a sample: count, mean, standard deviation and
+/// the percentiles reported in the paper's Fig. 8(b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// Median.
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] on an empty sample.
+    pub fn of(data: &[f64]) -> Result<Self, NumericsError> {
+        Ok(Summary {
+            count: data.len(),
+            mean: mean(data)?,
+            std_dev: std_dev(data)?,
+            min: data.iter().copied().fold(f64::INFINITY, f64::min),
+            p5: percentile(data, 5.0)?,
+            median: percentile(data, 50.0)?,
+            p95: percentile(data, 95.0)?,
+            max: data.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} p5={:.4} med={:.4} p95={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.p5, self.median, self.p95, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_known() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&data).unwrap(), 5.0);
+        assert_eq!(variance(&data).unwrap(), 4.0);
+        assert_eq!(std_dev(&data).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn empty_sample_rejected() {
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[]).is_err());
+        assert!(percentile(&[], 50.0).is_err());
+        assert!(Summary::of(&[]).is_err());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&data, 100.0).unwrap(), 4.0);
+        assert_eq!(percentile(&data, 50.0).unwrap(), 2.5);
+        // 25% of the way through 3 gaps = rank 0.75 -> 1.75
+        assert_eq!(percentile(&data, 25.0).unwrap(), 1.75);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let data = [9.0, 1.0, 5.0];
+        assert_eq!(percentile(&data, 50.0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn percentile_range_checked() {
+        assert!(percentile(&[1.0], -0.1).is_err());
+        assert!(percentile(&[1.0], 100.1).is_err());
+        assert!(percentile(&[1.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[42.0], 5.0).unwrap(), 42.0);
+        assert_eq!(percentile(&[42.0], 95.0).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let data = [-1.0, 0.0, 0.5, 1.5, 2.5, 99.0];
+        let h = histogram(&data, 0.0, 3.0, 3).unwrap();
+        assert_eq!(h, vec![3, 1, 2]);
+        assert_eq!(h.iter().sum::<usize>(), data.len());
+    }
+
+    #[test]
+    fn histogram_validates() {
+        assert!(histogram(&[1.0], 0.0, 1.0, 0).is_err());
+        assert!(histogram(&[1.0], 1.0, 1.0, 2).is_err());
+    }
+
+    #[test]
+    fn summary_consistency() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = Summary::of(&data).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!(s.p5 >= s.min && s.p5 <= s.median);
+        assert!(s.p95 <= s.max && s.p95 >= s.median);
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+use crate::{ProductId, ReviewerId};
+use rand::Rng;
+
+/// The collusive community-size distribution reported in Table II of the
+/// paper: `(size, probability)` pairs. The `≥10` bucket is represented by
+/// size 10 (draws from it are widened to 10–14 by the sampler).
+pub const COMMUNITY_SIZE_DISTRIBUTION: [(usize, f64); 6] = [
+    (2, 0.512),
+    (3, 0.220),
+    (4, 0.073),
+    (5, 0.024),
+    (6, 0.098),
+    (10, 0.049),
+];
+
+/// Samples a collusive community size from the Table II distribution.
+///
+/// The `≥10` bucket is expanded uniformly over `10..=14`, reflecting that
+/// the paper reports only "≥10" for 4.9% of its 47 communities.
+pub fn sample_community_size<R: Rng>(rng: &mut R) -> usize {
+    // The published percentages sum to 97.6%; normalize so each bucket's
+    // relative frequency matches Table II exactly.
+    let total: f64 = COMMUNITY_SIZE_DISTRIBUTION.iter().map(|&(_, p)| p).sum();
+    let roll: f64 = rng.gen::<f64>() * total;
+    let mut acc = 0.0;
+    for &(size, p) in COMMUNITY_SIZE_DISTRIBUTION.iter() {
+        acc += p;
+        if roll < acc {
+            return if size >= 10 {
+                rng.gen_range(10..=14)
+            } else {
+                size
+            };
+        }
+    }
+    // Floating-point slack on the final bucket boundary.
+    10
+}
+
+/// A collusion campaign: a set of malicious workers recruited to target
+/// the same products (§II: "collusive workers are recruited from the same
+/// source and paid to target the same task").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Campaign {
+    /// Campaign index (dense, 0-based).
+    pub id: usize,
+    /// Members of the campaign.
+    pub members: Vec<ReviewerId>,
+    /// Products the campaign jointly targets.
+    pub targets: Vec<ProductId>,
+}
+
+impl Campaign {
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of collusion partners a member has (`A_i` in Eq. 5).
+    pub fn partners_of_member(&self) -> usize {
+        self.members.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn distribution_sums_to_at_most_one() {
+        let total: f64 = COMMUNITY_SIZE_DISTRIBUTION.iter().map(|&(_, p)| p).sum();
+        assert!(total <= 1.0 + 1e-9);
+        assert!(total > 0.97, "distribution should nearly cover the space");
+    }
+
+    #[test]
+    fn sampled_sizes_match_distribution_roughly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut count2 = 0;
+        let mut count_ge10 = 0;
+        for _ in 0..n {
+            let s = sample_community_size(&mut rng);
+            assert!((2..=14).contains(&s));
+            if s == 2 {
+                count2 += 1;
+            }
+            if s >= 10 {
+                count_ge10 += 1;
+            }
+        }
+        let f2 = count2 as f64 / n as f64;
+        let f10 = count_ge10 as f64 / n as f64;
+        assert!((f2 - 0.512).abs() < 0.02, "size-2 fraction {f2}");
+        assert!((f10 - 0.049).abs() < 0.01, "size>=10 fraction {f10}");
+    }
+
+    #[test]
+    fn campaign_partner_count() {
+        let c = Campaign {
+            id: 0,
+            members: vec![ReviewerId(1), ReviewerId(2), ReviewerId(3)],
+            targets: vec![ProductId(0)],
+        };
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.partners_of_member(), 2);
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Errors produced by the trace substrate.
+#[derive(Debug)]
+pub enum TraceError {
+    /// A referenced reviewer or product does not exist in the dataset.
+    UnknownEntity(String),
+    /// The dataset violated an internal invariant during construction.
+    InvalidDataset(String),
+    /// A CSV file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Underlying I/O failure during persistence.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnknownEntity(what) => write!(f, "unknown entity: {what}"),
+            TraceError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            TraceError::UnknownEntity("w9".into()).to_string(),
+            "unknown entity: w9"
+        );
+        let p = TraceError::Parse {
+            line: 3,
+            message: "bad float".into(),
+        };
+        assert_eq!(p.to_string(), "parse error at line 3: bad float");
+    }
+
+    #[test]
+    fn io_source_preserved() {
+        use std::error::Error;
+        let e = TraceError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

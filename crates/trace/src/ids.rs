@@ -1,0 +1,64 @@
+use std::fmt;
+
+/// Opaque identifier of a reviewer (worker) within a [`crate::TraceDataset`].
+///
+/// Identifiers are dense indices `0..n_reviewers`, which lets downstream
+/// crates use them directly as graph vertices and array indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ReviewerId(pub usize);
+
+/// Opaque identifier of a product within a [`crate::TraceDataset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProductId(pub usize);
+
+impl ReviewerId {
+    /// The underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl ProductId {
+    /// The underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ReviewerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for ProductId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ReviewerId {
+    fn from(v: usize) -> Self {
+        ReviewerId(v)
+    }
+}
+
+impl From<usize> for ProductId {
+    fn from(v: usize) -> Self {
+        ProductId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(ReviewerId(1) < ReviewerId(2));
+        assert_eq!(ReviewerId(7).to_string(), "w7");
+        assert_eq!(ProductId(3).to_string(), "p3");
+        assert_eq!(ReviewerId::from(4).index(), 4);
+        assert_eq!(ProductId::from(9).index(), 9);
+    }
+}

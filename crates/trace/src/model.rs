@@ -1,0 +1,131 @@
+use crate::{ProductId, ReviewerId};
+use std::fmt;
+
+/// Ground-truth behavioural class of a worker (§II).
+///
+/// The evaluation trace labels every reviewer with one of the three
+/// classes the paper's model distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkerClass {
+    /// Provides services purely for compensation (utility Eq. 11).
+    Honest,
+    /// Malicious with a hidden agenda, acting alone (utility Eq. 14).
+    NonCollusiveMalicious,
+    /// Malicious and coordinating with a community (§III, Eq. 3).
+    CollusiveMalicious,
+}
+
+impl WorkerClass {
+    /// `true` for both malicious classes.
+    pub fn is_malicious(self) -> bool {
+        !matches!(self, WorkerClass::Honest)
+    }
+
+    /// Stable short code used by the CSV persistence layer.
+    pub fn code(self) -> &'static str {
+        match self {
+            WorkerClass::Honest => "H",
+            WorkerClass::NonCollusiveMalicious => "N",
+            WorkerClass::CollusiveMalicious => "C",
+        }
+    }
+
+    /// Parses a [`WorkerClass::code`] back into a class.
+    pub fn from_code(code: &str) -> Option<Self> {
+        match code {
+            "H" => Some(WorkerClass::Honest),
+            "N" => Some(WorkerClass::NonCollusiveMalicious),
+            "C" => Some(WorkerClass::CollusiveMalicious),
+            _ => None,
+        }
+    }
+
+    /// All classes, in display order.
+    pub const ALL: [WorkerClass; 3] = [
+        WorkerClass::Honest,
+        WorkerClass::NonCollusiveMalicious,
+        WorkerClass::CollusiveMalicious,
+    ];
+}
+
+impl fmt::Display for WorkerClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            WorkerClass::Honest => "honest",
+            WorkerClass::NonCollusiveMalicious => "non-collusive malicious",
+            WorkerClass::CollusiveMalicious => "collusive malicious",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A product available for review.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Product {
+    /// Dense identifier.
+    pub id: ProductId,
+    /// Latent true quality on the 1–5 star scale; expert consensus
+    /// concentrates around this value.
+    pub true_quality: f64,
+}
+
+/// A reviewer (worker) in the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reviewer {
+    /// Dense identifier.
+    pub id: ReviewerId,
+    /// Ground-truth behavioural class.
+    pub class: WorkerClass,
+    /// Collusive community index, for [`WorkerClass::CollusiveMalicious`]
+    /// workers only.
+    pub campaign: Option<usize>,
+    /// Whether the trace marks this reviewer as an expert (high accuracy
+    /// and endorsement reputation — §II).
+    pub is_expert: bool,
+}
+
+/// A single product review: one unit of completed crowd work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Review {
+    /// The reviewer who wrote it.
+    pub reviewer: ReviewerId,
+    /// The product reviewed.
+    pub product: ProductId,
+    /// Task round in which the review was written (0-based).
+    pub round: usize,
+    /// Star rating given, in `[1.0, 5.0]`.
+    pub stars: f64,
+    /// Review length in characters (the paper's effort-time proxy).
+    pub length_chars: usize,
+    /// "Helpful" upvotes received (the paper's *feedback* signal).
+    pub upvotes: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_codes_roundtrip() {
+        for class in WorkerClass::ALL {
+            assert_eq!(WorkerClass::from_code(class.code()), Some(class));
+        }
+        assert_eq!(WorkerClass::from_code("x"), None);
+    }
+
+    #[test]
+    fn maliciousness_flag() {
+        assert!(!WorkerClass::Honest.is_malicious());
+        assert!(WorkerClass::NonCollusiveMalicious.is_malicious());
+        assert!(WorkerClass::CollusiveMalicious.is_malicious());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(WorkerClass::Honest.to_string(), "honest");
+        assert_eq!(
+            WorkerClass::CollusiveMalicious.to_string(),
+            "collusive malicious"
+        );
+    }
+}

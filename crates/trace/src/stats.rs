@@ -1,0 +1,108 @@
+use crate::{TraceDataset, WorkerClass};
+use std::fmt;
+
+/// Aggregate statistics of a trace, mirroring the dataset description of
+/// §V and the per-class comparison of Fig. 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Total number of reviews.
+    pub reviews: usize,
+    /// Total number of reviewers.
+    pub reviewers: usize,
+    /// Total number of products.
+    pub products: usize,
+    /// Honest worker count.
+    pub honest: usize,
+    /// Non-collusive malicious worker count.
+    pub non_collusive: usize,
+    /// Collusive malicious worker count.
+    pub collusive: usize,
+    /// Number of ground-truth collusive communities.
+    pub communities: usize,
+    /// Per-class `(mean effort, mean feedback)` — the two bar groups of
+    /// Fig. 7, ordered Honest / NCM / CM.
+    pub class_means: [(f64, f64); 3],
+}
+
+impl TraceSummary {
+    /// Computes the summary of a trace.
+    pub fn of(trace: &TraceDataset) -> Self {
+        let mut class_means = [(0.0, 0.0); 3];
+        for (slot, class) in WorkerClass::ALL.iter().enumerate() {
+            let pts = trace.effort_feedback_points(*class);
+            if pts.is_empty() {
+                continue;
+            }
+            let n = pts.len() as f64;
+            class_means[slot] = (
+                pts.iter().map(|p| p.0).sum::<f64>() / n,
+                pts.iter().map(|p| p.1).sum::<f64>() / n,
+            );
+        }
+        TraceSummary {
+            reviews: trace.reviews().len(),
+            reviewers: trace.reviewers().len(),
+            products: trace.products().len(),
+            honest: trace.workers_of_class(WorkerClass::Honest).len(),
+            non_collusive: trace
+                .workers_of_class(WorkerClass::NonCollusiveMalicious)
+                .len(),
+            collusive: trace.workers_of_class(WorkerClass::CollusiveMalicious).len(),
+            communities: trace.campaigns().len(),
+            class_means,
+        }
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} reviews by {} reviewers over {} products",
+            self.reviews, self.reviewers, self.products
+        )?;
+        writeln!(
+            f,
+            "workers: {} honest, {} non-collusive malicious, {} collusive in {} communities",
+            self.honest, self.non_collusive, self.collusive, self.communities
+        )?;
+        for (i, class) in WorkerClass::ALL.iter().enumerate() {
+            let (eff, fb) = self.class_means[i];
+            writeln!(f, "  {class}: mean effort {eff:.3}, mean feedback {fb:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticConfig;
+
+    #[test]
+    fn summary_counts_are_consistent() {
+        let trace = SyntheticConfig::small(17).generate();
+        let s = TraceSummary::of(&trace);
+        assert_eq!(s.reviewers, s.honest + s.non_collusive + s.collusive);
+        assert_eq!(s.reviews, trace.reviews().len());
+        assert!(s.communities > 0);
+        // All classes have positive mean effort and feedback.
+        for (eff, fb) in s.class_means {
+            assert!(eff > 0.0);
+            assert!(fb > 0.0);
+        }
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn fig7_shape_collusive_feedback_dominates() {
+        let s = TraceSummary::of(&SyntheticConfig::small(23).generate());
+        let honest_fb = s.class_means[0].1;
+        let cm_fb = s.class_means[2].1;
+        assert!(cm_fb > honest_fb, "Fig. 7: CM feedback must dominate");
+        // Efforts are of similar magnitude (same order).
+        let honest_eff = s.class_means[0].0;
+        let cm_eff = s.class_means[2].0;
+        assert!(cm_eff > 0.4 * honest_eff && cm_eff < 2.5 * honest_eff);
+    }
+}

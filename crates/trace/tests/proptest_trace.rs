@@ -1,0 +1,126 @@
+//! Property tests of the synthetic trace generator's invariants.
+
+use dcc_trace::{SyntheticConfig, TraceDataset, WorkerClass};
+use proptest::prelude::*;
+
+fn tiny_config() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        0u64..1_000,    // seed
+        10usize..60,    // honest
+        0usize..20,     // ncm
+        0usize..25,     // cm target
+        1usize..6,      // rounds
+    )
+        .prop_map(|(seed, n_honest, n_ncm, n_cm, n_rounds)| {
+            let mut cfg = SyntheticConfig::small(seed);
+            cfg.n_honest = n_honest;
+            cfg.n_ncm = n_ncm;
+            cfg.n_cm_target = n_cm;
+            cfg.n_rounds = n_rounds;
+            // Keep the catalogue comfortably larger than the reserved
+            // malicious targets.
+            cfg.n_products = 400 + 8 * (n_ncm + n_cm);
+            cfg
+        })
+}
+
+fn check_structure(cfg: &SyntheticConfig, trace: &TraceDataset) -> Result<(), TestCaseError> {
+    // Class counts.
+    prop_assert_eq!(
+        trace.workers_of_class(WorkerClass::Honest).len(),
+        cfg.n_honest
+    );
+    prop_assert_eq!(
+        trace.workers_of_class(WorkerClass::NonCollusiveMalicious).len(),
+        cfg.n_ncm
+    );
+    let cm = trace.workers_of_class(WorkerClass::CollusiveMalicious).len();
+    prop_assert!(cm >= cfg.n_cm_target);
+
+    // Campaign structure.
+    let mut seen = std::collections::HashSet::new();
+    for c in trace.campaigns() {
+        prop_assert!(c.size() >= 2);
+        for m in &c.members {
+            prop_assert!(seen.insert(*m), "worker in two campaigns");
+        }
+    }
+    prop_assert_eq!(seen.len(), cm);
+
+    // Every review references valid entities with sane values.
+    for r in trace.reviews() {
+        prop_assert!(trace.reviewer(r.reviewer).is_some());
+        prop_assert!(trace.product(r.product).is_some());
+        prop_assert!((1.0..=5.0).contains(&r.stars));
+        prop_assert!(r.upvotes >= 0.0);
+        prop_assert!(r.length_chars >= 1);
+        prop_assert!(r.round < cfg.n_rounds.max(1));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Structural invariants hold for arbitrary small configurations.
+    #[test]
+    fn generator_invariants(cfg in tiny_config()) {
+        let trace = cfg.generate();
+        check_structure(&cfg, &trace)?;
+    }
+
+    /// Generation is a pure function of the configuration.
+    #[test]
+    fn determinism(cfg in tiny_config()) {
+        let a = cfg.generate();
+        let b = cfg.generate();
+        prop_assert_eq!(a.reviews(), b.reviews());
+        prop_assert_eq!(a.reviewers(), b.reviewers());
+    }
+
+    /// Derived effort equals the intended (generator) effort: expertise ×
+    /// length × 1e-3 round-trips through the length encoding.
+    #[test]
+    fn effort_encoding_consistency(cfg in tiny_config()) {
+        let trace = cfg.generate();
+        for r in trace.reviews().iter().take(100) {
+            let eff = trace.effort_of(r);
+            prop_assert!(eff.is_finite() && eff >= 0.0);
+            // The worker's effort always sits below its class's peak (the
+            // generator caps at 95% of the peak; allow rounding slack).
+            let class = trace.reviewer(r.reviewer).unwrap().class;
+            let peak = cfg.behavior(class).effort_response.peak().unwrap();
+            prop_assert!(eff <= peak * 1.02, "effort {eff} beyond peak {peak}");
+        }
+    }
+
+    /// CSV round-trips the dataset exactly enough for the pipeline:
+    /// identical reviews, reviewers, campaigns.
+    #[test]
+    fn csv_roundtrip(seed in 0u64..50) {
+        let mut cfg = SyntheticConfig::small(seed);
+        cfg.n_honest = 30;
+        cfg.n_ncm = 5;
+        cfg.n_cm_target = 6;
+        cfg.n_products = 500;
+        let trace = cfg.generate();
+        let dir = std::env::temp_dir().join(format!(
+            "dcc_pt_rt_{}_{}",
+            std::process::id(),
+            seed
+        ));
+        dcc_trace::write_trace_csv(&trace, &dir).expect("write");
+        let back = dcc_trace::read_trace_csv(&dir).expect("read");
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(trace.reviewers(), back.reviewers());
+        prop_assert_eq!(trace.reviews().len(), back.reviews().len());
+        prop_assert_eq!(trace.campaigns().len(), back.campaigns().len());
+        for (a, b) in trace.reviews().iter().zip(back.reviews()) {
+            prop_assert_eq!(a.reviewer, b.reviewer);
+            prop_assert_eq!(a.product, b.product);
+            prop_assert_eq!(a.length_chars, b.length_chars);
+            prop_assert!((a.upvotes - b.upvotes).abs() < 1e-9);
+            prop_assert!((a.stars - b.stars).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Parameter sensitivity exploration: how the designed contract, the
+//! induced effort and the requester's utility move with the compensation
+//! weight μ, the malicious feedback weight ω, and the discretization m.
+//!
+//! ```sh
+//! cargo run --example contract_tuning
+//! ```
+
+use dyncontract::core::{first_best_utility, ContractBuilder, Discretization, ModelParams};
+use dyncontract::numerics::Quadratic;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let psi = Quadratic::new(-0.15, 2.5, 1.0);
+    let y_max = 7.0;
+
+    println!("— μ sweep (honest worker, w = 1.5, m = 40) —");
+    println!("{:>6} {:>8} {:>10} {:>10} {:>12}", "mu", "k_opt", "effort", "pay", "requester u");
+    for mu in [0.5, 0.8, 1.0, 1.5, 2.0, 3.0] {
+        let params = ModelParams { mu, ..ModelParams::default() };
+        let built = ContractBuilder::new(params, Discretization::covering(40, y_max)?, psi)
+            .honest()
+            .weight(1.5)
+            .build()?;
+        println!(
+            "{mu:>6.1} {:>8} {:>10.3} {:>10.3} {:>12.4}",
+            built.k_opt().map(|k| k.to_string()).unwrap_or_else(|| "zero".into()),
+            built.induced_effort(),
+            built.compensation(),
+            built.requester_utility()
+        );
+    }
+
+    println!("\n— ω sweep (malicious worker, w = 1.0, μ = 1.0, m = 40) —");
+    println!("{:>6} {:>8} {:>10} {:>10} {:>12}", "omega", "k_opt", "effort", "pay", "requester u");
+    for omega in [0.0, 0.2, 0.4, 0.6, 0.8, 1.2] {
+        let params = ModelParams { mu: 1.0, omega, ..ModelParams::default() };
+        let built = ContractBuilder::new(params, Discretization::covering(40, y_max)?, psi)
+            .malicious(omega)
+            .weight(1.0)
+            .build()?;
+        println!(
+            "{omega:>6.1} {:>8} {:>10.3} {:>10.3} {:>12.4}",
+            built.k_opt().map(|k| k.to_string()).unwrap_or_else(|| "zero".into()),
+            built.induced_effort(),
+            built.compensation(),
+            built.requester_utility()
+        );
+    }
+
+    println!("\n— m sweep (honest worker, w = 1.5, μ = 1.0): convergence to first best —");
+    let params = ModelParams { mu: 1.0, omega: 0.0, ..ModelParams::default() };
+    let fb = first_best_utility(1.5, &params, &psi, y_max, 20_000)?;
+    println!("{:>6} {:>12} {:>14}", "m", "requester u", "gap to optimum");
+    for m in [2, 4, 8, 16, 32, 64, 128, 256] {
+        let built = ContractBuilder::new(params, Discretization::covering(m, y_max)?, psi)
+            .honest()
+            .weight(1.5)
+            .build()?;
+        println!(
+            "{m:>6} {:>12.5} {:>14.5}",
+            built.requester_utility(),
+            fb - built.requester_utility()
+        );
+    }
+    println!("first-best reference: {fb:.5}");
+    Ok(())
+}

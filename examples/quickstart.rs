@@ -1,0 +1,73 @@
+//! Quickstart: design a near-optimal dynamic contract for one worker.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dyncontract::core::{
+    best_response, bounds, ContractBuilder, Discretization, ModelParams,
+};
+use dyncontract::numerics::Quadratic;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A worker's effort->feedback response, as fitted from data in the
+    //    full pipeline (here: a concave quadratic, Eq. 19 of the paper).
+    let psi = Quadratic::new(-0.15, 2.5, 1.0);
+
+    // 2. The requester's model parameters: how much it values feedback
+    //    (weight w), dislikes spending (mu), and the worker's effort cost
+    //    (beta).
+    let params = ModelParams {
+        mu: 1.0,
+        ..ModelParams::default()
+    };
+
+    // 3. Discretize the effort region [0, 7) into 20 intervals (§III-A)
+    //    and run the §IV-C candidate-contract algorithm.
+    let disc = Discretization::covering(20, 7.0)?;
+    let built = ContractBuilder::new(params, disc, psi)
+        .honest()
+        .weight(1.5)
+        .build()?;
+
+    println!("designed contract: {}", built.contract());
+    println!(
+        "selected target interval k_opt = {:?} of {} (delta = {:.3})",
+        built.k_opt(),
+        disc.intervals(),
+        disc.delta()
+    );
+    println!(
+        "induced effort {:.3} -> feedback {:.3} -> compensation {:.3}",
+        built.induced_effort(),
+        built.response().feedback,
+        built.compensation()
+    );
+    println!(
+        "requester utility {:.4} (worker keeps {:.4})",
+        built.requester_utility(),
+        built.worker_utility()
+    );
+
+    // 4. The Theorem 4.1 bracket certifies near-optimality.
+    if let Some((lo, hi)) = built.utility_bounds() {
+        println!("Theorem 4.1 bracket: [{lo:.4}, {hi:.4}]");
+    }
+    let k = built.k_opt().expect("non-zero contract");
+    println!(
+        "Lemma 4.2/4.3 compensation bracket: [{:.4}, {:.4}]",
+        bounds::compensation_lower_bound(&params, &disc, k),
+        bounds::compensation_upper_bound(&params, &disc, &psi, k),
+    );
+
+    // 5. Verify the incentive directly: the worker's exact best response
+    //    to the posted contract lands in the designed interval.
+    let response = best_response(&params.for_honest(), &psi, built.contract())?;
+    assert_eq!(
+        disc.interval_of(response.effort),
+        Some(k),
+        "the worker's best response must fall in the designed interval"
+    );
+    println!("verified: best response {:.3} lies in interval {k}", response.effort);
+    Ok(())
+}

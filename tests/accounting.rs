@@ -1,0 +1,77 @@
+//! Accounting consistency across evaluation modes: the same design's
+//! money flows add up identically whichever layer reports them.
+
+use dyncontract::core::{
+    design_contracts, replay_trace, BaselineStrategy, DesignConfig, Simulation,
+    SimulationConfig, StrategyKind,
+};
+use dyncontract::detect::{run_pipeline, PipelineConfig};
+use dyncontract::trace::SyntheticConfig;
+use std::collections::HashSet;
+
+#[test]
+fn simulation_round_payments_equal_agent_totals() {
+    let mut cfg = SyntheticConfig::small(606);
+    cfg.n_honest = 150;
+    cfg.n_products = 600;
+    let trace = cfg.generate();
+    let detection = run_pipeline(&trace, PipelineConfig::default());
+    let config = DesignConfig::default();
+    let design = design_contracts(&trace, &detection, &config).unwrap();
+    let suspected: HashSet<_> = detection.suspected.iter().copied().collect();
+    let agents = BaselineStrategy::new(StrategyKind::DynamicContract)
+        .assemble(&design, config.params.omega, &suspected)
+        .unwrap();
+    let outcome = Simulation::new(
+        config.params,
+        SimulationConfig {
+            rounds: 9,
+            feedback_noise_sd: 0.4,
+            seed: 3,
+        },
+    )
+    .run(&agents)
+    .unwrap();
+
+    // Σ per-round payments == Σ per-agent compensation totals.
+    let by_rounds: f64 = outcome.rounds.iter().map(|r| r.payment).sum();
+    let by_agents: f64 = outcome.agent_compensation.iter().sum();
+    assert!(
+        (by_rounds - by_agents).abs() < 1e-6,
+        "rounds {by_rounds} vs agents {by_agents}"
+    );
+
+    // Each round's utility is exactly benefit − μ·payment.
+    for r in &outcome.rounds {
+        assert!(
+            (r.requester_utility - (r.benefit - config.params.mu * r.payment)).abs() < 1e-9
+        );
+    }
+    // Cumulative equals the sum of rounds.
+    let total: f64 = outcome.rounds.iter().map(|r| r.requester_utility).sum();
+    assert!((outcome.cumulative_requester_utility - total).abs() < 1e-9);
+}
+
+#[test]
+fn replay_round_payments_equal_worker_totals() {
+    let mut cfg = SyntheticConfig::small(707);
+    cfg.n_honest = 120;
+    cfg.n_products = 500;
+    let trace = cfg.generate();
+    let detection = run_pipeline(&trace, PipelineConfig::default());
+    let config = DesignConfig::default();
+    let design = design_contracts(&trace, &detection, &config).unwrap();
+    let outcome = replay_trace(&trace, &detection, &design, &config.params).unwrap();
+
+    let by_rounds: f64 = outcome.rounds.iter().map(|r| r.payment).sum();
+    let by_workers: f64 = outcome.worker_compensation.iter().sum();
+    assert!(
+        (by_rounds - by_workers).abs() < 1e-6,
+        "rounds {by_rounds} vs workers {by_workers}"
+    );
+    for r in &outcome.rounds {
+        assert!(
+            (r.requester_utility - (r.benefit - config.params.mu * r.payment)).abs() < 1e-9
+        );
+    }
+}

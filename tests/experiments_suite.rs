@@ -1,0 +1,78 @@
+//! Integration coverage of the experiment runners: every table/figure
+//! regenerates with the paper's qualitative shape at the small scale.
+
+use dyncontract::experiments::{fig6, fig7, fig8a, fig8b, fig8c, table2, table3, ExperimentScale};
+use dyncontract::trace::WorkerClass;
+
+const SEED: u64 = 777;
+
+#[test]
+fn e1_fig6_bracket_and_convergence() {
+    let r = fig6::run(&[4, 16, 64]).expect("fig6");
+    for p in &r.points {
+        assert!(p.lower_bound <= p.achieved + 1e-9);
+        assert!(p.achieved <= p.upper_bound + 1e-9);
+    }
+    let gap_first = r.points[0].upper_bound - r.points[0].achieved;
+    let gap_last = r.points[2].upper_bound - r.points[2].achieved;
+    assert!(gap_last < gap_first);
+}
+
+#[test]
+fn e2_table2_bucket_shape() {
+    let r = table2::run(ExperimentScale::Small, SEED);
+    assert!(r.communities >= 20, "expected enough communities, got {}", r.communities);
+    let counts: Vec<usize> = r.rows.iter().map(|row| row.1).collect();
+    assert!(counts.iter().all(|&c| c <= counts[0]), "size-2 must dominate: {counts:?}");
+}
+
+#[test]
+fn e3_fig7_collusive_feedback_inflated() {
+    let r = fig7::run(ExperimentScale::Small, SEED);
+    let cm = r.feedback_of(WorkerClass::CollusiveMalicious).unwrap();
+    let honest = r.feedback_of(WorkerClass::Honest).unwrap();
+    assert!(cm > 1.3 * honest);
+}
+
+#[test]
+fn e4_table3_quadratic_suffices() {
+    let r = table3::run(ExperimentScale::Small, SEED).expect("table3");
+    for (class, nors, _) in &r.rows {
+        assert!(
+            nors[1] <= 1.1 * nors[5],
+            "{class}: quadratic NoR should be near the 6th-order NoR"
+        );
+    }
+}
+
+#[test]
+fn e5_fig8a_gap_shrinks() {
+    let r = fig8a::run(ExperimentScale::Small, SEED).expect("fig8a");
+    let gaps: Vec<f64> = r.panels.iter().map(|p| p.mean_gap).collect();
+    assert!(gaps[2] < gaps[0], "gap must shrink with m: {gaps:?}");
+    for p in &r.panels {
+        for w in &p.workers {
+            assert!(w.compensation >= w.lower_bound - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn e6_fig8b_ordering() {
+    let r = fig8b::run(ExperimentScale::Small, SEED).expect("fig8b");
+    for &mu in &fig8b::DEFAULT_MUS {
+        let honest = r.mean_of(mu, WorkerClass::Honest).unwrap();
+        let ncm = r.mean_of(mu, WorkerClass::NonCollusiveMalicious).unwrap();
+        let cm = r.mean_of(mu, WorkerClass::CollusiveMalicious).unwrap();
+        assert!(honest > ncm && ncm >= cm, "mu={mu}: {honest} / {ncm} / {cm}");
+    }
+}
+
+#[test]
+fn e7_fig8c_dominance() {
+    let r = fig8c::run(ExperimentScale::Small, SEED).expect("fig8c");
+    for row in &r.rows {
+        assert!(row.ours >= row.exclude, "mu={}: {} vs {}", row.mu, row.ours, row.exclude);
+        assert!(row.ours >= row.fixed);
+    }
+}

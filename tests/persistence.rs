@@ -1,0 +1,37 @@
+//! Integration: CSV persistence round-trips a trace such that the entire
+//! detection + design pipeline reproduces identical results.
+
+use dyncontract::core::{design_contracts, DesignConfig};
+use dyncontract::detect::{run_pipeline, PipelineConfig};
+use dyncontract::trace::{read_trace_csv, write_trace_csv, SyntheticConfig};
+
+#[test]
+fn pipeline_is_invariant_under_csv_roundtrip() {
+    let trace = SyntheticConfig::small(909).generate();
+    let dir = std::env::temp_dir().join(format!("dyncontract_it_{}", std::process::id()));
+    write_trace_csv(&trace, &dir).expect("write");
+    let reloaded = read_trace_csv(&dir).expect("read");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let d1 = run_pipeline(&trace, PipelineConfig::default());
+    let d2 = run_pipeline(&reloaded, PipelineConfig::default());
+    assert_eq!(d1.collusion, d2.collusion, "clustering must be identical");
+    for (a, b) in d1.weights.as_slice().iter().zip(d2.weights.as_slice()) {
+        assert!((a - b).abs() < 1e-9, "weights must match: {a} vs {b}");
+    }
+
+    let c1 = design_contracts(&trace, &d1, &DesignConfig::default()).expect("design");
+    let c2 = design_contracts(&reloaded, &d2, &DesignConfig::default()).expect("design");
+    assert_eq!(c1.agents.len(), c2.agents.len());
+    assert!(
+        (c1.total_requester_utility - c2.total_requester_utility).abs() < 1e-6,
+        "designed utility must match: {} vs {}",
+        c1.total_requester_utility,
+        c2.total_requester_utility
+    );
+    for (a, b) in c1.agents.iter().zip(&c2.agents) {
+        assert_eq!(a.worker, b.worker);
+        assert!((a.compensation - b.compensation).abs() < 1e-9);
+        assert_eq!(a.k_opt, b.k_opt);
+    }
+}

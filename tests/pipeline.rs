@@ -1,0 +1,145 @@
+//! End-to-end integration: trace generation → detection → clustering →
+//! fitting → contract design → repeated-game simulation, across all
+//! crates through the meta-crate's public API.
+
+use dyncontract::core::{
+    design_contracts, BaselineStrategy, DesignConfig, ModelParams, Simulation, SimulationConfig,
+    StrategyKind,
+};
+use dyncontract::detect::{run_pipeline, PipelineConfig};
+use dyncontract::trace::{SyntheticConfig, WorkerClass};
+use std::collections::HashSet;
+
+fn trace() -> dyncontract::trace::TraceDataset {
+    let mut cfg = SyntheticConfig::small(4242);
+    cfg.n_honest = 500;
+    cfg.n_products = 1_200;
+    cfg.generate()
+}
+
+#[test]
+fn full_pipeline_produces_consistent_design() {
+    let trace = trace();
+    let detection = run_pipeline(&trace, PipelineConfig::default());
+    let config = DesignConfig::default();
+    let design = design_contracts(&trace, &detection, &config).expect("design");
+
+    // Every reviewing worker has exactly one contract.
+    let reviewing = trace
+        .reviewers()
+        .iter()
+        .filter(|r| !trace.reviews_by(r.id).is_empty())
+        .count();
+    assert_eq!(design.agents.len(), reviewing);
+
+    // Contracts are monotone with nonnegative finite payments.
+    for agent in &design.agents {
+        assert!(agent.contract.is_monotone());
+        assert!(agent.compensation.is_finite() && agent.compensation >= 0.0);
+        assert!(agent.induced_effort >= 0.0);
+    }
+
+    // Ground-truth communities share contracts and split payments.
+    for campaign in trace.campaigns() {
+        let first = design.for_worker(campaign.members[0]).expect("assigned");
+        for member in &campaign.members[1..] {
+            let a = design.for_worker(*member).expect("assigned");
+            assert_eq!(a.subproblem, first.subproblem);
+            assert!((a.compensation - first.compensation).abs() < 1e-12);
+        }
+    }
+
+    // Total utility equals the sum over subproblems.
+    let total: f64 = design
+        .solution
+        .solutions
+        .iter()
+        .map(|s| s.built.requester_utility())
+        .sum();
+    assert!((design.total_requester_utility - total).abs() < 1e-9);
+}
+
+#[test]
+fn compensation_ordering_matches_fig8b() {
+    let trace = trace();
+    let detection = run_pipeline(&trace, PipelineConfig::default());
+    let design = design_contracts(&trace, &detection, &DesignConfig::default()).expect("design");
+    let mean = |class: WorkerClass| {
+        let comps = design.compensations_of(&trace.workers_of_class(class));
+        comps.iter().sum::<f64>() / comps.len().max(1) as f64
+    };
+    let honest = mean(WorkerClass::Honest);
+    let ncm = mean(WorkerClass::NonCollusiveMalicious);
+    let cm = mean(WorkerClass::CollusiveMalicious);
+    assert!(honest > ncm, "honest {honest} <= ncm {ncm}");
+    assert!(ncm >= cm, "ncm {ncm} < cm {cm}");
+}
+
+#[test]
+fn simulation_confirms_design_and_dominates_baselines() {
+    let trace = trace();
+    let detection = run_pipeline(&trace, PipelineConfig::default());
+    let config = DesignConfig::default();
+    let design = design_contracts(&trace, &detection, &config).expect("design");
+    let suspected: HashSet<_> = detection.suspected.iter().copied().collect();
+    let sim = Simulation::new(
+        config.params,
+        SimulationConfig {
+            rounds: 10,
+            feedback_noise_sd: 0.0,
+            seed: 5,
+        },
+    );
+
+    let ours = sim
+        .run(
+            &BaselineStrategy::new(StrategyKind::DynamicContract)
+                .assemble(&design, config.params.omega, &suspected)
+                .expect("assemble"),
+        )
+        .expect("sim");
+    let excl = sim
+        .run(
+            &BaselineStrategy::new(StrategyKind::ExcludeMalicious)
+                .assemble(&design, config.params.omega, &suspected)
+                .expect("assemble"),
+        )
+        .expect("sim");
+    assert!(
+        ours.mean_round_utility >= excl.mean_round_utility,
+        "ours {} vs exclusion {}",
+        ours.mean_round_utility,
+        excl.mean_round_utility
+    );
+
+    // Noise-free steady-state rounds of our strategy reproduce the static
+    // design utility.
+    let steady = ours.rounds.last().expect("rounds");
+    let rel = (steady.requester_utility - design.total_requester_utility).abs()
+        / design.total_requester_utility.abs().max(1.0);
+    assert!(
+        rel < 0.05,
+        "steady state {} vs designed {}",
+        steady.requester_utility,
+        design.total_requester_utility
+    );
+}
+
+#[test]
+fn design_respects_custom_parameters() {
+    let trace = trace();
+    let detection = run_pipeline(&trace, PipelineConfig::default());
+    // Harsher mu means the requester spends less in total.
+    let spend = |mu: f64| {
+        let config = DesignConfig {
+            params: ModelParams {
+                mu,
+                ..ModelParams::default()
+            },
+            ..DesignConfig::default()
+        };
+        let design = design_contracts(&trace, &detection, &config).expect("design");
+        design.agents.iter().map(|a| a.compensation).sum::<f64>()
+    };
+    assert!(spend(2.0) <= spend(0.8) + 1e-9);
+}

@@ -1,0 +1,35 @@
+//! Paper-scale stress test — `#[ignore]`d by default; run explicitly
+//! with `cargo test --release --test stress -- --ignored`.
+
+use dyncontract::core::{design_contracts, DesignConfig};
+use dyncontract::detect::{run_pipeline, PipelineConfig};
+use dyncontract::experiments::ExperimentScale;
+use std::time::Instant;
+
+#[test]
+#[ignore = "paper-scale run (~10 s in release); invoke with -- --ignored"]
+fn paper_scale_pipeline_under_a_minute() {
+    let t0 = Instant::now();
+    let trace = ExperimentScale::Paper.generate(42);
+    let gen_time = t0.elapsed();
+    assert!(trace.reviews().len() > 100_000);
+
+    let t1 = Instant::now();
+    let detection = run_pipeline(&trace, PipelineConfig::default());
+    let detect_time = t1.elapsed();
+    assert!(detection.weights.as_slice().len() > 19_000);
+
+    let t2 = Instant::now();
+    let design = design_contracts(&trace, &detection, &DesignConfig::default()).expect("design");
+    let design_time = t2.elapsed();
+    assert!(design.agents.len() > 19_000);
+
+    let total = t0.elapsed();
+    println!(
+        "paper scale: gen {gen_time:?}, detect {detect_time:?}, design {design_time:?}, total {total:?}"
+    );
+    assert!(
+        total.as_secs() < 60,
+        "paper-scale pipeline took {total:?} (> 60 s)"
+    );
+}

@@ -1,0 +1,126 @@
+//! Cross-crate theory verification: the §IV-C guarantees hold for every
+//! contract the *full pipeline* designs on a synthetic trace — not just
+//! for hand-picked parameters.
+
+use dyncontract::core::{
+    best_response, bounds, design_contracts, DesignConfig, Discretization, ModelParams,
+};
+use dyncontract::detect::{run_pipeline, PipelineConfig};
+use dyncontract::trace::SyntheticConfig;
+
+#[test]
+fn designed_population_respects_all_brackets() {
+    let mut cfg = SyntheticConfig::small(8080);
+    cfg.n_honest = 300;
+    cfg.n_products = 900;
+    let trace = cfg.generate();
+    let detection = run_pipeline(&trace, PipelineConfig::default());
+    let config = DesignConfig::default();
+    let design = design_contracts(&trace, &detection, &config).expect("design");
+
+    let mut checked_brackets = 0usize;
+    for sol in &design.solution.solutions {
+        let built = &sol.built;
+        // Universal invariants.
+        assert!(built.contract().is_monotone());
+        assert!(built.worker_utility() >= -1e-9, "IR violated");
+        assert!(built.compensation() >= 0.0);
+
+        // Theorem 4.1 brackets exist exactly for honest non-zero designs.
+        if let Some((lo, hi)) = built.utility_bounds() {
+            assert!(
+                built.requester_utility() >= lo - 1e-7,
+                "utility {} below lower bound {lo}",
+                built.requester_utility()
+            );
+            assert!(
+                built.requester_utility() <= hi + 1e-7,
+                "utility {} above upper bound {hi}",
+                built.requester_utility()
+            );
+            checked_brackets += 1;
+        }
+    }
+    assert!(
+        checked_brackets > 100,
+        "expected many honest brackets, got {checked_brackets}"
+    );
+}
+
+#[test]
+fn designed_compensations_respect_lemma_bounds() {
+    let mut cfg = SyntheticConfig::small(8181);
+    cfg.n_honest = 200;
+    cfg.n_products = 700;
+    let trace = cfg.generate();
+    let detection = run_pipeline(&trace, PipelineConfig::default());
+    let config = DesignConfig::default();
+    let design = design_contracts(&trace, &detection, &config).expect("design");
+
+    // For every honest (non-suspected) single-worker design with a chosen
+    // interval, the realized pay lies inside the Lemma 4.2/4.3 bracket.
+    let honest_params = ModelParams {
+        omega: 0.0,
+        ..config.params
+    };
+    let mut checked = 0usize;
+    for agent in design.agents.iter().filter(|a| !a.suspected) {
+        let Some(k) = agent.k_opt else { continue };
+        let disc = Discretization::covering(
+            config.intervals,
+            agent.delta * config.intervals as f64,
+        )
+        .expect("reconstruct discretization");
+        let lo = bounds::compensation_lower_bound(&honest_params, &disc, k);
+        assert!(
+            agent.compensation >= lo - 1e-7,
+            "worker {}: pay {} below Lemma 4.3 bound {lo}",
+            agent.worker,
+            agent.compensation
+        );
+        checked += 1;
+    }
+    assert!(checked > 50, "expected many checked workers, got {checked}");
+}
+
+#[test]
+fn every_designed_contract_is_incentive_verified() {
+    // The induced effort recorded by the design equals the worker's exact
+    // best response, recomputed independently.
+    let mut cfg = SyntheticConfig::small(8282);
+    cfg.n_honest = 120;
+    cfg.n_products = 600;
+    let trace = cfg.generate();
+    let detection = run_pipeline(&trace, PipelineConfig::default());
+    let config = DesignConfig::default();
+    let design = design_contracts(&trace, &detection, &config).expect("design");
+
+    let (honest_psi, ncm_psi, _) = design.class_psis;
+    for sol in design.solution.solutions.iter().take(150) {
+        if sol.members.len() > 1 {
+            continue; // communities use the aggregate psi; skip here
+        }
+        let agent = design
+            .for_worker(dyncontract::trace::ReviewerId(sol.members[0]))
+            .expect("assigned");
+        let (psi, omega) = if agent.suspected {
+            (ncm_psi, config.params.omega)
+        } else {
+            (honest_psi, 0.0)
+        };
+        // Individual fits are not used (default config), so the class psi
+        // is the design psi.
+        let params = ModelParams {
+            omega,
+            ..config.params
+        };
+        let response = best_response(&params, &psi, sol.built.contract()).expect("response");
+        assert!(
+            (response.effort - sol.built.induced_effort()).abs() < 1e-6,
+            "worker {}: recorded effort {} vs recomputed {}",
+            agent.worker,
+            sol.built.induced_effort(),
+            response.effort
+        );
+    }
+}
