@@ -1,0 +1,27 @@
+# Developer entry points. Everything here is plain cargo; the Makefile
+# only fixes the flags so CI and local runs agree.
+
+CHAOS_CASES ?= 512
+
+.PHONY: build test clippy chaos experiments ci
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+# Chaos pass: the whole workspace with elevated property-test iterations,
+# then the fault-tolerance integration suite on its own (kill/resume,
+# determinism, degraded design). See docs/robustness.md.
+chaos:
+	PROPTEST_CASES=$(CHAOS_CASES) cargo test -q --workspace
+	PROPTEST_CASES=$(CHAOS_CASES) cargo test -q --test fault_tolerance
+
+experiments:
+	cargo run --release -p dcc-experiments --bin all -- --scale paper
+
+ci: build test clippy

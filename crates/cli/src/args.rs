@@ -21,9 +21,10 @@ impl ParsedArgs {
         let mut iter = args.into_iter().peekable();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let value = match iter.peek() {
-                    Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
-                    _ => "true".to_string(),
+                let value = if iter.peek().is_some_and(|next| !next.starts_with("--")) {
+                    iter.next().unwrap_or_else(|| "true".to_string())
+                } else {
+                    "true".to_string()
                 };
                 parsed.flags.insert(key.to_string(), value);
             } else if parsed.command.is_none() {

@@ -2,20 +2,22 @@
 //! the logic is unit-testable without capturing stdout.
 
 use crate::args::ParsedArgs;
+use crate::error::CliError;
 use dcc_core::{
-    design_contracts, BaselineStrategy, DesignConfig, ModelParams, Simulation, SimulationConfig,
-    StrategyKind,
+    design_contracts, BaselineStrategy, DesignConfig, FailurePolicy, ModelParams, Simulation,
+    SimulationConfig, StrategyKind,
 };
 use dcc_detect::{run_pipeline, PipelineConfig, SuspectSource};
 use dcc_experiments::ExperimentScale;
+use dcc_faults::{FaultInjector, FaultPlan, FaultPlanConfig};
 use dcc_label::{LabelMarket, MarketConfig};
 use dcc_trace::{read_trace_csv, write_trace_csv, TraceDataset, TraceSummary, WorkerClass};
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Top-level error string type for the CLI (messages are printed to
-/// stderr by `main`).
-pub type CliResult = Result<String, String>;
+/// Top-level result type for the CLI; `main` maps the error variant to
+/// an exit code and never panics on user input.
+pub type CliResult = Result<String, CliError>;
 
 /// `dcc gen --seed N --scale small|paper --out DIR`
 pub fn cmd_gen(args: &ParsedArgs) -> CliResult {
@@ -24,7 +26,8 @@ pub fn cmd_gen(args: &ParsedArgs) -> CliResult {
         .ok_or_else(|| "flag --scale: expected small|paper".to_string())?;
     let out = args.str_flag("out", "trace_out");
     let trace = scale.generate(seed);
-    write_trace_csv(&trace, Path::new(&out)).map_err(|e| e.to_string())?;
+    write_trace_csv(&trace, Path::new(&out))
+        .map_err(|e| CliError::Failed(format!("cannot write trace {out}: {e}")))?;
     Ok(format!(
         "wrote {} reviews / {} reviewers / {} products to {out}/",
         trace.reviews().len(),
@@ -33,14 +36,17 @@ pub fn cmd_gen(args: &ParsedArgs) -> CliResult {
     ))
 }
 
-fn load_trace(args: &ParsedArgs) -> Result<TraceDataset, String> {
+fn load_trace(args: &ParsedArgs) -> Result<TraceDataset, CliError> {
     let dir = args
         .positional
         .first()
         .cloned()
         .or_else(|| args.flags.get("trace").cloned())
-        .ok_or_else(|| "expected a trace directory (positional or --trace DIR)".to_string())?;
-    read_trace_csv(Path::new(&dir)).map_err(|e| format!("cannot read trace {dir}: {e}"))
+        .ok_or_else(|| {
+            CliError::Usage("expected a trace directory (positional or --trace DIR)".into())
+        })?;
+    read_trace_csv(Path::new(&dir))
+        .map_err(|e| CliError::Failed(format!("cannot read trace {dir}: {e}")))
 }
 
 /// `dcc summary TRACE_DIR`
@@ -80,7 +86,20 @@ pub fn cmd_detect(args: &ParsedArgs) -> CliResult {
     Ok(out)
 }
 
-fn design_config(args: &ParsedArgs) -> Result<DesignConfig, String> {
+fn failure_policy(args: &ParsedArgs) -> Result<FailurePolicy, CliError> {
+    match args.str_flag("policy", "abort").as_str() {
+        "abort" => Ok(FailurePolicy::Abort),
+        "fallback" => Ok(FailurePolicy::FallbackBaseline {
+            amount: args.num_flag("fallback-amount", 0.5)?,
+        }),
+        "skip" => Ok(FailurePolicy::Skip),
+        other => Err(CliError::Usage(format!(
+            "flag --policy: expected abort|fallback|skip, got {other:?}"
+        ))),
+    }
+}
+
+fn design_config(args: &ParsedArgs) -> Result<DesignConfig, CliError> {
     Ok(DesignConfig {
         params: ModelParams {
             mu: args.num_flag("mu", 1.5)?,
@@ -96,7 +115,26 @@ fn design_config(args: &ParsedArgs) -> Result<DesignConfig, String> {
         } else {
             None
         },
+        failure_policy: failure_policy(args)?,
     })
+}
+
+/// Appends the degraded-subproblem report (if any) to a command's output.
+fn report_degradation(out: &mut String, degradation: &dcc_core::DegradationReport) {
+    if degradation.is_empty() {
+        return;
+    }
+    writeln!(out, "degraded subproblems: {}", degradation.len()).ok();
+    for d in &degradation.degraded {
+        writeln!(
+            out,
+            "  subproblem {} ({} workers): {}",
+            d.subproblem,
+            d.members.len(),
+            d.reason
+        )
+        .ok();
+    }
 }
 
 /// `dcc design TRACE_DIR [--mu F] [--omega F] [--intervals N] [--serial]
@@ -105,7 +143,7 @@ pub fn cmd_design(args: &ParsedArgs) -> CliResult {
     let trace = load_trace(args)?;
     let detection = run_pipeline(&trace, PipelineConfig::default());
     let config = design_config(args)?;
-    let design = design_contracts(&trace, &detection, &config).map_err(|e| e.to_string())?;
+    let design = design_contracts(&trace, &detection, &config)?;
     let mut out = String::new();
     writeln!(
         out,
@@ -114,10 +152,10 @@ pub fn cmd_design(args: &ParsedArgs) -> CliResult {
         design.total_requester_utility
     )
     .ok();
+    report_degradation(&mut out, &design.degradation);
     if args.flags.contains_key("budget") {
         let budget: f64 = args.num_flag("budget", 0.0)?;
-        let selection = dcc_core::select_within_budget(&design.solution, budget)
-            .map_err(|e| e.to_string())?;
+        let selection = dcc_core::select_within_budget(&design.solution, budget)?;
         writeln!(
             out,
             "budget {budget:.2}: funded {} contracts, spend {:.2}, utility {:.3}",
@@ -129,7 +167,8 @@ pub fn cmd_design(args: &ParsedArgs) -> CliResult {
     }
     if let Some(dump_dir) = args.flags.get("dump") {
         let path = std::path::Path::new(dump_dir);
-        std::fs::create_dir_all(path).map_err(|e| e.to_string())?;
+        std::fs::create_dir_all(path)
+            .map_err(|e| CliError::Failed(format!("cannot create {dump_dir}: {e}")))?;
         let mut csv = String::from("worker,k_opt,compensation,effort,knots,payments\n");
         for a in &design.agents {
             let knots: Vec<String> = a
@@ -157,7 +196,8 @@ pub fn cmd_design(args: &ParsedArgs) -> CliResult {
             .ok();
         }
         let file = path.join("contracts.csv");
-        std::fs::write(&file, csv).map_err(|e| e.to_string())?;
+        std::fs::write(&file, csv)
+            .map_err(|e| CliError::Failed(format!("cannot write {}: {e}", file.display())))?;
         writeln!(out, "wrote {} contracts to {}", design.agents.len(), file.display()).ok();
     }
     for class in WorkerClass::ALL {
@@ -178,12 +218,21 @@ pub fn cmd_design(args: &ParsedArgs) -> CliResult {
 }
 
 /// `dcc simulate TRACE_DIR [--rounds N] [--strategy dynamic|exclude|fixed]
-///  [--amount F] [--noise F] [--mu F]`
+///  [--amount F] [--noise F] [--mu F] [--fault-plan FILE]
+///  [--checkpoint FILE [--kill-at N | --resume]]
+///  [--policy abort|fallback|skip [--fallback-amount F]]`
+///
+/// With `--checkpoint` the complete simulation state is persisted after
+/// every round; `--kill-at N` stops the run before round `N` (simulating
+/// a crash), and `--resume` continues from the checkpoint instead of
+/// starting over. Because the fault plan is deterministic in `(agent,
+/// round)`, a killed-and-resumed run reproduces the uninterrupted
+/// outcome bit-exactly.
 pub fn cmd_simulate(args: &ParsedArgs) -> CliResult {
     let trace = load_trace(args)?;
     let detection = run_pipeline(&trace, PipelineConfig::default());
     let config = design_config(args)?;
-    let design = design_contracts(&trace, &detection, &config).map_err(|e| e.to_string())?;
+    let design = design_contracts(&trace, &detection, &config)?;
     let suspected: std::collections::HashSet<_> = detection.suspected.iter().copied().collect();
 
     let strategy = match args.str_flag("strategy", "dynamic").as_str() {
@@ -192,27 +241,151 @@ pub fn cmd_simulate(args: &ParsedArgs) -> CliResult {
         "fixed" => StrategyKind::FixedPayment {
             amount: args.num_flag("amount", 1.0)?,
         },
-        other => return Err(format!("flag --strategy: unknown strategy {other:?}")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "flag --strategy: unknown strategy {other:?}"
+            )))
+        }
     };
-    let agents = BaselineStrategy::new(strategy)
-        .assemble(&design, config.params.omega, &suspected)
-        .map_err(|e| e.to_string())?;
-    let sim = Simulation::new(
-        config.params,
-        SimulationConfig {
-            rounds: args.num_flag("rounds", 20)?,
-            feedback_noise_sd: args.num_flag("noise", 0.5)?,
-            seed: args.num_flag("seed", 7)?,
-        },
-    );
-    let outcome = sim.run(&agents).map_err(|e| e.to_string())?;
-    Ok(format!(
+    let agents =
+        BaselineStrategy::new(strategy).assemble(&design, config.params.omega, &suspected)?;
+    let sim_config = SimulationConfig {
+        rounds: args.num_flag("rounds", 20)?,
+        feedback_noise_sd: args.num_flag("noise", 0.5)?,
+        seed: args.num_flag("seed", 7)?,
+    };
+    let sim = Simulation::new(config.params, sim_config);
+
+    let plan = match args.flags.get("fault-plan") {
+        Some(file) => FaultPlan::load(Path::new(file))?,
+        None => FaultPlan::default(),
+    };
+    let mut injector = FaultInjector::new(&plan);
+
+    let checkpoint = args.flags.get("checkpoint").map(std::path::PathBuf::from);
+    let mut state = if args.bool_flag("resume") {
+        let cp = checkpoint.as_ref().ok_or_else(|| {
+            CliError::Usage("--resume requires --checkpoint FILE".into())
+        })?;
+        dcc_faults::load_sim_state(cp)?
+    } else {
+        sim.start(&agents)?
+    };
+    let kill_at: Option<usize> = if args.flags.contains_key("kill-at") {
+        if checkpoint.is_none() {
+            return Err(CliError::Usage(
+                "--kill-at requires --checkpoint FILE".into(),
+            ));
+        }
+        Some(args.num_flag("kill-at", 0usize)?)
+    } else {
+        None
+    };
+
+    loop {
+        if !state.is_complete(&sim_config) {
+            if let Some(k) = kill_at {
+                if state.next_round >= k {
+                    // `--kill-at` implies `--checkpoint`, checked above.
+                    if let Some(cp) = &checkpoint {
+                        dcc_faults::save_sim_state(cp, &state)?;
+                        return Ok(format!(
+                            "killed at round {} of {}; checkpoint saved to {} (continue with --resume)",
+                            state.next_round,
+                            sim_config.rounds,
+                            cp.display()
+                        ));
+                    }
+                }
+            }
+        }
+        if !sim.step(&agents, &mut state, &mut injector) {
+            break;
+        }
+        if let Some(cp) = &checkpoint {
+            dcc_faults::save_sim_state(cp, &state)?;
+        }
+    }
+
+    let outcome = sim.outcome_of(&state)?;
+    let mut out = format!(
         "strategy {:?}: mean round utility {:.3}, cumulative {:.3} over {} rounds",
         args.str_flag("strategy", "dynamic"),
         outcome.mean_round_utility,
         outcome.cumulative_requester_utility,
         outcome.rounds.len()
-    ))
+    );
+    if !plan.is_empty() {
+        write!(
+            out,
+            "\nfault plan: {} scheduled events, {} fired this invocation",
+            plan.len(),
+            injector.log().len()
+        )
+        .ok();
+    }
+    let mut degraded = String::new();
+    report_degradation(&mut degraded, &design.degradation);
+    if !degraded.is_empty() {
+        out.push('\n');
+        out.push_str(degraded.trim_end());
+    }
+    Ok(out)
+}
+
+/// `dcc faults gen [--agents N --rounds N --seed N --dropout F --missing F
+///  --corrupt F --nan F --delay F --out FILE]` — sample a deterministic
+/// fault plan; `dcc faults show FILE` — summarize one.
+pub fn cmd_faults(args: &ParsedArgs) -> CliResult {
+    match args.positional.first().map(String::as_str) {
+        Some("gen") => {
+            let config = FaultPlanConfig {
+                agents: args.num_flag("agents", 10)?,
+                rounds: args.num_flag("rounds", 20)?,
+                dropout_prob: args.num_flag("dropout", 0.02)?,
+                max_dropout_len: args.num_flag("max-dropout-len", 3)?,
+                missing_prob: args.num_flag("missing", 0.03)?,
+                corrupt_prob: args.num_flag("corrupt", 0.03)?,
+                nan_prob: args.num_flag("nan", 0.01)?,
+                delay_prob: args.num_flag("delay", 0.03)?,
+                max_delay: args.num_flag("max-delay", 3)?,
+                outlier_scale: args.num_flag("outlier-scale", 10.0)?,
+                seed: args.num_flag("seed", 42)?,
+            };
+            let plan = config.generate()?;
+            let out = args.str_flag("out", "fault_plan.json");
+            plan.save(Path::new(&out))?;
+            Ok(format!(
+                "wrote fault plan to {out}: {} events ({} dropouts, {} missing, {} corrupt, {} delays)",
+                plan.len(),
+                plan.dropouts.len(),
+                plan.missing.len(),
+                plan.corrupt.len(),
+                plan.delays.len()
+            ))
+        }
+        Some("show") => {
+            let file = args.positional.get(1).ok_or_else(|| {
+                CliError::Usage("usage: dcc faults show PLAN_FILE".into())
+            })?;
+            let plan = FaultPlan::load(Path::new(file))?;
+            let mut out = format!(
+                "fault plan {file}: {} events\n  dropouts: {}\n  missing feedback: {}\n  corrupted feedback: {}\n  payment delays: {}\n",
+                plan.len(),
+                plan.dropouts.len(),
+                plan.missing.len(),
+                plan.corrupt.len(),
+                plan.delays.len()
+            );
+            for d in plan.dropouts.iter().take(10) {
+                writeln!(out, "  agent {} absent rounds {}..{}", d.agent, d.from, d.until).ok();
+            }
+            Ok(out)
+        }
+        _ => Err(CliError::Usage(
+            "usage: dcc faults gen [FLAGS] | dcc faults show PLAN_FILE".into(),
+        )),
+    }
 }
 
 /// `dcc experiment <fig6|fig7|fig8a|fig8b|fig8c|table2|table3|adaptive|all>
@@ -226,7 +399,7 @@ pub fn cmd_experiment(args: &ParsedArgs) -> CliResult {
     let scale = ExperimentScale::parse(&args.str_flag("scale", "small"))
         .ok_or_else(|| "flag --scale: expected small|paper".to_string())?;
     let seed: u64 = args.num_flag("seed", dcc_experiments::DEFAULT_SEED)?;
-    let err = |e: dcc_core::CoreError| e.to_string();
+    let err = CliError::Core;
 
     let out = match which.as_str() {
         "fig6" => dcc_experiments::fig6::run(&dcc_experiments::fig6::DEFAULT_MS)
@@ -312,7 +485,7 @@ pub fn cmd_experiment(args: &ParsedArgs) -> CliResult {
                 .to_string();
             s
         }
-        other => return Err(format!("unknown experiment {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown experiment {other:?}"))),
     };
     Ok(out)
 }
@@ -324,9 +497,8 @@ pub fn cmd_replay(args: &ParsedArgs) -> CliResult {
     let trace = load_trace(args)?;
     let detection = run_pipeline(&trace, PipelineConfig::default());
     let config = design_config(args)?;
-    let design = design_contracts(&trace, &detection, &config).map_err(|e| e.to_string())?;
-    let outcome = dcc_core::replay_trace(&trace, &detection, &design, &config.params)
-        .map_err(|e| e.to_string())?;
+    let design = design_contracts(&trace, &detection, &config)?;
+    let outcome = dcc_core::replay_trace(&trace, &detection, &design, &config.params)?;
     let mut out = String::new();
     writeln!(
         out,
@@ -354,7 +526,9 @@ pub fn cmd_label(args: &ParsedArgs) -> CliResult {
     config.n_items = args.num_flag("items", config.n_items)?;
     config.params.mu = args.num_flag("mu", config.params.mu)?;
     config.seed = args.num_flag("seed", config.seed)?;
-    let report = LabelMarket::new(config).run().map_err(|e| e.to_string())?;
+    let report = LabelMarket::new(config)
+        .run()
+        .map_err(|e| CliError::Failed(e.to_string()))?;
     Ok(format!(
         "labeling market: contract accuracy {:.1}% (effort {:.2}, spend {:.2}) vs fixed-payment accuracy {:.1}%",
         100.0 * report.contract_accuracy,
@@ -389,13 +563,12 @@ pub fn cmd_check(args: &ParsedArgs) -> CliResult {
     let y_max: f64 = args.num_flag("ymax", {
         psi.peak().map(|p| 0.9 * p).unwrap_or(10.0)
     })?;
-    let disc = Discretization::covering(intervals, y_max).map_err(|e| e.to_string())?;
+    let disc = Discretization::covering(intervals, y_max)?;
 
     let built = ContractBuilder::new(params, disc, psi)
         .malicious(params.omega)
         .weight(weight)
-        .build()
-        .map_err(|e| e.to_string())?;
+        .build()?;
     let mut out = String::new();
     writeln!(out, "psi = {psi}; region [0, {y_max:.3}) in {intervals} intervals").ok();
     writeln!(
@@ -409,7 +582,7 @@ pub fn cmd_check(args: &ParsedArgs) -> CliResult {
     .ok();
 
     // Runtime verification.
-    let response = best_response(&params, &psi, built.contract()).map_err(|e| e.to_string())?;
+    let response = best_response(&params, &psi, built.contract())?;
     let mut checks = Vec::new();
     if let Some(k) = built.k_opt() {
         let in_interval = response.effort >= disc.knot(k - 1) - 1e-9
@@ -450,7 +623,7 @@ pub fn cmd_check(args: &ParsedArgs) -> CliResult {
         writeln!(out, "all checks passed").ok();
         Ok(out)
     } else {
-        Err(out)
+        Err(CliError::Failed(out))
     }
 }
 
@@ -458,11 +631,16 @@ pub fn cmd_check(args: &ParsedArgs) -> CliResult {
 /// payment on the y-axis.
 fn ascii_plot(contract: &dcc_core::Contract, width: usize, height: usize) -> String {
     let knots = contract.feedback_knots();
-    let (q_lo, q_hi) = (knots[0], *knots.last().expect("contract has knots"));
+    let (q_lo, q_hi) = match (knots.first(), knots.last()) {
+        (Some(&lo), Some(&hi)) => (lo, hi),
+        _ => return "(contract has no knots)\n".to_string(),
+    };
     let pay_max = contract.max_payment().max(1e-9);
     let mut grid = vec![vec![' '; width]; height];
-    for col in 0..width {
-        let q = q_lo + (q_hi - q_lo) * col as f64 / (width - 1).max(1) as f64;
+    for (col, q) in (0..width)
+        .map(|c| q_lo + (q_hi - q_lo) * c as f64 / (width - 1).max(1) as f64)
+        .enumerate()
+    {
         let pay = contract.compensation(q);
         let row = ((1.0 - pay / pay_max) * (height - 1) as f64).round() as usize;
         grid[row.min(height - 1)][col] = '*';
@@ -503,7 +681,12 @@ COMMANDS:
   design     TRACE_DIR [--mu F --omega F --intervals N --serial]
                                                        design all contracts
   simulate   TRACE_DIR [--strategy dynamic|exclude|fixed --rounds N --noise F]
+             [--fault-plan FILE] [--checkpoint FILE [--kill-at N | --resume]]
+             [--policy abort|fallback|skip [--fallback-amount F]]
                                                        run the repeated game
+  faults     gen [--agents N --rounds N --seed N --dropout F --missing F
+             --corrupt F --nan F --delay F --out FILE] | show FILE
+                                                       deterministic fault plans
   replay     TRACE_DIR [--mu F]                        trace-driven evaluation
   check      [--r2 F --r1 F --r0 F --mu F --omega F --weight F --intervals N]
                                                        verify the theory at runtime
@@ -524,12 +707,16 @@ pub fn dispatch(args: &ParsedArgs) -> CliResult {
         Some("detect") => cmd_detect(args),
         Some("design") => cmd_design(args),
         Some("simulate") => cmd_simulate(args),
+        Some("faults") => cmd_faults(args),
         Some("replay") => cmd_replay(args),
         Some("check") => cmd_check(args),
         Some("experiment") => cmd_experiment(args),
         Some("label") => cmd_label(args),
         Some("help") | None => Ok(help()),
-        Some(other) => Err(format!("unknown command {other:?}\n\n{}", help())),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n\n{}",
+            help()
+        ))),
     }
 }
 
@@ -611,8 +798,87 @@ mod tests {
     #[test]
     fn missing_trace_is_an_error() {
         let err = dispatch(&parse("summary /nonexistent/dcc")).unwrap_err();
-        assert!(err.contains("cannot read trace"));
-        assert!(dispatch(&parse("summary")).is_err());
+        assert!(err.to_string().contains("cannot read trace"));
+        assert_eq!(err.exit_code(), 1);
+        let err = dispatch(&parse("summary")).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "missing argument is a usage error");
+    }
+
+    #[test]
+    fn faults_gen_and_show_round_trip() {
+        let dir = temp_dir("faultplan");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = format!("{dir}/plan.json");
+        let out = dispatch(&parse(&format!(
+            "faults gen --agents 5 --rounds 10 --missing 0.2 --seed 3 --out {plan}"
+        )))
+        .unwrap();
+        assert!(out.contains("wrote fault plan"));
+        let shown = dispatch(&parse(&format!("faults show {plan}"))).unwrap();
+        assert!(shown.contains("events"));
+        assert!(dispatch(&parse("faults show /nonexistent/plan.json")).is_err());
+        assert!(dispatch(&parse("faults bogus")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_kill_then_resume_matches_uninterrupted_run() {
+        let dir = temp_dir("killresume");
+        dispatch(&parse(&format!("gen --seed 9 --scale small --out {dir}"))).unwrap();
+        let plan = format!("{dir}/plan.json");
+        dispatch(&parse(&format!(
+            "faults gen --agents 400 --rounds 8 --dropout 0.05 --missing 0.1 --corrupt 0.1 \
+             --delay 0.1 --seed 4 --out {plan}"
+        )))
+        .unwrap();
+
+        let base = format!("simulate {dir} --rounds 8 --fault-plan {plan}");
+        let uninterrupted = dispatch(&parse(&base)).unwrap();
+
+        let cp = format!("{dir}/sim.ckpt.json");
+        let killed = dispatch(&parse(&format!("{base} --checkpoint {cp} --kill-at 4"))).unwrap();
+        assert!(killed.contains("killed at round 4"), "{killed}");
+        let resumed =
+            dispatch(&parse(&format!("{base} --checkpoint {cp} --resume"))).unwrap();
+
+        // The accounting line must agree exactly with the uninterrupted
+        // run; only the per-invocation fired-fault count may differ.
+        assert_eq!(
+            uninterrupted.lines().next().unwrap(),
+            resumed.lines().next().unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_checkpoint_flag_misuse_is_a_usage_error() {
+        let dir = temp_dir("ckptmisuse");
+        dispatch(&parse(&format!("gen --seed 9 --scale small --out {dir}"))).unwrap();
+        let err =
+            dispatch(&parse(&format!("simulate {dir} --rounds 4 --kill-at 2"))).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err =
+            dispatch(&parse(&format!("simulate {dir} --rounds 4 --resume"))).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn policy_flags_parse_and_bogus_policy_is_rejected() {
+        let p = parse("design x --policy fallback --fallback-amount 0.7");
+        assert_eq!(
+            failure_policy(&p).unwrap(),
+            FailurePolicy::FallbackBaseline { amount: 0.7 }
+        );
+        assert_eq!(
+            failure_policy(&parse("design x --policy skip")).unwrap(),
+            FailurePolicy::Skip
+        );
+        assert_eq!(
+            failure_policy(&parse("design x")).unwrap(),
+            FailurePolicy::Abort
+        );
+        assert!(failure_policy(&parse("design x --policy sometimes")).is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 mod args;
 mod commands;
+mod error;
 
 use args::ParsedArgs;
 use std::io::Write;
@@ -13,9 +14,11 @@ fn main() {
             // Tolerate a closed pipe (e.g. `dcc ... | head`).
             let _ = writeln!(std::io::stdout(), "{report}");
         }
-        Err(message) => {
-            let _ = writeln!(std::io::stderr(), "error: {message}");
-            std::process::exit(1);
+        Err(err) => {
+            let _ = writeln!(std::io::stderr(), "error: {err}");
+            // Usage mistakes exit 2, runtime failures exit 1 — and
+            // nothing in the command path panics on user input.
+            std::process::exit(err.exit_code());
         }
     }
 }

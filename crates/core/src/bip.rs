@@ -1,5 +1,86 @@
-use crate::{BuiltContract, ContractBuilder, CoreError, Discretization, ModelParams};
+use crate::{
+    bounds, BestResponse, BuiltContract, Contract, ContractBuilder, CoreError, Discretization,
+    ModelParams,
+};
 use dcc_numerics::Quadratic;
+
+/// What to do when a single subproblem's contract construction fails
+/// (corrupted weight, degenerate ψ fit, numeric breakdown).
+///
+/// The decomposition of §IV-B makes subproblems independent, so a
+/// failure can be isolated to the worker (or community) it belongs to
+/// instead of aborting the whole design.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FailurePolicy {
+    /// Propagate the first failure (the strict pre-existing behaviour).
+    #[default]
+    Abort,
+    /// Give the failing subproblem's workers a fixed-payment contract —
+    /// the platform-status-quo baseline of §I — paying `amount` per
+    /// round (clamped into the Lemma 4.2/4.3 compensation bracket when
+    /// the subproblem's ψ still supports evaluating it).
+    FallbackBaseline {
+        /// Requested per-round payment before clamping.
+        amount: f64,
+    },
+    /// Exclude the failing subproblem's workers from the system (the
+    /// Fig. 8c exclusion baseline): zero contract, no pay, no benefit.
+    Skip,
+}
+
+/// How one degraded subproblem was handled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegradationAction {
+    /// Replaced by a fixed-payment baseline at the (clamped) amount.
+    Fallback {
+        /// The per-round payment actually written into the contract.
+        amount: f64,
+    },
+    /// Excluded from the system under the zero contract.
+    Skipped,
+}
+
+/// One subproblem the solver could not design optimally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedSubproblem {
+    /// The failing subproblem's id.
+    pub subproblem: usize,
+    /// Worker indices it covers.
+    pub members: Vec<usize>,
+    /// The original solver error, rendered.
+    pub reason: String,
+    /// What the policy substituted.
+    pub action: DegradationAction,
+    /// The substituted requester utility minus the Theorem 4.1 upper
+    /// bound for this subproblem — how much was given up relative to the
+    /// best any contract could have achieved. `None` when the bound
+    /// itself is not computable (e.g. a non-finite weight or ψ).
+    pub utility_delta: Option<f64>,
+}
+
+/// Per-subproblem record of every degradation a solve performed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DegradationReport {
+    /// The degraded subproblems, in input order.
+    pub degraded: Vec<DegradedSubproblem>,
+}
+
+impl DegradationReport {
+    /// Whether every subproblem was solved optimally.
+    pub fn is_empty(&self) -> bool {
+        self.degraded.is_empty()
+    }
+
+    /// Number of degraded subproblems.
+    pub fn len(&self) -> usize {
+        self.degraded.len()
+    }
+
+    /// The record for one subproblem id, if it degraded.
+    pub fn for_subproblem(&self, id: usize) -> Option<&DegradedSubproblem> {
+        self.degraded.iter().find(|d| d.subproblem == id)
+    }
+}
 
 /// One subproblem of the §IV-B decomposition: the contract design for a
 /// single worker, or for a collusive community treated as one
@@ -59,7 +140,10 @@ impl BipSolution {
 /// The subproblems are independent by construction — the requester's
 /// objective separates across non-collusive workers and communities — so
 /// with `parallel = true` they are solved on scoped threads
-/// (`crossbeam::thread::scope`), one chunk per available core.
+/// (`std::thread::scope`), one chunk per available core.
+///
+/// Equivalent to [`solve_subproblems_with`] under
+/// [`FailurePolicy::Abort`].
 ///
 /// # Errors
 ///
@@ -70,6 +154,27 @@ pub fn solve_subproblems(
     params: &ModelParams,
     parallel: bool,
 ) -> Result<BipSolution, CoreError> {
+    solve_subproblems_with(subproblems, params, parallel, FailurePolicy::Abort)
+        .map(|(solution, _)| solution)
+}
+
+/// [`solve_subproblems`] with a [`FailurePolicy`] deciding what happens
+/// when an individual subproblem cannot be designed: abort everything,
+/// fall back to a fixed-payment baseline for that worker, or exclude the
+/// worker. Degradations are itemized in the returned
+/// [`DegradationReport`] (empty when every subproblem solved optimally).
+///
+/// # Errors
+///
+/// Under [`FailurePolicy::Abort`], the first per-subproblem error in
+/// input order; under the other policies, solver errors are absorbed
+/// into the report and only panics in the worker threads propagate.
+pub fn solve_subproblems_with(
+    subproblems: &[Subproblem],
+    params: &ModelParams,
+    parallel: bool,
+    policy: FailurePolicy,
+) -> Result<(BipSolution, DegradationReport), CoreError> {
     let solve_one = |sp: &Subproblem| -> Result<SubproblemSolution, CoreError> {
         let built = ContractBuilder::new(*params, sp.disc, sp.psi)
             .malicious(sp.omega)
@@ -85,46 +190,174 @@ pub fn solve_subproblems(
         })
     };
 
-    let solutions: Vec<SubproblemSolution> = if parallel && subproblems.len() > 1 {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(subproblems.len());
-        let chunk_size = subproblems.len().div_ceil(workers);
-        let results = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = subproblems
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        chunk
-                            .iter()
-                            .map(solve_one)
-                            .collect::<Result<Vec<_>, CoreError>>()
+    // Solve everything without short-circuiting so non-Abort policies see
+    // every failure and Abort still reports the first one in input order.
+    let results: Vec<Result<SubproblemSolution, CoreError>> =
+        if parallel && subproblems.len() > 1 {
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(subproblems.len());
+            let chunk_size = subproblems.len().div_ceil(workers);
+            let solve_ref = &solve_one;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = subproblems
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move || chunk.iter().map(solve_ref).collect::<Vec<_>>())
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("solver thread must not panic"))
-                .collect::<Result<Vec<Vec<_>>, CoreError>>()
-        })
-        .expect("scoped threads must not panic")?;
-        results.into_iter().flatten().collect()
-    } else {
-        subproblems
-            .iter()
-            .map(solve_one)
-            .collect::<Result<Vec<_>, CoreError>>()?
-    };
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("solver thread must not panic"))
+                    .collect()
+            })
+        } else {
+            subproblems.iter().map(solve_one).collect()
+        };
+
+    let mut solutions = Vec::with_capacity(subproblems.len());
+    let mut report = DegradationReport::default();
+    for (sp, result) in subproblems.iter().zip(results) {
+        match result {
+            Ok(solution) => solutions.push(solution),
+            Err(err) => match policy {
+                FailurePolicy::Abort => return Err(err),
+                FailurePolicy::FallbackBaseline { amount } => {
+                    let (solution, paid) = fallback_solution(sp, params, amount);
+                    report.degraded.push(DegradedSubproblem {
+                        subproblem: sp.id,
+                        members: sp.members.clone(),
+                        reason: err.to_string(),
+                        action: DegradationAction::Fallback { amount: paid },
+                        utility_delta: utility_delta(sp, params, solution.built.requester_utility()),
+                    });
+                    solutions.push(solution);
+                }
+                FailurePolicy::Skip => {
+                    let solution = skip_solution(sp);
+                    report.degraded.push(DegradedSubproblem {
+                        subproblem: sp.id,
+                        members: sp.members.clone(),
+                        reason: err.to_string(),
+                        action: DegradationAction::Skipped,
+                        utility_delta: utility_delta(sp, params, 0.0),
+                    });
+                    solutions.push(solution);
+                }
+            },
+        }
+    }
 
     let total = solutions
         .iter()
         .map(|s| s.built.requester_utility())
         .sum();
-    Ok(BipSolution {
-        solutions,
-        total_requester_utility: total,
-    })
+    Ok((
+        BipSolution {
+            solutions,
+            total_requester_utility: total,
+        },
+        report,
+    ))
+}
+
+/// The feedback domain `[ψ(0), ψ(y_max)]` of a subproblem's contract,
+/// with a safe unit fallback when ψ is too corrupted to evaluate.
+fn feedback_domain(sp: &Subproblem) -> (f64, f64) {
+    let d_lo = sp.psi.eval(0.0);
+    let d_hi = sp.psi.eval(sp.disc.y_max());
+    if d_lo.is_finite() && d_hi.is_finite() && d_lo < d_hi {
+        (d_lo, d_hi)
+    } else {
+        (0.0, 1.0)
+    }
+}
+
+/// Builds the fixed-payment fallback for a failed subproblem.
+///
+/// The payment is clamped into the Lemma 4.2/4.3 compensation bracket
+/// `[0, C_ub(m)]` when the subproblem's ψ still yields a finite cap.
+/// Accounting is the model's own prediction for a fixed payment: a
+/// worker with no marginal incentive best-responds with zero effort, so
+/// the requester books `w·ψ(0) − μ·amount` (with non-finite `w` or ψ(0)
+/// conservatively treated as 0).
+fn fallback_solution(
+    sp: &Subproblem,
+    params: &ModelParams,
+    amount: f64,
+) -> (SubproblemSolution, f64) {
+    let cap = bounds::compensation_upper_bound(params, &sp.disc, &sp.psi, sp.disc.intervals());
+    let pay = if cap.is_finite() && cap >= 0.0 {
+        amount.clamp(0.0, cap)
+    } else {
+        amount.max(0.0)
+    };
+    let (d_lo, d_hi) = feedback_domain(sp);
+    let contract = Contract::fixed(d_lo, d_hi, pay)
+        .or_else(|_| Contract::fixed(0.0, 1.0, pay))
+        .expect("unit-domain fixed contract is always valid");
+
+    let zero_effort_feedback = {
+        let f = sp.psi.eval(0.0);
+        if f.is_finite() {
+            f.max(0.0)
+        } else {
+            0.0
+        }
+    };
+    let weight = if sp.weight.is_finite() { sp.weight } else { 0.0 };
+    let requester_utility = weight * zero_effort_feedback - params.mu * pay;
+    let response = BestResponse {
+        effort: 0.0,
+        feedback: zero_effort_feedback,
+        compensation: pay,
+        utility: pay,
+    };
+    (
+        SubproblemSolution {
+            id: sp.id,
+            members: sp.members.clone(),
+            built: BuiltContract::degraded(contract, response, requester_utility, weight),
+        },
+        pay,
+    )
+}
+
+/// Builds the exclusion (zero-contract) substitute for a failed
+/// subproblem: the worker is out of the system — no pay, no benefit.
+fn skip_solution(sp: &Subproblem) -> SubproblemSolution {
+    let (d_lo, d_hi) = feedback_domain(sp);
+    let contract = Contract::zero(d_lo, d_hi)
+        .or_else(|_| Contract::zero(0.0, 1.0))
+        .expect("unit-domain zero contract is always valid");
+    let weight = if sp.weight.is_finite() { sp.weight } else { 0.0 };
+    let response = BestResponse {
+        effort: 0.0,
+        feedback: 0.0,
+        compensation: 0.0,
+        utility: 0.0,
+    };
+    SubproblemSolution {
+        id: sp.id,
+        members: sp.members.clone(),
+        built: BuiltContract::degraded(contract, response, 0.0, weight),
+    }
+}
+
+/// The degraded utility minus the Theorem 4.1 upper bound, when the
+/// bound is computable for this subproblem.
+fn utility_delta(sp: &Subproblem, params: &ModelParams, achieved: f64) -> Option<f64> {
+    if !sp.weight.is_finite() {
+        return None;
+    }
+    let upper =
+        bounds::requester_utility_upper_bound(sp.weight, params, &sp.disc, &sp.psi);
+    if upper.is_finite() {
+        Some(achieved - upper)
+    } else {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -203,5 +436,135 @@ mod tests {
         sps[1].psi = Quadratic::new(0.1, 1.0, 0.0); // convex: invalid
         let err = solve_subproblems(&sps, &params(), false).unwrap_err();
         assert!(err.to_string().contains("subproblem 1"));
+    }
+
+    fn corrupted(n: usize, bad: usize) -> Vec<Subproblem> {
+        let mut sps = sample_subproblems(n);
+        sps[bad].weight = f64::NAN; // rejected by ContractBuilder::build
+        sps
+    }
+
+    #[test]
+    fn fallback_policy_isolates_the_failure() {
+        let sps = corrupted(6, 2);
+        let p = params();
+        assert!(solve_subproblems(&sps, &p, false).is_err(), "abort fails");
+        let (sol, report) = solve_subproblems_with(
+            &sps,
+            &p,
+            false,
+            FailurePolicy::FallbackBaseline { amount: 0.5 },
+        )
+        .unwrap();
+        assert_eq!(sol.solutions.len(), 6, "every subproblem gets a contract");
+        assert_eq!(report.len(), 1);
+        let d = report.for_subproblem(2).expect("subproblem 2 degraded");
+        assert_eq!(d.members, vec![2]);
+        assert!(d.reason.contains("subproblem 2"));
+        assert!(matches!(d.action, DegradationAction::Fallback { amount } if amount >= 0.0));
+        // The healthy subproblems match the clean solve exactly.
+        let clean = solve_subproblems(&sample_subproblems(6), &p, false).unwrap();
+        for (got, want) in sol.solutions.iter().zip(&clean.solutions) {
+            if got.id != 2 {
+                assert_eq!(got.built.contract(), want.built.contract());
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_contract_is_monotone_fixed_pay_within_bounds() {
+        let sps = corrupted(3, 1);
+        let p = params();
+        let (sol, _) = solve_subproblems_with(
+            &sps,
+            &p,
+            false,
+            FailurePolicy::FallbackBaseline { amount: 1_000.0 },
+        )
+        .unwrap();
+        let built = &sol.solutions[1].built;
+        assert!(built.contract().is_monotone());
+        let cap = bounds::compensation_upper_bound(
+            &p,
+            &sps[1].disc,
+            &sps[1].psi,
+            sps[1].disc.intervals(),
+        );
+        // The huge requested amount was clamped into the Lemma 4.2 cap.
+        assert!(built.compensation() <= cap + 1e-9);
+        assert!(built.compensation() >= 0.0);
+        // Fixed payment: same pay at every feedback level.
+        let pays: Vec<f64> = built.contract().payments().to_vec();
+        assert!(pays.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
+    }
+
+    #[test]
+    fn skip_policy_excludes_the_worker() {
+        let sps = corrupted(4, 3);
+        let (sol, report) =
+            solve_subproblems_with(&sps, &params(), false, FailurePolicy::Skip).unwrap();
+        assert_eq!(report.len(), 1);
+        assert_eq!(
+            report.degraded[0].action,
+            DegradationAction::Skipped
+        );
+        let built = &sol.solutions[3].built;
+        assert_eq!(built.compensation(), 0.0);
+        assert_eq!(built.requester_utility(), 0.0);
+        assert_eq!(built.k_opt(), None);
+    }
+
+    #[test]
+    fn degraded_parallel_and_serial_agree() {
+        let sps = corrupted(23, 7);
+        let p = params();
+        let policy = FailurePolicy::FallbackBaseline { amount: 0.25 };
+        let (serial, rs) = solve_subproblems_with(&sps, &p, false, policy).unwrap();
+        let (parallel, rp) = solve_subproblems_with(&sps, &p, true, policy).unwrap();
+        assert_eq!(rs, rp);
+        assert_eq!(serial.solutions.len(), parallel.solutions.len());
+        assert!(
+            (serial.total_requester_utility - parallel.total_requester_utility).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn clean_solve_has_empty_report() {
+        let sps = sample_subproblems(5);
+        let (_, report) =
+            solve_subproblems_with(&sps, &params(), false, FailurePolicy::Skip).unwrap();
+        assert!(report.is_empty());
+        assert_eq!(report.len(), 0);
+    }
+
+    #[test]
+    fn fallback_utility_delta_reports_the_gap() {
+        // A convex psi fails validation but still evaluates, so the
+        // Theorem 4.1 bound is computable and the fallback's shortfall is
+        // reported as a nonpositive delta.
+        let mut sps = sample_subproblems(2);
+        sps[0].psi = Quadratic::new(0.1, 1.0, 0.0);
+        let (_, report) = solve_subproblems_with(
+            &sps,
+            &params(),
+            false,
+            FailurePolicy::FallbackBaseline { amount: 0.5 },
+        )
+        .unwrap();
+        assert_eq!(report.len(), 1);
+        let delta = report.degraded[0]
+            .utility_delta
+            .expect("bound computable for a finite psi and weight");
+        assert!(delta <= 1e-9, "fallback cannot beat the upper bound: {delta}");
+
+        // A NaN weight makes the bound itself meaningless.
+        let (_, report2) = solve_subproblems_with(
+            &corrupted(2, 0),
+            &params(),
+            false,
+            FailurePolicy::FallbackBaseline { amount: 0.5 },
+        )
+        .unwrap();
+        assert!(report2.degraded[0].utility_delta.is_none(), "NaN weight");
     }
 }

@@ -87,6 +87,27 @@ impl BuiltContract {
     pub fn utility_bounds(&self) -> Option<(f64, f64)> {
         self.utility_bounds
     }
+
+    /// Internal constructor for degraded-mode results: a contract that
+    /// did *not* come out of the §IV-C search (a fixed-payment fallback
+    /// or an exclusion) with caller-supplied conservative accounting. No
+    /// diagnostics, no `k_opt`, no Theorem 4.1 bracket.
+    pub(crate) fn degraded(
+        contract: Contract,
+        response: BestResponse,
+        requester_utility: f64,
+        weight: f64,
+    ) -> Self {
+        BuiltContract {
+            contract,
+            k_opt: None,
+            response,
+            requester_utility,
+            weight,
+            diagnostics: Vec::new(),
+            utility_bounds: None,
+        }
+    }
 }
 
 /// Builder implementing the full §IV-C algorithm for a single subproblem:

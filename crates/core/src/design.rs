@@ -1,6 +1,7 @@
 use crate::effort::fit_effort_function;
 use crate::{
-    solve_subproblems, BipSolution, Contract, CoreError, Discretization, ModelParams, Subproblem,
+    solve_subproblems_with, BipSolution, Contract, CoreError, DegradationReport, Discretization,
+    FailurePolicy, ModelParams, Subproblem,
 };
 use dcc_detect::DetectionResult;
 use dcc_numerics::{percentile, Quadratic};
@@ -24,6 +25,10 @@ pub struct DesignConfig {
     /// per-review `(effort, feedback)` history instead of the class-level
     /// fit (falling back to the class fit when their data is degenerate).
     pub per_worker_fit_min_reviews: Option<usize>,
+    /// What to do when an individual subproblem's contract construction
+    /// fails (see [`FailurePolicy`]); defaults to the strict
+    /// [`FailurePolicy::Abort`].
+    pub failure_policy: FailurePolicy,
 }
 
 impl Default for DesignConfig {
@@ -37,6 +42,7 @@ impl Default for DesignConfig {
             effort_quantile: 95.0,
             parallel: true,
             per_worker_fit_min_reviews: None,
+            failure_policy: FailurePolicy::Abort,
         }
     }
 }
@@ -81,6 +87,9 @@ pub struct ContractDesign {
     pub class_psis: (Quadratic, Quadratic, Quadratic),
     /// The requester's designed per-round utility `Σ (w q − μ c)`.
     pub total_requester_utility: f64,
+    /// Subproblems that could not be designed optimally and what the
+    /// [`FailurePolicy`] substituted; empty under a fully clean solve.
+    pub degradation: DegradationReport,
 }
 
 impl ContractDesign {
@@ -305,7 +314,12 @@ pub fn design_contracts(
         next_id += 1;
     }
 
-    let solution = solve_subproblems(&subproblems, &config.params, config.parallel)?;
+    let (solution, degradation) = solve_subproblems_with(
+        &subproblems,
+        &config.params,
+        config.parallel,
+        config.failure_policy,
+    )?;
 
     // --- Per-worker assignment ------------------------------------------
     let delta_of = |sp_id: usize| {
@@ -342,6 +356,7 @@ pub fn design_contracts(
         solution,
         class_psis: (honest_fit.psi, ncm_fit.psi, cm_fit.psi),
         total_requester_utility: total,
+        degradation,
     })
 }
 
@@ -467,6 +482,76 @@ mod tests {
             assert!(a.contract.is_monotone());
             assert!(a.compensation.is_finite() && a.compensation >= 0.0);
         }
+    }
+
+    #[test]
+    fn fallback_policy_survives_a_corrupted_weight() {
+        // Corrupt one worker's Eq. 5 weight to NaN: the strict design
+        // aborts, the fallback design completes with exactly that worker
+        // degraded onto a fixed-payment baseline.
+        let trace = SyntheticConfig::small(109).generate();
+        let mut detection = run_pipeline(&trace, PipelineConfig::default());
+        let victim = trace
+            .reviewers()
+            .iter()
+            .map(|r| r.id)
+            .find(|id| !trace.reviews_by(*id).is_empty())
+            .expect("some reviewing worker");
+        assert!(detection.weights.set_weight(victim, f64::NAN));
+
+        let strict = DesignConfig::default();
+        assert!(design_contracts(&trace, &detection, &strict).is_err());
+
+        let lenient = DesignConfig {
+            failure_policy: FailurePolicy::FallbackBaseline { amount: 0.5 },
+            ..strict
+        };
+        let design = design_contracts(&trace, &detection, &lenient).unwrap();
+        assert!(!design.degradation.is_empty(), "degradation must be reported");
+        let degraded = &design.degradation.degraded;
+        assert!(degraded
+            .iter()
+            .any(|d| d.members.contains(&victim.index())));
+        for d in degraded {
+            assert!(d.reason.contains("weight must be finite"), "{}", d.reason);
+        }
+        // The victim still holds a monotone, finite-pay contract.
+        let assigned = design.for_worker(victim).expect("victim keeps a contract");
+        assert!(assigned.contract.is_monotone());
+        assert!(assigned.compensation.is_finite() && assigned.compensation >= 0.0);
+        // Workers outside the degraded subproblem(s) are untouched
+        // relative to a clean design of the uncorrupted detection.
+        let clean_detection = run_pipeline(&trace, PipelineConfig::default());
+        let clean = design_contracts(&trace, &clean_detection, &strict).unwrap();
+        let degraded_ids: Vec<usize> = degraded.iter().map(|d| d.subproblem).collect();
+        for a in &design.agents {
+            if !degraded_ids.contains(&a.subproblem) {
+                let c = clean.for_worker(a.worker).unwrap();
+                assert_eq!(a.contract, c.contract, "worker {:?} changed", a.worker);
+            }
+        }
+    }
+
+    #[test]
+    fn skip_policy_excludes_only_the_corrupted_worker() {
+        let trace = SyntheticConfig::small(113).generate();
+        let mut detection = run_pipeline(&trace, PipelineConfig::default());
+        let victim = trace
+            .reviewers()
+            .iter()
+            .map(|r| r.id)
+            .find(|id| !trace.reviews_by(*id).is_empty())
+            .expect("some reviewing worker");
+        assert!(detection.weights.set_weight(victim, f64::INFINITY));
+        let config = DesignConfig {
+            failure_policy: FailurePolicy::Skip,
+            ..DesignConfig::default()
+        };
+        let design = design_contracts(&trace, &detection, &config).unwrap();
+        assert_eq!(design.degradation.len(), 1);
+        let assigned = design.for_worker(victim).expect("still listed");
+        assert_eq!(assigned.compensation, 0.0);
+        assert_eq!(assigned.induced_effort, 0.0);
     }
 
     #[test]

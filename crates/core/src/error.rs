@@ -1,5 +1,30 @@
 use dcc_numerics::NumericsError;
 use std::fmt;
+use std::sync::Arc;
+
+/// A cloneable, comparable wrapper around [`std::io::Error`] (which is
+/// neither `Clone` nor `PartialEq`) so [`CoreError`] can keep both
+/// derives. Equality compares only the [`std::io::ErrorKind`].
+#[derive(Debug, Clone)]
+pub struct IoSource(pub Arc<std::io::Error>);
+
+impl PartialEq for IoSource {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.kind() == other.0.kind()
+    }
+}
+
+impl fmt::Display for IoSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl From<std::io::Error> for IoSource {
+    fn from(e: std::io::Error) -> Self {
+        IoSource(Arc::new(e))
+    }
+}
 
 /// Errors produced by the contract-design core.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +43,44 @@ pub enum CoreError {
     /// Input collections disagreed in length or were empty where content
     /// was required.
     InvalidInput(String),
+    /// An I/O operation (checkpoint write, fault-plan read, …) failed.
+    Io {
+        /// What the operation was trying to do (path, phase).
+        context: String,
+        /// The underlying I/O error.
+        source: IoSource,
+    },
+    /// An operation gave up after exhausting its degraded-mode budget
+    /// (e.g. retry-with-backoff ran out of attempts); carries the last
+    /// underlying failure.
+    Degraded {
+        /// What was being attempted.
+        context: String,
+        /// How many attempts were made before giving up.
+        attempts: usize,
+        /// The final underlying error.
+        source: Box<CoreError>,
+    },
+}
+
+impl CoreError {
+    /// Wraps an I/O error with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        CoreError::Io {
+            context: context.into(),
+            source: source.into(),
+        }
+    }
+
+    /// Marks an error as the terminal failure of an exhausted
+    /// degraded-mode recovery (`attempts` tries).
+    pub fn degraded(context: impl Into<String>, attempts: usize, source: CoreError) -> Self {
+        CoreError::Degraded {
+            context: context.into(),
+            attempts,
+            source: Box::new(source),
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -28,6 +91,12 @@ impl fmt::Display for CoreError {
             CoreError::InvalidContract(m) => write!(f, "invalid contract: {m}"),
             CoreError::Numerics(e) => write!(f, "numerics error: {e}"),
             CoreError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            CoreError::Io { context, source } => write!(f, "io error: {context}: {source}"),
+            CoreError::Degraded {
+                context,
+                attempts,
+                source,
+            } => write!(f, "degraded: {context} failed after {attempts} attempts: {source}"),
         }
     }
 }
@@ -36,6 +105,8 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Numerics(e) => Some(e),
+            CoreError::Io { source, .. } => Some(source.0.as_ref()),
+            CoreError::Degraded { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -59,5 +130,54 @@ mod tests {
         let n = CoreError::from(NumericsError::SingularSystem);
         assert!(n.source().is_some());
         assert_eq!(n.to_string(), "numerics error: linear system is singular");
+    }
+
+    #[test]
+    fn io_display_and_source() {
+        use std::error::Error;
+        let e = CoreError::io(
+            "write checkpoint chk.json",
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        );
+        assert_eq!(
+            e.to_string(),
+            "io error: write checkpoint chk.json: denied"
+        );
+        let src = e.source().expect("io error carries a source");
+        assert_eq!(src.to_string(), "denied");
+    }
+
+    #[test]
+    fn io_equality_is_by_kind() {
+        let a = CoreError::io(
+            "x",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "first"),
+        );
+        let b = CoreError::io(
+            "x",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "second"),
+        );
+        let c = CoreError::io(
+            "x",
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "third"),
+        );
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degraded_display_and_source() {
+        use std::error::Error;
+        let inner = CoreError::from(NumericsError::SingularSystem);
+        let e = CoreError::degraded("solve subproblem 3", 4, inner.clone());
+        assert_eq!(
+            e.to_string(),
+            "degraded: solve subproblem 3 failed after 4 attempts: \
+             numerics error: linear system is singular"
+        );
+        let src = e.source().expect("degraded error carries a source");
+        assert_eq!(src.to_string(), inner.to_string());
+        // The chain continues into the numeric substrate.
+        assert!(src.source().is_some());
     }
 }

@@ -72,12 +72,15 @@ mod risk;
 mod sim;
 pub mod utilities;
 
-pub use adaptive::{AdaptiveAgent, AdaptiveConfig, AdaptiveOutcome, AdaptiveSimulation};
+pub use adaptive::{AdaptiveAgent, AdaptiveConfig, AdaptiveOutcome, AdaptiveSimulation, AdaptiveState};
 pub use bandit::{BanditOutcome, LinearPricingBandit};
 pub use budget::{select_within_budget, BudgetedSelection};
 pub use baseline::{BaselineStrategy, StrategyKind};
 pub use behavior::ConductModel;
-pub use bip::{solve_subproblems, BipSolution, Subproblem, SubproblemSolution};
+pub use bip::{
+    solve_subproblems, solve_subproblems_with, BipSolution, DegradationAction,
+    DegradationReport, DegradedSubproblem, FailurePolicy, Subproblem, SubproblemSolution,
+};
 pub use builder::{BuiltContract, CandidateDiagnostics, ContractBuilder};
 pub use candidate::{build_candidate, build_candidate_with_margin, Candidate};
 pub use cases::{case_of_slope, interval_optimum, SlopeCase};
@@ -86,10 +89,13 @@ pub use design::{design_contracts, AgentContract, ContractDesign, DesignConfig};
 pub use effort::{
     fit_class_effort, fit_effort_function, nor_table, validate_effort_function, EffortFit,
 };
-pub use error::CoreError;
+pub use error::{CoreError, IoSource};
 pub use optimal::{exhaustive_best_utility, first_best_utility, incentive_cost};
 pub use params::{Discretization, ModelParams};
 pub use replay::{replay_trace, ReplayOutcome};
 pub use response::{best_response, BestResponse};
 pub use risk::{best_response_risk_averse, risk_effort_drop, RiskProfile};
-pub use sim::{AgentSpec, RoundRecord, Simulation, SimulationConfig, SimulationOutcome};
+pub use sim::{
+    AgentSpec, NoFaults, RoundFaults, RoundRecord, SimState, Simulation, SimulationConfig,
+    SimulationOutcome,
+};

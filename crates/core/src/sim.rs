@@ -76,6 +76,78 @@ impl Default for SimulationConfig {
     }
 }
 
+/// Per-round fault hook consulted by [`Simulation::step`].
+///
+/// Implementations inject operational faults into the repeated game —
+/// worker dropout, lost or corrupted feedback, payment delays — without
+/// the simulation core knowing any fault schedule. The default
+/// implementation of every method is the no-fault behaviour, so a
+/// `struct NoFaults; impl RoundFaults for NoFaults {}` reproduces the
+/// fault-free game exactly (identical RNG stream and arithmetic).
+///
+/// The hook takes `&mut self` so implementations can keep a log of what
+/// actually fired.
+pub trait RoundFaults {
+    /// Whether `agent` is dropped out (absent) in `round`. A dropped
+    /// agent consumes no RNG, produces no feedback, is paid nothing, and
+    /// its pending payment carries to its next present round.
+    fn dropped(&mut self, _agent: usize, _round: usize) -> bool {
+        false
+    }
+
+    /// Transforms the realized feedback of `agent` in `round`.
+    /// `Some(feedback)` passes a (possibly corrupted) value on; `None`
+    /// models a lost report. Non-finite returned values are treated as
+    /// lost (graceful degradation rather than NaN propagation).
+    fn perturb_feedback(&mut self, _agent: usize, _round: usize, feedback: f64) -> Option<f64> {
+        Some(feedback)
+    }
+
+    /// How many rounds the payment owed to `agent` in `round` is delayed;
+    /// `0` pays on time. Delayed amounts are credited in the first
+    /// present round `>= round + delay` (or never, if the horizon ends
+    /// first — the outcome then simply omits them).
+    fn payment_delay(&mut self, _agent: usize, _round: usize) -> usize {
+        0
+    }
+}
+
+/// The identity fault model: no dropouts, no perturbation, no delays.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl RoundFaults for NoFaults {}
+
+/// The complete mid-run state of a [`Simulation`], exposed so external
+/// checkpointing (e.g. the `dcc-faults` crate) can serialize and restore
+/// it bit-exactly. Produced by [`Simulation::start`], advanced by
+/// [`Simulation::step`], summarized by [`Simulation::outcome_of`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimState {
+    /// The next round to simulate (`rounds.len()` so far).
+    pub next_round: usize,
+    /// The noise RNG, positioned exactly after round `next_round - 1`.
+    pub rng: StdRng,
+    /// Stationary best-response efforts, indexed like the agents.
+    pub efforts: Vec<f64>,
+    /// The payment each agent is owed next round (Eq. 1's lag).
+    pub pending_payment: Vec<f64>,
+    /// Delayed payments per agent: `(due_round, amount)` entries queued
+    /// by [`RoundFaults::payment_delay`], credited once due.
+    pub delayed_payments: Vec<Vec<(usize, f64)>>,
+    /// Total compensation paid to each agent so far.
+    pub agent_compensation: Vec<f64>,
+    /// Per-round records of the completed rounds.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl SimState {
+    /// Whether all configured rounds have been simulated.
+    pub fn is_complete(&self, config: &SimulationConfig) -> bool {
+        self.next_round >= config.rounds
+    }
+}
+
 /// The repeated Stackelberg game of §II: in each round every in-system
 /// agent best-responds to its contract, realizes (noisy) feedback, and is
 /// paid next round according to `c^{t+1} = f(q^t)` (Eq. 1).
@@ -97,17 +169,47 @@ impl Simulation {
 
     /// Runs the repeated game over the agents.
     ///
+    /// Equivalent to [`Simulation::run_with_faults`] under [`NoFaults`]:
+    /// same RNG stream, same arithmetic, bit-identical outcome.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidParams`] for a zero-round horizon and
     /// propagates best-response failures (invalid ψ).
     pub fn run(&self, agents: &[AgentSpec]) -> Result<SimulationOutcome, CoreError> {
+        self.run_with_faults(agents, &mut NoFaults)
+    }
+
+    /// Runs the repeated game with a fault model injected each round.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run`].
+    pub fn run_with_faults(
+        &self,
+        agents: &[AgentSpec],
+        faults: &mut dyn RoundFaults,
+    ) -> Result<SimulationOutcome, CoreError> {
+        let mut state = self.start(agents)?;
+        while self.step(agents, &mut state, faults) {}
+        self.outcome_of(&state)
+    }
+
+    /// Prepares the initial [`SimState`]: seeds the RNG, computes each
+    /// agent's stationary best response, and sets up the lagged payments
+    /// (round 0 pays the base rate `f(ψ(0))`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] for a zero-round horizon and
+    /// propagates best-response failures (invalid ψ).
+    pub fn start(&self, agents: &[AgentSpec]) -> Result<SimState, CoreError> {
         if self.config.rounds == 0 {
             return Err(CoreError::InvalidParams(
                 "simulation needs at least one round".into(),
             ));
         }
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let rng = StdRng::seed_from_u64(self.config.seed);
 
         // Stationary best responses (the agent's ω, not the requester's).
         let mut efforts = vec![0.0; agents.len()];
@@ -123,10 +225,9 @@ impl Simulation {
         }
 
         // Lagged payments: round 0 pays the base rate f(ψ(0)).
-        let mut pending_payment: Vec<f64> = agents
+        let pending_payment: Vec<f64> = agents
             .iter()
-            .zip(&efforts)
-            .map(|(agent, _)| {
+            .map(|agent| {
                 if agent.in_system {
                     agent.contract.compensation(agent.psi.eval(0.0))
                 } else {
@@ -135,42 +236,114 @@ impl Simulation {
             })
             .collect();
 
-        let mut rounds = Vec::with_capacity(self.config.rounds);
-        let mut agent_compensation = vec![0.0; agents.len()];
-        for t in 0..self.config.rounds {
-            let mut benefit = 0.0;
-            let mut payment = 0.0;
-            for (i, agent) in agents.iter().enumerate() {
-                if !agent.in_system {
-                    continue;
-                }
-                let noise = if self.config.feedback_noise_sd > 0.0 {
-                    gaussian(&mut rng) * self.config.feedback_noise_sd
-                } else {
-                    0.0
-                };
-                let feedback = (agent.psi.eval(efforts[i]) + noise).max(0.0);
-                benefit += agent.weight * feedback;
-                payment += pending_payment[i];
-                agent_compensation[i] += pending_payment[i];
-                pending_payment[i] = agent.contract.compensation(feedback);
-            }
-            let requester_utility = benefit - self.params.mu * payment;
-            rounds.push(RoundRecord {
-                round: t,
-                benefit,
-                payment,
-                requester_utility,
-            });
-        }
+        Ok(SimState {
+            next_round: 0,
+            rng,
+            efforts,
+            pending_payment,
+            delayed_payments: vec![Vec::new(); agents.len()],
+            agent_compensation: vec![0.0; agents.len()],
+            rounds: Vec::with_capacity(self.config.rounds),
+        })
+    }
 
-        let cumulative: f64 = rounds.iter().map(|r| r.requester_utility).sum();
+    /// Advances the simulation by one round, consulting `faults` for
+    /// dropouts, feedback perturbation, and payment delays. Returns
+    /// `false` (without touching the state) once all configured rounds
+    /// are done.
+    ///
+    /// `agents` and the configuration must be the ones the state was
+    /// started (or checkpoint-restored) under; the caller owns that
+    /// pairing.
+    pub fn step(
+        &self,
+        agents: &[AgentSpec],
+        state: &mut SimState,
+        faults: &mut dyn RoundFaults,
+    ) -> bool {
+        if state.next_round >= self.config.rounds {
+            return false;
+        }
+        let t = state.next_round;
+        let mut benefit = 0.0;
+        let mut payment = 0.0;
+        for (i, agent) in agents.iter().enumerate() {
+            if !agent.in_system {
+                continue;
+            }
+            if faults.dropped(i, t) {
+                // Absent: no RNG consumed, nothing produced, nothing paid;
+                // pending and delayed payments wait for the next present
+                // round.
+                continue;
+            }
+            let noise = if self.config.feedback_noise_sd > 0.0 {
+                gaussian(&mut state.rng) * self.config.feedback_noise_sd
+            } else {
+                0.0
+            };
+            let realized = (agent.psi.eval(state.efforts[i]) + noise).max(0.0);
+            // Lost reports and non-finite corruption both become "missing".
+            let feedback = faults
+                .perturb_feedback(i, t, realized)
+                .filter(|f| f.is_finite());
+            if let Some(fb) = feedback {
+                benefit += agent.weight * fb;
+            }
+            let delay = faults.payment_delay(i, t);
+            if delay == 0 {
+                payment += state.pending_payment[i];
+                state.agent_compensation[i] += state.pending_payment[i];
+            } else {
+                state.delayed_payments[i].push((t + delay, state.pending_payment[i]));
+            }
+            // Credit delayed payments that have come due.
+            let mut idx = 0;
+            while idx < state.delayed_payments[i].len() {
+                if state.delayed_payments[i][idx].0 <= t {
+                    let (_, amount) = state.delayed_payments[i].swap_remove(idx);
+                    payment += amount;
+                    state.agent_compensation[i] += amount;
+                } else {
+                    idx += 1;
+                }
+            }
+            // Reprice next round's pay on observed feedback; a missing
+            // report carries the current rate forward (the requester has
+            // nothing new to price on).
+            if let Some(fb) = feedback {
+                state.pending_payment[i] = agent.contract.compensation(fb);
+            }
+        }
+        let requester_utility = benefit - self.params.mu * payment;
+        state.rounds.push(RoundRecord {
+            round: t,
+            benefit,
+            payment,
+            requester_utility,
+        });
+        state.next_round = t + 1;
+        true
+    }
+
+    /// Summarizes a (fully or partially) simulated state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if no round has completed yet.
+    pub fn outcome_of(&self, state: &SimState) -> Result<SimulationOutcome, CoreError> {
+        if state.rounds.is_empty() {
+            return Err(CoreError::InvalidInput(
+                "no completed rounds to summarize".into(),
+            ));
+        }
+        let cumulative: f64 = state.rounds.iter().map(|r| r.requester_utility).sum();
         Ok(SimulationOutcome {
-            mean_round_utility: cumulative / rounds.len() as f64,
+            mean_round_utility: cumulative / state.rounds.len() as f64,
             cumulative_requester_utility: cumulative,
-            agent_compensation,
-            agent_effort: efforts,
-            rounds,
+            agent_compensation: state.agent_compensation.clone(),
+            agent_effort: state.efforts.clone(),
+            rounds: state.rounds.clone(),
         })
     }
 }
@@ -321,5 +494,138 @@ mod tests {
         let outcome = sim(0.0).run(&[]).unwrap();
         assert_eq!(outcome.cumulative_requester_utility, 0.0);
         assert!(outcome.rounds.iter().all(|r| r.requester_utility == 0.0));
+    }
+
+    #[test]
+    fn stepwise_no_faults_is_bit_identical_to_run() {
+        let agents = vec![built_agent(0, 0.0, 1.0, true), built_agent(1, 0.5, 0.6, true)];
+        let s = sim(0.5);
+        let direct = s.run(&agents).unwrap();
+        let mut state = s.start(&agents).unwrap();
+        let mut faults = NoFaults;
+        while s.step(&agents, &mut state, &mut faults) {}
+        let stepped = s.outcome_of(&state).unwrap();
+        assert_eq!(direct, stepped);
+    }
+
+    #[test]
+    fn state_restart_mid_run_is_bit_identical() {
+        // Clone the state after a few rounds and finish twice: both
+        // continuations must agree exactly (the basis of checkpointing).
+        let agents = vec![built_agent(0, 0.0, 1.0, true), built_agent(1, 0.4, 0.8, true)];
+        let s = sim(0.5);
+        let mut state = s.start(&agents).unwrap();
+        let mut faults = NoFaults;
+        for _ in 0..5 {
+            assert!(s.step(&agents, &mut state, &mut faults));
+        }
+        let snapshot = state.clone();
+        while s.step(&agents, &mut state, &mut faults) {}
+        let mut resumed = snapshot;
+        while s.step(&agents, &mut resumed, &mut faults) {}
+        assert_eq!(state, resumed);
+        assert_eq!(
+            s.outcome_of(&state).unwrap(),
+            s.outcome_of(&resumed).unwrap()
+        );
+    }
+
+    struct DropAgentAlways(usize);
+    impl RoundFaults for DropAgentAlways {
+        fn dropped(&mut self, agent: usize, _round: usize) -> bool {
+            agent == self.0
+        }
+    }
+
+    #[test]
+    fn dropped_agent_earns_and_produces_nothing() {
+        let agents = vec![built_agent(0, 0.0, 1.0, true), built_agent(1, 0.0, 1.0, true)];
+        let s = sim(0.0);
+        let outcome = s
+            .run_with_faults(&agents, &mut DropAgentAlways(1))
+            .unwrap();
+        assert_eq!(outcome.agent_compensation[1], 0.0);
+        // Agent 0 alone: same per-round utility as a solo run.
+        let solo = s.run(&agents[..1]).unwrap();
+        assert_eq!(
+            outcome.cumulative_requester_utility,
+            solo.cumulative_requester_utility
+        );
+    }
+
+    struct LoseAllFeedback;
+    impl RoundFaults for LoseAllFeedback {
+        fn perturb_feedback(&mut self, _: usize, _: usize, _: f64) -> Option<f64> {
+            None
+        }
+    }
+
+    #[test]
+    fn missing_feedback_gives_no_benefit_and_carries_the_rate() {
+        let agent = built_agent(0, 0.0, 1.0, true);
+        let base = agent.contract.compensation(agent.psi.eval(0.0));
+        let outcome = sim(0.0)
+            .run_with_faults(&[agent], &mut LoseAllFeedback)
+            .unwrap();
+        for r in &outcome.rounds {
+            assert_eq!(r.benefit, 0.0);
+            // Every round keeps paying the carried base rate.
+            assert!((r.payment - base).abs() < 1e-12);
+        }
+    }
+
+    struct NanCorruption;
+    impl RoundFaults for NanCorruption {
+        fn perturb_feedback(&mut self, _: usize, _: usize, _: f64) -> Option<f64> {
+            Some(f64::NAN)
+        }
+    }
+
+    #[test]
+    fn non_finite_feedback_degrades_to_missing() {
+        let agent = built_agent(0, 0.0, 1.0, true);
+        let lost = sim(0.0)
+            .run_with_faults(std::slice::from_ref(&agent), &mut LoseAllFeedback)
+            .unwrap();
+        let nan = sim(0.0)
+            .run_with_faults(&[agent], &mut NanCorruption)
+            .unwrap();
+        assert_eq!(lost, nan);
+        assert!(nan.cumulative_requester_utility.is_finite());
+    }
+
+    struct DelayEverythingBy(usize);
+    impl RoundFaults for DelayEverythingBy {
+        fn payment_delay(&mut self, _: usize, _: usize) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn payment_delays_conserve_money_within_the_horizon() {
+        // With a 1-round delay in a deterministic game, every payment but
+        // the last lands one round late; totals differ only by the final
+        // round's deferred amount.
+        let agent = built_agent(0, 0.0, 1.0, true);
+        let s = sim(0.0);
+        let on_time = s.run(std::slice::from_ref(&agent)).unwrap();
+        let delayed = s
+            .run_with_faults(&[agent], &mut DelayEverythingBy(1))
+            .unwrap();
+        let paid_on_time: f64 = on_time.rounds.iter().map(|r| r.payment).sum();
+        let paid_delayed: f64 = delayed.rounds.iter().map(|r| r.payment).sum();
+        let last_pending = on_time.rounds.last().unwrap().payment;
+        assert!(delayed.rounds[0].payment == 0.0, "first payment deferred");
+        assert!(
+            (paid_on_time - paid_delayed - last_pending).abs() < 1e-9,
+            "delayed total {paid_delayed} vs on-time {paid_on_time}"
+        );
+    }
+
+    #[test]
+    fn outcome_of_unstarted_state_is_rejected() {
+        let s = sim(0.0);
+        let state = s.start(&[]).unwrap();
+        assert!(s.outcome_of(&state).is_err());
     }
 }

@@ -83,6 +83,20 @@ impl FeedbackWeights {
         self.weights.get(worker.index()).copied()
     }
 
+    /// Overrides one worker's weight in place, returning `false` for an
+    /// unknown id. Any value is accepted, including non-finite ones —
+    /// fault-injection harnesses use this to model corrupted detection
+    /// output and exercise downstream degraded-mode handling.
+    pub fn set_weight(&mut self, worker: ReviewerId, weight: f64) -> bool {
+        match self.weights.get_mut(worker.index()) {
+            Some(w) => {
+                *w = weight;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// All weights, indexed by worker.
     pub fn as_slice(&self) -> &[f64] {
         &self.weights

@@ -1,0 +1,241 @@
+//! The bridge from a [`FaultPlan`] to a running simulation: an
+//! implementation of [`dcc_core::RoundFaults`] that answers the
+//! simulation's per-round queries from precomputed lookup maps.
+//!
+//! The injector is *pure* in `(agent, round)` — all randomness was spent
+//! when the plan was generated — so re-creating it from the same plan
+//! after a checkpoint restore reproduces the remaining run bit-exactly.
+
+use crate::plan::{Corruption, FaultPlan};
+use dcc_core::RoundFaults;
+use std::collections::HashMap;
+
+/// One fault that actually fired during a run, for post-hoc reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FiredFault {
+    /// The agent was absent this round.
+    Dropped {
+        /// Affected agent.
+        agent: usize,
+        /// Round of the absence.
+        round: usize,
+    },
+    /// The agent's report was lost.
+    LostFeedback {
+        /// Affected agent.
+        agent: usize,
+        /// Round of the loss.
+        round: usize,
+    },
+    /// The agent's report was corrupted.
+    CorruptedFeedback {
+        /// Affected agent.
+        agent: usize,
+        /// Round of the corruption.
+        round: usize,
+        /// The value before corruption.
+        original: f64,
+        /// The value after corruption (possibly non-finite).
+        corrupted: f64,
+    },
+    /// The agent's payment was deferred.
+    DelayedPayment {
+        /// Affected agent.
+        agent: usize,
+        /// Round whose payment was deferred.
+        round: usize,
+        /// Number of rounds the payment slips.
+        delay: usize,
+    },
+}
+
+/// A stateless (apart from its log) [`RoundFaults`] implementation backed
+/// by a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    dropouts: HashMap<usize, Vec<(usize, usize)>>,
+    missing: HashMap<(usize, usize), ()>,
+    corrupt: HashMap<(usize, usize), Corruption>,
+    delays: HashMap<(usize, usize), usize>,
+    log: Vec<FiredFault>,
+}
+
+impl FaultInjector {
+    /// Builds the lookup structures from a plan.
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut dropouts: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+        for d in &plan.dropouts {
+            dropouts.entry(d.agent).or_default().push((d.from, d.until));
+        }
+        FaultInjector {
+            dropouts,
+            missing: plan.missing.iter().map(|m| ((m.agent, m.round), ())).collect(),
+            corrupt: plan
+                .corrupt
+                .iter()
+                .map(|c| ((c.agent, c.round), c.corruption))
+                .collect(),
+            delays: plan
+                .delays
+                .iter()
+                .map(|d| ((d.agent, d.round), d.delay))
+                .collect(),
+            log: Vec::new(),
+        }
+    }
+
+    /// The faults that have fired so far, in simulation order.
+    pub fn log(&self) -> &[FiredFault] {
+        &self.log
+    }
+
+    /// Drops the accumulated log (e.g. after persisting it).
+    pub fn clear_log(&mut self) {
+        self.log.clear();
+    }
+}
+
+impl RoundFaults for FaultInjector {
+    fn dropped(&mut self, agent: usize, round: usize) -> bool {
+        let out = self
+            .dropouts
+            .get(&agent)
+            .is_some_and(|ws| ws.iter().any(|&(from, until)| round >= from && round < until));
+        if out {
+            self.log.push(FiredFault::Dropped { agent, round });
+        }
+        out
+    }
+
+    fn perturb_feedback(&mut self, agent: usize, round: usize, feedback: f64) -> Option<f64> {
+        if self.missing.contains_key(&(agent, round)) {
+            self.log.push(FiredFault::LostFeedback { agent, round });
+            return None;
+        }
+        if let Some(corruption) = self.corrupt.get(&(agent, round)) {
+            let corrupted = match *corruption {
+                Corruption::Scale(x) => feedback * x,
+                Corruption::Offset(x) => feedback + x,
+                Corruption::Replace(x) => x,
+                Corruption::NaN => f64::NAN,
+            };
+            self.log.push(FiredFault::CorruptedFeedback {
+                agent,
+                round,
+                original: feedback,
+                corrupted,
+            });
+            return Some(corrupted);
+        }
+        Some(feedback)
+    }
+
+    fn payment_delay(&mut self, agent: usize, round: usize) -> usize {
+        let delay = self.delays.get(&(agent, round)).copied().unwrap_or(0);
+        if delay > 0 {
+            self.log.push(FiredFault::DelayedPayment { agent, round, delay });
+        }
+        delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CorruptFeedback, DropoutWindow, MissingFeedback, PaymentDelay};
+
+    fn tiny_plan() -> FaultPlan {
+        FaultPlan {
+            dropouts: vec![DropoutWindow {
+                agent: 0,
+                from: 2,
+                until: 4,
+            }],
+            missing: vec![MissingFeedback { agent: 1, round: 0 }],
+            corrupt: vec![
+                CorruptFeedback {
+                    agent: 1,
+                    round: 1,
+                    corruption: Corruption::Scale(2.0),
+                },
+                CorruptFeedback {
+                    agent: 1,
+                    round: 2,
+                    corruption: Corruption::Offset(-1.0),
+                },
+                CorruptFeedback {
+                    agent: 1,
+                    round: 3,
+                    corruption: Corruption::Replace(9.0),
+                },
+                CorruptFeedback {
+                    agent: 1,
+                    round: 4,
+                    corruption: Corruption::NaN,
+                },
+            ],
+            delays: vec![PaymentDelay {
+                agent: 0,
+                round: 0,
+                delay: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn lookups_match_the_plan() {
+        let mut inj = FaultInjector::new(&tiny_plan());
+        assert!(!inj.dropped(0, 1));
+        assert!(inj.dropped(0, 2));
+        assert!(inj.dropped(0, 3));
+        assert!(!inj.dropped(0, 4), "rejoins at `until`");
+        assert!(!inj.dropped(1, 2), "other agents unaffected");
+
+        assert_eq!(inj.perturb_feedback(1, 0, 3.0), None);
+        assert_eq!(inj.perturb_feedback(1, 1, 3.0), Some(6.0));
+        assert_eq!(inj.perturb_feedback(1, 2, 3.0), Some(2.0));
+        assert_eq!(inj.perturb_feedback(1, 3, 3.0), Some(9.0));
+        assert!(inj.perturb_feedback(1, 4, 3.0).unwrap().is_nan());
+        assert_eq!(inj.perturb_feedback(1, 5, 3.0), Some(3.0));
+
+        assert_eq!(inj.payment_delay(0, 0), 2);
+        assert_eq!(inj.payment_delay(0, 1), 0);
+    }
+
+    #[test]
+    fn log_records_only_fired_faults() {
+        let mut inj = FaultInjector::new(&tiny_plan());
+        inj.dropped(0, 0); // miss
+        inj.dropped(0, 2); // hit
+        inj.perturb_feedback(1, 0, 3.0); // lost
+        inj.perturb_feedback(1, 5, 3.0); // clean
+        inj.payment_delay(0, 0); // delayed
+        assert_eq!(
+            inj.log(),
+            &[
+                FiredFault::Dropped { agent: 0, round: 2 },
+                FiredFault::LostFeedback { agent: 1, round: 0 },
+                FiredFault::DelayedPayment {
+                    agent: 0,
+                    round: 0,
+                    delay: 2
+                },
+            ]
+        );
+        inj.clear_log();
+        assert!(inj.log().is_empty());
+    }
+
+    #[test]
+    fn empty_plan_is_the_identity() {
+        let mut inj = FaultInjector::new(&FaultPlan::default());
+        for agent in 0..3 {
+            for round in 0..5 {
+                assert!(!inj.dropped(agent, round));
+                assert_eq!(inj.perturb_feedback(agent, round, 1.25), Some(1.25));
+                assert_eq!(inj.payment_delay(agent, round), 0);
+            }
+        }
+        assert!(inj.log().is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Retry-with-backoff for transient numeric failures.
+//!
+//! The contract-design pipeline solves small linear systems (effort-
+//! function fits, candidate construction); near-degenerate observation
+//! windows can make those systems singular. Such failures are *transient*
+//! in the sense that a slightly regularized system solves fine, so
+//! instead of aborting a long simulation the caller can wrap the solve in
+//! [`retry_with_backoff`]: each attempt gets a growing, deterministically
+//! jittered regularization strength, and only
+//! [`NumericsError::SingularSystem`] triggers another attempt — every
+//! other error is a genuine bug and propagates immediately.
+
+use dcc_core::CoreError;
+use dcc_numerics::NumericsError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the retry loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts (>= 1); the first attempt uses
+    /// [`RetryPolicy::base_regularization`].
+    pub max_attempts: usize,
+    /// Regularization strength passed to the first attempt.
+    pub base_regularization: f64,
+    /// Multiplier applied to the regularization after each failure.
+    pub growth: f64,
+    /// Relative jitter on each retry's regularization, drawn
+    /// deterministically from `seed` in `[1 - jitter, 1 + jitter]`.
+    /// Breaks the exact-resonance case where a grid of regularization
+    /// values keeps landing on singular configurations.
+    pub jitter: f64,
+    /// Seed of the jitter stream (the retry loop is fully deterministic).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_regularization: 1e-10,
+            growth: 100.0,
+            jitter: 0.2,
+            seed: 1,
+        }
+    }
+}
+
+/// Runs `op` with growing jittered regularization until it succeeds, a
+/// non-retryable error occurs, or the attempt budget is exhausted.
+///
+/// `op` receives the regularization strength for the current attempt. The
+/// first attempt uses exactly `policy.base_regularization` (no jitter),
+/// so a healthy fast path is untouched by the retry machinery.
+///
+/// # Errors
+///
+/// - Non-retryable errors (anything but
+///   [`NumericsError::SingularSystem`]) propagate unchanged from the
+///   failing attempt.
+/// - Exhausting `max_attempts` yields
+///   [`CoreError::Degraded`] wrapping the last singular-system error,
+///   with `attempts` set to the number of tries made.
+pub fn retry_with_backoff<T>(
+    context: &str,
+    policy: RetryPolicy,
+    mut op: impl FnMut(f64) -> Result<T, CoreError>,
+) -> Result<T, CoreError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut rng = StdRng::seed_from_u64(policy.seed);
+    let mut regularization = policy.base_regularization;
+    let mut last = None;
+    for attempt in 0..attempts {
+        let strength = if attempt == 0 || policy.jitter <= 0.0 {
+            regularization
+        } else {
+            regularization * rng.gen_range(1.0 - policy.jitter..1.0 + policy.jitter)
+        };
+        match op(strength) {
+            Ok(value) => return Ok(value),
+            Err(CoreError::Numerics(NumericsError::SingularSystem)) => {
+                last = Some(CoreError::Numerics(NumericsError::SingularSystem));
+                regularization *= policy.growth;
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Err(CoreError::degraded(
+        context,
+        attempts,
+        last.unwrap_or(CoreError::Numerics(NumericsError::SingularSystem)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_success_short_circuits() {
+        let mut calls = 0;
+        let out = retry_with_backoff("fit", RetryPolicy::default(), |reg| {
+            calls += 1;
+            assert_eq!(reg, RetryPolicy::default().base_regularization);
+            Ok::<_, CoreError>(reg)
+        })
+        .unwrap();
+        assert_eq!(calls, 1);
+        assert_eq!(out, RetryPolicy::default().base_regularization);
+    }
+
+    #[test]
+    fn singular_failures_retry_with_growing_regularization() {
+        let mut strengths = Vec::new();
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_regularization: 1e-8,
+            growth: 10.0,
+            jitter: 0.2,
+            seed: 3,
+        };
+        let out = retry_with_backoff("fit", policy, |reg| {
+            strengths.push(reg);
+            if strengths.len() < 4 {
+                Err(CoreError::Numerics(NumericsError::SingularSystem))
+            } else {
+                Ok(reg)
+            }
+        })
+        .unwrap();
+        assert_eq!(strengths.len(), 4);
+        // Strictly growing despite jitter (growth 10 beats jitter 1.2x).
+        for pair in strengths.windows(2) {
+            assert!(pair[1] > pair[0], "regularization must grow: {strengths:?}");
+        }
+        assert_eq!(out, strengths[3]);
+    }
+
+    #[test]
+    fn retry_sequence_is_deterministic() {
+        let run = || {
+            let mut strengths = Vec::new();
+            let _ = retry_with_backoff("fit", RetryPolicy::default(), |reg| {
+                strengths.push(reg);
+                Err::<(), _>(CoreError::Numerics(NumericsError::SingularSystem))
+            });
+            strengths
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn exhaustion_reports_degraded_with_attempt_count() {
+        let err = retry_with_backoff("candidate solve", RetryPolicy::default(), |_| {
+            Err::<(), _>(CoreError::Numerics(NumericsError::SingularSystem))
+        })
+        .unwrap_err();
+        match &err {
+            CoreError::Degraded {
+                context, attempts, source,
+            } => {
+                assert_eq!(context, "candidate solve");
+                assert_eq!(*attempts, RetryPolicy::default().max_attempts);
+                assert!(matches!(
+                    **source,
+                    CoreError::Numerics(NumericsError::SingularSystem)
+                ));
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        // The chain is walkable down to the numerics root cause.
+        let root = std::error::Error::source(&err).unwrap();
+        assert!(root.to_string().contains("singular"), "{root}");
+    }
+
+    #[test]
+    fn other_errors_are_not_retried() {
+        let mut calls = 0;
+        let err = retry_with_backoff("fit", RetryPolicy::default(), |_| {
+            calls += 1;
+            Err::<(), _>(CoreError::InvalidInput("broken input".into()))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1);
+        assert!(matches!(err, CoreError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn zero_attempt_policy_still_tries_once() {
+        let mut calls = 0;
+        let policy = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        let _ = retry_with_backoff("fit", policy, |_| {
+            calls += 1;
+            Ok::<_, CoreError>(())
+        });
+        assert_eq!(calls, 1);
+    }
+}

@@ -23,6 +23,10 @@
 //!   agreement feedback.
 //! - [`experiments`] — runners that regenerate every table and figure of
 //!   the paper's evaluation (§V).
+//! - [`faults`] — deterministic fault injection (dropouts, lost and
+//!   corrupted feedback, payment delays), checkpoint/resume of the
+//!   simulation loops, and bounded retries for transient numeric
+//!   failures.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +59,7 @@
 pub use dcc_core as core;
 pub use dcc_detect as detect;
 pub use dcc_experiments as experiments;
+pub use dcc_faults as faults;
 pub use dcc_graph as graph;
 pub use dcc_label as label;
 pub use dcc_numerics as numerics;
