@@ -3,7 +3,7 @@
 
 CHAOS_CASES ?= 512
 
-.PHONY: build test clippy chaos experiments ci
+.PHONY: build test clippy chaos experiments engine-bench ci
 
 build:
 	cargo build --release
@@ -23,5 +23,10 @@ chaos:
 
 experiments:
 	cargo run --release -p dcc-experiments --bin all -- --scale paper
+
+# Sequential vs pooled solve timings plus a printed speedup report
+# (bit-identity is asserted separately by dcc-engine's property tests).
+engine-bench:
+	cargo bench -p dcc-bench --bench engine
 
 ci: build test clippy

@@ -1,0 +1,206 @@
+//! Engine bench: sequential vs pooled subproblem solving, and the value
+//! of the engine's stage cache on a μ sweep.
+//!
+//! The pooled solve is required to be **bit-identical** to the
+//! sequential one (see `dcc-engine`'s property tests), so the only
+//! question this bench answers is wall-clock cost. Besides the criterion
+//! groups, `main` prints a direct speedup report for `make engine-bench`;
+//! on a single-CPU host the pool degenerates to the sequential path and
+//! the honest answer is ~1.0×, which the report states rather than hides.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use dcc_core::{solve_subproblems_pooled, DesignConfig, FailurePolicy, ModelParams, Subproblem};
+use dcc_engine::{Engine, EngineConfig, RoundContext, StageKind};
+use dcc_numerics::Quadratic;
+use dcc_trace::{SyntheticConfig, TraceDataset};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Pool scales the ISSUE calls for: sequential, one-socket, oversubscribed.
+const POOLS: [usize; 3] = [1, 4, 16];
+
+fn trace() -> TraceDataset {
+    SyntheticConfig::small(2024).generate()
+}
+
+/// A design config with a fine effort grid, so each subproblem carries
+/// enough solve work for the pool split to be measurable.
+fn design_config() -> DesignConfig {
+    DesignConfig {
+        intervals: 80,
+        ..DesignConfig::default()
+    }
+}
+
+fn prepared_context(trace: &TraceDataset) -> RoundContext {
+    let mut config = EngineConfig::for_trace(trace.clone());
+    config.design = design_config();
+    let mut ctx = RoundContext::new(config);
+    Engine::new()
+        .run_to(&mut ctx, StageKind::FitEffort)
+        .expect("fit stage succeeds on a synthetic trace");
+    ctx
+}
+
+/// Synthetic subproblems for the scale sweep, mirroring the shape the
+/// fit stage produces without paying detection cost at every size.
+fn synthetic_subproblems(n: usize, m: usize) -> Vec<Subproblem> {
+    let disc = dcc_core::Discretization::covering(m, 7.0).unwrap();
+    (0..n)
+        .map(|i| Subproblem {
+            id: i,
+            members: vec![i],
+            omega: if i % 4 == 0 { 0.5 } else { 0.0 },
+            weight: 0.3 + (i % 7) as f64 * 0.5,
+            psi: Quadratic::new(-0.15, 2.5, 1.0),
+            disc,
+        })
+        .collect()
+}
+
+fn params() -> ModelParams {
+    design_config().params
+}
+
+fn bench_pooled_solve(c: &mut Criterion) {
+    let trace = trace();
+    let ctx = prepared_context(&trace);
+    let sps = ctx.prep().expect("prep stage ran").subproblems.clone();
+    let params = params();
+
+    let mut group = c.benchmark_group("engine_solve_trace");
+    group.sample_size(10);
+    for pool in POOLS {
+        group.bench_with_input(BenchmarkId::new("pool", pool), &pool, |b, &pool| {
+            b.iter(|| {
+                solve_subproblems_pooled(black_box(&sps), &params, pool, FailurePolicy::Abort)
+                    .expect("solve")
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("engine_solve_scale");
+    group.sample_size(10);
+    for n in [256usize, 2048] {
+        let sps = synthetic_subproblems(n, 80);
+        for pool in POOLS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}_pool"), pool),
+                &pool,
+                |b, &pool| {
+                    b.iter(|| {
+                        solve_subproblems_pooled(
+                            black_box(&sps),
+                            &params,
+                            pool,
+                            FailurePolicy::Abort,
+                        )
+                        .expect("solve")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_stage_cache(c: &mut Criterion) {
+    let trace = trace();
+    let engine = Engine::new();
+    let mut group = c.benchmark_group("engine_cache");
+    group.sample_size(10);
+
+    // Cold: every μ rebuilds the context, so detection and ψ-fits rerun.
+    group.bench_function("mu_sweep_cold", |b| {
+        b.iter(|| {
+            for mu in [1.0, 1.5, 2.0] {
+                let mut config = EngineConfig::for_trace(trace.clone());
+                config.design = design_config();
+                config.design.params.mu = mu;
+                let mut ctx = RoundContext::new(config);
+                engine
+                    .run_to(&mut ctx, StageKind::ConstructContracts)
+                    .expect("design");
+                black_box(ctx.design().unwrap().total_requester_utility);
+            }
+        });
+    });
+
+    // Warm: one context; μ invalidates solve-onward only.
+    group.bench_function("mu_sweep_warm", |b| {
+        b.iter(|| {
+            let mut ctx = prepared_context(&trace);
+            for mu in [1.0, 1.5, 2.0] {
+                ctx.set_mu(mu);
+                engine
+                    .run_to(&mut ctx, StageKind::ConstructContracts)
+                    .expect("design");
+                black_box(ctx.design().unwrap().total_requester_utility);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(engine_benches, bench_pooled_solve, bench_stage_cache);
+
+/// Times `f` over `reps` runs and returns the best (least noisy) run.
+fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The direct speedup report consumed by `make engine-bench`.
+fn speedup_report() {
+    let sps = synthetic_subproblems(2048, 80);
+    let params = params();
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\n== pooled solve speedup (2048 subproblems, m=80, {host} CPU(s) visible) ==");
+
+    let seq = best_secs(3, || {
+        black_box(
+            solve_subproblems_pooled(&sps, &params, 1, FailurePolicy::Abort).expect("solve"),
+        );
+    });
+    let reference =
+        solve_subproblems_pooled(&sps, &params, 1, FailurePolicy::Abort).expect("solve");
+    println!("pool=1 (sequential): {:.3}s", seq);
+
+    for pool in [4usize, 16] {
+        let pooled = best_secs(3, || {
+            black_box(
+                solve_subproblems_pooled(&sps, &params, pool, FailurePolicy::Abort)
+                    .expect("solve"),
+            );
+        });
+        let out = solve_subproblems_pooled(&sps, &params, pool, FailurePolicy::Abort)
+            .expect("solve");
+        let identical = out
+            .0
+            .solutions
+            .iter()
+            .zip(&reference.0.solutions)
+            .all(|(a, b)| {
+                a.built.requester_utility().to_bits() == b.built.requester_utility().to_bits()
+            });
+        println!(
+            "speedup at pool={pool}: {:.2}x ({:.3}s, bit-identical to sequential: {identical})",
+            seq / pooled,
+            pooled
+        );
+    }
+    if host == 1 {
+        println!("note: only 1 CPU visible — pooled threads serialize, expect ~1.0x here.");
+    }
+}
+
+fn main() {
+    engine_benches();
+    speedup_report();
+}

@@ -3,13 +3,14 @@
 
 use crate::args::ParsedArgs;
 use crate::error::CliError;
-use dcc_core::{
-    design_contracts, BaselineStrategy, DesignConfig, FailurePolicy, ModelParams, Simulation,
-    SimulationConfig, StrategyKind,
-};
+use dcc_core::{DesignConfig, FailurePolicy, ModelParams, SimulationConfig, StrategyKind};
 use dcc_detect::{run_pipeline, PipelineConfig, SuspectSource};
+use dcc_engine::{
+    Engine, EngineConfig, EngineSimOutcome, PoolSize, RoundContext, SimOptions, StageKind,
+    TraceSource,
+};
 use dcc_experiments::ExperimentScale;
-use dcc_faults::{FaultInjector, FaultPlan, FaultPlanConfig};
+use dcc_faults::{FaultPlan, FaultPlanConfig};
 use dcc_label::{LabelMarket, MarketConfig};
 use dcc_trace::{read_trace_csv, write_trace_csv, TraceDataset, TraceSummary, WorkerClass};
 use std::fmt::Write as _;
@@ -119,6 +120,70 @@ fn design_config(args: &ParsedArgs) -> Result<DesignConfig, CliError> {
     })
 }
 
+/// Resolves the worker-pool size for the parallel solve: `--pool N`
+/// pins an exact thread count, `--serial` forces the sequential path,
+/// and otherwise the engine sizes the pool from the machine. Every
+/// choice produces bit-identical contracts.
+fn pool_size(args: &ParsedArgs) -> Result<PoolSize, CliError> {
+    if args.flags.contains_key("pool") {
+        Ok(PoolSize::Fixed(args.num_flag("pool", 1usize)?))
+    } else if args.bool_flag("serial") {
+        Ok(PoolSize::Sequential)
+    } else {
+        Ok(PoolSize::Auto)
+    }
+}
+
+/// Builds the staged-engine context shared by `run`, `design`,
+/// `simulate`, and `replay` from the command-line flags.
+fn engine_context(args: &ParsedArgs) -> Result<RoundContext, CliError> {
+    let dir = args
+        .positional
+        .first()
+        .cloned()
+        .or_else(|| args.flags.get("trace").cloned())
+        .ok_or_else(|| {
+            CliError::Usage("expected a trace directory (positional or --trace DIR)".into())
+        })?;
+    let strategy = match args.str_flag("strategy", "dynamic").as_str() {
+        "dynamic" => StrategyKind::DynamicContract,
+        "exclude" => StrategyKind::ExcludeMalicious,
+        "fixed" => StrategyKind::FixedPayment {
+            amount: args.num_flag("amount", 1.0)?,
+        },
+        other => {
+            return Err(CliError::Usage(format!(
+                "flag --strategy: unknown strategy {other:?}"
+            )))
+        }
+    };
+    let fault_plan = match args.flags.get("fault-plan") {
+        Some(file) => FaultPlan::load(Path::new(file))?,
+        None => FaultPlan::default(),
+    };
+    let kill_at = if args.flags.contains_key("kill-at") {
+        Some(args.num_flag("kill-at", 0usize)?)
+    } else {
+        None
+    };
+    let mut config = EngineConfig::for_source(TraceSource::CsvDir(dir.into()));
+    config.design = design_config(args)?;
+    config.pool = pool_size(args)?;
+    config.strategy = strategy;
+    config.sim = SimulationConfig {
+        rounds: args.num_flag("rounds", 20)?,
+        feedback_noise_sd: args.num_flag("noise", 0.5)?,
+        seed: args.num_flag("seed", 7)?,
+    };
+    config.sim_options = SimOptions {
+        fault_plan,
+        checkpoint: args.flags.get("checkpoint").map(std::path::PathBuf::from),
+        kill_at,
+        resume: args.bool_flag("resume"),
+    };
+    Ok(RoundContext::new(config))
+}
+
 /// Appends the degraded-subproblem report (if any) to a command's output.
 fn report_degradation(out: &mut String, degradation: &dcc_core::DegradationReport) {
     if degradation.is_empty() {
@@ -140,10 +205,10 @@ fn report_degradation(out: &mut String, degradation: &dcc_core::DegradationRepor
 /// `dcc design TRACE_DIR [--mu F] [--omega F] [--intervals N] [--serial]
 ///  [--budget F]`
 pub fn cmd_design(args: &ParsedArgs) -> CliResult {
-    let trace = load_trace(args)?;
-    let detection = run_pipeline(&trace, PipelineConfig::default());
-    let config = design_config(args)?;
-    let design = design_contracts(&trace, &detection, &config)?;
+    let mut ctx = engine_context(args)?;
+    Engine::new().run_to(&mut ctx, StageKind::ConstructContracts)?;
+    let trace = ctx.trace()?;
+    let design = ctx.design()?;
     let mut out = String::new();
     writeln!(
         out,
@@ -229,106 +294,103 @@ pub fn cmd_design(args: &ParsedArgs) -> CliResult {
 /// round)`, a killed-and-resumed run reproduces the uninterrupted
 /// outcome bit-exactly.
 pub fn cmd_simulate(args: &ParsedArgs) -> CliResult {
-    let trace = load_trace(args)?;
-    let detection = run_pipeline(&trace, PipelineConfig::default());
-    let config = design_config(args)?;
-    let design = design_contracts(&trace, &detection, &config)?;
-    let suspected: std::collections::HashSet<_> = detection.suspected.iter().copied().collect();
-
-    let strategy = match args.str_flag("strategy", "dynamic").as_str() {
-        "dynamic" => StrategyKind::DynamicContract,
-        "exclude" => StrategyKind::ExcludeMalicious,
-        "fixed" => StrategyKind::FixedPayment {
-            amount: args.num_flag("amount", 1.0)?,
-        },
-        other => {
-            return Err(CliError::Usage(format!(
-                "flag --strategy: unknown strategy {other:?}"
-            )))
+    let mut ctx = engine_context(args)?;
+    Engine::new().run(&mut ctx)?;
+    match ctx.sim_outcome()? {
+        EngineSimOutcome::Killed {
+            at_round,
+            total_rounds,
+            checkpoint,
+        } => Ok(format!(
+            "killed at round {} of {}; checkpoint saved to {} (continue with --resume)",
+            at_round,
+            total_rounds,
+            checkpoint.display()
+        )),
+        EngineSimOutcome::Completed {
+            outcome,
+            faults_scheduled,
+            faults_fired,
+        } => {
+            let mut out = format!(
+                "strategy {:?}: mean round utility {:.3}, cumulative {:.3} over {} rounds",
+                args.str_flag("strategy", "dynamic"),
+                outcome.mean_round_utility,
+                outcome.cumulative_requester_utility,
+                outcome.rounds.len()
+            );
+            if *faults_scheduled > 0 {
+                write!(
+                    out,
+                    "\nfault plan: {faults_scheduled} scheduled events, {faults_fired} fired this invocation"
+                )
+                .ok();
+            }
+            let mut degraded = String::new();
+            report_degradation(&mut degraded, &ctx.design()?.degradation);
+            if !degraded.is_empty() {
+                out.push('\n');
+                out.push_str(degraded.trim_end());
+            }
+            Ok(out)
         }
-    };
-    let agents =
-        BaselineStrategy::new(strategy).assemble(&design, config.params.omega, &suspected)?;
-    let sim_config = SimulationConfig {
-        rounds: args.num_flag("rounds", 20)?,
-        feedback_noise_sd: args.num_flag("noise", 0.5)?,
-        seed: args.num_flag("seed", 7)?,
-    };
-    let sim = Simulation::new(config.params, sim_config);
+    }
+}
 
-    let plan = match args.flags.get("fault-plan") {
-        Some(file) => FaultPlan::load(Path::new(file))?,
-        None => FaultPlan::default(),
-    };
-    let mut injector = FaultInjector::new(&plan);
-
-    let checkpoint = args.flags.get("checkpoint").map(std::path::PathBuf::from);
-    let mut state = if args.bool_flag("resume") {
-        let cp = checkpoint.as_ref().ok_or_else(|| {
-            CliError::Usage("--resume requires --checkpoint FILE".into())
-        })?;
-        dcc_faults::load_sim_state(cp)?
-    } else {
-        sim.start(&agents)?
-    };
-    let kill_at: Option<usize> = if args.flags.contains_key("kill-at") {
-        if checkpoint.is_none() {
-            return Err(CliError::Usage(
-                "--kill-at requires --checkpoint FILE".into(),
-            ));
+/// `dcc run TRACE_DIR [design flags] [simulate flags] [--pool N]` — the
+/// full staged pipeline end to end (ingest, detect, fit, solve,
+/// construct, simulate) with a per-stage timing report.
+pub fn cmd_run(args: &ParsedArgs) -> CliResult {
+    let mut ctx = engine_context(args)?;
+    let report = Engine::new().run(&mut ctx)?;
+    let mut out = String::from("pipeline stages:\n");
+    write!(out, "{report}").ok();
+    let design = ctx.design()?;
+    writeln!(
+        out,
+        "designed {} contracts; requester per-round utility {:.3}",
+        design.agents.len(),
+        design.total_requester_utility
+    )
+    .ok();
+    report_degradation(&mut out, &design.degradation);
+    match ctx.sim_outcome()? {
+        EngineSimOutcome::Killed {
+            at_round,
+            total_rounds,
+            checkpoint,
+        } => {
+            writeln!(
+                out,
+                "killed at round {} of {}; checkpoint saved to {} (continue with --resume)",
+                at_round,
+                total_rounds,
+                checkpoint.display()
+            )
+            .ok();
         }
-        Some(args.num_flag("kill-at", 0usize)?)
-    } else {
-        None
-    };
-
-    loop {
-        if !state.is_complete(&sim_config) {
-            if let Some(k) = kill_at {
-                if state.next_round >= k {
-                    // `--kill-at` implies `--checkpoint`, checked above.
-                    if let Some(cp) = &checkpoint {
-                        dcc_faults::save_sim_state(cp, &state)?;
-                        return Ok(format!(
-                            "killed at round {} of {}; checkpoint saved to {} (continue with --resume)",
-                            state.next_round,
-                            sim_config.rounds,
-                            cp.display()
-                        ));
-                    }
-                }
+        EngineSimOutcome::Completed {
+            outcome,
+            faults_scheduled,
+            faults_fired,
+        } => {
+            writeln!(
+                out,
+                "strategy {:?}: mean round utility {:.3}, cumulative {:.3} over {} rounds",
+                args.str_flag("strategy", "dynamic"),
+                outcome.mean_round_utility,
+                outcome.cumulative_requester_utility,
+                outcome.rounds.len()
+            )
+            .ok();
+            if *faults_scheduled > 0 {
+                writeln!(
+                    out,
+                    "fault plan: {faults_scheduled} scheduled events, {faults_fired} fired this invocation"
+                )
+                .ok();
             }
         }
-        if !sim.step(&agents, &mut state, &mut injector) {
-            break;
-        }
-        if let Some(cp) = &checkpoint {
-            dcc_faults::save_sim_state(cp, &state)?;
-        }
-    }
-
-    let outcome = sim.outcome_of(&state)?;
-    let mut out = format!(
-        "strategy {:?}: mean round utility {:.3}, cumulative {:.3} over {} rounds",
-        args.str_flag("strategy", "dynamic"),
-        outcome.mean_round_utility,
-        outcome.cumulative_requester_utility,
-        outcome.rounds.len()
-    );
-    if !plan.is_empty() {
-        write!(
-            out,
-            "\nfault plan: {} scheduled events, {} fired this invocation",
-            plan.len(),
-            injector.log().len()
-        )
-        .ok();
-    }
-    let mut degraded = String::new();
-    report_degradation(&mut degraded, &design.degradation);
-    if !degraded.is_empty() {
-        out.push('\n');
-        out.push_str(degraded.trim_end());
     }
     Ok(out)
 }
@@ -494,11 +556,14 @@ pub fn cmd_experiment(args: &ParsedArgs) -> CliResult {
 /// contracts, then replay the recorded per-round feedback through them
 /// (Eq. 1 accounting) instead of simulating best responses.
 pub fn cmd_replay(args: &ParsedArgs) -> CliResult {
-    let trace = load_trace(args)?;
-    let detection = run_pipeline(&trace, PipelineConfig::default());
-    let config = design_config(args)?;
-    let design = design_contracts(&trace, &detection, &config)?;
-    let outcome = dcc_core::replay_trace(&trace, &detection, &design, &config.params)?;
+    let mut ctx = engine_context(args)?;
+    Engine::new().run_to(&mut ctx, StageKind::ConstructContracts)?;
+    let outcome = dcc_core::replay_trace(
+        ctx.trace()?,
+        ctx.detection()?,
+        ctx.design()?,
+        &ctx.config().design.params,
+    )?;
     let mut out = String::new();
     writeln!(
         out,
@@ -678,12 +743,15 @@ COMMANDS:
   gen        --seed N --scale small|paper --out DIR    generate a synthetic trace
   summary    TRACE_DIR                                 dataset statistics
   detect     TRACE_DIR [--estimated --threshold F]     detection + clustering report
-  design     TRACE_DIR [--mu F --omega F --intervals N --serial]
+  design     TRACE_DIR [--mu F --omega F --intervals N --serial --pool N]
                                                        design all contracts
   simulate   TRACE_DIR [--strategy dynamic|exclude|fixed --rounds N --noise F]
              [--fault-plan FILE] [--checkpoint FILE [--kill-at N | --resume]]
              [--policy abort|fallback|skip [--fallback-amount F]]
                                                        run the repeated game
+  run        TRACE_DIR [design + simulate flags] [--pool N]
+                                                       full staged pipeline with
+                                                       per-stage timings
   faults     gen [--agents N --rounds N --seed N --dropout F --missing F
              --corrupt F --nan F --delay F --out FILE] | show FILE
                                                        deterministic fault plans
@@ -707,6 +775,7 @@ pub fn dispatch(args: &ParsedArgs) -> CliResult {
         Some("detect") => cmd_detect(args),
         Some("design") => cmd_design(args),
         Some("simulate") => cmd_simulate(args),
+        Some("run") => cmd_run(args),
         Some("faults") => cmd_faults(args),
         Some("replay") => cmd_replay(args),
         Some("check") => cmd_check(args),
@@ -760,6 +829,34 @@ mod tests {
 
         let replay = dispatch(&parse(&format!("replay {dir}"))).unwrap();
         assert!(replay.contains("replayed"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_command_reports_stages_and_outcome() {
+        let dir = temp_dir("run");
+        dispatch(&parse(&format!("gen --seed 6 --scale small --out {dir}"))).unwrap();
+
+        let out = dispatch(&parse(&format!("run {dir} --rounds 5 --pool 4"))).unwrap();
+        for stage in [
+            "ingest",
+            "detect",
+            "fit-effort",
+            "solve-subproblems",
+            "construct-contracts",
+            "simulate",
+        ] {
+            assert!(out.contains(stage), "missing stage {stage} in:\n{out}");
+        }
+        assert!(out.contains("designed"));
+        assert!(out.contains("mean round utility"));
+
+        // The pooled design is bit-identical to the sequential one: the
+        // printed reports must agree word for word.
+        let pooled = dispatch(&parse(&format!("design {dir} --pool 7"))).unwrap();
+        let serial = dispatch(&parse(&format!("design {dir} --serial"))).unwrap();
+        assert_eq!(pooled, serial);
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -4,6 +4,7 @@
 //! unwinds on user input.
 
 use dcc_core::CoreError;
+use dcc_engine::EngineError;
 use std::fmt;
 
 /// A failure surfaced to the terminal user.
@@ -56,6 +57,19 @@ impl From<CoreError> for CliError {
     }
 }
 
+// Engine configuration mistakes (e.g. `--resume` without a checkpoint)
+// are the user's, so they exit with code 2 like any other usage error;
+// everything else from the engine is a runtime failure.
+impl From<EngineError> for CliError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Config(m) => CliError::Usage(m),
+            EngineError::Core(c) => CliError::Core(c),
+            other => CliError::Failed(other.to_string()),
+        }
+    }
+}
+
 // The minimal flag parser reports bad flag values as plain strings;
 // those are always usage mistakes.
 impl From<String> for CliError {
@@ -76,6 +90,18 @@ mod tests {
             1
         );
         assert_eq!(CliError::Failed("report".into()).exit_code(), 1);
+    }
+
+    #[test]
+    fn engine_errors_keep_their_exit_codes() {
+        let usage = CliError::from(EngineError::Config(
+            "--resume requires --checkpoint FILE".into(),
+        ));
+        assert_eq!(usage.exit_code(), 2);
+        let core = CliError::from(EngineError::Core(CoreError::InvalidInput("x".into())));
+        assert_eq!(core.exit_code(), 1);
+        let ingest = CliError::from(EngineError::Ingest("cannot read trace".into()));
+        assert_eq!(ingest.exit_code(), 1);
     }
 
     #[test]

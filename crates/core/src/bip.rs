@@ -164,6 +164,10 @@ pub fn solve_subproblems(
 /// worker. Degradations are itemized in the returned
 /// [`DegradationReport`] (empty when every subproblem solved optimally).
 ///
+/// `parallel = true` resolves the pool size from
+/// [`std::thread::available_parallelism`]; use
+/// [`solve_subproblems_pooled`] to pin an exact worker count.
+///
 /// # Errors
 ///
 /// Under [`FailurePolicy::Abort`], the first per-subproblem error in
@@ -173,6 +177,39 @@ pub fn solve_subproblems_with(
     subproblems: &[Subproblem],
     params: &ModelParams,
     parallel: bool,
+    policy: FailurePolicy,
+) -> Result<(BipSolution, DegradationReport), CoreError> {
+    let pool = if parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        1
+    };
+    solve_subproblems_pooled(subproblems, params, pool, policy)
+}
+
+/// [`solve_subproblems_with`] with an explicit worker-pool size.
+///
+/// The §IV-B decomposition makes subproblems independent, so they are
+/// fanned out across `pool` scoped threads (`std::thread::scope`), each
+/// taking one contiguous chunk of the input. The merge order is
+/// deterministic — chunk results are concatenated in input order and
+/// re-zipped with the subproblems — so the output is **bit-identical**
+/// to the sequential path (`pool = 1`) for every pool size: each
+/// subproblem's arithmetic is self-contained and no reduction reorders
+/// floating-point operations.
+///
+/// `pool` is clamped to `[1, subproblems.len()]`; `pool <= 1` solves on
+/// the calling thread without spawning.
+///
+/// # Errors
+///
+/// Same as [`solve_subproblems_with`].
+pub fn solve_subproblems_pooled(
+    subproblems: &[Subproblem],
+    params: &ModelParams,
+    pool: usize,
     policy: FailurePolicy,
 ) -> Result<(BipSolution, DegradationReport), CoreError> {
     let solve_one = |sp: &Subproblem| -> Result<SubproblemSolution, CoreError> {
@@ -192,12 +229,9 @@ pub fn solve_subproblems_with(
 
     // Solve everything without short-circuiting so non-Abort policies see
     // every failure and Abort still reports the first one in input order.
+    let workers = pool.max(1).min(subproblems.len().max(1));
     let results: Vec<Result<SubproblemSolution, CoreError>> =
-        if parallel && subproblems.len() > 1 {
-            let workers = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(subproblems.len());
+        if workers > 1 && subproblems.len() > 1 {
             let chunk_size = subproblems.len().div_ceil(workers);
             let solve_ref = &solve_one;
             std::thread::scope(|scope| {
@@ -526,6 +560,24 @@ mod tests {
         assert!(
             (serial.total_requester_utility - parallel.total_requester_utility).abs() < 1e-9
         );
+    }
+
+    #[test]
+    fn pooled_solve_is_bit_identical_across_pool_sizes() {
+        let sps = sample_subproblems(37);
+        let p = params();
+        let (reference, _) =
+            solve_subproblems_pooled(&sps, &p, 1, FailurePolicy::Abort).unwrap();
+        for pool in [2, 3, 4, 16, 64] {
+            let (pooled, _) =
+                solve_subproblems_pooled(&sps, &p, pool, FailurePolicy::Abort).unwrap();
+            assert_eq!(reference, pooled, "pool {pool} diverged");
+            assert_eq!(
+                reference.total_requester_utility.to_bits(),
+                pooled.total_requester_utility.to_bits(),
+                "pool {pool} total differs in bits"
+            );
+        }
     }
 
     #[test]

@@ -47,6 +47,46 @@ impl Default for DesignConfig {
     }
 }
 
+impl DesignConfig {
+    /// Validates the configuration, naming the offending field (as a
+    /// `DesignConfig.<field>` path) and the rejected value in the error
+    /// message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.params.validate().map_err(|e| match e {
+            CoreError::InvalidParams(m) => {
+                CoreError::InvalidParams(format!("DesignConfig.params.{m}"))
+            }
+            other => other,
+        })?;
+        if self.intervals == 0 {
+            return Err(CoreError::InvalidParams(format!(
+                "DesignConfig.intervals must be >= 1, got {}",
+                self.intervals
+            )));
+        }
+        if !(self.effort_quantile > 0.0 && self.effort_quantile <= 100.0) {
+            return Err(CoreError::InvalidParams(format!(
+                "DesignConfig.effort_quantile must be in (0, 100], got {}",
+                self.effort_quantile
+            )));
+        }
+        if let Some(min_reviews) = self.per_worker_fit_min_reviews {
+            if min_reviews < 3 {
+                return Err(CoreError::InvalidParams(format!(
+                    "DesignConfig.per_worker_fit_min_reviews must be >= 3 \
+                     (a quadratic fit needs 3 points), got {min_reviews}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The contract assigned to one worker by [`design_contracts`].
 #[derive(Debug, Clone)]
 pub struct AgentContract {
@@ -130,32 +170,44 @@ fn effort_region(
     Ok(y_max)
 }
 
-/// Runs the complete §IV design flow:
+/// The output of the §IV-B fitting stage: class effort functions fitted,
+/// effort regions discretized, and the bilevel program decomposed into
+/// per-worker / per-community [`Subproblem`]s — everything the solver
+/// needs, reusable across solves (e.g. a μ sweep re-solves the same
+/// prepared subproblems without re-fitting).
+#[derive(Debug, Clone)]
+pub struct DesignPrep {
+    /// The decomposed subproblems in deterministic input order
+    /// (individual workers first, communities after).
+    pub subproblems: Vec<Subproblem>,
+    /// Fitted class effort functions: (honest, non-collusive-malicious,
+    /// community-aggregate).
+    pub class_psis: (Quadratic, Quadratic, Quadratic),
+    /// The id of the first community subproblem; ids `>=` this cover
+    /// collusive communities.
+    pub first_community_subproblem: usize,
+}
+
+/// The fitting half of [`design_contracts`] (§IV-B):
 ///
 /// 1. split workers by the detection result (non-suspected ⇒ honest,
 ///    suspected singletons ⇒ non-collusive malicious, communities ⇒
 ///    collusive meta-workers),
-/// 2. fit each group's effort function (§IV-B; communities are fitted on
-///    their aggregate `(Σ effort, Σ feedback)` points when at least 3
+/// 2. fit each group's effort function (communities are fitted on their
+///    aggregate `(Σ effort, Σ feedback)` points when at least 3
 ///    communities exist, else they fall back to the per-worker fit),
-/// 3. decompose into subproblems with per-worker Eq. 5 weights and solve
-///    them (in parallel) with the §IV-C algorithm,
-/// 4. assign contracts back to workers; community members share the
-///    community's contract and split its payment equally.
+/// 3. decompose into subproblems with per-worker Eq. 5 weights.
 ///
 /// # Errors
 ///
-/// Propagates fitting and solver failures; rejects traces whose classes
-/// are too small to fit.
-pub fn design_contracts(
+/// Propagates fitting failures; rejects invalid configurations and traces
+/// whose classes are too small to fit.
+pub fn prepare_design(
     trace: &TraceDataset,
     detection: &DetectionResult,
     config: &DesignConfig,
-) -> Result<ContractDesign, CoreError> {
-    config.params.validate()?;
-    if config.intervals == 0 {
-        return Err(CoreError::InvalidParams("intervals must be >= 1".into()));
-    }
+) -> Result<DesignPrep, CoreError> {
+    config.validate()?;
 
     let suspected: HashSet<ReviewerId> = detection.suspected.iter().copied().collect();
     let in_community: HashSet<ReviewerId> = detection
@@ -165,7 +217,6 @@ pub fn design_contracts(
         .flatten()
         .copied()
         .collect();
-    let partner_counts = detection.collusion.partner_counts();
 
     // --- Group observation points -------------------------------------
     let mut honest_points = Vec::new();
@@ -314,25 +365,38 @@ pub fn design_contracts(
         next_id += 1;
     }
 
-    let (solution, degradation) = solve_subproblems_with(
-        &subproblems,
-        &config.params,
-        config.parallel,
-        config.failure_policy,
-    )?;
+    Ok(DesignPrep {
+        subproblems,
+        class_psis: (honest_fit.psi, ncm_fit.psi, cm_fit.psi),
+        first_community_subproblem,
+    })
+}
 
-    // --- Per-worker assignment ------------------------------------------
+/// The assignment half of [`design_contracts`]: maps a solved
+/// decomposition back to per-worker contracts. Community members share
+/// the community's contract and split its payment equally.
+///
+/// `solution` must come from solving `prep.subproblems` (any pool size —
+/// the solve is bit-identical across pool sizes).
+pub fn assemble_design(
+    detection: &DetectionResult,
+    prep: &DesignPrep,
+    solution: BipSolution,
+    degradation: DegradationReport,
+) -> ContractDesign {
+    let suspected: HashSet<ReviewerId> = detection.suspected.iter().copied().collect();
+    let partner_counts = detection.collusion.partner_counts();
     let delta_of = |sp_id: usize| {
-        subproblems
+        prep.subproblems
             .iter()
             .find(|sp| sp.id == sp_id)
             .map(|sp| sp.disc.delta())
             .unwrap_or(0.0)
     };
-    let mut agents = Vec::with_capacity(trace.reviewers().len());
+    let mut agents = Vec::with_capacity(solution.solutions.len());
     for sol in &solution.solutions {
         let share = sol.members.len().max(1) as f64;
-        let is_community = sol.id >= first_community_subproblem;
+        let is_community = sol.id >= prep.first_community_subproblem;
         for &member in &sol.members {
             let worker = ReviewerId(member);
             agents.push(AgentContract {
@@ -351,13 +415,42 @@ pub fn design_contracts(
     agents.sort_by_key(|a| a.worker);
 
     let total = solution.total_requester_utility;
-    Ok(ContractDesign {
+    ContractDesign {
         agents,
         solution,
-        class_psis: (honest_fit.psi, ncm_fit.psi, cm_fit.psi),
+        class_psis: prep.class_psis,
         total_requester_utility: total,
         degradation,
-    })
+    }
+}
+
+/// Runs the complete §IV design flow:
+///
+/// 1. [`prepare_design`] — split workers by the detection result, fit
+///    each group's effort function, and decompose into subproblems with
+///    per-worker Eq. 5 weights (§IV-B),
+/// 2. solve the subproblems (in parallel) with the §IV-C algorithm,
+/// 3. [`assemble_design`] — assign contracts back to workers; community
+///    members share the community's contract and split its payment
+///    equally.
+///
+/// # Errors
+///
+/// Propagates fitting and solver failures; rejects traces whose classes
+/// are too small to fit.
+pub fn design_contracts(
+    trace: &TraceDataset,
+    detection: &DetectionResult,
+    config: &DesignConfig,
+) -> Result<ContractDesign, CoreError> {
+    let prep = prepare_design(trace, detection, config)?;
+    let (solution, degradation) = solve_subproblems_with(
+        &prep.subproblems,
+        &config.params,
+        config.parallel,
+        config.failure_policy,
+    )?;
+    Ok(assemble_design(detection, &prep, solution, degradation))
 }
 
 #[cfg(test)]
@@ -563,5 +656,104 @@ mod tests {
             ..DesignConfig::default()
         };
         assert!(design_contracts(&trace, &detection, &bad).is_err());
+    }
+
+    #[test]
+    fn config_validation_names_the_offending_field_and_value() {
+        let base = DesignConfig::default();
+
+        let err = DesignConfig { intervals: 0, ..base }.validate().unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid parameters: DesignConfig.intervals must be >= 1, got 0"
+        );
+
+        let err = DesignConfig {
+            effort_quantile: 120.0,
+            ..base
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid parameters: DesignConfig.effort_quantile must be in (0, 100], got 120"
+        );
+
+        let err = DesignConfig {
+            per_worker_fit_min_reviews: Some(2),
+            ..base
+        }
+        .validate()
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("DesignConfig.per_worker_fit_min_reviews") && msg.contains("got 2"),
+            "{msg}"
+        );
+
+        let err = DesignConfig {
+            params: ModelParams {
+                mu: -1.0,
+                ..ModelParams::default()
+            },
+            ..base
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid parameters: DesignConfig.params.mu must be positive, got -1"
+        );
+
+        let err = DesignConfig {
+            params: ModelParams {
+                gamma: f64::NAN,
+                ..ModelParams::default()
+            },
+            ..base
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid parameters: DesignConfig.params.gamma must be finite, got NaN"
+        );
+
+        assert!(base.validate().is_ok());
+    }
+
+    #[test]
+    fn prepare_solve_assemble_matches_design_contracts() {
+        // The staged decomposition used by dcc-engine must reproduce the
+        // one-shot flow bit-for-bit.
+        let trace = SyntheticConfig::small(101).generate();
+        let detection = run_pipeline(&trace, PipelineConfig::default());
+        let config = DesignConfig::default();
+        let one_shot = design_contracts(&trace, &detection, &config).unwrap();
+
+        let prep = prepare_design(&trace, &detection, &config).unwrap();
+        let (solution, degradation) = crate::solve_subproblems_pooled(
+            &prep.subproblems,
+            &config.params,
+            4,
+            config.failure_policy,
+        )
+        .unwrap();
+        let staged = assemble_design(&detection, &prep, solution, degradation);
+
+        assert_eq!(one_shot.agents.len(), staged.agents.len());
+        assert_eq!(one_shot.solution, staged.solution);
+        assert_eq!(
+            one_shot.total_requester_utility.to_bits(),
+            staged.total_requester_utility.to_bits()
+        );
+        for (a, b) in one_shot.agents.iter().zip(&staged.agents) {
+            assert_eq!(a.worker, b.worker);
+            assert_eq!(a.contract, b.contract);
+            assert_eq!(a.compensation.to_bits(), b.compensation.to_bits());
+            assert_eq!(a.k_opt, b.k_opt);
+            assert_eq!(a.suspected, b.suspected);
+            assert_eq!(a.partners, b.partners);
+        }
     }
 }

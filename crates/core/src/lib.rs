@@ -78,14 +78,18 @@ pub use budget::{select_within_budget, BudgetedSelection};
 pub use baseline::{BaselineStrategy, StrategyKind};
 pub use behavior::ConductModel;
 pub use bip::{
-    solve_subproblems, solve_subproblems_with, BipSolution, DegradationAction,
-    DegradationReport, DegradedSubproblem, FailurePolicy, Subproblem, SubproblemSolution,
+    solve_subproblems, solve_subproblems_pooled, solve_subproblems_with, BipSolution,
+    DegradationAction, DegradationReport, DegradedSubproblem, FailurePolicy, Subproblem,
+    SubproblemSolution,
 };
 pub use builder::{BuiltContract, CandidateDiagnostics, ContractBuilder};
 pub use candidate::{build_candidate, build_candidate_with_margin, Candidate};
 pub use cases::{case_of_slope, interval_optimum, SlopeCase};
 pub use contract::Contract;
-pub use design::{design_contracts, AgentContract, ContractDesign, DesignConfig};
+pub use design::{
+    assemble_design, design_contracts, prepare_design, AgentContract, ContractDesign,
+    DesignConfig, DesignPrep,
+};
 pub use effort::{
     fit_class_effort, fit_effort_function, nor_table, validate_effort_function, EffortFit,
 };

@@ -43,13 +43,20 @@ impl ModelParams {
     /// Returns [`CoreError::InvalidParams`] describing the first violated
     /// constraint.
     pub fn validate(&self) -> Result<(), CoreError> {
-        let all = [
-            self.mu, self.beta, self.omega, self.kappa, self.gamma, self.rho,
+        let named = [
+            ("mu", self.mu),
+            ("beta", self.beta),
+            ("omega", self.omega),
+            ("kappa", self.kappa),
+            ("gamma", self.gamma),
+            ("rho", self.rho),
         ];
-        if all.iter().any(|v| !v.is_finite()) {
-            return Err(CoreError::InvalidParams(
-                "parameters must be finite".into(),
-            ));
+        for (name, value) in named {
+            if !value.is_finite() {
+                return Err(CoreError::InvalidParams(format!(
+                    "{name} must be finite, got {value}"
+                )));
+            }
         }
         if self.mu <= 0.0 {
             return Err(CoreError::InvalidParams(format!(
@@ -63,10 +70,17 @@ impl ModelParams {
                 self.beta
             )));
         }
-        if self.omega < 0.0 || self.kappa < 0.0 || self.gamma < 0.0 || self.rho < 0.0 {
-            return Err(CoreError::InvalidParams(
-                "omega, kappa, gamma, rho must be nonnegative".into(),
-            ));
+        for (name, value) in [
+            ("omega", self.omega),
+            ("kappa", self.kappa),
+            ("gamma", self.gamma),
+            ("rho", self.rho),
+        ] {
+            if value < 0.0 {
+                return Err(CoreError::InvalidParams(format!(
+                    "{name} must be nonnegative, got {value}"
+                )));
+            }
         }
         Ok(())
     }

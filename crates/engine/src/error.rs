@@ -1,0 +1,52 @@
+use crate::stage::StageKind;
+use dcc_core::CoreError;
+use std::fmt;
+
+/// Errors produced by the engine or its stages.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A stage propagated a core solver/simulation error.
+    Core(CoreError),
+    /// A stage asked the [`crate::RoundContext`] for an output that an
+    /// earlier stage has not produced yet — the engine was not run far
+    /// enough, or a custom stage forgot to call the matching setter.
+    MissingOutput {
+        /// The stage whose output is missing.
+        stage: StageKind,
+    },
+    /// The [`crate::EngineConfig`] is inconsistent (e.g. `--resume`
+    /// without a checkpoint path). Maps to a usage error in the CLI.
+    Config(String),
+    /// The trace source could not be materialized (unreadable CSV
+    /// directory, …).
+    Ingest(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Core(e) => write!(f, "{e}"),
+            EngineError::MissingOutput { stage } => write!(
+                f,
+                "stage {stage} has produced no output yet; run the engine through it first"
+            ),
+            EngineError::Config(msg) => write!(f, "{msg}"),
+            EngineError::Ingest(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}

@@ -1,0 +1,70 @@
+//! # dcc-engine
+//!
+//! A staged pipeline engine unifying the paper's end-to-end flow —
+//! `Ingest → Detect → FitEffort → SolveSubproblems → ConstructContracts
+//! → Simulate` — behind typed, swappable [`Stage`]s over a shared
+//! [`RoundContext`].
+//!
+//! Before the engine, every consumer (CLI commands, the figure/table
+//! experiments, the benches) hand-wired the same
+//! `run_pipeline → design_contracts → Simulation` chain and recomputed
+//! detection results and quadratic ψ-fits on every call. The engine
+//! fixes both problems:
+//!
+//! - **Caching** — each stage's output lives in the context; re-running
+//!   the engine after a config change recomputes only the stages that
+//!   depend on it. A μ-sweep ([`RoundContext::set_mu`]) re-solves the
+//!   §IV-B subproblems but reuses detection and fits across the sweep.
+//! - **Determinism** — the solve stage fans the independent subproblems
+//!   across a `std::thread::scope` worker pool with a deterministic
+//!   chunked merge, so results are **bit-identical** to the sequential
+//!   path at every pool size ([`PoolSize`] is a pure throughput knob).
+//! - **Pluggability** — experiments swap individual stages
+//!   ([`Engine::with_stage`]) instead of copying the chain; e.g. the
+//!   collusion ablation installs a collusion-blind detect stage and
+//!   keeps everything else.
+//!
+//! ## Example
+//!
+//! ```
+//! use dcc_engine::{Engine, EngineConfig, RoundContext, StageKind};
+//! use dcc_trace::SyntheticConfig;
+//!
+//! # fn main() -> Result<(), dcc_engine::EngineError> {
+//! let trace = SyntheticConfig::small(7).generate();
+//! let mut ctx = RoundContext::new(EngineConfig::for_trace(trace));
+//! let engine = Engine::new();
+//!
+//! // Design contracts (stop before the simulation)…
+//! engine.run_to(&mut ctx, StageKind::ConstructContracts)?;
+//! let designed = ctx.design()?.agents.len();
+//! assert!(designed > 0);
+//!
+//! // …then sweep μ: detection and ψ-fits stay cached.
+//! ctx.set_mu(3.0);
+//! let report = engine.run_to(&mut ctx, StageKind::ConstructContracts)?;
+//! assert!(report.was_cached(StageKind::Detect));
+//! assert!(report.was_cached(StageKind::FitEffort));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod engine;
+mod error;
+mod stage;
+mod stages;
+
+pub use context::{
+    EngineConfig, EngineSimOutcome, PoolSize, RoundContext, SimOptions, TraceSource,
+};
+pub use engine::{Engine, EngineReport, StageRun};
+pub use error::EngineError;
+pub use stage::{Stage, StageKind};
+pub use stages::{
+    DefaultConstruct, DefaultDetect, DefaultFitEffort, DefaultIngest, DefaultSimulate,
+    DefaultSolve,
+};

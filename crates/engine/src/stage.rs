@@ -1,0 +1,98 @@
+use crate::context::RoundContext;
+use crate::error::EngineError;
+use std::fmt;
+
+/// The six fixed slots of the engine pipeline, in execution order.
+///
+/// Every [`Stage`] implementation declares which slot it fills via
+/// [`Stage::kind`]; [`crate::Engine::with_stage`] swaps the stage in
+/// that slot. The ordering (`Ingest < Detect < … < Simulate`) drives
+/// cache invalidation: mutating an input of stage `k` discards the
+/// outputs of `k` and everything after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StageKind {
+    /// Materialize the [`dcc_trace::TraceDataset`] from the configured
+    /// source (provided in memory, CSV directory, or synthetic).
+    Ingest,
+    /// Run the §IV detection pipeline (consensus, suspects, communities,
+    /// Eq. 5 weights).
+    Detect,
+    /// Fit per-class (and optionally per-worker) quadratic effort
+    /// functions and decompose into §IV-B subproblems.
+    FitEffort,
+    /// Solve the independent subproblems with the §IV-C candidate
+    /// algorithm, fanned across a deterministic worker pool.
+    SolveSubproblems,
+    /// Assemble the solved decomposition into per-worker contracts.
+    ConstructContracts,
+    /// Play the repeated Stackelberg game (with optional fault plan and
+    /// checkpointing).
+    Simulate,
+}
+
+impl StageKind {
+    /// All stages in execution order.
+    pub const ALL: [StageKind; 6] = [
+        StageKind::Ingest,
+        StageKind::Detect,
+        StageKind::FitEffort,
+        StageKind::SolveSubproblems,
+        StageKind::ConstructContracts,
+        StageKind::Simulate,
+    ];
+
+    /// The stage's kebab-case name (used in reports and error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Ingest => "ingest",
+            StageKind::Detect => "detect",
+            StageKind::FitEffort => "fit-effort",
+            StageKind::SolveSubproblems => "solve-subproblems",
+            StageKind::ConstructContracts => "construct-contracts",
+            StageKind::Simulate => "simulate",
+        }
+    }
+
+    /// Position in the execution order (0 = `Ingest`, 5 = `Simulate`).
+    pub fn index(self) -> usize {
+        StageKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("StageKind::ALL covers every variant")
+    }
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One stage of the pipeline.
+///
+/// A stage reads its inputs from the [`RoundContext`] (via the typed
+/// getters, which fail with [`EngineError::MissingOutput`] when an
+/// earlier stage has not run) and publishes its result with the matching
+/// setter (`set_detection`, `set_prep`, …). The engine only calls
+/// [`Stage::run`] when the context has no cached output for the stage's
+/// slot, so a stage never needs to check the cache itself.
+///
+/// Stages are `Send + Sync` so an [`crate::Engine`] can be shared across
+/// threads; all mutability lives in the per-run context.
+pub trait Stage: Send + Sync {
+    /// Which pipeline slot this stage fills.
+    fn kind(&self) -> StageKind;
+
+    /// Display name; defaults to the slot name.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Computes the stage's output from the context and stores it back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when an input is missing or the underlying
+    /// computation fails.
+    fn run(&self, ctx: &mut RoundContext) -> Result<(), EngineError>;
+}

@@ -1,0 +1,188 @@
+//! The six default stage implementations — each a thin, swappable
+//! wrapper over the corresponding `dcc-detect` / `dcc-core` entry point.
+
+use crate::context::{EngineSimOutcome, RoundContext, TraceSource};
+use crate::error::EngineError;
+use crate::stage::{Stage, StageKind};
+use dcc_core::{
+    assemble_design, prepare_design, solve_subproblems_pooled, BaselineStrategy, Simulation,
+};
+use dcc_detect::run_pipeline;
+use dcc_faults::{load_sim_state, save_sim_state, FaultInjector};
+use dcc_trace::read_trace_csv;
+use std::collections::HashSet;
+use std::path::Path;
+
+/// Materializes the trace from the configured [`TraceSource`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultIngest;
+
+impl Stage for DefaultIngest {
+    fn kind(&self) -> StageKind {
+        StageKind::Ingest
+    }
+
+    fn run(&self, ctx: &mut RoundContext) -> Result<(), EngineError> {
+        let trace = match &ctx.config().source {
+            TraceSource::Provided(trace) => trace.clone(),
+            TraceSource::CsvDir(dir) => read_trace_csv(Path::new(dir)).map_err(|e| {
+                EngineError::Ingest(format!("cannot read trace {}: {e}", dir.display()))
+            })?,
+            TraceSource::Synthetic(config) => config.generate(),
+        };
+        ctx.set_trace(trace);
+        Ok(())
+    }
+}
+
+/// Runs the two-pass §IV detection pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultDetect;
+
+impl Stage for DefaultDetect {
+    fn kind(&self) -> StageKind {
+        StageKind::Detect
+    }
+
+    fn run(&self, ctx: &mut RoundContext) -> Result<(), EngineError> {
+        let detection = run_pipeline(ctx.trace()?, ctx.config().pipeline);
+        ctx.set_detection(detection);
+        Ok(())
+    }
+}
+
+/// Fits effort functions and decomposes into §IV-B subproblems.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultFitEffort;
+
+impl Stage for DefaultFitEffort {
+    fn kind(&self) -> StageKind {
+        StageKind::FitEffort
+    }
+
+    fn run(&self, ctx: &mut RoundContext) -> Result<(), EngineError> {
+        let prep = prepare_design(ctx.trace()?, ctx.detection()?, &ctx.config().design)?;
+        ctx.set_prep(prep);
+        Ok(())
+    }
+}
+
+/// Solves the decomposition across the configured worker pool.
+///
+/// Results are bit-identical for every pool size (deterministic chunked
+/// fan-out, see [`solve_subproblems_pooled`]), so the engine treats the
+/// pool as a pure throughput knob.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultSolve;
+
+impl Stage for DefaultSolve {
+    fn kind(&self) -> StageKind {
+        StageKind::SolveSubproblems
+    }
+
+    fn run(&self, ctx: &mut RoundContext) -> Result<(), EngineError> {
+        let config = ctx.config();
+        let (solution, degradation) = solve_subproblems_pooled(
+            &ctx.prep()?.subproblems,
+            &config.design.params,
+            config.pool.resolve(),
+            config.design.failure_policy,
+        )?;
+        ctx.set_solution(solution, degradation);
+        Ok(())
+    }
+}
+
+/// Assembles the solved decomposition into per-worker contracts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultConstruct;
+
+impl Stage for DefaultConstruct {
+    fn kind(&self) -> StageKind {
+        StageKind::ConstructContracts
+    }
+
+    fn run(&self, ctx: &mut RoundContext) -> Result<(), EngineError> {
+        let (solution, degradation) = ctx.solved()?.clone();
+        let design = assemble_design(ctx.detection()?, ctx.prep()?, solution, degradation);
+        ctx.set_design(design);
+        Ok(())
+    }
+}
+
+/// Plays the repeated game under the configured strategy, fault plan,
+/// and checkpoint options — the same round loop as `dcc simulate`, so a
+/// kill-at/resume pair through the engine reproduces the uninterrupted
+/// outcome bit-exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultSimulate;
+
+impl Stage for DefaultSimulate {
+    fn kind(&self) -> StageKind {
+        StageKind::Simulate
+    }
+
+    fn run(&self, ctx: &mut RoundContext) -> Result<(), EngineError> {
+        let config = ctx.config();
+        let options = &config.sim_options;
+        if options.resume && options.checkpoint.is_none() {
+            return Err(EngineError::Config(
+                "--resume requires --checkpoint FILE".into(),
+            ));
+        }
+        if options.kill_at.is_some() && options.checkpoint.is_none() {
+            return Err(EngineError::Config(
+                "--kill-at requires --checkpoint FILE".into(),
+            ));
+        }
+
+        let design = ctx.design()?;
+        let suspected: HashSet<_> = ctx.detection()?.suspected.iter().copied().collect();
+        let agents = BaselineStrategy::new(config.strategy).assemble(
+            design,
+            config.design.params.omega,
+            &suspected,
+        )?;
+        let sim = Simulation::new(config.design.params, config.sim);
+        let mut injector = FaultInjector::new(&options.fault_plan);
+        let checkpoint = options.checkpoint.clone();
+        let kill_at = options.kill_at;
+        let sim_config = config.sim;
+        let faults_scheduled = options.fault_plan.len();
+
+        let mut state = match (&checkpoint, options.resume) {
+            (Some(cp), true) => load_sim_state(cp)?,
+            _ => sim.start(&agents)?,
+        };
+
+        let outcome = loop {
+            if !state.is_complete(&sim_config) {
+                if let Some(k) = kill_at {
+                    if state.next_round >= k {
+                        // `kill_at` implies `checkpoint`, validated above.
+                        if let Some(cp) = &checkpoint {
+                            save_sim_state(cp, &state)?;
+                            break EngineSimOutcome::Killed {
+                                at_round: state.next_round,
+                                total_rounds: sim_config.rounds,
+                                checkpoint: cp.clone(),
+                            };
+                        }
+                    }
+                }
+            }
+            if !sim.step(&agents, &mut state, &mut injector) {
+                break EngineSimOutcome::Completed {
+                    outcome: sim.outcome_of(&state)?,
+                    faults_scheduled,
+                    faults_fired: injector.log().len(),
+                };
+            }
+            if let Some(cp) = &checkpoint {
+                save_sim_state(cp, &state)?;
+            }
+        };
+        ctx.set_outcome(outcome);
+        Ok(())
+    }
+}

@@ -4,12 +4,9 @@
 //! (ε-greedy bandit over slopes, the strongest model-free competitor).
 
 use crate::render::fmt_f;
-use crate::{ExperimentScale, TextTable};
-use dcc_core::{
-    design_contracts, BaselineStrategy, CoreError, DesignConfig, LinearPricingBandit,
-    ModelParams, Simulation, SimulationConfig, StrategyKind,
-};
-use dcc_detect::{run_pipeline, PipelineConfig};
+use crate::{core_error, engine_context, ExperimentScale, TextTable};
+use dcc_core::{BaselineStrategy, CoreError, LinearPricingBandit, StrategyKind};
+use dcc_engine::{Engine, EngineSimOutcome};
 use dcc_trace::TraceDataset;
 use std::collections::HashSet;
 
@@ -68,44 +65,41 @@ impl BaselineLadderResult {
 ///
 /// Propagates design, simulation and bandit failures.
 pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<BaselineLadderResult, CoreError> {
-    let detection = run_pipeline(trace, PipelineConfig::default());
-    let suspected: HashSet<_> = detection.suspected.iter().copied().collect();
+    let mut ctx = engine_context(trace);
+    let engine = Engine::new();
     let mut rows = Vec::with_capacity(mus.len());
     for &mu in mus {
-        let params = ModelParams {
-            mu,
-            ..ModelParams::default()
-        };
-        let config = DesignConfig {
-            params,
-            ..DesignConfig::default()
-        };
-        let design = design_contracts(trace, &detection, &config)?;
-        let sim = Simulation::new(params, SimulationConfig::default());
+        // One engine context per sweep: detection and fits stay cached
+        // across μ; strategy switches re-run only the simulate stage.
+        ctx.set_mu(mu);
+        ctx.set_strategy(StrategyKind::DynamicContract);
+        engine.run(&mut ctx).map_err(core_error)?;
+        let dynamic = mean_utility(&ctx)?;
 
+        let design = ctx.design().map_err(core_error)?;
+        let params = ctx.config().design.params;
+        let suspected: HashSet<_> = ctx
+            .detection()
+            .map_err(core_error)?
+            .suspected
+            .iter()
+            .copied()
+            .collect();
         let agents = BaselineStrategy::new(StrategyKind::DynamicContract)
-            .assemble(&design, params.omega, &suspected)?;
-        let dynamic = sim.run(&agents)?.mean_round_utility;
-
+            .assemble(design, params.omega, &suspected)?;
         let bandit = LinearPricingBandit::default().run(&params, &agents)?;
-
-        let exclude = sim
-            .run(
-                &BaselineStrategy::new(StrategyKind::ExcludeMalicious)
-                    .assemble(&design, params.omega, &suspected)?,
-            )?
-            .mean_round_utility;
 
         let in_system = agents.iter().filter(|a| a.in_system).count().max(1);
         let spend: f64 = design.agents.iter().map(|a| a.compensation).sum();
-        let fixed = sim
-            .run(
-                &BaselineStrategy::new(StrategyKind::FixedPayment {
-                    amount: (spend / in_system as f64).max(0.0),
-                })
-                .assemble(&design, params.omega, &suspected)?,
-            )?
-            .mean_round_utility;
+        let amount = (spend / in_system as f64).max(0.0);
+
+        ctx.set_strategy(StrategyKind::ExcludeMalicious);
+        engine.run(&mut ctx).map_err(core_error)?;
+        let exclude = mean_utility(&ctx)?;
+
+        ctx.set_strategy(StrategyKind::FixedPayment { amount });
+        engine.run(&mut ctx).map_err(core_error)?;
+        let fixed = mean_utility(&ctx)?;
 
         rows.push(BaselineLadderRow {
             mu,
@@ -117,6 +111,15 @@ pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<BaselineLadderResult,
         });
     }
     Ok(BaselineLadderResult { rows })
+}
+
+/// The mean per-round requester utility of the context's completed
+/// simulation.
+fn mean_utility(ctx: &dcc_engine::RoundContext) -> Result<f64, CoreError> {
+    match ctx.sim_outcome().map_err(core_error)? {
+        EngineSimOutcome::Completed { outcome, .. } => Ok(outcome.mean_round_utility),
+        EngineSimOutcome::Killed { .. } => unreachable!("no kill round is configured"),
+    }
 }
 
 /// Runs E12 at the given scale and seed with the Fig. 8 μ values.

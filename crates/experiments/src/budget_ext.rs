@@ -3,9 +3,9 @@
 //! the §IV design to the budget-feasibility line of related work (§VI).
 
 use crate::render::fmt_f;
-use crate::{ExperimentScale, TextTable};
-use dcc_core::{design_contracts, select_within_budget, CoreError, DesignConfig};
-use dcc_detect::{run_pipeline, PipelineConfig};
+use crate::{core_error, engine_context, ExperimentScale, TextTable};
+use dcc_core::{select_within_budget, CoreError};
+use dcc_engine::{Engine, StageKind};
 use dcc_trace::TraceDataset;
 
 /// One budget point.
@@ -67,8 +67,11 @@ impl BudgetResult {
 ///
 /// Propagates design failures.
 pub fn run_on(trace: &TraceDataset, fractions: &[f64]) -> Result<BudgetResult, CoreError> {
-    let detection = run_pipeline(trace, PipelineConfig::default());
-    let design = design_contracts(trace, &detection, &DesignConfig::default())?;
+    let mut ctx = engine_context(trace);
+    Engine::new()
+        .run_to(&mut ctx, StageKind::ConstructContracts)
+        .map_err(core_error)?;
+    let design = ctx.design().map_err(core_error)?;
     let full_spend: f64 = design
         .solution
         .solutions

@@ -7,15 +7,14 @@
 //! evaluates both under the *same* reference weights.
 
 use crate::render::fmt_f;
-use crate::{ExperimentScale, TextTable};
+use crate::{core_error, engine_context, ExperimentScale, TextTable};
 use dcc_core::{
-    design_contracts, BaselineStrategy, CoreError, DesignConfig, ModelParams, Simulation,
-    SimulationConfig, StrategyKind,
+    BaselineStrategy, CoreError, ModelParams, Simulation, SimulationConfig, StrategyKind,
 };
 use dcc_detect::{
-    run_pipeline, CollusionReport, DetectionResult, FeedbackWeights, PipelineConfig,
-    WeightParams,
+    run_pipeline, CollusionReport, DetectionResult, FeedbackWeights, WeightParams,
 };
+use dcc_engine::{Engine, EngineError, RoundContext, Stage, StageKind};
 use dcc_trace::{ReviewerId, TraceDataset};
 use std::collections::HashSet;
 
@@ -69,6 +68,32 @@ impl CollusionAblationResult {
 /// A collusion-blind variant of a detection result: same estimates and
 /// consensus, but every suspect is a singleton (no communities, so no
 /// γ-penalty and no meta-worker aggregation).
+/// The collusion-blind detector as a swappable engine [`Stage`]: it
+/// fills the [`StageKind::Detect`] slot, runs the regular pipeline, and
+/// then dissolves every community — so
+/// `Engine::new().with_stage(Box::new(BlindDetectStage))` is the whole
+/// ablation counterfactual while every other stage (fitting, solving,
+/// construction, simulation) stays the default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlindDetectStage;
+
+impl Stage for BlindDetectStage {
+    fn kind(&self) -> StageKind {
+        StageKind::Detect
+    }
+
+    fn name(&self) -> &'static str {
+        "blind-detect"
+    }
+
+    fn run(&self, ctx: &mut RoundContext) -> Result<(), EngineError> {
+        let aware = run_pipeline(ctx.trace()?, ctx.config().pipeline);
+        let blind = blind_detection(ctx.trace()?, &aware);
+        ctx.set_detection(blind);
+        Ok(())
+    }
+}
+
 fn blind_detection(trace: &TraceDataset, aware: &DetectionResult) -> DetectionResult {
     let blind_collusion = CollusionReport {
         communities: Vec::new(),
@@ -142,24 +167,49 @@ fn evaluate(
 ///
 /// Propagates design and simulation failures.
 pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<CollusionAblationResult, CoreError> {
-    let aware = run_pipeline(trace, PipelineConfig::default());
-    let blind = blind_detection(trace, &aware);
-    let suspected: HashSet<ReviewerId> = aware.suspected.iter().copied().collect();
+    // Two engines over the same trace: the default stage set, and one
+    // with the detect slot swapped for the blind counterfactual. Both
+    // contexts keep their detection and ψ-fits cached across the sweep.
+    let aware_engine = Engine::new();
+    let blind_engine = Engine::new().with_stage(Box::new(BlindDetectStage));
+    let mut aware_ctx = engine_context(trace);
+    let mut blind_ctx = engine_context(trace);
+
+    aware_engine
+        .run_to(&mut aware_ctx, StageKind::Detect)
+        .map_err(core_error)?;
+    let suspected: HashSet<ReviewerId> = aware_ctx
+        .detection()
+        .map_err(core_error)?
+        .suspected
+        .iter()
+        .copied()
+        .collect();
 
     let mut rows = Vec::with_capacity(mus.len());
     for &mu in mus {
-        let params = ModelParams {
-            mu,
-            ..ModelParams::default()
-        };
-        let config = DesignConfig {
-            params,
-            ..DesignConfig::default()
-        };
-        let design_aware = design_contracts(trace, &aware, &config)?;
-        let design_blind = design_contracts(trace, &blind, &config)?;
-        let (aware_u, cm_pay_aware) = evaluate(&design_aware, &aware, &params, &suspected)?;
-        let (blind_u, cm_pay_blind) = evaluate(&design_blind, &aware, &params, &suspected)?;
+        aware_ctx.set_mu(mu);
+        blind_ctx.set_mu(mu);
+        aware_engine
+            .run_to(&mut aware_ctx, StageKind::ConstructContracts)
+            .map_err(core_error)?;
+        blind_engine
+            .run_to(&mut blind_ctx, StageKind::ConstructContracts)
+            .map_err(core_error)?;
+        let params = aware_ctx.config().design.params;
+        let reference = aware_ctx.detection().map_err(core_error)?;
+        let (aware_u, cm_pay_aware) = evaluate(
+            aware_ctx.design().map_err(core_error)?,
+            reference,
+            &params,
+            &suspected,
+        )?;
+        let (blind_u, cm_pay_blind) = evaluate(
+            blind_ctx.design().map_err(core_error)?,
+            reference,
+            &params,
+            &suspected,
+        )?;
         rows.push(CollusionAblationRow {
             mu,
             aware: aware_u,

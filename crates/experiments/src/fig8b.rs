@@ -7,9 +7,9 @@
 //! penalties devalue malicious feedback).
 
 use crate::render::fmt_f;
-use crate::{ExperimentScale, TextTable};
-use dcc_core::{design_contracts, CoreError, DesignConfig, ModelParams};
-use dcc_detect::{run_pipeline, PipelineConfig};
+use crate::{core_error, engine_context, ExperimentScale, TextTable};
+use dcc_core::CoreError;
+use dcc_engine::{Engine, StageKind};
 use dcc_numerics::Summary;
 use dcc_trace::{TraceDataset, WorkerClass};
 
@@ -68,17 +68,17 @@ impl Fig8bResult {
 ///
 /// Propagates design failures and empty-class summaries.
 pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<Fig8bResult, CoreError> {
-    let detection = run_pipeline(trace, PipelineConfig::default());
+    let mut ctx = engine_context(trace);
+    let engine = Engine::new();
     let mut groups = Vec::with_capacity(mus.len() * 3);
     for &mu in mus {
-        let config = DesignConfig {
-            params: ModelParams {
-                mu,
-                ..ModelParams::default()
-            },
-            ..DesignConfig::default()
-        };
-        let design = design_contracts(trace, &detection, &config)?;
+        // Only the solve depends on μ: detection and the ψ-fits stay
+        // cached across the sweep.
+        ctx.set_mu(mu);
+        engine
+            .run_to(&mut ctx, StageKind::ConstructContracts)
+            .map_err(core_error)?;
+        let design = ctx.design().map_err(core_error)?;
         for class in WorkerClass::ALL {
             let comps = design.compensations_of(&trace.workers_of_class(class));
             let summary = Summary::of(&comps).map_err(dcc_core::CoreError::from)?;

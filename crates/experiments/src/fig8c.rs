@@ -8,12 +8,9 @@
 //! automatically devalued by Eq. 5.
 
 use crate::render::fmt_f;
-use crate::{ExperimentScale, TextTable};
-use dcc_core::{
-    design_contracts, BaselineStrategy, CoreError, DesignConfig, ModelParams, Simulation,
-    SimulationConfig, StrategyKind,
-};
-use dcc_detect::{run_pipeline, PipelineConfig};
+use crate::{core_error, engine_context, ExperimentScale, TextTable};
+use dcc_core::{BaselineStrategy, CoreError, StrategyKind};
+use dcc_engine::{Engine, EngineSimOutcome, RoundContext};
 use dcc_trace::TraceDataset;
 use std::collections::HashSet;
 
@@ -64,36 +61,40 @@ impl Fig8cResult {
 ///
 /// Propagates design and simulation failures.
 pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<Fig8cResult, CoreError> {
-    let detection = run_pipeline(trace, PipelineConfig::default());
-    let suspected: HashSet<_> = detection.suspected.iter().copied().collect();
+    let mut ctx = engine_context(trace);
+    let engine = Engine::new();
     let mut rows = Vec::with_capacity(mus.len());
     for &mu in mus {
-        let params = ModelParams {
-            mu,
-            ..ModelParams::default()
-        };
-        let config = DesignConfig {
-            params,
-            ..DesignConfig::default()
-        };
-        let design = design_contracts(trace, &detection, &config)?;
-        let sim = Simulation::new(params, SimulationConfig::default());
-
-        let ours_agents = BaselineStrategy::new(StrategyKind::DynamicContract)
-            .assemble(&design, params.omega, &suspected)?;
-        let ours = sim.run(&ours_agents)?.mean_round_utility;
-
-        let excl_agents = BaselineStrategy::new(StrategyKind::ExcludeMalicious)
-            .assemble(&design, params.omega, &suspected)?;
-        let exclude = sim.run(&excl_agents)?.mean_round_utility;
+        // μ invalidates solve-onward; switching the strategy afterwards
+        // re-runs only the simulate stage over the cached design.
+        ctx.set_mu(mu);
+        ctx.set_strategy(StrategyKind::DynamicContract);
+        engine.run(&mut ctx).map_err(core_error)?;
+        let ours = mean_utility(&ctx)?;
 
         // Fixed payment matched to our mean per-agent spend.
+        let design = ctx.design().map_err(core_error)?;
+        let params = ctx.config().design.params;
+        let suspected: HashSet<_> = ctx
+            .detection()
+            .map_err(core_error)?
+            .suspected
+            .iter()
+            .copied()
+            .collect();
+        let ours_agents = BaselineStrategy::new(StrategyKind::DynamicContract)
+            .assemble(design, params.omega, &suspected)?;
         let in_system = ours_agents.iter().filter(|a| a.in_system).count().max(1);
         let total_spend: f64 = design.agents.iter().map(|a| a.compensation).sum();
         let amount = (total_spend / in_system as f64).max(0.0);
-        let fixed_agents = BaselineStrategy::new(StrategyKind::FixedPayment { amount })
-            .assemble(&design, params.omega, &suspected)?;
-        let fixed = sim.run(&fixed_agents)?.mean_round_utility;
+
+        ctx.set_strategy(StrategyKind::ExcludeMalicious);
+        engine.run(&mut ctx).map_err(core_error)?;
+        let exclude = mean_utility(&ctx)?;
+
+        ctx.set_strategy(StrategyKind::FixedPayment { amount });
+        engine.run(&mut ctx).map_err(core_error)?;
+        let fixed = mean_utility(&ctx)?;
 
         rows.push(Fig8cRow {
             mu,
@@ -103,6 +104,15 @@ pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<Fig8cResult, CoreErro
         });
     }
     Ok(Fig8cResult { rows })
+}
+
+/// The mean per-round requester utility of the context's completed
+/// simulation.
+fn mean_utility(ctx: &RoundContext) -> Result<f64, CoreError> {
+    match ctx.sim_outcome().map_err(core_error)? {
+        EngineSimOutcome::Completed { outcome, .. } => Ok(outcome.mean_round_utility),
+        EngineSimOutcome::Killed { .. } => unreachable!("no kill round is configured"),
+    }
 }
 
 /// Runs E7 at the given scale and seed with the paper's μ values.

@@ -39,7 +39,26 @@ mod render;
 
 pub use render::TextTable;
 
+use dcc_core::CoreError;
+use dcc_engine::{EngineConfig, EngineError, RoundContext};
 use dcc_trace::{SyntheticConfig, TraceDataset};
+
+/// A fresh engine context over `trace` with the runners' shared
+/// defaults (ground-truth detection, default design, automatic pool) —
+/// the single place the `detect → fit → solve → construct` chain is
+/// wired for every experiment.
+pub(crate) fn engine_context(trace: &TraceDataset) -> RoundContext {
+    RoundContext::new(EngineConfig::for_trace(trace.clone()))
+}
+
+/// Lowers an [`EngineError`] onto the runners' `CoreError` interface so
+/// the public `run`/`run_on` signatures stay unchanged.
+pub(crate) fn core_error(e: EngineError) -> CoreError {
+    match e {
+        EngineError::Core(c) => c,
+        other => CoreError::InvalidInput(other.to_string()),
+    }
+}
 
 /// Workload scale for experiment runners.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -2,8 +2,8 @@
 //! discovered by the §IV-A clustering, next to the paper's percentages.
 
 use crate::render::fmt_f;
-use crate::{ExperimentScale, TextTable};
-use dcc_detect::{run_pipeline, PipelineConfig};
+use crate::{engine_context, ExperimentScale, TextTable};
+use dcc_engine::{Engine, StageKind};
 use dcc_trace::TraceDataset;
 
 /// The paper's Table II percentages for buckets `2, 3, 4, 5, 6, ≥10`.
@@ -43,7 +43,13 @@ impl Table2Result {
 
 /// Runs E2 on an existing trace.
 pub fn run_on(trace: &TraceDataset) -> Table2Result {
-    let detection = run_pipeline(trace, PipelineConfig::default());
+    let mut ctx = engine_context(trace);
+    Engine::new()
+        .run_to(&mut ctx, StageKind::Detect)
+        .expect("ingest and detection are infallible on a provided trace");
+    let detection = ctx
+        .detection()
+        .expect("the engine ran through the detect stage");
     let hist = detection.collusion.size_histogram();
     let pct = detection.collusion.size_percentages();
     let rows = hist

@@ -27,6 +27,10 @@
 //!   corrupted feedback, payment delays), checkpoint/resume of the
 //!   simulation loops, and bounded retries for transient numeric
 //!   failures.
+//! - [`engine`] — the staged `Ingest → Detect → FitEffort →
+//!   SolveSubproblems → ConstructContracts → Simulate` pipeline with
+//!   cached stage outputs, swappable stages, and a deterministic
+//!   parallel solve.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +62,7 @@
 
 pub use dcc_core as core;
 pub use dcc_detect as detect;
+pub use dcc_engine as engine;
 pub use dcc_experiments as experiments;
 pub use dcc_faults as faults;
 pub use dcc_graph as graph;
