@@ -3,7 +3,7 @@
 
 CHAOS_CASES ?= 512
 
-.PHONY: build test clippy chaos experiments engine-bench ci
+.PHONY: build test clippy chaos experiments engine-bench metrics-check slow-tests ci
 
 build:
 	cargo build --release
@@ -25,8 +25,24 @@ experiments:
 	cargo run --release -p dcc-experiments --bin all -- --scale paper
 
 # Sequential vs pooled solve timings plus a printed speedup report
-# (bit-identity is asserted separately by dcc-engine's property tests).
+# (bit-identity is asserted separately by dcc-engine's property tests)
+# and the observability overhead gate (noop recorder within 2% of the
+# uninstrumented solve).
 engine-bench:
 	cargo bench -p dcc-bench --bench engine
 
-ci: build test clippy
+# End-to-end observability check: run a small pipeline with the JSON
+# recorder, then validate the emitted document against the dcc-obs/1
+# schema (docs/observability.md) and render its per-stage latency table.
+metrics-check:
+	rm -rf target/metrics-check && mkdir -p target/metrics-check
+	cargo run --release -p dcc-cli --bin dcc -- gen --seed 42 --scale small --out target/metrics-check/trace
+	cargo run --release -p dcc-cli --bin dcc -- run target/metrics-check/trace --rounds 5 --metrics target/metrics-check/metrics.json
+	cargo run --release -p dcc-cli --bin dcc -- metrics summarize target/metrics-check/metrics.json
+
+# Paper-scale stress test (see tests/stress.rs); also run nightly by
+# .github/workflows/scheduled.yml.
+slow-tests:
+	DCC_SLOW_TESTS=1 cargo test --release --test stress
+
+ci: build test clippy metrics-check

@@ -9,11 +9,16 @@
 //! the honest answer is ~1.0×, which the report states rather than hides.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use dcc_core::{solve_subproblems_pooled, DesignConfig, FailurePolicy, ModelParams, Subproblem};
+use dcc_core::{
+    solve_subproblems_pooled, solve_subproblems_recorded, DesignConfig, FailurePolicy,
+    ModelParams, Subproblem,
+};
 use dcc_engine::{Engine, EngineConfig, RoundContext, StageKind};
 use dcc_numerics::Quadratic;
+use dcc_obs::{JsonRecorder, Metrics};
 use dcc_trace::{SyntheticConfig, TraceDataset};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Pool scales the ISSUE calls for: sequential, one-socket, oversubscribed.
@@ -143,7 +148,52 @@ fn bench_stage_cache(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(engine_benches, bench_pooled_solve, bench_stage_cache);
+fn bench_obs_overhead(c: &mut Criterion) {
+    let sps = synthetic_subproblems(256, 80);
+    let params = params();
+    let mut group = c.benchmark_group("engine_obs");
+    group.sample_size(10);
+    group.bench_function("solve_plain", |b| {
+        b.iter(|| {
+            solve_subproblems_pooled(black_box(&sps), &params, 4, FailurePolicy::Abort)
+                .expect("solve")
+        });
+    });
+    group.bench_function("solve_noop_recorder", |b| {
+        let metrics = Metrics::noop();
+        b.iter(|| {
+            solve_subproblems_recorded(
+                black_box(&sps),
+                &params,
+                4,
+                FailurePolicy::Abort,
+                &metrics,
+            )
+            .expect("solve")
+        });
+    });
+    group.bench_function("solve_json_recorder", |b| {
+        b.iter(|| {
+            let metrics = Metrics::new(Arc::new(JsonRecorder::new()));
+            solve_subproblems_recorded(
+                black_box(&sps),
+                &params,
+                4,
+                FailurePolicy::Abort,
+                &metrics,
+            )
+            .expect("solve")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    engine_benches,
+    bench_pooled_solve,
+    bench_stage_cache,
+    bench_obs_overhead
+);
 
 /// Times `f` over `reps` runs and returns the best (least noisy) run.
 fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -200,7 +250,52 @@ fn speedup_report() {
     }
 }
 
+/// The disabled-recorder overhead gate: `solve_subproblems_recorded`
+/// with a `NoopRecorder` must cost the same as the uninstrumented solve
+/// (it branches once on `Metrics::enabled` and delegates), so any
+/// regression beyond noise means instrumentation leaked into the hot
+/// path. Panics — and thereby fails `make engine-bench` — above 2%.
+fn obs_overhead_report() {
+    let sps = synthetic_subproblems(2048, 80);
+    let params = params();
+    println!("\n== observability overhead (2048 subproblems, m=80, pool=4) ==");
+
+    let plain = best_secs(5, || {
+        black_box(
+            solve_subproblems_pooled(&sps, &params, 4, FailurePolicy::Abort).expect("solve"),
+        );
+    });
+    let noop = Metrics::noop();
+    let with_noop = best_secs(5, || {
+        black_box(
+            solve_subproblems_recorded(&sps, &params, 4, FailurePolicy::Abort, &noop)
+                .expect("solve"),
+        );
+    });
+    let with_json = best_secs(5, || {
+        let metrics = Metrics::new(Arc::new(JsonRecorder::new()));
+        black_box(
+            solve_subproblems_recorded(&sps, &params, 4, FailurePolicy::Abort, &metrics)
+                .expect("solve"),
+        );
+    });
+
+    let overhead_pct = 100.0 * (with_noop / plain - 1.0);
+    println!("plain solve:          {plain:.3}s");
+    println!("noop recorder:        {with_noop:.3}s ({overhead_pct:+.2}% vs plain)");
+    println!(
+        "json recorder:        {with_json:.3}s ({:+.2}% vs plain)",
+        100.0 * (with_json / plain - 1.0)
+    );
+    assert!(
+        overhead_pct < 2.0,
+        "disabled recorder must stay within 2% of the plain solve, measured {overhead_pct:+.2}%"
+    );
+    println!("noop overhead within the 2% budget");
+}
+
 fn main() {
     engine_benches();
     speedup_report();
+    obs_overhead_report();
 }

@@ -10,11 +10,13 @@ use dcc_engine::{
     TraceSource,
 };
 use dcc_experiments::ExperimentScale;
-use dcc_faults::{FaultPlan, FaultPlanConfig};
+use dcc_faults::{FaultPlan, FaultPlanConfig, Json};
 use dcc_label::{LabelMarket, MarketConfig};
+use dcc_obs::{JsonRecorder, Metrics};
 use dcc_trace::{read_trace_csv, write_trace_csv, TraceDataset, TraceSummary, WorkerClass};
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Top-level result type for the CLI; `main` maps the error variant to
 /// an exit code and never panics on user input.
@@ -134,9 +136,34 @@ fn pool_size(args: &ParsedArgs) -> Result<PoolSize, CliError> {
     }
 }
 
+/// A pending `--metrics FILE` request: the recorder installed in the
+/// engine context plus the path the rendered JSON document goes to once
+/// the command's engine runs are over.
+struct MetricsSink {
+    recorder: Arc<JsonRecorder>,
+    path: PathBuf,
+}
+
+impl MetricsSink {
+    /// Renders the recorder and writes the metrics document, appending a
+    /// confirmation line to the command's report.
+    fn flush(&self, out: &mut String) -> Result<(), CliError> {
+        let json = self.recorder.to_json();
+        std::fs::write(&self.path, &json).map_err(|e| {
+            CliError::Failed(format!("cannot write metrics {}: {e}", self.path.display()))
+        })?;
+        if !out.is_empty() && !out.ends_with('\n') {
+            out.push('\n');
+        }
+        writeln!(out, "wrote metrics to {}", self.path.display()).ok();
+        Ok(())
+    }
+}
+
 /// Builds the staged-engine context shared by `run`, `design`,
-/// `simulate`, and `replay` from the command-line flags.
-fn engine_context(args: &ParsedArgs) -> Result<RoundContext, CliError> {
+/// `simulate`, and `replay` from the command-line flags, plus the
+/// metrics sink when `--metrics FILE` was given.
+fn engine_context(args: &ParsedArgs) -> Result<(RoundContext, Option<MetricsSink>), CliError> {
     let dir = args
         .positional
         .first()
@@ -177,11 +204,19 @@ fn engine_context(args: &ParsedArgs) -> Result<RoundContext, CliError> {
     };
     config.sim_options = SimOptions {
         fault_plan,
-        checkpoint: args.flags.get("checkpoint").map(std::path::PathBuf::from),
+        checkpoint: args.flags.get("checkpoint").map(PathBuf::from),
         kill_at,
         resume: args.bool_flag("resume"),
     };
-    Ok(RoundContext::new(config))
+    let sink = args.flags.get("metrics").map(|file| {
+        let recorder = Arc::new(JsonRecorder::new());
+        config.metrics = Metrics::new(recorder.clone());
+        MetricsSink {
+            recorder,
+            path: PathBuf::from(file),
+        }
+    });
+    Ok((RoundContext::new(config), sink))
 }
 
 /// Appends the degraded-subproblem report (if any) to a command's output.
@@ -205,7 +240,7 @@ fn report_degradation(out: &mut String, degradation: &dcc_core::DegradationRepor
 /// `dcc design TRACE_DIR [--mu F] [--omega F] [--intervals N] [--serial]
 ///  [--budget F]`
 pub fn cmd_design(args: &ParsedArgs) -> CliResult {
-    let mut ctx = engine_context(args)?;
+    let (mut ctx, sink) = engine_context(args)?;
     Engine::new().run_to(&mut ctx, StageKind::ConstructContracts)?;
     let trace = ctx.trace()?;
     let design = ctx.design()?;
@@ -279,6 +314,9 @@ pub fn cmd_design(args: &ParsedArgs) -> CliResult {
         )
         .ok();
     }
+    if let Some(sink) = &sink {
+        sink.flush(&mut out)?;
+    }
     Ok(out)
 }
 
@@ -294,19 +332,19 @@ pub fn cmd_design(args: &ParsedArgs) -> CliResult {
 /// round)`, a killed-and-resumed run reproduces the uninterrupted
 /// outcome bit-exactly.
 pub fn cmd_simulate(args: &ParsedArgs) -> CliResult {
-    let mut ctx = engine_context(args)?;
+    let (mut ctx, sink) = engine_context(args)?;
     Engine::new().run(&mut ctx)?;
-    match ctx.sim_outcome()? {
+    let mut out = match ctx.sim_outcome()? {
         EngineSimOutcome::Killed {
             at_round,
             total_rounds,
             checkpoint,
-        } => Ok(format!(
+        } => format!(
             "killed at round {} of {}; checkpoint saved to {} (continue with --resume)",
             at_round,
             total_rounds,
             checkpoint.display()
-        )),
+        ),
         EngineSimOutcome::Completed {
             outcome,
             faults_scheduled,
@@ -332,16 +370,20 @@ pub fn cmd_simulate(args: &ParsedArgs) -> CliResult {
                 out.push('\n');
                 out.push_str(degraded.trim_end());
             }
-            Ok(out)
+            out
         }
+    };
+    if let Some(sink) = &sink {
+        sink.flush(&mut out)?;
     }
+    Ok(out)
 }
 
 /// `dcc run TRACE_DIR [design flags] [simulate flags] [--pool N]` — the
 /// full staged pipeline end to end (ingest, detect, fit, solve,
 /// construct, simulate) with a per-stage timing report.
 pub fn cmd_run(args: &ParsedArgs) -> CliResult {
-    let mut ctx = engine_context(args)?;
+    let (mut ctx, sink) = engine_context(args)?;
     let report = Engine::new().run(&mut ctx)?;
     let mut out = String::from("pipeline stages:\n");
     write!(out, "{report}").ok();
@@ -391,6 +433,9 @@ pub fn cmd_run(args: &ParsedArgs) -> CliResult {
                 .ok();
             }
         }
+    }
+    if let Some(sink) = &sink {
+        sink.flush(&mut out)?;
     }
     Ok(out)
 }
@@ -446,6 +491,175 @@ pub fn cmd_faults(args: &ParsedArgs) -> CliResult {
         }
         _ => Err(CliError::Usage(
             "usage: dcc faults gen [FLAGS] | dcc faults show PLAN_FILE".into(),
+        )),
+    }
+}
+
+/// Validates a parsed metrics document against the `dcc-obs/1` schema
+/// (see `docs/observability.md`): schema tag, spans with
+/// `id`/`parent`/`name`/`attrs`/`elapsed_us`, events with
+/// `name`/`attrs`, numeric counters, gauges, and histograms carrying
+/// `count`/`sum`/`min`/`max`.
+fn validate_metrics_doc(doc: &Json) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"schema\"")?;
+    if schema != dcc_obs::SCHEMA_VERSION {
+        return Err(format!(
+            "schema {schema:?} is not {:?}",
+            dcc_obs::SCHEMA_VERSION
+        ));
+    }
+    let spans = doc
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or("missing array \"spans\"")?;
+    for (i, span) in spans.iter().enumerate() {
+        span.get("id")
+            .and_then(Json::as_idx)
+            .ok_or(format!("spans[{i}]: missing numeric \"id\""))?;
+        match span.get("parent") {
+            Some(Json::Null) => {}
+            Some(p) if p.as_idx().is_some() => {}
+            _ => return Err(format!("spans[{i}]: \"parent\" must be null or a span id")),
+        }
+        span.get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("spans[{i}]: missing string \"name\""))?;
+        if !matches!(span.get("attrs"), Some(Json::Obj(_))) {
+            return Err(format!("spans[{i}]: missing object \"attrs\""));
+        }
+        match span.get("elapsed_us") {
+            Some(Json::Null) | Some(Json::Num(_)) => {}
+            _ => return Err(format!("spans[{i}]: \"elapsed_us\" must be null or a number")),
+        }
+    }
+    let events = doc
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("missing array \"events\"")?;
+    for (i, event) in events.iter().enumerate() {
+        event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("events[{i}]: missing string \"name\""))?;
+        if !matches!(event.get("attrs"), Some(Json::Obj(_))) {
+            return Err(format!("events[{i}]: missing object \"attrs\""));
+        }
+    }
+    let Some(Json::Obj(counters)) = doc.get("counters") else {
+        return Err("missing object \"counters\"".into());
+    };
+    for (name, value) in counters {
+        if value.as_idx().is_none() {
+            return Err(format!("counter {name:?} is not a non-negative integer"));
+        }
+    }
+    let Some(Json::Obj(gauges)) = doc.get("gauges") else {
+        return Err("missing object \"gauges\"".into());
+    };
+    for (name, value) in gauges {
+        if value.as_f64().is_none() {
+            return Err(format!("gauge {name:?} is not a number"));
+        }
+    }
+    let Some(Json::Obj(histograms)) = doc.get("histograms") else {
+        return Err("missing object \"histograms\"".into());
+    };
+    for (name, hist) in histograms {
+        for field in ["count", "sum", "min", "max"] {
+            if hist.get(field).and_then(Json::as_f64).is_none() {
+                return Err(format!("histogram {name:?}: missing numeric {field:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders the per-stage latency table plus solve/counter summaries from
+/// a validated metrics document.
+fn render_metrics_summary(doc: &Json) -> String {
+    let spans = doc.get("spans").and_then(Json::as_arr).unwrap_or(&[]);
+    let events = doc.get("events").and_then(Json::as_arr).unwrap_or(&[]);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "metrics document ({}): {} spans, {} events",
+        dcc_obs::SCHEMA_VERSION,
+        spans.len(),
+        events.len()
+    )
+    .ok();
+    writeln!(out, "\nper-stage latency:").ok();
+    writeln!(
+        out,
+        "  {:<22} {:>12} {:>8}  cause",
+        "stage", "elapsed_us", "cached"
+    )
+    .ok();
+    for span in spans {
+        if span.get("name").and_then(Json::as_str) != Some(dcc_obs::names::SPAN_STAGE) {
+            continue;
+        }
+        let attrs = span.get("attrs");
+        let get = |key: &str| attrs.and_then(|a| a.get(key));
+        writeln!(
+            out,
+            "  {:<22} {:>12} {:>8}  {}",
+            get("stage").and_then(Json::as_str).unwrap_or("?"),
+            span.get("elapsed_us")
+                .and_then(Json::as_f64)
+                .map_or_else(|| "open".to_string(), |us| format!("{us:.0}")),
+            get("cached").and_then(Json::as_bool).unwrap_or(false),
+            get("cause").and_then(Json::as_str).unwrap_or("-"),
+        )
+        .ok();
+    }
+    if let Some(hist) = doc
+        .get("histograms")
+        .and_then(|h| h.get(dcc_obs::names::HIST_SUBPROBLEM_US))
+    {
+        let field = |name| hist.get(name).and_then(Json::as_f64).unwrap_or(0.0);
+        writeln!(
+            out,
+            "\nsubproblem solves: {} in {:.0} us total (min {:.0}, max {:.0})",
+            field("count"),
+            field("sum"),
+            field("min"),
+            field("max")
+        )
+        .ok();
+    }
+    if let Some(Json::Obj(counters)) = doc.get("counters") {
+        if !counters.is_empty() {
+            writeln!(out, "\ncounters:").ok();
+            for (name, value) in counters {
+                writeln!(out, "  {:<32} {}", name, value.as_idx().unwrap_or(0)).ok();
+            }
+        }
+    }
+    out
+}
+
+/// `dcc metrics summarize FILE` — validate a `--metrics` document
+/// against the dcc-obs/1 schema and render its per-stage latency table.
+pub fn cmd_metrics(args: &ParsedArgs) -> CliResult {
+    match args.positional.first().map(String::as_str) {
+        Some("summarize") => {
+            let file = args.positional.get(1).ok_or_else(|| {
+                CliError::Usage("usage: dcc metrics summarize METRICS_FILE".into())
+            })?;
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| CliError::Failed(format!("cannot read metrics {file}: {e}")))?;
+            let doc = Json::parse(&text)
+                .map_err(|e| CliError::Failed(format!("{file}: invalid JSON: {e}")))?;
+            validate_metrics_doc(&doc)
+                .map_err(|e| CliError::Failed(format!("{file}: schema violation: {e}")))?;
+            Ok(render_metrics_summary(&doc))
+        }
+        _ => Err(CliError::Usage(
+            "usage: dcc metrics summarize METRICS_FILE".into(),
         )),
     }
 }
@@ -556,7 +770,7 @@ pub fn cmd_experiment(args: &ParsedArgs) -> CliResult {
 /// contracts, then replay the recorded per-round feedback through them
 /// (Eq. 1 accounting) instead of simulating best responses.
 pub fn cmd_replay(args: &ParsedArgs) -> CliResult {
-    let mut ctx = engine_context(args)?;
+    let (mut ctx, sink) = engine_context(args)?;
     Engine::new().run_to(&mut ctx, StageKind::ConstructContracts)?;
     let outcome = dcc_core::replay_trace(
         ctx.trace()?,
@@ -580,6 +794,9 @@ pub fn cmd_replay(args: &ParsedArgs) -> CliResult {
             r.round, r.benefit, r.payment, r.requester_utility
         )
         .ok();
+    }
+    if let Some(sink) = &sink {
+        sink.flush(&mut out)?;
     }
     Ok(out)
 }
@@ -749,12 +966,14 @@ COMMANDS:
              [--fault-plan FILE] [--checkpoint FILE [--kill-at N | --resume]]
              [--policy abort|fallback|skip [--fallback-amount F]]
                                                        run the repeated game
-  run        TRACE_DIR [design + simulate flags] [--pool N]
+  run        TRACE_DIR [design + simulate flags] [--pool N] [--metrics FILE]
                                                        full staged pipeline with
                                                        per-stage timings
   faults     gen [--agents N --rounds N --seed N --dropout F --missing F
              --corrupt F --nan F --delay F --out FILE] | show FILE
                                                        deterministic fault plans
+  metrics    summarize FILE                            validate + summarize a
+                                                       --metrics JSON document
   replay     TRACE_DIR [--mu F]                        trace-driven evaluation
   check      [--r2 F --r1 F --r0 F --mu F --omega F --weight F --intervals N]
                                                        verify the theory at runtime
@@ -777,6 +996,7 @@ pub fn dispatch(args: &ParsedArgs) -> CliResult {
         Some("simulate") => cmd_simulate(args),
         Some("run") => cmd_run(args),
         Some("faults") => cmd_faults(args),
+        Some("metrics") => cmd_metrics(args),
         Some("replay") => cmd_replay(args),
         Some("check") => cmd_check(args),
         Some("experiment") => cmd_experiment(args),
@@ -857,6 +1077,78 @@ mod tests {
         let pooled = dispatch(&parse(&format!("design {dir} --pool 7"))).unwrap();
         let serial = dispatch(&parse(&format!("design {dir} --serial"))).unwrap();
         assert_eq!(pooled, serial);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_with_metrics_writes_a_valid_document_and_summarize_renders_it() {
+        let dir = temp_dir("metrics");
+        dispatch(&parse(&format!("gen --seed 8 --scale small --out {dir}"))).unwrap();
+        let file = format!("{dir}/metrics.json");
+
+        let out =
+            dispatch(&parse(&format!("run {dir} --rounds 4 --pool 2 --metrics {file}"))).unwrap();
+        assert!(out.contains("wrote metrics to"), "{out}");
+        let text = std::fs::read_to_string(&file).unwrap();
+        assert!(text.contains("\"schema\":\"dcc-obs/1\""));
+
+        let summary = dispatch(&parse(&format!("metrics summarize {file}"))).unwrap();
+        for stage in [
+            "ingest",
+            "detect",
+            "fit-effort",
+            "solve-subproblems",
+            "construct-contracts",
+            "simulate",
+        ] {
+            assert!(summary.contains(stage), "missing stage {stage} in:\n{summary}");
+        }
+        assert!(summary.contains("per-stage latency"));
+        assert!(summary.contains("subproblem solves"));
+        assert!(summary.contains("sim.rounds"));
+
+        // The other engine commands accept --metrics too.
+        let design =
+            dispatch(&parse(&format!("design {dir} --metrics {file}"))).unwrap();
+        assert!(design.contains("wrote metrics to"));
+        let summary = dispatch(&parse(&format!("metrics summarize {file}"))).unwrap();
+        assert!(summary.contains("construct-contracts"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_summarize_rejects_missing_files_bad_json_and_schema_violations() {
+        assert!(dispatch(&parse("metrics summarize /nonexistent/metrics.json")).is_err());
+        assert!(dispatch(&parse("metrics bogus")).is_err());
+        assert_eq!(dispatch(&parse("metrics")).unwrap_err().exit_code(), 2);
+
+        let dir = temp_dir("badmetrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = format!("{dir}/m.json");
+
+        std::fs::write(&file, "{not json").unwrap();
+        let err = dispatch(&parse(&format!("metrics summarize {file}"))).unwrap_err();
+        assert!(err.to_string().contains("invalid JSON"), "{err}");
+
+        std::fs::write(
+            &file,
+            "{\"schema\":\"dcc-obs/0\",\"spans\":[],\"events\":[],\
+             \"counters\":{},\"gauges\":{},\"histograms\":{}}",
+        )
+        .unwrap();
+        let err = dispatch(&parse(&format!("metrics summarize {file}"))).unwrap_err();
+        assert!(err.to_string().contains("schema violation"), "{err}");
+
+        std::fs::write(
+            &file,
+            "{\"schema\":\"dcc-obs/1\",\"spans\":[{\"id\":1}],\"events\":[],\
+             \"counters\":{},\"gauges\":{},\"histograms\":{}}",
+        )
+        .unwrap();
+        let err = dispatch(&parse(&format!("metrics summarize {file}"))).unwrap_err();
+        assert!(err.to_string().contains("parent"), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -3,6 +3,8 @@ use crate::{
     ModelParams,
 };
 use dcc_numerics::Quadratic;
+use dcc_obs::{names, Metrics};
+use std::time::Instant;
 
 /// What to do when a single subproblem's contract construction fails
 /// (corrupted weight, degenerate ψ fit, numeric breakdown).
@@ -212,44 +214,125 @@ pub fn solve_subproblems_pooled(
     pool: usize,
     policy: FailurePolicy,
 ) -> Result<(BipSolution, DegradationReport), CoreError> {
-    let solve_one = |sp: &Subproblem| -> Result<SubproblemSolution, CoreError> {
-        let built = ContractBuilder::new(*params, sp.disc, sp.psi)
-            .malicious(sp.omega)
-            .weight(sp.weight)
-            .build()
-            .map_err(|e| {
-                CoreError::InvalidInput(format!("subproblem {} failed: {e}", sp.id))
-            })?;
-        Ok(SubproblemSolution {
-            id: sp.id,
-            members: sp.members.clone(),
-            built,
-        })
-    };
+    let workers = clamp_pool(pool, subproblems.len());
+    let results = fan_out(subproblems, workers, |sp| solve_one(sp, params));
+    assemble_solutions(subproblems, results, params, policy)
+}
 
-    // Solve everything without short-circuiting so non-Abort policies see
-    // every failure and Abort still reports the first one in input order.
-    let workers = pool.max(1).min(subproblems.len().max(1));
-    let results: Vec<Result<SubproblemSolution, CoreError>> =
-        if workers > 1 && subproblems.len() > 1 {
-            let chunk_size = subproblems.len().div_ceil(workers);
-            let solve_ref = &solve_one;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = subproblems
-                    .chunks(chunk_size)
-                    .map(|chunk| {
-                        scope.spawn(move || chunk.iter().map(solve_ref).collect::<Vec<_>>())
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("solver thread must not panic"))
-                    .collect()
-            })
-        } else {
-            subproblems.iter().map(solve_one).collect()
+/// [`solve_subproblems_pooled`] with per-subproblem observability: solve
+/// wall-clock time, candidate-evaluation counts, and degradation events
+/// flow into `metrics` (see `dcc_obs::names`).
+///
+/// Determinism is preserved under threading by construction — worker
+/// threads only *measure*; all recording happens post-merge on the
+/// calling thread, in input order, so the metric stream is identical for
+/// every pool size. When `metrics` is disabled this delegates to the
+/// uninstrumented path (no clock reads, no attribute construction), so
+/// the hot path stays zero-cost with a `NoopRecorder`.
+///
+/// # Errors
+///
+/// Same as [`solve_subproblems_pooled`]. Under [`FailurePolicy::Abort`]
+/// a failing solve records nothing.
+pub fn solve_subproblems_recorded(
+    subproblems: &[Subproblem],
+    params: &ModelParams,
+    pool: usize,
+    policy: FailurePolicy,
+    metrics: &Metrics,
+) -> Result<(BipSolution, DegradationReport), CoreError> {
+    if !metrics.enabled() {
+        return solve_subproblems_pooled(subproblems, params, pool, policy);
+    }
+    let workers = clamp_pool(pool, subproblems.len());
+    let timed = fan_out(subproblems, workers, |sp| {
+        let start = Instant::now();
+        let result = solve_one(sp, params);
+        (result, start.elapsed())
+    });
+    let (results, times): (Vec<_>, Vec<_>) = timed.into_iter().unzip();
+    let (solution, report) = assemble_solutions(subproblems, results, params, policy)?;
+
+    metrics.gauge(names::GAUGE_SOLVE_POOL, workers as f64);
+    metrics.add(names::COUNTER_SOLVE_SUBPROBLEMS, subproblems.len() as u64);
+    for ((sp, sol), elapsed) in subproblems.iter().zip(&solution.solutions).zip(&times) {
+        let degraded = report.for_subproblem(sp.id).is_some();
+        metrics.span_at(
+            names::SPAN_SUBPROBLEM,
+            &[
+                ("id", sp.id.into()),
+                ("iterations", sol.built.diagnostics().len().into()),
+                ("degraded", degraded.into()),
+            ],
+            *elapsed,
+        );
+        metrics.observe(names::HIST_SUBPROBLEM_US, elapsed.as_secs_f64() * 1e6);
+    }
+    for d in &report.degraded {
+        metrics.add(names::COUNTER_SOLVE_DEGRADED, 1);
+        let by_action = match d.action {
+            DegradationAction::Fallback { .. } => names::COUNTER_SOLVE_DEGRADED_FALLBACK,
+            DegradationAction::Skipped => names::COUNTER_SOLVE_DEGRADED_SKIPPED,
         };
+        metrics.add(by_action, 1);
+    }
+    Ok((solution, report))
+}
 
+/// Solves one subproblem via the §IV-C candidate algorithm.
+fn solve_one(sp: &Subproblem, params: &ModelParams) -> Result<SubproblemSolution, CoreError> {
+    let built = ContractBuilder::new(*params, sp.disc, sp.psi)
+        .malicious(sp.omega)
+        .weight(sp.weight)
+        .build()
+        .map_err(|e| CoreError::InvalidInput(format!("subproblem {} failed: {e}", sp.id)))?;
+    Ok(SubproblemSolution {
+        id: sp.id,
+        members: sp.members.clone(),
+        built,
+    })
+}
+
+/// `pool` clamped to `[1, n]` (with `n = 0` treated as 1).
+fn clamp_pool(pool: usize, n: usize) -> usize {
+    pool.max(1).min(n.max(1))
+}
+
+/// The deterministic chunked fan-out shared by the plain and recorded
+/// solves: `workers` scoped threads each take one contiguous chunk and
+/// the per-chunk outputs are concatenated back in input order.
+fn fan_out<T, F>(subproblems: &[Subproblem], workers: usize, per_item: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Subproblem) -> T + Sync,
+{
+    if workers > 1 && subproblems.len() > 1 {
+        let chunk_size = subproblems.len().div_ceil(workers);
+        let per_ref = &per_item;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = subproblems
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(per_ref).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("solver thread must not panic"))
+                .collect()
+        })
+    } else {
+        subproblems.iter().map(per_item).collect()
+    }
+}
+
+/// Applies the failure policy to the per-subproblem results (in input
+/// order, so Abort reports the first failure) and sums the requester's
+/// objective.
+fn assemble_solutions(
+    subproblems: &[Subproblem],
+    results: Vec<Result<SubproblemSolution, CoreError>>,
+    params: &ModelParams,
+    policy: FailurePolicy,
+) -> Result<(BipSolution, DegradationReport), CoreError> {
     let mut solutions = Vec::with_capacity(subproblems.len());
     let mut report = DegradationReport::default();
     for (sp, result) in subproblems.iter().zip(results) {
@@ -618,5 +701,77 @@ mod tests {
         )
         .unwrap();
         assert!(report2.degraded[0].utility_delta.is_none(), "NaN weight");
+    }
+
+    #[test]
+    fn recorded_solve_is_bit_identical_to_plain() {
+        use dcc_obs::JsonRecorder;
+        use std::sync::Arc;
+        let sps = corrupted(19, 4);
+        let p = params();
+        let policy = FailurePolicy::FallbackBaseline { amount: 0.4 };
+        let (plain, plain_report) = solve_subproblems_pooled(&sps, &p, 3, policy).unwrap();
+        for metrics in [
+            Metrics::noop(),
+            Metrics::new(Arc::new(JsonRecorder::new())),
+        ] {
+            let (recorded, report) =
+                solve_subproblems_recorded(&sps, &p, 3, policy, &metrics).unwrap();
+            assert_eq!(recorded, plain);
+            assert_eq!(report, plain_report);
+            assert_eq!(
+                recorded.total_requester_utility.to_bits(),
+                plain.total_requester_utility.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn recorded_solve_emits_per_subproblem_spans_and_degradation_counters() {
+        use dcc_obs::{names, JsonRecorder};
+        use std::sync::Arc;
+        let sps = corrupted(9, 2);
+        let recorder = Arc::new(JsonRecorder::new());
+        let metrics = Metrics::new(recorder.clone());
+        let (_, report) = solve_subproblems_recorded(
+            &sps,
+            &params(),
+            4,
+            FailurePolicy::FallbackBaseline { amount: 0.5 },
+            &metrics,
+        )
+        .unwrap();
+        assert_eq!(recorder.span_count(names::SPAN_SUBPROBLEM), 9);
+        assert_eq!(recorder.counter(names::COUNTER_SOLVE_SUBPROBLEMS), 9);
+        assert_eq!(
+            recorder.counter(names::COUNTER_SOLVE_DEGRADED),
+            report.len() as u64
+        );
+        assert_eq!(recorder.counter(names::COUNTER_SOLVE_DEGRADED_FALLBACK), 1);
+        assert_eq!(recorder.counter(names::COUNTER_SOLVE_DEGRADED_SKIPPED), 0);
+        let json = recorder.to_json();
+        assert!(json.contains("\"degraded\":true"), "victim span flagged");
+        assert!(json.contains("\"iterations\":"), "candidate counts attached");
+    }
+
+    #[test]
+    fn recorded_solve_metric_stream_is_pool_invariant() {
+        use dcc_obs::JsonRecorder;
+        use std::sync::Arc;
+        let sps = sample_subproblems(17);
+        let p = params();
+        let render = |pool: usize| {
+            let recorder = Arc::new(JsonRecorder::new());
+            let metrics = Metrics::new(recorder.clone());
+            solve_subproblems_recorded(&sps, &p, pool, FailurePolicy::Abort, &metrics).unwrap();
+            // The pool gauge legitimately differs; compare everything else.
+            recorder
+                .to_json_redacted()
+                .replace(&format!("\"solve.pool\":{pool}"), "\"solve.pool\":_")
+        };
+        let reference = render(1);
+        for pool in [2, 5, 16] {
+            assert_eq!(render(pool), reference, "pool {pool} metric stream diverged");
+        }
     }
 }

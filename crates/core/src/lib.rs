@@ -78,9 +78,9 @@ pub use budget::{select_within_budget, BudgetedSelection};
 pub use baseline::{BaselineStrategy, StrategyKind};
 pub use behavior::ConductModel;
 pub use bip::{
-    solve_subproblems, solve_subproblems_pooled, solve_subproblems_with, BipSolution,
-    DegradationAction, DegradationReport, DegradedSubproblem, FailurePolicy, Subproblem,
-    SubproblemSolution,
+    solve_subproblems, solve_subproblems_pooled, solve_subproblems_recorded,
+    solve_subproblems_with, BipSolution, DegradationAction, DegradationReport,
+    DegradedSubproblem, FailurePolicy, Subproblem, SubproblemSolution,
 };
 pub use builder::{BuiltContract, CandidateDiagnostics, ContractBuilder};
 pub use candidate::{build_candidate, build_candidate_with_margin, Candidate};

@@ -6,6 +6,7 @@ use dcc_core::{
 };
 use dcc_detect::{DetectionResult, PipelineConfig};
 use dcc_faults::FaultPlan;
+use dcc_obs::Metrics;
 use dcc_trace::{SyntheticConfig, TraceDataset};
 use std::path::PathBuf;
 
@@ -84,6 +85,10 @@ pub struct EngineConfig {
     pub sim: SimulationConfig,
     /// Fault plan and checkpoint/kill/resume options.
     pub sim_options: SimOptions,
+    /// Observability sink. Defaults to the inert noop recorder, so the
+    /// hot path costs nothing unless a real recorder is installed (e.g.
+    /// `Metrics::new(Arc::new(JsonRecorder::new()))` for `--metrics`).
+    pub metrics: Metrics,
 }
 
 impl EngineConfig {
@@ -103,6 +108,7 @@ impl EngineConfig {
             strategy: StrategyKind::DynamicContract,
             sim: SimulationConfig::default(),
             sim_options: SimOptions::default(),
+            metrics: Metrics::noop(),
         }
     }
 }
@@ -149,6 +155,11 @@ pub struct RoundContext {
     solved: Option<(BipSolution, DegradationReport)>,
     design: Option<ContractDesign>,
     sim_outcome: Option<EngineSimOutcome>,
+    /// Why each stage's cache slot was last invalidated (the mutator
+    /// name). `None` for a slot that has never held data ("initial") or
+    /// whose output is currently cached. Surfaced as the `cause`
+    /// attribute on stage spans.
+    causes: [Option<&'static str>; 6],
 }
 
 /// The inputs of the fit stage that, when changed, force a refit.
@@ -172,6 +183,7 @@ impl RoundContext {
             solved: None,
             design: None,
             sim_outcome: None,
+            causes: [None; 6],
         }
     }
 
@@ -194,9 +206,20 @@ impl RoundContext {
 
     /// Discards the cached outputs of `kind` and every later stage.
     pub fn invalidate_from(&mut self, kind: StageKind) {
+        self.invalidate_from_cause(kind, "invalidate_from");
+    }
+
+    /// Why `kind`'s cache slot was last invalidated (the responsible
+    /// mutator's name), or `None` when the slot has never held data or
+    /// currently holds its output.
+    pub fn invalidation_cause(&self, kind: StageKind) -> Option<&'static str> {
+        self.causes[kind.index()]
+    }
+
+    fn invalidate_from_cause(&mut self, kind: StageKind, cause: &'static str) {
         for k in StageKind::ALL {
             if k.index() >= kind.index() {
-                self.clear(k);
+                self.clear_with(k, cause);
             }
         }
     }
@@ -212,10 +235,21 @@ impl RoundContext {
         }
     }
 
+    /// Clears `kind`'s slot, attributing the invalidation to `cause` —
+    /// but only when the slot actually held data, so a still-pending
+    /// cause (e.g. `set_mu` on a stage that has not re-run yet) is not
+    /// overwritten by a later no-op invalidation.
+    fn clear_with(&mut self, kind: StageKind, cause: &'static str) {
+        if self.has(kind) {
+            self.causes[kind.index()] = Some(cause);
+            self.clear(kind);
+        }
+    }
+
     fn invalidate_after(&mut self, kind: StageKind) {
         for k in StageKind::ALL {
             if k.index() > kind.index() {
-                self.clear(k);
+                self.clear_with(k, "upstream_output");
             }
         }
     }
@@ -291,36 +325,42 @@ impl RoundContext {
     /// Publishes the ingest output, invalidating later stages.
     pub fn set_trace(&mut self, trace: TraceDataset) {
         self.trace = Some(trace);
+        self.causes[StageKind::Ingest.index()] = None;
         self.invalidate_after(StageKind::Ingest);
     }
 
     /// Publishes the detect output, invalidating later stages.
     pub fn set_detection(&mut self, detection: DetectionResult) {
         self.detection = Some(detection);
+        self.causes[StageKind::Detect.index()] = None;
         self.invalidate_after(StageKind::Detect);
     }
 
     /// Publishes the fit output, invalidating later stages.
     pub fn set_prep(&mut self, prep: DesignPrep) {
         self.prep = Some(prep);
+        self.causes[StageKind::FitEffort.index()] = None;
         self.invalidate_after(StageKind::FitEffort);
     }
 
     /// Publishes the solve output, invalidating later stages.
     pub fn set_solution(&mut self, solution: BipSolution, degradation: DegradationReport) {
         self.solved = Some((solution, degradation));
+        self.causes[StageKind::SolveSubproblems.index()] = None;
         self.invalidate_after(StageKind::SolveSubproblems);
     }
 
     /// Publishes the construct output, invalidating the simulate stage.
     pub fn set_design(&mut self, design: ContractDesign) {
         self.design = Some(design);
+        self.causes[StageKind::ConstructContracts.index()] = None;
         self.invalidate_after(StageKind::ConstructContracts);
     }
 
     /// Publishes the simulate output.
     pub fn set_outcome(&mut self, outcome: EngineSimOutcome) {
         self.sim_outcome = Some(outcome);
+        self.causes[StageKind::Simulate.index()] = None;
     }
 
     // --- Config mutators with precise invalidation ---------------------
@@ -328,7 +368,7 @@ impl RoundContext {
     /// Replaces the trace source and invalidates everything.
     pub fn set_source(&mut self, source: TraceSource) {
         self.config.source = source;
-        self.invalidate_from(StageKind::Ingest);
+        self.invalidate_from_cause(StageKind::Ingest, "set_source");
     }
 
     /// Replaces the detection configuration and invalidates from the
@@ -336,7 +376,7 @@ impl RoundContext {
     pub fn set_pipeline_config(&mut self, pipeline: PipelineConfig) {
         if self.config.pipeline != pipeline {
             self.config.pipeline = pipeline;
-            self.invalidate_from(StageKind::Detect);
+            self.invalidate_from_cause(StageKind::Detect, "set_pipeline_config");
         }
     }
 
@@ -348,12 +388,16 @@ impl RoundContext {
     /// any other change (μ, β, failure policy, …) re-solves from
     /// [`StageKind::SolveSubproblems`] and reuses the fits.
     pub fn set_design_config(&mut self, design: DesignConfig) {
+        self.set_design_config_cause(design, "set_design_config");
+    }
+
+    fn set_design_config_cause(&mut self, design: DesignConfig, cause: &'static str) {
         if fit_key(&self.config.design) != fit_key(&design) {
             self.config.design = design;
-            self.invalidate_from(StageKind::FitEffort);
+            self.invalidate_from_cause(StageKind::FitEffort, cause);
         } else if self.config.design != design {
             self.config.design = design;
-            self.invalidate_from(StageKind::SolveSubproblems);
+            self.invalidate_from_cause(StageKind::SolveSubproblems, cause);
         }
     }
 
@@ -363,7 +407,7 @@ impl RoundContext {
     pub fn set_mu(&mut self, mu: f64) {
         let mut design = self.config.design;
         design.params.mu = mu;
-        self.set_design_config(design);
+        self.set_design_config_cause(design, "set_mu");
     }
 
     /// Changes the worker-pool size. Never invalidates: the solve is
@@ -377,7 +421,7 @@ impl RoundContext {
     pub fn set_strategy(&mut self, strategy: StrategyKind) {
         if self.config.strategy != strategy {
             self.config.strategy = strategy;
-            self.invalidate_from(StageKind::Simulate);
+            self.invalidate_from_cause(StageKind::Simulate, "set_strategy");
         }
     }
 
@@ -386,7 +430,7 @@ impl RoundContext {
     pub fn set_sim_config(&mut self, sim: SimulationConfig) {
         if self.config.sim != sim {
             self.config.sim = sim;
-            self.invalidate_from(StageKind::Simulate);
+            self.invalidate_from_cause(StageKind::Simulate, "set_sim_config");
         }
     }
 
@@ -394,6 +438,12 @@ impl RoundContext {
     /// stage.
     pub fn set_sim_options(&mut self, options: SimOptions) {
         self.config.sim_options = options;
-        self.invalidate_from(StageKind::Simulate);
+        self.invalidate_from_cause(StageKind::Simulate, "set_sim_options");
+    }
+
+    /// Installs an observability sink. Never invalidates: recording is
+    /// output-neutral (the metric stream is a pure side channel).
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.config.metrics = metrics;
     }
 }

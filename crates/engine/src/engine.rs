@@ -5,6 +5,7 @@ use crate::stages::{
     DefaultConstruct, DefaultDetect, DefaultFitEffort, DefaultIngest, DefaultSimulate,
     DefaultSolve,
 };
+use dcc_obs::{names as obs_names, AttrValue};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -133,6 +134,15 @@ impl Engine {
         ctx: &mut RoundContext,
         last: StageKind,
     ) -> Result<EngineReport, EngineError> {
+        let metrics = ctx.config().metrics.clone();
+        let run_span = if metrics.enabled() {
+            Some(metrics.span(
+                obs_names::SPAN_ENGINE_RUN,
+                &[("last", AttrValue::from(last.name()))],
+            ))
+        } else {
+            None
+        };
         let mut report = EngineReport::default();
         for stage in &self.stages {
             let kind = stage.kind();
@@ -140,10 +150,29 @@ impl Engine {
                 break;
             }
             let cached = ctx.has(kind);
+            let span = if metrics.enabled() {
+                let cause = if cached {
+                    "cached"
+                } else {
+                    ctx.invalidation_cause(kind).unwrap_or("initial")
+                };
+                Some(metrics.span(
+                    obs_names::SPAN_STAGE,
+                    &[
+                        ("stage", AttrValue::from(kind.name())),
+                        ("name", AttrValue::from(stage.name())),
+                        ("cached", AttrValue::from(cached)),
+                        ("cause", AttrValue::from(cause)),
+                    ],
+                ))
+            } else {
+                None
+            };
             let start = Instant::now();
             if !cached {
                 stage.run(ctx)?;
             }
+            drop(span);
             report.stages.push(StageRun {
                 kind,
                 name: stage.name(),
@@ -151,6 +180,7 @@ impl Engine {
                 elapsed: start.elapsed(),
             });
         }
+        drop(run_span);
         Ok(report)
     }
 }

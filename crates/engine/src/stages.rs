@@ -5,10 +5,11 @@ use crate::context::{EngineSimOutcome, RoundContext, TraceSource};
 use crate::error::EngineError;
 use crate::stage::{Stage, StageKind};
 use dcc_core::{
-    assemble_design, prepare_design, solve_subproblems_pooled, BaselineStrategy, Simulation,
+    assemble_design, prepare_design, solve_subproblems_recorded, BaselineStrategy, Simulation,
 };
 use dcc_detect::run_pipeline;
 use dcc_faults::{load_sim_state, save_sim_state, FaultInjector};
+use dcc_obs::{names as obs, AttrValue};
 use dcc_trace::read_trace_csv;
 use std::collections::HashSet;
 use std::path::Path;
@@ -30,6 +31,11 @@ impl Stage for DefaultIngest {
             })?,
             TraceSource::Synthetic(config) => config.generate(),
         };
+        let metrics = &ctx.config().metrics;
+        if metrics.enabled() {
+            metrics.add(obs::COUNTER_TRACE_REVIEWS, trace.reviews().len() as u64);
+            metrics.add(obs::COUNTER_TRACE_REVIEWERS, trace.reviewers().len() as u64);
+        }
         ctx.set_trace(trace);
         Ok(())
     }
@@ -46,6 +52,14 @@ impl Stage for DefaultDetect {
 
     fn run(&self, ctx: &mut RoundContext) -> Result<(), EngineError> {
         let detection = run_pipeline(ctx.trace()?, ctx.config().pipeline);
+        let metrics = &ctx.config().metrics;
+        if metrics.enabled() {
+            metrics.add(obs::COUNTER_DETECT_SUSPECTED, detection.suspected.len() as u64);
+            metrics.add(
+                obs::COUNTER_DETECT_COMMUNITIES,
+                detection.collusion.communities.len() as u64,
+            );
+        }
         ctx.set_detection(detection);
         Ok(())
     }
@@ -62,6 +76,10 @@ impl Stage for DefaultFitEffort {
 
     fn run(&self, ctx: &mut RoundContext) -> Result<(), EngineError> {
         let prep = prepare_design(ctx.trace()?, ctx.detection()?, &ctx.config().design)?;
+        let metrics = &ctx.config().metrics;
+        if metrics.enabled() {
+            metrics.add(obs::COUNTER_FIT_SUBPROBLEMS, prep.subproblems.len() as u64);
+        }
         ctx.set_prep(prep);
         Ok(())
     }
@@ -82,11 +100,12 @@ impl Stage for DefaultSolve {
 
     fn run(&self, ctx: &mut RoundContext) -> Result<(), EngineError> {
         let config = ctx.config();
-        let (solution, degradation) = solve_subproblems_pooled(
+        let (solution, degradation) = solve_subproblems_recorded(
             &ctx.prep()?.subproblems,
             &config.design.params,
             config.pool.resolve(),
             config.design.failure_policy,
+            &config.metrics,
         )?;
         ctx.set_solution(solution, degradation);
         Ok(())
@@ -105,6 +124,30 @@ impl Stage for DefaultConstruct {
     fn run(&self, ctx: &mut RoundContext) -> Result<(), EngineError> {
         let (solution, degradation) = ctx.solved()?.clone();
         let design = assemble_design(ctx.detection()?, ctx.prep()?, solution, degradation);
+        let metrics = &ctx.config().metrics;
+        if metrics.enabled() {
+            metrics.add(obs::COUNTER_DESIGN_AGENTS, design.agents.len() as u64);
+            metrics.gauge(obs::GAUGE_DESIGN_UTILITY, design.total_requester_utility);
+            for d in &design.degradation.degraded {
+                metrics.event(
+                    obs::EVENT_DESIGN_DEGRADED,
+                    &[
+                        ("subproblem", d.subproblem.into()),
+                        (
+                            "action",
+                            AttrValue::from(match d.action {
+                                dcc_core::DegradationAction::Fallback { .. } => "fallback",
+                                dcc_core::DegradationAction::Skipped => "skipped",
+                            }),
+                        ),
+                        (
+                            "utility_delta",
+                            d.utility_delta.map_or(AttrValue::from("unknown"), AttrValue::from),
+                        ),
+                    ],
+                );
+            }
+        }
         ctx.set_design(design);
         Ok(())
     }
@@ -149,6 +192,7 @@ impl Stage for DefaultSimulate {
         let kill_at = options.kill_at;
         let sim_config = config.sim;
         let faults_scheduled = options.fault_plan.len();
+        let metrics = config.metrics.clone();
 
         let mut state = match (&checkpoint, options.resume) {
             (Some(cp), true) => load_sim_state(cp)?,
@@ -178,10 +222,33 @@ impl Stage for DefaultSimulate {
                     faults_fired: injector.log().len(),
                 };
             }
+            if metrics.enabled() {
+                metrics.add(obs::COUNTER_SIM_ROUNDS, 1);
+                if let Some(rec) = state.rounds.last() {
+                    metrics.event(
+                        obs::EVENT_SIM_ROUND,
+                        &[
+                            ("round", rec.round.into()),
+                            ("benefit", rec.benefit.into()),
+                            ("payment", rec.payment.into()),
+                            ("u_req", rec.requester_utility.into()),
+                        ],
+                    );
+                }
+            }
             if let Some(cp) = &checkpoint {
                 save_sim_state(cp, &state)?;
             }
         };
+        if metrics.enabled() {
+            metrics.gauge(obs::GAUGE_FAULTS_SCHEDULED, faults_scheduled as f64);
+            let counts = injector.hit_counts();
+            metrics.add(obs::COUNTER_FAULTS_FIRED, counts.total() as u64);
+            metrics.add(obs::COUNTER_FAULTS_DROPPED, counts.dropped as u64);
+            metrics.add(obs::COUNTER_FAULTS_LOST, counts.lost_feedback as u64);
+            metrics.add(obs::COUNTER_FAULTS_CORRUPTED, counts.corrupted_feedback as u64);
+            metrics.add(obs::COUNTER_FAULTS_DELAYED, counts.delayed_payments as u64);
+        }
         ctx.set_outcome(outcome);
         Ok(())
     }

@@ -11,9 +11,10 @@ use dcc_detect::{run_pipeline, DetectionResult, PipelineConfig};
 use dcc_engine::{Engine, EngineConfig, EngineSimOutcome, PoolSize, RoundContext, SimOptions};
 use dcc_faults::FaultPlanConfig;
 use dcc_numerics::Quadratic;
+use dcc_obs::{JsonRecorder, Metrics};
 use dcc_trace::{SyntheticConfig, TraceDataset};
 use proptest::prelude::*;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 const SEEDS: [u64; 3] = [11, 52, 97];
 
@@ -166,5 +167,27 @@ proptest! {
             ctx.detection().unwrap().suspected.len(),
             fx.detection.suspected.len()
         );
+    }
+
+    /// The metrics stream is (seed, plan, pool)-deterministic: two
+    /// identical engine runs — same trace seed, same fault plan, same
+    /// pool — render **byte-identical** `JsonRecorder` documents once
+    /// the timing redaction pass zeroes the wall-clock fields.
+    #[test]
+    fn json_recorder_metrics_are_run_deterministic(
+        seed_idx in 0..SEEDS.len(),
+        pool in 1usize..=8,
+    ) {
+        let fx = &fixtures()[seed_idx];
+        let render = || {
+            let recorder = Arc::new(JsonRecorder::new());
+            let mut ctx = RoundContext::new(engine_config(fx, PoolSize::Fixed(pool)));
+            ctx.set_metrics(Metrics::new(recorder.clone()));
+            Engine::new().run(&mut ctx).unwrap();
+            recorder.to_json_redacted()
+        };
+        let first = render();
+        prop_assert!(!first.is_empty());
+        prop_assert_eq!(first, render());
     }
 }

@@ -1,10 +1,13 @@
 //! Regenerates every table and figure in sequence.
 //!
 //! Flags: `--scale small|paper`, `--extensions` (also run E8–E14),
-//! `--csv DIR` (additionally write each artifact as CSV into DIR).
+//! `--csv DIR` (additionally write each artifact as CSV into DIR, plus
+//! the suite's engine metrics as `metrics.json` next to them).
 
 use dcc_experiments::{scale_from_args, TextTable, DEFAULT_SEED};
+use dcc_obs::{JsonRecorder, Metrics};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 fn csv_dir() -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
@@ -28,6 +31,26 @@ fn emit(dir: &Option<PathBuf>, name: &str, table: &TextTable) {
 fn main() {
     let scale = scale_from_args();
     let csv = csv_dir();
+    // With a CSV directory the suite also records its engine runs and
+    // drops the dcc-obs document next to the figures.
+    let recorder = csv.as_ref().map(|_| {
+        let recorder = Arc::new(JsonRecorder::new());
+        dcc_experiments::install_metrics(Metrics::new(recorder.clone()));
+        recorder
+    });
+    run_suite(scale, &csv);
+    if let (Some(recorder), Some(dir)) = (recorder, &csv) {
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join("metrics.json");
+            match std::fs::write(&path, recorder.to_json()) {
+                Ok(()) => println!("wrote engine metrics to {}", path.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+fn run_suite(scale: dcc_experiments::ExperimentScale, csv: &Option<PathBuf>) {
     let trace = scale.generate(DEFAULT_SEED);
     println!("=== dyncontract experiment suite ({scale:?} scale, seed {DEFAULT_SEED}) ===\n");
     println!(
@@ -39,33 +62,33 @@ fn main() {
 
     println!("--- E1 / Fig. 6 ---");
     let fig6 = dcc_experiments::fig6::run(&dcc_experiments::fig6::DEFAULT_MS).expect("fig6");
-    emit(&csv, "fig6", &fig6.table());
+    emit(csv, "fig6", &fig6.table());
 
     println!("--- E2 / Table II ---");
     let t2 = dcc_experiments::table2::run_on(&trace);
-    emit(&csv, "table2", &t2.table());
+    emit(csv, "table2", &t2.table());
 
     println!("--- E3 / Fig. 7 ---");
-    emit(&csv, "fig7", &dcc_experiments::fig7::run_on(&trace).table());
+    emit(csv, "fig7", &dcc_experiments::fig7::run_on(&trace).table());
 
     println!("--- E4 / Table III ---");
     let t3 = dcc_experiments::table3::run_on(&trace).expect("table3");
-    emit(&csv, "table3", &t3.table());
+    emit(csv, "table3", &t3.table());
 
     println!("--- E5 / Fig. 8(a) ---");
     let f8a = dcc_experiments::fig8a::run_on(&trace, &dcc_experiments::fig8a::DEFAULT_MS)
         .expect("fig8a");
-    emit(&csv, "fig8a", &f8a.table());
+    emit(csv, "fig8a", &f8a.table());
 
     println!("--- E6 / Fig. 8(b) ---");
     let f8b = dcc_experiments::fig8b::run_on(&trace, &dcc_experiments::fig8b::DEFAULT_MUS)
         .expect("fig8b");
-    emit(&csv, "fig8b", &f8b.table());
+    emit(csv, "fig8b", &f8b.table());
 
     println!("--- E7 / Fig. 8(c) ---");
     let f8c = dcc_experiments::fig8c::run_on(&trace, &dcc_experiments::fig8b::DEFAULT_MUS)
         .expect("fig8c");
-    emit(&csv, "fig8c", &f8c.table());
+    emit(csv, "fig8c", &f8c.table());
 
     if !std::env::args().any(|a| a == "--extensions") {
         println!("(pass --extensions to also run E8-E14)");
@@ -74,7 +97,7 @@ fn main() {
 
     println!("--- E8 / adaptive re-contracting (extension) ---");
     let e8 = dcc_experiments::adaptive_ext::run(dcc_experiments::DEFAULT_SEED).expect("e8");
-    emit(&csv, "e8_adaptive", &e8.table());
+    emit(csv, "e8_adaptive", &e8.table());
 
     println!("--- E9 / penalty sensitivity (extension) ---");
     let e9 = dcc_experiments::sensitivity::run_on(
@@ -83,25 +106,25 @@ fn main() {
         &dcc_experiments::sensitivity::DEFAULT_GAMMAS,
     )
     .expect("e9");
-    emit(&csv, "e9_sensitivity", &e9.table());
+    emit(csv, "e9_sensitivity", &e9.table());
 
     println!("--- E10 / detector quality (extension) ---");
     let e10 = dcc_experiments::detection_quality::run_on(
         &trace,
         &dcc_experiments::detection_quality::DEFAULT_THRESHOLDS,
     );
-    emit(&csv, "e10_detection", &e10.table());
+    emit(csv, "e10_detection", &e10.table());
 
     println!("--- E11 / collusion-modeling ablation (extension) ---");
     let e11 =
         dcc_experiments::collusion_ablation::run_on(&trace, &dcc_experiments::fig8b::DEFAULT_MUS)
             .expect("e11");
-    emit(&csv, "e11_collusion", &e11.table());
+    emit(csv, "e11_collusion", &e11.table());
 
     println!("--- E12 / baseline ladder (extension) ---");
     let e12 = dcc_experiments::baselines_ext::run_on(&trace, &dcc_experiments::fig8b::DEFAULT_MUS)
         .expect("e12");
-    emit(&csv, "e12_baselines", &e12.table());
+    emit(csv, "e12_baselines", &e12.table());
 
     println!("--- E13 / budget-feasible contracting (extension) ---");
     let e13 = dcc_experiments::budget_ext::run_on(
@@ -109,10 +132,10 @@ fn main() {
         &dcc_experiments::budget_ext::DEFAULT_FRACTIONS,
     )
     .expect("e13");
-    emit(&csv, "e13_budget", &e13.table());
+    emit(csv, "e13_budget", &e13.table());
 
     println!("--- E14 / risk-attitude premium (extension) ---");
     let e14 =
         dcc_experiments::risk_ext::run(&dcc_experiments::risk_ext::DEFAULT_EXPONENTS).expect("e14");
-    emit(&csv, "e14_risk", &e14.table());
+    emit(csv, "e14_risk", &e14.table());
 }

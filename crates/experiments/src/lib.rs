@@ -41,14 +41,41 @@ pub use render::TextTable;
 
 use dcc_core::CoreError;
 use dcc_engine::{EngineConfig, EngineError, RoundContext};
+use dcc_obs::Metrics;
 use dcc_trace::{SyntheticConfig, TraceDataset};
+use std::sync::Mutex;
+
+/// The process-wide metrics handle the runners publish through; `None`
+/// until [`install_metrics`] is called, which reads as noop.
+static METRICS: Mutex<Option<Metrics>> = Mutex::new(None);
+
+/// Installs the metrics handle every subsequent experiment engine run
+/// publishes through. Binaries call this once at startup (e.g. the
+/// `all` binary installs a `JsonRecorder` when `--csv DIR` is given and
+/// writes the document next to the CSVs); the default is a noop
+/// recorder, which keeps the runners overhead-free.
+pub fn install_metrics(metrics: Metrics) {
+    *METRICS.lock().unwrap_or_else(|e| e.into_inner()) = Some(metrics);
+}
+
+/// The currently installed metrics handle (noop unless a binary
+/// installed one).
+pub fn current_metrics() -> Metrics {
+    METRICS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+        .unwrap_or_default()
+}
 
 /// A fresh engine context over `trace` with the runners' shared
 /// defaults (ground-truth detection, default design, automatic pool) —
 /// the single place the `detect → fit → solve → construct` chain is
 /// wired for every experiment.
 pub(crate) fn engine_context(trace: &TraceDataset) -> RoundContext {
-    RoundContext::new(EngineConfig::for_trace(trace.clone()))
+    let mut config = EngineConfig::for_trace(trace.clone());
+    config.metrics = current_metrics();
+    RoundContext::new(config)
 }
 
 /// Lowers an [`EngineError`] onto the runners' `CoreError` interface so
@@ -118,3 +145,26 @@ pub fn scale_from_args() -> ExperimentScale {
 /// The default experiment seed (shared so all artifacts come from the
 /// same trace).
 pub const DEFAULT_SEED: u64 = 42;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcc_obs::JsonRecorder;
+    use std::sync::Arc;
+
+    #[test]
+    fn installed_metrics_reach_the_engine_context() {
+        let mut cfg = SyntheticConfig::small(3);
+        cfg.n_honest = 8;
+        cfg.n_ncm = 2;
+        cfg.n_cm_target = 2;
+        cfg.n_products = 60;
+        cfg.n_rounds = 2;
+        let trace = cfg.generate();
+
+        install_metrics(Metrics::new(Arc::new(JsonRecorder::new())));
+        assert!(engine_context(&trace).config().metrics.enabled());
+        install_metrics(Metrics::noop());
+        assert!(!engine_context(&trace).config().metrics.enabled());
+    }
+}

@@ -93,6 +93,45 @@ impl FaultInjector {
     pub fn clear_log(&mut self) {
         self.log.clear();
     }
+
+    /// Per-kind totals of the faults fired so far — the numbers the
+    /// engine's simulate stage publishes as `sim.faults.*` counters.
+    pub fn hit_counts(&self) -> FaultHitCounts {
+        let mut counts = FaultHitCounts::default();
+        for fired in &self.log {
+            match fired {
+                FiredFault::Dropped { .. } => counts.dropped += 1,
+                FiredFault::LostFeedback { .. } => counts.lost_feedback += 1,
+                FiredFault::CorruptedFeedback { .. } => counts.corrupted_feedback += 1,
+                FiredFault::DelayedPayment { .. } => counts.delayed_payments += 1,
+            }
+        }
+        counts
+    }
+}
+
+/// Per-kind totals from a [`FaultInjector`] log.
+///
+/// One log entry is one *hit*: a dropout window contributes one hit per
+/// round it covers, not one per scheduled window — so `total()` can
+/// exceed the plan's event count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultHitCounts {
+    /// Agent-absence rounds.
+    pub dropped: usize,
+    /// Lost feedback reports.
+    pub lost_feedback: usize,
+    /// Corrupted feedback reports.
+    pub corrupted_feedback: usize,
+    /// Deferred payments.
+    pub delayed_payments: usize,
+}
+
+impl FaultHitCounts {
+    /// Sum over every kind — always equal to the log length.
+    pub fn total(&self) -> usize {
+        self.dropped + self.lost_feedback + self.corrupted_feedback + self.delayed_payments
+    }
 }
 
 impl RoundFaults for FaultInjector {
@@ -224,6 +263,20 @@ mod tests {
         );
         inj.clear_log();
         assert!(inj.log().is_empty());
+    }
+
+    #[test]
+    fn hit_counts_tally_the_log_per_kind() {
+        let mut inj = FaultInjector::new(&tiny_plan());
+        assert_eq!(inj.hit_counts(), FaultHitCounts::default());
+        inj.dropped(0, 2);
+        inj.perturb_feedback(1, 0, 0.5);
+        inj.payment_delay(0, 0);
+        let counts = inj.hit_counts();
+        assert_eq!(counts.dropped, 1);
+        assert_eq!(counts.lost_feedback, 1);
+        assert_eq!(counts.delayed_payments, 1);
+        assert_eq!(counts.total(), inj.log().len());
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub use checkpoint::{
     save_adaptive_state, save_sim_state, sim_state_from_json, sim_state_to_json,
     CHECKPOINT_VERSION,
 };
-pub use injector::{FaultInjector, FiredFault};
+pub use injector::{FaultHitCounts, FaultInjector, FiredFault};
 pub use json::Json;
 pub use plan::{
     Corruption, CorruptFeedback, DropoutWindow, FaultPlan, FaultPlanConfig, MissingFeedback,

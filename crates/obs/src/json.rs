@@ -1,0 +1,470 @@
+//! [`JsonRecorder`] — an in-memory recorder rendered as deterministic
+//! JSON, hand-rolled (the workspace is offline; no serde).
+
+use crate::recorder::{AttrValue, Recorder};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Schema tag written into every document; `dcc metrics summarize`
+/// refuses anything else.
+pub const SCHEMA_VERSION: &str = "dcc-obs/1";
+
+#[derive(Debug, Clone)]
+struct SpanRec {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    attrs: Vec<(String, AttrValue)>,
+    elapsed_us: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct EventRec {
+    name: String,
+    attrs: Vec<(String, AttrValue)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Hist {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    spans: Vec<SpanRec>,
+    stack: Vec<u64>,
+    events: Vec<EventRec>,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    hists: Vec<(String, Hist)>,
+}
+
+/// Records everything in memory, in call order, and renders it as one
+/// compact JSON document (see `docs/observability.md` for the schema).
+///
+/// Span nesting comes from an internal stack: a span opened while
+/// another is open gets that span as `parent`. Counters, gauges and
+/// histograms render in first-touch order, so a deterministic call
+/// sequence yields byte-identical JSON up to wall-clock timings —
+/// [`JsonRecorder::to_json_redacted`] zeroes those for byte comparison.
+#[derive(Debug, Default)]
+pub struct JsonRecorder {
+    inner: Mutex<Inner>,
+}
+
+impl JsonRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        JsonRecorder::default()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        let inner = self.inner.lock().expect("obs lock");
+        inner.spans.is_empty()
+            && inner.events.is_empty()
+            && inner.counters.is_empty()
+            && inner.gauges.is_empty()
+            && inner.hists.is_empty()
+    }
+
+    /// The current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("obs lock");
+        inner
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The current value of gauge `name`, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.lock().expect("obs lock");
+        inner.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// How many spans named `name` were recorded.
+    pub fn span_count(&self, name: &str) -> usize {
+        let inner = self.inner.lock().expect("obs lock");
+        inner.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// How many events named `name` were recorded.
+    pub fn event_count(&self, name: &str) -> usize {
+        let inner = self.inner.lock().expect("obs lock");
+        inner.events.iter().filter(|e| e.name == name).count()
+    }
+
+    /// Renders the full document, timings included.
+    pub fn to_json(&self) -> String {
+        self.render(false)
+    }
+
+    /// Renders the document with the timing redaction pass applied:
+    /// every span's `elapsed_us` is zeroed and every histogram whose
+    /// name ends in `_us` has its `sum`/`min`/`max` zeroed (`count` is
+    /// deterministic and kept). Two runs of a deterministic pipeline
+    /// produce byte-identical redacted documents.
+    pub fn to_json_redacted(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, redact: bool) -> String {
+        let inner = self.inner.lock().expect("obs lock");
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"schema\":");
+        push_str_json(&mut out, SCHEMA_VERSION);
+        out.push_str(",\"spans\":[");
+        for (i, span) in inner.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"id\":");
+            out.push_str(&span.id.to_string());
+            out.push_str(",\"parent\":");
+            match span.parent {
+                Some(p) => out.push_str(&p.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"name\":");
+            push_str_json(&mut out, &span.name);
+            out.push_str(",\"attrs\":");
+            push_attrs(&mut out, &span.attrs);
+            out.push_str(",\"elapsed_us\":");
+            let us = if redact { 0 } else { span.elapsed_us.unwrap_or(0) };
+            out.push_str(&us.to_string());
+            out.push('}');
+        }
+        out.push_str("],\"events\":[");
+        for (i, event) in inner.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_str_json(&mut out, &event.name);
+            out.push_str(",\"attrs\":");
+            push_attrs(&mut out, &event.attrs);
+            out.push('}');
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (name, value)) in inner.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_json(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in inner.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_json(&mut out, name);
+            out.push(':');
+            push_f64_json(&mut out, *value);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, hist)) in inner.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let timing = name.ends_with("_us");
+            let zeroed = Hist {
+                count: hist.count,
+                sum: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+            let h = if redact && timing { &zeroed } else { hist };
+            push_str_json(&mut out, name);
+            out.push_str(":{\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"sum\":");
+            push_f64_json(&mut out, h.sum);
+            out.push_str(",\"min\":");
+            push_f64_json(&mut out, h.min);
+            out.push_str(",\"max\":");
+            push_f64_json(&mut out, h.max);
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl Recorder for JsonRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, name: &str, attrs: &[(&'static str, AttrValue)]) -> u64 {
+        let mut inner = self.inner.lock().expect("obs lock");
+        let id = inner.spans.len() as u64 + 1;
+        let parent = inner.stack.last().copied();
+        inner.spans.push(SpanRec {
+            id,
+            parent,
+            name: name.to_string(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+            elapsed_us: None,
+        });
+        inner.stack.push(id);
+        id
+    }
+
+    fn span_end(&self, id: u64, elapsed: Duration) {
+        let mut inner = self.inner.lock().expect("obs lock");
+        if id == 0 || id as usize > inner.spans.len() {
+            return;
+        }
+        inner.spans[id as usize - 1].elapsed_us =
+            Some(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+        // Usually the top of the stack; tolerate out-of-order ends.
+        if inner.stack.last() == Some(&id) {
+            inner.stack.pop();
+        } else {
+            inner.stack.retain(|&open| open != id);
+        }
+    }
+
+    fn event(&self, name: &str, attrs: &[(&'static str, AttrValue)]) {
+        let mut inner = self.inner.lock().expect("obs lock");
+        inner.events.push(EventRec {
+            name: name.to_string(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("obs lock");
+        if let Some((_, value)) = inner.counters.iter_mut().find(|(n, _)| n == name) {
+            *value = value.saturating_add(delta);
+        } else {
+            inner.counters.push((name.to_string(), delta));
+        }
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("obs lock");
+        if let Some((_, slot)) = inner.gauges.iter_mut().find(|(n, _)| n == name) {
+            *slot = value;
+        } else {
+            inner.gauges.push((name.to_string(), value));
+        }
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("obs lock");
+        if let Some((_, h)) = inner.hists.iter_mut().find(|(n, _)| n == name) {
+            h.count += 1;
+            h.sum += value;
+            h.min = h.min.min(value);
+            h.max = h.max.max(value);
+        } else {
+            inner.hists.push((
+                name.to_string(),
+                Hist {
+                    count: 1,
+                    sum: value,
+                    min: value,
+                    max: value,
+                },
+            ));
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes + escapes).
+fn push_str_json(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number — shortest round-trip form, with the
+/// same non-finite convention as `dcc_faults::Json` (strings `"NaN"`,
+/// `"Infinity"`, `"-Infinity"`).
+fn push_f64_json(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if v == f64::INFINITY {
+        out.push_str("\"Infinity\"");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("\"-Infinity\"");
+    } else {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // `{}` on integral floats prints no decimal point; that is still
+        // a valid JSON number, so keep it.
+    }
+}
+
+fn push_attrs(out: &mut String, attrs: &[(String, AttrValue)]) {
+    out.push('{');
+    for (i, (key, value)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_json(out, key);
+        out.push(':');
+        match value {
+            AttrValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            AttrValue::U64(u) => out.push_str(&u.to_string()),
+            AttrValue::F64(f) => push_f64_json(out, *f),
+            AttrValue::Str(s) => push_str_json(out, s),
+        }
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Metrics;
+    use std::sync::Arc;
+
+    fn recording() -> (Arc<JsonRecorder>, Metrics) {
+        let recorder = Arc::new(JsonRecorder::new());
+        let metrics = Metrics::new(recorder.clone());
+        (recorder, metrics)
+    }
+
+    #[test]
+    fn empty_document_has_all_sections() {
+        let recorder = JsonRecorder::new();
+        assert!(recorder.is_empty());
+        let json = recorder.to_json();
+        assert_eq!(
+            json,
+            "{\"schema\":\"dcc-obs/1\",\"spans\":[],\"events\":[],\
+             \"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn spans_nest_via_the_stack() {
+        let (recorder, metrics) = recording();
+        {
+            let outer = metrics.span("engine.run", &[]);
+            {
+                let inner = metrics.span("stage", &[("stage", "detect".into())]);
+                inner.end();
+            }
+            outer.end();
+        }
+        let json = recorder.to_json();
+        assert!(json.contains("\"id\":1,\"parent\":null,\"name\":\"engine.run\""));
+        assert!(json.contains("\"id\":2,\"parent\":1,\"name\":\"stage\""));
+        assert!(json.contains("\"attrs\":{\"stage\":\"detect\"}"));
+        assert!(!recorder.is_empty());
+        assert_eq!(recorder.span_count("stage"), 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let (recorder, metrics) = recording();
+        metrics.add("c", 2);
+        metrics.add("c", 3);
+        metrics.gauge("g", 1.5);
+        metrics.gauge("g", 2.5);
+        assert_eq!(recorder.counter("c"), 5);
+        assert_eq!(recorder.counter("missing"), 0);
+        assert_eq!(recorder.gauge_value("g"), Some(2.5));
+        let json = recorder.to_json();
+        assert!(json.contains("\"counters\":{\"c\":5}"));
+        assert!(json.contains("\"gauges\":{\"g\":2.5}"));
+    }
+
+    #[test]
+    fn histograms_aggregate() {
+        let (recorder, metrics) = recording();
+        for v in [3.0, 1.0, 2.0] {
+            metrics.observe("h", v);
+        }
+        let json = recorder.to_json();
+        assert!(json.contains("\"h\":{\"count\":3,\"sum\":6,\"min\":1,\"max\":3}"));
+    }
+
+    #[test]
+    fn redaction_zeroes_timings_only() {
+        let (recorder, metrics) = recording();
+        metrics.span_at(
+            "solve.subproblem",
+            &[("id", 7usize.into())],
+            Duration::from_micros(1234),
+        );
+        metrics.observe("solve.subproblem_us", 1234.0);
+        metrics.observe("payments", 0.5);
+        let raw = recorder.to_json();
+        assert!(raw.contains("\"elapsed_us\":1234"));
+        assert!(raw.contains("\"solve.subproblem_us\":{\"count\":1,\"sum\":1234"));
+        let redacted = recorder.to_json_redacted();
+        assert!(redacted.contains("\"elapsed_us\":0"));
+        assert!(redacted.contains("\"solve.subproblem_us\":{\"count\":1,\"sum\":0,\"min\":0,\"max\":0}"));
+        // Non-timing histograms keep their statistics.
+        assert!(redacted.contains("\"payments\":{\"count\":1,\"sum\":0.5,\"min\":0.5,\"max\":0.5}"));
+        // The deterministic attributes survive redaction.
+        assert!(redacted.contains("\"attrs\":{\"id\":7}"));
+    }
+
+    #[test]
+    fn events_record_attrs_in_order() {
+        let (recorder, metrics) = recording();
+        metrics.event(
+            "sim.round",
+            &[("round", 0usize.into()), ("u_req", 1.25.into())],
+        );
+        assert_eq!(recorder.event_count("sim.round"), 1);
+        let json = recorder.to_json();
+        assert!(json.contains(
+            "\"events\":[{\"name\":\"sim.round\",\"attrs\":{\"round\":0,\"u_req\":1.25}}]"
+        ));
+    }
+
+    #[test]
+    fn strings_escape_and_nonfinite_floats_stringify() {
+        let (recorder, metrics) = recording();
+        metrics.event("e", &[("msg", "a\"b\\c\nd".into()), ("bad", f64::NAN.into())]);
+        metrics.gauge("inf", f64::INFINITY);
+        let json = recorder.to_json();
+        assert!(json.contains("\"msg\":\"a\\\"b\\\\c\\nd\""));
+        assert!(json.contains("\"bad\":\"NaN\""));
+        assert!(json.contains("\"inf\":\"Infinity\""));
+    }
+
+    #[test]
+    fn identical_sequences_render_identically() {
+        let run = || {
+            let (recorder, metrics) = recording();
+            let span = metrics.span("stage", &[("stage", "solve".into())]);
+            metrics.add("solve.subproblems", 4);
+            metrics.observe("solve.subproblem_us", 55.0);
+            span.end();
+            recorder.to_json_redacted()
+        };
+        assert_eq!(run(), run());
+    }
+}

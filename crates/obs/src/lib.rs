@@ -1,0 +1,132 @@
+//! # dcc-obs — observability for the contract pipeline
+//!
+//! A lightweight, dependency-free tracing/metrics layer (std only):
+//!
+//! - **Spans** — named, attributed, monotonically timed intervals kept in
+//!   a stack so nesting is recorded (`engine.run` → `stage` →
+//!   `solve.subproblem`).
+//! - **Counters** — monotone `u64` accumulators (`solve.degraded`, fault
+//!   hits, …).
+//! - **Gauges** — last-write-wins `f64` readings (`solve.pool`,
+//!   `design.total_requester_utility`).
+//! - **Histograms** — `count/sum/min/max` aggregates of `f64`
+//!   observations (`solve.subproblem_us`).
+//! - **Events** — untimed, attributed point records (`sim.round`,
+//!   `design.degraded`).
+//!
+//! Everything funnels through the [`Recorder`] trait. Two
+//! implementations ship: [`NoopRecorder`] (the default — every method is
+//! an empty inline body, so an instrumented hot path costs one
+//! `enabled()` check) and [`JsonRecorder`] (an in-memory store rendered
+//! as deterministic JSON, schema [`SCHEMA_VERSION`]).
+//!
+//! Call sites hold a cheap clonable [`Metrics`] handle. The intended
+//! pattern for zero overhead when disabled:
+//!
+//! ```
+//! use dcc_obs::{AttrValue, JsonRecorder, Metrics};
+//! use std::sync::Arc;
+//!
+//! fn solve(metrics: &Metrics) {
+//!     if !metrics.enabled() {
+//!         return; // take the uninstrumented path: no clocks, no attrs
+//!     }
+//!     let span = metrics.span("stage", &[("stage", AttrValue::from("solve"))]);
+//!     metrics.add("solve.subproblems", 3);
+//!     drop(span); // records the elapsed time
+//! }
+//!
+//! let recorder = Arc::new(JsonRecorder::new());
+//! let metrics = Metrics::new(recorder.clone());
+//! solve(&metrics);
+//! assert!(recorder.to_json().contains("\"solve.subproblems\":3"));
+//! solve(&Metrics::noop()); // records nothing, costs (almost) nothing
+//! ```
+//!
+//! ## Determinism
+//!
+//! [`JsonRecorder`] renders in **insertion order**, so a deterministic
+//! call sequence yields byte-identical JSON — except wall-clock timings.
+//! [`JsonRecorder::to_json_redacted`] zeroes every `elapsed_us` field and
+//! every histogram whose name ends in `_us`, which is the redaction pass
+//! the engine's metrics-determinism property tests compare under.
+//!
+//! Multi-threaded producers should **not** record from worker threads:
+//! measure there, merge deterministically, then emit from one thread (see
+//! `solve_subproblems_recorded` in `dcc-core` for the pattern, and
+//! [`Metrics::span_at`] for recording a pre-measured duration).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod recorder;
+
+pub use json::{JsonRecorder, SCHEMA_VERSION};
+pub use recorder::{AttrValue, Metrics, NoopRecorder, Recorder, Span};
+
+/// Canonical metric and span names emitted by the `dcc` pipeline.
+///
+/// Kept in one place (and dependency-free) so producers (`dcc-core`,
+/// `dcc-engine`) and consumers (`dcc metrics summarize`, tests) cannot
+/// drift apart. See `docs/observability.md` for the full table.
+pub mod names {
+    /// Span: one full `Engine::run_to` invocation.
+    pub const SPAN_ENGINE_RUN: &str = "engine.run";
+    /// Span: one pipeline stage (attrs: `stage`, `cached`, `cause`).
+    pub const SPAN_STAGE: &str = "stage";
+    /// Span: one §IV-B subproblem solve (attrs: `id`, `iterations`,
+    /// `degraded`), recorded post-merge with the worker-measured time.
+    pub const SPAN_SUBPROBLEM: &str = "solve.subproblem";
+
+    /// Event: one simulated round (attrs: `round`, `benefit`, `payment`,
+    /// `u_req`).
+    pub const EVENT_SIM_ROUND: &str = "sim.round";
+    /// Event: one degraded subproblem in the assembled design (attrs:
+    /// `subproblem`, `action`, `utility_delta`).
+    pub const EVENT_DESIGN_DEGRADED: &str = "design.degraded";
+
+    /// Counter: reviews ingested.
+    pub const COUNTER_TRACE_REVIEWS: &str = "trace.reviews";
+    /// Counter: reviewers ingested.
+    pub const COUNTER_TRACE_REVIEWERS: &str = "trace.reviewers";
+    /// Counter: workers the §IV detection suspects.
+    pub const COUNTER_DETECT_SUSPECTED: &str = "detect.suspected";
+    /// Counter: collusive communities found.
+    pub const COUNTER_DETECT_COMMUNITIES: &str = "detect.communities";
+    /// Counter: subproblems in the fitted decomposition.
+    pub const COUNTER_FIT_SUBPROBLEMS: &str = "fit.subproblems";
+    /// Counter: subproblems solved (degraded ones included).
+    pub const COUNTER_SOLVE_SUBPROBLEMS: &str = "solve.subproblems";
+    /// Counter: subproblems that degraded (any action).
+    pub const COUNTER_SOLVE_DEGRADED: &str = "solve.degraded";
+    /// Counter: degradations that fell back to a fixed payment.
+    pub const COUNTER_SOLVE_DEGRADED_FALLBACK: &str = "solve.degraded.fallback";
+    /// Counter: degradations that excluded the worker.
+    pub const COUNTER_SOLVE_DEGRADED_SKIPPED: &str = "solve.degraded.skipped";
+    /// Counter: per-worker contracts in the assembled design.
+    pub const COUNTER_DESIGN_AGENTS: &str = "design.agents";
+    /// Counter: rounds the simulate stage stepped this run.
+    pub const COUNTER_SIM_ROUNDS: &str = "sim.rounds";
+    /// Counter: fault events that fired (all kinds).
+    pub const COUNTER_FAULTS_FIRED: &str = "sim.faults.fired";
+    /// Counter: agent-dropout rounds that fired.
+    pub const COUNTER_FAULTS_DROPPED: &str = "sim.faults.dropped";
+    /// Counter: lost-feedback events that fired.
+    pub const COUNTER_FAULTS_LOST: &str = "sim.faults.lost_feedback";
+    /// Counter: corrupted-feedback events that fired.
+    pub const COUNTER_FAULTS_CORRUPTED: &str = "sim.faults.corrupted_feedback";
+    /// Counter: delayed-payment events that fired.
+    pub const COUNTER_FAULTS_DELAYED: &str = "sim.faults.delayed_payment";
+
+    /// Gauge: resolved worker-pool size of the solve stage.
+    pub const GAUGE_SOLVE_POOL: &str = "solve.pool";
+    /// Gauge: the solved `Σ (w_i q_i − μ c_i)` (Eq. 7 objective).
+    pub const GAUGE_DESIGN_UTILITY: &str = "design.total_requester_utility";
+    /// Gauge: events in the configured fault plan.
+    pub const GAUGE_FAULTS_SCHEDULED: &str = "sim.faults.scheduled";
+
+    /// Histogram: per-subproblem solve time, microseconds (redacted by
+    /// the determinism pass — the `_us` suffix marks it as a timing).
+    pub const HIST_SUBPROBLEM_US: &str = "solve.subproblem_us";
+}

@@ -31,6 +31,10 @@
 //!   SolveSubproblems → ConstructContracts → Simulate` pipeline with
 //!   cached stage outputs, swappable stages, and a deterministic
 //!   parallel solve.
+//! - [`obs`] — the dependency-free observability layer: span stack,
+//!   typed counters/gauges/histograms, and the `Noop`/`Json` recorders
+//!   the engine publishes its stage spans and solve/sim metrics
+//!   through.
 //!
 //! ## Quickstart
 //!
@@ -68,4 +72,5 @@ pub use dcc_faults as faults;
 pub use dcc_graph as graph;
 pub use dcc_label as label;
 pub use dcc_numerics as numerics;
+pub use dcc_obs as obs;
 pub use dcc_trace as trace;

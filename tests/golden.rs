@@ -1,0 +1,335 @@
+//! Golden regression harness for the paper's numeric artifacts.
+//!
+//! Each test regenerates one artifact — the Table II community-size
+//! distribution, the Table III NoR fits, and the Fig. 8(b)/8(c)
+//! compensation/utility curves — from the seeded synthetic trace
+//! (`ExperimentScale::Small`, seed [`dyncontract::experiments::DEFAULT_SEED`])
+//! and compares it leaf-by-leaf against the committed snapshot under
+//! `tests/golden/`. Numeric leaves must agree within `1e-9`
+//! (absolute-or-relative, see [`TOLERANCE`]); any drift fails with the
+//! full list of diverging paths.
+//!
+//! ## Updating the snapshots
+//!
+//! After an *intentional* numeric change, regenerate and commit:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! git diff tests/golden/   # review the drift before committing it
+//! ```
+//!
+//! With `UPDATE_GOLDEN=1` every test rewrites its snapshot and passes;
+//! without it the snapshots are read-only references.
+
+use dyncontract::experiments::{fig8b, fig8c, table2, table3, ExperimentScale, DEFAULT_SEED};
+use dyncontract::faults::Json;
+use dyncontract::trace::TraceDataset;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Numeric leaves may drift by at most this much, measured as
+/// `|a - b| <= TOLERANCE * max(1, |a|, |b|)` — absolute near zero,
+/// relative for large magnitudes.
+const TOLERANCE: f64 = 1e-9;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The one trace all snapshots derive from: the experiment suite's
+/// small scale at the shared default seed.
+fn trace() -> &'static TraceDataset {
+    static TRACE: OnceLock<TraceDataset> = OnceLock::new();
+    TRACE.get_or_init(|| ExperimentScale::Small.generate(DEFAULT_SEED))
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn render(value: &Json) -> String {
+    let mut out = String::new();
+    render_into(value, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn render_into(value: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => {
+            write!(out, "{b}").ok();
+        }
+        // `{}` prints the shortest representation that round-trips, so
+        // a reparsed snapshot compares bit-exactly to the original.
+        Json::Num(x) => {
+            write!(out, "{x}").ok();
+        }
+        Json::Str(s) => {
+            write!(out, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")).ok();
+        }
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write!(out, "\n{pad}  ").ok();
+                render_into(item, indent + 1, out);
+            }
+            if !items.is_empty() {
+                write!(out, "\n{pad}").ok();
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (key, member)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write!(out, "\n{pad}  \"{key}\": ").ok();
+                render_into(member, indent + 1, out);
+            }
+            if !members.is_empty() {
+                write!(out, "\n{pad}").ok();
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn encode_table2() -> Json {
+    let r = table2::run_on(trace());
+    obj(vec![
+        (
+            "rows",
+            Json::Arr(
+                r.rows
+                    .iter()
+                    .map(|(label, count, ours, paper)| {
+                        obj(vec![
+                            ("size", Json::Str(label.clone())),
+                            ("count", Json::idx(*count)),
+                            ("ours_pct", Json::num(*ours)),
+                            ("paper_pct", Json::num(*paper)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("communities", Json::idx(r.communities)),
+        ("collusive_workers", Json::idx(r.collusive_workers)),
+    ])
+}
+
+fn encode_table3() -> Json {
+    let r = table3::run_on(trace()).expect("table3 fits on the seeded trace");
+    obj(vec![(
+        "rows",
+        Json::Arr(
+            r.rows
+                .iter()
+                .map(|(class, nors, points)| {
+                    obj(vec![
+                        ("class", Json::Str(class.to_string())),
+                        ("points", Json::idx(*points)),
+                        ("nors", Json::Arr(nors.iter().map(|&v| Json::num(v)).collect())),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+fn encode_fig8b() -> Json {
+    let r = fig8b::run_on(trace(), &fig8b::DEFAULT_MUS).expect("fig8b designs");
+    obj(vec![(
+        "groups",
+        Json::Arr(
+            r.groups
+                .iter()
+                .map(|g| {
+                    obj(vec![
+                        ("mu", Json::num(g.mu)),
+                        ("class", Json::Str(g.class.to_string())),
+                        ("count", Json::idx(g.summary.count)),
+                        ("mean", Json::num(g.summary.mean)),
+                        ("std_dev", Json::num(g.summary.std_dev)),
+                        ("min", Json::num(g.summary.min)),
+                        ("p5", Json::num(g.summary.p5)),
+                        ("median", Json::num(g.summary.median)),
+                        ("p95", Json::num(g.summary.p95)),
+                        ("max", Json::num(g.summary.max)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+fn encode_fig8c() -> Json {
+    let r = fig8c::run_on(trace(), &fig8b::DEFAULT_MUS).expect("fig8c simulates");
+    obj(vec![(
+        "rows",
+        Json::Arr(
+            r.rows
+                .iter()
+                .map(|row| {
+                    obj(vec![
+                        ("mu", Json::num(row.mu)),
+                        ("ours", Json::num(row.ours)),
+                        ("exclude", Json::num(row.exclude)),
+                        ("fixed", Json::num(row.fixed)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+// --------------------------------------------------------------- comparison
+
+/// Walks both documents and records every path where they differ —
+/// structurally, or numerically beyond [`TOLERANCE`]. Object members
+/// compare by key, order-insensitively.
+fn diff(path: &str, golden: &Json, actual: &Json, diffs: &mut Vec<String>) {
+    match (golden, actual) {
+        (Json::Null, Json::Null) => {}
+        (Json::Bool(a), Json::Bool(b)) if a == b => {}
+        (Json::Str(a), Json::Str(b)) if a == b => {}
+        (Json::Num(a), Json::Num(b)) => {
+            let scale = 1.0_f64.max(a.abs()).max(b.abs());
+            if (a - b).abs() > TOLERANCE * scale {
+                diffs.push(format!(
+                    "{path}: golden {a:?} vs actual {b:?} (drift {:.3e})",
+                    (a - b).abs()
+                ));
+            }
+        }
+        (Json::Arr(a), Json::Arr(b)) => {
+            if a.len() != b.len() {
+                diffs.push(format!("{path}: length {} vs {}", a.len(), b.len()));
+                return;
+            }
+            for (i, (ga, ac)) in a.iter().zip(b).enumerate() {
+                diff(&format!("{path}[{i}]"), ga, ac, diffs);
+            }
+        }
+        (Json::Obj(a), Json::Obj(b)) => {
+            for (key, ga) in a {
+                match b.iter().find(|(k, _)| k == key) {
+                    Some((_, ac)) => diff(&format!("{path}.{key}"), ga, ac, diffs),
+                    None => diffs.push(format!("{path}.{key}: missing from actual")),
+                }
+            }
+            for (key, _) in b {
+                if !a.iter().any(|(k, _)| k == key) {
+                    diffs.push(format!("{path}.{key}: not in golden"));
+                }
+            }
+        }
+        _ => diffs.push(format!("{path}: golden {golden:?} vs actual {actual:?}")),
+    }
+}
+
+/// Checks `actual` against `tests/golden/<name>.json`, or rewrites the
+/// snapshot when `UPDATE_GOLDEN=1`.
+fn check_golden(name: &str, actual: Json) {
+    let path = golden_dir().join(format!("{name}.json"));
+    if std::env::var("UPDATE_GOLDEN").map(|v| v == "1").unwrap_or(false) {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, render(&actual))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("updated golden snapshot {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden snapshot {}: {e}\n\
+             (regenerate with UPDATE_GOLDEN=1 cargo test --test golden)",
+            path.display()
+        )
+    });
+    let golden = Json::parse(&text)
+        .unwrap_or_else(|e| panic!("golden snapshot {} is invalid JSON: {e}", path.display()));
+    let mut diffs = Vec::new();
+    diff(name, &golden, &actual, &mut diffs);
+    assert!(
+        diffs.is_empty(),
+        "golden snapshot {name} drifted beyond {TOLERANCE:e}:\n  {}\n\
+         If the change is intentional, regenerate with UPDATE_GOLDEN=1 cargo test --test golden",
+        diffs.join("\n  ")
+    );
+}
+
+// -------------------------------------------------------------------- tests
+
+#[test]
+fn golden_table2_community_distribution() {
+    check_golden("table2", encode_table2());
+}
+
+#[test]
+fn golden_table3_fit_residuals() {
+    check_golden("table3", encode_table3());
+}
+
+#[test]
+fn golden_fig8b_compensation_by_class() {
+    check_golden("fig8b", encode_fig8b());
+}
+
+#[test]
+fn golden_fig8c_utility_vs_baselines() {
+    check_golden("fig8c", encode_fig8c());
+}
+
+/// The harness is sensitive enough for its job: perturbing a single fit
+/// coefficient by `1e-6` — three orders of magnitude above the `1e-9`
+/// tolerance — must surface as a reported diff.
+#[test]
+fn a_1e6_perturbation_fails_the_comparison() {
+    // Perturbs the first NoR coefficient found, skipping integral
+    // counts: drift is about fitted coefficients.
+    fn perturb_first_nor(value: &mut Json) -> bool {
+        match value {
+            Json::Arr(items) => items.iter_mut().any(perturb_first_nor),
+            Json::Obj(members) => members.iter_mut().any(|(key, member)| {
+                if key == "nors" {
+                    if let Json::Arr(nors) = member {
+                        if let Some(Json::Num(x)) = nors.first_mut() {
+                            *x += 1e-6;
+                            return true;
+                        }
+                    }
+                    false
+                } else {
+                    perturb_first_nor(member)
+                }
+            }),
+            _ => false,
+        }
+    }
+
+    let pristine = encode_table3();
+    let mut perturbed = pristine.clone();
+    assert!(perturb_first_nor(&mut perturbed), "found a coefficient to perturb");
+
+    let mut diffs = Vec::new();
+    diff("table3", &pristine, &perturbed, &mut diffs);
+    assert!(
+        !diffs.is_empty(),
+        "a 1e-6 coefficient perturbation must be detected"
+    );
+    assert!(diffs[0].contains("nors"), "the diff names the perturbed leaf: {diffs:?}");
+
+    // And the unperturbed encoding agrees with itself exactly.
+    let mut clean = Vec::new();
+    diff("table3", &pristine, &pristine, &mut clean);
+    assert!(clean.is_empty());
+}

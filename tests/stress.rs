@@ -1,14 +1,30 @@
-//! Paper-scale stress test — `#[ignore]`d by default; run explicitly
-//! with `cargo test --release --test stress -- --ignored`.
+//! Paper-scale stress test — gated on `DCC_SLOW_TESTS=1` instead of
+//! `#[ignore]`, so the scheduled CI job (`.github/workflows/scheduled.yml`)
+//! exercises it without a bespoke `-- --ignored` invocation:
+//!
+//! ```text
+//! DCC_SLOW_TESTS=1 cargo test --release --test stress
+//! ```
+//!
+//! Without the variable the test returns immediately (and says so), so
+//! plain `cargo test` stays fast.
 
 use dyncontract::core::{design_contracts, DesignConfig};
 use dyncontract::detect::{run_pipeline, PipelineConfig};
 use dyncontract::experiments::ExperimentScale;
 use std::time::Instant;
 
+/// True when slow, paper-scale tests were explicitly requested.
+fn slow_tests_enabled() -> bool {
+    std::env::var("DCC_SLOW_TESTS").map(|v| v == "1").unwrap_or(false)
+}
+
 #[test]
-#[ignore = "paper-scale run (~10 s in release); invoke with -- --ignored"]
 fn paper_scale_pipeline_under_a_minute() {
+    if !slow_tests_enabled() {
+        eprintln!("skipping paper-scale stress test; set DCC_SLOW_TESTS=1 to run it");
+        return;
+    }
     let t0 = Instant::now();
     let trace = ExperimentScale::Paper.generate(42);
     let gen_time = t0.elapsed();
