@@ -3,7 +3,7 @@
 
 CHAOS_CASES ?= 512
 
-.PHONY: build test clippy chaos experiments engine-bench metrics-check slow-tests ci
+.PHONY: build test lint clippy chaos experiments engine-bench metrics-check slow-tests ci
 
 build:
 	cargo build --release
@@ -11,8 +11,17 @@ build:
 test:
 	cargo test -q
 
+# Project-specific source rules (docs/static-analysis.md): float-eq,
+# unwrap-in-lib, nondet-iter, wall-clock, metric-registry. Exits
+# nonzero on any finding or stale suppression.
+lint:
+	cargo run -q -p dcc-cli --bin dcc -- lint --root .
+
+# `indexing_slicing` is advisory (workspace lint level "warn"): the
+# numeric kernels index tight loops on purpose, so it is surfaced in
+# editors but not promoted to deny here.
 clippy:
-	cargo clippy --workspace --all-targets -- -D warnings
+	cargo clippy --workspace --all-targets -- -D warnings -A clippy::indexing_slicing
 
 # Chaos pass: the whole workspace with elevated property-test iterations,
 # then the fault-tolerance integration suite on its own (kill/resume,
@@ -45,4 +54,4 @@ metrics-check:
 slow-tests:
 	DCC_SLOW_TESTS=1 cargo test --release --test stress
 
-ci: build test clippy metrics-check
+ci: build test lint clippy metrics-check

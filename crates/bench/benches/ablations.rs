@@ -8,6 +8,10 @@
 //! - **parallel**: crossbeam-parallel vs serial subproblem solving.
 //! - **m_sweep**: the cost of finer effort discretizations.
 
+// Benchmark harnesses are measurement code, not library surface;
+// panicking on a broken setup is the correct failure mode here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcc_core::{
     solve_subproblems, ContractBuilder, Discretization, ModelParams, Subproblem,

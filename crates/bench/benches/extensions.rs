@@ -1,6 +1,10 @@
 //! Benches for the extension systems: the adaptive re-contracting loop,
 //! the labeling market, and trace replay.
 
+// Benchmark harnesses are measurement code, not library surface;
+// panicking on a broken setup is the correct failure mode here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcc_bench::bench_trace;
 use dcc_core::{

@@ -1,5 +1,9 @@
 //! E6 bench: the Fig. 8(b) per-class compensation distributions.
 
+// Benchmark harnesses are measurement code, not library surface;
+// panicking on a broken setup is the correct failure mode here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use dcc_bench::bench_trace;
 use std::hint::black_box;

@@ -1,6 +1,10 @@
 //! Micro-benchmarks of the hot kernels: candidate construction, best
 //! response, contract evaluation, components, trace generation.
 
+// Benchmark harnesses are measurement code, not library surface;
+// panicking on a broken setup is the correct failure mode here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcc_core::{best_response, build_candidate, Discretization, ModelParams};
 use dcc_graph::{connected_components, Graph};

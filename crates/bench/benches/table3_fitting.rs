@@ -1,5 +1,9 @@
 //! E4 bench: polynomial fitting and the NoR table.
 
+// Benchmark harnesses are measurement code, not library surface;
+// panicking on a broken setup is the correct failure mode here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcc_bench::bench_trace;
 use dcc_core::nor_table;

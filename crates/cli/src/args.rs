@@ -1,6 +1,6 @@
 //! Minimal flag parser (the offline crate set has no `clap`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parsed command line: a subcommand, positional arguments, and
 /// `--key value` flags (`--key` alone is a boolean flag).
@@ -11,7 +11,7 @@ pub struct ParsedArgs {
     /// Positional arguments after the subcommand.
     pub positional: Vec<String>,
     /// Flag map; boolean flags map to `"true"`.
-    pub flags: HashMap<String, String>,
+    pub flags: BTreeMap<String, String>,
 }
 
 impl ParsedArgs {

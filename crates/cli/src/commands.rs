@@ -695,7 +695,10 @@ pub fn cmd_experiment(args: &ParsedArgs) -> CliResult {
             .map_err(err)?
             .table()
             .to_string(),
-        "table2" => dcc_experiments::table2::run(scale, seed).table().to_string(),
+        "table2" => dcc_experiments::table2::run(scale, seed)
+            .map_err(CliError::from)?
+            .table()
+            .to_string(),
         "table3" => dcc_experiments::table3::run(scale, seed)
             .map_err(err)?
             .table()
@@ -736,7 +739,10 @@ pub fn cmd_experiment(args: &ParsedArgs) -> CliResult {
                 .table()
                 .to_string();
             writeln!(s, "--- Table II ---").ok();
-            s += &dcc_experiments::table2::run_on(&trace).table().to_string();
+            s += &dcc_experiments::table2::run_on(&trace)
+                .map_err(CliError::from)?
+                .table()
+                .to_string();
             writeln!(s, "--- Fig. 7 ---").ok();
             s += &dcc_experiments::fig7::run_on(&trace).table().to_string();
             writeln!(s, "--- Table III ---").ok();
@@ -820,6 +826,36 @@ pub fn cmd_label(args: &ParsedArgs) -> CliResult {
     ))
 }
 
+/// `dcc lint [PATHS...] [--root DIR] [--json]` — runs the dcc-lint
+/// determinism & numeric-safety analyzer. With no paths the whole
+/// workspace under `--root` (default `.`) is walked and the
+/// `metric-registry` cross-check runs; with explicit paths only those
+/// files/directories are checked with the token rules. Exit 0 with a
+/// summary when clean; exit 1 with the findings (text or `--json`)
+/// otherwise.
+pub fn cmd_lint(args: &ParsedArgs) -> CliResult {
+    let root = PathBuf::from(args.str_flag("root", "."));
+    let cfg = if args.positional.is_empty() {
+        dcc_lint::Config::workspace(root)
+    } else {
+        dcc_lint::Config::explicit(
+            root,
+            args.positional.iter().map(PathBuf::from).collect(),
+        )
+    };
+    let report = dcc_lint::run(&cfg).map_err(CliError::Usage)?;
+    let rendered = if args.bool_flag("json") {
+        report.to_json()
+    } else {
+        report.to_text()
+    };
+    if report.findings.is_empty() {
+        Ok(rendered)
+    } else {
+        Err(CliError::Failed(rendered))
+    }
+}
+
 /// `dcc check [--r2 F --r1 F --r0 F --mu F --omega F --weight F
 ///  --intervals N --ymax F]` — builds a contract for the given parameters
 /// and verifies the §IV-C theory at runtime: best-response interval
@@ -872,7 +908,7 @@ pub fn cmd_check(args: &ParsedArgs) -> CliResult {
         checks.push(("best response in target interval", in_interval));
         let c_lo = bounds::compensation_lower_bound(&params, &disc, k);
         let c_hi = bounds::compensation_upper_bound(&params, &disc, &psi, k);
-        if params.omega == 0.0 {
+        if dcc_numerics::exact_eq(params.omega, 0.0) {
             checks.push((
                 "Lemma 4.2/4.3 compensation bracket",
                 built.compensation() >= c_lo - 1e-9 && built.compensation() <= c_hi + 1e-9,
@@ -981,6 +1017,8 @@ COMMANDS:
              detection|collusion|all [--scale small|paper --seed N]
                                                        regenerate paper artifacts
   label      [--workers N --items N --mu F]            classification extension
+  lint       [PATHS...] [--root DIR --json]            determinism & numeric-safety
+                                                       static analysis (dcc-lint)
   help                                                 this text
 "
     .to_string()
@@ -1001,6 +1039,7 @@ pub fn dispatch(args: &ParsedArgs) -> CliResult {
         Some("check") => cmd_check(args),
         Some("experiment") => cmd_experiment(args),
         Some("label") => cmd_label(args),
+        Some("lint") => cmd_lint(args),
         Some("help") | None => Ok(help()),
         Some(other) => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{}",

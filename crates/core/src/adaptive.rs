@@ -5,7 +5,7 @@ use crate::{
 use dcc_numerics::Quadratic;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One agent of the adaptive repeated game.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,11 +100,11 @@ pub struct AdaptiveState {
     /// The noise RNG, positioned exactly after round `next_round - 1`.
     pub rng: StdRng,
     /// The requester's believed effort function per group.
-    pub group_psis: HashMap<usize, Quadratic>,
+    pub group_psis: BTreeMap<usize, Quadratic>,
     /// The requester's estimated weight per agent.
     pub est_weights: Vec<f64>,
     /// Pooled `(round, effort, feedback)` observations per group.
-    pub group_obs: HashMap<usize, Vec<(usize, f64, f64)>>,
+    pub group_obs: BTreeMap<usize, Vec<(usize, f64, f64)>>,
     /// Noisy accuracy audits `(round, audited weight)` per agent.
     pub audit_obs: Vec<Vec<(usize, f64)>>,
     /// The contracts currently offered, indexed like the agents.
@@ -187,7 +187,7 @@ impl AdaptiveSimulation {
         let rng = StdRng::seed_from_u64(self.config.seed);
 
         // The requester's beliefs: per-group psi and per-agent weight.
-        let mut group_psis: HashMap<usize, Quadratic> = HashMap::new();
+        let mut group_psis: BTreeMap<usize, Quadratic> = BTreeMap::new();
         for a in agents {
             group_psis.entry(a.group).or_insert(a.true_psi);
         }
@@ -205,7 +205,7 @@ impl AdaptiveSimulation {
             rng,
             group_psis,
             est_weights,
-            group_obs: HashMap::new(),
+            group_obs: BTreeMap::new(),
             audit_obs: vec![Vec::new(); agents.len()],
             contracts,
             recontract_rounds: vec![0usize],
@@ -327,7 +327,7 @@ impl AdaptiveSimulation {
     fn design_all(
         &self,
         agents: &[AdaptiveAgent],
-        group_psis: &HashMap<usize, Quadratic>,
+        group_psis: &BTreeMap<usize, Quadratic>,
         est_weights: &[f64],
     ) -> Result<Vec<Contract>, CoreError> {
         agents
@@ -360,8 +360,8 @@ impl AdaptiveSimulation {
     /// drifting behaviour).
     fn refit_groups(
         &self,
-        group_psis: &mut HashMap<usize, Quadratic>,
-        group_obs: &HashMap<usize, Vec<(usize, f64, f64)>>,
+        group_psis: &mut BTreeMap<usize, Quadratic>,
+        group_obs: &BTreeMap<usize, Vec<(usize, f64, f64)>>,
         now: usize,
     ) {
         let horizon = now.saturating_sub(self.config.window);
@@ -423,6 +423,9 @@ fn gaussian<R: Rng>(rng: &mut R) -> f64 {
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

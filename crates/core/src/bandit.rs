@@ -126,9 +126,9 @@ impl LinearPricingBandit {
                     .max_by(|&i, &j| {
                         let mi = totals[i] / pulls[i].max(1) as f64;
                         let mj = totals[j] / pulls[j].max(1) as f64;
-                        mi.partial_cmp(&mj).expect("finite means")
+                        mi.partial_cmp(&mj).unwrap_or(std::cmp::Ordering::Equal)
                     })
-                    .expect("nonempty arms")
+                    .unwrap_or(0)
             };
 
             let mut benefit = 0.0;
@@ -157,9 +157,9 @@ impl LinearPricingBandit {
             .max_by(|&i, &j| {
                 let mi = totals[i] / pulls[i].max(1) as f64;
                 let mj = totals[j] / pulls[j].max(1) as f64;
-                mi.partial_cmp(&mj).expect("finite means")
+                mi.partial_cmp(&mj).unwrap_or(std::cmp::Ordering::Equal)
             })
-            .expect("nonempty arms");
+            .unwrap_or(0);
         let cumulative: f64 = rounds.iter().map(|r| r.requester_utility).sum();
         let late_start = self.rounds - (self.rounds / 4).max(1);
         let late: Vec<f64> = rounds[late_start..]
@@ -177,6 +177,9 @@ impl LinearPricingBandit {
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::{ContractBuilder, Discretization};

@@ -1,7 +1,7 @@
 use crate::{AgentSpec, Contract, ContractDesign, CoreError};
 use dcc_numerics::Quadratic;
 use dcc_trace::ReviewerId;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The pricing strategies compared in Fig. 8(c).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,7 +61,7 @@ impl BaselineStrategy {
         &self,
         design: &ContractDesign,
         omega: f64,
-        suspected: &HashSet<ReviewerId>,
+        suspected: &BTreeSet<ReviewerId>,
     ) -> Result<Vec<AgentSpec>, CoreError> {
         let mut agents = Vec::with_capacity(design.solution.solutions.len());
         for sol in &design.solution.solutions {
@@ -85,7 +85,7 @@ impl BaselineStrategy {
                 }
                 StrategyKind::FixedPayment { amount } => {
                     let knots = sol.built.contract().feedback_knots();
-                    let (lo, hi) = (knots[0], *knots.last().expect("contract has knots"));
+                    let (lo, hi) = (knots[0], knots[knots.len() - 1]);
                     (Contract::fixed(lo, hi, amount)?, true)
                 }
             };
@@ -105,18 +105,21 @@ impl BaselineStrategy {
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::{design_contracts, DesignConfig, ModelParams, Simulation, SimulationConfig};
     use dcc_detect::{run_pipeline, PipelineConfig};
     use dcc_trace::SyntheticConfig;
 
-    fn setup() -> (ContractDesign, HashSet<ReviewerId>, ModelParams) {
+    fn setup() -> (ContractDesign, BTreeSet<ReviewerId>, ModelParams) {
         let trace = SyntheticConfig::small(201).generate();
         let detection = run_pipeline(&trace, PipelineConfig::default());
         let config = DesignConfig::default();
         let design = design_contracts(&trace, &detection, &config).unwrap();
-        let suspected: HashSet<ReviewerId> = detection.suspected.iter().copied().collect();
+        let suspected: BTreeSet<ReviewerId> = detection.suspected.iter().copied().collect();
         (design, suspected, config.params)
     }
 

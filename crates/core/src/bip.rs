@@ -4,6 +4,7 @@ use crate::{
 };
 use dcc_numerics::Quadratic;
 use dcc_obs::{names, Metrics};
+// dcc-lint: allow(wall-clock, reason = "subproblem timings are measured here and routed into dcc-obs via span_at")
 use std::time::Instant;
 
 /// What to do when a single subproblem's contract construction fails
@@ -246,6 +247,7 @@ pub fn solve_subproblems_recorded(
     }
     let workers = clamp_pool(pool, subproblems.len());
     let timed = fan_out(subproblems, workers, |sp| {
+        // dcc-lint: allow(wall-clock, reason = "per-subproblem timing fed to metrics.span_at below")
         let start = Instant::now();
         let result = solve_one(sp, params);
         (result, start.elapsed())
@@ -316,7 +318,7 @@ where
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("solver thread must not panic"))
+                .flat_map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
                 .collect()
         })
     } else {
@@ -411,8 +413,10 @@ fn fallback_solution(
         amount.max(0.0)
     };
     let (d_lo, d_hi) = feedback_domain(sp);
+    #[allow(clippy::expect_used)] // unit-domain fallback cannot fail: pay is clamped nonnegative
     let contract = Contract::fixed(d_lo, d_hi, pay)
         .or_else(|_| Contract::fixed(0.0, 1.0, pay))
+        // dcc-lint: allow(unwrap-in-lib, reason = "unit-domain fixed contract with nonnegative pay is infallible by construction")
         .expect("unit-domain fixed contract is always valid");
 
     let zero_effort_feedback = {
@@ -445,8 +449,10 @@ fn fallback_solution(
 /// subproblem: the worker is out of the system — no pay, no benefit.
 fn skip_solution(sp: &Subproblem) -> SubproblemSolution {
     let (d_lo, d_hi) = feedback_domain(sp);
+    #[allow(clippy::expect_used)] // unit-domain zero contract has no failing input
     let contract = Contract::zero(d_lo, d_hi)
         .or_else(|_| Contract::zero(0.0, 1.0))
+        // dcc-lint: allow(unwrap-in-lib, reason = "unit-domain zero contract is infallible by construction")
         .expect("unit-domain zero contract is always valid");
     let weight = if sp.weight.is_finite() { sp.weight } else { 0.0 };
     let response = BestResponse {
@@ -478,6 +484,9 @@ fn utility_delta(sp: &Subproblem, params: &ModelParams, achieved: f64) -> Option
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -80,6 +80,9 @@ pub fn requester_utility_lower_bound(
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::{best_response, build_candidate};

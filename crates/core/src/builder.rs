@@ -261,9 +261,11 @@ impl ContractBuilder {
         }
 
         let (k_opt, contract, response, requester_utility, _) =
-            best.expect("at least one candidate evaluated");
+            best.ok_or_else(|| {
+            CoreError::InvalidContract("no candidate contract could be evaluated".into())
+        })?;
         let utility_bounds = match k_opt {
-            Some(k) if self.params.omega == 0.0 => Some((
+            Some(k) if dcc_numerics::exact_eq(self.params.omega, 0.0) => Some((
                 bounds::requester_utility_lower_bound(
                     self.weight,
                     &self.params,
@@ -294,6 +296,9 @@ impl ContractBuilder {
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -158,8 +158,7 @@ pub fn build_candidate_with_margin(
     // the interval for the edge cases where clamping disturbed the theory.
     let alpha_k = slopes[k - 1];
     let predicted_effort = if alpha_k + params.omega > 0.0 {
-        psi.inverse_derivative(params.beta / (alpha_k + params.omega))
-            .expect("r2 < 0 validated above")
+        psi.inverse_derivative(params.beta / (alpha_k + params.omega))?
             .clamp(disc.knot(k - 1), disc.knot(k))
     } else {
         disc.knot(k - 1)
@@ -177,6 +176,9 @@ pub fn build_candidate_with_margin(
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::cases::{case_of_slope, SlopeCase};
@@ -199,7 +201,7 @@ mod tests {
             assert!(!cand.clamped, "no clamping expected for omega = 0");
             for l in 1..=k {
                 assert_eq!(
-                    case_of_slope(&params, &disc, &psi, cand.slopes[l - 1], l),
+                    case_of_slope(&params, &disc, &psi, cand.slopes[l - 1], l).unwrap(),
                     SlopeCase::CaseIII,
                     "slope alpha_{l} = {} outside Case III window for k={k}",
                     cand.slopes[l - 1]
@@ -323,13 +325,13 @@ mod tests {
                 // slack); the target interval keeps an interior optimum.
                 for l in 1..k {
                     assert_eq!(
-                        case_of_slope(&params, &disc, &psi, slack.slopes[l - 1], l),
+                        case_of_slope(&params, &disc, &psi, slack.slopes[l - 1], l).unwrap(),
                         SlopeCase::CaseII,
                         "margin {margin} k={k} l={l}"
                     );
                 }
                 assert_eq!(
-                    case_of_slope(&params, &disc, &psi, slack.slopes[k - 1], k),
+                    case_of_slope(&params, &disc, &psi, slack.slopes[k - 1], k).unwrap(),
                     SlopeCase::CaseIII,
                     "margin {margin} k={k} target"
                 );

@@ -1,4 +1,4 @@
-use crate::{Discretization, ModelParams};
+use crate::{CoreError, Discretization, ModelParams};
 use dcc_numerics::Quadratic;
 
 /// Classification of a contract piece by the sign pattern of the worker's
@@ -40,46 +40,66 @@ pub fn case_window_hi(params: &ModelParams, disc: &Discretization, psi: &Quadrat
 /// - non-positive at the left endpoint ⇒ Case I,
 /// - non-negative at the right endpoint ⇒ Case II,
 /// - otherwise ⇒ Case III with the interior optimum of Eq. 31.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInterval`] when `l` is outside
+/// `1..=disc.intervals()` — in release builds too, so corrupted interval
+/// indices from untrusted plans surface as errors, not silent
+/// misclassification.
 pub fn case_of_slope(
     params: &ModelParams,
     disc: &Discretization,
     psi: &Quadratic,
     alpha: f64,
     l: usize,
-) -> SlopeCase {
-    debug_assert!(l >= 1 && l <= disc.intervals(), "interval {l} out of range");
-    if alpha <= case_window_lo(params, disc, psi, l) {
+) -> Result<SlopeCase, CoreError> {
+    if l < 1 || l > disc.intervals() {
+        return Err(CoreError::InvalidInterval {
+            interval: l,
+            intervals: disc.intervals(),
+        });
+    }
+    Ok(if alpha <= case_window_lo(params, disc, psi, l) {
         SlopeCase::CaseI
     } else if alpha >= case_window_hi(params, disc, psi, l) {
         SlopeCase::CaseII
     } else {
         SlopeCase::CaseIII
-    }
+    })
 }
 
 /// The worker's optimal effort within interval `l` (1-based) under
 /// contract slope `alpha` (Eq. 30): the left endpoint in Case I, the
 /// right endpoint in Case II (the supremum of the half-open interval),
 /// and the Eq. 31 closed form `ψ′⁻¹(β/(α+ω))` in Case III.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInterval`] for an out-of-range `l`, and
+/// [`CoreError::Numerics`] when ψ's derivative is not invertible (a
+/// linear ψ, which the model's concavity validation rejects upstream).
 pub fn interval_optimum(
     params: &ModelParams,
     disc: &Discretization,
     psi: &Quadratic,
     alpha: f64,
     l: usize,
-) -> f64 {
-    match case_of_slope(params, disc, psi, alpha, l) {
+) -> Result<f64, CoreError> {
+    Ok(match case_of_slope(params, disc, psi, alpha, l)? {
         SlopeCase::CaseI => disc.knot(l - 1),
         SlopeCase::CaseII => disc.knot(l),
         SlopeCase::CaseIII => {
             let target_slope = params.beta / (alpha + params.omega);
-            psi.inverse_derivative(target_slope)
-                .expect("psi is strictly concave (r2 < 0), derivative invertible")
+            psi.inverse_derivative(target_slope)?
         }
-    }
+    })
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -114,14 +134,14 @@ mod tests {
         let l = 3;
         let lo = case_window_lo(&params, &disc, &psi, l);
         let hi = case_window_hi(&params, &disc, &psi, l);
-        assert_eq!(case_of_slope(&params, &disc, &psi, lo - 0.01, l), SlopeCase::CaseI);
-        assert_eq!(case_of_slope(&params, &disc, &psi, lo, l), SlopeCase::CaseI);
+        assert_eq!(case_of_slope(&params, &disc, &psi, lo - 0.01, l).unwrap(), SlopeCase::CaseI);
+        assert_eq!(case_of_slope(&params, &disc, &psi, lo, l).unwrap(), SlopeCase::CaseI);
         assert_eq!(
-            case_of_slope(&params, &disc, &psi, 0.5 * (lo + hi), l),
+            case_of_slope(&params, &disc, &psi, 0.5 * (lo + hi), l).unwrap(),
             SlopeCase::CaseIII
         );
-        assert_eq!(case_of_slope(&params, &disc, &psi, hi, l), SlopeCase::CaseII);
-        assert_eq!(case_of_slope(&params, &disc, &psi, hi + 1.0, l), SlopeCase::CaseII);
+        assert_eq!(case_of_slope(&params, &disc, &psi, hi, l).unwrap(), SlopeCase::CaseII);
+        assert_eq!(case_of_slope(&params, &disc, &psi, hi + 1.0, l).unwrap(), SlopeCase::CaseII);
     }
 
     #[test]
@@ -130,10 +150,10 @@ mod tests {
         let l = 4;
         let lo = case_window_lo(&params, &disc, &psi, l);
         let hi = case_window_hi(&params, &disc, &psi, l);
-        assert_eq!(interval_optimum(&params, &disc, &psi, lo - 0.1, l), disc.knot(l - 1));
-        assert_eq!(interval_optimum(&params, &disc, &psi, hi + 0.1, l), disc.knot(l));
+        assert_eq!(interval_optimum(&params, &disc, &psi, lo - 0.1, l).unwrap(), disc.knot(l - 1));
+        assert_eq!(interval_optimum(&params, &disc, &psi, hi + 0.1, l).unwrap(), disc.knot(l));
         let mid = 0.5 * (lo + hi);
-        let y = interval_optimum(&params, &disc, &psi, mid, l);
+        let y = interval_optimum(&params, &disc, &psi, mid, l).unwrap();
         assert!(y > disc.knot(l - 1) && y < disc.knot(l), "interior optimum {y}");
         // First-order condition holds at the interior optimum.
         let foc = (mid + params.omega) * psi.derivative_at(y) - params.beta;
@@ -147,7 +167,7 @@ mod tests {
         let lo = case_window_lo(&params, &disc, &psi, l);
         let hi = case_window_hi(&params, &disc, &psi, l);
         let alpha = 0.3 * lo + 0.7 * hi;
-        let y_closed = interval_optimum(&params, &disc, &psi, alpha, l);
+        let y_closed = interval_optimum(&params, &disc, &psi, alpha, l).unwrap();
         // Brute-force the same maximization.
         let utility = |y: f64| (alpha + params.omega) * psi.eval(y) - params.beta * y;
         let mut best_y = disc.knot(l - 1);
@@ -162,6 +182,22 @@ mod tests {
             }
         }
         assert!((y_closed - best_y).abs() < 1e-3, "closed {y_closed} vs grid {best_y}");
+    }
+
+    #[test]
+    fn out_of_range_interval_is_a_typed_error() {
+        let (params, disc, psi) = setup();
+        for l in [0, disc.intervals() + 1] {
+            let err = case_of_slope(&params, &disc, &psi, 0.5, l).unwrap_err();
+            assert_eq!(
+                err,
+                crate::CoreError::InvalidInterval {
+                    interval: l,
+                    intervals: disc.intervals()
+                }
+            );
+            assert!(interval_optimum(&params, &disc, &psi, 0.5, l).is_err());
+        }
     }
 
     #[test]

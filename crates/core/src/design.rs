@@ -6,7 +6,7 @@ use crate::{
 use dcc_detect::DetectionResult;
 use dcc_numerics::{percentile, Quadratic};
 use dcc_trace::{ReviewerId, TraceDataset};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration of the end-to-end contract design.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -141,7 +141,7 @@ impl ContractDesign {
     /// Compensations of the given workers, in order (missing workers are
     /// skipped).
     pub fn compensations_of(&self, workers: &[ReviewerId]) -> Vec<f64> {
-        let by_id: HashMap<ReviewerId, f64> = self
+        let by_id: BTreeMap<ReviewerId, f64> = self
             .agents
             .iter()
             .map(|a| (a.worker, a.compensation))
@@ -209,8 +209,8 @@ pub fn prepare_design(
 ) -> Result<DesignPrep, CoreError> {
     config.validate()?;
 
-    let suspected: HashSet<ReviewerId> = detection.suspected.iter().copied().collect();
-    let in_community: HashSet<ReviewerId> = detection
+    let suspected: BTreeSet<ReviewerId> = detection.suspected.iter().copied().collect();
+    let in_community: BTreeSet<ReviewerId> = detection
         .collusion
         .communities
         .iter()
@@ -222,7 +222,7 @@ pub fn prepare_design(
     let mut honest_points = Vec::new();
     let mut ncm_points = Vec::new();
     let mut cm_points = Vec::new();
-    let mut worker_points: HashMap<ReviewerId, (f64, f64)> = HashMap::new();
+    let mut worker_points: BTreeMap<ReviewerId, (f64, f64)> = BTreeMap::new();
     for reviewer in trace.reviewers() {
         let reviews = trace.reviews_by(reviewer.id);
         if reviews.is_empty() {
@@ -384,7 +384,7 @@ pub fn assemble_design(
     solution: BipSolution,
     degradation: DegradationReport,
 ) -> ContractDesign {
-    let suspected: HashSet<ReviewerId> = detection.suspected.iter().copied().collect();
+    let suspected: BTreeSet<ReviewerId> = detection.suspected.iter().copied().collect();
     let partner_counts = detection.collusion.partner_counts();
     let delta_of = |sp_id: usize| {
         prep.subproblems
@@ -454,6 +454,9 @@ pub fn design_contracts(
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use dcc_detect::{run_pipeline, PipelineConfig};

@@ -43,6 +43,14 @@ pub enum CoreError {
     /// Input collections disagreed in length or were empty where content
     /// was required.
     InvalidInput(String),
+    /// A 1-based effort-interval index fell outside the discretization
+    /// (`1..=intervals`).
+    InvalidInterval {
+        /// The offending index.
+        interval: usize,
+        /// Number of intervals in the discretization.
+        intervals: usize,
+    },
     /// An I/O operation (checkpoint write, fault-plan read, …) failed.
     Io {
         /// What the operation was trying to do (path, phase).
@@ -91,6 +99,10 @@ impl fmt::Display for CoreError {
             CoreError::InvalidContract(m) => write!(f, "invalid contract: {m}"),
             CoreError::Numerics(e) => write!(f, "numerics error: {e}"),
             CoreError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            CoreError::InvalidInterval { interval, intervals } => write!(
+                f,
+                "interval index {interval} outside the discretization (1..={intervals})"
+            ),
             CoreError::Io { context, source } => write!(f, "io error: {context}: {source}"),
             CoreError::Degraded {
                 context,

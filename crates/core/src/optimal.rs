@@ -39,18 +39,19 @@ pub fn incentive_cost(params: &ModelParams, psi: &Quadratic, y: f64) -> Result<f
 /// The effort a worker exerts with no contract at all:
 /// `argmax_{y ≥ 0} (ωψ(y) − βy)`, i.e. `ψ′⁻¹(β/ω)` clamped to 0.
 fn autonomous_effort(params: &ModelParams, psi: &Quadratic) -> f64 {
-    if params.omega == 0.0 {
+    if dcc_numerics::exact_eq(params.omega, 0.0) {
         return 0.0;
     }
+    // Callers validate r2 < 0; a degenerate (linear) psi degrades to
+    // zero autonomous effort instead of panicking.
     psi.inverse_derivative(params.beta / params.omega)
-        .expect("r2 < 0 checked by callers")
-        .max(0.0)
+        .map_or(0.0, |y| y.max(0.0))
 }
 
 /// The worker's best utility with no contract at all:
 /// `max_{y ≥ 0} (ωψ(y) − βy)`.
 fn autonomous_utility(params: &ModelParams, psi: &Quadratic) -> f64 {
-    if params.omega == 0.0 {
+    if dcc_numerics::exact_eq(params.omega, 0.0) {
         // -beta * y maximized at y = 0; the baseline utility is the
         // intrinsic value of zero-effort feedback.
         return 0.0;
@@ -103,9 +104,7 @@ pub fn first_best_utility(
     // (w + mu*omega) * psi'(y) = mu * beta.
     let effective = weight + params.mu * params.omega;
     if effective > 0.0 {
-        let y = psi
-            .inverse_derivative(params.mu * params.beta / effective)
-            .expect("r2 < 0 checked in incentive_cost");
+        let y = psi.inverse_derivative(params.mu * params.beta / effective)?;
         if (0.0..=y_max).contains(&y) {
             eval(y)?;
         }

@@ -185,6 +185,9 @@ impl fmt::Display for Discretization {
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -45,7 +45,7 @@ pub fn replay_trace(
         .iter()
         .map(|r| r.round)
         .max()
-        .expect("nonempty reviews")
+        .unwrap_or(0)
         + 1;
 
     // Per-(round, worker) mean feedback from the recorded reviews.

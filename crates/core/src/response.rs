@@ -54,7 +54,11 @@ pub fn best_response(
 
     // The worker never exerts effort past the feedback peak: beyond it,
     // feedback (and hence pay) falls while effort cost rises.
-    let y_peak = psi.peak().expect("r2 < 0 has a peak");
+    let Some(y_peak) = psi.peak() else {
+        return Err(CoreError::InvalidEffortFunction(
+            "psi must be strictly concave".into(),
+        ));
+    };
 
     let utility = |y: f64| {
         let q = psi.eval(y);
@@ -93,14 +97,12 @@ pub fn best_response(
     segment_bounds.push(0.0);
     for &d in knots {
         if d > q0 && d < q_peak {
-            let y = psi
-                .inverse_on_increasing(d)
-                .expect("d within attainable feedback range");
+            let y = psi.inverse_on_increasing(d)?;
             segment_bounds.push(y.max(0.0));
         }
     }
     segment_bounds.push(y_peak);
-    segment_bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    segment_bounds.sort_by(f64::total_cmp);
     segment_bounds.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
     for window in segment_bounds.windows(2) {
@@ -129,6 +131,9 @@ pub fn best_response(
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::{build_candidate, Discretization};

@@ -66,7 +66,11 @@ pub fn best_response_risk_averse(
             "psi must be strictly concave and increasing at 0".into(),
         ));
     }
-    let y_peak = psi.peak().expect("r2 < 0 has a peak");
+    let Some(y_peak) = psi.peak() else {
+        return Err(CoreError::InvalidEffortFunction(
+            "psi must be strictly concave".into(),
+        ));
+    };
     let utility = |y: f64| {
         let q = psi.eval(y);
         risk.money_utility(contract.compensation(q)) + params.omega * q - params.beta * y
@@ -128,6 +132,9 @@ pub fn risk_effort_drop(
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::{best_response, ContractBuilder, Discretization};

@@ -68,6 +68,9 @@ pub fn requester_round_utility(params: &ModelParams, realized: &[(f64, f64, f64)
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::{best_response, ContractBuilder, Discretization};

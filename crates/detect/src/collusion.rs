@@ -1,6 +1,6 @@
 use dcc_graph::{connected_components, Bipartite};
 use dcc_trace::{ReviewerId, TraceDataset};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The Table II size buckets: `2, 3, 4, 5, 6, ≥10` (sizes 7–9 never occur
 /// in the paper's trace; they are folded into the `≥10` bucket here only
@@ -28,8 +28,8 @@ impl CollusionReport {
 
     /// The number of collusion partners (`A_i` of Eq. 5) for every worker
     /// in the input set: community size − 1, or 0 for singletons.
-    pub fn partner_counts(&self) -> HashMap<ReviewerId, usize> {
-        let mut map = HashMap::new();
+    pub fn partner_counts(&self) -> BTreeMap<ReviewerId, usize> {
+        let mut map = BTreeMap::new();
         for c in &self.communities {
             for &m in c {
                 map.insert(m, c.len() - 1);
@@ -86,7 +86,7 @@ impl CollusionReport {
 /// iterative DFS — linear in the number of suspect reviews.
 pub fn cluster_collusive(trace: &TraceDataset, suspected: &[ReviewerId]) -> CollusionReport {
     // Dense re-indexing of the suspect set.
-    let mut dense: HashMap<ReviewerId, usize> = HashMap::with_capacity(suspected.len());
+    let mut dense: BTreeMap<ReviewerId, usize> = BTreeMap::new();
     for (i, &w) in suspected.iter().enumerate() {
         dense.insert(w, i);
     }
@@ -94,9 +94,8 @@ pub fn cluster_collusive(trace: &TraceDataset, suspected: &[ReviewerId]) -> Coll
     let mut bipartite = Bipartite::new(suspected.len(), trace.products().len());
     for (&worker, &slot) in &dense {
         for review in trace.reviews_by(worker) {
-            bipartite
-                .add_edge(slot, review.product.index())
-                .expect("slot and product are in range by construction");
+            let in_range = bipartite.add_edge(slot, review.product.index());
+            debug_assert!(in_range.is_ok(), "slot and product are in range by construction");
         }
     }
 

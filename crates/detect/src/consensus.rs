@@ -1,5 +1,5 @@
 use dcc_trace::{ProductId, ReviewerId, TraceDataset};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct ProductConsensus {
@@ -26,7 +26,7 @@ pub struct ConsensusMap {
 impl ConsensusMap {
     /// Builds the consensus for every product of `trace`.
     pub fn build(trace: &TraceDataset) -> Self {
-        Self::build_excluding(trace, &HashSet::new())
+        Self::build_excluding(trace, &BTreeSet::new())
     }
 
     /// Builds the consensus while excluding reviews by `excluded` workers
@@ -36,7 +36,7 @@ impl ConsensusMap {
     /// Expert reviews always take precedence. If excluding suspects would
     /// leave a product with no reviews at all, the unfiltered crowd mean
     /// is used (better a weak consensus than none).
-    pub fn build_excluding(trace: &TraceDataset, excluded: &HashSet<ReviewerId>) -> Self {
+    pub fn build_excluding(trace: &TraceDataset, excluded: &BTreeSet<ReviewerId>) -> Self {
         let n = trace.products().len();
         let mut products = vec![ProductConsensus::default(); n];
         for (i, slot) in products.iter_mut().enumerate() {
@@ -244,7 +244,7 @@ mod tests {
     fn excluding_suspects_shifts_consensus() {
         let trace = SyntheticConfig::small(5).generate();
         let raw = ConsensusMap::build(&trace);
-        let excluded: HashSet<_> = trace
+        let excluded: BTreeSet<_> = trace
             .workers_of_class(WorkerClass::CollusiveMalicious)
             .into_iter()
             .chain(trace.workers_of_class(WorkerClass::NonCollusiveMalicious))

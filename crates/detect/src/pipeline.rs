@@ -3,7 +3,7 @@ use crate::{
     MaliciousEstimates, WeightParams,
 };
 use dcc_trace::{ReviewerId, TraceDataset};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Where the suspected-malicious worker set comes from.
 ///
@@ -88,7 +88,7 @@ pub fn run_pipeline(trace: &TraceDataset, config: PipelineConfig) -> DetectionRe
     };
     let collusion = cluster_collusive(trace, &suspected);
 
-    let excluded: HashSet<_> = suspected.iter().copied().collect();
+    let excluded: BTreeSet<_> = suspected.iter().copied().collect();
     let consensus = ConsensusMap::build_excluding(trace, &excluded);
     let weights =
         FeedbackWeights::compute(trace, &consensus, &estimates, &collusion, config.weights);
@@ -175,7 +175,7 @@ mod tests {
                 ..PipelineConfig::default()
             },
         );
-        let suspected: HashSet<_> = result.suspected.iter().copied().collect();
+        let suspected: BTreeSet<_> = result.suspected.iter().copied().collect();
         let ncm = trace.workers_of_class(WorkerClass::NonCollusiveMalicious);
         let recall =
             ncm.iter().filter(|id| suspected.contains(id)).count() as f64 / ncm.len() as f64;

@@ -127,7 +127,7 @@ mod tests {
         let mut suspected = trace.workers_of_class(WorkerClass::NonCollusiveMalicious);
         suspected.extend(trace.workers_of_class(WorkerClass::CollusiveMalicious));
         let collusion = cluster_collusive(&trace, &suspected);
-        let excluded: std::collections::HashSet<_> = suspected.iter().copied().collect();
+        let excluded: std::collections::BTreeSet<_> = suspected.iter().copied().collect();
         let consensus = ConsensusMap::build_excluding(&trace, &excluded);
         let weights = FeedbackWeights::compute(
             &trace,

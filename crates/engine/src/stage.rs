@@ -55,10 +55,14 @@ impl StageKind {
 
     /// Position in the execution order (0 = `Ingest`, 5 = `Simulate`).
     pub fn index(self) -> usize {
-        StageKind::ALL
-            .iter()
-            .position(|k| *k == self)
-            .expect("StageKind::ALL covers every variant")
+        match self {
+            StageKind::Ingest => 0,
+            StageKind::Detect => 1,
+            StageKind::FitEffort => 2,
+            StageKind::SolveSubproblems => 3,
+            StageKind::ConstructContracts => 4,
+            StageKind::Simulate => 5,
+        }
     }
 }
 

@@ -11,7 +11,7 @@ use dcc_detect::run_pipeline;
 use dcc_faults::{load_sim_state, save_sim_state, FaultInjector};
 use dcc_obs::{names as obs, AttrValue};
 use dcc_trace::read_trace_csv;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::path::Path;
 
 /// Materializes the trace from the configured [`TraceSource`].
@@ -180,7 +180,7 @@ impl Stage for DefaultSimulate {
         }
 
         let design = ctx.design()?;
-        let suspected: HashSet<_> = ctx.detection()?.suspected.iter().copied().collect();
+        let suspected: BTreeSet<_> = ctx.detection()?.suspected.iter().copied().collect();
         let agents = BaselineStrategy::new(config.strategy).assemble(
             design,
             config.design.params.omega,

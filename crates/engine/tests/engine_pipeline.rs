@@ -4,6 +4,11 @@
 //! custom stages, and thread the checkpoint/kill/resume protocol
 //! through unchanged.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+#![allow(clippy::float_cmp)]
+
 use dcc_core::{
     design_contracts, BaselineStrategy, DesignConfig, NoFaults, Simulation, SimulationConfig,
     StrategyKind,
@@ -16,7 +21,7 @@ use dcc_engine::{
     Stage, StageKind,
 };
 use dcc_trace::{SyntheticConfig, TraceDataset};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 fn trace() -> TraceDataset {
     SyntheticConfig::small(2024).generate()
@@ -34,7 +39,7 @@ fn engine_matches_hand_wired_chain_bit_exactly() {
     let detection = run_pipeline(&trace, PipelineConfig::default());
     let config = DesignConfig::default();
     let design = design_contracts(&trace, &detection, &config).unwrap();
-    let suspected: HashSet<_> = detection.suspected.iter().copied().collect();
+    let suspected: BTreeSet<_> = detection.suspected.iter().copied().collect();
     let agents = BaselineStrategy::new(StrategyKind::DynamicContract)
         .assemble(&design, config.params.omega, &suspected)
         .unwrap();

@@ -4,6 +4,10 @@
 //! simulation events, and degraded-mode / fault-injection accounting
 //! that matches the `DegradationReport` and the injector log exactly.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dcc_core::{DegradationAction, FailurePolicy, Simulation};
 use dcc_engine::{Engine, EngineConfig, EngineSimOutcome, PoolSize, RoundContext, SimOptions};
 use dcc_faults::{FaultInjector, FaultPlanConfig};

@@ -4,6 +4,10 @@
 //! the pooled solve and the full engine run must be **bit-identical** to
 //! the sequential path.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dcc_core::{
     prepare_design, solve_subproblems_pooled, DesignConfig, DesignPrep, FailurePolicy,
 };

@@ -62,7 +62,7 @@ impl AdaptiveResult {
     }
 }
 
-fn population(scenario: &str) -> Vec<AdaptiveAgent> {
+fn population(scenario: &str) -> Result<Vec<AdaptiveAgent>, CoreError> {
     let psi = Quadratic::new(-0.15, 2.5, 1.0);
     // Weights vary across agents so induced efforts spread out — which
     // both matches reality (Eq. 5 weights differ per worker) and gives
@@ -75,7 +75,7 @@ fn population(scenario: &str) -> Vec<AdaptiveAgent> {
         true_psi: psi,
         conduct: ConductModel::Stationary,
     };
-    match scenario {
+    Ok(match scenario {
         "stationary" => (0..40).map(honest).collect(),
         "deceptive" => {
             let mut agents: Vec<AdaptiveAgent> = (0..20).map(honest).collect();
@@ -97,8 +97,8 @@ fn population(scenario: &str) -> Vec<AdaptiveAgent> {
                 ..honest(id)
             })
             .collect(),
-        other => panic!("unknown scenario {other}"),
-    }
+        other => return Err(CoreError::InvalidInput(format!("unknown scenario {other}"))),
+    })
 }
 
 /// Runs the three scenarios.
@@ -123,7 +123,7 @@ pub fn run(seed: u64) -> Result<AdaptiveResult, CoreError> {
     };
     let mut rows = Vec::new();
     for scenario in ["stationary", "deceptive", "drifting"] {
-        let agents = population(scenario);
+        let agents = population(scenario)?;
         let adaptive = AdaptiveSimulation::new(params, base).run(&agents)?;
         let static_cfg = AdaptiveConfig {
             recontract_every: 0,

@@ -8,7 +8,7 @@ use crate::{core_error, engine_context, ExperimentScale, TextTable};
 use dcc_core::{BaselineStrategy, CoreError, LinearPricingBandit, StrategyKind};
 use dcc_engine::{Engine, EngineSimOutcome};
 use dcc_trace::TraceDataset;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The comparison at one μ.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,7 +78,7 @@ pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<BaselineLadderResult,
 
         let design = ctx.design().map_err(core_error)?;
         let params = ctx.config().design.params;
-        let suspected: HashSet<_> = ctx
+        let suspected: BTreeSet<_> = ctx
             .detection()
             .map_err(core_error)?
             .suspected

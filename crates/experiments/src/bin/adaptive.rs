@@ -4,7 +4,13 @@
 use dcc_experiments::DEFAULT_SEED;
 
 fn main() {
-    let result = dcc_experiments::adaptive_ext::run(DEFAULT_SEED).expect("adaptive runner");
+    let result = match dcc_experiments::adaptive_ext::run(DEFAULT_SEED) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: adaptive runner: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("E8 (extension) — adaptive re-contracting vs static one-shot design\n");
     print!("{}", result.table());
     println!(

@@ -38,7 +38,10 @@ fn main() {
         dcc_experiments::install_metrics(Metrics::new(recorder.clone()));
         recorder
     });
-    run_suite(scale, &csv);
+    if let Err(e) = run_suite(scale, &csv) {
+        eprintln!("error: experiment suite: {e}");
+        std::process::exit(1);
+    }
     if let (Some(recorder), Some(dir)) = (recorder, &csv) {
         if std::fs::create_dir_all(dir).is_ok() {
             let path = dir.join("metrics.json");
@@ -50,7 +53,10 @@ fn main() {
     }
 }
 
-fn run_suite(scale: dcc_experiments::ExperimentScale, csv: &Option<PathBuf>) {
+fn run_suite(
+    scale: dcc_experiments::ExperimentScale,
+    csv: &Option<PathBuf>,
+) -> Result<(), Box<dyn std::error::Error>> {
     let trace = scale.generate(DEFAULT_SEED);
     println!("=== dyncontract experiment suite ({scale:?} scale, seed {DEFAULT_SEED}) ===\n");
     println!(
@@ -61,42 +67,42 @@ fn run_suite(scale: dcc_experiments::ExperimentScale, csv: &Option<PathBuf>) {
     );
 
     println!("--- E1 / Fig. 6 ---");
-    let fig6 = dcc_experiments::fig6::run(&dcc_experiments::fig6::DEFAULT_MS).expect("fig6");
+    let fig6 = dcc_experiments::fig6::run(&dcc_experiments::fig6::DEFAULT_MS)?;
     emit(csv, "fig6", &fig6.table());
 
     println!("--- E2 / Table II ---");
-    let t2 = dcc_experiments::table2::run_on(&trace);
+    let t2 = dcc_experiments::table2::run_on(&trace)?;
     emit(csv, "table2", &t2.table());
 
     println!("--- E3 / Fig. 7 ---");
     emit(csv, "fig7", &dcc_experiments::fig7::run_on(&trace).table());
 
     println!("--- E4 / Table III ---");
-    let t3 = dcc_experiments::table3::run_on(&trace).expect("table3");
+    let t3 = dcc_experiments::table3::run_on(&trace)?;
     emit(csv, "table3", &t3.table());
 
     println!("--- E5 / Fig. 8(a) ---");
     let f8a = dcc_experiments::fig8a::run_on(&trace, &dcc_experiments::fig8a::DEFAULT_MS)
-        .expect("fig8a");
+        ?;
     emit(csv, "fig8a", &f8a.table());
 
     println!("--- E6 / Fig. 8(b) ---");
     let f8b = dcc_experiments::fig8b::run_on(&trace, &dcc_experiments::fig8b::DEFAULT_MUS)
-        .expect("fig8b");
+        ?;
     emit(csv, "fig8b", &f8b.table());
 
     println!("--- E7 / Fig. 8(c) ---");
     let f8c = dcc_experiments::fig8c::run_on(&trace, &dcc_experiments::fig8b::DEFAULT_MUS)
-        .expect("fig8c");
+        ?;
     emit(csv, "fig8c", &f8c.table());
 
     if !std::env::args().any(|a| a == "--extensions") {
         println!("(pass --extensions to also run E8-E14)");
-        return;
+        return Ok(());
     }
 
     println!("--- E8 / adaptive re-contracting (extension) ---");
-    let e8 = dcc_experiments::adaptive_ext::run(dcc_experiments::DEFAULT_SEED).expect("e8");
+    let e8 = dcc_experiments::adaptive_ext::run(dcc_experiments::DEFAULT_SEED)?;
     emit(csv, "e8_adaptive", &e8.table());
 
     println!("--- E9 / penalty sensitivity (extension) ---");
@@ -105,7 +111,7 @@ fn run_suite(scale: dcc_experiments::ExperimentScale, csv: &Option<PathBuf>) {
         &dcc_experiments::sensitivity::DEFAULT_KAPPAS,
         &dcc_experiments::sensitivity::DEFAULT_GAMMAS,
     )
-    .expect("e9");
+    ?;
     emit(csv, "e9_sensitivity", &e9.table());
 
     println!("--- E10 / detector quality (extension) ---");
@@ -118,12 +124,12 @@ fn run_suite(scale: dcc_experiments::ExperimentScale, csv: &Option<PathBuf>) {
     println!("--- E11 / collusion-modeling ablation (extension) ---");
     let e11 =
         dcc_experiments::collusion_ablation::run_on(&trace, &dcc_experiments::fig8b::DEFAULT_MUS)
-            .expect("e11");
+            ?;
     emit(csv, "e11_collusion", &e11.table());
 
     println!("--- E12 / baseline ladder (extension) ---");
     let e12 = dcc_experiments::baselines_ext::run_on(&trace, &dcc_experiments::fig8b::DEFAULT_MUS)
-        .expect("e12");
+        ?;
     emit(csv, "e12_baselines", &e12.table());
 
     println!("--- E13 / budget-feasible contracting (extension) ---");
@@ -131,11 +137,12 @@ fn run_suite(scale: dcc_experiments::ExperimentScale, csv: &Option<PathBuf>) {
         &trace,
         &dcc_experiments::budget_ext::DEFAULT_FRACTIONS,
     )
-    .expect("e13");
+    ?;
     emit(csv, "e13_budget", &e13.table());
 
     println!("--- E14 / risk-attitude premium (extension) ---");
     let e14 =
-        dcc_experiments::risk_ext::run(&dcc_experiments::risk_ext::DEFAULT_EXPONENTS).expect("e14");
+        dcc_experiments::risk_ext::run(&dcc_experiments::risk_ext::DEFAULT_EXPONENTS)?;
     emit(csv, "e14_risk", &e14.table());
+    Ok(())
 }

@@ -4,7 +4,13 @@ use dcc_experiments::{baselines_ext, scale_from_args, DEFAULT_SEED};
 
 fn main() {
     let scale = scale_from_args();
-    let result = baselines_ext::run(scale, DEFAULT_SEED).expect("baselines runner");
+    let result = match baselines_ext::run(scale, DEFAULT_SEED) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: baselines runner: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("E12 (extension) — dynamic contract vs the pricing-baseline ladder ({scale:?} scale)\n");
     print!("{}", result.table());
     println!("\nshape check: dynamic > learned linear > fixed; exclusion forfeits malicious value.");

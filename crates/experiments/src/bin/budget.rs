@@ -4,7 +4,13 @@ use dcc_experiments::{budget_ext, scale_from_args, DEFAULT_SEED};
 
 fn main() {
     let scale = scale_from_args();
-    let result = budget_ext::run(scale, DEFAULT_SEED).expect("budget runner");
+    let result = match budget_ext::run(scale, DEFAULT_SEED) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: budget runner: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("E13 (extension) — requester utility under a hard payment budget ({scale:?} scale)");
     println!(
         "unconstrained: spend {:.2}, utility {:.2}\n",

@@ -4,7 +4,13 @@ use dcc_experiments::{collusion_ablation, scale_from_args, DEFAULT_SEED};
 
 fn main() {
     let scale = scale_from_args();
-    let result = collusion_ablation::run(scale, DEFAULT_SEED).expect("collusion runner");
+    let result = match collusion_ablation::run(scale, DEFAULT_SEED) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: collusion runner: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("E11 (extension) — collusion-aware vs collusion-blind contract design ({scale:?} scale)\n");
     print!("{}", result.table());
     println!("\nshape check: awareness never hurts; blindness overpays collusive workers.");

@@ -1,8 +1,13 @@
 //! Regenerates Fig. 6: requester utility vs Theorem 4.1 bounds over m.
 
 fn main() {
-    let result = dcc_experiments::fig6::run(&dcc_experiments::fig6::DEFAULT_MS)
-        .expect("fig6 runner failed");
+    let result = match dcc_experiments::fig6::run(&dcc_experiments::fig6::DEFAULT_MS) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: fig6 runner: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("Fig. 6 — requester utility vs Theorem 4.1 bounds (single honest worker)");
     println!(
         "psi = {}, mu = {}, beta = {}\n",

@@ -4,7 +4,13 @@ use dcc_experiments::{fig8a, scale_from_args, DEFAULT_SEED};
 
 fn main() {
     let scale = scale_from_args();
-    let result = fig8a::run(scale, DEFAULT_SEED).expect("fig8a runner failed");
+    let result = match fig8a::run(scale, DEFAULT_SEED) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: fig8a runner: {e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "Fig. 8(a) — compensation of prolific honest workers vs Lemma 4.3 bound ({scale:?} scale)\n"
     );

@@ -4,7 +4,13 @@ use dcc_experiments::{fig8b, scale_from_args, DEFAULT_SEED};
 
 fn main() {
     let scale = scale_from_args();
-    let result = fig8b::run(scale, DEFAULT_SEED).expect("fig8b runner failed");
+    let result = match fig8b::run(scale, DEFAULT_SEED) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: fig8b runner: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("Fig. 8(b) — compensation distribution by class and mu ({scale:?} scale)\n");
     print!("{}", result.table());
     println!("\nshape check: honest > non-collusive malicious > collusive; pay rises as mu falls.");

@@ -4,7 +4,13 @@ use dcc_experiments::{fig8c, scale_from_args, DEFAULT_SEED};
 
 fn main() {
     let scale = scale_from_args();
-    let result = fig8c::run(scale, DEFAULT_SEED).expect("fig8c runner failed");
+    let result = match fig8c::run(scale, DEFAULT_SEED) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: fig8c runner: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("Fig. 8(c) — requester utility: dynamic contract vs baselines ({scale:?} scale)\n");
     print!("{}", result.table());
     println!("\nshape check: the dynamic contract dominates exclusion at every mu.");

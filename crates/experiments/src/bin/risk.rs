@@ -3,7 +3,13 @@
 use dcc_experiments::risk_ext;
 
 fn main() {
-    let result = risk_ext::run(&risk_ext::DEFAULT_EXPONENTS).expect("risk runner");
+    let result = match risk_ext::run(&risk_ext::DEFAULT_EXPONENTS) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: risk runner: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("E14 (extension) — effort lost to risk aversion and the pay premium to restore it");
     println!("risk-neutral induced effort: {:.3}\n", result.neutral_effort);
     print!("{}", result.table());

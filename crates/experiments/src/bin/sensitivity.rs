@@ -4,7 +4,13 @@ use dcc_experiments::{scale_from_args, sensitivity, DEFAULT_SEED};
 
 fn main() {
     let scale = scale_from_args();
-    let result = sensitivity::run(scale, DEFAULT_SEED).expect("sensitivity runner");
+    let result = match sensitivity::run(scale, DEFAULT_SEED) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: sensitivity runner: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("E9 (extension) — kappa/gamma penalty sensitivity ({scale:?} scale)\n");
     print!("{}", result.table());
     println!("\nshape check: honest > malicious pay at every cell; harsher penalties cut malicious pay.");

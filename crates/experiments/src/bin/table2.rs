@@ -4,7 +4,13 @@ use dcc_experiments::{scale_from_args, table2, DEFAULT_SEED};
 
 fn main() {
     let scale = scale_from_args();
-    let result = table2::run(scale, DEFAULT_SEED);
+    let result = match table2::run(scale, DEFAULT_SEED) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: table2 runner: {e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "Table II — collusive community sizes ({scale:?} scale): {} communities, {} workers\n",
         result.communities, result.collusive_workers

@@ -4,7 +4,13 @@ use dcc_experiments::{scale_from_args, table3, DEFAULT_SEED};
 
 fn main() {
     let scale = scale_from_args();
-    let result = table3::run(scale, DEFAULT_SEED).expect("table3 runner failed");
+    let result = match table3::run(scale, DEFAULT_SEED) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: table3 runner: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("Table III — norm of residuals by fit order ({scale:?} scale)\n");
     print!("{}", result.table());
     println!("\nshape check: NoR is flat from the quadratic onward (quadratic suffices).");

@@ -117,6 +117,9 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Result<BudgetResult, CoreError>
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

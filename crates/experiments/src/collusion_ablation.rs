@@ -16,7 +16,7 @@ use dcc_detect::{
 };
 use dcc_engine::{Engine, EngineError, RoundContext, Stage, StageKind};
 use dcc_trace::{ReviewerId, TraceDataset};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// One μ row of the ablation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,7 +123,7 @@ fn evaluate(
     design: &dcc_core::ContractDesign,
     reference: &DetectionResult,
     params: &ModelParams,
-    suspected: &HashSet<ReviewerId>,
+    suspected: &BTreeSet<ReviewerId>,
 ) -> Result<(f64, f64), CoreError> {
     let mut agents = BaselineStrategy::new(StrategyKind::DynamicContract).assemble(
         design,
@@ -145,7 +145,7 @@ fn evaluate(
     let outcome = Simulation::new(*params, SimulationConfig::default()).run(&agents)?;
 
     // Pay flowing to ground-truth collusive workers.
-    let cm: HashSet<ReviewerId> = design
+    let cm: BTreeSet<ReviewerId> = design
         .agents
         .iter()
         .filter(|a| a.partners > 0)
@@ -178,7 +178,7 @@ pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<CollusionAblationResu
     aware_engine
         .run_to(&mut aware_ctx, StageKind::Detect)
         .map_err(core_error)?;
-    let suspected: HashSet<ReviewerId> = aware_ctx
+    let suspected: BTreeSet<ReviewerId> = aware_ctx
         .detection()
         .map_err(core_error)?
         .suspected

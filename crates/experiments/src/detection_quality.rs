@@ -11,7 +11,7 @@ use crate::render::fmt_f;
 use crate::{ExperimentScale, TextTable};
 use dcc_detect::{ConsensusMap, MaliciousDetector};
 use dcc_trace::TraceDataset;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Quality metrics at one threshold.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,7 +67,7 @@ impl DetectionResult {
 pub fn run_on(trace: &TraceDataset, thresholds: &[f64]) -> DetectionResult {
     let consensus = ConsensusMap::build(trace);
     let estimates = MaliciousDetector::default().estimate(trace, &consensus);
-    let truth: HashSet<_> = trace
+    let truth: BTreeSet<_> = trace
         .reviewers()
         .iter()
         .filter(|r| r.class.is_malicious())
@@ -78,14 +78,14 @@ pub fn run_on(trace: &TraceDataset, thresholds: &[f64]) -> DetectionResult {
     let rows = thresholds
         .iter()
         .map(|&threshold| {
-            let suspected: HashSet<_> = estimates.suspected(threshold).into_iter().collect();
+            let suspected: BTreeSet<_> = estimates.suspected(threshold).into_iter().collect();
             let tp = suspected.intersection(&truth).count() as f64;
             let fp = suspected.len() as f64 - tp;
             let fn_ = truth.len() as f64 - tp;
             let tn = total as f64 - tp - fp - fn_;
             let precision = if suspected.is_empty() { 1.0 } else { tp / (tp + fp) };
             let recall = if truth.is_empty() { 1.0 } else { tp / (tp + fn_) };
-            let f1 = if precision + recall == 0.0 {
+            let f1 = if dcc_numerics::exact_eq(precision + recall, 0.0) {
                 0.0
             } else {
                 2.0 * precision * recall / (precision + recall)

@@ -91,9 +91,11 @@ pub fn run(ms: &[usize]) -> Result<Fig6Result, CoreError> {
             .honest()
             .weight(weight)
             .build()?;
-        let (lower, upper) = built
-            .utility_bounds()
-            .expect("honest non-zero contract has bounds");
+        let Some((lower, upper)) = built.utility_bounds() else {
+            return Err(CoreError::InvalidContract(
+                "honest non-zero contract is missing utility bounds".into(),
+            ));
+        };
         points.push(Fig6Point {
             m,
             lower_bound: lower,

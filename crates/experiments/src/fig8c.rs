@@ -12,7 +12,7 @@ use crate::{core_error, engine_context, ExperimentScale, TextTable};
 use dcc_core::{BaselineStrategy, CoreError, StrategyKind};
 use dcc_engine::{Engine, EngineSimOutcome, RoundContext};
 use dcc_trace::TraceDataset;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// One μ row of the comparison.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,7 +75,7 @@ pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<Fig8cResult, CoreErro
         // Fixed payment matched to our mean per-agent spend.
         let design = ctx.design().map_err(core_error)?;
         let params = ctx.config().design.params;
-        let suspected: HashSet<_> = ctx
+        let suspected: BTreeSet<_> = ctx
             .detection()
             .map_err(core_error)?
             .suspected

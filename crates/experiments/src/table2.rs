@@ -3,7 +3,7 @@
 
 use crate::render::fmt_f;
 use crate::{engine_context, ExperimentScale, TextTable};
-use dcc_engine::{Engine, StageKind};
+use dcc_engine::{Engine, EngineError, StageKind};
 use dcc_trace::TraceDataset;
 
 /// The paper's Table II percentages for buckets `2, 3, 4, 5, 6, ≥10`.
@@ -42,14 +42,14 @@ impl Table2Result {
 }
 
 /// Runs E2 on an existing trace.
-pub fn run_on(trace: &TraceDataset) -> Table2Result {
+///
+/// # Errors
+///
+/// Propagates ingest/detection failures from the engine.
+pub fn run_on(trace: &TraceDataset) -> Result<Table2Result, EngineError> {
     let mut ctx = engine_context(trace);
-    Engine::new()
-        .run_to(&mut ctx, StageKind::Detect)
-        .expect("ingest and detection are infallible on a provided trace");
-    let detection = ctx
-        .detection()
-        .expect("the engine ran through the detect stage");
+    Engine::new().run_to(&mut ctx, StageKind::Detect)?;
+    let detection = ctx.detection()?;
     let hist = detection.collusion.size_histogram();
     let pct = detection.collusion.size_percentages();
     let rows = hist
@@ -58,15 +58,19 @@ pub fn run_on(trace: &TraceDataset) -> Table2Result {
         .zip(PAPER_PERCENTAGES)
         .map(|(((label, count), (_, ours)), paper)| (label, count, ours, paper))
         .collect();
-    Table2Result {
+    Ok(Table2Result {
         rows,
         communities: detection.collusion.communities.len(),
         collusive_workers: detection.collusion.collusive_worker_count(),
-    }
+    })
 }
 
 /// Runs E2 at the given scale and seed.
-pub fn run(scale: ExperimentScale, seed: u64) -> Table2Result {
+///
+/// # Errors
+///
+/// Propagates ingest/detection failures from the engine.
+pub fn run(scale: ExperimentScale, seed: u64) -> Result<Table2Result, EngineError> {
     run_on(&scale.generate(seed))
 }
 
@@ -76,7 +80,7 @@ mod tests {
 
     #[test]
     fn distribution_shape_matches_paper() {
-        let result = run(ExperimentScale::Small, crate::DEFAULT_SEED);
+        let result = run(ExperimentScale::Small, crate::DEFAULT_SEED).unwrap();
         assert_eq!(result.rows.len(), 6);
         assert!(result.communities > 0);
         assert!(result.collusive_workers >= 2 * result.communities);
@@ -90,7 +94,7 @@ mod tests {
 
     #[test]
     fn table_renders() {
-        let result = run(ExperimentScale::Small, 7);
+        let result = run(ExperimentScale::Small, 7).unwrap();
         let s = result.table().to_string();
         assert!(s.contains("paper"));
         assert!(s.contains(">=10"));

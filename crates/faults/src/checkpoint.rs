@@ -12,7 +12,7 @@ use crate::json::Json;
 use dcc_core::{AdaptiveState, Contract, CoreError, RoundRecord, SimState};
 use dcc_numerics::Quadratic;
 use rand::rngs::StdRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Format version written into every checkpoint document.
@@ -341,7 +341,7 @@ pub fn adaptive_state_from_json(doc: &Json) -> Result<AdaptiveState, CoreError> 
         Some(Json::Obj(entries)) => entries,
         _ => return Err(malformed("group_psis")),
     };
-    let mut group_psis = HashMap::new();
+    let mut group_psis = BTreeMap::new();
     for (key, value) in psis_doc {
         group_psis.insert(parse_key(key)?, quadratic_from_json(value, "group_psis")?);
     }
@@ -350,7 +350,7 @@ pub fn adaptive_state_from_json(doc: &Json) -> Result<AdaptiveState, CoreError> 
         Some(Json::Obj(entries)) => entries,
         _ => return Err(malformed("group_obs")),
     };
-    let mut group_obs = HashMap::new();
+    let mut group_obs = BTreeMap::new();
     for (key, value) in obs_doc {
         let entries = value
             .as_arr()

@@ -8,7 +8,7 @@
 
 use crate::plan::{Corruption, FaultPlan};
 use dcc_core::RoundFaults;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One fault that actually fired during a run, for post-hoc reporting.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,23 +53,23 @@ pub enum FiredFault {
 /// by a [`FaultPlan`].
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
-    dropouts: HashMap<usize, Vec<(usize, usize)>>,
-    missing: HashMap<(usize, usize), ()>,
-    corrupt: HashMap<(usize, usize), Corruption>,
-    delays: HashMap<(usize, usize), usize>,
+    dropouts: BTreeMap<usize, Vec<(usize, usize)>>,
+    missing: BTreeSet<(usize, usize)>,
+    corrupt: BTreeMap<(usize, usize), Corruption>,
+    delays: BTreeMap<(usize, usize), usize>,
     log: Vec<FiredFault>,
 }
 
 impl FaultInjector {
     /// Builds the lookup structures from a plan.
     pub fn new(plan: &FaultPlan) -> Self {
-        let mut dropouts: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+        let mut dropouts: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
         for d in &plan.dropouts {
             dropouts.entry(d.agent).or_default().push((d.from, d.until));
         }
         FaultInjector {
             dropouts,
-            missing: plan.missing.iter().map(|m| ((m.agent, m.round), ())).collect(),
+            missing: plan.missing.iter().map(|m| (m.agent, m.round)).collect(),
             corrupt: plan
                 .corrupt
                 .iter()
@@ -147,7 +147,7 @@ impl RoundFaults for FaultInjector {
     }
 
     fn perturb_feedback(&mut self, agent: usize, round: usize, feedback: f64) -> Option<f64> {
-        if self.missing.contains_key(&(agent, round)) {
+        if self.missing.contains(&(agent, round)) {
             self.log.push(FiredFault::LostFeedback { agent, round });
             return None;
         }

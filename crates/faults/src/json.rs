@@ -83,7 +83,7 @@ impl Json {
     /// Decodes a nonnegative integer index.
     pub fn as_idx(&self) -> Option<usize> {
         match self {
-            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as usize),
+            Json::Num(x) if *x >= 0.0 && dcc_numerics::exact_eq(x.fract(), 0.0) => Some(*x as usize),
             _ => None,
         }
     }
@@ -339,7 +339,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, CoreError> {
                 // Consume one UTF-8 character.
                 let rest = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| err(*pos, "invalid utf-8"))?;
-                let c = rest.chars().next().expect("nonempty by construction");
+                let Some(c) = rest.chars().next() else {
+                    return Err(err(*pos, "unterminated string"));
+                };
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -357,8 +359,9 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, CoreError> {
     if start == *pos {
         return Err(err(start, "expected a value"));
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
-    text.parse::<f64>()
+    std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| err(start, "invalid number"))?
+        .parse::<f64>()
         .map(Json::Num)
         .map_err(|_| err(start, "invalid number"))
 }

@@ -93,6 +93,9 @@ pub fn retry_with_backoff<T>(
 }
 
 #[cfg(test)]
+// Tests assert pass-through values exactly; not covered by clippy.toml's
+// in-tests switches (those exist only for unwrap/expect/panic).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

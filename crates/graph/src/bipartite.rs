@@ -103,7 +103,8 @@ impl Bipartite {
         let mut g = Graph::new(self.left);
         for workers in &self.right_adj {
             for pair in workers.windows(2) {
-                g.add_edge_unique(pair[0], pair[1]).expect("vertices validated on insert");
+                let ok = g.add_edge_unique(pair[0], pair[1]);
+                debug_assert!(ok.is_ok(), "vertices validated on insert");
             }
         }
         g
@@ -119,7 +120,8 @@ impl Bipartite {
         for workers in &self.right_adj {
             for (i, &u) in workers.iter().enumerate() {
                 for &v in &workers[i + 1..] {
-                    g.add_edge_unique(u, v).expect("vertices validated on insert");
+                    let ok = g.add_edge_unique(u, v);
+                    debug_assert!(ok.is_ok(), "vertices validated on insert");
                 }
             }
         }

@@ -1,5 +1,9 @@
 //! Property tests cross-checking the two component implementations.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dcc_graph::{connected_components, Bipartite, Graph, UnionFind};
 use proptest::prelude::*;
 

@@ -33,7 +33,7 @@ pub fn weighted_majority(labels: &[Label], weights: &[f64]) -> Option<Label> {
             Label::Zero => zero_mass += w,
         }
     }
-    if one_mass == 0.0 && zero_mass == 0.0 {
+    if one_mass <= 0.0 && zero_mass <= 0.0 {
         return None;
     }
     Some(if one_mass >= zero_mass {

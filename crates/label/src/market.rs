@@ -103,10 +103,11 @@ impl LabelMarket {
             ));
         }
 
+        let default_curve = AccuracyCurve::new(0.95, 0.2)?;
         let workers: Vec<LabelWorker> = (0..c.n_workers)
             .map(|id| LabelWorker {
                 id,
-                curve: AccuracyCurve::new(0.95, 0.2).expect("valid curve"),
+                curve: default_curve,
                 role: WorkerRole::Diligent,
             })
             .collect();

@@ -1,5 +1,9 @@
 //! Property tests of the labeling extension.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dcc_label::aggregate::{majority, weighted_majority};
 use dcc_label::{simulate_round, AccuracyCurve, Label, LabelWorker, RoundConfig, WorkerRole};
 use proptest::prelude::*;

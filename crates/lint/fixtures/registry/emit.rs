@@ -1,0 +1,7 @@
+// Fixture: exactly one `metric-registry` violation — the second
+// emission names a metric absent from registry.md (line 6).
+// Not compiled — consumed by crates/lint/tests/fixtures.rs.
+pub fn record(metrics: &Metrics) {
+    metrics.add("lint.fixture.documented", 1);
+    metrics.add("lint.fixture.undocumented", 1);
+}

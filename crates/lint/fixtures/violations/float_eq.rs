@@ -1,0 +1,5 @@
+// Fixture: exactly one `float-eq` violation (line 4).
+// Not compiled — consumed by crates/lint/tests/fixtures.rs.
+pub fn converged(residual: f64) -> bool {
+    residual == 0.0
+}

@@ -1,0 +1,6 @@
+// Fixture: exactly one `nondet-iter` violation (line 4).
+// Not compiled — consumed by crates/lint/tests/fixtures.rs.
+pub fn counts() -> usize {
+    let m = std::collections::HashMap::new();
+    m.len()
+}

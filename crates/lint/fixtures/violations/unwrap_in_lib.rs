@@ -1,0 +1,5 @@
+// Fixture: exactly one `unwrap-in-lib` violation (line 4).
+// Not compiled — consumed by crates/lint/tests/fixtures.rs.
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,6 @@
+// Fixture: exactly one `wall-clock` violation (line 4).
+// Not compiled — consumed by crates/lint/tests/fixtures.rs.
+pub fn elapsed_us() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_micros() as u64
+}

@@ -1,0 +1,180 @@
+//! Splits a file into production and test regions.
+//!
+//! Whole files are test code when their path contains a `tests/`,
+//! `benches/`, or `examples/` segment. Within production files, items
+//! annotated `#[test]` or `#[cfg(test)]` (including `cfg(any(test,…))`)
+//! are test regions: the attribute plus the item body it attaches to.
+//! `#[cfg_attr(test, …)]` does *not* mark an item as test-only — the
+//! item still compiles into the library.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Whether the (workspace-relative, `/`-separated) path is test, bench,
+/// or example code as a whole.
+pub fn is_test_path(rel_path: &str) -> bool {
+    rel_path
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+/// Inclusive line ranges covered by test-only items.
+#[derive(Debug, Default)]
+pub struct TestRegions {
+    ranges: Vec<(u32, u32)>,
+}
+
+impl TestRegions {
+    /// Whether `line` falls inside a `#[test]` / `#[cfg(test)]` item.
+    pub fn contains(&self, line: u32) -> bool {
+        self.ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+}
+
+/// Finds test regions by scanning attributes and brace-matching the
+/// items they attach to.
+pub fn test_regions(tokens: &[Tok]) -> TestRegions {
+    let mut regions = TestRegions::default();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && matches!(tokens.get(i + 1), Some(t) if t.text == "[") {
+            let attr_line = tokens[i].line;
+            let (idents, after) = attr_contents(tokens, i + 1);
+            if attr_marks_test(&idents) {
+                let end = item_end(tokens, after);
+                let end_line = tokens
+                    .get(end.saturating_sub(1).min(tokens.len().saturating_sub(1)))
+                    .map_or(attr_line, |t| t.line);
+                regions.ranges.push((attr_line, end_line.max(attr_line)));
+                i = end;
+                continue;
+            }
+            i = after;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Collects identifiers inside the attribute opening at `open` (`[`),
+/// returning them with the index just past the matching `]`.
+fn attr_contents(tokens: &[Tok], open: usize) -> (Vec<String>, usize) {
+    let mut depth = 0usize;
+    let mut idents = Vec::new();
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (idents, i + 1);
+                }
+            }
+            _ => {
+                if tokens[i].kind == TokKind::Ident {
+                    idents.push(tokens[i].text.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    (idents, i)
+}
+
+/// Whether an attribute's identifier sequence marks a test-only item.
+fn attr_marks_test(idents: &[String]) -> bool {
+    match idents.first().map(String::as_str) {
+        Some("test") => true,
+        Some("cfg") => idents.iter().any(|id| id == "test"),
+        _ => false,
+    }
+}
+
+/// Index just past the item starting at `start`: skips further
+/// attributes, then either a `;`-terminated item or a braced body.
+fn item_end(tokens: &[Tok], mut start: usize) -> usize {
+    // Skip stacked attributes between the test marker and the item.
+    while start < tokens.len()
+        && tokens[start].text == "#"
+        && matches!(tokens.get(start + 1), Some(t) if t.text == "[")
+    {
+        let (_, after) = attr_contents(tokens, start + 1);
+        start = after;
+    }
+    let mut i = start;
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            ";" if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn test_paths() {
+        assert!(is_test_path("crates/core/tests/proptest_core.rs"));
+        assert!(is_test_path("crates/bench/benches/engine.rs"));
+        assert!(is_test_path("examples/quickstart.rs"));
+        assert!(!is_test_path("crates/core/src/sim.rs"));
+        assert!(!is_test_path("src/lib.rs"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_region() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn lib2() {}\n";
+        let regions = test_regions(&lex(src).tokens);
+        assert!(!regions.contains(1));
+        assert!(regions.contains(2));
+        assert!(regions.contains(4));
+        assert!(regions.contains(5));
+        assert!(!regions.contains(6));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attrs() {
+        let src = "#[test]\n#[ignore]\nfn t() {\n    let x = 1;\n}\nfn lib() {}\n";
+        let regions = test_regions(&lex(src).tokens);
+        assert!(regions.contains(1));
+        assert!(regions.contains(4));
+        assert!(!regions.contains(6));
+    }
+
+    #[test]
+    fn cfg_attr_test_is_not_a_region() {
+        let src = "#[cfg_attr(test, allow(dead_code))]\nfn lib() {\n    work();\n}\n";
+        let regions = test_regions(&lex(src).tokens);
+        assert!(!regions.contains(2));
+        assert!(!regions.contains(3));
+    }
+
+    #[test]
+    fn cfg_any_test_is_a_region() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nmod harness {\n    fn h() {}\n}\n";
+        let regions = test_regions(&lex(src).tokens);
+        assert!(regions.contains(3));
+    }
+
+    #[test]
+    fn semicolon_terminated_item() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() {}\n";
+        let regions = test_regions(&lex(src).tokens);
+        assert!(regions.contains(2));
+        assert!(!regions.contains(3));
+    }
+}

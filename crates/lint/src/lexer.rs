@@ -1,0 +1,433 @@
+//! A minimal Rust lexer: just enough structure for line-accurate rule
+//! matching — comments, string/char literals, numbers (with the
+//! int/float distinction), identifiers, and multi-character operators.
+//!
+//! The goal is *not* to parse Rust. The rules only need a token stream
+//! in which string literals and comments can never be mistaken for
+//! code, float literals are distinguishable from integers and tuple
+//! indices, and `{`/`}` can be brace-matched safely.
+
+/// The coarse class of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// An integer literal (decimal, hex, octal, binary).
+    Int,
+    /// A float literal (`1.0`, `1.`, `1e3`, `1_000.5f64`).
+    Float,
+    /// A string literal (normal, raw, or byte), quotes included.
+    Str,
+    /// A char or byte-char literal.
+    Char,
+    /// A lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Any punctuation / operator (`==`, `.`, `::`, `{`, …).
+    Punct,
+}
+
+/// One significant token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text (for `Str`, includes the quotes).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A comment, kept out of the token stream but retained for
+/// suppression parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Whether a significant token precedes the comment on its line
+    /// (a trailing comment applies to its own line; a standalone
+    /// comment applies to the next line).
+    pub trailing: bool,
+}
+
+/// Lexer output: significant tokens plus comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source`. Unknown bytes are skipped (the analyzer only runs
+/// over files rustc already accepted, so error recovery is moot).
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        last_sig_line: 0,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    last_sig_line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'b' if self.peek(1) == Some(b'"') => self.string(self.pos + 1),
+                b'b' if self.peek(1) == Some(b'\'') => self.char_lit(self.pos + 1),
+                b'r' | b'b' if self.raw_string_ahead() => self.raw_string(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize) {
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.tokens.push(Tok {
+            kind,
+            text,
+            line: self.line,
+        });
+        self.last_sig_line = self.line;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos + 2;
+        let line = self.line;
+        let trailing = self.last_sig_line == line;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            text: String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned(),
+            line,
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.last_sig_line == line;
+        let start = self.pos + 2;
+        self.pos += 2;
+        let mut depth = 1usize;
+        let mut end = self.bytes.len();
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\n' => self.line += 1,
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 1;
+                    if depth == 0 {
+                        end = self.pos - 1;
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        let end = end.min(self.bytes.len());
+        self.out.comments.push(Comment {
+            text: String::from_utf8_lossy(&self.bytes[start..end.max(start)]).into_owned(),
+            line,
+            trailing,
+        });
+    }
+
+    /// Lexes a `"…"` literal whose opening quote is at `quote`.
+    fn string(&mut self, quote: usize) {
+        let start = self.pos;
+        self.pos = quote + 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokKind::Str, start);
+    }
+
+    /// Whether `r"`, `r#…#"`, `br"`, or `br#…#"` starts at `pos`.
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = self.pos + 1;
+        if self.bytes[self.pos] == b'b' {
+            if self.peek(1) != Some(b'r') {
+                return false;
+            }
+            i += 1;
+        }
+        while self.bytes.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.bytes.get(i) == Some(&b'"')
+    }
+
+    fn raw_string(&mut self) {
+        let start = self.pos;
+        self.pos += 1; // r
+        if self.bytes.get(self.pos) == Some(&b'r') {
+            self.pos += 1; // the r of br
+        }
+        let mut hashes = 0usize;
+        while self.bytes.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            if self.bytes[self.pos] == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.pos += 1 + hashes;
+                    break;
+                }
+            }
+            self.pos += 1;
+        }
+        self.push(TokKind::Str, start);
+    }
+
+    /// Lexes a char literal whose opening `'` is at `quote`.
+    fn char_lit(&mut self, quote: usize) {
+        let start = self.pos;
+        self.pos = quote + 1;
+        if self.bytes.get(self.pos) == Some(&b'\\') {
+            self.pos += 2;
+        } else {
+            self.pos += 1;
+        }
+        // Multi-byte chars: advance to the closing quote.
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+            self.pos += 1;
+        }
+        self.pos += 1;
+        self.push(TokKind::Char, start);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        // `'a` / `'static` (lifetime) vs `'x'` / `'\n'` (char).
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime = matches!(next, Some(c) if c == b'_' || c.is_ascii_alphabetic())
+            && after != Some(b'\'');
+        if is_lifetime {
+            let start = self.pos;
+            self.pos += 1;
+            while matches!(self.peek(0), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
+                self.pos += 1;
+            }
+            self.push(TokKind::Lifetime, start);
+        } else {
+            self.char_lit(self.pos);
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        if self.bytes[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.pos += 2;
+            while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                self.pos += 1;
+            }
+            self.push(TokKind::Int, start);
+            return;
+        }
+        let mut is_float = false;
+        while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == b'_') {
+            self.pos += 1;
+        }
+        // Fraction: a `.` NOT followed by a second `.` (range) or an
+        // identifier start (method call / tuple access chain).
+        if self.peek(0) == Some(b'.') {
+            let after = self.peek(1);
+            let starts_ident =
+                matches!(after, Some(c) if c == b'_' || c.is_ascii_alphabetic());
+            if after != Some(b'.') && !starts_ident {
+                is_float = true;
+                self.pos += 1;
+                while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == b'_') {
+                    self.pos += 1;
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            let exp = match sign {
+                Some(c) if c.is_ascii_digit() => true,
+                Some(b'+' | b'-') => matches!(digit, Some(d) if d.is_ascii_digit()),
+                _ => false,
+            };
+            if exp {
+                is_float = true;
+                self.pos += 2;
+                while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == b'_') {
+                    self.pos += 1;
+                }
+            }
+        }
+        // Suffix (`f64` marks a float even without `.`).
+        let suffix_start = self.pos;
+        while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        let suffix = &self.bytes[suffix_start..self.pos];
+        if suffix == b"f32" || suffix == b"f64" {
+            is_float = true;
+        }
+        self.push(if is_float { TokKind::Float } else { TokKind::Int }, start);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        // Raw identifier `r#name`.
+        if self.bytes[self.pos] == b'r' && self.peek(1) == Some(b'#') {
+            self.pos += 2;
+        }
+        while matches!(self.peek(0), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        self.push(TokKind::Ident, start);
+    }
+
+    fn punct(&mut self) {
+        let start = self.pos;
+        let rest = &self.bytes[self.pos..];
+        let three = [b"..=", b"<<=", b">>="];
+        let two: [&[u8; 2]; 15] = [
+            b"==", b"!=", b"<=", b">=", b"&&", b"||", b"::", b"->", b"=>", b"..", b"+=", b"-=",
+            b"*=", b"/=", b"%=",
+        ];
+        if three.iter().any(|op| rest.starts_with(*op)) {
+            self.pos += 3;
+        } else if two.iter().any(|op| rest.starts_with(*op)) {
+            self.pos += 2;
+        } else {
+            self.pos += 1;
+        }
+        self.push(TokKind::Punct, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_ranges() {
+        let toks = kinds("1.0 1. 1e3 1_000.5f64 2f32 7 0x1f 0..n x.0 1..=3");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, ["1.0", "1.", "1e3", "1_000.5f64", "2f32"]);
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Int)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ints, ["7", "0x1f", "0", "0", "1", "3"]);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let lexed = lex("let s = \"a == 1.0 .unwrap()\"; // trailing == note\n/* block\n1.0 */ x");
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokKind::Float));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.tokens.last().map(|t| t.text.as_str()), Some("x"));
+        assert_eq!(lexed.tokens.last().map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let toks = kinds("r#\"1.0 == 2.0\"# 'a' '\\n' &'static str b\"x\"");
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1].0, TokKind::Char);
+        assert_eq!(toks[2].0, TokKind::Char);
+        assert_eq!(toks[4].0, TokKind::Lifetime);
+        assert_eq!(toks[6].0, TokKind::Str);
+    }
+
+    #[test]
+    fn operators_are_grouped() {
+        let toks = kinds("a == b != c..=d");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "..="]);
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<_> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

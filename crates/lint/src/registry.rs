@@ -1,0 +1,261 @@
+//! `metric-registry`: cross-artifact drift detection between metric
+//! names in code and the table in `docs/observability.md`.
+//!
+//! Three directions are checked:
+//!
+//! 1. every string literal passed to an emitting call
+//!    (`.span`/`.span_at`/`.event`/`.add`/`.gauge`/`.observe`) in
+//!    non-test code must appear in the doc table;
+//! 2. every `pub const … : &str = "…"` in the `dcc_obs::names` module
+//!    must appear in the doc table;
+//! 3. every name in the doc table must be defined in `names` or
+//!    emitted somewhere — documentation cannot outlive the code.
+
+use crate::classify::TestRegions;
+use crate::lexer::{Tok, TokKind};
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// A metric name observed in code: either a registry constant or a
+/// string literal at an emitting call site.
+#[derive(Debug, Clone)]
+pub struct CodeName {
+    /// The metric/span name.
+    pub name: String,
+    /// File the name appears in.
+    pub path: String,
+    /// Line of the constant or call.
+    pub line: u32,
+    /// Whether this is a literal at a call site (direction 1) rather
+    /// than a registry constant (direction 2).
+    pub is_emission: bool,
+}
+
+/// Emitting `Metrics`/`Recorder` methods whose first argument names a
+/// metric.
+const EMITTERS: &[&str] = &["span", "span_at", "event", "add", "gauge", "observe"];
+
+/// Collects emission literals from one file's tokens.
+pub fn collect_emissions(
+    path: &str,
+    tokens: &[Tok],
+    test_regions: &TestRegions,
+    out: &mut Vec<CodeName>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !EMITTERS.contains(&t.text.as_str())
+            || test_regions.contains(t.line)
+        {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|j| tokens.get(j));
+        let next = tokens.get(i + 1);
+        let arg = tokens.get(i + 2);
+        if matches!(prev, Some(p) if p.text == ".")
+            && matches!(next, Some(n) if n.text == "(")
+        {
+            if let Some(lit) = arg.filter(|a| a.kind == TokKind::Str) {
+                if let Some(name) = unquote(&lit.text) {
+                    out.push(CodeName {
+                        name,
+                        path: path.to_string(),
+                        line: t.line,
+                        is_emission: true,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Collects `pub const NAME: &str = "…";` definitions inside
+/// `pub mod names { … }` from the registry module's tokens.
+pub fn collect_registry_consts(path: &str, tokens: &[Tok], out: &mut Vec<CodeName>) {
+    // Locate `mod names {` and its matching close brace.
+    let mut start = None;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.text == "mod" && matches!(tokens.get(i + 1), Some(n) if n.text == "names") {
+            start = Some(i);
+            break;
+        }
+    }
+    let Some(start) = start else { return };
+    let mut depth = 0usize;
+    let mut i = start;
+    let mut end = tokens.len();
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    end = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let mut j = start;
+    while j < end {
+        if tokens[j].text == "const" {
+            // const NAME : & str = "value" ;
+            let lit = tokens[j..end.min(j + 8)]
+                .iter()
+                .find(|t| t.kind == TokKind::Str);
+            if let Some(lit) = lit {
+                if let Some(name) = unquote(&lit.text) {
+                    out.push(CodeName {
+                        name,
+                        path: path.to_string(),
+                        line: tokens[j].line,
+                        is_emission: false,
+                    });
+                }
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Strips the quotes off a lexed string literal (`"x"` / `r"x"` …).
+fn unquote(text: &str) -> Option<String> {
+    let open = text.find('"')?;
+    let close = text.rfind('"')?;
+    if close > open {
+        Some(text[open + 1..close].to_string())
+    } else {
+        None
+    }
+}
+
+/// Names documented in the registry table: name → first doc line.
+pub fn doc_names(doc: &str) -> BTreeMap<String, u32> {
+    let mut out = BTreeMap::new();
+    for (i, line) in doc.lines().enumerate() {
+        let trimmed = line.trim_start();
+        let Some(cells) = trimmed.strip_prefix('|') else {
+            continue;
+        };
+        let Some(first) = cells.split('|').next() else {
+            continue;
+        };
+        let first = first.trim();
+        // Only rows whose first cell is exactly one backticked name are
+        // registry rows; header, separator, and prose tables fall out.
+        if first.len() >= 3 && first.starts_with('`') && first.ends_with('`') {
+            let name = &first[1..first.len() - 1];
+            if !name.is_empty() && !name.contains('`') {
+                #[allow(clippy::cast_possible_truncation)]
+                out.entry(name.to_string()).or_insert(i as u32 + 1);
+            }
+        }
+    }
+    out
+}
+
+/// Runs the three cross-checks.
+pub fn cross_check(
+    code_names: &[CodeName],
+    doc: &BTreeMap<String, u32>,
+    doc_path: &str,
+    findings: &mut Vec<Finding>,
+) {
+    for cn in code_names {
+        if !doc.contains_key(&cn.name) {
+            let what = if cn.is_emission {
+                "emitted"
+            } else {
+                "registered in dcc_obs::names"
+            };
+            findings.push(Finding::new(
+                "metric-registry",
+                &cn.path,
+                cn.line,
+                format!("metric name \"{}\" is {what} but not documented in {doc_path}", cn.name),
+            ));
+        }
+    }
+    for (name, line) in doc {
+        if !code_names.iter().any(|cn| &cn.name == name) {
+            findings.push(Finding::new(
+                "metric-registry",
+                doc_path,
+                *line,
+                format!("documented metric name \"{name}\" is neither registered nor emitted"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::test_regions;
+    use crate::lexer::lex;
+
+    #[test]
+    fn emissions_are_collected_outside_tests_only() {
+        let src = "\
+fn f(m: &Metrics) { m.add(\"a.b\", 1); m.gauge(\"c.d\", 2.0); m.add(var, 1); }
+#[cfg(test)]
+mod tests { fn t(m: &Metrics) { m.add(\"t.t\", 1); } }
+";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.tokens);
+        let mut out = Vec::new();
+        collect_emissions("f.rs", &lexed.tokens, &regions, &mut out);
+        let names: Vec<_> = out.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["a.b", "c.d"]);
+    }
+
+    #[test]
+    fn registry_consts_are_collected() {
+        let src = "\
+pub mod names {
+    pub const A: &str = \"x.y\";
+    /// doc
+    pub const B: &str = \"z.w\";
+}
+pub const OUTSIDE: &str = \"no\";
+";
+        let lexed = lex(src);
+        let mut out = Vec::new();
+        collect_registry_consts("lib.rs", &lexed.tokens, &mut out);
+        let names: Vec<_> = out.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["x.y", "z.w"]);
+    }
+
+    #[test]
+    fn doc_table_parsing_skips_headers_and_prose() {
+        let doc = "\
+| name | kind |
+|---|---|
+| `a.b` | counter |
+| `c.d` | gauge |
+
+| engine | plain cell |
+";
+        let names = doc_names(doc);
+        assert_eq!(names.len(), 2);
+        assert_eq!(names.get("a.b"), Some(&3));
+    }
+
+    #[test]
+    fn cross_check_reports_all_three_directions() {
+        let code = vec![
+            CodeName { name: "in.doc".into(), path: "a.rs".into(), line: 1, is_emission: true },
+            CodeName { name: "not.in.doc".into(), path: "a.rs".into(), line: 2, is_emission: true },
+        ];
+        let mut doc = BTreeMap::new();
+        doc.insert("in.doc".to_string(), 3u32);
+        doc.insert("orphan".to_string(), 4u32);
+        let mut findings = Vec::new();
+        cross_check(&code, &doc, "docs/observability.md", &mut findings);
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().any(|f| f.message.contains("not.in.doc")));
+        assert!(findings.iter().any(|f| f.message.contains("orphan")));
+    }
+}

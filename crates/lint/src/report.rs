@@ -1,0 +1,107 @@
+//! Rendering: human-readable text and the machine-readable
+//! `dcc-lint/1` JSON document.
+
+use crate::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders findings as `path:line: [rule] message` lines plus a
+/// one-line summary.
+pub fn render_text(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
+    if findings.is_empty() {
+        let _ = writeln!(out, "dcc-lint: {files_scanned} files, no findings");
+    } else {
+        let _ = writeln!(
+            out,
+            "dcc-lint: {files_scanned} files, {} finding{}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+    }
+    out
+}
+
+/// Renders the `dcc-lint/1` JSON document: a versioned object with the
+/// finding list and per-rule counts, deterministically ordered.
+pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    let mut out = String::from("{\"schema\":\"dcc-lint/1\",");
+    let _ = write!(out, "\"files_scanned\":{files_scanned},\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            escape(f.rule),
+            escape(&f.path),
+            f.line,
+            escape(&f.message)
+        );
+    }
+    out.push_str("],\"counts\":{");
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{n}", escape(rule));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_and_json_round_trip_the_essentials() {
+        let findings = vec![
+            Finding::new("float-eq", "a.rs", 3, "float `==` comparison".to_string()),
+            Finding::new("wall-clock", "b.rs", 7, "quote \" and \\ back".to_string()),
+        ];
+        let text = render_text(&findings, 2);
+        assert!(text.contains("a.rs:3: [float-eq]"));
+        assert!(text.contains("2 findings"));
+        let json = render_json(&findings, 2);
+        assert!(json.starts_with("{\"schema\":\"dcc-lint/1\""));
+        assert!(json.contains("\"files_scanned\":2"));
+        assert!(json.contains("\\\" and \\\\ back"));
+        assert!(json.contains("\"counts\":{\"float-eq\":1,\"wall-clock\":1}"));
+    }
+
+    #[test]
+    fn empty_findings_render_cleanly() {
+        assert!(render_text(&[], 5).contains("no findings"));
+        assert!(render_json(&[], 5).contains("\"findings\":[]"));
+    }
+}

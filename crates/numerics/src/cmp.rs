@@ -1,0 +1,67 @@
+//! The approved float-comparison helpers.
+//!
+//! Raw `==`/`!=` on floats is banned workspace-wide (dcc-lint's
+//! `float-eq` rule and `clippy::float_cmp`): an accidental strict
+//! comparison is either a latent tolerance bug or an undocumented
+//! bitwise-equality assumption. Every float equality in library code
+//! goes through one of these helpers so the intent — tolerance or
+//! exactness — is explicit and greppable.
+
+/// Whether `a` and `b` agree within absolute tolerance `eps`.
+///
+/// NaN compares unequal to everything (the comparison is `<=` on
+/// `|a - b|`, which is false for NaN).
+#[inline]
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+/// Deliberate IEEE-754 `==`: identical semantics to the raw operator
+/// (`-0.0 == 0.0` is true, NaN is unequal to itself).
+///
+/// Use only where exactness is the *point*: zero/sentinel guards,
+/// idempotence checks on copied (not recomputed) values, and
+/// bit-determinism comparisons. For recomputed quantities use
+/// [`approx_eq`].
+#[inline]
+#[must_use]
+pub fn exact_eq(a: f64, b: f64) -> bool {
+    // The one sanctioned raw float comparison in the workspace; dcc-lint's
+    // float-eq rule only fires on visibly-float operands, so the bare
+    // identifiers here are clippy's (allowed) business alone.
+    #[allow(clippy::float_cmp)]
+    {
+        a == b
+    }
+}
+
+/// Negation of [`exact_eq`] (note: true when either side is NaN).
+#[inline]
+#[must_use]
+pub fn exact_ne(a: f64, b: f64) -> bool {
+    !exact_eq(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_respects_tolerance_and_nan() {
+        assert!(approx_eq(1.0, 1.0 + 1e-13, 1e-12));
+        assert!(!approx_eq(1.0, 1.1, 1e-12));
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1e-12));
+        assert!(approx_eq(-0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn exact_eq_matches_ieee_semantics() {
+        assert!(exact_eq(0.5, 0.5));
+        assert!(exact_eq(-0.0, 0.0));
+        assert!(!exact_eq(f64::NAN, f64::NAN));
+        assert!(exact_ne(f64::NAN, f64::NAN));
+        assert!(!exact_eq(1.0, 1.0 + f64::EPSILON));
+        assert!(exact_eq(f64::INFINITY, f64::INFINITY));
+    }
+}

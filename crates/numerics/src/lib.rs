@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cmp;
 mod error;
 mod linsolve;
 mod matrix;
@@ -39,6 +40,7 @@ mod quadratic;
 mod roots;
 mod stats;
 
+pub use cmp::{approx_eq, exact_eq, exact_ne};
 pub use error::NumericsError;
 pub use linsolve::{solve_cholesky, solve_gaussian};
 pub use matrix::Matrix;

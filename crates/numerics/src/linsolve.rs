@@ -1,3 +1,4 @@
+use crate::cmp::exact_eq;
 use crate::{Matrix, NumericsError};
 
 /// Solves the square linear system `a * x = b` by Gaussian elimination
@@ -62,7 +63,7 @@ pub fn solve_gaussian(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericsError> 
                     .partial_cmp(&m[j][col].abs())
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
-            .expect("nonempty pivot range");
+            .unwrap_or(col);
         if m[pivot_row][col].abs() < 1e-12 * scale {
             return Err(NumericsError::SingularSystem);
         }
@@ -70,7 +71,7 @@ pub fn solve_gaussian(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericsError> 
 
         for row in (col + 1)..n {
             let factor = m[row][col] / m[col][col];
-            if factor == 0.0 {
+            if exact_eq(factor, 0.0) {
                 continue;
             }
             let (pivot_row_ref, target_row) = {

@@ -138,7 +138,7 @@ impl Matrix {
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[r * self.cols + k];
-                if a == 0.0 {
+                if crate::cmp::exact_eq(a, 0.0) {
                     continue;
                 }
                 for c in 0..other.cols {
@@ -216,6 +216,9 @@ impl fmt::Display for Matrix {
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -107,17 +107,23 @@ impl PiecewiseLinear {
     }
 
     /// Evaluates the function at `x`, clamping outside the knot range.
+    /// `NaN` propagates.
     pub fn eval(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return f64::NAN;
+        }
         if x <= self.xs[0] {
             return self.vs[0];
         }
-        if x >= *self.xs.last().expect("at least two knots") {
-            return *self.vs.last().expect("at least two knots");
+        if x >= self.xs[self.xs.len() - 1] {
+            return self.vs[self.vs.len() - 1];
         }
-        // Binary search for the segment containing x.
+        // Binary search for the segment containing x. The knots are
+        // finite by construction and x is non-NaN here, so the
+        // comparison is total; `Equal` is an unreachable safe fallback.
         let seg = match self
             .xs
-            .binary_search_by(|probe| probe.partial_cmp(&x).expect("finite knots"))
+            .binary_search_by(|probe| probe.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Equal))
         {
             Ok(i) => return self.vs[i],
             Err(i) => i - 1,
@@ -129,12 +135,12 @@ impl PiecewiseLinear {
     /// The segment index whose half-open interval `[x_l, x_{l+1})`
     /// contains `x`, or `None` outside `[x₀, x_m)`.
     pub fn segment_of(&self, x: f64) -> Option<usize> {
-        if x < self.xs[0] || x >= *self.xs.last().expect("at least two knots") {
+        if x.is_nan() || x < self.xs[0] || x >= self.xs[self.xs.len() - 1] {
             return None;
         }
         match self
             .xs
-            .binary_search_by(|probe| probe.partial_cmp(&x).expect("finite knots"))
+            .binary_search_by(|probe| probe.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Equal))
         {
             Ok(i) => {
                 if i == self.xs.len() - 1 {
@@ -175,6 +181,9 @@ impl fmt::Display for PiecewiseLinear {
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -74,7 +74,7 @@ impl fmt::Display for Polynomial {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
         for (k, &c) in self.coeffs.iter().enumerate() {
-            if c == 0.0 && self.coeffs.len() > 1 {
+            if crate::cmp::exact_eq(c, 0.0) && self.coeffs.len() > 1 {
                 continue;
             }
             if !first {
@@ -209,6 +209,9 @@ pub fn norm_of_residuals(p: &Polynomial, xs: &[f64], ys: &[f64]) -> Result<f64, 
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

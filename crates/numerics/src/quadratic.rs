@@ -1,3 +1,4 @@
+use crate::cmp::exact_eq;
 use crate::NumericsError;
 use std::fmt;
 
@@ -84,7 +85,7 @@ impl Quadratic {
     ///
     /// Returns `None` when `r₂ == 0` (a line never peaks).
     pub fn peak(&self) -> Option<f64> {
-        if self.r2 == 0.0 {
+        if exact_eq(self.r2, 0.0) {
             None
         } else {
             Some(-self.r1 / (2.0 * self.r2))
@@ -99,7 +100,7 @@ impl Quadratic {
     /// Returns [`NumericsError::InvalidArgument`] when `r₂ == 0` (the
     /// derivative is constant and not invertible).
     pub fn inverse_derivative(&self, slope: f64) -> Result<f64, NumericsError> {
-        if self.r2 == 0.0 {
+        if exact_eq(self.r2, 0.0) {
             return Err(NumericsError::InvalidArgument(
                 "derivative of a linear function is not invertible".into(),
             ));
@@ -120,8 +121,8 @@ impl Quadratic {
     /// maximum attainable on the increasing branch, or if the function is
     /// constant.
     pub fn inverse_on_increasing(&self, value: f64) -> Result<f64, NumericsError> {
-        if self.r2 == 0.0 {
-            if self.r1 == 0.0 {
+        if exact_eq(self.r2, 0.0) {
+            if exact_eq(self.r1, 0.0) {
                 return Err(NumericsError::InvalidArgument(
                     "constant function is not invertible".into(),
                 ));
@@ -151,6 +152,9 @@ impl fmt::Display for Quadratic {
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -1,3 +1,4 @@
+use crate::cmp::exact_eq;
 use crate::NumericsError;
 
 /// Finds a root of `f` in `[lo, hi]` by bisection, assuming
@@ -26,10 +27,10 @@ pub fn bisect<F: Fn(f64) -> f64>(
     }
     let mut flo = f(lo);
     let fhi = f(hi);
-    if flo == 0.0 {
+    if exact_eq(flo, 0.0) {
         return Ok(lo);
     }
-    if fhi == 0.0 {
+    if exact_eq(fhi, 0.0) {
         return Ok(hi);
     }
     if flo.signum() == fhi.signum() {
@@ -40,7 +41,7 @@ pub fn bisect<F: Fn(f64) -> f64>(
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
         let fmid = f(mid);
-        if fmid == 0.0 || (hi - lo) < tol {
+        if exact_eq(fmid, 0.0) || (hi - lo) < tol {
             return Ok(mid);
         }
         if fmid.signum() == flo.signum() {
@@ -80,7 +81,7 @@ pub fn newton<F: Fn(f64) -> f64, D: Fn(f64) -> f64>(
             return Ok(x);
         }
         let dfx = df(x);
-        if dfx == 0.0 || !dfx.is_finite() {
+        if exact_eq(dfx, 0.0) || !dfx.is_finite() {
             return Err(NumericsError::NoConvergence { iterations: i });
         }
         x -= fx / dfx;
@@ -94,6 +95,9 @@ pub fn newton<F: Fn(f64) -> f64, D: Fn(f64) -> f64>(
 }
 
 #[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -1,5 +1,9 @@
 //! Property-based tests for the numeric substrate.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dcc_numerics::{
     bisect, norm_of_residuals, percentile, polyfit, solve_cholesky, solve_gaussian, Matrix,
     PiecewiseLinear, Quadratic,

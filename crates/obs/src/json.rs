@@ -61,9 +61,19 @@ impl JsonRecorder {
         JsonRecorder::default()
     }
 
+    /// Every critical section leaves `Inner` valid (each write is a
+    /// single push or field update), so a lock poisoned by a panic on
+    /// another thread degrades to "keep recording" instead of
+    /// cascading the panic into the pipeline.
+    fn locked(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Whether nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
-        let inner = self.inner.lock().expect("obs lock");
+        let inner = self.locked();
         inner.spans.is_empty()
             && inner.events.is_empty()
             && inner.counters.is_empty()
@@ -73,7 +83,7 @@ impl JsonRecorder {
 
     /// The current value of counter `name` (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        let inner = self.inner.lock().expect("obs lock");
+        let inner = self.locked();
         inner
             .counters
             .iter()
@@ -83,19 +93,19 @@ impl JsonRecorder {
 
     /// The current value of gauge `name`, if set.
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
-        let inner = self.inner.lock().expect("obs lock");
+        let inner = self.locked();
         inner.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// How many spans named `name` were recorded.
     pub fn span_count(&self, name: &str) -> usize {
-        let inner = self.inner.lock().expect("obs lock");
+        let inner = self.locked();
         inner.spans.iter().filter(|s| s.name == name).count()
     }
 
     /// How many events named `name` were recorded.
     pub fn event_count(&self, name: &str) -> usize {
-        let inner = self.inner.lock().expect("obs lock");
+        let inner = self.locked();
         inner.events.iter().filter(|e| e.name == name).count()
     }
 
@@ -114,7 +124,7 @@ impl JsonRecorder {
     }
 
     fn render(&self, redact: bool) -> String {
-        let inner = self.inner.lock().expect("obs lock");
+        let inner = self.locked();
         let mut out = String::with_capacity(4096);
         out.push_str("{\"schema\":");
         push_str_json(&mut out, SCHEMA_VERSION);
@@ -203,7 +213,7 @@ impl Recorder for JsonRecorder {
     }
 
     fn span_start(&self, name: &str, attrs: &[(&'static str, AttrValue)]) -> u64 {
-        let mut inner = self.inner.lock().expect("obs lock");
+        let mut inner = self.locked();
         let id = inner.spans.len() as u64 + 1;
         let parent = inner.stack.last().copied();
         inner.spans.push(SpanRec {
@@ -221,7 +231,7 @@ impl Recorder for JsonRecorder {
     }
 
     fn span_end(&self, id: u64, elapsed: Duration) {
-        let mut inner = self.inner.lock().expect("obs lock");
+        let mut inner = self.locked();
         if id == 0 || id as usize > inner.spans.len() {
             return;
         }
@@ -236,7 +246,7 @@ impl Recorder for JsonRecorder {
     }
 
     fn event(&self, name: &str, attrs: &[(&'static str, AttrValue)]) {
-        let mut inner = self.inner.lock().expect("obs lock");
+        let mut inner = self.locked();
         inner.events.push(EventRec {
             name: name.to_string(),
             attrs: attrs
@@ -247,7 +257,7 @@ impl Recorder for JsonRecorder {
     }
 
     fn add(&self, name: &str, delta: u64) {
-        let mut inner = self.inner.lock().expect("obs lock");
+        let mut inner = self.locked();
         if let Some((_, value)) = inner.counters.iter_mut().find(|(n, _)| n == name) {
             *value = value.saturating_add(delta);
         } else {
@@ -256,7 +266,7 @@ impl Recorder for JsonRecorder {
     }
 
     fn gauge(&self, name: &str, value: f64) {
-        let mut inner = self.inner.lock().expect("obs lock");
+        let mut inner = self.locked();
         if let Some((_, slot)) = inner.gauges.iter_mut().find(|(n, _)| n == name) {
             *slot = value;
         } else {
@@ -265,7 +275,7 @@ impl Recorder for JsonRecorder {
     }
 
     fn observe(&self, name: &str, value: f64) {
-        let mut inner = self.inner.lock().expect("obs lock");
+        let mut inner = self.locked();
         if let Some((_, h)) = inner.hists.iter_mut().find(|(n, _)| n == name) {
             h.count += 1;
             h.sum += value;
@@ -310,10 +320,8 @@ fn push_str_json(out: &mut String, s: &str) {
 fn push_f64_json(out: &mut String, v: f64) {
     if v.is_nan() {
         out.push_str("\"NaN\"");
-    } else if v == f64::INFINITY {
-        out.push_str("\"Infinity\"");
-    } else if v == f64::NEG_INFINITY {
-        out.push_str("\"-Infinity\"");
+    } else if v.is_infinite() {
+        out.push_str(if v.is_sign_positive() { "\"Infinity\"" } else { "\"-Infinity\"" });
     } else {
         let s = format!("{v}");
         out.push_str(&s);

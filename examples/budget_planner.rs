@@ -7,6 +7,10 @@
 //! cargo run --release --example budget_planner
 //! ```
 
+// Examples are demonstration scripts, not library surface; aborting
+// with a message on a broken setup is the correct failure mode here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dyncontract::core::{
     best_response_risk_averse, design_contracts, select_within_budget, DesignConfig,
     RiskProfile,

@@ -6,6 +6,10 @@
 //! cargo run --example contract_tuning
 //! ```
 
+// Examples are demonstration scripts, not library surface; aborting
+// with a message on a broken setup is the correct failure mode here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dyncontract::core::{first_best_utility, ContractBuilder, Discretization, ModelParams};
 use dyncontract::numerics::Quadratic;
 

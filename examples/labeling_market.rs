@@ -6,6 +6,10 @@
 //! cargo run --release --example labeling_market
 //! ```
 
+// Examples are demonstration scripts, not library surface; aborting
+// with a message on a broken setup is the correct failure mode here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dyncontract::label::{LabelMarket, MarketConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -6,12 +6,16 @@
 //! cargo run --release --example marketplace_sim
 //! ```
 
+// Examples are demonstration scripts, not library surface; aborting
+// with a message on a broken setup is the correct failure mode here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dyncontract::core::{
     design_contracts, BaselineStrategy, DesignConfig, Simulation, SimulationConfig, StrategyKind,
 };
 use dyncontract::detect::{run_pipeline, PipelineConfig};
 use dyncontract::trace::SyntheticConfig;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = SyntheticConfig::small(7);
@@ -22,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let detection = run_pipeline(&trace, PipelineConfig::default());
     let config = DesignConfig::default();
     let design = design_contracts(&trace, &detection, &config)?;
-    let suspected: HashSet<_> = detection.suspected.iter().copied().collect();
+    let suspected: BTreeSet<_> = detection.suspected.iter().copied().collect();
 
     let sim = Simulation::new(
         config.params,

@@ -6,6 +6,10 @@
 //! cargo run --release --example review_campaign
 //! ```
 
+// Examples are demonstration scripts, not library surface; aborting
+// with a message on a broken setup is the correct failure mode here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dyncontract::core::{design_contracts, DesignConfig};
 use dyncontract::detect::{run_pipeline, PipelineConfig};
 use dyncontract::trace::{SyntheticConfig, TraceSummary, WorkerClass};

@@ -1,13 +1,17 @@
 //! Accounting consistency across evaluation modes: the same design's
 //! money flows add up identically whichever layer reports them.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dyncontract::core::{
     design_contracts, replay_trace, BaselineStrategy, DesignConfig, Simulation,
     SimulationConfig, StrategyKind,
 };
 use dyncontract::detect::{run_pipeline, PipelineConfig};
 use dyncontract::trace::SyntheticConfig;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 #[test]
 fn simulation_round_payments_equal_agent_totals() {
@@ -18,7 +22,7 @@ fn simulation_round_payments_equal_agent_totals() {
     let detection = run_pipeline(&trace, PipelineConfig::default());
     let config = DesignConfig::default();
     let design = design_contracts(&trace, &detection, &config).unwrap();
-    let suspected: HashSet<_> = detection.suspected.iter().copied().collect();
+    let suspected: BTreeSet<_> = detection.suspected.iter().copied().collect();
     let agents = BaselineStrategy::new(StrategyKind::DynamicContract)
         .assemble(&design, config.params.omega, &suspected)
         .unwrap();

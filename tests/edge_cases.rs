@@ -1,5 +1,13 @@
 //! Edge-case and failure-injection integration tests.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+// Tests assert exact sentinel values (a zero contract pays exactly 0.0);
+// clippy.toml's in-tests switches do not cover float_cmp.
+#![allow(clippy::float_cmp)]
+
 use dyncontract::core::{
     design_contracts, AgentSpec, ContractBuilder, DesignConfig, Discretization, ModelParams,
     Simulation, SimulationConfig,

@@ -1,6 +1,10 @@
 //! Integration coverage of the experiment runners: every table/figure
 //! regenerates with the paper's qualitative shape at the small scale.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dyncontract::experiments::{fig6, fig7, fig8a, fig8b, fig8c, table2, table3, ExperimentScale};
 use dyncontract::trace::WorkerClass;
 
@@ -20,7 +24,7 @@ fn e1_fig6_bracket_and_convergence() {
 
 #[test]
 fn e2_table2_bucket_shape() {
-    let r = table2::run(ExperimentScale::Small, SEED);
+    let r = table2::run(ExperimentScale::Small, SEED).unwrap();
     assert!(r.communities >= 20, "expected enough communities, got {}", r.communities);
     let counts: Vec<usize> = r.rows.iter().map(|row| row.1).collect();
     assert!(counts.iter().all(|&c| c <= counts[0]), "size-2 must dominate: {counts:?}");

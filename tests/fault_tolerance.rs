@@ -12,6 +12,10 @@
 //!   the fallback contracts respect monotonicity and the Lemma 4.2/4.3
 //!   compensation cap.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dyncontract::core::{
     bounds, design_contracts, solve_subproblems, solve_subproblems_with, BaselineStrategy,
     DesignConfig, Discretization, FailurePolicy, ModelParams, Simulation, SimulationConfig,
@@ -24,14 +28,14 @@ use dyncontract::faults::{
 use dyncontract::numerics::Quadratic;
 use dyncontract::trace::SyntheticConfig;
 use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 fn assembled_agents() -> (ModelParams, Vec<dyncontract::core::AgentSpec>) {
     let trace = SyntheticConfig::small(271).generate();
     let detection = run_pipeline(&trace, PipelineConfig::default());
     let config = DesignConfig::default();
     let design = design_contracts(&trace, &detection, &config).expect("design");
-    let suspected: HashSet<_> = detection.suspected.iter().copied().collect();
+    let suspected: BTreeSet<_> = detection.suspected.iter().copied().collect();
     let agents = BaselineStrategy::new(StrategyKind::DynamicContract)
         .assemble(&design, config.params.omega, &suspected)
         .expect("assemble");

@@ -21,6 +21,10 @@
 //! With `UPDATE_GOLDEN=1` every test rewrites its snapshot and passes;
 //! without it the snapshots are read-only references.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dyncontract::experiments::{fig8b, fig8c, table2, table3, ExperimentScale, DEFAULT_SEED};
 use dyncontract::faults::Json;
 use dyncontract::trace::TraceDataset;
@@ -104,7 +108,7 @@ fn render_into(value: &Json, indent: usize, out: &mut String) {
 }
 
 fn encode_table2() -> Json {
-    let r = table2::run_on(trace());
+    let r = table2::run_on(trace()).unwrap();
     obj(vec![
         (
             "rows",

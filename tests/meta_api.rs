@@ -1,6 +1,12 @@
 //! Smoke coverage of the meta-crate's re-exported surface: everything a
 //! downstream user reaches through `dyncontract::*` resolves and works.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+// Exact float asserts on values that are bit-determined by construction.
+#![allow(clippy::float_cmp)]
+
 use dyncontract as dc;
 
 #[test]

@@ -1,6 +1,10 @@
 //! Integration: CSV persistence round-trips a trace such that the entire
 //! detection + design pipeline reproduces identical results.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dyncontract::core::{design_contracts, DesignConfig};
 use dyncontract::detect::{run_pipeline, PipelineConfig};
 use dyncontract::trace::{read_trace_csv, write_trace_csv, SyntheticConfig};

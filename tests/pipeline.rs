@@ -2,13 +2,17 @@
 //! fitting → contract design → repeated-game simulation, across all
 //! crates through the meta-crate's public API.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dyncontract::core::{
     design_contracts, BaselineStrategy, DesignConfig, ModelParams, Simulation, SimulationConfig,
     StrategyKind,
 };
 use dyncontract::detect::{run_pipeline, PipelineConfig};
 use dyncontract::trace::{SyntheticConfig, WorkerClass};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 fn trace() -> dyncontract::trace::TraceDataset {
     let mut cfg = SyntheticConfig::small(4242);
@@ -81,7 +85,7 @@ fn simulation_confirms_design_and_dominates_baselines() {
     let detection = run_pipeline(&trace, PipelineConfig::default());
     let config = DesignConfig::default();
     let design = design_contracts(&trace, &detection, &config).expect("design");
-    let suspected: HashSet<_> = detection.suspected.iter().copied().collect();
+    let suspected: BTreeSet<_> = detection.suspected.iter().copied().collect();
     let sim = Simulation::new(
         config.params,
         SimulationConfig {

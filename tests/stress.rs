@@ -9,6 +9,10 @@
 //! Without the variable the test returns immediately (and says so), so
 //! plain `cargo test` stays fast.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dyncontract::core::{design_contracts, DesignConfig};
 use dyncontract::detect::{run_pipeline, PipelineConfig};
 use dyncontract::experiments::ExperimentScale;

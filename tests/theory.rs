@@ -2,6 +2,10 @@
 //! contract the *full pipeline* designs on a synthetic trace — not just
 //! for hand-picked parameters.
 
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use dyncontract::core::{
     best_response, bounds, design_contracts, DesignConfig, Discretization, ModelParams,
 };
