@@ -3,7 +3,7 @@
 
 CHAOS_CASES ?= 512
 
-.PHONY: build test lint clippy chaos experiments engine-bench metrics-check slow-tests ci
+.PHONY: build test lint clippy chaos experiments engine-bench batch-bench metrics-check slow-tests ci
 
 build:
 	cargo build --release
@@ -39,6 +39,13 @@ experiments:
 # uninstrumented solve).
 engine-bench:
 	cargo bench -p dcc-bench --bench engine
+
+# Cold vs warm batch-grid throughput on a 16-scenario μ-sweep, with the
+# printed report gating warm-cache throughput at >= 2x the naive
+# per-scenario loop (bit-identity is asserted separately by dcc-batch's
+# property tests).
+batch-bench:
+	cargo bench -p dcc-bench --bench batch
 
 # End-to-end observability check: run a small pipeline with the JSON
 # recorder, then validate the emitted document against the dcc-obs/1

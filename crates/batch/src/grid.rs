@@ -1,0 +1,602 @@
+//! Scenario grids: the cartesian sweep description the batch runner
+//! expands and executes.
+//!
+//! A grid is (traces × μ values × budget fractions × strategies) plus
+//! the shared detection/design/simulation configuration. The JSON form
+//! (`dcc-batch/1`, see `docs/batch.md`) is what `dcc batch` consumes;
+//! the Rust form is what the experiments build directly.
+
+use crate::BatchError;
+use dcc_core::{DesignConfig, SimulationConfig, StrategyKind};
+use dcc_detect::PipelineConfig;
+use dcc_engine::TraceSource;
+use dcc_faults::Json;
+use dcc_trace::{SyntheticConfig, TraceDataset};
+use std::path::PathBuf;
+
+/// Schema identifier accepted in the grid spec's optional `schema`
+/// field.
+pub const GRID_SCHEMA: &str = "dcc-batch/1";
+
+/// One trace the grid sweeps over, with a stable display label.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Label used in per-scenario metrics and CLI output.
+    pub label: String,
+    /// Where the trace comes from.
+    pub source: TraceSource,
+}
+
+/// A multi-scenario sweep: every combination of trace × μ × budget
+/// fraction × strategy becomes one [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioGrid {
+    /// Traces to sweep (outermost axis).
+    pub traces: Vec<TraceSpec>,
+    /// Unit-cost values μ to sweep.
+    pub mus: Vec<f64>,
+    /// Budget fractions of the full designed spend to sweep.
+    pub budget_fractions: Vec<f64>,
+    /// §V strategies to sweep (innermost axis).
+    pub strategies: Vec<StrategyKind>,
+    /// Repeated-game configuration; `None` runs design-only scenarios
+    /// (the engine stops after contract construction).
+    pub sim: Option<SimulationConfig>,
+    /// Shared design configuration; each scenario substitutes its own
+    /// μ into `design.params.mu`.
+    pub design: DesignConfig,
+    /// Shared detection-pipeline configuration.
+    pub pipeline: PipelineConfig,
+}
+
+/// One expanded grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Dense index in grid-expansion order (trace-major, strategy-minor).
+    pub id: usize,
+    /// Index into [`ScenarioGrid::traces`].
+    pub trace: usize,
+    /// Unit cost μ for this scenario.
+    pub mu: f64,
+    /// Fraction of the full designed spend available as budget.
+    pub budget_fraction: f64,
+    /// §V strategy the simulate stage plays.
+    pub strategy: StrategyKind,
+}
+
+impl ScenarioGrid {
+    /// A design-only μ-sweep over one in-memory trace: budget fraction
+    /// 1.0, dynamic contracts, no simulation, default design/pipeline.
+    pub fn for_trace(trace: TraceDataset, mus: &[f64]) -> Self {
+        ScenarioGrid {
+            traces: vec![TraceSpec {
+                label: "trace".to_string(),
+                source: TraceSource::Provided(trace),
+            }],
+            mus: mus.to_vec(),
+            budget_fractions: vec![1.0],
+            strategies: vec![StrategyKind::DynamicContract],
+            sim: None,
+            design: DesignConfig::default(),
+            pipeline: PipelineConfig::default(),
+        }
+    }
+
+    /// Expands the grid into scenarios in deterministic order:
+    /// trace-major, then μ, then budget fraction, then strategy.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(
+            self.traces.len() * self.mus.len() * self.budget_fractions.len()
+                * self.strategies.len(),
+        );
+        let mut id = 0usize;
+        for trace in 0..self.traces.len() {
+            for &mu in &self.mus {
+                for &budget_fraction in &self.budget_fractions {
+                    for &strategy in &self.strategies {
+                        out.push(Scenario { id, trace, mu, budget_fraction, strategy });
+                        id += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Structural validation with `GridSpec.<field>` error naming (the
+    /// same style as [`DesignConfig::validate`]).
+    ///
+    /// Deliberately does **not** check μ signs: a non-positive μ is a
+    /// *runtime* scenario failure handled by the batch
+    /// [`dcc_core::FailurePolicy`], exactly as a serial engine run
+    /// would fail it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError::Spec`] naming the offending field.
+    pub fn validate(&self) -> Result<(), BatchError> {
+        if self.traces.is_empty() {
+            return Err(spec("GridSpec.traces must be a non-empty array"));
+        }
+        if self.mus.is_empty() {
+            return Err(spec("GridSpec.mus must be a non-empty array"));
+        }
+        for (i, mu) in self.mus.iter().enumerate() {
+            if !mu.is_finite() {
+                return Err(spec(format!("GridSpec.mus[{i}] must be finite, got {mu}")));
+            }
+        }
+        if self.budget_fractions.is_empty() {
+            return Err(spec("GridSpec.budget_fractions must be a non-empty array"));
+        }
+        for (i, f) in self.budget_fractions.iter().enumerate() {
+            if !(f.is_finite() && *f >= 0.0) {
+                return Err(spec(format!(
+                    "GridSpec.budget_fractions[{i}] must be a nonnegative finite number, got {f}"
+                )));
+            }
+        }
+        if self.strategies.is_empty() {
+            return Err(spec("GridSpec.strategies must be a non-empty array"));
+        }
+        if let Some(sim) = &self.sim {
+            if sim.rounds == 0 {
+                return Err(spec("GridSpec.sim.rounds must be >= 1, got 0"));
+            }
+            if !(sim.feedback_noise_sd.is_finite() && sim.feedback_noise_sd >= 0.0) {
+                return Err(spec(format!(
+                    "GridSpec.sim.noise must be a nonnegative finite number, got {}",
+                    sim.feedback_noise_sd
+                )));
+            }
+        }
+        // The shared design carries a placeholder μ (each scenario
+        // substitutes its own), so this checks only the μ-independent
+        // fields; the error keeps the DesignConfig field naming under a
+        // GridSpec.design prefix.
+        let mut design = self.design;
+        design.params.mu = 1.0;
+        design
+            .validate()
+            .map_err(|e| spec(format!("GridSpec.design: {e}")))?;
+        Ok(())
+    }
+
+    /// Parses a `dcc-batch/1` grid spec JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError::Spec`] for malformed JSON, unknown fields,
+    /// or field values that fail [`ScenarioGrid::validate`].
+    pub fn parse(text: &str) -> Result<Self, BatchError> {
+        let doc = Json::parse(text).map_err(|e| spec(format!("GridSpec is not valid JSON: {e}")))?;
+        ScenarioGrid::from_json(&doc)
+    }
+
+    /// Builds a grid from an already-parsed JSON document (see
+    /// [`ScenarioGrid::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError::Spec`] naming the offending field.
+    pub fn from_json(doc: &Json) -> Result<Self, BatchError> {
+        let members = match doc {
+            Json::Obj(members) => members,
+            _ => return Err(spec("GridSpec must be a JSON object")),
+        };
+        for (key, _) in members {
+            match key.as_str() {
+                "schema" | "traces" | "mus" | "budget_fractions" | "strategies" | "sim"
+                | "design" => {}
+                other => {
+                    return Err(spec(format!("GridSpec has unknown field \"{other}\"")));
+                }
+            }
+        }
+        if let Some(schema) = doc.get("schema") {
+            match schema.as_str() {
+                Some(s) if s == GRID_SCHEMA => {}
+                Some(s) => {
+                    return Err(spec(format!(
+                        "GridSpec.schema must be \"{GRID_SCHEMA}\", got \"{s}\""
+                    )));
+                }
+                None => return Err(spec("GridSpec.schema must be a string")),
+            }
+        }
+
+        let traces = parse_traces(doc)?;
+        let mus = parse_numbers(doc, "mus", &[])?;
+        if mus.is_empty() {
+            return Err(spec("GridSpec.mus must be a non-empty array of numbers"));
+        }
+        let budget_fractions = parse_numbers(doc, "budget_fractions", &[1.0])?;
+        let strategies = parse_strategies(doc)?;
+        let sim = parse_sim(doc)?;
+        let design = parse_design(doc)?;
+
+        let grid = ScenarioGrid {
+            traces,
+            mus,
+            budget_fractions,
+            strategies,
+            sim,
+            design,
+            pipeline: PipelineConfig::default(),
+        };
+        grid.validate()?;
+        Ok(grid)
+    }
+}
+
+/// Round-trippable CLI/metrics label for a strategy: `dynamic`,
+/// `exclude`, or `fixed:<amount>` (matching [`parse_strategy`]).
+pub fn strategy_label(strategy: StrategyKind) -> String {
+    match strategy {
+        StrategyKind::DynamicContract => "dynamic".to_string(),
+        StrategyKind::ExcludeMalicious => "exclude".to_string(),
+        StrategyKind::FixedPayment { amount } => format!("fixed:{amount}"),
+    }
+}
+
+/// Parses a strategy label (`dynamic`, `exclude`, `fixed:<amount>`).
+///
+/// # Errors
+///
+/// Returns [`BatchError::Spec`] for an unknown label or a `fixed:`
+/// amount that is not a nonnegative finite number.
+pub fn parse_strategy(label: &str) -> Result<StrategyKind, BatchError> {
+    match label {
+        "dynamic" => Ok(StrategyKind::DynamicContract),
+        "exclude" => Ok(StrategyKind::ExcludeMalicious),
+        other => match other.strip_prefix("fixed:") {
+            Some(amount) => match amount.parse::<f64>() {
+                Ok(a) if a.is_finite() && a >= 0.0 => Ok(StrategyKind::FixedPayment { amount: a }),
+                _ => Err(spec(format!(
+                    "strategy \"fixed:<amount>\" needs a nonnegative finite amount, got \"{amount}\""
+                ))),
+            },
+            None => Err(spec(format!(
+                "strategy must be \"dynamic\", \"exclude\", or \"fixed:<amount>\", got \"{other}\""
+            ))),
+        },
+    }
+}
+
+fn spec(message: impl Into<String>) -> BatchError {
+    BatchError::Spec(message.into())
+}
+
+/// Seeds arrive as JSON numbers; checkpoint files string-encode u64s,
+/// so accept both forms.
+fn as_seed(v: &Json) -> Option<u64> {
+    v.as_idx().map(|i| i as u64).or_else(|| v.as_u64())
+}
+
+fn parse_traces(doc: &Json) -> Result<Vec<TraceSpec>, BatchError> {
+    let entries = doc
+        .get("traces")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| spec("GridSpec.traces must be a non-empty array"))?;
+    if entries.is_empty() {
+        return Err(spec("GridSpec.traces must be a non-empty array"));
+    }
+    let mut out = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let members = match entry {
+            Json::Obj(members) => members,
+            _ => return Err(spec(format!("GridSpec.traces[{i}] must be an object"))),
+        };
+        for (key, _) in members {
+            match key.as_str() {
+                "label" | "csv" | "scale" | "seed" => {}
+                other => {
+                    return Err(spec(format!(
+                        "GridSpec.traces[{i}] has unknown field \"{other}\""
+                    )));
+                }
+            }
+        }
+        let label = match entry.get("label") {
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| spec(format!("GridSpec.traces[{i}].label must be a string")))?
+                    .to_string(),
+            ),
+            None => None,
+        };
+        let (source, default_label) = match (entry.get("csv"), entry.get("scale")) {
+            (Some(csv), None) => {
+                let dir = csv
+                    .as_str()
+                    .ok_or_else(|| spec(format!("GridSpec.traces[{i}].csv must be a string")))?;
+                (TraceSource::CsvDir(PathBuf::from(dir)), dir.to_string())
+            }
+            (None, Some(scale)) => {
+                let seed = match entry.get("seed") {
+                    Some(v) => as_seed(v).ok_or_else(|| {
+                        spec(format!("GridSpec.traces[{i}].seed must be a nonnegative integer"))
+                    })?,
+                    None => 42,
+                };
+                let scale = scale.as_str().unwrap_or("");
+                let config = match scale {
+                    "small" => SyntheticConfig::small(seed),
+                    "paper" => SyntheticConfig::paper_scale(seed),
+                    other => {
+                        return Err(spec(format!(
+                            "GridSpec.traces[{i}].scale must be \"small\" or \"paper\", got \"{other}\""
+                        )));
+                    }
+                };
+                (TraceSource::Synthetic(config), format!("{scale}-{seed}"))
+            }
+            _ => {
+                return Err(spec(format!(
+                    "GridSpec.traces[{i}] must set exactly one of \"csv\" or \"scale\""
+                )));
+            }
+        };
+        out.push(TraceSpec { label: label.unwrap_or(default_label), source });
+    }
+    Ok(out)
+}
+
+fn parse_numbers(doc: &Json, field: &str, default: &[f64]) -> Result<Vec<f64>, BatchError> {
+    let Some(value) = doc.get(field) else {
+        return Ok(default.to_vec());
+    };
+    let items = value
+        .as_arr()
+        .ok_or_else(|| spec(format!("GridSpec.{field} must be an array of numbers")))?;
+    let mut out = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let x = item
+            .as_f64()
+            .ok_or_else(|| spec(format!("GridSpec.{field}[{i}] must be a number")))?;
+        out.push(x);
+    }
+    Ok(out)
+}
+
+fn parse_strategies(doc: &Json) -> Result<Vec<StrategyKind>, BatchError> {
+    let Some(value) = doc.get("strategies") else {
+        return Ok(vec![StrategyKind::DynamicContract]);
+    };
+    let items = value
+        .as_arr()
+        .ok_or_else(|| spec("GridSpec.strategies must be an array of strategy labels"))?;
+    let mut out = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let label = item
+            .as_str()
+            .ok_or_else(|| spec(format!("GridSpec.strategies[{i}] must be a string")))?;
+        out.push(parse_strategy(label).map_err(|e| match e {
+            BatchError::Spec(msg) => spec(format!("GridSpec.strategies[{i}]: {msg}")),
+            other => other,
+        })?);
+    }
+    Ok(out)
+}
+
+fn parse_sim(doc: &Json) -> Result<Option<SimulationConfig>, BatchError> {
+    let Some(value) = doc.get("sim") else {
+        return Ok(None);
+    };
+    let members = match value {
+        Json::Obj(members) => members,
+        _ => return Err(spec("GridSpec.sim must be an object")),
+    };
+    for (key, _) in members {
+        match key.as_str() {
+            "rounds" | "noise" | "seed" => {}
+            other => {
+                return Err(spec(format!("GridSpec.sim has unknown field \"{other}\"")));
+            }
+        }
+    }
+    let mut sim = SimulationConfig::default();
+    if let Some(rounds) = value.get("rounds") {
+        sim.rounds = rounds
+            .as_idx()
+            .filter(|r| *r >= 1)
+            .ok_or_else(|| spec("GridSpec.sim.rounds must be an integer >= 1"))?;
+    }
+    if let Some(noise) = value.get("noise") {
+        sim.feedback_noise_sd = noise
+            .as_f64()
+            .filter(|x| x.is_finite() && *x >= 0.0)
+            .ok_or_else(|| spec("GridSpec.sim.noise must be a nonnegative finite number"))?;
+    }
+    if let Some(seed) = value.get("seed") {
+        sim.seed = as_seed(seed)
+            .ok_or_else(|| spec("GridSpec.sim.seed must be a nonnegative integer"))?;
+    }
+    Ok(Some(sim))
+}
+
+fn parse_design(doc: &Json) -> Result<DesignConfig, BatchError> {
+    let mut design = DesignConfig::default();
+    let Some(value) = doc.get("design") else {
+        return Ok(design);
+    };
+    let members = match value {
+        Json::Obj(members) => members,
+        _ => return Err(spec("GridSpec.design must be an object")),
+    };
+    for (key, _) in members {
+        match key.as_str() {
+            "omega" | "beta" | "intervals" | "effort_quantile" | "per_worker_fit_min_reviews" => {}
+            other => {
+                return Err(spec(format!("GridSpec.design has unknown field \"{other}\"")));
+            }
+        }
+    }
+    if let Some(omega) = value.get("omega") {
+        design.params.omega = omega
+            .as_f64()
+            .ok_or_else(|| spec("GridSpec.design.omega must be a number"))?;
+    }
+    if let Some(beta) = value.get("beta") {
+        design.params.beta = beta
+            .as_f64()
+            .ok_or_else(|| spec("GridSpec.design.beta must be a number"))?;
+    }
+    if let Some(intervals) = value.get("intervals") {
+        design.intervals = intervals
+            .as_idx()
+            .ok_or_else(|| spec("GridSpec.design.intervals must be a nonnegative integer"))?;
+    }
+    if let Some(q) = value.get("effort_quantile") {
+        design.effort_quantile = q
+            .as_f64()
+            .ok_or_else(|| spec("GridSpec.design.effort_quantile must be a number"))?;
+    }
+    if let Some(min) = value.get("per_worker_fit_min_reviews") {
+        design.per_worker_fit_min_reviews = Some(min.as_idx().ok_or_else(|| {
+            spec("GridSpec.design.per_worker_fit_min_reviews must be a nonnegative integer")
+        })?);
+    }
+    Ok(design)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+    use super::*;
+
+    fn minimal() -> String {
+        r#"{
+            "schema": "dcc-batch/1",
+            "traces": [{"scale": "small", "seed": 42}],
+            "mus": [1.5, 1.0]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn minimal_spec_parses_with_defaults() {
+        let grid = ScenarioGrid::parse(&minimal()).expect("minimal spec");
+        assert_eq!(grid.traces.len(), 1);
+        assert_eq!(grid.traces[0].label, "small-42");
+        assert_eq!(grid.mus, vec![1.5, 1.0]);
+        assert_eq!(grid.budget_fractions, vec![1.0]);
+        assert_eq!(grid.strategies, vec![StrategyKind::DynamicContract]);
+        assert!(grid.sim.is_none());
+    }
+
+    #[test]
+    fn expansion_order_is_trace_major_strategy_minor() {
+        let mut grid = ScenarioGrid::parse(&minimal()).expect("minimal spec");
+        grid.budget_fractions = vec![0.5, 1.0];
+        grid.strategies = vec![StrategyKind::DynamicContract, StrategyKind::ExcludeMalicious];
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), 2 * 2 * 2);
+        assert_eq!(scenarios[0].id, 0);
+        assert_eq!(scenarios[0].strategy, StrategyKind::DynamicContract);
+        assert_eq!(scenarios[1].strategy, StrategyKind::ExcludeMalicious);
+        assert!((scenarios[1].budget_fraction - 0.5).abs() < 1e-15);
+        assert!((scenarios[2].budget_fraction - 1.0).abs() < 1e-15);
+        assert!((scenarios[4].mu - 1.0).abs() < 1e-15);
+        assert_eq!(scenarios[7].id, 7);
+    }
+
+    #[test]
+    fn unknown_top_level_field_is_named() {
+        let err = ScenarioGrid::parse(r#"{"traces": [], "mu": [1.0]}"#).unwrap_err();
+        assert!(err.to_string().contains("GridSpec has unknown field \"mu\""), "{err}");
+    }
+
+    #[test]
+    fn missing_mus_is_a_spec_error() {
+        let err =
+            ScenarioGrid::parse(r#"{"traces": [{"scale": "small", "seed": 1}]}"#).unwrap_err();
+        assert!(err.to_string().contains("GridSpec.mus"), "{err}");
+    }
+
+    #[test]
+    fn bad_schema_is_named() {
+        let err = ScenarioGrid::parse(r#"{"schema": "dcc-batch/9", "traces": [], "mus": [1.0]}"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("GridSpec.schema"), "{err}");
+    }
+
+    #[test]
+    fn bad_strategy_is_named_with_index() {
+        let spec = r#"{
+            "traces": [{"scale": "small", "seed": 1}],
+            "mus": [1.0],
+            "strategies": ["dynamic", "bogus"]
+        }"#;
+        let err = ScenarioGrid::parse(spec).unwrap_err();
+        assert!(err.to_string().contains("GridSpec.strategies[1]"), "{err}");
+    }
+
+    #[test]
+    fn fixed_strategy_parses_amount() {
+        let got = parse_strategy("fixed:1.25").expect("fixed strategy");
+        match got {
+            StrategyKind::FixedPayment { amount } => assert!((amount - 1.25).abs() < 1e-15),
+            other => panic!("expected FixedPayment, got {other:?}"),
+        }
+        assert!(parse_strategy("fixed:nan").is_err());
+        assert!(parse_strategy("fixed:-1").is_err());
+    }
+
+    #[test]
+    fn negative_mu_passes_the_spec() {
+        // μ sign is a runtime failure (FailurePolicy territory), not a
+        // spec failure — the CLI abort test depends on this.
+        let spec = r#"{
+            "traces": [{"scale": "small", "seed": 1}],
+            "mus": [1.0, -1.0]
+        }"#;
+        assert!(ScenarioGrid::parse(spec).is_ok());
+    }
+
+    #[test]
+    fn trace_entry_needs_exactly_one_source() {
+        let both = r#"{"traces": [{"csv": "x", "scale": "small"}], "mus": [1.0]}"#;
+        let neither = r#"{"traces": [{"label": "x"}], "mus": [1.0]}"#;
+        for bad in [both, neither] {
+            let err = ScenarioGrid::parse(bad).unwrap_err();
+            assert!(err.to_string().contains("GridSpec.traces[0]"), "{err}");
+        }
+    }
+
+    #[test]
+    fn sim_block_overrides_defaults() {
+        let spec = r#"{
+            "traces": [{"scale": "small", "seed": 1}],
+            "mus": [1.0],
+            "sim": {"rounds": 3, "noise": 0.0, "seed": 9}
+        }"#;
+        let grid = ScenarioGrid::parse(spec).expect("sim spec");
+        let sim = grid.sim.expect("sim present");
+        assert_eq!(sim.rounds, 3);
+        assert_eq!(sim.seed, 9);
+        let err = ScenarioGrid::parse(
+            r#"{"traces": [{"scale": "small", "seed": 1}], "mus": [1.0], "sim": {"rounds": 0}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("GridSpec.sim.rounds"), "{err}");
+    }
+
+    #[test]
+    fn design_overrides_are_validated() {
+        let err = ScenarioGrid::parse(
+            r#"{"traces": [{"scale": "small", "seed": 1}], "mus": [1.0], "design": {"intervals": 0}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("GridSpec.design"), "{err}");
+    }
+
+    #[test]
+    fn strategy_labels_roundtrip() {
+        for label in ["dynamic", "exclude", "fixed:2"] {
+            let strategy = parse_strategy(label).expect("parse");
+            assert_eq!(strategy_label(strategy), label);
+        }
+    }
+}

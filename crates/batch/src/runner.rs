@@ -1,0 +1,822 @@
+//! The deterministic batch scheduler.
+//!
+//! Scenarios fan out over a bounded `std::thread::scope` pool pulling
+//! from an atomic work queue; results land in per-index slots and are
+//! merged back **in input order**, so the report (and the redacted
+//! metrics document) is bit-identical for every pool size — the same
+//! contract `solve_subproblems_pooled` gives the solve stage, lifted to
+//! whole scenarios.
+//!
+//! Cross-scenario reuse goes through the shared [`StageMemo`]: each
+//! distinct (trace, pipeline) pair runs detection once, each distinct
+//! (trace, pipeline, fit-config) triple fits once, and each distinct
+//! (trace, pipeline, fit-config, design-config) quadruple — μ included,
+//! budget fraction and strategy excluded — solves once, no matter how
+//! many scenarios or how many threads ask for it. In-flight
+//! deduplication uses per-key `OnceLock` slots, so two workers never
+//! compute the same detection concurrently.
+//!
+//! Cache accounting is *deterministic by convention*: a scenario is
+//! counted as cached when the memo already held the key at run start
+//! or a lower-id scenario shares it — i.e. what a serial execution in
+//! scenario order would have reused. Under a parallel pool a high-id
+//! scenario may physically race ahead and compute a value its flag
+//! calls a hit; the flags describe the serial schedule, not thread
+//! timing, which keeps the metrics document pool-size-independent.
+
+use crate::grid::{strategy_label, Scenario, ScenarioGrid, TraceSpec};
+use crate::memo::{
+    fit_fingerprint, pipeline_fingerprint, solve_fingerprint, trace_fingerprint, DetectKey,
+    FitKey, MemoStats, SolveKey, StageMemo,
+};
+use dcc_core::{
+    select_within_budget, BudgetedSelection, ContractDesign, DesignPrep, FailurePolicy,
+    SimulationOutcome,
+};
+use dcc_detect::{run_pipeline, DetectionResult};
+use dcc_engine::{
+    Engine, EngineConfig, EngineSimOutcome, PoolSize, RoundContext, StageKind, TraceSource,
+};
+use dcc_obs::{names as obs, AttrValue, Metrics};
+use dcc_trace::{read_trace_csv, TraceDataset};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::thread;
+// dcc-lint: allow(wall-clock, reason = "per-scenario durations are measured here and published through dcc-obs spans, redacted in deterministic output")
+use std::time::{Duration, Instant};
+
+/// Batch-layer failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchError {
+    /// The grid spec is structurally invalid (exit code 2 territory).
+    Spec(String),
+    /// A scenario failed under [`FailurePolicy::Abort`].
+    Scenario {
+        /// Id of the first failing scenario in input order.
+        id: usize,
+        /// The underlying engine/core error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Spec(msg) => write!(f, "{msg}"),
+            BatchError::Scenario { id, message } => {
+                write!(f, "scenario {id} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Scheduler options, orthogonal to the grid itself.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Scenario-level worker pool. Inside a scenario the solve stage
+    /// runs sequentially — parallelism comes from scenario fan-out, so
+    /// the two pools never multiply.
+    pub pool: PoolSize,
+    /// Batch-level failure policy: [`FailurePolicy::Abort`] stops at
+    /// the first failing scenario (in input order); the other policies
+    /// record the failure and keep going. Per-subproblem degradation
+    /// inside a scenario is governed separately by
+    /// `ScenarioGrid::design.failure_policy`.
+    pub policy: FailurePolicy,
+    /// Observability sink; all recording happens post-merge in input
+    /// order, so the redacted document is pool-size-independent.
+    pub metrics: Metrics,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            pool: PoolSize::Auto,
+            policy: FailurePolicy::Abort,
+            metrics: Metrics::noop(),
+        }
+    }
+}
+
+/// Everything one successful scenario produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The assembled contract design at this scenario's μ.
+    pub design: ContractDesign,
+    /// Budget-constrained funding selection at
+    /// `budget_fraction × full_spend`.
+    pub budget: BudgetedSelection,
+    /// Total designed spend at fraction 1.0 (the budget baseline).
+    pub full_spend: f64,
+    /// Repeated-game outcome; `None` for design-only grids.
+    pub sim: Option<SimulationOutcome>,
+    /// The (possibly memo-shared) detection result the design used.
+    pub detection: Arc<DetectionResult>,
+}
+
+/// One scenario's merged result.
+#[derive(Debug, Clone)]
+pub struct ScenarioRecord {
+    /// The grid point this record answers.
+    pub scenario: Scenario,
+    /// The outcome, or the engine/core error message (present only
+    /// under non-abort policies).
+    pub result: Result<ScenarioOutcome, String>,
+    /// Whether the serial schedule would have reused the detection
+    /// (see the module docs on deterministic cache accounting).
+    pub detect_cached: bool,
+    /// Whether the serial schedule would have reused the fit.
+    pub fit_cached: bool,
+    /// Whether the serial schedule would have reused the solved design
+    /// (same trace, pipeline, and design config — μ included).
+    pub solve_cached: bool,
+    /// Worker-measured wall time (redacted in deterministic output).
+    pub elapsed: Duration,
+}
+
+/// The merged output of one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-scenario records, in input (grid-expansion) order.
+    pub records: Vec<ScenarioRecord>,
+    /// Deterministic cache accounting for this run.
+    pub stats: MemoStats,
+    /// Total wall time (not part of deterministic output).
+    pub elapsed: Duration,
+}
+
+impl BatchReport {
+    /// Records that ended in an error.
+    pub fn failed(&self) -> usize {
+        self.records.iter().filter(|r| r.result.is_err()).count()
+    }
+}
+
+/// The deterministic multi-scenario scheduler.
+#[derive(Debug, Default)]
+pub struct BatchRunner {
+    memo: Arc<StageMemo>,
+    options: BatchOptions,
+}
+
+impl BatchRunner {
+    /// A runner with default options and a cold memo.
+    pub fn new() -> Self {
+        BatchRunner::default()
+    }
+
+    /// A runner with the given options and a cold memo.
+    pub fn with_options(options: BatchOptions) -> Self {
+        BatchRunner { memo: Arc::new(StageMemo::new()), options }
+    }
+
+    /// A runner sharing an existing memo (warm reruns, cross-grid
+    /// reuse).
+    pub fn with_memo(memo: Arc<StageMemo>, options: BatchOptions) -> Self {
+        BatchRunner { memo, options }
+    }
+
+    /// The shared stage memo.
+    pub fn memo(&self) -> &Arc<StageMemo> {
+        &self.memo
+    }
+
+    /// Expands and runs the full grid.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::Spec`] if the grid fails validation;
+    /// [`BatchError::Scenario`] if a scenario fails under
+    /// [`FailurePolicy::Abort`].
+    pub fn run(&self, grid: &ScenarioGrid) -> Result<BatchReport, BatchError> {
+        self.run_scenarios(grid, &grid.scenarios())
+    }
+
+    /// Runs an explicit scenario list against the grid's shared
+    /// configuration (the experiments use this for non-cartesian
+    /// sweeps). Records come back in the given order.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BatchRunner::run`]; additionally rejects a
+    /// scenario whose `trace` index is out of bounds.
+    pub fn run_scenarios(
+        &self,
+        grid: &ScenarioGrid,
+        scenarios: &[Scenario],
+    ) -> Result<BatchReport, BatchError> {
+        grid.validate()?;
+        for s in scenarios {
+            if s.trace >= grid.traces.len() {
+                return Err(BatchError::Spec(format!(
+                    "scenario {} references trace {} but GridSpec.traces has {} entries",
+                    s.id,
+                    s.trace,
+                    grid.traces.len()
+                )));
+            }
+        }
+        // dcc-lint: allow(wall-clock, reason = "total batch wall time, published as a redacted throughput gauge")
+        let started = Instant::now();
+
+        let mut stats = MemoStats::default();
+        let traces = self.resolve_traces(grid, scenarios, &mut stats)?;
+
+        let pipeline_fp = pipeline_fingerprint(&grid.pipeline);
+        let fit_fp = fit_fingerprint(&grid.design);
+
+        // Per-key in-flight slots, pre-seeded from the persistent memo.
+        // Cache flags are derived from the serial schedule (memo hit at
+        // run start, or a lower-id scenario shares the key).
+        let mut detect_slots: BTreeMap<DetectKey, OnceLock<Arc<DetectionResult>>> = BTreeMap::new();
+        let mut fit_slots: BTreeMap<FitKey, FitSlot> = BTreeMap::new();
+        let mut solve_slots: BTreeMap<SolveKey, SolveSlot> = BTreeMap::new();
+        let mut detect_flags = Vec::with_capacity(scenarios.len());
+        let mut fit_flags = Vec::with_capacity(scenarios.len());
+        let mut solve_flags = Vec::with_capacity(scenarios.len());
+        for s in scenarios {
+            let Some(Some((_, trace_fp))) = traces.get(s.trace) else {
+                continue;
+            };
+            let dk: DetectKey = (*trace_fp, pipeline_fp);
+            let fk: FitKey = (*trace_fp, pipeline_fp, fit_fp);
+            let sk: SolveKey = (*trace_fp, pipeline_fp, fit_fp, scenario_solve_fp(grid, s));
+            let detect_hit = match detect_slots.entry(dk) {
+                std::collections::btree_map::Entry::Occupied(_) => true,
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    let slot = OnceLock::new();
+                    let seeded = match self.memo.get_detect(&dk) {
+                        Some(value) => {
+                            let _ = slot.set(value);
+                            true
+                        }
+                        None => false,
+                    };
+                    v.insert(slot);
+                    seeded
+                }
+            };
+            let fit_hit = match fit_slots.entry(fk) {
+                std::collections::btree_map::Entry::Occupied(_) => true,
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    let slot = OnceLock::new();
+                    let seeded = match self.memo.get_fit(&fk) {
+                        Some(value) => {
+                            let _ = slot.set(value);
+                            true
+                        }
+                        None => false,
+                    };
+                    v.insert(slot);
+                    seeded
+                }
+            };
+            let solve_hit = match solve_slots.entry(sk) {
+                std::collections::btree_map::Entry::Occupied(_) => true,
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    let slot = OnceLock::new();
+                    let seeded = match self.memo.get_solve(&sk) {
+                        Some(value) => {
+                            let _ = slot.set(value);
+                            true
+                        }
+                        None => false,
+                    };
+                    v.insert(slot);
+                    seeded
+                }
+            };
+            detect_flags.push(detect_hit);
+            fit_flags.push(fit_hit);
+            solve_flags.push(solve_hit);
+            stats.detect.record(detect_hit);
+            stats.fit.record(fit_hit);
+            stats.solve.record(solve_hit);
+        }
+
+        let n = scenarios.len();
+        let workers = resolved_pool(self.options.pool, n);
+        let slots: Vec<Mutex<Option<ScenarioRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        let job = |i: usize, scenario: &Scenario| -> Option<ScenarioRecord> {
+            let (trace, trace_fp) = traces.get(scenario.trace)?.as_ref()?;
+            let dk: DetectKey = (*trace_fp, pipeline_fp);
+            let fk: FitKey = (*trace_fp, pipeline_fp, fit_fp);
+            let sk: SolveKey = (*trace_fp, pipeline_fp, fit_fp, scenario_solve_fp(grid, scenario));
+            let detect_slot = detect_slots.get(&dk)?;
+            let fit_slot = fit_slots.get(&fk)?;
+            let solve_slot = solve_slots.get(&sk)?;
+            // dcc-lint: allow(wall-clock, reason = "worker-measured scenario duration, recorded post-merge and redacted in deterministic output")
+            let t0 = Instant::now();
+            let result = run_scenario(grid, scenario, trace, detect_slot, fit_slot, solve_slot);
+            Some(ScenarioRecord {
+                scenario: *scenario,
+                result,
+                detect_cached: detect_flags.get(i).copied().unwrap_or(false),
+                fit_cached: fit_flags.get(i).copied().unwrap_or(false),
+                solve_cached: solve_flags.get(i).copied().unwrap_or(false),
+                elapsed: t0.elapsed(),
+            })
+        };
+
+        if workers <= 1 {
+            for (i, scenario) in scenarios.iter().enumerate() {
+                if let (Some(slot), Some(record)) = (slots.get(i), job(i, scenario)) {
+                    *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(record);
+                }
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let Some(scenario) = scenarios.get(i) else { break };
+                        if let (Some(slot), Some(record)) = (slots.get(i), job(i, scenario)) {
+                            *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(record);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Publish freshly computed values into the persistent memo so a
+        // later run (or a shared runner) starts warm.
+        for (key, slot) in &detect_slots {
+            if let Some(value) = slot.get() {
+                if self.memo.get_detect(key).is_none() {
+                    self.memo.insert_detect(*key, Arc::clone(value));
+                }
+            }
+        }
+        for (key, slot) in &fit_slots {
+            if let Some(value) = slot.get() {
+                if self.memo.get_fit(key).is_none() {
+                    self.memo.insert_fit(*key, value.clone());
+                }
+            }
+        }
+        for (key, slot) in &solve_slots {
+            if let Some(value) = slot.get() {
+                if self.memo.get_solve(key).is_none() {
+                    self.memo.insert_solve(*key, value.clone());
+                }
+            }
+        }
+
+        // In-order merge.
+        let mut records = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                Some(record) => records.push(record),
+                None => {
+                    // Unreachable by construction (every index is
+                    // visited and every trace index was validated), but
+                    // a lost slot must not silently shrink the report.
+                    records.push(ScenarioRecord {
+                        scenario: scenarios.get(i).copied().unwrap_or(Scenario {
+                            id: i,
+                            trace: 0,
+                            mu: f64::NAN,
+                            budget_fraction: f64::NAN,
+                            strategy: dcc_core::StrategyKind::DynamicContract,
+                        }),
+                        result: Err("scenario produced no record".to_string()),
+                        detect_cached: false,
+                        fit_cached: false,
+                        solve_cached: false,
+                        elapsed: Duration::ZERO,
+                    });
+                }
+            }
+        }
+
+        if matches!(self.options.policy, FailurePolicy::Abort) {
+            if let Some(failed) = records.iter().find(|r| r.result.is_err()) {
+                let message = match &failed.result {
+                    Err(m) => m.clone(),
+                    Ok(_) => String::new(),
+                };
+                return Err(BatchError::Scenario { id: failed.scenario.id, message });
+            }
+        }
+
+        let report = BatchReport { records, stats, elapsed: started.elapsed() };
+        self.record_metrics(grid, &report, workers);
+        Ok(report)
+    }
+
+    /// Materializes every trace the scenario list references, counting
+    /// memo hits/misses per distinct trace spec.
+    fn resolve_traces(
+        &self,
+        grid: &ScenarioGrid,
+        scenarios: &[Scenario],
+        stats: &mut MemoStats,
+    ) -> Result<Vec<ResolvedTrace>, BatchError> {
+        let mut used = vec![false; grid.traces.len()];
+        for s in scenarios {
+            if let Some(flag) = used.get_mut(s.trace) {
+                *flag = true;
+            }
+        }
+        let mut out = Vec::with_capacity(grid.traces.len());
+        for (i, spec) in grid.traces.iter().enumerate() {
+            if !used.get(i).copied().unwrap_or(false) {
+                // Unused trace index: never materialized, never read.
+                out.push(None);
+                continue;
+            }
+            out.push(Some(self.resolve_trace(spec, stats)?));
+        }
+        Ok(out)
+    }
+
+    fn resolve_trace(
+        &self,
+        spec: &TraceSpec,
+        stats: &mut MemoStats,
+    ) -> Result<(Arc<TraceDataset>, u64), BatchError> {
+        match &spec.source {
+            TraceSource::Provided(trace) => {
+                // Content-addressed: the fingerprint *is* the key, so
+                // the memo only deduplicates the Arc (and the stats
+                // record whether detection/fit state already exists).
+                let fp = trace_fingerprint(trace);
+                let key = format!("provided:{fp:016x}");
+                match self.memo.get_trace(&key) {
+                    Some(entry) => {
+                        stats.trace.record(true);
+                        Ok(entry)
+                    }
+                    None => {
+                        stats.trace.record(false);
+                        let arc = Arc::new(trace.clone());
+                        self.memo.insert_trace(key, Arc::clone(&arc), fp);
+                        Ok((arc, fp))
+                    }
+                }
+            }
+            TraceSource::Synthetic(config) => {
+                let key = format!("synthetic:{config:?}");
+                self.resolve_keyed(&key, stats, || Ok(config.generate()))
+            }
+            // The memo assumes a CSV directory is immutable for the
+            // memo's lifetime (docs/batch.md).
+            TraceSource::CsvDir(dir) => {
+                let key = format!("csv:{}", dir.display());
+                let dir = dir.clone();
+                self.resolve_keyed(&key, stats, move || {
+                    read_trace_csv(&dir).map_err(|e| {
+                        BatchError::Spec(format!("cannot read trace {}: {e}", dir.display()))
+                    })
+                })
+            }
+        }
+    }
+
+    fn resolve_keyed(
+        &self,
+        key: &str,
+        stats: &mut MemoStats,
+        materialize: impl FnOnce() -> Result<TraceDataset, BatchError>,
+    ) -> Result<(Arc<TraceDataset>, u64), BatchError> {
+        match self.memo.get_trace(key) {
+            Some(entry) => {
+                stats.trace.record(true);
+                Ok(entry)
+            }
+            None => {
+                stats.trace.record(false);
+                let trace = Arc::new(materialize()?);
+                let fp = trace_fingerprint(&trace);
+                self.memo.insert_trace(key.to_string(), Arc::clone(&trace), fp);
+                Ok((trace, fp))
+            }
+        }
+    }
+
+    /// Post-merge metrics, in input order (pool-size-independent).
+    fn record_metrics(&self, grid: &ScenarioGrid, report: &BatchReport, workers: usize) {
+        let metrics = &self.options.metrics;
+        if !metrics.enabled() {
+            return;
+        }
+        for record in &report.records {
+            let s = &record.scenario;
+            let label = grid
+                .traces
+                .get(s.trace)
+                .map(|t| t.label.clone())
+                .unwrap_or_default();
+            metrics.span_at(
+                obs::SPAN_BATCH_SCENARIO,
+                &[
+                    ("id", s.id.into()),
+                    ("trace", AttrValue::from(label)),
+                    ("mu", s.mu.into()),
+                    ("budget_fraction", s.budget_fraction.into()),
+                    ("strategy", AttrValue::from(strategy_label(s.strategy))),
+                    ("detect_cached", record.detect_cached.into()),
+                    ("fit_cached", record.fit_cached.into()),
+                    ("solve_cached", record.solve_cached.into()),
+                    ("ok", record.result.is_ok().into()),
+                ],
+                record.elapsed,
+            );
+            metrics.observe(obs::HIST_BATCH_SCENARIO_US, record.elapsed.as_micros() as f64);
+        }
+        metrics.add(obs::COUNTER_BATCH_SCENARIOS, report.records.len() as u64);
+        metrics.add(obs::COUNTER_BATCH_FAILED, report.failed() as u64);
+        metrics.add(obs::COUNTER_BATCH_TRACE_HIT, report.stats.trace.hits);
+        metrics.add(obs::COUNTER_BATCH_TRACE_MISS, report.stats.trace.misses);
+        metrics.add(obs::COUNTER_BATCH_DETECT_HIT, report.stats.detect.hits);
+        metrics.add(obs::COUNTER_BATCH_DETECT_MISS, report.stats.detect.misses);
+        metrics.add(obs::COUNTER_BATCH_FIT_HIT, report.stats.fit.hits);
+        metrics.add(obs::COUNTER_BATCH_FIT_MISS, report.stats.fit.misses);
+        metrics.add(obs::COUNTER_BATCH_SOLVE_HIT, report.stats.solve.hits);
+        metrics.add(obs::COUNTER_BATCH_SOLVE_MISS, report.stats.solve.misses);
+        metrics.gauge(obs::GAUGE_BATCH_POOL, workers as f64);
+        let secs = report.elapsed.as_secs_f64();
+        let per_sec = if secs > 0.0 { report.records.len() as f64 / secs } else { 0.0 };
+        metrics.gauge(obs::GAUGE_BATCH_SCENARIOS_PER_SEC, per_sec);
+    }
+}
+
+type FitSlot = OnceLock<Result<Arc<DesignPrep>, String>>;
+type SolveSlot = OnceLock<Result<Arc<ContractDesign>, String>>;
+/// A materialized trace plus its content fingerprint; `None` for a
+/// grid trace index no scenario references.
+type ResolvedTrace = Option<(Arc<TraceDataset>, u64)>;
+
+/// Solve fingerprint of one scenario: the grid's shared design config
+/// specialized to the scenario's μ (the only per-scenario design
+/// field — budget fraction and strategy act after the solve).
+fn scenario_solve_fp(grid: &ScenarioGrid, scenario: &Scenario) -> u64 {
+    let mut design = grid.design;
+    design.params.mu = scenario.mu;
+    solve_fingerprint(&design)
+}
+
+fn resolved_pool(pool: PoolSize, n: usize) -> usize {
+    let p = pool.resolve().min(n);
+    if p == 0 {
+        1
+    } else {
+        p
+    }
+}
+
+/// Runs one scenario against pre-resolved shared state, reproducing a
+/// serial engine run bit-exactly: the pre-seeded detection and fit are
+/// the same values `Engine::run_to` would compute, and the solve /
+/// construct / simulate stages run through the engine itself.
+fn run_scenario(
+    grid: &ScenarioGrid,
+    scenario: &Scenario,
+    trace: &Arc<TraceDataset>,
+    detect_slot: &OnceLock<Arc<DetectionResult>>,
+    fit_slot: &FitSlot,
+    solve_slot: &SolveSlot,
+) -> Result<ScenarioOutcome, String> {
+    let mut design = grid.design;
+    design.params.mu = scenario.mu;
+    // Fail exactly where (and with exactly the message) a fresh engine
+    // run would: prepare_design validates the config before fitting.
+    design.validate().map_err(|e| e.to_string())?;
+
+    let detection = Arc::clone(
+        detect_slot.get_or_init(|| Arc::new(run_pipeline(trace, grid.pipeline))),
+    );
+    let prep = fit_slot
+        .get_or_init(|| {
+            dcc_core::prepare_design(trace, &detection, &design)
+                .map(Arc::new)
+                .map_err(|e| e.to_string())
+        })
+        .clone()?;
+
+    // The source is a placeholder: trace/detection/prep (and, on a
+    // solve-memo hit, the solved design) are pre-seeded in stage order
+    // — each setter invalidates only later stages — so the skipped
+    // stages never run and the ingest stage never reads the source.
+    let make_ctx = || {
+        let mut config = EngineConfig::for_source(TraceSource::CsvDir(PathBuf::new()));
+        config.pipeline = grid.pipeline;
+        config.design = design;
+        config.pool = PoolSize::Sequential;
+        config.strategy = scenario.strategy;
+        if let Some(sim) = grid.sim {
+            config.sim = sim;
+        }
+        let mut ctx = RoundContext::new(config);
+        ctx.set_trace((**trace).clone());
+        ctx.set_detection((*detection).clone());
+        ctx.set_prep((*prep).clone());
+        ctx
+    };
+
+    let designed = solve_slot
+        .get_or_init(|| {
+            let mut ctx = make_ctx();
+            Engine::new()
+                .run_to(&mut ctx, StageKind::ConstructContracts)
+                .map_err(|e| e.to_string())?;
+            ctx.design().map(|d| Arc::new(d.clone())).map_err(|e| e.to_string())
+        })
+        .clone()?;
+
+    let full_spend: f64 = designed
+        .solution
+        .solutions
+        .iter()
+        .map(|s| s.built.compensation())
+        .sum();
+    let budget = select_within_budget(&designed.solution, scenario.budget_fraction * full_spend)
+        .map_err(|e| e.to_string())?;
+    let sim = if grid.sim.is_some() {
+        let mut ctx = make_ctx();
+        ctx.set_solution(designed.solution.clone(), designed.degradation.clone());
+        ctx.set_design((*designed).clone());
+        Engine::new().run_to(&mut ctx, StageKind::Simulate).map_err(|e| e.to_string())?;
+        match ctx.sim_outcome().map_err(|e| e.to_string())? {
+            EngineSimOutcome::Completed { outcome, .. } => Some(outcome.clone()),
+            EngineSimOutcome::Killed { at_round, .. } => {
+                return Err(format!("scenario simulation killed at round {at_round}"));
+            }
+        }
+    } else {
+        None
+    };
+
+    Ok(ScenarioOutcome { design: (*designed).clone(), budget, full_spend, sim, detection })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+    use super::*;
+    use dcc_core::StrategyKind;
+    use dcc_trace::SyntheticConfig;
+
+    fn tiny(seed: u64) -> TraceDataset {
+        let mut cfg = SyntheticConfig::small(seed);
+        cfg.n_honest = 12;
+        cfg.n_ncm = 4;
+        cfg.n_cm_target = 5;
+        cfg.n_products = 80;
+        cfg.n_rounds = 2;
+        cfg.generate()
+    }
+
+    #[test]
+    fn mu_sweep_detects_and_fits_once() {
+        let grid = ScenarioGrid::for_trace(tiny(3), &[1.5, 1.0, 0.5]);
+        let runner = BatchRunner::new();
+        let report = runner.run(&grid).expect("batch run");
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(report.stats.detect.misses, 1);
+        assert_eq!(report.stats.detect.hits, 2);
+        assert_eq!(report.stats.fit.misses, 1);
+        assert_eq!(report.stats.fit.hits, 2);
+        // Three distinct μs: every solve is a miss.
+        assert_eq!(report.stats.solve.misses, 3);
+        assert_eq!(report.stats.solve.hits, 0);
+        assert_eq!(report.failed(), 0);
+        // First scenario computes, the rest reuse (serial-schedule
+        // accounting).
+        assert!(!report.records[0].detect_cached);
+        assert!(report.records[1].detect_cached && report.records[2].detect_cached);
+    }
+
+    #[test]
+    fn warm_rerun_is_all_hits() {
+        let grid = ScenarioGrid::for_trace(tiny(3), &[1.5, 1.0]);
+        let runner = BatchRunner::new();
+        runner.run(&grid).expect("cold run");
+        let warm = runner.run(&grid).expect("warm run");
+        assert_eq!(warm.stats.detect.misses, 0);
+        assert_eq!(warm.stats.fit.misses, 0);
+        assert_eq!(warm.stats.solve.misses, 0);
+        assert_eq!(warm.stats.trace.misses, 0);
+        assert!(warm
+            .records
+            .iter()
+            .all(|r| r.detect_cached && r.fit_cached && r.solve_cached));
+    }
+
+    #[test]
+    fn budget_axis_shares_one_solve() {
+        // Same μ, three budget fractions: the design solves once and
+        // each scenario carries its own budget selection.
+        let mut grid = ScenarioGrid::for_trace(tiny(3), &[1.5]);
+        grid.budget_fractions = vec![0.25, 0.5, 1.0];
+        let report = BatchRunner::new().run(&grid).expect("batch run");
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(report.stats.solve.misses, 1);
+        assert_eq!(report.stats.solve.hits, 2);
+        let spends: Vec<f64> = report
+            .records
+            .iter()
+            .map(|r| r.result.as_ref().unwrap().budget.spend)
+            .collect();
+        assert!(spends[0] <= spends[1] && spends[1] <= spends[2]);
+    }
+
+    #[test]
+    fn abort_policy_stops_on_poison_mu() {
+        let grid = ScenarioGrid::for_trace(tiny(3), &[1.5, -1.0, 1.0]);
+        let err = BatchRunner::new().run(&grid).unwrap_err();
+        match err {
+            BatchError::Scenario { id, message } => {
+                assert_eq!(id, 1);
+                assert!(message.contains("mu must be positive"), "{message}");
+            }
+            other => panic!("expected Scenario error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skip_policy_itemizes_failures() {
+        let grid = ScenarioGrid::for_trace(tiny(3), &[1.5, -1.0, 1.0]);
+        let runner = BatchRunner::with_options(BatchOptions {
+            policy: FailurePolicy::Skip,
+            ..BatchOptions::default()
+        });
+        let report = runner.run(&grid).expect("skip run");
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(report.failed(), 1);
+        assert!(report.records[0].result.is_ok());
+        assert!(report.records[1].result.is_err());
+        assert!(report.records[2].result.is_ok());
+    }
+
+    #[test]
+    fn pool_size_does_not_change_results() {
+        let mut grid = ScenarioGrid::for_trace(tiny(5), &[2.0, 1.5, 1.0, 0.75]);
+        grid.budget_fractions = vec![0.5, 1.0];
+        let serial = BatchRunner::with_options(BatchOptions {
+            pool: PoolSize::Sequential,
+            ..BatchOptions::default()
+        })
+        .run(&grid)
+        .expect("serial");
+        let pooled = BatchRunner::with_options(BatchOptions {
+            pool: PoolSize::Fixed(8),
+            ..BatchOptions::default()
+        })
+        .run(&grid)
+        .expect("pooled");
+        assert_eq!(serial.records.len(), pooled.records.len());
+        for (a, b) in serial.records.iter().zip(&pooled.records) {
+            let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(
+                a.design.total_requester_utility.to_bits(),
+                b.design.total_requester_utility.to_bits()
+            );
+            assert_eq!(a.budget.funded, b.budget.funded);
+            assert_eq!(a.budget.spend.to_bits(), b.budget.spend.to_bits());
+        }
+        assert_eq!(serial.stats, pooled.stats);
+    }
+
+    #[test]
+    fn run_scenarios_accepts_custom_lists_and_checks_bounds() {
+        let grid = ScenarioGrid::for_trace(tiny(3), &[1.5]);
+        let runner = BatchRunner::new();
+        let custom = vec![Scenario {
+            id: 0,
+            trace: 0,
+            mu: 1.25,
+            budget_fraction: 1.0,
+            strategy: StrategyKind::DynamicContract,
+        }];
+        let report = runner.run_scenarios(&grid, &custom).expect("custom list");
+        assert_eq!(report.records.len(), 1);
+        let bad = vec![Scenario { trace: 7, ..custom[0] }];
+        assert!(matches!(runner.run_scenarios(&grid, &bad), Err(BatchError::Spec(_))));
+    }
+
+    #[test]
+    fn provided_traces_are_content_addressed() {
+        // Two grids with content-identical Provided traces share
+        // detection state even though the values are distinct clones.
+        let a = ScenarioGrid::for_trace(tiny(9), &[1.5]);
+        let b = ScenarioGrid::for_trace(tiny(9), &[1.0]);
+        let runner = BatchRunner::new();
+        runner.run(&a).expect("first grid");
+        let second = runner.run(&b).expect("second grid");
+        assert_eq!(second.stats.trace.hits, 1);
+        assert_eq!(second.stats.detect.misses, 0, "detection must be shared");
+        assert_eq!(second.stats.fit.misses, 0, "fit must be shared");
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::args::ParsedArgs;
 use crate::error::CliError;
+use dcc_batch::{BatchError, BatchOptions, BatchRunner, ScenarioGrid};
 use dcc_core::{DesignConfig, FailurePolicy, ModelParams, SimulationConfig, StrategyKind};
 use dcc_detect::{run_pipeline, PipelineConfig, SuspectSource};
 use dcc_engine::{
@@ -664,6 +665,107 @@ pub fn cmd_metrics(args: &ParsedArgs) -> CliResult {
     }
 }
 
+/// `dcc batch GRID.json [--pool N | --serial]
+///  [--policy abort|fallback|skip] [--metrics FILE]` — expand a
+/// `dcc-batch/1` scenario grid (traces × μ × budget fraction ×
+/// strategy) and run it on the deterministic batch scheduler.
+///
+/// A structurally invalid spec is a usage error (exit 2, naming the
+/// offending `GridSpec` field); a scenario failing mid-batch under
+/// `--policy abort` is a runtime failure (exit 1). The other policies
+/// itemize failures in the report and exit 0.
+pub fn cmd_batch(args: &ParsedArgs) -> CliResult {
+    let spec = args
+        .positional
+        .first()
+        .cloned()
+        .or_else(|| args.flags.get("grid").cloned())
+        .ok_or_else(|| {
+            CliError::Usage("expected a grid spec file (positional or --grid FILE)".into())
+        })?;
+    let text = std::fs::read_to_string(&spec)
+        .map_err(|e| CliError::Failed(format!("cannot read grid spec {spec}: {e}")))?;
+    let grid = ScenarioGrid::parse(&text).map_err(|e| CliError::Usage(format!("{spec}: {e}")))?;
+
+    let sink = args.flags.get("metrics").map(|file| MetricsSink {
+        recorder: Arc::new(JsonRecorder::new()),
+        path: PathBuf::from(file),
+    });
+    let runner = BatchRunner::with_options(BatchOptions {
+        pool: pool_size(args)?,
+        policy: failure_policy(args)?,
+        metrics: sink
+            .as_ref()
+            .map(|s| Metrics::new(s.recorder.clone()))
+            .unwrap_or_default(),
+    });
+    let report = runner.run(&grid).map_err(|e| match e {
+        BatchError::Spec(m) => CliError::Usage(format!("{spec}: {m}")),
+        scenario => CliError::Failed(scenario.to_string()),
+    })?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "batch: {} scenarios, {} failed",
+        report.records.len(),
+        report.failed()
+    )
+    .ok();
+    for r in &report.records {
+        let s = &r.scenario;
+        let label = grid
+            .traces
+            .get(s.trace)
+            .map(|t| t.label.as_str())
+            .unwrap_or("?");
+        write!(
+            out,
+            "  #{:<3} {label} mu={:.3} budget={:.0}% {} [detect:{} fit:{} solve:{}] ",
+            s.id,
+            s.mu,
+            100.0 * s.budget_fraction,
+            dcc_batch::strategy_label(s.strategy),
+            if r.detect_cached { "hit" } else { "miss" },
+            if r.fit_cached { "hit" } else { "miss" },
+            if r.solve_cached { "hit" } else { "miss" },
+        )
+        .ok();
+        match &r.result {
+            Ok(o) => {
+                write!(
+                    out,
+                    "utility {:.3} funded {}/{} spend {:.2}",
+                    o.design.total_requester_utility,
+                    o.budget.funded.len(),
+                    o.design.agents.len(),
+                    o.budget.spend,
+                )
+                .ok();
+                if let Some(sim) = &o.sim {
+                    write!(out, " sim-utility {:.3}", sim.mean_round_utility).ok();
+                }
+                writeln!(out).ok();
+            }
+            Err(e) => {
+                writeln!(out, "ERROR: {e}").ok();
+            }
+        }
+    }
+    let st = &report.stats;
+    writeln!(
+        out,
+        "cache: trace {}h/{}m, detect {}h/{}m, fit {}h/{}m, solve {}h/{}m",
+        st.trace.hits, st.trace.misses, st.detect.hits, st.detect.misses, st.fit.hits,
+        st.fit.misses, st.solve.hits, st.solve.misses
+    )
+    .ok();
+    if let Some(sink) = &sink {
+        sink.flush(&mut out)?;
+    }
+    Ok(out)
+}
+
 /// `dcc experiment <fig6|fig7|fig8a|fig8b|fig8c|table2|table3|adaptive|all>
 ///  [--scale small|paper] [--seed N]`
 pub fn cmd_experiment(args: &ParsedArgs) -> CliResult {
@@ -1010,6 +1112,9 @@ COMMANDS:
                                                        deterministic fault plans
   metrics    summarize FILE                            validate + summarize a
                                                        --metrics JSON document
+  batch      GRID.json [--pool N | --serial] [--policy abort|fallback|skip]
+             [--metrics FILE]                          run a dcc-batch/1 scenario
+                                                       grid on the batch scheduler
   replay     TRACE_DIR [--mu F]                        trace-driven evaluation
   check      [--r2 F --r1 F --r0 F --mu F --omega F --weight F --intervals N]
                                                        verify the theory at runtime
@@ -1035,6 +1140,7 @@ pub fn dispatch(args: &ParsedArgs) -> CliResult {
         Some("run") => cmd_run(args),
         Some("faults") => cmd_faults(args),
         Some("metrics") => cmd_metrics(args),
+        Some("batch") => cmd_batch(args),
         Some("replay") => cmd_replay(args),
         Some("check") => cmd_check(args),
         Some("experiment") => cmd_experiment(args),
@@ -1307,6 +1413,148 @@ mod tests {
             FailurePolicy::Abort
         );
         assert!(failure_policy(&parse("design x --policy sometimes")).is_err());
+    }
+
+    /// Writes a small CSV trace for the batch tests (much smaller than
+    /// `dcc gen --scale small`, so the grid runs fast).
+    fn tiny_trace_dir(tag: &str) -> String {
+        let dir = temp_dir(tag);
+        let mut cfg = dcc_trace::SyntheticConfig::small(7);
+        cfg.n_honest = 14;
+        cfg.n_ncm = 5;
+        cfg.n_cm_target = 6;
+        cfg.n_rounds = 2;
+        cfg.n_products = 160;
+        write_trace_csv(&cfg.generate(), Path::new(&dir)).unwrap();
+        dir
+    }
+
+    #[test]
+    fn batch_command_runs_a_grid_end_to_end() {
+        let dir = tiny_trace_dir("batchrun");
+        let spec = format!("{dir}/grid.json");
+        std::fs::write(
+            &spec,
+            format!(
+                r#"{{"schema": "dcc-batch/1",
+                    "traces": [{{"csv": "{dir}", "label": "t"}}],
+                    "mus": [1.5, 1.2],
+                    "budget_fractions": [0.5, 1.0],
+                    "strategies": ["dynamic", "fixed:0.75"],
+                    "sim": {{"rounds": 3, "noise": 0.25, "seed": 9}}}}"#
+            ),
+        )
+        .unwrap();
+
+        let out = dispatch(&parse(&format!("batch {spec} --pool 4"))).unwrap();
+        assert!(out.contains("batch: 8 scenarios, 0 failed"), "{out}");
+        assert!(out.contains("sim-utility"), "{out}");
+        assert!(out.contains("detect:miss"), "{out}");
+        assert!(out.contains("detect:hit"), "{out}");
+        // 4 scenarios per μ (2 fractions × 2 strategies) share one solve.
+        assert!(out.contains("solve:miss"), "{out}");
+        assert!(out.contains("solve:hit"), "{out}");
+        assert!(out.contains("cache: trace"), "{out}");
+
+        // Pool choice never changes the deterministic report.
+        let serial = dispatch(&parse(&format!("batch {spec} --serial"))).unwrap();
+        assert_eq!(out, serial);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_bad_grid_spec_is_a_usage_error_naming_the_field() {
+        let dir = temp_dir("batchspec");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = format!("{dir}/grid.json");
+
+        // Unknown field, DesignConfig-style naming, exit code 2.
+        std::fs::write(&spec, r#"{"traces": [{"scale": "small"}], "mu": [1.0]}"#).unwrap();
+        let err = dispatch(&parse(&format!("batch {spec}"))).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(
+            err.to_string().contains("GridSpec has unknown field \"mu\""),
+            "{err}"
+        );
+
+        // Invalid value inside a nested block is also named.
+        std::fs::write(
+            &spec,
+            r#"{"traces": [{"scale": "small"}], "mus": [1.0], "sim": {"rounds": 0}}"#,
+        )
+        .unwrap();
+        let err = dispatch(&parse(&format!("batch {spec}"))).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("GridSpec.sim.rounds"), "{err}");
+
+        // Missing file is a runtime failure, missing argument a usage one.
+        let err = dispatch(&parse("batch /nonexistent/grid.json")).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert_eq!(dispatch(&parse("batch")).unwrap_err().exit_code(), 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_abort_policy_fails_mid_batch_and_skip_itemizes() {
+        let dir = tiny_trace_dir("batchpolicy");
+        let spec = format!("{dir}/grid.json");
+        // μ = -1 passes the spec but fails design validation at runtime.
+        std::fs::write(
+            &spec,
+            format!(
+                r#"{{"traces": [{{"csv": "{dir}"}}], "mus": [1.5, -1.0, 1.2]}}"#
+            ),
+        )
+        .unwrap();
+
+        let err = dispatch(&parse(&format!("batch {spec} --policy abort"))).unwrap_err();
+        assert_eq!(err.exit_code(), 1, "mid-batch abort is a runtime failure");
+        assert!(err.to_string().contains("scenario 1 failed"), "{err}");
+        assert!(err.to_string().contains("mu must be positive"), "{err}");
+
+        let out = dispatch(&parse(&format!("batch {spec} --policy skip"))).unwrap();
+        assert!(out.contains("batch: 3 scenarios, 1 failed"), "{out}");
+        assert!(out.contains("ERROR: "), "{out}");
+        assert!(out.contains("mu must be positive"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_metrics_document_validates_against_the_obs_schema() {
+        let dir = tiny_trace_dir("batchmetrics");
+        let spec = format!("{dir}/grid.json");
+        let file = format!("{dir}/metrics.json");
+        std::fs::write(
+            &spec,
+            format!(r#"{{"traces": [{{"csv": "{dir}"}}], "mus": [1.5, 1.2]}}"#),
+        )
+        .unwrap();
+
+        let out =
+            dispatch(&parse(&format!("batch {spec} --pool 2 --metrics {file}"))).unwrap();
+        assert!(out.contains("wrote metrics to"), "{out}");
+
+        let text = std::fs::read_to_string(&file).unwrap();
+        let doc = Json::parse(&text).expect("metrics document parses");
+        validate_metrics_doc(&doc).expect("metrics document matches dcc-obs/1");
+        for name in [
+            dcc_obs::names::COUNTER_BATCH_SCENARIOS,
+            dcc_obs::names::COUNTER_BATCH_DETECT_HIT,
+            dcc_obs::names::COUNTER_BATCH_SOLVE_MISS,
+            dcc_obs::names::GAUGE_BATCH_POOL,
+            dcc_obs::names::HIST_BATCH_SCENARIO_US,
+            dcc_obs::names::SPAN_BATCH_SCENARIO,
+        ] {
+            assert!(text.contains(name), "metrics document lacks {name}:\n{text}");
+        }
+        // And the generic summarizer accepts it.
+        let summary = dispatch(&parse(&format!("metrics summarize {file}"))).unwrap();
+        assert!(summary.contains("batch.scenarios"), "{summary}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

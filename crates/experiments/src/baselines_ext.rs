@@ -4,9 +4,11 @@
 //! (ε-greedy bandit over slopes, the strongest model-free competitor).
 
 use crate::render::fmt_f;
-use crate::{core_error, engine_context, ExperimentScale, TextTable};
-use dcc_core::{BaselineStrategy, CoreError, LinearPricingBandit, StrategyKind};
-use dcc_engine::{Engine, EngineSimOutcome};
+use crate::{batch_error, batch_runner, ExperimentScale, TextTable};
+use dcc_batch::{Scenario, ScenarioGrid, ScenarioRecord};
+use dcc_core::{
+    BaselineStrategy, CoreError, LinearPricingBandit, SimulationConfig, StrategyKind,
+};
 use dcc_trace::TraceDataset;
 use std::collections::BTreeSet;
 
@@ -65,26 +67,34 @@ impl BaselineLadderResult {
 ///
 /// Propagates design, simulation and bandit failures.
 pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<BaselineLadderResult, CoreError> {
-    let mut ctx = engine_context(trace);
-    let engine = Engine::new();
-    let mut rows = Vec::with_capacity(mus.len());
-    for &mu in mus {
-        // One engine context per sweep: detection and fits stay cached
-        // across μ; strategy switches re-run only the simulate stage.
-        ctx.set_mu(mu);
-        ctx.set_strategy(StrategyKind::DynamicContract);
-        engine.run(&mut ctx).map_err(core_error)?;
-        let dynamic = mean_utility(&ctx)?;
+    // Two batch passes over one shared memo: detection and the ψ-fits
+    // run once for the whole ladder. The first pass sweeps
+    // μ × {dynamic, exclude}; the fixed-payment amount depends on each
+    // μ's dynamic design, so those scenarios are built afterwards and
+    // run as an explicit list (warm memo: all cache hits).
+    let runner = batch_runner();
+    let mut grid = ScenarioGrid::for_trace(trace.clone(), mus);
+    grid.strategies = vec![StrategyKind::DynamicContract, StrategyKind::ExcludeMalicious];
+    grid.sim = Some(SimulationConfig::default());
+    let report = runner.run(&grid).map_err(batch_error)?;
 
-        let design = ctx.design().map_err(core_error)?;
-        let params = ctx.config().design.params;
-        let suspected: BTreeSet<_> = ctx
-            .detection()
-            .map_err(core_error)?
-            .suspected
-            .iter()
-            .copied()
-            .collect();
+    let mut partial = Vec::with_capacity(mus.len());
+    let mut fixed_scenarios = Vec::with_capacity(mus.len());
+    for (i, pair) in report.records.chunks(2).enumerate() {
+        let [dynamic_rec, exclude_rec] = pair else {
+            return Err(CoreError::InvalidInput(
+                "batch report lost a ladder scenario".into(),
+            ));
+        };
+        let mu = dynamic_rec.scenario.mu;
+        let outcome = scenario_outcome(dynamic_rec)?;
+        let dynamic = sim_mean_utility(dynamic_rec)?;
+        let exclude = sim_mean_utility(exclude_rec)?;
+
+        let design = &outcome.design;
+        let mut params = grid.design.params;
+        params.mu = mu;
+        let suspected: BTreeSet<_> = outcome.detection.suspected.iter().copied().collect();
         let agents = BaselineStrategy::new(StrategyKind::DynamicContract)
             .assemble(design, params.omega, &suspected)?;
         let bandit = LinearPricingBandit::default().run(&params, &agents)?;
@@ -93,33 +103,50 @@ pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<BaselineLadderResult,
         let spend: f64 = design.agents.iter().map(|a| a.compensation).sum();
         let amount = (spend / in_system as f64).max(0.0);
 
-        ctx.set_strategy(StrategyKind::ExcludeMalicious);
-        engine.run(&mut ctx).map_err(core_error)?;
-        let exclude = mean_utility(&ctx)?;
+        partial.push((mu, dynamic, exclude, bandit));
+        fixed_scenarios.push(Scenario {
+            id: i,
+            trace: 0,
+            mu,
+            budget_fraction: 1.0,
+            strategy: StrategyKind::FixedPayment { amount },
+        });
+    }
 
-        ctx.set_strategy(StrategyKind::FixedPayment { amount });
-        engine.run(&mut ctx).map_err(core_error)?;
-        let fixed = mean_utility(&ctx)?;
-
+    let fixed_report = runner
+        .run_scenarios(&grid, &fixed_scenarios)
+        .map_err(batch_error)?;
+    let mut rows = Vec::with_capacity(mus.len());
+    for ((mu, dynamic, exclude, bandit), fixed_rec) in
+        partial.into_iter().zip(&fixed_report.records)
+    {
         rows.push(BaselineLadderRow {
             mu,
             dynamic,
             learned_linear: bandit.late_mean_utility,
             exclude,
-            fixed,
+            fixed: sim_mean_utility(fixed_rec)?,
             learned_slope: bandit.best_slope,
         });
     }
     Ok(BaselineLadderResult { rows })
 }
 
-/// The mean per-round requester utility of the context's completed
-/// simulation.
-fn mean_utility(ctx: &dcc_engine::RoundContext) -> Result<f64, CoreError> {
-    match ctx.sim_outcome().map_err(core_error)? {
-        EngineSimOutcome::Completed { outcome, .. } => Ok(outcome.mean_round_utility),
-        EngineSimOutcome::Killed { .. } => unreachable!("no kill round is configured"),
-    }
+/// The successful outcome of one scenario record.
+fn scenario_outcome(record: &ScenarioRecord) -> Result<&dcc_batch::ScenarioOutcome, CoreError> {
+    record
+        .result
+        .as_ref()
+        .map_err(|m| CoreError::InvalidInput(m.clone()))
+}
+
+/// The mean per-round requester utility of one simulated scenario.
+fn sim_mean_utility(record: &ScenarioRecord) -> Result<f64, CoreError> {
+    scenario_outcome(record)?
+        .sim
+        .as_ref()
+        .map(|sim| sim.mean_round_utility)
+        .ok_or_else(|| CoreError::InvalidInput("ladder scenario ran design-only".into()))
 }
 
 /// Runs E12 at the given scale and seed with the Fig. 8 μ values.

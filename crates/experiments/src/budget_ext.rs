@@ -3,9 +3,9 @@
 //! the §IV design to the budget-feasibility line of related work (§VI).
 
 use crate::render::fmt_f;
-use crate::{core_error, engine_context, ExperimentScale, TextTable};
-use dcc_core::{select_within_budget, CoreError};
-use dcc_engine::{Engine, StageKind};
+use crate::{batch_error, batch_runner, ExperimentScale, TextTable};
+use dcc_batch::ScenarioGrid;
+use dcc_core::CoreError;
 use dcc_trace::TraceDataset;
 
 /// One budget point.
@@ -67,31 +67,31 @@ impl BudgetResult {
 ///
 /// Propagates design failures.
 pub fn run_on(trace: &TraceDataset, fractions: &[f64]) -> Result<BudgetResult, CoreError> {
-    let mut ctx = engine_context(trace);
-    Engine::new()
-        .run_to(&mut ctx, StageKind::ConstructContracts)
-        .map_err(core_error)?;
-    let design = ctx.design().map_err(core_error)?;
-    let full_spend: f64 = design
-        .solution
-        .solutions
-        .iter()
-        .map(|s| s.built.compensation())
-        .sum();
-    let full_utility = design.total_requester_utility;
+    // One design, many budgets: the budget axis of a batch grid at the
+    // default μ. The design solves once (shared fit/solve per μ) and
+    // each scenario carries its own budget selection.
+    let mut grid = ScenarioGrid::for_trace(trace.clone(), &[dcc_core::DesignConfig::default().params.mu]);
+    grid.budget_fractions = fractions.to_vec();
+    let report = batch_runner().run(&grid).map_err(batch_error)?;
 
     let mut rows = Vec::with_capacity(fractions.len());
-    for &fraction in fractions {
-        let budget = fraction * full_spend;
-        let selection = select_within_budget(&design.solution, budget)?;
+    let mut full_spend = 0.0;
+    let mut full_utility = 0.0;
+    for record in &report.records {
+        let outcome = record
+            .result
+            .as_ref()
+            .map_err(|m| CoreError::InvalidInput(m.clone()))?;
+        full_spend = outcome.full_spend;
+        full_utility = outcome.design.total_requester_utility;
         rows.push(BudgetRow {
-            budget_fraction: fraction,
-            budget,
-            funded: selection.funded.len(),
-            spend: selection.spend,
-            utility: selection.utility,
+            budget_fraction: record.scenario.budget_fraction,
+            budget: outcome.budget.budget,
+            funded: outcome.budget.funded.len(),
+            spend: outcome.budget.spend,
+            utility: outcome.budget.utility,
             utility_fraction: if full_utility.abs() > 1e-12 {
-                selection.utility / full_utility
+                outcome.budget.utility / full_utility
             } else {
                 0.0
             },

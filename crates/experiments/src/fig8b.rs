@@ -7,9 +7,9 @@
 //! penalties devalue malicious feedback).
 
 use crate::render::fmt_f;
-use crate::{core_error, engine_context, ExperimentScale, TextTable};
+use crate::{batch_error, batch_runner, ExperimentScale, TextTable};
+use dcc_batch::ScenarioGrid;
 use dcc_core::CoreError;
-use dcc_engine::{Engine, StageKind};
 use dcc_numerics::Summary;
 use dcc_trace::{TraceDataset, WorkerClass};
 
@@ -68,21 +68,20 @@ impl Fig8bResult {
 ///
 /// Propagates design failures and empty-class summaries.
 pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<Fig8bResult, CoreError> {
-    let mut ctx = engine_context(trace);
-    let engine = Engine::new();
+    // The μ-sweep is a batch grid: detection and the ψ-fits run once
+    // and are shared across every μ through the stage memo.
+    let grid = ScenarioGrid::for_trace(trace.clone(), mus);
+    let report = batch_runner().run(&grid).map_err(batch_error)?;
     let mut groups = Vec::with_capacity(mus.len() * 3);
-    for &mu in mus {
-        // Only the solve depends on μ: detection and the ψ-fits stay
-        // cached across the sweep.
-        ctx.set_mu(mu);
-        engine
-            .run_to(&mut ctx, StageKind::ConstructContracts)
-            .map_err(core_error)?;
-        let design = ctx.design().map_err(core_error)?;
+    for record in &report.records {
+        let outcome = record
+            .result
+            .as_ref()
+            .map_err(|m| CoreError::InvalidInput(m.clone()))?;
         for class in WorkerClass::ALL {
-            let comps = design.compensations_of(&trace.workers_of_class(class));
+            let comps = outcome.design.compensations_of(&trace.workers_of_class(class));
             let summary = Summary::of(&comps).map_err(dcc_core::CoreError::from)?;
-            groups.push(ClassComp { class, mu, summary });
+            groups.push(ClassComp { class, mu: record.scenario.mu, summary });
         }
     }
     Ok(Fig8bResult { groups })

@@ -87,6 +87,22 @@ pub(crate) fn core_error(e: EngineError) -> CoreError {
     }
 }
 
+/// A batch runner wired to the installed metrics handle — the batched
+/// counterpart of [`engine_context`] for the sweep-shaped experiments
+/// (Fig. 8(b), the budget curve, the baseline ladder).
+pub(crate) fn batch_runner() -> dcc_batch::BatchRunner {
+    dcc_batch::BatchRunner::with_options(dcc_batch::BatchOptions {
+        metrics: current_metrics(),
+        ..Default::default()
+    })
+}
+
+/// Lowers a [`dcc_batch::BatchError`] onto the runners' `CoreError`
+/// interface, mirroring [`core_error`].
+pub(crate) fn batch_error(e: dcc_batch::BatchError) -> CoreError {
+    CoreError::InvalidInput(e.to_string())
+}
+
 /// Workload scale for experiment runners.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExperimentScale {

@@ -115,10 +115,12 @@ impl JsonRecorder {
     }
 
     /// Renders the document with the timing redaction pass applied:
-    /// every span's `elapsed_us` is zeroed and every histogram whose
+    /// every span's `elapsed_us` is zeroed, every histogram whose
     /// name ends in `_us` has its `sum`/`min`/`max` zeroed (`count` is
-    /// deterministic and kept). Two runs of a deterministic pipeline
-    /// produce byte-identical redacted documents.
+    /// deterministic and kept), and every gauge whose name ends in
+    /// `_per_sec` is zeroed (throughput is a wall-clock derivative).
+    /// Two runs of a deterministic pipeline produce byte-identical
+    /// redacted documents.
     pub fn to_json_redacted(&self) -> String {
         self.render(true)
     }
@@ -176,7 +178,8 @@ impl JsonRecorder {
             }
             push_str_json(&mut out, name);
             out.push(':');
-            push_f64_json(&mut out, *value);
+            let v = if redact && name.ends_with("_per_sec") { 0.0 } else { *value };
+            push_f64_json(&mut out, v);
         }
         out.push_str("},\"histograms\":{");
         for (i, (name, hist)) in inner.hists.iter().enumerate() {
@@ -425,6 +428,8 @@ mod tests {
             Duration::from_micros(1234),
         );
         metrics.observe("solve.subproblem_us", 1234.0);
+        metrics.gauge("batch.scenarios_per_sec", 123.5);
+        metrics.gauge("solve.pool", 4.0);
         metrics.observe("payments", 0.5);
         let raw = recorder.to_json();
         assert!(raw.contains("\"elapsed_us\":1234"));
@@ -434,6 +439,11 @@ mod tests {
         assert!(redacted.contains("\"solve.subproblem_us\":{\"count\":1,\"sum\":0,\"min\":0,\"max\":0}"));
         // Non-timing histograms keep their statistics.
         assert!(redacted.contains("\"payments\":{\"count\":1,\"sum\":0.5,\"min\":0.5,\"max\":0.5}"));
+        // Throughput gauges are wall-clock derivatives: zeroed under
+        // redaction, other gauges kept.
+        assert!(raw.contains("\"batch.scenarios_per_sec\":123.5"));
+        assert!(redacted.contains("\"batch.scenarios_per_sec\":0"));
+        assert!(redacted.contains("\"solve.pool\":4"));
         // The deterministic attributes survive redaction.
         assert!(redacted.contains("\"attrs\":{\"id\":7}"));
     }

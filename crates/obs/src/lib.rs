@@ -129,4 +129,38 @@ pub mod names {
     /// Histogram: per-subproblem solve time, microseconds (redacted by
     /// the determinism pass — the `_us` suffix marks it as a timing).
     pub const HIST_SUBPROBLEM_US: &str = "solve.subproblem_us";
+
+    /// Span: one batch scenario (attrs: `id`, `trace`, `mu`,
+    /// `budget_fraction`, `strategy`, `detect_cached`, `fit_cached`,
+    /// `solve_cached`, `ok`), recorded post-merge with the
+    /// worker-measured time.
+    pub const SPAN_BATCH_SCENARIO: &str = "batch.scenario";
+    /// Counter: scenarios the batch runner executed (failed included).
+    pub const COUNTER_BATCH_SCENARIOS: &str = "batch.scenarios";
+    /// Counter: scenarios that ended in an error record.
+    pub const COUNTER_BATCH_FAILED: &str = "batch.scenarios.failed";
+    /// Counter: trace materializations answered from the stage memo.
+    pub const COUNTER_BATCH_TRACE_HIT: &str = "batch.cache.trace.hit";
+    /// Counter: trace materializations that had to run.
+    pub const COUNTER_BATCH_TRACE_MISS: &str = "batch.cache.trace.miss";
+    /// Counter: scenarios whose detection came from the stage memo.
+    pub const COUNTER_BATCH_DETECT_HIT: &str = "batch.cache.detect.hit";
+    /// Counter: scenarios that had to run the detection pipeline.
+    pub const COUNTER_BATCH_DETECT_MISS: &str = "batch.cache.detect.miss";
+    /// Counter: scenarios whose fit came from the stage memo.
+    pub const COUNTER_BATCH_FIT_HIT: &str = "batch.cache.fit.hit";
+    /// Counter: scenarios that had to run the fit stage.
+    pub const COUNTER_BATCH_FIT_MISS: &str = "batch.cache.fit.miss";
+    /// Counter: scenarios whose solved design came from the stage memo.
+    pub const COUNTER_BATCH_SOLVE_HIT: &str = "batch.cache.solve.hit";
+    /// Counter: scenarios that had to run the solve/construct stages.
+    pub const COUNTER_BATCH_SOLVE_MISS: &str = "batch.cache.solve.miss";
+    /// Gauge: resolved scenario-level worker-pool size of the batch run.
+    pub const GAUGE_BATCH_POOL: &str = "batch.pool";
+    /// Gauge: scenario throughput of the batch run (redacted by the
+    /// determinism pass — the `_per_sec` suffix marks it as a timing).
+    pub const GAUGE_BATCH_SCENARIOS_PER_SEC: &str = "batch.scenarios_per_sec";
+    /// Histogram: per-scenario wall time, microseconds (redacted by the
+    /// determinism pass — the `_us` suffix marks it as a timing).
+    pub const HIST_BATCH_SCENARIO_US: &str = "batch.scenario_us";
 }

@@ -35,6 +35,10 @@
 //!   typed counters/gauges/histograms, and the `Noop`/`Json` recorders
 //!   the engine publishes its stage spans and solve/sim metrics
 //!   through.
+//! - [`batch`] — the deterministic multi-scenario batch scheduler:
+//!   scenario grids (μ × budget × strategy × trace), a shared
+//!   content-addressed detect/fit/solve memo, and an in-order merge
+//!   that keeps batched output bit-identical to serial runs.
 //!
 //! ## Quickstart
 //!
@@ -64,6 +68,7 @@
 //! # }
 //! ```
 
+pub use dcc_batch as batch;
 pub use dcc_core as core;
 pub use dcc_detect as detect;
 pub use dcc_engine as engine;

@@ -1,0 +1,158 @@
+//! Differential harness: three independent executions of the same
+//! μ-sweep — a fresh serial engine run per scenario, a pooled engine
+//! solve, and the batch runner — must agree **byte-for-byte** on every
+//! deterministic output (all floats compared via `to_bits`).
+//!
+//! This is the external check backing `dcc-batch`'s central claim: the
+//! batch scheduler is an optimization, never a semantic change. CI runs
+//! this suite at `PROPTEST_CASES=256` (`.github/workflows/ci.yml`,
+//! `batch` job); the in-file default keeps local runs quick.
+
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use dyncontract::batch::{BatchOptions, BatchRunner, ScenarioGrid};
+use dyncontract::core::{ContractDesign, FailurePolicy};
+use dyncontract::engine::{Engine, EngineConfig, PoolSize, RoundContext, StageKind};
+use dyncontract::trace::{SyntheticConfig, TraceDataset};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+/// The μ-sweep all three executions run.
+const MUS: [f64; 3] = [1.5, 1.0, 0.6];
+/// Distinct trace shapes (seeds) the property quantifies over.
+const SEEDS: [u64; 3] = [5, 23, 71];
+
+fn trace(seed: u64) -> TraceDataset {
+    let mut cfg = SyntheticConfig::small(seed);
+    cfg.n_honest = 14;
+    cfg.n_ncm = 5;
+    cfg.n_cm_target = 6;
+    cfg.n_rounds = 2;
+    cfg.n_products = 160;
+    cfg.generate()
+}
+
+/// Byte-exact encoding of one design: per-worker contract knots,
+/// payments, compensation, and induced effort, plus the total, all via
+/// `to_bits` so any 1-ulp drift fails the comparison.
+fn encode(out: &mut String, design: &ContractDesign) {
+    let _ = write!(out, "U={:016x}", design.total_requester_utility.to_bits());
+    for a in &design.agents {
+        let _ = write!(
+            out,
+            " [{} c={:016x} y={:016x} k=",
+            a.worker.0,
+            a.compensation.to_bits(),
+            a.induced_effort.to_bits(),
+        );
+        for (d, x) in a
+            .contract
+            .feedback_knots()
+            .iter()
+            .zip(a.contract.payments())
+        {
+            let _ = write!(out, "{:016x}:{:016x},", d.to_bits(), x.to_bits());
+        }
+        let _ = write!(out, "]");
+    }
+    let _ = writeln!(out);
+}
+
+/// The sweep through the staged engine: one fresh context per μ, solve
+/// pool as given.
+fn engine_sweep(seed: u64, pool: PoolSize) -> String {
+    let trace = trace(seed);
+    let mut out = String::new();
+    for &mu in &MUS {
+        let mut config = EngineConfig::for_trace(trace.clone());
+        config.design.params.mu = mu;
+        config.pool = pool;
+        let mut ctx = RoundContext::new(config);
+        Engine::new()
+            .run_to(&mut ctx, StageKind::ConstructContracts)
+            .expect("engine design");
+        encode(&mut out, ctx.design().expect("design ran"));
+    }
+    out
+}
+
+/// The same sweep through the batch runner.
+fn batch_sweep(seed: u64, pool: PoolSize, policy: FailurePolicy) -> String {
+    let grid = ScenarioGrid::for_trace(trace(seed), &MUS);
+    let runner = BatchRunner::with_options(BatchOptions {
+        pool,
+        policy,
+        ..BatchOptions::default()
+    });
+    let report = runner.run(&grid).expect("batch run");
+    let mut out = String::new();
+    for record in &report.records {
+        encode(&mut out, &record.result.as_ref().expect("scenario ok").design);
+    }
+    out
+}
+
+/// The serial-engine reference, computed once per seed.
+fn reference(seed_idx: usize) -> &'static str {
+    static REFS: OnceLock<Vec<String>> = OnceLock::new();
+    &REFS.get_or_init(|| {
+        SEEDS
+            .iter()
+            .map(|&seed| engine_sweep(seed, PoolSize::Sequential))
+            .collect()
+    })[seed_idx]
+}
+
+fn policy(idx: usize) -> FailurePolicy {
+    match idx {
+        0 => FailurePolicy::Abort,
+        1 => FailurePolicy::Skip,
+        _ => FailurePolicy::FallbackBaseline { amount: 0.5 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The engine's pooled subproblem solve is byte-identical to its
+    /// sequential solve at every pool size.
+    #[test]
+    fn pooled_engine_solve_matches_serial(seed_idx in 0usize..SEEDS.len(), pool in 1usize..=16) {
+        let swept = engine_sweep(SEEDS[seed_idx], PoolSize::Fixed(pool));
+        prop_assert_eq!(swept.as_str(), reference(seed_idx));
+    }
+
+    /// The batch runner — any scenario-pool size, any failure policy —
+    /// is byte-identical to the fresh serial engine loop.
+    #[test]
+    fn batch_runner_matches_serial_engine(
+        seed_idx in 0usize..SEEDS.len(),
+        pool in 1usize..=16,
+        policy_idx in 0usize..3,
+    ) {
+        let swept = batch_sweep(SEEDS[seed_idx], PoolSize::Fixed(pool), policy(policy_idx));
+        prop_assert_eq!(swept.as_str(), reference(seed_idx));
+    }
+
+    /// A warm memo is invisible in the output: rerunning the grid on
+    /// the same runner reproduces the cold bytes even though every
+    /// stage is answered from cache.
+    #[test]
+    fn warm_batch_rerun_matches_serial_engine(seed_idx in 0usize..SEEDS.len(), pool in 1usize..=8) {
+        let grid = ScenarioGrid::for_trace(trace(SEEDS[seed_idx]), &MUS);
+        let runner = BatchRunner::with_options(BatchOptions {
+            pool: PoolSize::Fixed(pool),
+            ..BatchOptions::default()
+        });
+        runner.run(&grid).expect("cold run");
+        let warm = runner.run(&grid).expect("warm run");
+        let mut out = String::new();
+        for record in &warm.records {
+            encode(&mut out, &record.result.as_ref().expect("scenario ok").design);
+        }
+        prop_assert_eq!(out.as_str(), reference(seed_idx));
+    }
+}

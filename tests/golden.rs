@@ -25,6 +25,7 @@
 // clippy.toml's in-tests exemption, so allow at file scope.
 #![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
 
+use dyncontract::batch::{BatchRunner, ScenarioGrid};
 use dyncontract::experiments::{fig8b, fig8c, table2, table3, ExperimentScale, DEFAULT_SEED};
 use dyncontract::faults::Json;
 use dyncontract::trace::TraceDataset;
@@ -196,6 +197,39 @@ fn encode_fig8c() -> Json {
     )])
 }
 
+/// The 3 μ × 3 budget-fraction design-only grid the batch runner
+/// snapshot covers: utilities, full spends, and the funded worker sets
+/// selected at each budget level.
+fn encode_batch_grid() -> Json {
+    let mut grid = ScenarioGrid::for_trace(trace().clone(), &[1.8, 1.5, 1.0]);
+    grid.budget_fractions = vec![0.25, 0.5, 1.0];
+    let report = BatchRunner::new().run(&grid).expect("batch grid runs");
+    obj(vec![(
+        "scenarios",
+        Json::Arr(
+            report
+                .records
+                .iter()
+                .map(|r| {
+                    let o = r.result.as_ref().expect("design-only scenario succeeds");
+                    obj(vec![
+                        ("mu", Json::num(r.scenario.mu)),
+                        ("budget_fraction", Json::num(r.scenario.budget_fraction)),
+                        ("utility", Json::num(o.design.total_requester_utility)),
+                        ("full_spend", Json::num(o.full_spend)),
+                        (
+                            "funded",
+                            Json::Arr(o.budget.funded.iter().map(|&w| Json::idx(w)).collect()),
+                        ),
+                        ("budget_spend", Json::num(o.budget.spend)),
+                        ("budget_utility", Json::num(o.budget.utility)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
 // --------------------------------------------------------------- comparison
 
 /// Walks both documents and records every path where they differ —
@@ -291,6 +325,48 @@ fn golden_fig8b_compensation_by_class() {
 #[test]
 fn golden_fig8c_utility_vs_baselines() {
     check_golden("fig8c", encode_fig8c());
+}
+
+#[test]
+fn golden_batch_grid() {
+    check_golden("batch_grid", encode_batch_grid());
+}
+
+/// The batch snapshot catches drift in the scheduler itself: nudging
+/// one scenario's `full_spend` by a relative `1e-6` — three orders of
+/// magnitude above the `1e-9` tolerance — must surface as a diff
+/// naming that leaf.
+#[test]
+fn a_perturbed_batch_spend_fails_the_comparison() {
+    fn perturb_first_spend(value: &mut Json) -> bool {
+        match value {
+            Json::Arr(items) => items.iter_mut().any(perturb_first_spend),
+            Json::Obj(members) => members.iter_mut().any(|(key, member)| {
+                if key == "full_spend" {
+                    if let Json::Num(x) = member {
+                        *x += 1e-6 * x.abs().max(1.0);
+                        return true;
+                    }
+                    false
+                } else {
+                    perturb_first_spend(member)
+                }
+            }),
+            _ => false,
+        }
+    }
+
+    let pristine = encode_batch_grid();
+    let mut perturbed = pristine.clone();
+    assert!(perturb_first_spend(&mut perturbed), "found a spend to perturb");
+
+    let mut diffs = Vec::new();
+    diff("batch_grid", &pristine, &perturbed, &mut diffs);
+    assert!(!diffs.is_empty(), "a 1e-6 spend perturbation must be detected");
+    assert!(
+        diffs[0].contains("full_spend"),
+        "the diff names the perturbed leaf: {diffs:?}"
+    );
 }
 
 /// The harness is sensitive enough for its job: perturbing a single fit

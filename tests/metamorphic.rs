@@ -1,0 +1,239 @@
+//! Metamorphic properties of the contract-design pipeline: relations
+//! between *pairs* of runs (or structural invariants of one run) that
+//! must hold for any input, derived from the paper's model rather than
+//! from golden outputs.
+//!
+//! 1. Every designed contract is a monotone piecewise-linear payment
+//!    schedule (§IV-C: Lemma 4.1's candidates are nondecreasing PWL,
+//!    and the zero contract trivially is).
+//! 2. Scaling every feedback weight `w_i` (Eq. 5) *and* the payment
+//!    multiplier μ jointly by λ scales the requester's utility
+//!    `Σ w_i·F_i − μ·x_i` (Eq. 4–7) by exactly λ: candidates depend
+//!    only on (β, ω, ψ), so the candidate set is unchanged and every
+//!    candidate's score scales linearly — the argmax is preserved.
+//! 3. Relabeling workers (a permutation of `ReviewerId`s applied
+//!    consistently to reviewers, reviews, and campaign rosters) must
+//!    not change any worker's designed contract: identity is not a
+//!    model input.
+//! 4. Raising μ makes payments more expensive, so the total designed
+//!    compensation is weakly decreasing in μ (monotone comparative
+//!    statics of the per-worker argmax over a μ-linear objective).
+//!
+//! CI runs this suite at `PROPTEST_CASES=256` (`.github/workflows/
+//! ci.yml`, `batch` job).
+
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use dyncontract::batch::{BatchRunner, ScenarioGrid};
+use dyncontract::core::{design_contracts, ContractDesign, DesignConfig};
+use dyncontract::detect::{run_pipeline, DetectionResult, PipelineConfig};
+use dyncontract::trace::{SyntheticConfig, TraceDataset};
+use proptest::prelude::*;
+
+const SEEDS: [u64; 3] = [7, 31, 90];
+
+/// Relative tolerance for cross-run float comparisons. Permutations
+/// and scalings reorder float reductions, so bit-identity is not owed;
+/// 1e-9 is far above accumulated rounding and far below any real
+/// design difference.
+const REL_TOL: f64 = 1e-9;
+
+fn trace(seed: u64) -> TraceDataset {
+    let mut cfg = SyntheticConfig::small(seed);
+    cfg.n_honest = 14;
+    cfg.n_ncm = 5;
+    cfg.n_cm_target = 6;
+    cfg.n_rounds = 2;
+    cfg.n_products = 160;
+    cfg.generate()
+}
+
+fn detect(trace: &TraceDataset) -> DetectionResult {
+    run_pipeline(trace, PipelineConfig::default())
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= REL_TOL * a.abs().max(b.abs()).max(1.0)
+}
+
+fn design(trace: &TraceDataset, mu: f64) -> ContractDesign {
+    let detection = detect(trace);
+    let mut config = DesignConfig::default();
+    config.params.mu = mu;
+    design_contracts(trace, &detection, &config).expect("design")
+}
+
+/// Applies the id-reversal permutation `π(i) = n−1−i` consistently to
+/// every place a `ReviewerId` appears, then re-slots reviewers so ids
+/// stay dense.
+fn relabel(trace: &TraceDataset) -> TraceDataset {
+    let n = trace.reviewers().len();
+    let perm = |r: dyncontract::trace::ReviewerId| dyncontract::trace::ReviewerId(n - 1 - r.0);
+    let mut reviewers: Vec<_> = trace
+        .reviewers()
+        .iter()
+        .cloned()
+        .map(|mut r| {
+            r.id = perm(r.id);
+            r
+        })
+        .collect();
+    reviewers.sort_by_key(|r| r.id.0);
+    let reviews = trace
+        .reviews()
+        .iter()
+        .cloned()
+        .map(|mut v| {
+            v.reviewer = perm(v.reviewer);
+            v
+        })
+        .collect();
+    let campaigns = trace
+        .campaigns()
+        .iter()
+        .cloned()
+        .map(|mut c| {
+            c.members = c.members.iter().map(|&m| perm(m)).collect();
+            c
+        })
+        .collect();
+    TraceDataset::new(trace.products().to_vec(), reviewers, reviews, campaigns)
+        .expect("relabeled trace stays well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Property 1: every agent's contract is a monotone nondecreasing
+    /// piecewise-linear payment schedule with nonnegative payments,
+    /// and its compensation function is nondecreasing in feedback.
+    #[test]
+    fn designed_contracts_are_monotone_pwl(seed_idx in 0usize..SEEDS.len(), mu in 0.5f64..2.5) {
+        let design = design(&trace(SEEDS[seed_idx]), mu);
+        prop_assert!(!design.agents.is_empty());
+        for a in &design.agents {
+            let c = &a.contract;
+            prop_assert!(c.is_monotone(), "worker {} contract not monotone", a.worker.0);
+            let knots = c.feedback_knots();
+            let payments = c.payments();
+            prop_assert_eq!(knots.len(), payments.len());
+            for w in knots.windows(2) {
+                prop_assert!(w[1] >= w[0], "feedback knots must be sorted");
+            }
+            for w in payments.windows(2) {
+                prop_assert!(w[1] >= w[0] - 1e-12, "payments must be nondecreasing");
+            }
+            prop_assert!(payments.iter().all(|&x| x >= 0.0), "payments must be nonnegative");
+            // Sample the interpolated compensation along the feedback axis.
+            let (lo, hi) = (knots[0], knots[knots.len() - 1]);
+            let mut prev = f64::NEG_INFINITY;
+            for t in 0..=50 {
+                let d = lo + (hi - lo) * f64::from(t) / 50.0;
+                let x = c.compensation(d);
+                prop_assert!(x >= prev - 1e-12, "compensation dips at feedback {d}");
+                prev = x;
+            }
+        }
+    }
+
+    /// Property 2: scaling all weights and μ jointly by λ scales the
+    /// requester's utility by λ. λ ranges over powers of two so the
+    /// scaling itself is exact in floating point.
+    #[test]
+    fn joint_weight_mu_scaling_scales_requester_utility(
+        seed_idx in 0usize..SEEDS.len(),
+        lambda_exp in -1i32..=2,
+    ) {
+        let lambda = 2f64.powi(lambda_exp);
+        let trace = trace(SEEDS[seed_idx]);
+        let detection = detect(&trace);
+        let config = DesignConfig::default();
+        let base = design_contracts(&trace, &detection, &config).expect("base design");
+
+        let mut scaled_detection = detect(&trace);
+        for r in trace.reviewers() {
+            let w = scaled_detection.weights.weight(r.id).expect("weight exists");
+            prop_assert!(scaled_detection.weights.set_weight(r.id, w * lambda));
+        }
+        let mut scaled_config = config;
+        scaled_config.params.mu *= lambda;
+        let scaled =
+            design_contracts(&trace, &scaled_detection, &scaled_config).expect("scaled design");
+
+        prop_assert!(
+            close(scaled.total_requester_utility, lambda * base.total_requester_utility),
+            "U_req({lambda}·w, {lambda}·mu) = {} but {lambda}·U_req(w, mu) = {}",
+            scaled.total_requester_utility,
+            lambda * base.total_requester_utility,
+        );
+    }
+}
+
+/// Property 3: worker identity is not a model input — reversing all
+/// `ReviewerId`s leaves every worker's compensation and induced effort
+/// unchanged (up to float-reduction reordering).
+#[test]
+fn worker_relabeling_preserves_per_worker_design() {
+    for &seed in &SEEDS {
+        let original = trace(seed);
+        let relabeled = relabel(&original);
+        let base = design(&original, 1.5);
+        let permuted = design(&relabeled, 1.5);
+        let n = original.reviewers().len();
+
+        assert!(
+            close(base.total_requester_utility, permuted.total_requester_utility),
+            "seed {seed}: total utility moved under relabeling: {} vs {}",
+            base.total_requester_utility,
+            permuted.total_requester_utility,
+        );
+        assert_eq!(base.agents.len(), permuted.agents.len());
+        for a in &base.agents {
+            let twin = permuted
+                .for_worker(dyncontract::trace::ReviewerId(n - 1 - a.worker.0))
+                .expect("relabeled worker keeps a contract");
+            assert!(
+                close(a.compensation, twin.compensation),
+                "seed {seed} worker {}: compensation {} vs relabeled {}",
+                a.worker.0,
+                a.compensation,
+                twin.compensation,
+            );
+            assert!(
+                close(a.induced_effort, twin.induced_effort),
+                "seed {seed} worker {}: induced effort {} vs relabeled {}",
+                a.worker.0,
+                a.induced_effort,
+                twin.induced_effort,
+            );
+        }
+    }
+}
+
+/// Property 4: raising μ never increases the total designed
+/// compensation. Swept through the batch runner, which also exercises
+/// the solve memo across the μ axis.
+#[test]
+fn raising_mu_never_increases_total_compensation() {
+    let mus = [0.6, 0.9, 1.2, 1.5, 1.8, 2.1];
+    for &seed in &SEEDS {
+        let grid = ScenarioGrid::for_trace(trace(seed), &mus);
+        let report = BatchRunner::new().run(&grid).expect("batch sweep");
+        let spends: Vec<(f64, f64)> = report
+            .records
+            .iter()
+            .map(|r| (r.scenario.mu, r.result.as_ref().expect("scenario ok").full_spend))
+            .collect();
+        for pair in spends.windows(2) {
+            let ((mu_lo, spend_lo), (mu_hi, spend_hi)) = (pair[0], pair[1]);
+            assert!(mu_hi > mu_lo, "sweep must be in ascending μ order");
+            assert!(
+                spend_hi <= spend_lo + REL_TOL * spend_lo.abs().max(1.0),
+                "seed {seed}: raising mu {mu_lo} -> {mu_hi} raised total \
+                 compensation {spend_lo} -> {spend_hi}",
+            );
+        }
+    }
+}
