@@ -3,7 +3,7 @@
 
 CHAOS_CASES ?= 512
 
-.PHONY: build test lint clippy chaos experiments engine-bench batch-bench metrics-check slow-tests ci
+.PHONY: build test lint clippy chaos chaos-batch experiments engine-bench batch-bench metrics-check slow-tests ci
 
 build:
 	cargo build --release
@@ -25,10 +25,37 @@ clippy:
 
 # Chaos pass: the whole workspace with elevated property-test iterations,
 # then the fault-tolerance integration suite on its own (kill/resume,
-# determinism, degraded design). See docs/robustness.md.
-chaos:
+# determinism, degraded design), then the CLI-level batch kill/resume
+# matrix. See docs/robustness.md.
+chaos: chaos-batch
 	PROPTEST_CASES=$(CHAOS_CASES) cargo test -q --workspace
 	PROPTEST_CASES=$(CHAOS_CASES) cargo test -q --test fault_tolerance
+
+# CLI-level crash-recovery matrix for the supervised batch scheduler:
+# run an 8-scenario grid to completion, kill checkpointed runs at
+# 25/50/75% (--kill-at 2/4/6), resume each, and require the resumed
+# report to be byte-identical to the uninterrupted one.
+chaos-batch:
+	rm -rf target/chaos-batch && mkdir -p target/chaos-batch
+	cargo run --release -q -p dcc-cli --bin dcc -- gen --seed 11 --scale small --out target/chaos-batch/trace
+	printf '%s\n' \
+	  '{"schema": "dcc-batch/1",' \
+	  ' "traces": [{"csv": "target/chaos-batch/trace", "label": "chaos"}],' \
+	  ' "mus": [1.8, 1.5, 1.2, 1.0],' \
+	  ' "budget_fractions": [0.5, 1.0],' \
+	  ' "sim": {"rounds": 4, "noise": 0.25, "seed": 7}}' \
+	  > target/chaos-batch/grid.json
+	cargo run --release -q -p dcc-cli --bin dcc -- batch target/chaos-batch/grid.json --serial --policy skip > target/chaos-batch/full.txt
+	for k in 2 4 6; do \
+	  rm -f target/chaos-batch/batch.ckpt; \
+	  cargo run --release -q -p dcc-cli --bin dcc -- batch target/chaos-batch/grid.json --serial --policy skip \
+	    --checkpoint target/chaos-batch/batch.ckpt --kill-at $$k || exit 1; \
+	  cargo run --release -q -p dcc-cli --bin dcc -- batch target/chaos-batch/grid.json --serial --policy skip \
+	    --checkpoint target/chaos-batch/batch.ckpt --resume > target/chaos-batch/resumed-$$k.txt || exit 1; \
+	  cmp target/chaos-batch/full.txt target/chaos-batch/resumed-$$k.txt || \
+	    { echo "chaos-batch: resume at kill-at=$$k diverged from the uninterrupted run"; exit 1; }; \
+	  echo "chaos-batch: kill-at=$$k resume is byte-identical"; \
+	done
 
 experiments:
 	cargo run --release -p dcc-experiments --bin all -- --scale paper

@@ -20,6 +20,18 @@
 //! *across* scenarios, traces, and runner invocations (warm reruns skip
 //! straight to the solve).
 //!
+//! Every scenario executes under **supervision**
+//! ([`BatchRunner::run_supervised`]): panics are caught and isolated
+//! (a poisoned scenario can neither wedge nor contaminate the shared
+//! memo), transient failures retry on the deterministic
+//! `dcc-faults` backoff schedule, an optional logical work-budget
+//! bounds each scenario, and terminal failures are quarantined into a
+//! typed [`QuarantineReport`]. With a [`CheckpointConfig`] the runner
+//! writes versioned `dcc-batch-ckpt/1` snapshots and can resume an
+//! interrupted sweep with output byte-identical to an uninterrupted
+//! run at every pool size — see `docs/batch.md` and
+//! `docs/robustness.md`.
+//!
 //! ```
 //! use dcc_batch::{BatchRunner, ScenarioGrid};
 //! use dcc_trace::SyntheticConfig;
@@ -41,12 +53,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod ckpt;
 mod grid;
 mod memo;
 mod runner;
+mod supervisor;
 
+pub use ckpt::{AgentSummary, ScenarioSummary, SimSummary, CKPT_SCHEMA};
 pub use grid::{parse_strategy, strategy_label, Scenario, ScenarioGrid, TraceSpec, GRID_SCHEMA};
 pub use memo::{CacheStats, MemoStats, StageMemo};
 pub use runner::{
     BatchError, BatchOptions, BatchReport, BatchRunner, ScenarioOutcome, ScenarioRecord,
+    ScenarioResult,
+};
+pub use supervisor::{
+    BatchFaultPlan, BatchOutcome, CheckpointConfig, FailureKind, FaultMode, FaultPoint,
+    QuarantineEntry, QuarantineReport, ScenarioFailure, ScenarioFault, SupervisorOptions,
 };

@@ -8,7 +8,10 @@
 // clippy.toml's in-tests exemption, so allow at file scope.
 #![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
 
-use dcc_batch::{BatchOptions, BatchReport, BatchRunner, ScenarioGrid};
+use dcc_batch::{
+    BatchFaultPlan, BatchOptions, BatchReport, BatchRunner, FailureKind, FaultMode, FaultPoint,
+    ScenarioFault, ScenarioGrid, SupervisorOptions,
+};
 use dcc_core::{FailurePolicy, SimulationConfig, StrategyKind};
 use dcc_engine::PoolSize;
 use dcc_obs::{JsonRecorder, Metrics};
@@ -69,11 +72,14 @@ fn encode(report: &BatchReport) -> String {
             u8::from(r.fit_cached),
             u8::from(r.solve_cached),
         );
-        match &r.result {
-            Err(e) => {
+        match (r.failure(), r.outcome()) {
+            (Some(e), _) => {
                 let _ = writeln!(out, "err={e}");
             }
-            Ok(o) => {
+            (None, None) => {
+                let _ = writeln!(out, "restored");
+            }
+            (None, Some(o)) => {
                 let _ = write!(
                     out,
                     "u={:016x} spend={:016x} funded={:?} ",
@@ -154,7 +160,7 @@ proptest! {
         prop_assert_eq!(warm.stats.fit.misses, 0);
         prop_assert_eq!(warm.stats.solve.misses, 0);
         for (c, w) in cold.records.iter().zip(&warm.records) {
-            let (c, w) = (c.result.as_ref().unwrap(), w.result.as_ref().unwrap());
+            let (c, w) = (c.outcome().unwrap(), w.outcome().unwrap());
             prop_assert_eq!(
                 c.design.total_requester_utility.to_bits(),
                 w.design.total_requester_utility.to_bits()
@@ -184,5 +190,61 @@ proptest! {
         let par = render(PoolSize::Fixed(pool))
             .replace(&format!("\"batch.pool\":{pool}"), "\"batch.pool\":X");
         prop_assert_eq!(seq, par);
+    }
+
+    /// A scenario whose solve stage panics *inside* the shared slot
+    /// leaves no partial `StageMemo` entry at any pool size: the
+    /// poisoned solve key is absent, shared detect/fit state still
+    /// lands, and every sibling is bit-identical to the sequential
+    /// unfaulted reference.
+    #[test]
+    fn panicking_scenario_leaves_no_partial_memo_entry(pool in 1usize..=16) {
+        // Simple μ-sweep grid: each scenario owns a unique solve key,
+        // so the in-stage panic deterministically fires in scenario
+        // 1's own slot while detect/fit are shared with siblings.
+        let grid = ScenarioGrid::for_trace(trace(SEEDS[0]), &[1.5, 1.0, 0.7]);
+        let sup = SupervisorOptions {
+            faults: BatchFaultPlan::new().with_fault(1, ScenarioFault {
+                point: FaultPoint::Solve,
+                mode: FaultMode::PanicInStage,
+                fails_before: usize::MAX,
+            }),
+            ..SupervisorOptions::default()
+        };
+        let runner = BatchRunner::with_options(BatchOptions {
+            pool: PoolSize::Fixed(pool),
+            policy: FailurePolicy::Skip,
+            ..BatchOptions::default()
+        });
+        let report = runner
+            .run_supervised(&grid, &grid.scenarios(), &sup)
+            .expect("supervised run")
+            .into_report()
+            .expect("completes");
+        prop_assert_eq!(report.failed(), 1);
+        prop_assert_eq!(
+            report.records[1].failure().expect("quarantined").kind,
+            FailureKind::Panic
+        );
+        // Memo contents: 1 trace, 1 detect, 1 fit, and only the two
+        // healthy solves — the panicked computation must not leave a
+        // poisoned entry behind.
+        let (traces, detects, fits, solves) = runner.memo().len();
+        prop_assert_eq!((traces, detects, fits, solves), (1, 1, 1, 2));
+        // Siblings are bit-identical to the sequential unfaulted run.
+        let clean = BatchRunner::with_options(BatchOptions {
+            pool: PoolSize::Sequential,
+            policy: FailurePolicy::Skip,
+            ..BatchOptions::default()
+        })
+        .run(&grid)
+        .expect("clean sequential run");
+        for (f, c) in report.records.iter().zip(&clean.records) {
+            if f.scenario.id == 1 {
+                continue;
+            }
+            let (f, c) = (f.summary().expect("sibling ok"), c.summary().expect("clean ok"));
+            prop_assert_eq!(f, c);
+        }
     }
 }

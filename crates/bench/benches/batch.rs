@@ -61,8 +61,7 @@ fn batch_sweep(runner: &BatchRunner, grid: &ScenarioGrid) -> f64 {
         .records
         .iter()
         .map(|r| {
-            r.result
-                .as_ref()
+            r.outcome()
                 .expect("scenario succeeds")
                 .design
                 .total_requester_utility

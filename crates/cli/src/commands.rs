@@ -666,14 +666,20 @@ pub fn cmd_metrics(args: &ParsedArgs) -> CliResult {
 }
 
 /// `dcc batch GRID.json [--pool N | --serial]
-///  [--policy abort|fallback|skip] [--metrics FILE]` — expand a
-/// `dcc-batch/1` scenario grid (traces × μ × budget fraction ×
-/// strategy) and run it on the deterministic batch scheduler.
+///  [--policy abort|fallback|skip] [--metrics FILE]
+///  [--max-retries N] [--scenario-budget UNITS]
+///  [--checkpoint FILE [--checkpoint-every N] [--kill-at K | --resume]]`
+/// — expand a `dcc-batch/1` scenario grid (traces × μ × budget
+/// fraction × strategy) and run it on the supervised deterministic
+/// batch scheduler.
 ///
-/// A structurally invalid spec is a usage error (exit 2, naming the
-/// offending `GridSpec` field); a scenario failing mid-batch under
-/// `--policy abort` is a runtime failure (exit 1). The other policies
-/// itemize failures in the report and exit 0.
+/// A structurally invalid spec or flag combination is a usage error
+/// (exit 2, naming the offending field); a scenario failing mid-batch
+/// under `--policy abort` and an unreadable/mismatched checkpoint are
+/// runtime failures (exit 1). The other policies itemize quarantined
+/// failures in the report and exit 0. A `--kill-at` run that stops at
+/// its threshold exits 0 and names the checkpoint to `--resume` from;
+/// the resumed report is byte-identical to an uninterrupted run.
 pub fn cmd_batch(args: &ParsedArgs) -> CliResult {
     let spec = args
         .positional
@@ -687,6 +693,43 @@ pub fn cmd_batch(args: &ParsedArgs) -> CliResult {
         .map_err(|e| CliError::Failed(format!("cannot read grid spec {spec}: {e}")))?;
     let grid = ScenarioGrid::parse(&text).map_err(|e| CliError::Usage(format!("{spec}: {e}")))?;
 
+    let checkpoint = match args.flags.get("checkpoint") {
+        Some(path) => {
+            let mut config = dcc_batch::CheckpointConfig::new(PathBuf::from(path));
+            config.every = args.num_flag("checkpoint-every", 1usize)?.max(1);
+            Some(config)
+        }
+        None => None,
+    };
+    let resume = args.bool_flag("resume");
+    let kill_after = if args.flags.contains_key("kill-at") {
+        Some(args.num_flag("kill-at", 1usize)?)
+    } else {
+        None
+    };
+    if (resume || kill_after.is_some()) && checkpoint.is_none() {
+        return Err(CliError::Usage(
+            "--kill-at and --resume require --checkpoint FILE".into(),
+        ));
+    }
+    if resume && kill_after.is_some() {
+        return Err(CliError::Usage(
+            "--kill-at and --resume are mutually exclusive".into(),
+        ));
+    }
+    let sup = dcc_batch::SupervisorOptions {
+        max_retries: args.num_flag("max-retries", 0usize)?,
+        scenario_budget: if args.flags.contains_key("scenario-budget") {
+            Some(args.num_flag("scenario-budget", 0u64)?)
+        } else {
+            None
+        },
+        kill_after,
+        checkpoint,
+        resume,
+        ..dcc_batch::SupervisorOptions::default()
+    };
+
     let sink = args.flags.get("metrics").map(|file| MetricsSink {
         recorder: Arc::new(JsonRecorder::new()),
         path: PathBuf::from(file),
@@ -699,10 +742,30 @@ pub fn cmd_batch(args: &ParsedArgs) -> CliResult {
             .map(|s| Metrics::new(s.recorder.clone()))
             .unwrap_or_default(),
     });
-    let report = runner.run(&grid).map_err(|e| match e {
-        BatchError::Spec(m) => CliError::Usage(format!("{spec}: {m}")),
-        scenario => CliError::Failed(scenario.to_string()),
-    })?;
+    let outcome = runner
+        .run_supervised(&grid, &grid.scenarios(), &sup)
+        .map_err(|e| match e {
+            BatchError::Spec(m) => CliError::Usage(format!("{spec}: {m}")),
+            failed => CliError::Failed(failed.to_string()),
+        })?;
+    let report = match outcome {
+        dcc_batch::BatchOutcome::Completed(report) => report,
+        dcc_batch::BatchOutcome::Killed {
+            completed,
+            total,
+            checkpoint,
+        } => {
+            let mut out = format!(
+                "batch: killed after {completed} of {total} scenarios; \
+                 checkpoint saved to {} (continue with --resume)\n",
+                checkpoint.display()
+            );
+            if let Some(sink) = &sink {
+                sink.flush(&mut out)?;
+            }
+            return Ok(out);
+        }
+    };
 
     let mut out = String::new();
     writeln!(
@@ -731,15 +794,17 @@ pub fn cmd_batch(args: &ParsedArgs) -> CliResult {
             if r.solve_cached { "hit" } else { "miss" },
         )
         .ok();
-        match &r.result {
-            Ok(o) => {
+        // Render from the canonical summary so a checkpoint-restored
+        // record prints byte-identically to a freshly computed one.
+        match (r.summary(), r.failure()) {
+            (Some(o), _) => {
                 write!(
                     out,
                     "utility {:.3} funded {}/{} spend {:.2}",
-                    o.design.total_requester_utility,
-                    o.budget.funded.len(),
-                    o.design.agents.len(),
-                    o.budget.spend,
+                    o.total_requester_utility,
+                    o.funded.len(),
+                    o.agents.len(),
+                    o.spend,
                 )
                 .ok();
                 if let Some(sim) = &o.sim {
@@ -747,8 +812,11 @@ pub fn cmd_batch(args: &ParsedArgs) -> CliResult {
                 }
                 writeln!(out).ok();
             }
-            Err(e) => {
+            (None, Some(e)) => {
                 writeln!(out, "ERROR: {e}").ok();
+            }
+            (None, None) => {
+                writeln!(out, "ERROR: scenario produced no record").ok();
             }
         }
     }
@@ -760,6 +828,21 @@ pub fn cmd_batch(args: &ParsedArgs) -> CliResult {
         st.fit.misses, st.solve.hits, st.solve.misses
     )
     .ok();
+    if !report.quarantine.is_empty() {
+        writeln!(out, "quarantine: {} scenarios", report.quarantine.len()).ok();
+        for q in &report.quarantine.entries {
+            writeln!(
+                out,
+                "  #{:<3} {} after {} attempt{}: {}",
+                q.scenario,
+                q.kind.label(),
+                q.attempts,
+                if q.attempts == 1 { "" } else { "s" },
+                q.message
+            )
+            .ok();
+        }
+    }
     if let Some(sink) = &sink {
         sink.flush(&mut out)?;
     }
@@ -1113,8 +1196,11 @@ COMMANDS:
   metrics    summarize FILE                            validate + summarize a
                                                        --metrics JSON document
   batch      GRID.json [--pool N | --serial] [--policy abort|fallback|skip]
-             [--metrics FILE]                          run a dcc-batch/1 scenario
-                                                       grid on the batch scheduler
+             [--metrics FILE] [--max-retries N] [--scenario-budget UNITS]
+             [--checkpoint FILE [--checkpoint-every N] [--kill-at K | --resume]]
+                                                       run a dcc-batch/1 scenario
+                                                       grid on the supervised
+                                                       batch scheduler
   replay     TRACE_DIR [--mu F]                        trace-driven evaluation
   check      [--r2 F --r1 F --r0 F --mu F --omega F --weight F --intervals N]
                                                        verify the theory at runtime
@@ -1518,6 +1604,76 @@ mod tests {
         assert!(out.contains("batch: 3 scenarios, 1 failed"), "{out}");
         assert!(out.contains("ERROR: "), "{out}");
         assert!(out.contains("mu must be positive"), "{out}");
+        // Terminal failures are itemized in the quarantine section.
+        assert!(out.contains("quarantine: 1 scenarios"), "{out}");
+        assert!(out.contains("error after 1 attempt:"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_supervision_flag_misuse_is_a_usage_error() {
+        let dir = tiny_trace_dir("batchsupmisuse");
+        let spec = format!("{dir}/grid.json");
+        std::fs::write(
+            &spec,
+            format!(r#"{{"traces": [{{"csv": "{dir}"}}], "mus": [1.5]}}"#),
+        )
+        .unwrap();
+        for flags in [
+            "--kill-at 1".to_string(),
+            "--resume".to_string(),
+            format!("--checkpoint {dir}/b.ckpt --kill-at 1 --resume"),
+        ] {
+            let err = dispatch(&parse(&format!("batch {spec} {flags}"))).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "batch {flags}: {err}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_kill_and_resume_reproduce_the_uninterrupted_output() {
+        let dir = tiny_trace_dir("batchkill");
+        let spec = format!("{dir}/grid.json");
+        let ckpt = format!("{dir}/batch.ckpt");
+        std::fs::write(
+            &spec,
+            format!(
+                r#"{{"traces": [{{"csv": "{dir}"}}],
+                    "mus": [1.5, 1.2, 1.0],
+                    "budget_fractions": [0.5, 1.0]}}"#
+            ),
+        )
+        .unwrap();
+
+        let full = dispatch(&parse(&format!("batch {spec} --serial"))).unwrap();
+
+        let killed = dispatch(&parse(&format!(
+            "batch {spec} --serial --checkpoint {ckpt} --kill-at 2"
+        )))
+        .unwrap();
+        assert!(killed.contains("killed after"), "{killed}");
+        assert!(killed.contains("continue with --resume"), "{killed}");
+
+        let resumed = dispatch(&parse(&format!(
+            "batch {spec} --serial --checkpoint {ckpt} --resume"
+        )))
+        .unwrap();
+        assert_eq!(resumed, full, "resumed output must be byte-identical");
+
+        // A checkpoint written by a different grid is refused (exit 1).
+        let other = format!("{dir}/other.json");
+        std::fs::write(
+            &other,
+            format!(r#"{{"traces": [{{"csv": "{dir}"}}], "mus": [2.0]}}"#),
+        )
+        .unwrap();
+        let err = dispatch(&parse(&format!(
+            "batch {other} --checkpoint {ckpt} --resume"
+        )))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1, "{err}");
+        assert!(err.to_string().contains("fingerprint"), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

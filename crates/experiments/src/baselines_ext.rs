@@ -134,10 +134,7 @@ pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<BaselineLadderResult,
 
 /// The successful outcome of one scenario record.
 fn scenario_outcome(record: &ScenarioRecord) -> Result<&dcc_batch::ScenarioOutcome, CoreError> {
-    record
-        .result
-        .as_ref()
-        .map_err(|m| CoreError::InvalidInput(m.clone()))
+    record.require_outcome()
 }
 
 /// The mean per-round requester utility of one simulated scenario.

@@ -78,10 +78,7 @@ pub fn run_on(trace: &TraceDataset, fractions: &[f64]) -> Result<BudgetResult, C
     let mut full_spend = 0.0;
     let mut full_utility = 0.0;
     for record in &report.records {
-        let outcome = record
-            .result
-            .as_ref()
-            .map_err(|m| CoreError::InvalidInput(m.clone()))?;
+        let outcome = record.require_outcome()?;
         full_spend = outcome.full_spend;
         full_utility = outcome.design.total_requester_utility;
         rows.push(BudgetRow {

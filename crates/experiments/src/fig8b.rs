@@ -74,10 +74,7 @@ pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<Fig8bResult, CoreErro
     let report = batch_runner().run(&grid).map_err(batch_error)?;
     let mut groups = Vec::with_capacity(mus.len() * 3);
     for record in &report.records {
-        let outcome = record
-            .result
-            .as_ref()
-            .map_err(|m| CoreError::InvalidInput(m.clone()))?;
+        let outcome = record.require_outcome()?;
         for class in WorkerClass::ALL {
             let comps = outcome.design.compensations_of(&trace.workers_of_class(class));
             let summary = Summary::of(&comps).map_err(dcc_core::CoreError::from)?;

@@ -68,4 +68,7 @@ pub use plan::{
     Corruption, CorruptFeedback, DropoutWindow, FaultPlan, FaultPlanConfig, MissingFeedback,
     PaymentDelay,
 };
-pub use retry::{retry_with_backoff, RetryPolicy};
+pub use retry::{
+    backoff_schedule, retry_with_backoff, retry_with_backoff_on, RetryError, RetryOutcome,
+    RetryPolicy,
+};

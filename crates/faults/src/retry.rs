@@ -1,4 +1,4 @@
-//! Retry-with-backoff for transient numeric failures.
+//! Retry-with-backoff for transient failures.
 //!
 //! The contract-design pipeline solves small linear systems (effort-
 //! function fits, candidate construction); near-degenerate observation
@@ -9,6 +9,11 @@
 //! jittered regularization strength, and only
 //! [`NumericsError::SingularSystem`] triggers another attempt — every
 //! other error is a genuine bug and propagates immediately.
+//!
+//! The batch supervisor (`dcc-batch`) reuses the same deterministic
+//! schedule through the generic [`retry_with_backoff_on`], which lets the
+//! caller decide *which* errors are transient (e.g. a scenario panic
+//! under supervision) and reports the attempt count either way.
 
 use dcc_core::CoreError;
 use dcc_numerics::NumericsError;
@@ -32,6 +37,11 @@ pub struct RetryPolicy {
     pub jitter: f64,
     /// Seed of the jitter stream (the retry loop is fully deterministic).
     pub seed: u64,
+    /// Hard cap on the (jittered) regularization strength: a runaway
+    /// geometric schedule must not hand the solver a regularizer so
+    /// large it dominates the system it was meant to nudge. The default
+    /// cap (1.0) never binds under the default four-attempt schedule.
+    pub max_regularization: f64,
 }
 
 impl Default for RetryPolicy {
@@ -42,7 +52,98 @@ impl Default for RetryPolicy {
             growth: 100.0,
             jitter: 0.2,
             seed: 1,
+            max_regularization: 1.0,
         }
+    }
+}
+
+/// A successful retried operation: the value plus how many attempts it
+/// took (1 = first-try success).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryOutcome<T> {
+    /// What the operation returned.
+    pub value: T,
+    /// Attempts performed, including the successful one.
+    pub attempts: usize,
+}
+
+/// Why a retried operation gave up.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetryError<E> {
+    /// Every attempt failed with a retryable error.
+    Exhausted {
+        /// Attempts performed (= the policy's effective `max_attempts`).
+        attempts: usize,
+        /// The last attempt's error.
+        last: E,
+    },
+    /// An attempt failed with a non-retryable error; the loop stopped
+    /// immediately.
+    Fatal {
+        /// Attempts performed, including the fatal one.
+        attempts: usize,
+        /// The non-retryable error.
+        error: E,
+    },
+}
+
+/// The deterministic regularization schedule a policy produces: one
+/// strength per attempt, first attempt jitter-free, later attempts
+/// jittered and capped at `max_regularization`.
+pub fn backoff_schedule(policy: &RetryPolicy) -> Vec<f64> {
+    let attempts = policy.max_attempts.max(1);
+    let mut rng = StdRng::seed_from_u64(policy.seed);
+    let mut regularization = policy.base_regularization;
+    let mut out = Vec::with_capacity(attempts);
+    for attempt in 0..attempts {
+        let strength = if attempt == 0 || policy.jitter <= 0.0 {
+            regularization
+        } else {
+            regularization * rng.gen_range(1.0 - policy.jitter..1.0 + policy.jitter)
+        };
+        out.push(strength.min(policy.max_regularization));
+        regularization *= policy.growth;
+    }
+    out
+}
+
+/// Runs `op` along the policy's deterministic backoff schedule until it
+/// succeeds, fails non-retryably, or exhausts the attempt budget.
+/// `retryable` classifies errors; `op` receives the attempt's
+/// regularization strength (callers that retry for reasons other than
+/// ill-conditioning — e.g. the batch supervisor isolating panics — may
+/// ignore it).
+///
+/// # Errors
+///
+/// [`RetryError::Fatal`] on the first non-retryable error,
+/// [`RetryError::Exhausted`] when `max_attempts` retryable failures
+/// occurred; both carry the attempt count.
+pub fn retry_with_backoff_on<T, E>(
+    policy: RetryPolicy,
+    mut retryable: impl FnMut(&E) -> bool,
+    mut op: impl FnMut(f64) -> Result<T, E>,
+) -> Result<RetryOutcome<T>, RetryError<E>> {
+    let schedule = backoff_schedule(&policy);
+    let attempts = schedule.len();
+    for (attempt, &strength) in schedule.iter().enumerate() {
+        match op(strength) {
+            Ok(value) => return Ok(RetryOutcome { value, attempts: attempt + 1 }),
+            Err(e) if retryable(&e) => {
+                if attempt + 1 == attempts {
+                    return Err(RetryError::Exhausted { attempts, last: e });
+                }
+            }
+            Err(e) => return Err(RetryError::Fatal { attempts: attempt + 1, error: e }),
+        }
+    }
+    // The schedule has max(1) entries and every last-iteration branch
+    // above returns, so this is reached only for an (impossible) empty
+    // schedule; one un-jittered attempt keeps the contract total.
+    match op(policy.base_regularization.min(policy.max_regularization)) {
+        Ok(value) => Ok(RetryOutcome { value, attempts: 1 }),
+        Err(e) if retryable(&e) => Err(RetryError::Exhausted { attempts: 1, last: e }),
+        Err(e) => Err(RetryError::Fatal { attempts: 1, error: e }),
     }
 }
 
@@ -51,7 +152,9 @@ impl Default for RetryPolicy {
 ///
 /// `op` receives the regularization strength for the current attempt. The
 /// first attempt uses exactly `policy.base_regularization` (no jitter),
-/// so a healthy fast path is untouched by the retry machinery.
+/// so a healthy fast path is untouched by the retry machinery. Built on
+/// [`retry_with_backoff_on`] with [`NumericsError::SingularSystem`] as
+/// the only retryable error.
 ///
 /// # Errors
 ///
@@ -64,32 +167,16 @@ impl Default for RetryPolicy {
 pub fn retry_with_backoff<T>(
     context: &str,
     policy: RetryPolicy,
-    mut op: impl FnMut(f64) -> Result<T, CoreError>,
+    op: impl FnMut(f64) -> Result<T, CoreError>,
 ) -> Result<T, CoreError> {
-    let attempts = policy.max_attempts.max(1);
-    let mut rng = StdRng::seed_from_u64(policy.seed);
-    let mut regularization = policy.base_regularization;
-    let mut last = None;
-    for attempt in 0..attempts {
-        let strength = if attempt == 0 || policy.jitter <= 0.0 {
-            regularization
-        } else {
-            regularization * rng.gen_range(1.0 - policy.jitter..1.0 + policy.jitter)
-        };
-        match op(strength) {
-            Ok(value) => return Ok(value),
-            Err(CoreError::Numerics(NumericsError::SingularSystem)) => {
-                last = Some(CoreError::Numerics(NumericsError::SingularSystem));
-                regularization *= policy.growth;
-            }
-            Err(other) => return Err(other),
+    let singular = |e: &CoreError| matches!(e, CoreError::Numerics(NumericsError::SingularSystem));
+    match retry_with_backoff_on(policy, singular, op) {
+        Ok(outcome) => Ok(outcome.value),
+        Err(RetryError::Fatal { error, .. }) => Err(error),
+        Err(RetryError::Exhausted { attempts, last }) => {
+            Err(CoreError::degraded(context, attempts, last))
         }
     }
-    Err(CoreError::degraded(
-        context,
-        attempts,
-        last.unwrap_or(CoreError::Numerics(NumericsError::SingularSystem)),
-    ))
 }
 
 #[cfg(test)]
@@ -113,6 +200,77 @@ mod tests {
     }
 
     #[test]
+    fn generic_retry_reports_first_try_success() {
+        let out = retry_with_backoff_on(
+            RetryPolicy::default(),
+            |_: &String| true,
+            |_| Ok::<_, String>(42),
+        )
+        .unwrap();
+        assert_eq!(out.value, 42);
+        assert_eq!(out.attempts, 1);
+    }
+
+    #[test]
+    fn generic_retry_counts_attempts_to_recovery() {
+        let mut failures = 2;
+        let out = retry_with_backoff_on(
+            RetryPolicy::default(),
+            |_: &String| true,
+            |_| {
+                if failures > 0 {
+                    failures -= 1;
+                    Err("transient".to_string())
+                } else {
+                    Ok(7)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(out.value, 7);
+        assert_eq!(out.attempts, 3);
+    }
+
+    #[test]
+    fn generic_retry_exhaustion_carries_last_error_and_count() {
+        let err = retry_with_backoff_on(
+            RetryPolicy::default(),
+            |_: &String| true,
+            |_| Err::<(), _>("still broken".to_string()),
+        )
+        .unwrap_err();
+        match err {
+            RetryError::Exhausted { attempts, last } => {
+                assert_eq!(attempts, RetryPolicy::default().max_attempts);
+                assert_eq!(last, "still broken");
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generic_retry_stops_on_fatal_error() {
+        let mut calls = 0;
+        let err = retry_with_backoff_on(
+            RetryPolicy::default(),
+            |e: &String| e == "transient",
+            |_| {
+                calls += 1;
+                Err::<(), _>(if calls == 1 { "transient" } else { "fatal" }.to_string())
+            },
+        )
+        .unwrap_err();
+        assert_eq!(calls, 2);
+        match err {
+            RetryError::Fatal { attempts, error } => {
+                assert_eq!(attempts, 2);
+                assert_eq!(error, "fatal");
+            }
+            other => panic!("expected Fatal, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn singular_failures_retry_with_growing_regularization() {
         let mut strengths = Vec::new();
         let policy = RetryPolicy {
@@ -121,6 +279,7 @@ mod tests {
             growth: 10.0,
             jitter: 0.2,
             seed: 3,
+            max_regularization: 1.0,
         };
         let out = retry_with_backoff("fit", policy, |reg| {
             strengths.push(reg);
@@ -140,6 +299,24 @@ mod tests {
     }
 
     #[test]
+    fn backoff_schedule_is_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_regularization: 1e-6,
+            growth: 100.0,
+            jitter: 0.2,
+            seed: 5,
+            max_regularization: 1e-2,
+        };
+        let schedule = backoff_schedule(&policy);
+        assert_eq!(schedule.len(), 8);
+        assert_eq!(schedule[0], 1e-6, "first attempt is the unjittered base");
+        assert!(schedule.iter().all(|&s| s <= 1e-2), "{schedule:?}");
+        // The geometric schedule reaches the cap well before attempt 8.
+        assert_eq!(*schedule.last().unwrap(), 1e-2);
+    }
+
+    #[test]
     fn retry_sequence_is_deterministic() {
         let run = || {
             let mut strengths = Vec::new();
@@ -150,6 +327,7 @@ mod tests {
             strengths
         };
         assert_eq!(run(), run());
+        assert_eq!(run(), backoff_schedule(&RetryPolicy::default()));
     }
 
     #[test]

@@ -1,0 +1,5 @@
+// Fixture: exactly one `wall-clock` violation (line 4).
+// Not compiled — consumed by crates/lint/tests/fixtures.rs.
+pub fn backoff_badly() {
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}

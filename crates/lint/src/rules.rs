@@ -155,18 +155,23 @@ fn nondet_iter(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
-/// `wall-clock`: no `Instant`/`SystemTime` outside `dcc-obs`, whose
-/// recorders redact timing from deterministic output. A clock read
-/// anywhere else is either dead weight or a determinism leak.
+/// `wall-clock`: no `Instant`/`SystemTime` — and no `thread::sleep` —
+/// outside the sanctioned timing modules (`dcc-obs`, whose recorders
+/// redact timing from deterministic output, and the `dcc-faults` retry
+/// module, whose backoff is a deterministic *logical* schedule). A
+/// clock read anywhere else is either dead weight or a determinism
+/// leak, and a sleep stalls a worker on wall time the supervised batch
+/// scheduler budgets logically.
 fn wall_clock(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     if ctx.wall_clock_exempt {
         return;
     }
-    for t in ctx.tokens {
-        if t.kind == TokKind::Ident
-            && (t.text == "Instant" || t.text == "SystemTime")
-            && !ctx.in_test(t.line)
-        {
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.in_test(t.line) {
+            continue;
+        }
+        if t.text == "Instant" || t.text == "SystemTime" {
             findings.push(Finding::new(
                 "wall-clock",
                 ctx.path,
@@ -176,6 +181,24 @@ fn wall_clock(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
                      or suppress with a reason",
                     t.text
                 ),
+            ));
+            continue;
+        }
+        // `thread::sleep(...)` (std or scoped-import spelling).
+        let prev = i.checked_sub(1).and_then(|j| toks.get(j));
+        let prev2 = i.checked_sub(2).and_then(|j| toks.get(j));
+        if t.text == "sleep"
+            && matches!(prev, Some(p) if p.text == "::")
+            && matches!(prev2, Some(p) if p.text == "thread")
+        {
+            findings.push(Finding::new(
+                "wall-clock",
+                ctx.path,
+                t.line,
+                "`thread::sleep` outside the sanctioned timing modules; \
+                 use the deterministic dcc-faults backoff schedule or suppress \
+                 with a reason"
+                    .to_string(),
             ));
         }
     }
@@ -244,6 +267,22 @@ mod tests {
         assert_eq!(f[0].rule, "nondet-iter");
         assert_eq!(f[1].rule, "wall-clock");
         assert!(run_on("fn f() { let t = Instant::now(); }\n", true).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_catches_thread_sleep() {
+        let f = run("fn f() { std::thread::sleep(d); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wall-clock");
+        assert!(f[0].message.contains("thread::sleep"), "{}", f[0].message);
+        // Scoped-import spelling is the same call.
+        assert_eq!(run("fn f() { thread::sleep(d); }\n").len(), 1);
+        // Sanctioned modules and test regions are exempt.
+        assert!(run_on("fn f() { std::thread::sleep(d); }\n", true).is_empty());
+        assert!(run("#[test]\nfn t() { std::thread::sleep(d); }\n").is_empty());
+        // Other `sleep` identifiers are not wall-clock reads.
+        assert!(run("fn f() { scheduler.sleep(); }\n").is_empty());
+        assert!(run("fn sleep() {}\n").is_empty());
     }
 
     #[test]

@@ -48,6 +48,11 @@ fn wall_clock_fixture() {
 }
 
 #[test]
+fn thread_sleep_fixture() {
+    one_violation("violations/thread_sleep.rs", "wall-clock", 4);
+}
+
+#[test]
 fn metric_registry_fixture() {
     let cfg = Config {
         root: fixture_root().join("registry"),
@@ -97,7 +102,10 @@ fn violations_dir_walk_finds_every_rule_once() {
     let report = run(&cfg).expect("violations walk runs");
     let mut rules: Vec<_> = report.findings.iter().map(|f| f.rule).collect();
     rules.sort_unstable();
-    assert_eq!(rules, ["float-eq", "nondet-iter", "unwrap-in-lib", "wall-clock"]);
+    assert_eq!(
+        rules,
+        ["float-eq", "nondet-iter", "unwrap-in-lib", "wall-clock", "wall-clock"]
+    );
 }
 
 #[test]

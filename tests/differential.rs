@@ -12,7 +12,10 @@
 // clippy.toml's in-tests exemption, so allow at file scope.
 #![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
 
-use dyncontract::batch::{BatchOptions, BatchRunner, ScenarioGrid};
+use dyncontract::batch::{
+    BatchFaultPlan, BatchOptions, BatchOutcome, BatchReport, BatchRunner, CheckpointConfig,
+    FailureKind, FaultMode, FaultPoint, ScenarioFault, ScenarioGrid, SupervisorOptions,
+};
 use dyncontract::core::{ContractDesign, FailurePolicy};
 use dyncontract::engine::{Engine, EngineConfig, PoolSize, RoundContext, StageKind};
 use dyncontract::trace::{SyntheticConfig, TraceDataset};
@@ -90,7 +93,7 @@ fn batch_sweep(seed: u64, pool: PoolSize, policy: FailurePolicy) -> String {
     let report = runner.run(&grid).expect("batch run");
     let mut out = String::new();
     for record in &report.records {
-        encode(&mut out, &record.result.as_ref().expect("scenario ok").design);
+        encode(&mut out, &record.outcome().expect("scenario ok").design);
     }
     out
 }
@@ -151,8 +154,199 @@ proptest! {
         let warm = runner.run(&grid).expect("warm run");
         let mut out = String::new();
         for record in &warm.records {
-            encode(&mut out, &record.result.as_ref().expect("scenario ok").design);
+            encode(&mut out, &record.outcome().expect("scenario ok").design);
         }
         prop_assert_eq!(out.as_str(), reference(seed_idx));
+    }
+}
+
+/// Byte-exact encoding of a *supervised* report's deterministic
+/// surface: cache stats, attempts, cache flags, canonical summaries
+/// (every float via `to_bits`), failures, and the quarantine — the
+/// parts an interrupted-and-resumed run must reproduce exactly.
+fn encode_supervised(report: &BatchReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "stats {:?}", report.stats);
+    for r in &report.records {
+        let _ = write!(
+            out,
+            "#{} a{} d{} f{} s{} ",
+            r.scenario.id,
+            r.attempts,
+            u8::from(r.detect_cached),
+            u8::from(r.fit_cached),
+            u8::from(r.solve_cached),
+        );
+        match (r.summary(), r.failure()) {
+            (Some(s), _) => {
+                let _ = write!(
+                    out,
+                    "u={:016x} full={:016x} budget={:016x} spend={:016x} bu={:016x} deg={} funded={:?} ",
+                    s.total_requester_utility.to_bits(),
+                    s.full_spend.to_bits(),
+                    s.budget.to_bits(),
+                    s.spend.to_bits(),
+                    s.budget_utility.to_bits(),
+                    s.degraded,
+                    s.funded,
+                );
+                for a in &s.agents {
+                    let _ = write!(
+                        out,
+                        "[{} p{} c={:016x} y={:016x}]",
+                        a.worker,
+                        a.subproblem,
+                        a.compensation.to_bits(),
+                        a.induced_effort.to_bits(),
+                    );
+                }
+                match &s.sim {
+                    Some(sim) => {
+                        let _ = writeln!(
+                            out,
+                            " sim r{} cum={:016x} mean={:016x}",
+                            sim.rounds,
+                            sim.cumulative_requester_utility.to_bits(),
+                            sim.mean_round_utility.to_bits(),
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, " sim=none");
+                    }
+                }
+            }
+            (None, Some(f)) => {
+                let _ = writeln!(out, "err={f}");
+            }
+            (None, None) => {
+                let _ = writeln!(out, "lost");
+            }
+        }
+    }
+    for q in &report.quarantine.entries {
+        let _ = writeln!(
+            out,
+            "quarantine #{} {} a{} {}",
+            q.scenario,
+            q.kind.label(),
+            q.attempts,
+            q.message
+        );
+    }
+    out
+}
+
+/// A 6-scenario grid (3 μ × 2 budget fractions) for the kill/resume
+/// properties.
+fn supervised_grid(seed: u64) -> ScenarioGrid {
+    let mut grid = ScenarioGrid::for_trace(trace(seed), &MUS);
+    grid.budget_fractions = vec![0.5, 1.0];
+    grid
+}
+
+fn options(pool: PoolSize, policy: FailurePolicy) -> BatchOptions {
+    BatchOptions {
+        pool,
+        policy,
+        ..BatchOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Crash-recovery differential: killing a checkpointed run after k
+    /// fresh scenarios and resuming it — at any pool size, under every
+    /// failure policy — reproduces the uninterrupted report
+    /// byte-for-byte (floats via `to_bits`, quarantine included).
+    #[test]
+    fn killed_and_resumed_batch_matches_uninterrupted(
+        seed_idx in 0usize..SEEDS.len(),
+        pool in 1usize..=16,
+        policy_idx in 0usize..3,
+        kill_at in 1usize..=5,
+    ) {
+        let seed = SEEDS[seed_idx];
+        let grid = supervised_grid(seed);
+        let scenarios = grid.scenarios();
+        let full = BatchRunner::with_options(options(PoolSize::Fixed(pool), policy(policy_idx)))
+            .run(&grid)
+            .expect("uninterrupted run");
+        let path = std::env::temp_dir().join(format!(
+            "dcc-diff-resume-{}-s{seed}-p{pool}-f{policy_idx}-k{kill_at}.ckpt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let killed = BatchRunner::with_options(options(PoolSize::Fixed(pool), policy(policy_idx)))
+            .run_supervised(&grid, &scenarios, &SupervisorOptions {
+                kill_after: Some(kill_at),
+                checkpoint: Some(CheckpointConfig::new(&path)),
+                ..SupervisorOptions::default()
+            })
+            .expect("killed run");
+        let was_killed = matches!(killed, BatchOutcome::Killed { .. });
+        prop_assert!(was_killed, "run must stop at the kill threshold");
+        let resumed = BatchRunner::with_options(options(PoolSize::Fixed(pool), policy(policy_idx)))
+            .run_supervised(&grid, &scenarios, &SupervisorOptions {
+                checkpoint: Some(CheckpointConfig::new(&path)),
+                resume: true,
+                ..SupervisorOptions::default()
+            })
+            .expect("resumed run")
+            .into_report()
+            .expect("resume completes");
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(resumed.restored >= kill_at.min(scenarios.len()));
+        prop_assert_eq!(encode_supervised(&resumed), encode_supervised(&full));
+    }
+
+    /// Panic containment differential: a scenario that panics mid-batch
+    /// is quarantined deterministically while every sibling still
+    /// matches the fresh serial-engine reference byte-for-byte — at
+    /// every pool size.
+    #[test]
+    fn injected_panic_leaves_siblings_byte_identical(
+        seed_idx in 0usize..SEEDS.len(),
+        pool in 1usize..=16,
+    ) {
+        let seed = SEEDS[seed_idx];
+        let grid = ScenarioGrid::for_trace(trace(seed), &MUS);
+        let sup = SupervisorOptions {
+            faults: BatchFaultPlan::new().with_fault(1, ScenarioFault {
+                point: FaultPoint::Solve,
+                mode: FaultMode::Panic,
+                fails_before: usize::MAX,
+            }),
+            ..SupervisorOptions::default()
+        };
+        let report = BatchRunner::with_options(options(PoolSize::Fixed(pool), FailurePolicy::Skip))
+            .run_supervised(&grid, &grid.scenarios(), &sup)
+            .expect("supervised run")
+            .into_report()
+            .expect("completes");
+        let mut out = String::new();
+        for (i, record) in report.records.iter().enumerate() {
+            if i == 1 {
+                let f = record.failure().expect("scenario 1 quarantined");
+                prop_assert_eq!(f.kind, FailureKind::Panic);
+                prop_assert!(f.message.contains("injected fault"), "{}", f.message);
+                // Splice in the reference line so the remaining lines
+                // line up with the serial sweep.
+                let mut ctx = RoundContext::new({
+                    let mut config = EngineConfig::for_trace(trace(seed));
+                    config.design.params.mu = MUS[1];
+                    config
+                });
+                Engine::new()
+                    .run_to(&mut ctx, StageKind::ConstructContracts)
+                    .expect("engine design");
+                encode(&mut out, ctx.design().expect("design ran"));
+            } else {
+                encode(&mut out, &record.outcome().expect("sibling ok").design);
+            }
+        }
+        prop_assert_eq!(out.as_str(), reference(seed_idx));
+        prop_assert_eq!(report.quarantine.len(), 1);
+        prop_assert_eq!(report.quarantine.entries[0].scenario, 1);
     }
 }

@@ -211,7 +211,7 @@ fn encode_batch_grid() -> Json {
                 .records
                 .iter()
                 .map(|r| {
-                    let o = r.result.as_ref().expect("design-only scenario succeeds");
+                    let o = r.outcome().expect("design-only scenario succeeds");
                     obj(vec![
                         ("mu", Json::num(r.scenario.mu)),
                         ("budget_fraction", Json::num(r.scenario.budget_fraction)),

@@ -224,7 +224,7 @@ fn raising_mu_never_increases_total_compensation() {
         let spends: Vec<(f64, f64)> = report
             .records
             .iter()
-            .map(|r| (r.scenario.mu, r.result.as_ref().expect("scenario ok").full_spend))
+            .map(|r| (r.scenario.mu, r.outcome().expect("scenario ok").full_spend))
             .collect();
         for pair in spends.windows(2) {
             let ((mu_lo, spend_lo), (mu_hi, spend_hi)) = (pair[0], pair[1]);
