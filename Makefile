@@ -2,8 +2,9 @@
 # only fixes the flags so CI and local runs agree.
 
 CHAOS_CASES ?= 512
+SCALE_BENCH_SCALES ?= 10,100
 
-.PHONY: build test lint clippy chaos chaos-batch experiments engine-bench batch-bench metrics-check slow-tests ci
+.PHONY: build test lint clippy chaos chaos-batch experiments engine-bench batch-bench scale-bench metrics-check slow-tests ci
 
 build:
 	cargo build --release
@@ -73,6 +74,16 @@ engine-bench:
 # property tests).
 batch-bench:
 	cargo bench -p dcc-bench --bench batch
+
+# Million-worker throughput of the columnar trace path: stream a
+# synthetic trace into a dcc-trace-col/1 buffer, solve one subproblem
+# per worker through the struct-of-arrays kernel in flat-memory chunks,
+# and report workers/sec + peak RSS per scale (multiples of the paper's
+# ~19.7k-worker workload; 100x ~= 2M workers). Override the scales with
+# SCALE_BENCH_SCALES=10,100,500; set DCC_SCALE_BENCH_MIN_WPS to gate on
+# a throughput floor (CI does, at 10x).
+scale-bench:
+	DCC_SCALE_BENCH_SCALES=$(SCALE_BENCH_SCALES) cargo bench -p dcc-bench --bench scale
 
 # End-to-end observability check: run a small pipeline with the JSON
 # recorder, then validate the emitted document against the dcc-obs/1

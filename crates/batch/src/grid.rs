@@ -289,7 +289,7 @@ fn parse_traces(doc: &Json) -> Result<Vec<TraceSpec>, BatchError> {
         };
         for (key, _) in members {
             match key.as_str() {
-                "label" | "csv" | "scale" | "seed" => {}
+                "label" | "csv" | "col" | "scale" | "seed" => {}
                 other => {
                     return Err(spec(format!(
                         "GridSpec.traces[{i}] has unknown field \"{other}\""
@@ -305,14 +305,21 @@ fn parse_traces(doc: &Json) -> Result<Vec<TraceSpec>, BatchError> {
             ),
             None => None,
         };
-        let (source, default_label) = match (entry.get("csv"), entry.get("scale")) {
-            (Some(csv), None) => {
+        let (source, default_label) = match (entry.get("csv"), entry.get("col"), entry.get("scale"))
+        {
+            (Some(csv), None, None) => {
                 let dir = csv
                     .as_str()
                     .ok_or_else(|| spec(format!("GridSpec.traces[{i}].csv must be a string")))?;
                 (TraceSource::CsvDir(PathBuf::from(dir)), dir.to_string())
             }
-            (None, Some(scale)) => {
+            (None, Some(col), None) => {
+                let path = col
+                    .as_str()
+                    .ok_or_else(|| spec(format!("GridSpec.traces[{i}].col must be a string")))?;
+                (TraceSource::Columnar(PathBuf::from(path)), path.to_string())
+            }
+            (None, None, Some(scale)) => {
                 let seed = match entry.get("seed") {
                     Some(v) => as_seed(v).ok_or_else(|| {
                         spec(format!("GridSpec.traces[{i}].seed must be a nonnegative integer"))
@@ -333,7 +340,7 @@ fn parse_traces(doc: &Json) -> Result<Vec<TraceSpec>, BatchError> {
             }
             _ => {
                 return Err(spec(format!(
-                    "GridSpec.traces[{i}] must set exactly one of \"csv\" or \"scale\""
+                    "GridSpec.traces[{i}] must set exactly one of \"csv\", \"col\", or \"scale\""
                 )));
             }
         };

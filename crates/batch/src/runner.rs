@@ -58,7 +58,7 @@ use dcc_engine::{
     Engine, EngineConfig, EngineSimOutcome, PoolSize, RoundContext, StageKind, TraceSource,
 };
 use dcc_obs::{names as obs, AttrValue, Metrics};
-use dcc_trace::{read_trace_csv, TraceDataset};
+use dcc_trace::{read_trace_columnar, read_trace_csv, TraceDataset};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -746,6 +746,19 @@ impl BatchRunner {
                     read_trace_csv(&dir).map_err(|e| {
                         BatchError::Spec(format!("cannot read trace {}: {e}", dir.display()))
                     })
+                })
+            }
+            // Same immutability contract as CsvDir: the columnar file
+            // must not change while the memo is alive.
+            TraceSource::Columnar(path) => {
+                let key = format!("col:{}", path.display());
+                let path = path.clone();
+                self.resolve_keyed(&key, stats, move || {
+                    read_trace_columnar(&path)
+                        .and_then(|col| col.to_dataset())
+                        .map_err(|e| {
+                            BatchError::Spec(format!("cannot read trace {}: {e}", path.display()))
+                        })
                 })
             }
         }

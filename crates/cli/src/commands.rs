@@ -14,7 +14,10 @@ use dcc_experiments::ExperimentScale;
 use dcc_faults::{FaultPlan, FaultPlanConfig, Json};
 use dcc_label::{LabelMarket, MarketConfig};
 use dcc_obs::{JsonRecorder, Metrics};
-use dcc_trace::{read_trace_csv, write_trace_csv, TraceDataset, TraceSummary, WorkerClass};
+use dcc_trace::{
+    read_trace_columnar, read_trace_csv, write_trace_columnar, write_trace_csv, ColumnarTrace,
+    TraceDataset, TraceSummary, WorkerClass, COLUMNAR_VERSION,
+};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -40,6 +43,25 @@ pub fn cmd_gen(args: &ParsedArgs) -> CliResult {
     ))
 }
 
+/// A plain file is a `dcc-trace-col/1` columnar trace; a directory is a
+/// CSV trace. Every TRACE-taking command accepts either.
+fn trace_source_of(path: &str) -> TraceSource {
+    if Path::new(path).is_file() {
+        TraceSource::Columnar(PathBuf::from(path))
+    } else {
+        TraceSource::CsvDir(PathBuf::from(path))
+    }
+}
+
+fn read_any_trace(path: &str) -> Result<TraceDataset, CliError> {
+    let result = if Path::new(path).is_file() {
+        read_trace_columnar(Path::new(path)).and_then(|col| col.to_dataset())
+    } else {
+        read_trace_csv(Path::new(path))
+    };
+    result.map_err(|e| CliError::Failed(format!("cannot read trace {path}: {e}")))
+}
+
 fn load_trace(args: &ParsedArgs) -> Result<TraceDataset, CliError> {
     let dir = args
         .positional
@@ -49,8 +71,7 @@ fn load_trace(args: &ParsedArgs) -> Result<TraceDataset, CliError> {
         .ok_or_else(|| {
             CliError::Usage("expected a trace directory (positional or --trace DIR)".into())
         })?;
-    read_trace_csv(Path::new(&dir))
-        .map_err(|e| CliError::Failed(format!("cannot read trace {dir}: {e}")))
+    read_any_trace(&dir)
 }
 
 /// `dcc summary TRACE_DIR`
@@ -194,7 +215,7 @@ fn engine_context(args: &ParsedArgs) -> Result<(RoundContext, Option<MetricsSink
     } else {
         None
     };
-    let mut config = EngineConfig::for_source(TraceSource::CsvDir(dir.into()));
+    let mut config = EngineConfig::for_source(trace_source_of(&dir));
     config.design = design_config(args)?;
     config.pool = pool_size(args)?;
     config.strategy = strategy;
@@ -493,6 +514,71 @@ pub fn cmd_faults(args: &ParsedArgs) -> CliResult {
         _ => Err(CliError::Usage(
             "usage: dcc faults gen [FLAGS] | dcc faults show PLAN_FILE".into(),
         )),
+    }
+}
+
+/// `dcc trace convert SRC DEST` — convert a CSV trace directory to a
+/// `dcc-trace-col/1` columnar file, or a columnar file back to a CSV
+/// directory (direction inferred from whether SRC is a file or a
+/// directory); `dcc trace info FILE` — header report for a columnar
+/// trace without materializing any rows.
+pub fn cmd_trace(args: &ParsedArgs) -> CliResult {
+    const USAGE: &str = "usage: dcc trace convert SRC DEST | dcc trace info FILE";
+    match args.positional.first().map(String::as_str) {
+        Some("convert") => {
+            let src = args
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage(USAGE.into()))?;
+            let dest = args
+                .positional
+                .get(2)
+                .cloned()
+                .or_else(|| args.flags.get("out").cloned())
+                .ok_or_else(|| CliError::Usage(USAGE.into()))?;
+            let trace = read_any_trace(src)?;
+            if Path::new(src).is_file() {
+                write_trace_csv(&trace, Path::new(&dest))
+                    .map_err(|e| CliError::Failed(format!("cannot write trace {dest}: {e}")))?;
+                Ok(format!(
+                    "wrote {} reviews / {} reviewers / {} products to {dest}/ (CSV)",
+                    trace.reviews().len(),
+                    trace.reviewers().len(),
+                    trace.products().len()
+                ))
+            } else {
+                write_trace_columnar(&trace, Path::new(&dest))
+                    .map_err(|e| CliError::Failed(format!("cannot write trace {dest}: {e}")))?;
+                let col = ColumnarTrace::from_dataset(&trace);
+                Ok(format!(
+                    "wrote {} reviews / {} reviewers / {} products to {dest} \
+                     (dcc-trace-col/{COLUMNAR_VERSION}, {} bytes, checksum {:016x})",
+                    trace.reviews().len(),
+                    trace.reviewers().len(),
+                    trace.products().len(),
+                    col.as_bytes().len(),
+                    col.checksum()
+                ))
+            }
+        }
+        Some("info") => {
+            let file = args
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage(USAGE.into()))?;
+            let col = read_trace_columnar(Path::new(file))
+                .map_err(|e| CliError::Failed(format!("cannot read trace {file}: {e}")))?;
+            Ok(format!(
+                "{file}: dcc-trace-col/{COLUMNAR_VERSION}\n  products:  {}\n  reviewers: {}\n  reviews:   {}\n  campaigns: {}\n  bytes:     {}\n  checksum:  {:016x}\n",
+                col.n_products(),
+                col.n_reviewers(),
+                col.n_reviews(),
+                col.n_campaigns(),
+                col.as_bytes().len(),
+                col.checksum()
+            ))
+        }
+        _ => Err(CliError::Usage(USAGE.into())),
     }
 }
 
@@ -1193,6 +1279,9 @@ COMMANDS:
   faults     gen [--agents N --rounds N --seed N --dropout F --missing F
              --corrupt F --nan F --delay F --out FILE] | show FILE
                                                        deterministic fault plans
+  trace      convert SRC DEST | info FILE              CSV dir <-> dcc-trace-col/1
+                                                       columnar file; every TRACE
+                                                       below accepts either form
   metrics    summarize FILE                            validate + summarize a
                                                        --metrics JSON document
   batch      GRID.json [--pool N | --serial] [--policy abort|fallback|skip]
@@ -1225,6 +1314,7 @@ pub fn dispatch(args: &ParsedArgs) -> CliResult {
         Some("simulate") => cmd_simulate(args),
         Some("run") => cmd_run(args),
         Some("faults") => cmd_faults(args),
+        Some("trace") => cmd_trace(args),
         Some("metrics") => cmd_metrics(args),
         Some("batch") => cmd_batch(args),
         Some("replay") => cmd_replay(args),
@@ -1280,6 +1370,47 @@ mod tests {
 
         let replay = dispatch(&parse(&format!("replay {dir}"))).unwrap();
         assert!(replay.contains("replayed"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_convert_info_and_columnar_commands_roundtrip() {
+        let dir = temp_dir("col");
+        dispatch(&parse(&format!("gen --seed 9 --scale small --out {dir}/csv"))).unwrap();
+
+        let col = format!("{dir}/trace.dcol");
+        let out = dispatch(&parse(&format!("trace convert {dir}/csv {col}"))).unwrap();
+        assert!(out.contains("dcc-trace-col/1"), "{out}");
+        assert!(out.contains("checksum"), "{out}");
+
+        let info = dispatch(&parse(&format!("trace info {col}"))).unwrap();
+        assert!(info.contains("dcc-trace-col/1"), "{info}");
+        assert!(info.contains("reviewers"), "{info}");
+
+        // Every TRACE-taking command accepts the columnar file, and the
+        // designs from the two formats agree word for word.
+        let from_csv = dispatch(&parse(&format!("design {dir}/csv --mu 1.2"))).unwrap();
+        let from_col = dispatch(&parse(&format!("design {col} --mu 1.2"))).unwrap();
+        assert_eq!(from_csv, from_col);
+        let summary = dispatch(&parse(&format!("summary {col}"))).unwrap();
+        assert!(summary.contains("honest"));
+
+        // Converting back to CSV reproduces the dataset bit-exactly.
+        let back = format!("{dir}/csv2");
+        dispatch(&parse(&format!("trace convert {col} {back}"))).unwrap();
+        let a = dcc_trace::read_trace_csv(Path::new(&format!("{dir}/csv"))).unwrap();
+        let b = dcc_trace::read_trace_csv(Path::new(&back)).unwrap();
+        // The columnar encoding is deterministic, so byte equality of the
+        // re-encodings is bit-exact dataset equality.
+        assert_eq!(
+            ColumnarTrace::from_dataset(&a).as_bytes(),
+            ColumnarTrace::from_dataset(&b).as_bytes()
+        );
+
+        assert!(dispatch(&parse("trace")).is_err());
+        assert!(dispatch(&parse("trace info /nonexistent.dcol")).is_err());
+        assert!(dispatch(&parse("trace convert onlysrc")).is_err());
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -300,7 +300,7 @@ fn solve_one(sp: &Subproblem, params: &ModelParams) -> Result<SubproblemSolution
 }
 
 /// `pool` clamped to `[1, n]` (with `n = 0` treated as 1).
-fn clamp_pool(pool: usize, n: usize) -> usize {
+pub(crate) fn clamp_pool(pool: usize, n: usize) -> usize {
     pool.max(1).min(n.max(1))
 }
 
@@ -332,7 +332,7 @@ where
 
 /// Attempt count a solver error carries: a retried-then-degraded error
 /// knows how many tries were made; everything else failed on its first.
-fn attempts_of(err: &CoreError) -> usize {
+pub(crate) fn attempts_of(err: &CoreError) -> usize {
     match err {
         CoreError::Degraded { attempts, .. } => (*attempts).max(1),
         _ => 1,
@@ -416,7 +416,7 @@ fn feedback_domain(sp: &Subproblem) -> (f64, f64) {
 /// worker with no marginal incentive best-responds with zero effort, so
 /// the requester books `w·ψ(0) − μ·amount` (with non-finite `w` or ψ(0)
 /// conservatively treated as 0).
-fn fallback_solution(
+pub(crate) fn fallback_solution(
     sp: &Subproblem,
     params: &ModelParams,
     amount: f64,
@@ -462,7 +462,7 @@ fn fallback_solution(
 
 /// Builds the exclusion (zero-contract) substitute for a failed
 /// subproblem: the worker is out of the system — no pay, no benefit.
-fn skip_solution(sp: &Subproblem) -> SubproblemSolution {
+pub(crate) fn skip_solution(sp: &Subproblem) -> SubproblemSolution {
     let (d_lo, d_hi) = feedback_domain(sp);
     #[allow(clippy::expect_used)] // unit-domain zero contract has no failing input
     let contract = Contract::zero(d_lo, d_hi)
@@ -485,7 +485,7 @@ fn skip_solution(sp: &Subproblem) -> SubproblemSolution {
 
 /// The degraded utility minus the Theorem 4.1 upper bound, when the
 /// bound is computable for this subproblem.
-fn utility_delta(sp: &Subproblem, params: &ModelParams, achieved: f64) -> Option<f64> {
+pub(crate) fn utility_delta(sp: &Subproblem, params: &ModelParams, achieved: f64) -> Option<f64> {
     if !sp.weight.is_finite() {
         return None;
     }

@@ -1,7 +1,7 @@
 use crate::effort::fit_effort_function;
 use crate::{
-    solve_subproblems_with, BipSolution, Contract, CoreError, DegradationReport, Discretization,
-    FailurePolicy, ModelParams, Subproblem,
+    solve_subproblems_columns_with, BipSolution, Contract, CoreError, DegradationReport,
+    Discretization, FailurePolicy, ModelParams, Subproblem, SubproblemColumns,
 };
 use dcc_detect::DetectionResult;
 use dcc_numerics::{percentile, Quadratic};
@@ -444,8 +444,12 @@ pub fn design_contracts(
     config: &DesignConfig,
 ) -> Result<ContractDesign, CoreError> {
     let prep = prepare_design(trace, detection, config)?;
-    let (solution, degradation) = solve_subproblems_with(
-        &prep.subproblems,
+    // The struct-of-arrays kernel is bit-identical to the struct path
+    // (tests/differential.rs), so routing the one-shot flow through it
+    // keeps every integration test exercising the columnar solve.
+    let columns = SubproblemColumns::from_subproblems(&prep.subproblems);
+    let (solution, degradation) = solve_subproblems_columns_with(
+        columns.view(),
         &config.params,
         config.parallel,
         config.failure_policy,

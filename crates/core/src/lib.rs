@@ -70,6 +70,7 @@ mod replay;
 mod response;
 mod risk;
 mod sim;
+mod soa;
 pub mod utilities;
 
 pub use adaptive::{AdaptiveAgent, AdaptiveConfig, AdaptiveOutcome, AdaptiveSimulation, AdaptiveState};
@@ -102,4 +103,8 @@ pub use risk::{best_response_risk_averse, risk_effort_drop, RiskProfile};
 pub use sim::{
     AgentSpec, NoFaults, RoundFaults, RoundRecord, SimState, Simulation, SimulationConfig,
     SimulationOutcome,
+};
+pub use soa::{
+    solve_subproblems_columns, solve_subproblems_columns_recorded, solve_subproblems_columns_with,
+    SubproblemColumns, SubproblemsView,
 };

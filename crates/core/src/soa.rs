@@ -1,0 +1,535 @@
+//! Struct-of-arrays view of the §IV-B decomposition.
+//!
+//! [`Subproblem`] rows carry a heap-allocated member list each, so a
+//! million-worker decomposition materialized as `Vec<Subproblem>` is one
+//! allocation per worker and scatters the scalar solve inputs (ω, weight,
+//! ψ, discretization) across the heap. [`SubproblemColumns`] stores each
+//! field contiguously — with membership as one CSR (offsets + indices)
+//! pair — so the hot solve loop walks flat arrays, and a columnar trace's
+//! sections can be adapted into a solve without per-row structs.
+//!
+//! The solve kernels here ([`solve_subproblems_columns`] and friends)
+//! perform the **same arithmetic in the same order** as the struct-path
+//! kernels in `bip.rs`: one [`crate::ContractBuilder`] chain per
+//! subproblem, the same chunked fan-out, the same in-order merge, and the
+//! same fixed-order total-utility sum. The workspace differential suite
+//! (`tests/differential.rs`) holds the two paths byte-identical (via
+//! `to_bits`) at pools 1–16.
+//!
+//! This module is on dcc-lint's `hot-loop-alloc` sanctioned list: any
+//! `Vec::new` / `to_vec` / `clone()` here must carry an inline
+//! justification.
+
+use crate::bip::{attempts_of, clamp_pool, fallback_solution, skip_solution, utility_delta};
+use crate::{
+    BipSolution, ContractBuilder, CoreError, DegradationAction, DegradationReport,
+    DegradedSubproblem, Discretization, FailurePolicy, ModelParams, Subproblem,
+    SubproblemSolution,
+};
+use dcc_numerics::Quadratic;
+use dcc_obs::{names, Metrics};
+// dcc-lint: allow(wall-clock, reason = "subproblem timings are measured here and routed into dcc-obs via span_at")
+use std::time::Instant;
+
+/// The §IV-B decomposition stored column-wise: one contiguous array per
+/// solve input, with membership as a CSR (offsets + flat indices) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubproblemColumns {
+    ids: Vec<usize>,
+    omegas: Vec<f64>,
+    weights: Vec<f64>,
+    psis: Vec<Quadratic>,
+    discs: Vec<Discretization>,
+    member_offsets: Vec<usize>,
+    members: Vec<usize>,
+}
+
+impl Default for SubproblemColumns {
+    fn default() -> Self {
+        Self::with_capacity(0, 0)
+    }
+}
+
+impl SubproblemColumns {
+    /// An empty decomposition with room for `n` subproblems and `m`
+    /// total member entries.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut member_offsets = Vec::with_capacity(n + 1);
+        member_offsets.push(0);
+        SubproblemColumns {
+            ids: Vec::with_capacity(n),
+            omegas: Vec::with_capacity(n),
+            weights: Vec::with_capacity(n),
+            psis: Vec::with_capacity(n),
+            discs: Vec::with_capacity(n),
+            member_offsets,
+            members: Vec::with_capacity(m),
+        }
+    }
+
+    /// Appends one subproblem.
+    pub fn push(
+        &mut self,
+        id: usize,
+        members: impl IntoIterator<Item = usize>,
+        omega: f64,
+        weight: f64,
+        psi: Quadratic,
+        disc: Discretization,
+    ) {
+        self.ids.push(id);
+        self.omegas.push(omega);
+        self.weights.push(weight);
+        self.psis.push(psi);
+        self.discs.push(disc);
+        self.members.extend(members);
+        self.member_offsets.push(self.members.len());
+    }
+
+    /// Transposes a struct-path decomposition into columns.
+    pub fn from_subproblems(subproblems: &[Subproblem]) -> Self {
+        let total_members = subproblems.iter().map(|sp| sp.members.len()).sum();
+        let mut columns = Self::with_capacity(subproblems.len(), total_members);
+        for sp in subproblems {
+            columns.push(
+                sp.id,
+                sp.members.iter().copied(),
+                sp.omega,
+                sp.weight,
+                sp.psi,
+                sp.disc,
+            );
+        }
+        columns
+    }
+
+    /// Number of subproblems.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the decomposition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The borrowed slice view the solve kernels consume.
+    pub fn view(&self) -> SubproblemsView<'_> {
+        SubproblemsView {
+            ids: &self.ids,
+            omegas: &self.omegas,
+            weights: &self.weights,
+            psis: &self.psis,
+            discs: &self.discs,
+            member_offsets: &self.member_offsets,
+            members: &self.members,
+        }
+    }
+}
+
+/// Borrowed column slices over a [`SubproblemColumns`] (or any other
+/// contiguous storage laid out the same way).
+#[derive(Debug, Clone, Copy)]
+pub struct SubproblemsView<'a> {
+    /// Caller-chosen subproblem identifiers.
+    pub ids: &'a [usize],
+    /// Follower feedback weights ω (0 for honest subproblems).
+    pub omegas: &'a [f64],
+    /// Requester feedback weights `w` (Eq. 5).
+    pub weights: &'a [f64],
+    /// Fitted effort functions.
+    pub psis: &'a [Quadratic],
+    /// Effort-region discretizations.
+    pub discs: &'a [Discretization],
+    /// CSR offsets into `members` (length `len() + 1`).
+    pub member_offsets: &'a [usize],
+    /// Flat worker-index storage for all subproblems.
+    pub members: &'a [usize],
+}
+
+impl<'a> SubproblemsView<'a> {
+    /// Number of subproblems.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Worker indices of subproblem `i`.
+    pub fn members_of(&self, i: usize) -> &'a [usize] {
+        &self.members[self.member_offsets[i]..self.member_offsets[i + 1]]
+    }
+
+    /// Materializes subproblem `i` as a row struct (used only off the
+    /// hot path, e.g. to hand a degraded subproblem to the shared
+    /// fallback constructors).
+    pub fn subproblem(&self, i: usize) -> Subproblem {
+        Subproblem {
+            id: self.ids[i],
+            // dcc-lint: allow(hot-loop-alloc, reason = "cold degraded/diagnostic path; the solve kernel itself never materializes rows")
+            members: self.members_of(i).to_vec(),
+            omega: self.omegas[i],
+            weight: self.weights[i],
+            psi: self.psis[i],
+            disc: self.discs[i],
+        }
+    }
+}
+
+/// Solves subproblem `i` via the §IV-C candidate algorithm — the same
+/// builder chain (and therefore bit-identical arithmetic) as the
+/// struct path's `solve_one`.
+fn solve_index(
+    view: SubproblemsView<'_>,
+    i: usize,
+    params: &ModelParams,
+) -> Result<SubproblemSolution, CoreError> {
+    let built = ContractBuilder::new(*params, view.discs[i], view.psis[i])
+        .malicious(view.omegas[i])
+        .weight(view.weights[i])
+        .build()
+        .map_err(|e| CoreError::InvalidInput(format!("subproblem {} failed: {e}", view.ids[i])))?;
+    Ok(SubproblemSolution {
+        id: view.ids[i],
+        // dcc-lint: allow(hot-loop-alloc, reason = "the solution owns its member list; singleton for individual workers")
+        members: view.members_of(i).to_vec(),
+        built,
+    })
+}
+
+/// Deterministic chunked fan-out over index ranges: `workers` scoped
+/// threads each take one contiguous `0..n` chunk and the per-chunk
+/// outputs are concatenated back in input order (the same schedule as
+/// the struct path's `fan_out`).
+fn fan_out_indices<T, F>(n: usize, workers: usize, per_index: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers > 1 && n > 1 {
+        let chunk_size = n.div_ceil(workers);
+        let per_ref = &per_index;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + chunk_size).min(n);
+                handles.push(scope.spawn(move || (start..end).map(per_ref).collect::<Vec<_>>()));
+                start = end;
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+                .collect()
+        })
+    } else {
+        (0..n).map(per_index).collect()
+    }
+}
+
+/// Applies the failure policy to per-index results (in input order, so
+/// Abort reports the first failure) and sums the requester's objective —
+/// the same fixed-order reduction as the struct path.
+fn assemble_from_view(
+    view: SubproblemsView<'_>,
+    results: Vec<Result<SubproblemSolution, CoreError>>,
+    params: &ModelParams,
+    policy: FailurePolicy,
+) -> Result<(BipSolution, DegradationReport), CoreError> {
+    let mut solutions = Vec::with_capacity(view.len());
+    let mut report = DegradationReport::default();
+    for (i, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(solution) => solutions.push(solution),
+            Err(err) => match policy {
+                FailurePolicy::Abort => return Err(err),
+                FailurePolicy::FallbackBaseline { amount } => {
+                    let sp = view.subproblem(i);
+                    let (solution, paid) = fallback_solution(&sp, params, amount);
+                    report.degraded.push(DegradedSubproblem {
+                        subproblem: sp.id,
+                        // dcc-lint: allow(hot-loop-alloc, reason = "cold degraded path; the report owns its member list")
+                        members: sp.members.clone(),
+                        reason: err.to_string(),
+                        attempts: attempts_of(&err),
+                        action: DegradationAction::Fallback { amount: paid },
+                        utility_delta: utility_delta(
+                            &sp,
+                            params,
+                            solution.built.requester_utility(),
+                        ),
+                    });
+                    solutions.push(solution);
+                }
+                FailurePolicy::Skip => {
+                    let sp = view.subproblem(i);
+                    let solution = skip_solution(&sp);
+                    report.degraded.push(DegradedSubproblem {
+                        subproblem: sp.id,
+                        // dcc-lint: allow(hot-loop-alloc, reason = "cold degraded path; the report owns its member list")
+                        members: sp.members.clone(),
+                        reason: err.to_string(),
+                        attempts: attempts_of(&err),
+                        action: DegradationAction::Skipped,
+                        utility_delta: utility_delta(&sp, params, 0.0),
+                    });
+                    solutions.push(solution);
+                }
+            },
+        }
+    }
+
+    let total = solutions.iter().map(|s| s.built.requester_utility()).sum();
+    Ok((
+        BipSolution {
+            solutions,
+            total_requester_utility: total,
+        },
+        report,
+    ))
+}
+
+/// [`crate::solve_subproblems_pooled`] over a columnar view: the solve
+/// kernel reads ω / weight / ψ / discretization straight from column
+/// slices instead of walking row structs.
+///
+/// Output is **bit-identical** to the struct path for the same
+/// decomposition, at every pool size (see the module docs).
+///
+/// # Errors
+///
+/// Same as [`crate::solve_subproblems_pooled`].
+pub fn solve_subproblems_columns(
+    view: SubproblemsView<'_>,
+    params: &ModelParams,
+    pool: usize,
+    policy: FailurePolicy,
+) -> Result<(BipSolution, DegradationReport), CoreError> {
+    let workers = clamp_pool(pool, view.len());
+    let results = fan_out_indices(view.len(), workers, |i| solve_index(view, i, params));
+    assemble_from_view(view, results, params, policy)
+}
+
+/// [`solve_subproblems_columns`] with the pool resolved the same way as
+/// [`crate::solve_subproblems_with`]: `parallel = true` uses
+/// [`std::thread::available_parallelism`], `false` solves serially.
+///
+/// # Errors
+///
+/// Same as [`solve_subproblems_columns`].
+pub fn solve_subproblems_columns_with(
+    view: SubproblemsView<'_>,
+    params: &ModelParams,
+    parallel: bool,
+    policy: FailurePolicy,
+) -> Result<(BipSolution, DegradationReport), CoreError> {
+    let pool = if parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        1
+    };
+    solve_subproblems_columns(view, params, pool, policy)
+}
+
+/// [`solve_subproblems_columns`] with the same per-subproblem
+/// observability as [`crate::solve_subproblems_recorded`]: worker
+/// threads only measure; all recording happens post-merge on the calling
+/// thread in input order, so the metric stream is pool-invariant. When
+/// `metrics` is disabled this delegates to the uninstrumented kernel.
+///
+/// # Errors
+///
+/// Same as [`solve_subproblems_columns`].
+pub fn solve_subproblems_columns_recorded(
+    view: SubproblemsView<'_>,
+    params: &ModelParams,
+    pool: usize,
+    policy: FailurePolicy,
+    metrics: &Metrics,
+) -> Result<(BipSolution, DegradationReport), CoreError> {
+    if !metrics.enabled() {
+        return solve_subproblems_columns(view, params, pool, policy);
+    }
+    let workers = clamp_pool(pool, view.len());
+    let timed = fan_out_indices(view.len(), workers, |i| {
+        // dcc-lint: allow(wall-clock, reason = "per-subproblem timing fed to metrics.span_at below")
+        let start = Instant::now();
+        let result = solve_index(view, i, params);
+        (result, start.elapsed())
+    });
+    let (results, times): (Vec<_>, Vec<_>) = timed.into_iter().unzip();
+    let (solution, report) = assemble_from_view(view, results, params, policy)?;
+
+    metrics.gauge(names::GAUGE_SOLVE_POOL, workers as f64);
+    metrics.add(names::COUNTER_SOLVE_SUBPROBLEMS, view.len() as u64);
+    for ((id, sol), elapsed) in view.ids.iter().zip(&solution.solutions).zip(&times) {
+        let degraded = report.for_subproblem(*id).is_some();
+        metrics.span_at(
+            names::SPAN_SUBPROBLEM,
+            &[
+                ("id", (*id).into()),
+                ("iterations", sol.built.diagnostics().len().into()),
+                ("degraded", degraded.into()),
+            ],
+            *elapsed,
+        );
+        metrics.observe(names::HIST_SUBPROBLEM_US, elapsed.as_secs_f64() * 1e6);
+    }
+    for d in &report.degraded {
+        metrics.add(names::COUNTER_SOLVE_DEGRADED, 1);
+        let by_action = match d.action {
+            DegradationAction::Fallback { .. } => names::COUNTER_SOLVE_DEGRADED_FALLBACK,
+            DegradationAction::Skipped => names::COUNTER_SOLVE_DEGRADED_SKIPPED,
+        };
+        metrics.add(by_action, 1);
+    }
+    Ok((solution, report))
+}
+
+#[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+    use crate::{solve_subproblems_pooled, solve_subproblems_recorded};
+
+    fn sample_subproblems(n: usize) -> Vec<Subproblem> {
+        let disc = Discretization::new(12, 0.75).unwrap();
+        (0..n)
+            .map(|i| Subproblem {
+                id: i,
+                members: vec![i],
+                omega: if i % 3 == 0 { 0.0 } else { 0.4 },
+                weight: 0.5 + (i % 5) as f64 * 0.4,
+                psi: Quadratic::new(-0.05, 2.0, 0.5),
+                disc,
+            })
+            .collect()
+    }
+
+    fn params() -> ModelParams {
+        ModelParams {
+            mu: 1.5,
+            ..ModelParams::default()
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrips_every_column() {
+        let mut sps = sample_subproblems(9);
+        sps[4].members = vec![4, 21, 30];
+        let columns = SubproblemColumns::from_subproblems(&sps);
+        assert_eq!(columns.len(), 9);
+        let view = columns.view();
+        for (i, sp) in sps.iter().enumerate() {
+            assert_eq!(view.subproblem(i), *sp);
+            assert_eq!(view.members_of(i), sp.members.as_slice());
+        }
+    }
+
+    #[test]
+    fn columnar_solve_is_bit_identical_to_struct_solve() {
+        let mut sps = sample_subproblems(37);
+        sps[11].members = vec![11, 40, 41];
+        let p = params();
+        let columns = SubproblemColumns::from_subproblems(&sps);
+        let (reference, _) = solve_subproblems_pooled(&sps, &p, 1, FailurePolicy::Abort).unwrap();
+        for pool in [1, 2, 3, 4, 16, 64] {
+            let (columnar, _) =
+                solve_subproblems_columns(columns.view(), &p, pool, FailurePolicy::Abort).unwrap();
+            assert_eq!(reference, columnar, "pool {pool} diverged");
+            assert_eq!(
+                reference.total_requester_utility.to_bits(),
+                columnar.total_requester_utility.to_bits(),
+                "pool {pool} total differs in bits"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_columnar_solve_matches_struct_solve() {
+        let mut sps = sample_subproblems(23);
+        sps[7].weight = f64::NAN; // rejected by ContractBuilder::build
+        let p = params();
+        let columns = SubproblemColumns::from_subproblems(&sps);
+        for policy in [
+            FailurePolicy::FallbackBaseline { amount: 0.25 },
+            FailurePolicy::Skip,
+        ] {
+            let (want, want_report) = solve_subproblems_pooled(&sps, &p, 3, policy).unwrap();
+            let (got, got_report) =
+                solve_subproblems_columns(columns.view(), &p, 3, policy).unwrap();
+            assert_eq!(want, got);
+            assert_eq!(want_report, got_report);
+        }
+        // Abort propagates the same first error.
+        let want = solve_subproblems_pooled(&sps, &p, 1, FailurePolicy::Abort).unwrap_err();
+        let got =
+            solve_subproblems_columns(columns.view(), &p, 1, FailurePolicy::Abort).unwrap_err();
+        assert_eq!(want.to_string(), got.to_string());
+    }
+
+    #[test]
+    fn empty_view_solves_to_empty_solution() {
+        let columns = SubproblemColumns::default();
+        let (sol, report) =
+            solve_subproblems_columns(columns.view(), &params(), 4, FailurePolicy::Abort).unwrap();
+        assert!(sol.solutions.is_empty());
+        assert_eq!(sol.total_requester_utility, 0.0);
+        assert!(report.is_empty());
+    }
+
+    #[test]
+    fn recorded_columnar_matches_recorded_struct_stream() {
+        use dcc_obs::JsonRecorder;
+        use std::sync::Arc;
+        let mut sps = sample_subproblems(13);
+        sps[5].weight = f64::NAN;
+        let p = params();
+        let policy = FailurePolicy::FallbackBaseline { amount: 0.4 };
+        let columns = SubproblemColumns::from_subproblems(&sps);
+
+        let struct_rec = Arc::new(JsonRecorder::new());
+        let (want, want_report) = solve_subproblems_recorded(
+            &sps,
+            &p,
+            3,
+            policy,
+            &Metrics::new(struct_rec.clone()),
+        )
+        .unwrap();
+        let col_rec = Arc::new(JsonRecorder::new());
+        let (got, got_report) = solve_subproblems_columns_recorded(
+            columns.view(),
+            &p,
+            3,
+            policy,
+            &Metrics::new(col_rec.clone()),
+        )
+        .unwrap();
+        assert_eq!(want, got);
+        assert_eq!(want_report, got_report);
+        // Redacted (timing-free) metric streams are identical too.
+        assert_eq!(struct_rec.to_json_redacted(), col_rec.to_json_redacted());
+    }
+
+    #[test]
+    fn with_variant_matches_pinned_pool() {
+        let sps = sample_subproblems(11);
+        let p = params();
+        let columns = SubproblemColumns::from_subproblems(&sps);
+        let (serial, _) =
+            solve_subproblems_columns_with(columns.view(), &p, false, FailurePolicy::Abort)
+                .unwrap();
+        let (parallel, _) =
+            solve_subproblems_columns_with(columns.view(), &p, true, FailurePolicy::Abort)
+                .unwrap();
+        assert_eq!(serial, parallel);
+    }
+}

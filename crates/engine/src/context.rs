@@ -17,6 +17,8 @@ pub enum TraceSource {
     Provided(TraceDataset),
     /// A CSV directory in the `dcc gen` layout.
     CsvDir(PathBuf),
+    /// A `dcc-trace-col/1` binary columnar file (see `docs/trace.md`).
+    Columnar(PathBuf),
     /// Generate a synthetic trace.
     Synthetic(SyntheticConfig),
 }

@@ -5,14 +5,17 @@ use crate::context::{EngineSimOutcome, RoundContext, TraceSource};
 use crate::error::EngineError;
 use crate::stage::{Stage, StageKind};
 use dcc_core::{
-    assemble_design, prepare_design, solve_subproblems_recorded, BaselineStrategy, Simulation,
+    assemble_design, prepare_design, solve_subproblems_columns_recorded, BaselineStrategy,
+    Simulation, SubproblemColumns,
 };
 use dcc_detect::run_pipeline;
 use dcc_faults::{load_sim_state, save_sim_state, FaultInjector};
 use dcc_obs::{names as obs, AttrValue};
-use dcc_trace::read_trace_csv;
+use dcc_trace::{read_trace_columnar, read_trace_csv};
 use std::collections::BTreeSet;
 use std::path::Path;
+// dcc-lint: allow(wall-clock, reason = "trace-load timing is measured here and routed into dcc-obs via span_at")
+use std::time::Instant;
 
 /// Materializes the trace from the configured [`TraceSource`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -24,17 +27,38 @@ impl Stage for DefaultIngest {
     }
 
     fn run(&self, ctx: &mut RoundContext) -> Result<(), EngineError> {
-        let trace = match &ctx.config().source {
-            TraceSource::Provided(trace) => trace.clone(),
-            TraceSource::CsvDir(dir) => read_trace_csv(Path::new(dir)).map_err(|e| {
-                EngineError::Ingest(format!("cannot read trace {}: {e}", dir.display()))
-            })?,
-            TraceSource::Synthetic(config) => config.generate(),
+        // dcc-lint: allow(wall-clock, reason = "trace-load timing fed to metrics.span_at below")
+        let started = ctx.config().metrics.enabled().then(Instant::now);
+        let (trace, source_kind) = match &ctx.config().source {
+            TraceSource::Provided(trace) => (trace.clone(), "provided"),
+            TraceSource::CsvDir(dir) => (
+                read_trace_csv(Path::new(dir)).map_err(|e| {
+                    EngineError::Ingest(format!("cannot read trace {}: {e}", dir.display()))
+                })?,
+                "csv",
+            ),
+            TraceSource::Columnar(path) => (
+                read_trace_columnar(path)
+                    .and_then(|col| col.to_dataset())
+                    .map_err(|e| {
+                        EngineError::Ingest(format!("cannot read trace {}: {e}", path.display()))
+                    })?,
+                "columnar",
+            ),
+            TraceSource::Synthetic(config) => (config.generate(), "synthetic"),
         };
         let metrics = &ctx.config().metrics;
         if metrics.enabled() {
+            if let Some(started) = started {
+                metrics.span_at(
+                    obs::SPAN_TRACE_LOAD,
+                    &[("source", AttrValue::from(source_kind))],
+                    started.elapsed(),
+                );
+            }
             metrics.add(obs::COUNTER_TRACE_REVIEWS, trace.reviews().len() as u64);
             metrics.add(obs::COUNTER_TRACE_REVIEWERS, trace.reviewers().len() as u64);
+            metrics.gauge(obs::GAUGE_TRACE_WORKERS, trace.reviewers().len() as f64);
         }
         ctx.set_trace(trace);
         Ok(())
@@ -100,8 +124,9 @@ impl Stage for DefaultSolve {
 
     fn run(&self, ctx: &mut RoundContext) -> Result<(), EngineError> {
         let config = ctx.config();
-        let (solution, degradation) = solve_subproblems_recorded(
-            &ctx.prep()?.subproblems,
+        let columns = SubproblemColumns::from_subproblems(&ctx.prep()?.subproblems);
+        let (solution, degradation) = solve_subproblems_columns_recorded(
+            columns.view(),
             &config.design.params,
             config.pool.resolve(),
             config.design.failure_policy,

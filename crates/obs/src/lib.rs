@@ -78,6 +78,9 @@ pub mod names {
     /// Span: one §IV-B subproblem solve (attrs: `id`, `iterations`,
     /// `degraded`), recorded post-merge with the worker-measured time.
     pub const SPAN_SUBPROBLEM: &str = "solve.subproblem";
+    /// Span: materializing the trace from its configured source (attrs:
+    /// `source`), recorded post-load with the measured time.
+    pub const SPAN_TRACE_LOAD: &str = "trace.load";
 
     /// Event: one simulated round (attrs: `round`, `benefit`, `payment`,
     /// `u_req`).
@@ -121,6 +124,8 @@ pub mod names {
 
     /// Gauge: resolved worker-pool size of the solve stage.
     pub const GAUGE_SOLVE_POOL: &str = "solve.pool";
+    /// Gauge: reviewers (workers) in the materialized trace.
+    pub const GAUGE_TRACE_WORKERS: &str = "trace.workers";
     /// Gauge: the solved `Σ (w_i q_i − μ c_i)` (Eq. 7 objective).
     pub const GAUGE_DESIGN_UTILITY: &str = "design.total_requester_utility";
     /// Gauge: events in the configured fault plan.

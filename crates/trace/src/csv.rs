@@ -11,10 +11,13 @@ use crate::{
 };
 use std::collections::BTreeMap;
 use std::fs;
-use std::io::Write as _;
+use std::io::{BufRead as _, BufReader, BufWriter, Write as _};
 use std::path::Path;
 
 /// Writes `trace` into `dir` (created if absent) as three CSV files.
+///
+/// Rows are formatted through a [`BufWriter`] so a million-reviewer
+/// trace does not issue one syscall per line.
 ///
 /// # Errors
 ///
@@ -22,13 +25,14 @@ use std::path::Path;
 pub fn write_trace_csv(trace: &TraceDataset, dir: &Path) -> Result<(), TraceError> {
     fs::create_dir_all(dir)?;
 
-    let mut products = fs::File::create(dir.join("products.csv"))?;
+    let mut products = BufWriter::new(fs::File::create(dir.join("products.csv"))?);
     writeln!(products, "id,true_quality")?;
     for p in trace.products() {
         writeln!(products, "{},{}", p.id.index(), p.true_quality)?;
     }
+    products.flush()?;
 
-    let mut reviewers = fs::File::create(dir.join("reviewers.csv"))?;
+    let mut reviewers = BufWriter::new(fs::File::create(dir.join("reviewers.csv"))?);
     writeln!(reviewers, "id,class,campaign,is_expert")?;
     for r in trace.reviewers() {
         writeln!(
@@ -40,8 +44,9 @@ pub fn write_trace_csv(trace: &TraceDataset, dir: &Path) -> Result<(), TraceErro
             r.is_expert as u8
         )?;
     }
+    reviewers.flush()?;
 
-    let mut reviews = fs::File::create(dir.join("reviews.csv"))?;
+    let mut reviews = BufWriter::new(fs::File::create(dir.join("reviews.csv"))?);
     writeln!(reviews, "reviewer,product,round,stars,length_chars,upvotes")?;
     for r in trace.reviews() {
         writeln!(
@@ -54,6 +59,25 @@ pub fn write_trace_csv(trace: &TraceDataset, dir: &Path) -> Result<(), TraceErro
             r.length_chars,
             r.upvotes
         )?;
+    }
+    reviews.flush()?;
+    Ok(())
+}
+
+/// Iterates a CSV file's data rows without loading the whole file into
+/// one string: each line streams through a [`BufReader`], skipping the
+/// header and blank lines. The callback receives `(1-based line, row)`.
+fn for_each_row(
+    path: &Path,
+    mut row: impl FnMut(usize, &str) -> Result<(), TraceError>,
+) -> Result<(), TraceError> {
+    let reader = BufReader::new(fs::File::open(path)?);
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.trim().is_empty() {
+            continue;
+        }
+        row(i + 1, &line)?;
     }
     Ok(())
 }
@@ -76,43 +100,36 @@ fn parse<T: std::str::FromStr>(field: &str, line: usize, what: &str) -> Result<T
 /// on malformed rows, and [`TraceError::InvalidDataset`] if the decoded
 /// records are inconsistent.
 pub fn read_trace_csv(dir: &Path) -> Result<TraceDataset, TraceError> {
-    let products_text = fs::read_to_string(dir.join("products.csv"))?;
     let mut products = Vec::new();
-    for (i, line) in products_text.lines().enumerate().skip(1) {
-        if line.trim().is_empty() {
-            continue;
-        }
+    for_each_row(&dir.join("products.csv"), |n, line| {
         let mut f = line.split(',');
-        let id: usize = parse(f.next().unwrap_or(""), i + 1, "product id")?;
-        let q: f64 = parse(f.next().unwrap_or(""), i + 1, "true_quality")?;
+        let id: usize = parse(f.next().unwrap_or(""), n, "product id")?;
+        let q: f64 = parse(f.next().unwrap_or(""), n, "true_quality")?;
         products.push(Product {
             id: ProductId(id),
             true_quality: q,
         });
-    }
+        Ok(())
+    })?;
 
-    let reviewers_text = fs::read_to_string(dir.join("reviewers.csv"))?;
     let mut reviewers = Vec::new();
-    for (i, line) in reviewers_text.lines().enumerate().skip(1) {
-        if line.trim().is_empty() {
-            continue;
-        }
+    for_each_row(&dir.join("reviewers.csv"), |n, line| {
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 4 {
             return Err(TraceError::Parse {
-                line: i + 1,
+                line: n,
                 message: format!("expected 4 reviewer fields, got {}", fields.len()),
             });
         }
-        let id: usize = parse(fields[0], i + 1, "reviewer id")?;
+        let id: usize = parse(fields[0], n, "reviewer id")?;
         let class = WorkerClass::from_code(fields[1]).ok_or(TraceError::Parse {
-            line: i + 1,
+            line: n,
             message: format!("unknown class code {:?}", fields[1]),
         })?;
         let campaign = if fields[2].is_empty() {
             None
         } else {
-            Some(parse(fields[2], i + 1, "campaign id")?)
+            Some(parse(fields[2], n, "campaign id")?)
         };
         let is_expert = fields[3] == "1";
         reviewers.push(Reviewer {
@@ -121,30 +138,28 @@ pub fn read_trace_csv(dir: &Path) -> Result<TraceDataset, TraceError> {
             campaign,
             is_expert,
         });
-    }
+        Ok(())
+    })?;
 
-    let reviews_text = fs::read_to_string(dir.join("reviews.csv"))?;
     let mut reviews = Vec::new();
-    for (i, line) in reviews_text.lines().enumerate().skip(1) {
-        if line.trim().is_empty() {
-            continue;
-        }
+    for_each_row(&dir.join("reviews.csv"), |n, line| {
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 6 {
             return Err(TraceError::Parse {
-                line: i + 1,
+                line: n,
                 message: format!("expected 6 review fields, got {}", fields.len()),
             });
         }
         reviews.push(Review {
-            reviewer: ReviewerId(parse(fields[0], i + 1, "reviewer id")?),
-            product: ProductId(parse(fields[1], i + 1, "product id")?),
-            round: parse(fields[2], i + 1, "round")?,
-            stars: parse(fields[3], i + 1, "stars")?,
-            length_chars: parse(fields[4], i + 1, "length")?,
-            upvotes: parse(fields[5], i + 1, "upvotes")?,
+            reviewer: ReviewerId(parse(fields[0], n, "reviewer id")?),
+            product: ProductId(parse(fields[1], n, "product id")?),
+            round: parse(fields[2], n, "round")?,
+            stars: parse(fields[3], n, "stars")?,
+            length_chars: parse(fields[4], n, "length")?,
+            upvotes: parse(fields[5], n, "upvotes")?,
         });
-    }
+        Ok(())
+    })?;
 
     // Rebuild campaigns from reviewer rows + member reviews.
     let mut members: BTreeMap<usize, Vec<ReviewerId>> = BTreeMap::new();

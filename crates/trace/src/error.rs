@@ -14,6 +14,9 @@ pub enum TraceError {
         /// What went wrong.
         message: String,
     },
+    /// A binary columnar trace failed structural validation (bad magic,
+    /// truncated body, checksum mismatch, malformed CSR offsets).
+    Corrupt(String),
     /// Underlying I/O failure during persistence.
     Io(std::io::Error),
 }
@@ -26,6 +29,7 @@ impl fmt::Display for TraceError {
             TraceError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            TraceError::Corrupt(msg) => write!(f, "corrupt columnar trace: {msg}"),
             TraceError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod columnar;
 mod csv;
 mod dataset;
 mod error;
@@ -45,6 +46,10 @@ mod stats;
 mod synth;
 
 pub use campaign::{sample_community_size, Campaign, COMMUNITY_SIZE_DISTRIBUTION};
+pub use columnar::{
+    read_trace_columnar, write_trace_columnar, ColF64, ColU64, ColumnarBuilder, ColumnarTrace,
+    TraceColumns, COLUMNAR_MAGIC, COLUMNAR_VERSION,
+};
 pub use csv::{read_trace_csv, write_trace_csv};
 pub use dataset::TraceDataset;
 pub use error::TraceError;

@@ -1,11 +1,12 @@
 use crate::dataset::EFFORT_SCALE;
 use crate::{
-    sample_community_size, Campaign, Product, ProductId, Review, Reviewer, ReviewerId,
-    TraceDataset, WorkerClass,
+    sample_community_size, Campaign, ColumnarBuilder, ColumnarTrace, Product, ProductId, Review,
+    Reviewer, ReviewerId, TraceDataset, WorkerClass,
 };
 use dcc_numerics::Quadratic;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::ops::Range;
 
 /// Class-conditional generative behaviour.
 ///
@@ -178,16 +179,44 @@ impl SyntheticConfig {
     /// community dedicated targets). Both `paper_scale` and `small` are
     /// always valid.
     pub fn generate(&self) -> TraceDataset {
+        let mut sink = StructSink::default();
+        self.generate_impl(&mut sink);
+        #[allow(clippy::expect_used)] // the roundtrip tests exercise every generator path
+        TraceDataset::new(sink.products, sink.reviewers, sink.reviews, sink.campaigns)
+            // dcc-lint: allow(unwrap-in-lib, reason = "the generator emits a structurally consistent dataset; TraceDataset::new re-validates it")
+            .expect("generator produces a consistent dataset")
+    }
+
+    /// Generates the trace directly into columnar buffers.
+    ///
+    /// This runs the exact same draw sequence as [`SyntheticConfig::generate`]
+    /// (equal seeds produce bit-identical content either way) but streams
+    /// every row into a [`ColumnarBuilder`], so multi-million-worker traces
+    /// never materialize `Vec<Reviewer>` / `Vec<Review>` struct rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same degenerate configurations as
+    /// [`SyntheticConfig::generate`].
+    pub fn generate_columnar(&self) -> ColumnarTrace {
+        let mut sink = ColumnarBuilder::new();
+        self.generate_impl(&mut sink);
+        sink.finish()
+    }
+
+    /// The generator proper: one pass of RNG draws streamed into `sink`.
+    ///
+    /// Any change to the draw sequence here shifts every downstream value
+    /// for a given seed — the golden snapshots (`tests/golden/`) pin the
+    /// current sequence.
+    fn generate_impl<S: TraceSink>(&self, sink: &mut S) {
         let mut rng = StdRng::seed_from_u64(self.seed);
         assert!(self.n_products > 0, "catalogue must be nonempty");
 
         // --- Products -----------------------------------------------------
-        let products: Vec<Product> = (0..self.n_products)
-            .map(|i| Product {
-                id: ProductId(i),
-                true_quality: rng.gen_range(1.5..5.0),
-            })
-            .collect();
+        for _ in 0..self.n_products {
+            sink.add_product(rng.gen_range(1.5..5.0));
+        }
 
         // --- Campaign layout (Table II sizes) ------------------------------
         let mut campaign_sizes: Vec<usize> = Vec::new();
@@ -198,46 +227,22 @@ impl SyntheticConfig {
             cm_members += size;
         }
         let n_cm: usize = campaign_sizes.iter().sum();
-        let mut campaigns: Vec<Campaign> = campaign_sizes
-            .iter()
-            .enumerate()
-            .map(|(id, _)| Campaign {
-                id,
-                members: Vec::new(), // filled once reviewer ids are assigned
-                targets: Vec::new(),
-            })
-            .collect();
 
         // --- Reviewer ids: honest, then NCM, then CM grouped by campaign ---
         let n_total = self.n_honest + self.n_ncm + n_cm;
-        let mut reviewers: Vec<Reviewer> = Vec::with_capacity(n_total);
-        for i in 0..self.n_honest {
-            reviewers.push(Reviewer {
-                id: ReviewerId(i),
-                class: WorkerClass::Honest,
-                campaign: None,
-                is_expert: rng.gen::<f64>() < self.expert_fraction,
-            });
+        for _ in 0..self.n_honest {
+            sink.add_reviewer(
+                WorkerClass::Honest,
+                None,
+                rng.gen::<f64>() < self.expert_fraction,
+            );
         }
-        for i in 0..self.n_ncm {
-            reviewers.push(Reviewer {
-                id: ReviewerId(self.n_honest + i),
-                class: WorkerClass::NonCollusiveMalicious,
-                campaign: None,
-                is_expert: false,
-            });
+        for _ in 0..self.n_ncm {
+            sink.add_reviewer(WorkerClass::NonCollusiveMalicious, None, false);
         }
-        let mut next_id = self.n_honest + self.n_ncm;
         for (cid, &size) in campaign_sizes.iter().enumerate() {
             for _ in 0..size {
-                reviewers.push(Reviewer {
-                    id: ReviewerId(next_id),
-                    class: WorkerClass::CollusiveMalicious,
-                    campaign: Some(cid),
-                    is_expert: false,
-                });
-                campaigns[cid].members.push(ReviewerId(next_id));
-                next_id += 1;
+                sink.add_reviewer(WorkerClass::CollusiveMalicious, Some(cid), false);
             }
         }
 
@@ -245,28 +250,36 @@ impl SyntheticConfig {
         // Each NCM worker and each campaign gets targets disjoint from all
         // other malicious actors, so the §IV-A auxiliary graph has exactly
         // the ground-truth components. Honest workers may review anything.
+        // The reservation is laid out contiguously — NCM worker j targets
+        // products [j·4, j·4+4), campaign c the 3-product block after all
+        // NCM reservations — so pools are index ranges, not lookup tables.
         let per_ncm_targets = 4usize;
         let per_campaign_targets = 3usize;
-        let reserved = self.n_ncm * per_ncm_targets + campaigns.len() * per_campaign_targets;
+        let reserved = self.n_ncm * per_ncm_targets + campaign_sizes.len() * per_campaign_targets;
         assert!(
             reserved <= self.n_products,
             "catalogue too small: need {reserved} reserved products, have {}",
             self.n_products
         );
-        let mut reserve_cursor = 0usize;
-        let mut ncm_targets: Vec<Vec<ProductId>> = Vec::with_capacity(self.n_ncm);
-        for _ in 0..self.n_ncm {
-            let targets = (0..per_ncm_targets)
-                .map(|k| ProductId(reserve_cursor + k))
-                .collect();
-            reserve_cursor += per_ncm_targets;
-            ncm_targets.push(targets);
+        let campaign_target_base = self.n_ncm * per_ncm_targets;
+
+        // Campaign membership is likewise contiguous: blocks of reviewer
+        // ids after the honest + NCM prefix, in campaign order.
+        let mut member_cursor = self.n_honest + self.n_ncm;
+        for (cid, &size) in campaign_sizes.iter().enumerate() {
+            let t0 = campaign_target_base + cid * per_campaign_targets;
+            sink.add_campaign(
+                member_cursor..member_cursor + size,
+                t0..t0 + per_campaign_targets,
+            );
+            member_cursor += size;
         }
-        for c in &mut campaigns {
-            c.targets = (0..per_campaign_targets)
-                .map(|k| ProductId(reserve_cursor + k))
-                .collect();
-            reserve_cursor += per_campaign_targets;
+
+        // Maps a CM reviewer's offset past the honest + NCM prefix to its
+        // campaign (tiny: one entry per collusive worker).
+        let mut campaign_of: Vec<usize> = Vec::with_capacity(n_cm);
+        for (cid, &size) in campaign_sizes.iter().enumerate() {
+            campaign_of.extend(std::iter::repeat_n(cid, size));
         }
 
         // --- Reviews -------------------------------------------------------
@@ -274,10 +287,20 @@ impl SyntheticConfig {
         // each review draw effort, feedback (ψ(effort) + noise, plus the
         // collusion boost), stars, and finally back out the review length so
         // the dataset's derived effort (expertise × length × scale) equals
-        // the intended effort exactly.
-        let mut reviews: Vec<Review> = Vec::new();
-        for reviewer in &reviewers {
-            let behavior = *self.behavior(reviewer.class);
+        // the intended effort exactly. The scratch buffers are reused across
+        // workers; nothing per-review survives beyond the sink push.
+        let mut product_buf: Vec<usize> = Vec::new();
+        let mut drafts: Vec<(usize, usize, f64, f64, f64)> = Vec::new();
+        for id in 0..n_total {
+            let (class, campaign) = if id < self.n_honest {
+                (WorkerClass::Honest, None)
+            } else if id < self.n_honest + self.n_ncm {
+                (WorkerClass::NonCollusiveMalicious, None)
+            } else {
+                let cid = campaign_of[id - self.n_honest - self.n_ncm];
+                (WorkerClass::CollusiveMalicious, Some(cid))
+            };
+            let behavior = *self.behavior(class);
             // No rational worker exerts effort past the feedback peak
             // (feedback would fall while cost rises), so the generated
             // efforts stay inside the increasing branch of ψ.
@@ -294,7 +317,7 @@ impl SyntheticConfig {
                 (behavior.effort_mean + 4.0 * behavior.effort_sd).min(effort_cap),
             );
 
-            let n_reviews = match reviewer.class {
+            let n_reviews = match class {
                 WorkerClass::Honest => {
                     if rng.gen::<f64>() < self.prolific_fraction {
                         rng.gen_range(20..=40)
@@ -306,37 +329,44 @@ impl SyntheticConfig {
                 WorkerClass::CollusiveMalicious => rng.gen_range(2..=per_campaign_targets),
             };
 
-            let partners = reviewer
-                .campaign
-                .map(|cid| campaigns[cid].members.len().saturating_sub(1))
+            let partners = campaign
+                .map(|cid| campaign_sizes[cid].saturating_sub(1))
                 .unwrap_or(0);
 
             // Products this worker reviews.
-            let worker_products: Vec<ProductId> = match reviewer.class {
-                WorkerClass::Honest => (0..n_reviews)
-                    .map(|_| ProductId(rng.gen_range(0..self.n_products)))
-                    .collect(),
-                WorkerClass::NonCollusiveMalicious => {
-                    let pool = &ncm_targets[reviewer.id.index() - self.n_honest];
-                    (0..n_reviews).map(|k| pool[k % pool.len()]).collect()
+            product_buf.clear();
+            match class {
+                WorkerClass::Honest => {
+                    for _ in 0..n_reviews {
+                        product_buf.push(rng.gen_range(0..self.n_products));
+                    }
                 }
-                WorkerClass::CollusiveMalicious => match reviewer.campaign {
-                    Some(campaign) => {
-                        let pool = &campaigns[campaign].targets;
-                        (0..n_reviews).map(|k| pool[k % pool.len()]).collect()
+                WorkerClass::NonCollusiveMalicious => {
+                    let base = (id - self.n_honest) * per_ncm_targets;
+                    for k in 0..n_reviews {
+                        product_buf.push(base + k % per_ncm_targets);
+                    }
+                }
+                WorkerClass::CollusiveMalicious => match campaign {
+                    Some(cid) => {
+                        let base = campaign_target_base + cid * per_campaign_targets;
+                        for k in 0..n_reviews {
+                            product_buf.push(base + k % per_campaign_targets);
+                        }
                     }
                     // Unreachable: the generator assigns every CM worker a
                     // campaign. Degrade to honest-style targets.
-                    None => (0..n_reviews)
-                        .map(|_| ProductId(rng.gen_range(0..self.n_products)))
-                        .collect(),
+                    None => {
+                        for _ in 0..n_reviews {
+                            product_buf.push(rng.gen_range(0..self.n_products));
+                        }
+                    }
                 },
-            };
+            }
 
             // Draw effort + feedback for each review first.
-            let mut drafts: Vec<(ProductId, usize, f64, f64, f64)> =
-                Vec::with_capacity(worker_products.len());
-            for (k, pid) in worker_products.into_iter().enumerate() {
+            drafts.clear();
+            for (k, &pid) in product_buf.iter().enumerate() {
                 let effort = truncated_normal(
                     &mut rng,
                     latent_effort,
@@ -346,11 +376,11 @@ impl SyntheticConfig {
                 );
                 let mut feedback = behavior.effort_response.eval(effort)
                     + normal(&mut rng) * behavior.noise_sd;
-                if reviewer.class == WorkerClass::CollusiveMalicious {
+                if class == WorkerClass::CollusiveMalicious {
                     feedback += self.collusion_boost_per_partner * partners as f64;
                 }
                 let feedback = feedback.max(0.1);
-                let quality = products[pid.index()].true_quality;
+                let quality = sink.quality(pid);
                 let stars = (quality + behavior.star_bias + normal(&mut rng) * behavior.star_noise)
                     .clamp(1.0, 5.0);
                 let round = k % self.n_rounds.max(1);
@@ -359,29 +389,132 @@ impl SyntheticConfig {
 
             // Expertise will be the mean of the feedback values; choose
             // lengths so expertise × length × EFFORT_SCALE = intended effort.
-            let expertise =
-                drafts.iter().map(|d| d.3).sum::<f64>() / drafts.len().max(1) as f64;
-            for (pid, round, effort, feedback, stars) in drafts {
+            let expertise = drafts.iter().map(|d| d.3).sum::<f64>() / drafts.len().max(1) as f64;
+            for &(pid, round, effort, feedback, stars) in &drafts {
                 let length = if expertise > 0.0 {
                     (effort / (expertise * EFFORT_SCALE)).round().max(1.0) as usize
                 } else {
                     (effort * 1000.0).round().max(1.0) as usize
                 };
-                reviews.push(Review {
-                    reviewer: reviewer.id,
-                    product: pid,
-                    round,
-                    stars,
-                    length_chars: length,
-                    upvotes: feedback,
-                });
+                sink.add_review(id, pid, round, stars, length, feedback);
             }
         }
+    }
+}
 
-        #[allow(clippy::expect_used)] // the roundtrip tests exercise every generator path
-        TraceDataset::new(products, reviewers, reviews, campaigns)
-            // dcc-lint: allow(unwrap-in-lib, reason = "the generator emits a structurally consistent dataset; TraceDataset::new re-validates it")
-            .expect("generator produces a consistent dataset")
+/// Streaming row consumer for the generator: the same draw sequence can
+/// materialize either row structs ([`TraceDataset`]) or columnar buffers
+/// ([`ColumnarTrace`]) without the generator knowing which.
+trait TraceSink {
+    /// Appends a product (ids are dense insertion order).
+    fn add_product(&mut self, quality: f64);
+    /// Quality of an already-added product (stars are biased around it).
+    fn quality(&self, i: usize) -> f64;
+    /// Appends a reviewer (ids are dense insertion order).
+    fn add_reviewer(&mut self, class: WorkerClass, campaign: Option<usize>, is_expert: bool);
+    /// Appends a review.
+    fn add_review(
+        &mut self,
+        reviewer: usize,
+        product: usize,
+        round: usize,
+        stars: f64,
+        length_chars: usize,
+        upvotes: f64,
+    );
+    /// Appends a campaign; the generator always lays members and targets
+    /// out as contiguous id ranges.
+    fn add_campaign(&mut self, members: Range<usize>, targets: Range<usize>);
+}
+
+/// Sink materializing the classic row-struct vectors.
+#[derive(Default)]
+struct StructSink {
+    products: Vec<Product>,
+    reviewers: Vec<Reviewer>,
+    reviews: Vec<Review>,
+    campaigns: Vec<Campaign>,
+}
+
+impl TraceSink for StructSink {
+    fn add_product(&mut self, quality: f64) {
+        let id = ProductId(self.products.len());
+        self.products.push(Product {
+            id,
+            true_quality: quality,
+        });
+    }
+
+    fn quality(&self, i: usize) -> f64 {
+        self.products.get(i).map_or(f64::NAN, |p| p.true_quality)
+    }
+
+    fn add_reviewer(&mut self, class: WorkerClass, campaign: Option<usize>, is_expert: bool) {
+        let id = ReviewerId(self.reviewers.len());
+        self.reviewers.push(Reviewer {
+            id,
+            class,
+            campaign,
+            is_expert,
+        });
+    }
+
+    fn add_review(
+        &mut self,
+        reviewer: usize,
+        product: usize,
+        round: usize,
+        stars: f64,
+        length_chars: usize,
+        upvotes: f64,
+    ) {
+        self.reviews.push(Review {
+            reviewer: ReviewerId(reviewer),
+            product: ProductId(product),
+            round,
+            stars,
+            length_chars,
+            upvotes,
+        });
+    }
+
+    fn add_campaign(&mut self, members: Range<usize>, targets: Range<usize>) {
+        let id = self.campaigns.len();
+        self.campaigns.push(Campaign {
+            id,
+            members: members.map(ReviewerId).collect(),
+            targets: targets.map(ProductId).collect(),
+        });
+    }
+}
+
+impl TraceSink for ColumnarBuilder {
+    fn add_product(&mut self, quality: f64) {
+        self.push_product(quality);
+    }
+
+    fn quality(&self, i: usize) -> f64 {
+        self.product_quality(i).unwrap_or(f64::NAN)
+    }
+
+    fn add_reviewer(&mut self, class: WorkerClass, campaign: Option<usize>, is_expert: bool) {
+        self.push_reviewer(class, campaign, is_expert);
+    }
+
+    fn add_review(
+        &mut self,
+        reviewer: usize,
+        product: usize,
+        round: usize,
+        stars: f64,
+        length_chars: usize,
+        upvotes: f64,
+    ) {
+        self.push_review(reviewer, product, round, stars, length_chars, upvotes);
+    }
+
+    fn add_campaign(&mut self, members: Range<usize>, targets: Range<usize>) {
+        self.push_campaign(members, targets);
     }
 }
 
@@ -413,6 +546,22 @@ mod tests {
             a.reviews()[0], c.reviews()[0],
             "different seeds should differ"
         );
+    }
+
+    #[test]
+    fn columnar_generation_matches_struct_generation() {
+        let cfg = SyntheticConfig::small(13);
+        let direct = cfg.generate();
+        let col = cfg.generate_columnar().to_dataset().unwrap();
+        assert_eq!(direct.products(), col.products());
+        assert_eq!(direct.reviewers(), col.reviewers());
+        assert_eq!(direct.reviews(), col.reviews());
+        assert_eq!(direct.campaigns(), col.campaigns());
+        // Bit-exact floats, not just PartialEq on rounded values.
+        for (a, b) in direct.reviews().iter().zip(col.reviews()) {
+            assert_eq!(a.stars.to_bits(), b.stars.to_bits());
+            assert_eq!(a.upvotes.to_bits(), b.upvotes.to_bits());
+        }
     }
 
     #[test]

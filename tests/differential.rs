@@ -16,7 +16,10 @@ use dyncontract::batch::{
     BatchFaultPlan, BatchOptions, BatchOutcome, BatchReport, BatchRunner, CheckpointConfig,
     FailureKind, FaultMode, FaultPoint, ScenarioFault, ScenarioGrid, SupervisorOptions,
 };
-use dyncontract::core::{ContractDesign, FailurePolicy};
+use dyncontract::core::{
+    solve_subproblems_columns, solve_subproblems_pooled, BipSolution, ContractDesign,
+    FailurePolicy, ModelParams, Subproblem, SubproblemColumns,
+};
 use dyncontract::engine::{Engine, EngineConfig, PoolSize, RoundContext, StageKind};
 use dyncontract::trace::{SyntheticConfig, TraceDataset};
 use proptest::prelude::*;
@@ -109,6 +112,53 @@ fn reference(seed_idx: usize) -> &'static str {
     })[seed_idx]
 }
 
+/// The fitted §IV-B decomposition for one seed, computed once: run the
+/// engine through `FitEffort` and take the prepared subproblems.
+fn subproblems(seed_idx: usize) -> &'static [Subproblem] {
+    static PREPS: OnceLock<Vec<Vec<Subproblem>>> = OnceLock::new();
+    &PREPS.get_or_init(|| {
+        SEEDS
+            .iter()
+            .map(|&seed| {
+                let mut ctx = RoundContext::new(EngineConfig::for_trace(trace(seed)));
+                Engine::new()
+                    .run_to(&mut ctx, StageKind::FitEffort)
+                    .expect("engine prep");
+                ctx.prep().expect("prep ran").subproblems.clone()
+            })
+            .collect()
+    })[seed_idx]
+}
+
+/// Byte-exact encoding of a raw `BipSolution` (pre-contract-construction):
+/// ids, membership, and every solved quantity via `to_bits`.
+fn encode_bip(solution: &BipSolution) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "U={:016x}", solution.total_requester_utility.to_bits());
+    for s in &solution.solutions {
+        let _ = write!(
+            out,
+            " [{} m={:?} c={:016x} y={:016x} u={:016x} k=",
+            s.id,
+            s.members,
+            s.built.compensation().to_bits(),
+            s.built.induced_effort().to_bits(),
+            s.built.requester_utility().to_bits(),
+        );
+        for (d, x) in s
+            .built
+            .contract()
+            .feedback_knots()
+            .iter()
+            .zip(s.built.contract().payments())
+        {
+            let _ = write!(out, "{:016x}:{:016x},", d.to_bits(), x.to_bits());
+        }
+        let _ = write!(out, "]");
+    }
+    out
+}
+
 fn policy(idx: usize) -> FailurePolicy {
     match idx {
         0 => FailurePolicy::Abort,
@@ -126,6 +176,28 @@ proptest! {
     fn pooled_engine_solve_matches_serial(seed_idx in 0usize..SEEDS.len(), pool in 1usize..=16) {
         let swept = engine_sweep(SEEDS[seed_idx], PoolSize::Fixed(pool));
         prop_assert_eq!(swept.as_str(), reference(seed_idx));
+    }
+
+    /// The struct-of-arrays solve (`solve_subproblems_columns`) is
+    /// byte-identical to the row-struct solver on the same decomposition,
+    /// at every pool size and μ — the guarantee that lets the engine's
+    /// hot path consume the columnar view unconditionally.
+    #[test]
+    fn columnar_solve_matches_struct_solve(
+        seed_idx in 0usize..SEEDS.len(),
+        pool in 1usize..=16,
+        mu_idx in 0usize..MUS.len(),
+    ) {
+        let sps = subproblems(seed_idx);
+        let params = ModelParams { mu: MUS[mu_idx], ..ModelParams::default() };
+        let (row, row_deg) = solve_subproblems_pooled(sps, &params, 1, FailurePolicy::Abort)
+            .expect("struct solve");
+        let columns = SubproblemColumns::from_subproblems(sps);
+        let (col, col_deg) =
+            solve_subproblems_columns(columns.view(), &params, pool, FailurePolicy::Abort)
+                .expect("columnar solve");
+        prop_assert_eq!(encode_bip(&col), encode_bip(&row));
+        prop_assert_eq!(format!("{col_deg:?}"), format!("{row_deg:?}"));
     }
 
     /// The batch runner — any scenario-pool size, any failure policy —
