@@ -4,7 +4,7 @@
 CHAOS_CASES ?= 512
 SCALE_BENCH_SCALES ?= 10,100
 
-.PHONY: build test lint clippy chaos chaos-batch experiments engine-bench batch-bench scale-bench metrics-check slow-tests ci
+.PHONY: build test lint clippy chaos chaos-batch chaos-serve experiments engine-bench batch-bench scale-bench metrics-check slow-tests ci
 
 build:
 	cargo build --release
@@ -28,7 +28,7 @@ clippy:
 # then the fault-tolerance integration suite on its own (kill/resume,
 # determinism, degraded design), then the CLI-level batch kill/resume
 # matrix. See docs/robustness.md.
-chaos: chaos-batch
+chaos: chaos-batch chaos-serve
 	PROPTEST_CASES=$(CHAOS_CASES) cargo test -q --workspace
 	PROPTEST_CASES=$(CHAOS_CASES) cargo test -q --test fault_tolerance
 
@@ -56,6 +56,27 @@ chaos-batch:
 	  cmp target/chaos-batch/full.txt target/chaos-batch/resumed-$$k.txt || \
 	    { echo "chaos-batch: resume at kill-at=$$k diverged from the uninterrupted run"; exit 1; }; \
 	  echo "chaos-batch: kill-at=$$k resume is byte-identical"; \
+	done
+
+# CLI-level crash-recovery matrix for the streaming service: replay the
+# seeded small trace (~11k events) to completion, kill checkpointed
+# runs at roughly 25/50/75% of the event stream, resume each, and
+# require the resumed run's full output — restored rounds re-emitted,
+# remaining rounds, summary — to be byte-identical to the uninterrupted
+# run.
+chaos-serve:
+	rm -rf target/chaos-serve && mkdir -p target/chaos-serve
+	cargo run --release -q -p dcc-cli --bin dcc -- gen --seed 11 --scale small --out target/chaos-serve/trace
+	cargo run --release -q -p dcc-cli --bin dcc -- serve --replay target/chaos-serve/trace --pool 2 > target/chaos-serve/full.txt
+	for k in 3000 6000 9000; do \
+	  rm -f target/chaos-serve/serve.ckpt; \
+	  cargo run --release -q -p dcc-cli --bin dcc -- serve --replay target/chaos-serve/trace --pool 2 \
+	    --checkpoint target/chaos-serve/serve.ckpt --kill-at $$k > /dev/null || exit 1; \
+	  cargo run --release -q -p dcc-cli --bin dcc -- serve --replay target/chaos-serve/trace --pool 2 \
+	    --checkpoint target/chaos-serve/serve.ckpt --resume > target/chaos-serve/resumed-$$k.txt || exit 1; \
+	  cmp target/chaos-serve/full.txt target/chaos-serve/resumed-$$k.txt || \
+	    { echo "chaos-serve: resume at kill-at=$$k diverged from the uninterrupted run"; exit 1; }; \
+	  echo "chaos-serve: kill-at=$$k resume is byte-identical"; \
 	done
 
 experiments:

@@ -14,6 +14,7 @@ use dcc_experiments::ExperimentScale;
 use dcc_faults::{FaultPlan, FaultPlanConfig, Json};
 use dcc_label::{LabelMarket, MarketConfig};
 use dcc_obs::{JsonRecorder, Metrics};
+use dcc_serve::{events_from_trace, ServeEvent, ServeService};
 use dcc_trace::{
     read_trace_columnar, read_trace_csv, write_trace_columnar, write_trace_csv, ColumnarTrace,
     TraceDataset, TraceSummary, WorkerClass, COLUMNAR_VERSION,
@@ -1258,6 +1259,140 @@ fn ascii_plot(contract: &dcc_core::Contract, width: usize, height: usize) -> Str
 }
 
 /// The help text.
+/// `dcc serve --replay TRACE | --events FILE [--pool N] [--verify]
+///  [--checkpoint FILE [--kill-at N | --resume]] [--metrics FILE]
+///  [design flags]`
+///
+/// The incremental streaming service: ingests `{"ev": ...}` JSON-line
+/// events (or derives them from an existing trace with `--replay`) and
+/// emits one JSON line per round boundary, recomputing only what
+/// changed while staying bit-identical to the batch pipeline over the
+/// same prefix (`--verify` asserts that at every round). With
+/// `--checkpoint FILE` the event log is checkpointed atomically at
+/// every round boundary; `--kill-at N` stops after `N` events
+/// (simulating a crash) and `--resume` re-applies the checkpointed log
+/// — the resumed run re-emits the restored rounds, so its full output
+/// is byte-identical to an uninterrupted run (`make chaos-serve`).
+pub fn cmd_serve(args: &ParsedArgs) -> CliResult {
+    let design = design_config(args)?;
+    let pipeline = PipelineConfig::default();
+    let pool: usize = args.num_flag("pool", 1usize)?;
+    let verify = args.bool_flag("verify");
+
+    let events: Vec<ServeEvent> = if let Some(file) = args.flags.get("events") {
+        let text = if file == "-" {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| CliError::Failed(format!("cannot read events from stdin: {e}")))?;
+            buf
+        } else {
+            std::fs::read_to_string(file)
+                .map_err(|e| CliError::Failed(format!("cannot read events {file}: {e}")))?
+        };
+        text.lines()
+            .filter(|line| !line.trim().is_empty())
+            .map(ServeEvent::parse_line)
+            .collect::<Result<_, _>>()?
+    } else if args.flags.contains_key("replay")
+        || args.flags.contains_key("trace")
+        || !args.positional.is_empty()
+    {
+        let path = args
+            .flags
+            .get("replay")
+            .cloned()
+            .or_else(|| args.flags.get("trace").cloned())
+            .or_else(|| args.positional.first().cloned())
+            .unwrap_or_default();
+        events_from_trace(&read_any_trace(&path)?)
+    } else {
+        return Err(CliError::Usage(
+            "serve needs an event source: --replay TRACE or --events FILE (\"-\" for stdin)"
+                .into(),
+        ));
+    };
+
+    let checkpoint = args.flags.get("checkpoint").map(PathBuf::from);
+    let kill_at = if args.flags.contains_key("kill-at") {
+        Some(args.num_flag("kill-at", 0usize)?)
+    } else {
+        None
+    };
+    let resume = args.bool_flag("resume");
+    if (kill_at.is_some() || resume) && checkpoint.is_none() {
+        return Err(CliError::Usage(
+            "--kill-at/--resume require --checkpoint FILE".into(),
+        ));
+    }
+
+    let sink = args.flags.get("metrics").map(|file| {
+        let recorder = Arc::new(JsonRecorder::new());
+        MetricsSink {
+            recorder,
+            path: PathBuf::from(file),
+        }
+    });
+    let metrics = sink
+        .as_ref()
+        .map(|s| Metrics::new(s.recorder.clone()))
+        .unwrap_or_default();
+
+    let mut out = String::new();
+    let (mut service, restored) = match &checkpoint {
+        Some(path) if resume && path.is_file() => {
+            let log = dcc_serve::load_checkpoint(path)?;
+            ServeService::restore(pipeline, design, pool, verify, metrics.clone(), &log)?
+        }
+        _ => (
+            ServeService::new(pipeline, design, pool, verify, metrics.clone())?,
+            Vec::new(),
+        ),
+    };
+    for round in &restored {
+        writeln!(out, "{}", ServeService::output_line(round)).ok();
+    }
+
+    let skip = service.events_applied();
+    let mut killed = false;
+    for event in events.iter().skip(skip) {
+        if let Some(n) = kill_at {
+            if service.events_applied() >= n {
+                killed = true;
+                break;
+            }
+        }
+        if let Some(round) = service.apply(event)? {
+            writeln!(out, "{}", ServeService::output_line(&round)).ok();
+            if let Some(path) = &checkpoint {
+                dcc_serve::save_checkpoint(path, service.log())?;
+                metrics.add(dcc_obs::names::COUNTER_SERVE_CKPT_SAVED, 1);
+            }
+        }
+    }
+
+    if killed {
+        if let Some(path) = &checkpoint {
+            dcc_serve::save_checkpoint(path, service.log())?;
+            metrics.add(dcc_obs::names::COUNTER_SERVE_CKPT_SAVED, 1);
+            writeln!(
+                out,
+                "serve: killed after {} events; checkpoint saved to {} (continue with --resume)",
+                service.events_applied(),
+                path.display()
+            )
+            .ok();
+        }
+    } else {
+        writeln!(out, "{}", service.summary_line()).ok();
+    }
+    if let Some(sink) = &sink {
+        sink.flush(&mut out)?;
+    }
+    Ok(out)
+}
+
 pub fn help() -> String {
     "dcc — dynamic contract design for heterogeneous crowdsourcing workers (ICDCS 2017)
 
@@ -1290,6 +1425,12 @@ COMMANDS:
                                                        run a dcc-batch/1 scenario
                                                        grid on the supervised
                                                        batch scheduler
+  serve      --replay TRACE | --events FILE [--pool N] [--verify]
+             [--checkpoint FILE [--kill-at N | --resume]] [--metrics FILE]
+                                                       incremental streaming
+                                                       service: one JSON line per
+                                                       round, bit-identical to the
+                                                       batch pipeline
   replay     TRACE_DIR [--mu F]                        trace-driven evaluation
   check      [--r2 F --r1 F --r0 F --mu F --omega F --weight F --intervals N]
                                                        verify the theory at runtime
@@ -1317,6 +1458,7 @@ pub fn dispatch(args: &ParsedArgs) -> CliResult {
         Some("trace") => cmd_trace(args),
         Some("metrics") => cmd_metrics(args),
         Some("batch") => cmd_batch(args),
+        Some("serve") => cmd_serve(args),
         Some("replay") => cmd_replay(args),
         Some("check") => cmd_check(args),
         Some("experiment") => cmd_experiment(args),

@@ -12,6 +12,54 @@ struct ProductConsensus {
     expert_backed: bool,
 }
 
+impl ProductConsensus {
+    /// Bitwise equality — the change detector of the incremental path,
+    /// where "changed" must mean "any downstream consumer could observe
+    /// a different f64".
+    fn same_bits(&self, other: &ProductConsensus) -> bool {
+        self.mean.map(f64::to_bits) == other.mean.map(f64::to_bits)
+            && self.crowd_sum.to_bits() == other.crowd_sum.to_bits()
+            && self.crowd_count == other.crowd_count
+            && self.expert_backed == other.expert_backed
+    }
+}
+
+/// The per-product computation shared by the batch
+/// [`ConsensusMap::build_excluding`] and the incremental
+/// [`ConsensusMap::recompute_product`]: expert mean takes precedence,
+/// else the crowd mean of non-excluded reviews (falling back to the
+/// unfiltered crowd mean when exclusion would empty the product).
+fn product_consensus(
+    trace: &TraceDataset,
+    pid: ProductId,
+    excluded: &BTreeSet<ReviewerId>,
+) -> ProductConsensus {
+    let mut slot = ProductConsensus::default();
+    if let Some(expert_mean) = trace.expert_consensus(pid) {
+        slot.mean = Some(expert_mean);
+        slot.expert_backed = true;
+        return slot;
+    }
+    let reviews = trace.reviews_for(pid);
+    if reviews.is_empty() {
+        return slot;
+    }
+    let trusted: Vec<f64> = reviews
+        .iter()
+        .filter(|r| !excluded.contains(&r.reviewer))
+        .map(|r| r.stars)
+        .collect();
+    let scores: Vec<f64> = if trusted.is_empty() {
+        reviews.iter().map(|r| r.stars).collect()
+    } else {
+        trusted
+    };
+    slot.crowd_sum = scores.iter().sum();
+    slot.crowd_count = scores.len();
+    slot.mean = Some(slot.crowd_sum / slot.crowd_count as f64);
+    slot
+}
+
 /// Per-product "ground truth" review scores `l̄` (§II).
 ///
 /// The paper defines `l̄` as the average review of *experts* — workers
@@ -40,31 +88,50 @@ impl ConsensusMap {
         let n = trace.products().len();
         let mut products = vec![ProductConsensus::default(); n];
         for (i, slot) in products.iter_mut().enumerate() {
-            let pid = ProductId(i);
-            if let Some(expert_mean) = trace.expert_consensus(pid) {
-                slot.mean = Some(expert_mean);
-                slot.expert_backed = true;
-                continue;
-            }
-            let reviews = trace.reviews_for(pid);
-            if reviews.is_empty() {
-                continue;
-            }
-            let trusted: Vec<f64> = reviews
-                .iter()
-                .filter(|r| !excluded.contains(&r.reviewer))
-                .map(|r| r.stars)
-                .collect();
-            let scores: Vec<f64> = if trusted.is_empty() {
-                reviews.iter().map(|r| r.stars).collect()
-            } else {
-                trusted
-            };
-            slot.crowd_sum = scores.iter().sum();
-            slot.crowd_count = scores.len();
-            slot.mean = Some(slot.crowd_sum / slot.crowd_count as f64);
+            *slot = product_consensus(trace, ProductId(i), excluded);
         }
         ConsensusMap { products }
+    }
+
+    /// An empty map covering `n` products, none of which has a consensus
+    /// yet. The starting point for incremental maintenance via
+    /// [`ConsensusMap::recompute_product`].
+    pub fn with_products(n: usize) -> Self {
+        ConsensusMap {
+            products: vec![ProductConsensus::default(); n],
+        }
+    }
+
+    /// Number of product slots.
+    pub fn products_len(&self) -> usize {
+        self.products.len()
+    }
+
+    /// Extends the map with empty slots up to `n` products (no-op if the
+    /// map already covers that many).
+    pub fn grow_products(&mut self, n: usize) {
+        if n > self.products.len() {
+            self.products.resize(n, ProductConsensus::default());
+        }
+    }
+
+    /// Recomputes one product's consensus slot from the trace — the exact
+    /// per-product computation of [`ConsensusMap::build_excluding`], so a
+    /// map maintained by recomputing only *dirty* products (products with
+    /// new reviews) is bit-identical to a full rebuild. Returns `true` if
+    /// the slot's value changed.
+    pub fn recompute_product(
+        &mut self,
+        trace: &TraceDataset,
+        product: ProductId,
+        excluded: &BTreeSet<ReviewerId>,
+    ) -> bool {
+        self.grow_products(product.index() + 1);
+        let fresh = product_consensus(trace, product, excluded);
+        let slot = &mut self.products[product.index()];
+        let changed = !slot.same_bits(&fresh);
+        *slot = fresh;
+        changed
     }
 
     /// The consensus score `l̄` for a product, or `None` if the product

@@ -10,6 +10,14 @@ pub struct MaliciousEstimates {
 }
 
 impl MaliciousEstimates {
+    /// Wraps per-worker estimates already indexed by
+    /// [`ReviewerId::index`] — the constructor for incremental callers
+    /// that maintain the vector themselves (recomputing only dirty
+    /// workers via [`MaliciousDetector::estimate_one`]).
+    pub fn from_values(e_mal: Vec<f64>) -> Self {
+        MaliciousEstimates { e_mal }
+    }
+
     /// The estimate for one worker, or `None` if the id is unknown.
     pub fn e_mal(&self, worker: ReviewerId) -> Option<f64> {
         self.e_mal.get(worker.index()).copied()
@@ -85,26 +93,37 @@ impl MaliciousDetector {
         let e_mal = trace
             .reviewers()
             .iter()
-            .map(|r| {
-                // Leave-one-out deviation stops a worker's own review from
-                // masking its bias on thin products.
-                let dev = match consensus.accuracy_deviation_loo(trace, r.id) {
-                    Some(d) => d,
-                    None => return 0.5,
-                };
-                let reviews = trace.reviews_by(r.id);
-                let extreme = if reviews.is_empty() {
-                    0.0
-                } else {
-                    reviews.iter().filter(|rv| rv.stars >= 4.75).count() as f64
-                        / reviews.len() as f64
-                };
-                let z = self.deviation_gain * (dev - self.deviation_midpoint)
-                    + self.extremity_weight * self.deviation_gain * (extreme - 0.5);
-                logistic(z)
-            })
+            .map(|r| self.estimate_one(trace, consensus, r.id))
             .collect();
         MaliciousEstimates { e_mal }
+    }
+
+    /// Estimates `e_mal` for one worker — the per-worker computation
+    /// behind [`MaliciousDetector::estimate`], exposed so an incremental
+    /// caller can recompute only workers whose reviews (or whose reviewed
+    /// products' consensus) changed and still match the batch estimate
+    /// bit-for-bit.
+    pub fn estimate_one(
+        &self,
+        trace: &TraceDataset,
+        consensus: &ConsensusMap,
+        worker: ReviewerId,
+    ) -> f64 {
+        // Leave-one-out deviation stops a worker's own review from
+        // masking its bias on thin products.
+        let dev = match consensus.accuracy_deviation_loo(trace, worker) {
+            Some(d) => d,
+            None => return 0.5,
+        };
+        let reviews = trace.reviews_by(worker);
+        let extreme = if reviews.is_empty() {
+            0.0
+        } else {
+            reviews.iter().filter(|rv| rv.stars >= 4.75).count() as f64 / reviews.len() as f64
+        };
+        let z = self.deviation_gain * (dev - self.deviation_midpoint)
+            + self.extremity_weight * self.deviation_gain * (extreme - 0.5);
+        logistic(z)
     }
 
     /// Classification accuracy of thresholding the estimates at

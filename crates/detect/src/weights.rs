@@ -64,17 +64,42 @@ impl FeedbackWeights {
             .reviewers()
             .iter()
             .map(|r| {
-                let deviation = consensus
-                    .accuracy_deviation_loo(trace, r.id)
-                    .or_else(|| consensus.accuracy_deviation(trace, r.id))
-                    .unwrap_or(1.0)
-                    .max(params.min_deviation);
-                let accuracy_term = (params.rho / deviation).min(params.max_accuracy_term);
-                let e_mal = estimates.e_mal(r.id).unwrap_or(0.5);
-                let a_i = partners.get(&r.id).copied().unwrap_or(0) as f64;
-                accuracy_term - params.kappa * e_mal - params.gamma * a_i
+                Self::compute_one(trace, consensus, estimates.e_mal(r.id), &partners, params, r.id)
             })
             .collect();
+        FeedbackWeights { weights }
+    }
+
+    /// Eq. 5 for one worker — the per-worker computation behind
+    /// [`FeedbackWeights::compute`], exposed so an incremental caller can
+    /// recompute only workers whose inputs (reviews, reviewed products'
+    /// refined consensus, `e_mal`, partner count) changed and still match
+    /// the batch weight bit-for-bit. `e_mal` is the worker's estimate
+    /// (`None` falls back to the neutral 0.5); `partners` is
+    /// [`CollusionReport::partner_counts`].
+    pub fn compute_one(
+        trace: &TraceDataset,
+        consensus: &ConsensusMap,
+        e_mal: Option<f64>,
+        partners: &std::collections::BTreeMap<ReviewerId, usize>,
+        params: WeightParams,
+        worker: ReviewerId,
+    ) -> f64 {
+        let deviation = consensus
+            .accuracy_deviation_loo(trace, worker)
+            .or_else(|| consensus.accuracy_deviation(trace, worker))
+            .unwrap_or(1.0)
+            .max(params.min_deviation);
+        let accuracy_term = (params.rho / deviation).min(params.max_accuracy_term);
+        let e_mal = e_mal.unwrap_or(0.5);
+        let a_i = partners.get(&worker).copied().unwrap_or(0) as f64;
+        accuracy_term - params.kappa * e_mal - params.gamma * a_i
+    }
+
+    /// Wraps per-worker weights already indexed by [`ReviewerId::index`]
+    /// — the constructor for incremental callers maintaining the vector
+    /// themselves.
+    pub fn from_values(weights: Vec<f64>) -> Self {
         FeedbackWeights { weights }
     }
 

@@ -224,14 +224,33 @@ pub fn sim_state_from_json(doc: &Json) -> Result<SimState, CoreError> {
     })
 }
 
+/// Writes a JSON document to `path` atomically: the bytes go to a
+/// sibling `.tmp` file first and are renamed into place, so a crash
+/// mid-write can never leave a truncated checkpoint where a valid one
+/// used to be. The shared persistence primitive of every crash-safe
+/// checkpoint writer (batch scheduler, streaming service).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Io`] on filesystem failure; the temp file is
+/// removed on a failed rename.
+pub fn save_json_atomic(path: &Path, doc: &Json) -> Result<(), CoreError> {
+    let tmp = path.with_extension("tmp");
+    let result = std::fs::write(&tmp, doc.to_string())
+        .and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result.map_err(|e| CoreError::io(format!("write checkpoint {}", path.display()), e))
+}
+
 /// Writes a [`SimState`] checkpoint file.
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::Io`] on filesystem failure.
 pub fn save_sim_state(path: &Path, state: &SimState) -> Result<(), CoreError> {
-    std::fs::write(path, sim_state_to_json(state).to_string())
-        .map_err(|e| CoreError::io(format!("write checkpoint {}", path.display()), e))
+    save_json_atomic(path, &sim_state_to_json(state))
 }
 
 /// Reads a [`SimState`] checkpoint file.

@@ -88,6 +88,18 @@ impl UnionFind {
         true
     }
 
+    /// Appends one new singleton element and returns its index — the
+    /// streaming growth operation: a service that discovers elements over
+    /// time (e.g. newly suspected workers) extends the structure instead
+    /// of rebuilding it.
+    pub fn push(&mut self) -> usize {
+        let x = self.parent.len();
+        self.parent.push(x);
+        self.rank.push(0);
+        self.components += 1;
+        x
+    }
+
     /// `true` iff `x` and `y` are in the same set.
     ///
     /// # Panics

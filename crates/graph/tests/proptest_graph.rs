@@ -60,6 +60,35 @@ proptest! {
         );
     }
 
+    /// Streaming growth: interleaving `UnionFind::push` with unions over
+    /// the elements known so far yields exactly the components of a
+    /// from-scratch structure built over the final element count and the
+    /// final edge set — the invariant `dcc-serve` relies on when newly
+    /// suspected workers arrive mid-stream.
+    #[test]
+    fn streaming_pushes_equal_scratch_components(
+        script in proptest::collection::vec((any::<bool>(), 0usize..64, 0usize..64), 1..120),
+    ) {
+        let mut streaming = UnionFind::new(0);
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (grow, u, v) in script {
+            if grow || streaming.is_empty() {
+                streaming.push();
+            } else {
+                let n = streaming.len();
+                let (u, v) = (u % n, v % n);
+                streaming.union(u, v);
+                edges.push((u, v));
+            }
+        }
+        let mut scratch = UnionFind::new(streaming.len());
+        for &(u, v) in &edges {
+            scratch.union(u, v);
+        }
+        prop_assert_eq!(streaming.components(), scratch.components());
+        prop_assert_eq!(streaming.component_count(), scratch.component_count());
+    }
+
     /// Adding an edge never increases the number of components.
     #[test]
     fn adding_edges_monotone(

@@ -1,0 +1,277 @@
+use crate::{solve_cholesky, solve_gaussian, Matrix, NumericsError, Quadratic};
+
+/// Incrementally maintained normal equations for a degree-2 least-squares
+/// fit — the streaming counterpart of [`crate::polyfit`] with
+/// `degree = 2`.
+///
+/// The fit state is the five power sums `Σ xᵏ` (`k = 0..=4`) and the
+/// three moment sums `Σ xᵏ y` (`k = 0..=2`) that [`crate::polyfit`]
+/// accumulates internally. Points can be added and removed in O(1);
+/// [`IncrementalQuadraticFit::fit`] solves the 3×3 system with the same
+/// Cholesky-then-Gaussian ladder as `polyfit`.
+///
+/// **Bit-exactness contract**: adding points in the same order as the
+/// slice passed to `polyfit` produces *identical* sums and therefore an
+/// identical solve — `fit()` is bit-for-bit equal to
+/// `polyfit(xs, ys, 2)`. After a removal the sums are algebraically equal
+/// but no longer bit-identical (floating-point subtraction does not undo
+/// addition exactly), so a downdated fit agrees with a fresh fit only to
+/// round-off (≈1e-12 relative on well-conditioned data). Callers that
+/// need bit-exact output after a mutation should
+/// [`IncrementalQuadraticFit::reset_from`] the surviving points instead.
+///
+/// # Example
+///
+/// ```
+/// use dcc_numerics::{polyfit, IncrementalQuadraticFit};
+///
+/// # fn main() -> Result<(), dcc_numerics::NumericsError> {
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [1.0, 2.5, 3.1, 2.9];
+/// let mut inc = IncrementalQuadraticFit::new();
+/// for (&x, &y) in xs.iter().zip(&ys) {
+///     inc.add(x, y);
+/// }
+/// let batch = polyfit(&xs, &ys, 2)?;
+/// let q = inc.fit()?;
+/// assert_eq!(q.r2().to_bits(), batch.coefficient(2).to_bits());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IncrementalQuadraticFit {
+    /// `power_sums[k] = Σ xᵏ` for `k = 0..=4`.
+    power_sums: [f64; 5],
+    /// `rhs[k] = Σ xᵏ y` for `k = 0..=2`.
+    rhs: [f64; 3],
+    n: usize,
+}
+
+impl IncrementalQuadraticFit {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        IncrementalQuadraticFit::default()
+    }
+
+    /// An accumulator seeded by adding `points` in order — bit-identical
+    /// to streaming them through [`IncrementalQuadraticFit::add`].
+    pub fn from_points(points: &[(f64, f64)]) -> Self {
+        let mut fit = IncrementalQuadraticFit::new();
+        for &(x, y) in points {
+            fit.add(x, y);
+        }
+        fit
+    }
+
+    /// Discards the accumulated sums and re-adds `points` in order.
+    pub fn reset_from(&mut self, points: &[(f64, f64)]) {
+        *self = IncrementalQuadraticFit::from_points(points);
+    }
+
+    /// Adds one observation. Mirrors the inner accumulation loop of
+    /// [`crate::polyfit`], so adds in slice order reproduce its sums
+    /// bit-for-bit.
+    pub fn add(&mut self, x: f64, y: f64) {
+        let mut xp = 1.0;
+        for (j, sum) in self.power_sums.iter_mut().enumerate() {
+            *sum += xp;
+            if j < 3 {
+                self.rhs[j] += xp * y;
+            }
+            xp *= x;
+        }
+        self.n += 1;
+    }
+
+    /// Removes one previously added observation by subtracting its
+    /// contribution (a *downdate*). The result is algebraically — not
+    /// bitwise — equivalent to never having added the point.
+    ///
+    /// Removing a point that was never added silently corrupts the sums;
+    /// the caller owns that bookkeeping. Removal from an empty
+    /// accumulator is ignored.
+    pub fn remove(&mut self, x: f64, y: f64) {
+        if self.n == 0 {
+            return;
+        }
+        let mut xp = 1.0;
+        for (j, sum) in self.power_sums.iter_mut().enumerate() {
+            *sum -= xp;
+            if j < 3 {
+                self.rhs[j] -= xp * y;
+            }
+            xp *= x;
+        }
+        self.n -= 1;
+    }
+
+    /// Number of points currently accumulated.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no points are accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Solves the normal equations for the quadratic `r₂y² + r₁y + r₀`.
+    ///
+    /// # Errors
+    ///
+    /// - [`NumericsError::InsufficientData`] with fewer than 3 points.
+    /// - [`NumericsError::InvalidArgument`] if a non-finite observation
+    ///   poisoned the sums.
+    /// - [`NumericsError::SingularSystem`] /
+    ///   [`NumericsError::NotPositiveDefinite`] on degenerate data (e.g.
+    ///   all x identical).
+    pub fn fit(&self) -> Result<Quadratic, NumericsError> {
+        if self.n < 3 {
+            return Err(NumericsError::InsufficientData {
+                points: self.n,
+                required: 3,
+            });
+        }
+        if self
+            .power_sums
+            .iter()
+            .chain(self.rhs.iter())
+            .any(|v| !v.is_finite())
+        {
+            return Err(NumericsError::InvalidArgument(
+                "incremental fit sums must be finite".into(),
+            ));
+        }
+        let mut normal = Matrix::zeros(3, 3)?;
+        for i in 0..3 {
+            for j in 0..3 {
+                normal[(i, j)] = self.power_sums[i + j];
+            }
+        }
+        let coeffs = match solve_cholesky(&normal, &self.rhs) {
+            Ok(c) => c,
+            Err(NumericsError::NotPositiveDefinite) => solve_gaussian(&normal, &self.rhs)?,
+            Err(e) => return Err(e),
+        };
+        // solve_* return one coefficient per column; index 0..=2 exist.
+        let (c0, c1, c2) = match coeffs.as_slice() {
+            [c0, c1, c2] => (*c0, *c1, *c2),
+            _ => return Err(NumericsError::SingularSystem),
+        };
+        Ok(Quadratic::new(c2, c1, c0))
+    }
+}
+
+#[cfg(test)]
+// Tests may compare floats exactly; clippy.toml's in-tests switches
+// exist only for unwrap/expect/panic, so allow float_cmp explicitly.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+    use crate::polyfit;
+
+    fn sample(n: usize) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64 * 0.37 + 0.2;
+                // Deterministic wobble keeps the data non-polynomial.
+                let y = -0.03 * x * x + 1.7 * x + 0.4
+                    + 0.01 * ((i * 2654435761usize) % 97) as f64 / 97.0;
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_adds_match_polyfit_bitwise() {
+        let pts = sample(40);
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        let batch = polyfit(&xs, &ys, 2).unwrap();
+        let inc = IncrementalQuadraticFit::from_points(&pts);
+        let q = inc.fit().unwrap();
+        assert_eq!(q.r0().to_bits(), batch.coefficient(0).to_bits());
+        assert_eq!(q.r1().to_bits(), batch.coefficient(1).to_bits());
+        assert_eq!(q.r2().to_bits(), batch.coefficient(2).to_bits());
+    }
+
+    #[test]
+    fn downdate_agrees_with_fresh_fit() {
+        let pts = sample(50);
+        let mut inc = IncrementalQuadraticFit::from_points(&pts);
+        // Remove every third point, out of insertion order.
+        let removed: Vec<(f64, f64)> =
+            pts.iter().copied().skip(1).step_by(3).rev().collect();
+        for &(x, y) in &removed {
+            inc.remove(x, y);
+        }
+        let remaining: Vec<(f64, f64)> = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 1)
+            .map(|(_, p)| *p)
+            .collect();
+        assert_eq!(inc.len(), remaining.len());
+        let xs: Vec<f64> = remaining.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = remaining.iter().map(|p| p.1).collect();
+        let fresh = polyfit(&xs, &ys, 2).unwrap();
+        let q = inc.fit().unwrap();
+        for (got, want) in [
+            (q.r0(), fresh.coefficient(0)),
+            (q.r1(), fresh.coefficient(1)),
+            (q.r2(), fresh.coefficient(2)),
+        ] {
+            let scale = want.abs().max(1.0);
+            assert!(
+                (got - want).abs() <= 1e-12 * scale,
+                "downdated {got} vs fresh {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn insufficient_points_rejected() {
+        let mut inc = IncrementalQuadraticFit::new();
+        inc.add(1.0, 1.0);
+        inc.add(2.0, 2.0);
+        assert!(matches!(
+            inc.fit().unwrap_err(),
+            NumericsError::InsufficientData { .. }
+        ));
+    }
+
+    #[test]
+    fn non_finite_poisoning_is_reported() {
+        let mut inc = IncrementalQuadraticFit::from_points(&sample(10));
+        inc.add(f64::INFINITY, 1.0);
+        assert!(matches!(
+            inc.fit().unwrap_err(),
+            NumericsError::InvalidArgument(_)
+        ));
+    }
+
+    #[test]
+    fn degenerate_xs_singular() {
+        let inc =
+            IncrementalQuadraticFit::from_points(&[(2.0, 1.0), (2.0, 2.0), (2.0, 3.0)]);
+        assert!(matches!(
+            inc.fit().unwrap_err(),
+            NumericsError::SingularSystem | NumericsError::NotPositiveDefinite
+        ));
+    }
+
+    #[test]
+    fn remove_on_empty_is_ignored() {
+        let mut inc = IncrementalQuadraticFit::new();
+        inc.remove(1.0, 1.0);
+        assert!(inc.is_empty());
+    }
+
+    #[test]
+    fn reset_from_equals_from_points() {
+        let pts = sample(12);
+        let mut inc = IncrementalQuadraticFit::from_points(&sample(30));
+        inc.reset_from(&pts);
+        assert_eq!(inc, IncrementalQuadraticFit::from_points(&pts));
+    }
+}

@@ -31,6 +31,7 @@
 
 mod cmp;
 mod error;
+mod incremental;
 mod linsolve;
 mod matrix;
 mod piecewise;
@@ -42,6 +43,7 @@ mod stats;
 
 pub use cmp::{approx_eq, exact_eq, exact_ne};
 pub use error::NumericsError;
+pub use incremental::IncrementalQuadraticFit;
 pub use linsolve::{solve_cholesky, solve_gaussian};
 pub use matrix::Matrix;
 pub use piecewise::PiecewiseLinear;

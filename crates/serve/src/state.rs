@@ -1,0 +1,880 @@
+//! The incremental state machine behind `dcc serve`.
+//!
+//! [`ServeState`] ingests events between round boundaries and, at each
+//! boundary, recomputes **only what changed** while remaining
+//! bit-identical (`f64::to_bits`) to the cold batch pipeline
+//! (`run_pipeline` → `design_contracts`) over the same event prefix:
+//!
+//! - per-product consensus slots are recomputed only for products with
+//!   new reviews ([`ConsensusMap::recompute_product`]);
+//! - per-worker `e_mal` estimates and Eq. 5 weights are recomputed only
+//!   for workers whose own reviews, reviewed products' consensus,
+//!   estimate, or partner count changed;
+//! - collusive communities are maintained by a streaming
+//!   [`UnionFind`] (one `push` per suspect at join, unions only over
+//!   dirty products) instead of a from-scratch DFS;
+//! - class ψ fits re-run only for classes whose observation points
+//!   changed, through streaming normal-equation sums
+//!   ([`IncrementalQuadraticFit`]) feeding the shared acceptance logic
+//!   ([`fit_effort_function_with_candidate`]);
+//! - subproblems re-solve only when their bitwise input fingerprint
+//!   (members, ω, weight, ψ, discretization, model parameters) changed;
+//!   cached solutions are reused with their positional ids re-patched.
+//!
+//! Every per-item computation is the *same function* the batch path
+//! runs (shared via `dcc-detect`/`dcc-core`), so equality is by
+//! construction, and `tests/serve_differential.rs` enforces it
+//! property-wise at every round boundary.
+
+use dcc_core::{
+    assemble_design, decompose_design, effort_region, fit_effort_function,
+    fit_effort_function_with_candidate, solve_subproblems_pooled, BipSolution, ClassModel,
+    ClassModels, ClassPoints, ContractDesign, CoreError, DegradationReport, DegradedSubproblem,
+    DesignConfig, DesignPrep, Discretization, EffortFit, SubproblemSolution,
+};
+use dcc_detect::{
+    CollusionReport, ConsensusMap, DetectionResult, FeedbackWeights, MaliciousEstimates,
+    PipelineConfig, SuspectSource,
+};
+use dcc_graph::UnionFind;
+use dcc_numerics::IncrementalQuadraticFit;
+use dcc_trace::{
+    Campaign, Product, ProductId, Reviewer, ReviewerId, TraceDataset, WorkerClass,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::event::ServeEvent;
+
+/// Cumulative work counters of a serve run, reported in the final
+/// summary and mirrored into `serve.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Events ingested (all kinds, round markers included).
+    pub events: usize,
+    /// Round boundaries recomputed.
+    pub rounds: usize,
+    /// Workers marked dirty, summed over rounds.
+    pub dirty_workers: usize,
+    /// Products marked dirty, summed over rounds.
+    pub dirty_products: usize,
+    /// Class effort-function fits actually executed.
+    pub fit_refits: usize,
+    /// Class models reused (or derived by fallback) without a fit.
+    pub fit_reused: usize,
+    /// Subproblems re-solved because their inputs changed.
+    pub solve_resolved: usize,
+    /// Subproblems whose cached solution was reused unchanged.
+    pub solve_reused: usize,
+}
+
+impl ServeStats {
+    /// Fraction of subproblem solves answered from the cache — the
+    /// incremental-vs-full work ratio of the run so far (1.0 when no
+    /// subproblem has ever been solved).
+    pub fn incremental_ratio(&self) -> f64 {
+        let total = self.solve_resolved + self.solve_reused;
+        if total == 0 {
+            1.0
+        } else {
+            self.solve_reused as f64 / total as f64
+        }
+    }
+}
+
+/// The output of one round boundary.
+#[derive(Debug, Clone)]
+pub struct RoundOutput {
+    /// 0-based round index (number of boundaries seen before this one).
+    pub round: usize,
+    /// Events ingested up to and including this boundary's marker.
+    pub events: usize,
+    /// Workers that were dirty at this boundary.
+    pub dirty_workers: usize,
+    /// Products that were dirty at this boundary.
+    pub dirty_products: usize,
+    /// Subproblems re-solved this boundary.
+    pub resolved: usize,
+    /// Subproblems reused from the cache this boundary.
+    pub reused: usize,
+    /// The recomputed design, or the rendered error the batch pipeline
+    /// would also produce over this prefix (e.g. too few honest
+    /// observation points early in a stream).
+    pub design: Result<ContractDesign, String>,
+}
+
+/// Bitwise equality of two point slices.
+fn points_same_bits(a: &[(f64, f64)], b: &[(f64, f64)]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(p, q)| {
+            p.0.to_bits() == q.0.to_bits() && p.1.to_bits() == q.1.to_bits()
+        })
+}
+
+/// Whether `prefix` is a bitwise prefix of `points`.
+fn is_bit_prefix(prefix: &[(f64, f64)], points: &[(f64, f64)]) -> bool {
+    prefix.len() <= points.len() && points_same_bits(prefix, &points[..prefix.len()])
+}
+
+/// One class's streaming least-squares accumulator plus the point
+/// vector currently summed into it.
+#[derive(Debug, Clone, Default)]
+struct ClassAccumulator {
+    inc: IncrementalQuadraticFit,
+    points: Vec<(f64, f64)>,
+}
+
+impl ClassAccumulator {
+    /// Fits the class effort function over `points`, updating the
+    /// running normal-equation sums incrementally: append-only changes
+    /// stream through [`IncrementalQuadraticFit::add`] (bit-identical
+    /// to `polyfit`), anything else re-accumulates from scratch (same
+    /// bits, linear cost). Degenerate sums fall back to the batch
+    /// [`fit_effort_function`] so error text matches the cold path.
+    fn fit(&mut self, points: &[(f64, f64)]) -> Result<EffortFit, CoreError> {
+        if points.len() < 3 {
+            return fit_effort_function(points);
+        }
+        if is_bit_prefix(&self.points, points) {
+            for &(x, y) in &points[self.points.len()..] {
+                self.inc.add(x, y);
+            }
+        } else {
+            self.inc.reset_from(points);
+        }
+        self.points.clear();
+        self.points.extend_from_slice(points);
+        match self.inc.fit() {
+            Ok(candidate) => fit_effort_function_with_candidate(points, candidate),
+            Err(_) => fit_effort_function(points),
+        }
+    }
+}
+
+/// A cached subproblem solution keyed by its member set, with the
+/// bitwise fingerprint of every input that feeds the solve.
+#[derive(Debug, Clone)]
+struct CachedSolve {
+    fingerprint: Vec<u64>,
+    solution: SubproblemSolution,
+    degraded: Option<DegradedSubproblem>,
+}
+
+/// The streaming service's incremental state.
+#[derive(Debug, Clone)]
+pub struct ServeState {
+    pipeline: PipelineConfig,
+    design: DesignConfig,
+    pool: usize,
+
+    trace: TraceDataset,
+
+    // --- detection state ----------------------------------------------
+    raw: ConsensusMap,
+    refined: ConsensusMap,
+    estimates: Vec<f64>,
+    weights: Vec<f64>,
+    suspected: Vec<ReviewerId>,
+    excluded: BTreeSet<ReviewerId>,
+    suspect_slot: BTreeMap<ReviewerId, usize>,
+    uf: UnionFind,
+    collusion: CollusionReport,
+    partner_counts: BTreeMap<ReviewerId, usize>,
+
+    // --- fit state -----------------------------------------------------
+    worker_points: BTreeMap<ReviewerId, (f64, f64)>,
+    honest_acc: ClassAccumulator,
+    ncm_acc: ClassAccumulator,
+    cm_acc: ClassAccumulator,
+    models_cache: Option<(ClassPoints, ClassModels)>,
+
+    // --- solve state ---------------------------------------------------
+    solve_cache: BTreeMap<Vec<usize>, CachedSolve>,
+
+    // --- dirty tracking ------------------------------------------------
+    dirty_workers: BTreeSet<ReviewerId>,
+    dirty_products: BTreeSet<ProductId>,
+
+    stats: ServeStats,
+    rounds_seen: usize,
+}
+
+impl ServeState {
+    /// An empty state over the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid design configurations and — because incremental
+    /// detection relies on suspect status being fixed at join time —
+    /// any [`SuspectSource`] other than `GroundTruth`.
+    pub fn new(
+        pipeline: PipelineConfig,
+        design: DesignConfig,
+        pool: usize,
+    ) -> Result<Self, CoreError> {
+        design.validate()?;
+        if !matches!(pipeline.suspects, SuspectSource::GroundTruth) {
+            return Err(CoreError::InvalidParams(
+                "dcc serve requires SuspectSource::GroundTruth: estimated suspect sets can \
+                 flip with every review, which defeats incremental detection (run the batch \
+                 pipeline for estimated mode)"
+                    .into(),
+            ));
+        }
+        Ok(ServeState {
+            pipeline,
+            design,
+            pool: pool.max(1),
+            trace: TraceDataset::empty(),
+            raw: ConsensusMap::with_products(0),
+            refined: ConsensusMap::with_products(0),
+            estimates: Vec::new(),
+            weights: Vec::new(),
+            suspected: Vec::new(),
+            excluded: BTreeSet::new(),
+            suspect_slot: BTreeMap::new(),
+            uf: UnionFind::new(0),
+            collusion: CollusionReport::from_member_groups(Vec::new()),
+            partner_counts: BTreeMap::new(),
+            worker_points: BTreeMap::new(),
+            honest_acc: ClassAccumulator::default(),
+            ncm_acc: ClassAccumulator::default(),
+            cm_acc: ClassAccumulator::default(),
+            models_cache: None,
+            solve_cache: BTreeMap::new(),
+            dirty_workers: BTreeSet::new(),
+            dirty_products: BTreeSet::new(),
+            stats: ServeStats::default(),
+            rounds_seen: 0,
+        })
+    }
+
+    /// The trace accumulated so far.
+    pub fn trace(&self) -> &TraceDataset {
+        &self.trace
+    }
+
+    /// Cumulative work counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Round boundaries processed so far.
+    pub fn rounds_seen(&self) -> usize {
+        self.rounds_seen
+    }
+
+    /// The `(workers, products)` currently marked dirty — what the next
+    /// round boundary will recompute.
+    pub fn pending_dirty(&self) -> (usize, usize) {
+        (self.dirty_workers.len(), self.dirty_products.len())
+    }
+
+    /// The active design configuration.
+    pub fn design_config(&self) -> &DesignConfig {
+        &self.design
+    }
+
+    /// The active detection configuration.
+    pub fn pipeline_config(&self) -> &PipelineConfig {
+        &self.pipeline
+    }
+
+    /// Ingests one event. Returns `Some(output)` for a round boundary,
+    /// `None` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] for protocol violations
+    /// (non-dense ids, dangling references, out-of-range stars, a
+    /// campaign index skipping ahead). Design-level failures (e.g. too
+    /// few observation points to fit) are **not** errors here — they
+    /// are captured in [`RoundOutput::design`], exactly as the batch
+    /// pipeline would report them over the same prefix.
+    pub fn apply(&mut self, event: &ServeEvent) -> Result<Option<RoundOutput>, CoreError> {
+        self.stats.events += 1;
+        match event {
+            ServeEvent::Product { id, quality } => {
+                self.trace
+                    .push_product(Product {
+                        id: ProductId(*id),
+                        true_quality: *quality,
+                    })
+                    .map_err(|e| CoreError::InvalidInput(e.to_string()))?;
+                Ok(None)
+            }
+            ServeEvent::Join {
+                id,
+                class,
+                campaign,
+                expert,
+            } => {
+                self.join(*id, *class, *campaign, *expert)?;
+                Ok(None)
+            }
+            ServeEvent::Review {
+                worker,
+                product,
+                round,
+                stars,
+                length,
+                upvotes,
+            } => {
+                self.trace
+                    .push_review(dcc_trace::Review {
+                        reviewer: ReviewerId(*worker),
+                        product: ProductId(*product),
+                        round: *round,
+                        stars: *stars,
+                        length_chars: *length,
+                        upvotes: *upvotes,
+                    })
+                    .map_err(|e| CoreError::InvalidInput(e.to_string()))?;
+                self.dirty_workers.insert(ReviewerId(*worker));
+                self.dirty_products.insert(ProductId(*product));
+                Ok(None)
+            }
+            ServeEvent::Round => Ok(Some(self.round_boundary())),
+        }
+    }
+
+    fn join(
+        &mut self,
+        id: usize,
+        class: WorkerClass,
+        campaign: Option<usize>,
+        expert: bool,
+    ) -> Result<(), CoreError> {
+        if let Some(c) = campaign {
+            if c > self.trace.campaigns().len() {
+                return Err(CoreError::InvalidInput(format!(
+                    "join for worker {id} names campaign {c} but only {} campaigns exist",
+                    self.trace.campaigns().len()
+                )));
+            }
+        }
+        let worker = ReviewerId(id);
+        self.trace
+            .push_reviewer(Reviewer {
+                id: worker,
+                class,
+                campaign,
+                is_expert: expert,
+            })
+            .map_err(|e| CoreError::InvalidInput(e.to_string()))?;
+        if let Some(c) = campaign {
+            if c == self.trace.campaigns().len() {
+                self.trace
+                    .push_campaign(Campaign {
+                        id: c,
+                        members: Vec::new(),
+                        targets: Vec::new(),
+                    })
+                    .map_err(|e| CoreError::InvalidInput(e.to_string()))?;
+            }
+            self.trace
+                .add_campaign_member(c, worker)
+                .map_err(|e| CoreError::InvalidInput(e.to_string()))?;
+        }
+        self.estimates.push(0.0);
+        self.weights.push(0.0);
+        if class.is_malicious() {
+            let slot = self.uf.push();
+            self.suspect_slot.insert(worker, slot);
+            self.suspected.push(worker);
+            self.excluded.insert(worker);
+        }
+        self.dirty_workers.insert(worker);
+        Ok(())
+    }
+
+    // --- round boundary recompute --------------------------------------
+
+    fn round_boundary(&mut self) -> RoundOutput {
+        let round = self.rounds_seen;
+        self.rounds_seen += 1;
+        self.stats.rounds += 1;
+
+        let dirty_workers = std::mem::take(&mut self.dirty_workers);
+        let dirty_products = std::mem::take(&mut self.dirty_products);
+        self.stats.dirty_workers += dirty_workers.len();
+        self.stats.dirty_products += dirty_products.len();
+
+        let detection = self.recompute_detection(&dirty_workers, &dirty_products);
+        let resolved_before = self.stats.solve_resolved;
+        let reused_before = self.stats.solve_reused;
+        let design = self
+            .recompute_design(&detection, &dirty_workers)
+            .map_err(|e| e.to_string());
+
+        RoundOutput {
+            round,
+            events: self.stats.events,
+            dirty_workers: dirty_workers.len(),
+            dirty_products: dirty_products.len(),
+            resolved: self.stats.solve_resolved - resolved_before,
+            reused: self.stats.solve_reused - reused_before,
+            design,
+        }
+    }
+
+    /// Incremental §IV detection: recompute only dirty slots, then
+    /// assemble a [`DetectionResult`] equal (bitwise) to
+    /// `run_pipeline(trace, pipeline)`.
+    fn recompute_detection(
+        &mut self,
+        dirty_workers: &BTreeSet<ReviewerId>,
+        dirty_products: &BTreeSet<ProductId>,
+    ) -> DetectionResult {
+        let none = BTreeSet::new();
+
+        // 1. Consensus: raw (first pass) and refined (suspect-excluded),
+        //    per dirty product. The returned change flags drive
+        //    downstream worker dirtiness.
+        self.raw.grow_products(self.trace.products().len());
+        self.refined.grow_products(self.trace.products().len());
+        let mut raw_changed: Vec<ProductId> = Vec::new();
+        let mut refined_changed: Vec<ProductId> = Vec::new();
+        for &pid in dirty_products {
+            if self.raw.recompute_product(&self.trace, pid, &none) {
+                raw_changed.push(pid);
+            }
+            if self
+                .refined
+                .recompute_product(&self.trace, pid, &self.excluded)
+            {
+                refined_changed.push(pid);
+            }
+        }
+
+        // 2. e_mal estimates: a worker's estimate depends on their own
+        //    reviews and the raw consensus of the products they
+        //    reviewed.
+        let mut estimate_dirty: BTreeSet<ReviewerId> = dirty_workers.clone();
+        for &pid in &raw_changed {
+            for rv in self.trace.reviews_for(pid) {
+                estimate_dirty.insert(rv.reviewer);
+            }
+        }
+        let mut estimate_changed: BTreeSet<ReviewerId> = BTreeSet::new();
+        for &worker in &estimate_dirty {
+            let fresh = self
+                .pipeline
+                .detector
+                .estimate_one(&self.trace, &self.raw, worker);
+            let slot = &mut self.estimates[worker.index()];
+            if slot.to_bits() != fresh.to_bits() {
+                estimate_changed.insert(worker);
+            }
+            *slot = fresh;
+        }
+
+        // 3. Collusion: union suspect co-reviewers on dirty products
+        //    (new suspects already got their UnionFind slot at join).
+        for &pid in dirty_products {
+            let mut first: Option<usize> = None;
+            for rv in self.trace.reviews_for(pid) {
+                if let Some(&slot) = self.suspect_slot.get(&rv.reviewer) {
+                    match first {
+                        None => first = Some(slot),
+                        Some(f) => {
+                            self.uf.union(f, slot);
+                        }
+                    }
+                }
+            }
+        }
+        let groups: Vec<Vec<ReviewerId>> = self
+            .uf
+            .components()
+            .into_iter()
+            .map(|slots| slots.iter().map(|&s| self.suspected[s]).collect())
+            .collect();
+        self.collusion = CollusionReport::from_member_groups(groups);
+
+        // 4. Eq. 5 weights: a worker's weight depends on their reviews,
+        //    the refined consensus of reviewed products, their e_mal,
+        //    and their partner count.
+        let fresh_partners = self.collusion.partner_counts();
+        let mut weight_dirty: BTreeSet<ReviewerId> = dirty_workers.clone();
+        weight_dirty.extend(estimate_changed.iter().copied());
+        for &pid in &refined_changed {
+            for rv in self.trace.reviews_for(pid) {
+                weight_dirty.insert(rv.reviewer);
+            }
+        }
+        for (&worker, &count) in &fresh_partners {
+            if self.partner_counts.get(&worker).copied() != Some(count) {
+                weight_dirty.insert(worker);
+            }
+        }
+        self.partner_counts = fresh_partners;
+        for &worker in &weight_dirty {
+            self.weights[worker.index()] = FeedbackWeights::compute_one(
+                &self.trace,
+                &self.refined,
+                Some(self.estimates[worker.index()]),
+                &self.partner_counts,
+                self.pipeline.weights,
+                worker,
+            );
+        }
+
+        DetectionResult {
+            consensus: self.refined.clone(),
+            estimates: MaliciousEstimates::from_values(self.estimates.clone()),
+            suspected: self.suspected.clone(),
+            collusion: self.collusion.clone(),
+            weights: FeedbackWeights::from_values(self.weights.clone()),
+        }
+    }
+
+    /// Incremental §IV-B/C design: refit only changed classes, re-solve
+    /// only changed subproblems, assemble exactly as the batch path.
+    fn recompute_design(
+        &mut self,
+        detection: &DetectionResult,
+        dirty_workers: &BTreeSet<ReviewerId>,
+    ) -> Result<ContractDesign, CoreError> {
+        // Per-worker observation points: only a worker's own reviews
+        // feed their point (effort = own expertise × length).
+        for &worker in dirty_workers {
+            match dcc_core::worker_observation_point(&self.trace, worker) {
+                Some(p) => {
+                    self.worker_points.insert(worker, p);
+                }
+                None => {
+                    self.worker_points.remove(&worker);
+                }
+            }
+        }
+
+        // Regroup points by class (pure bookkeeping over cached floats;
+        // bit-identical to collect_class_points by construction).
+        let points = self.regroup_points(detection);
+        let models = self.class_models(&points)?;
+        let prep = decompose_design(&self.trace, detection, &self.design, &points, &models)?;
+        let (solution, degradation) = self.solve_incremental(&prep)?;
+        Ok(assemble_design(detection, &prep, solution, degradation))
+    }
+
+    /// Rebuilds [`ClassPoints`] from the per-worker cache — the exact
+    /// grouping of `collect_class_points`, without recomputing any
+    /// float (each point was produced by the same
+    /// `worker_observation_point` call the batch path makes).
+    fn regroup_points(&self, detection: &DetectionResult) -> ClassPoints {
+        let suspected: BTreeSet<ReviewerId> = detection.suspected.iter().copied().collect();
+        let in_community: BTreeSet<ReviewerId> = detection
+            .collusion
+            .communities
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        let mut points = ClassPoints::default();
+        for reviewer in self.trace.reviewers() {
+            let Some(&(eff, fb)) = self.worker_points.get(&reviewer.id) else {
+                continue;
+            };
+            points.worker_points.insert(reviewer.id, (eff, fb));
+            if !suspected.contains(&reviewer.id) {
+                points.honest.push((eff, fb));
+            } else if in_community.contains(&reviewer.id) {
+                points.cm.push((eff, fb));
+            } else {
+                points.ncm.push((eff, fb));
+            }
+        }
+        points.community = detection
+            .collusion
+            .communities
+            .iter()
+            .map(|members| {
+                members
+                    .iter()
+                    .filter_map(|m| points.worker_points.get(m))
+                    .fold((0.0, 0.0), |acc, p| (acc.0 + p.0, acc.1 + p.1))
+            })
+            .collect();
+        points
+    }
+
+    /// The three class models, refitting only classes whose fit-input
+    /// points changed bitwise. Mirrors the fallback chain of
+    /// `fit_class_models` (honest → ncm → cm) exactly; the differential
+    /// harness compares the result against the batch chain bit-for-bit.
+    fn class_models(&mut self, points: &ClassPoints) -> Result<ClassModels, CoreError> {
+        // On any error the cache stays cleared, so the next round refits
+        // from scratch (deterministically identical anyway).
+        let cached = self.models_cache.take();
+        let same = |sel: fn(&ClassPoints) -> &Vec<(f64, f64)>| {
+            cached
+                .as_ref()
+                .is_some_and(|(snap, _)| points_same_bits(sel(snap), sel(points)))
+        };
+        let honest_same = same(|p| &p.honest);
+        let ncm_same = same(|p| &p.ncm);
+        let cm_same = same(|p| &p.cm);
+        let community_same = same(|p| &p.community);
+
+        let honest = if honest_same {
+            self.stats.fit_reused += 1;
+            cached.as_ref().map(|(_, m)| m.honest.clone()).ok_or_else(cache_vanished)?
+        } else {
+            self.stats.fit_refits += 1;
+            let fit = self.honest_acc.fit(&points.honest)?;
+            let disc = Discretization::covering(
+                self.design.intervals,
+                effort_region(&points.honest, &fit.psi, self.design.effort_quantile)?,
+            )?;
+            ClassModel { fit, disc }
+        };
+
+        let ncm = if points.ncm.len() >= 3 {
+            if ncm_same {
+                self.stats.fit_reused += 1;
+                cached.as_ref().map(|(_, m)| m.ncm.clone()).ok_or_else(cache_vanished)?
+            } else {
+                self.stats.fit_refits += 1;
+                let fit = self.ncm_acc.fit(&points.ncm)?;
+                let disc = Discretization::covering(
+                    self.design.intervals,
+                    effort_region(&points.ncm, &fit.psi, self.design.effort_quantile)?,
+                )?;
+                ClassModel { fit, disc }
+            }
+        } else {
+            self.stats.fit_reused += 1;
+            honest.clone()
+        };
+
+        let cm = if points.community.len() >= 3 {
+            if community_same {
+                self.stats.fit_reused += 1;
+                cached.as_ref().map(|(_, m)| m.cm.clone()).ok_or_else(cache_vanished)?
+            } else {
+                self.stats.fit_refits += 1;
+                let fit = self.cm_acc.fit(&points.community)?;
+                let disc = Discretization::covering(
+                    self.design.intervals,
+                    effort_region(&points.community, &fit.psi, self.design.effort_quantile)?,
+                )?;
+                ClassModel { fit, disc }
+            }
+        } else if points.cm.len() >= 3 {
+            // Member-point fit keeps the ncm discretization (the batch
+            // chain does the same); reuse the cached fit only when the
+            // cached round took this same branch.
+            let prev_branch_matches = cached
+                .as_ref()
+                .is_some_and(|(snap, _)| snap.community.len() < 3 && snap.cm.len() >= 3);
+            let fit = if cm_same && community_same && prev_branch_matches {
+                self.stats.fit_reused += 1;
+                cached.as_ref().map(|(_, m)| m.cm.fit.clone()).ok_or_else(cache_vanished)?
+            } else {
+                self.stats.fit_refits += 1;
+                self.cm_acc.fit(&points.cm)?
+            };
+            ClassModel {
+                fit,
+                disc: ncm.disc,
+            }
+        } else {
+            self.stats.fit_reused += 1;
+            ncm.clone()
+        };
+
+        let models = ClassModels { honest, ncm, cm };
+        self.models_cache = Some((points.clone(), models.clone()));
+        Ok(models)
+    }
+
+    /// Solves only the subproblems whose bitwise input fingerprint
+    /// changed, merging cached and fresh solutions in input order.
+    /// Bit-identical to a full `solve_subproblems_pooled` over all
+    /// subproblems: each subproblem's arithmetic is self-contained, the
+    /// total is re-summed over the merged list in input order, and the
+    /// pooled solve is itself bit-identical across pool sizes.
+    fn solve_incremental(
+        &mut self,
+        prep: &DesignPrep,
+    ) -> Result<(BipSolution, DegradationReport), CoreError> {
+        let params = &self.design.params;
+        let policy = self.design.failure_policy;
+        let param_fp = [
+            params.mu.to_bits(),
+            params.beta.to_bits(),
+            params.omega.to_bits(),
+            params.kappa.to_bits(),
+            params.gamma.to_bits(),
+            params.rho.to_bits(),
+        ];
+        let fingerprint = |sp: &dcc_core::Subproblem| -> Vec<u64> {
+            let mut fp = Vec::with_capacity(12 + sp.members.len());
+            fp.extend_from_slice(&param_fp);
+            fp.push(sp.omega.to_bits());
+            fp.push(sp.weight.to_bits());
+            fp.push(sp.psi.r2().to_bits());
+            fp.push(sp.psi.r1().to_bits());
+            fp.push(sp.psi.r0().to_bits());
+            fp.push(sp.disc.intervals() as u64);
+            fp.push(sp.disc.y_max().to_bits());
+            fp.extend(sp.members.iter().map(|&m| m as u64));
+            fp
+        };
+
+        let mut slots: Vec<Option<(SubproblemSolution, Option<DegradedSubproblem>)>> =
+            vec![None; prep.subproblems.len()];
+        let mut to_solve: Vec<dcc_core::Subproblem> = Vec::new();
+        let mut to_solve_at: Vec<usize> = Vec::new();
+        for (i, sp) in prep.subproblems.iter().enumerate() {
+            let fp = fingerprint(sp);
+            match self.solve_cache.get(&sp.members) {
+                Some(hit) if hit.fingerprint == fp => {
+                    let mut solution = hit.solution.clone();
+                    solution.id = sp.id;
+                    let degraded = hit.degraded.clone().map(|mut d| {
+                        d.subproblem = sp.id;
+                        d
+                    });
+                    slots[i] = Some((solution, degraded));
+                    self.stats.solve_reused += 1;
+                }
+                _ => {
+                    to_solve.push(sp.clone());
+                    to_solve_at.push(i);
+                    self.stats.solve_resolved += 1;
+                }
+            }
+        }
+
+        if !to_solve.is_empty() {
+            let (fresh, fresh_report) =
+                solve_subproblems_pooled(&to_solve, params, self.pool, policy)?;
+            let mut degraded_by_id: BTreeMap<usize, DegradedSubproblem> = fresh_report
+                .degraded
+                .into_iter()
+                .map(|d| (d.subproblem, d))
+                .collect();
+            for (solution, &at) in fresh.solutions.into_iter().zip(&to_solve_at) {
+                let degraded = degraded_by_id.remove(&solution.id);
+                slots[at] = Some((solution, degraded));
+            }
+        }
+
+        // Merge in input order; rebuild the cache from this round's
+        // entries only, so stale member sets don't accumulate.
+        let mut solutions = Vec::with_capacity(slots.len());
+        let mut degraded = Vec::new();
+        let mut cache = BTreeMap::new();
+        for (slot, sp) in slots.into_iter().zip(&prep.subproblems) {
+            let (solution, degradation) = slot.ok_or_else(|| {
+                CoreError::InvalidInput("serve: a subproblem slot was never filled".into())
+            })?;
+            cache.insert(
+                sp.members.clone(),
+                CachedSolve {
+                    fingerprint: fingerprint(sp),
+                    solution: solution.clone(),
+                    degraded: degradation.clone(),
+                },
+            );
+            if let Some(d) = degradation {
+                degraded.push(d);
+            }
+            solutions.push(solution);
+        }
+        self.solve_cache = cache;
+
+        // The batch path sums requester utilities over the full list in
+        // input order; repeat that exact fold so the total's bits match.
+        let total = solutions
+            .iter()
+            .map(|s| s.built.requester_utility())
+            .sum::<f64>();
+        Ok((
+            BipSolution {
+                solutions,
+                total_requester_utility: total,
+            },
+            DegradationReport { degraded },
+        ))
+    }
+
+    /// The cold-batch reference over the current trace: the exact
+    /// two-pass pipeline plus one-shot design the incremental path must
+    /// match bit-for-bit. Used by `--verify` and the test harnesses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates batch design failures (same errors the incremental
+    /// path reports in [`RoundOutput::design`]).
+    pub fn cold_design(&self) -> Result<ContractDesign, CoreError> {
+        let detection = dcc_detect::run_pipeline(&self.trace, self.pipeline);
+        dcc_core::design_contracts(&self.trace, &detection, &self.design)
+    }
+
+    /// The cold-batch detection over the current trace (diagnostic
+    /// companion of [`ServeState::cold_design`]).
+    pub fn cold_detection(&self) -> DetectionResult {
+        dcc_detect::run_pipeline(&self.trace, self.pipeline)
+    }
+
+    /// Recomputes detection from the current dirty sets without
+    /// consuming them — exposed for white-box tests; normal callers go
+    /// through [`ServeState::apply`] with [`ServeEvent::Round`].
+    #[doc(hidden)]
+    pub fn debug_detection(&mut self) -> DetectionResult {
+        let dirty_workers = self.dirty_workers.clone();
+        let dirty_products = self.dirty_products.clone();
+        self.dirty_workers.clear();
+        self.dirty_products.clear();
+        self.recompute_detection(&dirty_workers, &dirty_products)
+    }
+}
+
+fn cache_vanished() -> CoreError {
+    CoreError::InvalidInput("serve: class-model cache vanished mid-round".into())
+}
+
+/// A stable bitwise digest of a design: every `f64` as raw bits plus
+/// the discrete fields, in a fixed order. Two designs with equal
+/// digests are bit-identical in everything the requester and workers
+/// observe. Used by `--verify`, the differential harness, and the
+/// golden snapshot.
+pub fn design_digest(design: &ContractDesign) -> Vec<u64> {
+    let mut digest = vec![
+        design.total_requester_utility.to_bits(),
+        design.class_psis.0.r2().to_bits(),
+        design.class_psis.0.r1().to_bits(),
+        design.class_psis.0.r0().to_bits(),
+        design.class_psis.1.r2().to_bits(),
+        design.class_psis.1.r1().to_bits(),
+        design.class_psis.1.r0().to_bits(),
+        design.class_psis.2.r2().to_bits(),
+        design.class_psis.2.r1().to_bits(),
+        design.class_psis.2.r0().to_bits(),
+        design.agents.len() as u64,
+    ];
+    for a in &design.agents {
+        digest.push(a.worker.index() as u64);
+        digest.push(a.subproblem as u64);
+        digest.push(a.compensation.to_bits());
+        digest.push(a.induced_effort.to_bits());
+        digest.push(a.k_opt.map(|k| k as u64 + 1).unwrap_or(0));
+        digest.push(a.delta.to_bits());
+        digest.push(u64::from(a.suspected));
+        digest.push(a.partners as u64);
+        for &knot in a.contract.feedback_knots() {
+            digest.push(knot.to_bits());
+        }
+        for &pay in a.contract.payments() {
+            digest.push(pay.to_bits());
+        }
+    }
+    digest.push(design.degradation.len() as u64);
+    for d in &design.degradation.degraded {
+        digest.push(d.subproblem as u64);
+        digest.push(d.attempts as u64);
+    }
+    digest
+}

@@ -118,6 +118,150 @@ impl TraceDataset {
         })
     }
 
+    /// An empty dataset — the starting point for incremental construction
+    /// via the `push_*` mutators, used by the streaming service to build
+    /// the trace event by event. A dataset grown this way is identical
+    /// (including derived expertise) to one assembled in a single
+    /// [`TraceDataset::new`] call over the same entities in the same
+    /// order.
+    pub fn empty() -> Self {
+        TraceDataset {
+            products: Vec::new(),
+            reviewers: Vec::new(),
+            reviews: Vec::new(),
+            campaigns: Vec::new(),
+            by_reviewer: Vec::new(),
+            by_product: Vec::new(),
+            expertise: Vec::new(),
+        }
+    }
+
+    /// Appends a product, enforcing dense ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidDataset`] if the product's id is not
+    /// the next dense slot.
+    pub fn push_product(&mut self, product: Product) -> Result<(), TraceError> {
+        if product.id.index() != self.products.len() {
+            return Err(TraceError::InvalidDataset(format!(
+                "product ids must be dense: slot {} offered {}",
+                self.products.len(),
+                product.id
+            )));
+        }
+        self.products.push(product);
+        self.by_product.push(Vec::new());
+        Ok(())
+    }
+
+    /// Appends a reviewer, enforcing dense ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidDataset`] if the reviewer's id is not
+    /// the next dense slot.
+    pub fn push_reviewer(&mut self, reviewer: Reviewer) -> Result<(), TraceError> {
+        if reviewer.id.index() != self.reviewers.len() {
+            return Err(TraceError::InvalidDataset(format!(
+                "reviewer ids must be dense: slot {} offered {}",
+                self.reviewers.len(),
+                reviewer.id
+            )));
+        }
+        self.reviewers.push(reviewer);
+        self.by_reviewer.push(Vec::new());
+        self.expertise.push(0.0);
+        Ok(())
+    }
+
+    /// Appends a review, updating the reviewer/product indices and the
+    /// reviewer's derived expertise. The expertise is recomputed from
+    /// scratch over the reviewer's reviews in insertion order — the exact
+    /// summation of [`TraceDataset::new`] — so the value is bit-identical
+    /// to a batch rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownEntity`] for a dangling reviewer or
+    /// product reference and [`TraceError::InvalidDataset`] for stars
+    /// outside `[1, 5]`.
+    pub fn push_review(&mut self, review: Review) -> Result<(), TraceError> {
+        let idx = self.reviews.len();
+        let w = review.reviewer.index();
+        let p = review.product.index();
+        if w >= self.reviewers.len() {
+            return Err(TraceError::UnknownEntity(format!(
+                "review {idx} references reviewer {w}"
+            )));
+        }
+        if p >= self.products.len() {
+            return Err(TraceError::UnknownEntity(format!(
+                "review {idx} references product {p}"
+            )));
+        }
+        if !(1.0..=5.0).contains(&review.stars) {
+            return Err(TraceError::InvalidDataset(format!(
+                "review {idx} has stars {} outside [1, 5]",
+                review.stars
+            )));
+        }
+        self.reviews.push(review);
+        self.by_reviewer[w].push(idx);
+        self.by_product[p].push(idx);
+        let idxs = &self.by_reviewer[w];
+        self.expertise[w] =
+            idxs.iter().map(|&i| self.reviews[i].upvotes).sum::<f64>() / idxs.len() as f64;
+        Ok(())
+    }
+
+    /// Appends a campaign, validating its member references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownEntity`] for a member id outside the
+    /// reviewer set.
+    pub fn push_campaign(&mut self, campaign: Campaign) -> Result<(), TraceError> {
+        for m in &campaign.members {
+            if m.index() >= self.reviewers.len() {
+                return Err(TraceError::UnknownEntity(format!(
+                    "campaign {} references reviewer {m}",
+                    campaign.id
+                )));
+            }
+        }
+        self.campaigns.push(campaign);
+        Ok(())
+    }
+
+    /// Adds a member to an existing campaign (streaming joins reveal
+    /// campaign membership one worker at a time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownEntity`] for an unknown campaign index
+    /// or reviewer id.
+    pub fn add_campaign_member(
+        &mut self,
+        campaign: usize,
+        member: ReviewerId,
+    ) -> Result<(), TraceError> {
+        if member.index() >= self.reviewers.len() {
+            return Err(TraceError::UnknownEntity(format!(
+                "campaign {campaign} references reviewer {member}"
+            )));
+        }
+        match self.campaigns.get_mut(campaign) {
+            Some(c) => {
+                c.members.push(member);
+                Ok(())
+            }
+            None => Err(TraceError::UnknownEntity(format!(
+                "unknown campaign {campaign}"
+            ))),
+        }
+    }
+
     /// All products.
     pub fn products(&self) -> &[Product] {
         &self.products
@@ -396,6 +540,73 @@ mod tests {
             upvotes: 0.0,
         }];
         assert!(TraceDataset::new(vec![], vec![], reviews, vec![]).is_err());
+    }
+
+    #[test]
+    fn incremental_build_matches_batch_build() {
+        // Replaying a synthetic trace entity-by-entity through the push_*
+        // mutators must reproduce the batch-built dataset exactly,
+        // including derived expertise bits — the serve-layer correctness
+        // contract at the trace layer.
+        let batch = crate::SyntheticConfig::small(17).generate();
+        let mut inc = TraceDataset::empty();
+        for p in batch.products() {
+            inc.push_product(p.clone()).unwrap();
+        }
+        for r in batch.reviewers() {
+            inc.push_reviewer(r.clone()).unwrap();
+        }
+        for c in batch.campaigns() {
+            let mut empty = c.clone();
+            let members = std::mem::take(&mut empty.members);
+            inc.push_campaign(empty).unwrap();
+            for m in members {
+                inc.add_campaign_member(c.id, m).unwrap();
+            }
+        }
+        for rv in batch.reviews() {
+            inc.push_review(rv.clone()).unwrap();
+        }
+        assert_eq!(inc.products(), batch.products());
+        assert_eq!(inc.reviewers(), batch.reviewers());
+        assert_eq!(inc.reviews(), batch.reviews());
+        assert_eq!(inc.campaigns(), batch.campaigns());
+        for r in batch.reviewers() {
+            assert_eq!(
+                inc.expertise(r.id).unwrap().to_bits(),
+                batch.expertise(r.id).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn push_mutators_validate() {
+        let mut d = TraceDataset::empty();
+        assert!(d
+            .push_product(Product {
+                id: ProductId(3),
+                true_quality: 1.0
+            })
+            .is_err());
+        assert!(d
+            .push_reviewer(Reviewer {
+                id: ReviewerId(1),
+                class: WorkerClass::Honest,
+                campaign: None,
+                is_expert: false,
+            })
+            .is_err());
+        assert!(d
+            .push_review(Review {
+                reviewer: ReviewerId(0),
+                product: ProductId(0),
+                round: 0,
+                stars: 3.0,
+                length_chars: 10,
+                upvotes: 0.0,
+            })
+            .is_err());
+        assert!(d.add_campaign_member(0, ReviewerId(0)).is_err());
     }
 
     #[test]

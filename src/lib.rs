@@ -39,6 +39,9 @@
 //!   scenario grids (μ × budget × strategy × trace), a shared
 //!   content-addressed detect/fit/solve memo, and an in-order merge
 //!   that keeps batched output bit-identical to serial runs.
+//! - [`serve`] — the incremental streaming contract service: event
+//!   ingestion (`dcc serve`), per-round delta recompute bit-identical
+//!   to the batch pipeline, and checkpointed crash recovery.
 //!
 //! ## Quickstart
 //!
@@ -78,4 +81,5 @@ pub use dcc_graph as graph;
 pub use dcc_label as label;
 pub use dcc_numerics as numerics;
 pub use dcc_obs as obs;
+pub use dcc_serve as serve;
 pub use dcc_trace as trace;

@@ -26,12 +26,16 @@
 #![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
 
 use dyncontract::batch::{BatchRunner, ScenarioGrid};
+use dyncontract::core::DesignConfig;
+use dyncontract::detect::PipelineConfig;
 use dyncontract::experiments::{fig8b, fig8c, table2, table3, ExperimentScale, DEFAULT_SEED};
 use dyncontract::faults::Json;
+use dyncontract::obs::{JsonRecorder, Metrics};
+use dyncontract::serve::{design_digest, events_from_trace, fold_digest, ServeService};
 use dyncontract::trace::TraceDataset;
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Numeric leaves may drift by at most this much, measured as
 /// `|a - b| <= TOLERANCE * max(1, |a|, |b|)` — absolute near zero,
@@ -230,6 +234,64 @@ fn encode_batch_grid() -> Json {
     )])
 }
 
+/// The streaming service replaying the seeded trace: every round
+/// boundary's work deltas and design fingerprint, the end-of-run
+/// counters, and the full redacted `serve.*` metrics document
+/// ([`JsonRecorder::to_json_redacted`] zeroes span timings, so the
+/// snapshot is wall-clock-free). Uses the same small-scale trace as
+/// every other snapshot; the paper-scale stream is exercised by the
+/// nightly soak in `.github/workflows/scheduled.yml`.
+fn encode_serve_replay() -> Json {
+    let recorder = Arc::new(JsonRecorder::new());
+    let mut service = ServeService::new(
+        PipelineConfig::default(),
+        DesignConfig::default(),
+        2,
+        false,
+        Metrics::new(recorder.clone()),
+    )
+    .expect("serve config is valid");
+    let mut rounds = Vec::new();
+    for event in &events_from_trace(trace()) {
+        if let Some(out) = service.apply(event).expect("replay applies cleanly") {
+            let design = out.design.as_ref().expect("seeded trace designs every round");
+            rounds.push(obj(vec![
+                ("round", Json::idx(out.round)),
+                ("events", Json::idx(out.events)),
+                ("dirty_workers", Json::idx(out.dirty_workers)),
+                ("dirty_products", Json::idx(out.dirty_products)),
+                ("resolved", Json::idx(out.resolved)),
+                ("reused", Json::idx(out.reused)),
+                ("agents", Json::idx(design.agents.len())),
+                ("total_utility", Json::num(design.total_requester_utility)),
+                (
+                    "digest",
+                    Json::Str(format!("{:016x}", fold_digest(&design_digest(design)))),
+                ),
+            ]));
+        }
+    }
+    let stats = service.stats();
+    let metrics = Json::parse(&recorder.to_json_redacted())
+        .expect("redacted metrics document parses");
+    obj(vec![
+        ("rounds", Json::Arr(rounds)),
+        (
+            "summary",
+            obj(vec![
+                ("events", Json::idx(stats.events)),
+                ("rounds", Json::idx(stats.rounds)),
+                ("fit_refits", Json::idx(stats.fit_refits)),
+                ("fit_reused", Json::idx(stats.fit_reused)),
+                ("solve_resolved", Json::idx(stats.solve_resolved)),
+                ("solve_reused", Json::idx(stats.solve_reused)),
+                ("incremental_ratio", Json::num(stats.incremental_ratio())),
+            ]),
+        ),
+        ("metrics", metrics),
+    ])
+}
+
 // --------------------------------------------------------------- comparison
 
 /// Walks both documents and records every path where they differ —
@@ -330,6 +392,52 @@ fn golden_fig8c_utility_vs_baselines() {
 #[test]
 fn golden_batch_grid() {
     check_golden("batch_grid", encode_batch_grid());
+}
+
+#[test]
+fn golden_serve_replay() {
+    check_golden("serve_replay", encode_serve_replay());
+}
+
+/// The serve snapshot catches drift in the incremental path: nudging
+/// one round's `total_utility` by a relative `1e-6` must surface as a
+/// diff naming that leaf, and the pristine encoding must agree with
+/// itself exactly.
+#[test]
+fn a_perturbed_serve_utility_fails_the_comparison() {
+    fn perturb_first_utility(value: &mut Json) -> bool {
+        match value {
+            Json::Arr(items) => items.iter_mut().any(perturb_first_utility),
+            Json::Obj(members) => members.iter_mut().any(|(key, member)| {
+                if key == "total_utility" {
+                    if let Json::Num(x) = member {
+                        *x += 1e-6 * x.abs().max(1.0);
+                        return true;
+                    }
+                    false
+                } else {
+                    perturb_first_utility(member)
+                }
+            }),
+            _ => false,
+        }
+    }
+
+    let pristine = encode_serve_replay();
+    let mut perturbed = pristine.clone();
+    assert!(perturb_first_utility(&mut perturbed), "found a utility to perturb");
+
+    let mut diffs = Vec::new();
+    diff("serve_replay", &pristine, &perturbed, &mut diffs);
+    assert!(!diffs.is_empty(), "a 1e-6 utility perturbation must be detected");
+    assert!(
+        diffs[0].contains("total_utility"),
+        "the diff names the perturbed leaf: {diffs:?}"
+    );
+
+    let mut clean = Vec::new();
+    diff("serve_replay", &pristine, &pristine, &mut clean);
+    assert!(clean.is_empty());
 }
 
 /// The batch snapshot catches drift in the scheduler itself: nudging

@@ -1,0 +1,267 @@
+//! Differential harness for the streaming service: random event
+//! streams (products appearing, workers joining, reviews, campaign
+//! churn, round boundaries) run through the incremental `dcc-serve`
+//! state machine must agree **bit-for-bit** (`f64::to_bits`) with a
+//! cold batch recompute (`run_pipeline` → `design_contracts`) over the
+//! same prefix, at every round boundary and at every pool size 1–8 —
+//! including rounds where both paths *fail* (too few observation
+//! points early in a stream), which must produce identical error text.
+//!
+//! This is the external check backing `dcc-serve`'s central claim: the
+//! incremental recompute is an optimization, never a semantic change.
+//! CI runs this suite at `PROPTEST_CASES=256` (`.github/workflows/
+//! ci.yml`, `serve` job); the in-file default keeps local runs quick.
+
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use dyncontract::core::{design_contracts, DesignConfig};
+use dyncontract::detect::{run_pipeline, PipelineConfig};
+use dyncontract::obs::Metrics;
+use dyncontract::serve::{design_digest, ServeEvent, ServeService};
+use dyncontract::trace::{
+    Campaign, Product, ProductId, Review, Reviewer, ReviewerId, TraceDataset, WorkerClass,
+};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Generates a random but protocol-valid event stream: dense ids,
+/// reviews only against existing entities, collusive joins that open
+/// new campaigns or swell existing ones (campaign churn), and round
+/// markers sprinkled throughout plus one at the end.
+fn random_stream(seed: u64, len: usize) -> Vec<ServeEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    let mut n_products = 0usize;
+    let mut n_workers = 0usize;
+    let mut n_campaigns = 0usize;
+    let mut round = 0usize;
+
+    let push_product = |events: &mut Vec<ServeEvent>, n: &mut usize, rng: &mut StdRng| {
+        events.push(ServeEvent::Product {
+            id: *n,
+            quality: rng.gen_range(1..=5) as f64,
+        });
+        *n += 1;
+    };
+    let push_join = |events: &mut Vec<ServeEvent>,
+                         n: &mut usize,
+                         campaigns: &mut usize,
+                         rng: &mut StdRng| {
+        let class = match rng.gen_range(0..10) {
+            0..=5 => WorkerClass::Honest,
+            6 | 7 => WorkerClass::NonCollusiveMalicious,
+            _ => WorkerClass::CollusiveMalicious,
+        };
+        let campaign = if class == WorkerClass::CollusiveMalicious {
+            // Open a new campaign or join an existing one (churn).
+            let c = if *campaigns == 0 || rng.gen_bool(0.4) {
+                *campaigns
+            } else {
+                rng.gen_range(0..*campaigns)
+            };
+            if c == *campaigns {
+                *campaigns += 1;
+            }
+            Some(c)
+        } else {
+            None
+        };
+        events.push(ServeEvent::Join {
+            id: *n,
+            class,
+            campaign,
+            expert: rng.gen_bool(0.2),
+        });
+        *n += 1;
+    };
+
+    // Seed enough entities that reviews are possible from the start.
+    for _ in 0..3 {
+        push_product(&mut events, &mut n_products, &mut rng);
+    }
+    for _ in 0..4 {
+        push_join(&mut events, &mut n_workers, &mut n_campaigns, &mut rng);
+    }
+
+    for _ in 0..len {
+        match rng.gen_range(0..100) {
+            0..=11 => push_product(&mut events, &mut n_products, &mut rng),
+            12..=26 => push_join(&mut events, &mut n_workers, &mut n_campaigns, &mut rng),
+            27..=33 => {
+                events.push(ServeEvent::Round);
+                round += 1;
+            }
+            _ => events.push(ServeEvent::Review {
+                worker: rng.gen_range(0..n_workers),
+                product: rng.gen_range(0..n_products),
+                round,
+                stars: rng.gen_range(1..=5) as f64,
+                length: rng.gen_range(20..400),
+                upvotes: rng.gen_range(0..12) as f64,
+            }),
+        }
+    }
+    events.push(ServeEvent::Round);
+    events
+}
+
+/// A mirror of the stream's entities kept independently of the
+/// service, from which the cold batch trace is rebuilt at every round
+/// boundary via the one-shot `TraceDataset::new` constructor.
+#[derive(Default)]
+struct Mirror {
+    products: Vec<Product>,
+    reviewers: Vec<Reviewer>,
+    reviews: Vec<Review>,
+    campaigns: Vec<Campaign>,
+}
+
+impl Mirror {
+    fn apply(&mut self, event: &ServeEvent) {
+        match event {
+            ServeEvent::Product { id, quality } => self.products.push(Product {
+                id: ProductId(*id),
+                true_quality: *quality,
+            }),
+            ServeEvent::Join {
+                id,
+                class,
+                campaign,
+                expert,
+            } => {
+                self.reviewers.push(Reviewer {
+                    id: ReviewerId(*id),
+                    class: *class,
+                    campaign: *campaign,
+                    is_expert: *expert,
+                });
+                if let Some(c) = campaign {
+                    if *c == self.campaigns.len() {
+                        self.campaigns.push(Campaign {
+                            id: *c,
+                            members: Vec::new(),
+                            targets: Vec::new(),
+                        });
+                    }
+                    self.campaigns[*c].members.push(ReviewerId(*id));
+                }
+            }
+            ServeEvent::Review {
+                worker,
+                product,
+                round,
+                stars,
+                length,
+                upvotes,
+            } => self.reviews.push(Review {
+                reviewer: ReviewerId(*worker),
+                product: ProductId(*product),
+                round: *round,
+                stars: *stars,
+                length_chars: *length,
+                upvotes: *upvotes,
+            }),
+            ServeEvent::Round => {}
+        }
+    }
+
+    fn batch_trace(&self) -> TraceDataset {
+        TraceDataset::new(
+            self.products.clone(),
+            self.reviewers.clone(),
+            self.reviews.clone(),
+            self.campaigns.clone(),
+        )
+        .expect("mirror entities are valid by construction")
+    }
+}
+
+/// Streams `events` through the service at `pool`, comparing every
+/// round boundary against a cold batch recompute over the mirror.
+fn run_case(seed: u64, pool: usize) -> Result<(), String> {
+    let events = random_stream(seed, 160);
+    let design_cfg = DesignConfig::default();
+    let pipeline_cfg = PipelineConfig::default();
+    let mut service = ServeService::new(
+        pipeline_cfg,
+        design_cfg,
+        pool,
+        false,
+        Metrics::noop(),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut mirror = Mirror::default();
+
+    for event in &events {
+        mirror.apply(event);
+        let out = service
+            .apply(event)
+            .map_err(|e| format!("seed {seed} pool {pool}: protocol error: {e}"))?;
+        let Some(out) = out else { continue };
+
+        let trace = mirror.batch_trace();
+        let detection = run_pipeline(&trace, pipeline_cfg);
+        let batch = design_contracts(&trace, &detection, &design_cfg);
+        match (&out.design, &batch) {
+            (Ok(inc), Ok(cold)) => {
+                if design_digest(inc) != design_digest(cold) {
+                    return Err(format!(
+                        "seed {seed} pool {pool} round {}: designs diverge bitwise \
+                         (incremental U={:016x} vs batch U={:016x})",
+                        out.round,
+                        inc.total_requester_utility.to_bits(),
+                        cold.total_requester_utility.to_bits()
+                    ));
+                }
+            }
+            (Err(inc), Err(cold)) => {
+                let cold = cold.to_string();
+                if inc != &cold {
+                    return Err(format!(
+                        "seed {seed} pool {pool} round {}: error mismatch: \
+                         incremental {inc:?} vs batch {cold:?}",
+                        out.round
+                    ));
+                }
+            }
+            (Ok(_), Err(cold)) => {
+                return Err(format!(
+                    "seed {seed} pool {pool} round {}: incremental succeeded, batch \
+                     failed: {cold}",
+                    out.round
+                ));
+            }
+            (Err(inc), Ok(_)) => {
+                return Err(format!(
+                    "seed {seed} pool {pool} round {}: batch succeeded, incremental \
+                     failed: {inc}",
+                    out.round
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole property: after any event-stream prefix, the
+    /// incremental state is bit-identical to a cold batch recompute
+    /// over that prefix, for every pool size.
+    #[test]
+    fn incremental_stream_matches_cold_batch(seed in 0u64..1_000_000, pool in 1usize..=8) {
+        let result = run_case(seed, pool);
+        prop_assert!(result.is_ok(), "{}", result.unwrap_err());
+    }
+}
+
+/// Deterministic anchors so a regression fails even at
+/// `PROPTEST_CASES=1`, covering both early-error rounds (too few
+/// honest points) and steady-state rounds.
+#[test]
+fn fixed_streams_match_cold_batch() {
+    for (seed, pool) in [(1, 1), (7, 3), (42, 8)] {
+        run_case(seed, pool).expect("fixed stream must match");
+    }
+}
