@@ -1,0 +1,29 @@
+//! Digest layer: folds values into an FNV accumulator (a built-in
+//! determinism sink).
+
+/// Indirection hop so the taint must travel two edges before the sink.
+pub fn stamp() -> u64 {
+    now_us()
+}
+
+/// BAD: folds a wall-clock stamp into the digest — tainted fn calling
+/// a digest sink.
+pub fn digest_round(seed: u64) -> u64 {
+    fnv_fold(seed, stamp())
+}
+
+/// Clean digest over deterministic inputs: no finding.
+pub fn digest_clean(x: u64) -> u64 {
+    fnv_fold(x, 17)
+}
+
+/// Laundered flow: `sanctioned_timer` is policy-laundered, so this
+/// digest is sanctioned despite touching the clock.
+pub fn heartbeat_digest() -> u64 {
+    fnv_fold(sanctioned_timer(), 3)
+}
+
+/// The sink itself: deterministic given its arguments.
+pub fn fnv_fold(acc: u64, v: u64) -> u64 {
+    (acc ^ v).wrapping_mul(0x0100_0000_01b3)
+}

@@ -1,0 +1,14 @@
+//! Persistence layer: checkpoint writer fed by an environment lookup.
+
+/// Environment source: deployment region read at runtime.
+pub fn load_region() -> String {
+    std::env::var("DCC_REGION").unwrap_or_default()
+}
+
+/// BAD: env-tainted value reaches the checkpoint writer.
+pub fn persist(state: &str) {
+    save_checkpoint(state, &load_region());
+}
+
+/// The checkpoint sink (name-matched built-in).
+pub fn save_checkpoint(_state: &str, _region: &str) {}

@@ -252,7 +252,8 @@ impl Lexer<'_> {
         while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
             self.pos += 1;
         }
-        self.pos += 1;
+        // An unterminated literal at end of input has no closing quote.
+        self.pos = (self.pos + 1).min(self.bytes.len());
         self.push(TokKind::Char, start);
     }
 
@@ -373,6 +374,14 @@ mod tests {
             .into_iter()
             .map(|t| (t.kind, t.text))
             .collect()
+    }
+
+    #[test]
+    fn unterminated_char_literal_at_eof_does_not_panic() {
+        for src in ["'", "'x", "'\\", "b'", "let c = '"] {
+            let toks = lex(src).tokens;
+            assert!(!toks.is_empty(), "{src:?} should still produce tokens");
+        }
     }
 
     #[test]

@@ -15,24 +15,52 @@
 //! | `wall-clock` | no `Instant`/`SystemTime` outside `dcc-obs` |
 //! | `hot-loop-alloc` | no per-element allocation in the struct-of-arrays solve kernels |
 //! | `metric-registry` | metric names in code ↔ `docs/observability.md` stay in sync |
+//! | `determinism-taint` | no source→sink nondeterminism flow through the call graph |
+//! | `taint-policy` | the taint policy file contains no stale entries |
+//!
+//! The `determinism-taint` rule is semantic: an item-level parser
+//! ([`parse`]) builds a cross-crate call graph and the taint engine
+//! ([`taint`]) propagates nondeterminism from sources (wall clock,
+//! unseeded RNG, `std::env`, thread IDs, unordered iteration) to sinks
+//! (digest folds, checkpoint writers, metric emission), modulo
+//! sanctioned laundering points declared in a checked-in [`policy`]
+//! file.
 //!
 //! Findings are suppressible inline with
 //! `// dcc-lint: allow(<rule>, reason = "…")` — the reason is
-//! mandatory, and unused suppressions are themselves findings. See
+//! mandatory, and unused suppressions are themselves findings — or
+//! ratcheted via a committed [`baseline`] file. Output formats: text,
+//! `dcc-lint/2` JSON, and SARIF 2.1.0 ([`sarif`]). See
 //! `docs/static-analysis.md` for the full rule catalogue.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod classify;
 pub mod lexer;
+pub mod parse;
+pub mod policy;
 pub mod registry;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod suppress;
+pub mod taint;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+
+/// One step of a taint trace: where the flow passes and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What happens at this step (source, hop, or sink).
+    pub note: String,
+}
 
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +73,9 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable description.
     pub message: String,
+    /// Source→…→sink steps for `determinism-taint` findings; empty for
+    /// token-rule findings.
+    pub trace: Vec<TraceStep>,
 }
 
 impl Finding {
@@ -55,6 +86,24 @@ impl Finding {
             path: path.to_string(),
             line,
             message,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Builds a finding carrying a taint trace.
+    pub fn with_trace(
+        rule: &'static str,
+        path: &str,
+        line: u32,
+        message: String,
+        trace: Vec<TraceStep>,
+    ) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+            trace,
         }
     }
 }
@@ -73,6 +122,11 @@ pub struct Config {
     pub registry_module: Option<PathBuf>,
     /// Root-relative path of the metric documentation table.
     pub registry_doc: Option<PathBuf>,
+    /// Root-relative path of the taint policy file (launder/sink
+    /// declarations for `determinism-taint`). The taint pass runs in
+    /// workspace mode regardless; without a policy nothing is
+    /// sanctioned.
+    pub policy: Option<PathBuf>,
 }
 
 impl Config {
@@ -85,11 +139,14 @@ impl Config {
         let module = PathBuf::from("crates/obs/src/lib.rs");
         let doc = PathBuf::from("docs/observability.md");
         let both = root.join(&module).is_file() && root.join(&doc).is_file();
+        let policy = PathBuf::from("dcc-lint.policy");
+        let policy = root.join(&policy).is_file().then_some(policy);
         Config {
             root,
             paths: Vec::new(),
             registry_module: both.then(|| module.clone()),
             registry_doc: both.then_some(doc),
+            policy,
         }
     }
 
@@ -100,6 +157,7 @@ impl Config {
             paths,
             registry_module: None,
             registry_doc: None,
+            policy: None,
         }
     }
 }
@@ -119,9 +177,24 @@ impl Report {
         report::render_text(&self.findings, self.files_scanned)
     }
 
-    /// Machine-readable `dcc-lint/1` JSON.
+    /// Machine-readable `dcc-lint/2` JSON.
     pub fn to_json(&self) -> String {
         report::render_json(&self.findings, self.files_scanned)
+    }
+
+    /// SARIF 2.1.0 document with no baseline applied (every finding is
+    /// an open result). For ratchet-aware emission build
+    /// [`sarif::SarifResult`]s from a [`baseline::Outcome`].
+    pub fn to_sarif(&self) -> String {
+        let results: Vec<sarif::SarifResult<'_>> = self
+            .findings
+            .iter()
+            .map(|f| sarif::SarifResult {
+                finding: f,
+                justification: None,
+            })
+            .collect();
+        sarif::render(&results)
     }
 }
 
@@ -157,7 +230,18 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
     let mut per_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
     let mut suppressions: BTreeMap<String, Vec<suppress::Suppression>> = BTreeMap::new();
     let mut code_names: Vec<registry::CodeName> = Vec::new();
+    let mut const_refs: Vec<registry::ConstRef> = Vec::new();
+    let mut reg_consts: BTreeMap<String, String> = BTreeMap::new();
     let mut files_scanned = 0usize;
+    // Parsed files retained for the interprocedural taint pass (runs in
+    // workspace-walk mode only — explicit paths cannot see the graph).
+    let taint_mode = cfg.paths.is_empty();
+    struct TaintUnit {
+        parsed: parse::ParsedFile,
+        tokens: Vec<lexer::Tok>,
+        regions: classify::TestRegions,
+    }
+    let mut taint_units: Vec<TaintUnit> = Vec::new();
 
     for file in &files {
         let rel = rel_path(&cfg.root, file);
@@ -184,14 +268,52 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
         rules::run_token_rules(&ctx, findings);
 
         if cfg.registry_doc.is_some() {
-            registry::collect_emissions(&rel, &lexed.tokens, &regions, &mut code_names);
+            registry::collect_emissions(
+                &rel,
+                &lexed.tokens,
+                &regions,
+                &mut code_names,
+                &mut const_refs,
+            );
             if cfg
                 .registry_module
                 .as_ref()
                 .is_some_and(|m| m.as_path() == Path::new(&rel))
             {
                 registry::collect_registry_consts(&rel, &lexed.tokens, &mut code_names);
+                reg_consts = registry::const_map(&lexed.tokens);
             }
+        }
+
+        if taint_mode {
+            taint_units.push(TaintUnit {
+                parsed: parse::parse_file(&rel, &lexed.tokens),
+                tokens: lexed.tokens,
+                regions,
+            });
+        }
+    }
+
+    if taint_mode {
+        let mut pol = match &cfg.policy {
+            Some(rel) => {
+                let abs = cfg.root.join(rel);
+                let src = std::fs::read_to_string(&abs)
+                    .map_err(|e| format!("read {}: {e}", abs.display()))?;
+                policy::Policy::parse(&rel.to_string_lossy().replace('\\', "/"), &src)?
+            }
+            None => policy::Policy::default(),
+        };
+        let units: Vec<taint::Unit<'_>> = taint_units
+            .iter()
+            .map(|u| taint::Unit {
+                parsed: &u.parsed,
+                tokens: &u.tokens,
+                test_regions: &u.regions,
+            })
+            .collect();
+        for f in taint::analyze(&units, &mut pol) {
+            per_file.entry(f.path.clone()).or_default().push(f);
         }
     }
 
@@ -202,6 +324,7 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
         let doc = registry::doc_names(&doc_src);
         let doc_rel_str = doc_rel.to_string_lossy().replace('\\', "/");
         let mut reg_findings = Vec::new();
+        registry::resolve_const_refs(&const_refs, &reg_consts, &mut code_names, &mut reg_findings);
         registry::cross_check(&code_names, &doc, &doc_rel_str, &mut reg_findings);
         for f in reg_findings {
             per_file.entry(f.path.clone()).or_default().push(f);

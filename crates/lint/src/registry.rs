@@ -3,13 +3,19 @@
 //!
 //! Three directions are checked:
 //!
-//! 1. every string literal passed to an emitting call
+//! 1. every name passed to an emitting call
 //!    (`.span`/`.span_at`/`.event`/`.add`/`.gauge`/`.observe`) in
-//!    non-test code must appear in the doc table;
+//!    non-test code must appear in the doc table — both string
+//!    literals and `names::SCREAMING_SNAKE` constant references, which
+//!    are resolved through the registry module's const→value map;
 //! 2. every `pub const … : &str = "…"` in the `dcc_obs::names` module
 //!    must appear in the doc table;
 //! 3. every name in the doc table must be defined in `names` or
 //!    emitted somewhere — documentation cannot outlive the code.
+//!
+//! On any drift, in addition to the per-name findings, one aggregate
+//! finding on the doc file prints the exact missing/extra rows on both
+//! sides.
 
 use crate::classify::TestRegions;
 use crate::lexer::{Tok, TokKind};
@@ -35,12 +41,35 @@ pub struct CodeName {
 /// metric.
 const EMITTERS: &[&str] = &["span", "span_at", "event", "add", "gauge", "observe"];
 
-/// Collects emission literals from one file's tokens.
+/// A `names::SCREAMING_SNAKE` constant referenced at an emitter call
+/// site, resolved against the registry module after the walk.
+#[derive(Debug, Clone)]
+pub struct ConstRef {
+    /// The constant's identifier (last path segment).
+    pub const_name: String,
+    /// File of the call site.
+    pub path: String,
+    /// Line of the call site.
+    pub line: u32,
+}
+
+/// Whether an identifier looks like a constant reference
+/// (`SCREAMING_SNAKE`: uppercase/digits/underscores, at least one
+/// uppercase letter).
+fn is_screaming(s: &str) -> bool {
+    s.chars().any(|c| c.is_ascii_uppercase())
+        && s.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Collects metric names at emitter call sites from one file's tokens:
+/// string literals go straight to `out`; constant references go to
+/// `const_refs` for resolution against the registry module.
 pub fn collect_emissions(
     path: &str,
     tokens: &[Tok],
     test_regions: &TestRegions,
     out: &mut Vec<CodeName>,
+    const_refs: &mut Vec<ConstRef>,
 ) {
     for (i, t) in tokens.iter().enumerate() {
         if t.kind != TokKind::Ident
@@ -51,20 +80,98 @@ pub fn collect_emissions(
         }
         let prev = i.checked_sub(1).and_then(|j| tokens.get(j));
         let next = tokens.get(i + 1);
-        let arg = tokens.get(i + 2);
-        if matches!(prev, Some(p) if p.text == ".")
-            && matches!(next, Some(n) if n.text == "(")
+        if !(matches!(prev, Some(p) if p.text == ".")
+            && matches!(next, Some(n) if n.text == "("))
         {
-            if let Some(lit) = arg.filter(|a| a.kind == TokKind::Str) {
-                if let Some(name) = unquote(&lit.text) {
-                    out.push(CodeName {
-                        name,
-                        path: path.to_string(),
-                        line: t.line,
-                        is_emission: true,
-                    });
+            continue;
+        }
+        if let Some(lit) = tokens.get(i + 2).filter(|a| a.kind == TokKind::Str) {
+            if let Some(name) = unquote(&lit.text) {
+                out.push(CodeName {
+                    name,
+                    path: path.to_string(),
+                    line: t.line,
+                    is_emission: true,
+                });
+            }
+            continue;
+        }
+        // First argument as a `::`-separated identifier path ending in a
+        // SCREAMING_SNAKE constant (e.g. `names::COUNTER_SERVE_EVENTS`).
+        let mut j = i + 2;
+        let mut last_ident: Option<&Tok> = None;
+        while let Some(tok) = tokens.get(j) {
+            match (tok.kind, tok.text.as_str()) {
+                (TokKind::Ident, _) => last_ident = Some(tok),
+                (_, "::") => {}
+                (_, "," | ")") => break,
+                _ => {
+                    last_ident = None;
+                    break;
                 }
             }
+            j += 1;
+        }
+        if let Some(c) = last_ident.filter(|c| is_screaming(&c.text)) {
+            const_refs.push(ConstRef {
+                const_name: c.text.clone(),
+                path: path.to_string(),
+                line: t.line,
+            });
+        }
+    }
+}
+
+/// Builds the const→value map (`const NAME: &str = "…";`) from the
+/// registry module's tokens.
+pub fn const_map(tokens: &[Tok]) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.text != "const" {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        if let Some(lit) = tokens[i..tokens.len().min(i + 8)]
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+        {
+            if let Some(value) = unquote(&lit.text) {
+                out.entry(name.text.clone()).or_insert(value);
+            }
+        }
+    }
+    out
+}
+
+/// Resolves collected constant references through the registry map:
+/// resolved refs become emission [`CodeName`]s; unresolved refs are
+/// `metric-registry` findings (an emitter is using a constant the
+/// registry does not define).
+pub fn resolve_const_refs(
+    refs: &[ConstRef],
+    map: &BTreeMap<String, String>,
+    out: &mut Vec<CodeName>,
+    findings: &mut Vec<Finding>,
+) {
+    for r in refs {
+        match map.get(&r.const_name) {
+            Some(value) => out.push(CodeName {
+                name: value.clone(),
+                path: r.path.clone(),
+                line: r.line,
+                is_emission: true,
+            }),
+            None => findings.push(Finding::new(
+                "metric-registry",
+                &r.path,
+                r.line,
+                format!(
+                    "emitter call references constant `{}` that the metric registry does not define",
+                    r.const_name
+                ),
+            )),
         }
     }
 }
@@ -188,6 +295,40 @@ pub fn cross_check(
             ));
         }
     }
+
+    // Aggregate drift summary: the exact rows missing/extra on both
+    // sides, in one message.
+    let mut missing: Vec<&str> = code_names
+        .iter()
+        .filter(|cn| !doc.contains_key(&cn.name))
+        .map(|cn| cn.name.as_str())
+        .collect();
+    missing.sort_unstable();
+    missing.dedup();
+    let stale: Vec<&str> = doc
+        .keys()
+        .filter(|name| !code_names.iter().any(|cn| &&cn.name == name))
+        .map(String::as_str)
+        .collect();
+    if !missing.is_empty() || !stale.is_empty() {
+        let fmt = |rows: &[&str]| {
+            if rows.is_empty() {
+                "none".to_string()
+            } else {
+                rows.join(", ")
+            }
+        };
+        findings.push(Finding::new(
+            "metric-registry",
+            doc_path,
+            1,
+            format!(
+                "registry drift — in code but missing from {doc_path}: {}; in {doc_path} but not in code: {}",
+                fmt(&missing),
+                fmt(&stale)
+            ),
+        ));
+    }
 }
 
 #[cfg(test)]
@@ -206,9 +347,43 @@ mod tests { fn t(m: &Metrics) { m.add(\"t.t\", 1); } }
         let lexed = lex(src);
         let regions = test_regions(&lexed.tokens);
         let mut out = Vec::new();
-        collect_emissions("f.rs", &lexed.tokens, &regions, &mut out);
+        let mut refs = Vec::new();
+        collect_emissions("f.rs", &lexed.tokens, &regions, &mut out, &mut refs);
         let names: Vec<_> = out.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names, ["a.b", "c.d"]);
+        // `var` is lowercase: not a const ref, silently skipped.
+        assert!(refs.is_empty());
+    }
+
+    #[test]
+    fn const_refs_are_collected_and_resolved() {
+        let src = "\
+fn f(m: &Metrics) {
+    m.add(names::COUNTER_X, 1);
+    m.gauge(obs::names::GAUGE_Y, 2.0);
+    m.add(UNDEFINED_Z, 1);
+}
+";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.tokens);
+        let mut out = Vec::new();
+        let mut refs = Vec::new();
+        collect_emissions("f.rs", &lexed.tokens, &regions, &mut out, &mut refs);
+        assert!(out.is_empty());
+        let got: Vec<_> = refs.iter().map(|r| r.const_name.as_str()).collect();
+        assert_eq!(got, ["COUNTER_X", "GAUGE_Y", "UNDEFINED_Z"]);
+
+        let reg = lex("pub mod names { pub const COUNTER_X: &str = \"x.count\"; pub const GAUGE_Y: &str = \"y.gauge\"; }");
+        let map = const_map(&reg.tokens);
+        assert_eq!(map.get("COUNTER_X").map(String::as_str), Some("x.count"));
+
+        let mut findings = Vec::new();
+        resolve_const_refs(&refs, &map, &mut out, &mut findings);
+        let names: Vec<_> = out.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["x.count", "y.gauge"]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("UNDEFINED_Z"), "{}", findings[0].message);
+        assert_eq!(findings[0].line, 4);
     }
 
     #[test]
@@ -254,8 +429,39 @@ pub const OUTSIDE: &str = \"no\";
         doc.insert("orphan".to_string(), 4u32);
         let mut findings = Vec::new();
         cross_check(&code, &doc, "docs/observability.md", &mut findings);
-        assert_eq!(findings.len(), 2);
+        assert_eq!(findings.len(), 3);
         assert!(findings.iter().any(|f| f.message.contains("not.in.doc")));
         assert!(findings.iter().any(|f| f.message.contains("orphan")));
+        // The aggregate summary prints exact rows on both sides.
+        let summary = findings
+            .iter()
+            .find(|f| f.message.contains("registry drift"))
+            .expect("drift summary present");
+        assert_eq!(summary.line, 1);
+        assert!(
+            summary.message.contains("missing from docs/observability.md: not.in.doc"),
+            "{}",
+            summary.message
+        );
+        assert!(
+            summary.message.contains("not in code: orphan"),
+            "{}",
+            summary.message
+        );
+    }
+
+    #[test]
+    fn clean_cross_check_has_no_drift_summary() {
+        let code = vec![CodeName {
+            name: "in.doc".into(),
+            path: "a.rs".into(),
+            line: 1,
+            is_emission: true,
+        }];
+        let mut doc = BTreeMap::new();
+        doc.insert("in.doc".to_string(), 3u32);
+        let mut findings = Vec::new();
+        cross_check(&code, &doc, "docs/observability.md", &mut findings);
+        assert!(findings.is_empty(), "{findings:#?}");
     }
 }

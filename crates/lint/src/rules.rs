@@ -15,6 +15,8 @@ pub const RULE_IDS: &[&str] = &[
     "wall-clock",
     "hot-loop-alloc",
     "metric-registry",
+    "determinism-taint",
+    "taint-policy",
     "bad-suppression",
     "unused-suppression",
 ];

@@ -73,12 +73,15 @@ fn metric_registry_fixture() {
         paths: Vec::new(),
         registry_module: None,
         registry_doc: Some(PathBuf::from("registry.md")),
+        policy: None,
     };
     let report = run(&cfg).expect("registry fixture lint runs");
+    // One per-name finding at the call site plus the aggregate drift
+    // summary on the doc file.
     assert_eq!(
         report.findings.len(),
-        1,
-        "expected exactly one finding, got {:#?}",
+        2,
+        "expected per-name finding + drift summary, got {:#?}",
         report.findings
     );
     let f = &report.findings[0];
@@ -86,6 +89,15 @@ fn metric_registry_fixture() {
     assert_eq!(f.path, "emit.rs");
     assert_eq!(f.line, 6);
     assert!(f.message.contains("lint.fixture.undocumented"));
+    let s = &report.findings[1];
+    assert_eq!(s.path, "registry.md");
+    assert!(s.message.contains("registry drift"), "{}", s.message);
+    assert!(
+        s.message.contains("missing from registry.md: lint.fixture.undocumented"),
+        "{}",
+        s.message
+    );
+    assert!(s.message.contains("not in code: none"), "{}", s.message);
 }
 
 #[test]
@@ -95,6 +107,7 @@ fn clean_fixture_has_zero_findings() {
         paths: Vec::new(),
         registry_module: None,
         registry_doc: None,
+        policy: None,
     };
     let report = run(&cfg).expect("clean fixture lint runs");
     assert!(
@@ -112,6 +125,7 @@ fn violations_dir_walk_finds_every_rule_once() {
         paths: Vec::new(),
         registry_module: None,
         registry_doc: None,
+        policy: None,
     };
     let report = run(&cfg).expect("violations walk runs");
     let mut rules: Vec<_> = report.findings.iter().map(|f| f.rule).collect();
@@ -130,7 +144,7 @@ fn json_output_is_machine_readable() {
     );
     let report = run(&cfg).expect("fixture lint runs");
     let json = report.to_json();
-    assert!(json.starts_with("{\"schema\":\"dcc-lint/1\""));
+    assert!(json.starts_with("{\"schema\":\"dcc-lint/2\""));
     assert!(json.contains("\"rule\":\"float-eq\""));
     assert!(json.contains("\"line\":4"));
     assert!(json.contains("\"counts\":{\"float-eq\":1}"));

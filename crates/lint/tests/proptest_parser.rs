@@ -1,0 +1,198 @@
+//! Properties of the item-level parser against the lexer:
+//!
+//! 1. **Round-trip** — re-rendering a token stream (space-joined token
+//!    texts) and re-lexing yields the same token texts and the same
+//!    parsed fn skeleton; the parser depends only on the token stream,
+//!    not on whitespace or comments.
+//! 2. **Structure recovery** — generated programs with a known shape
+//!    (free fns, impl methods, nested modules) parse to exactly the
+//!    expected qualified names and calls.
+//! 3. **Adversarial payloads** — `fn`/`#[test]`/`mod tests` text hidden
+//!    inside raw strings, nested block comments, normal strings, and
+//!    line comments must never panic the parser, never produce phantom
+//!    fn items, and never shift test-region classification.
+//! 4. **Totality** — arbitrary character soup (including `r#`
+//!    fragments, stray quotes, unbalanced braces) never panics the
+//!    lexer→parser→taint pipeline.
+
+// Test code may panic freely; helpers outside `#[test]` fns miss
+// clippy.toml's in-tests exemption, so allow at file scope.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use dcc_lint::classify::test_regions;
+use dcc_lint::lexer::lex;
+use dcc_lint::parse::parse_file;
+use proptest::prelude::*;
+
+const FN_NAMES: [&str; 4] = ["alpha_f", "beta_g", "gamma_h", "delta_k"];
+const CALLEES: [&str; 4] = ["now_us", "fnv_fold", "helper", "save_checkpoint"];
+
+/// Characters safe inside every container (raw string, block comment,
+/// normal string, line comment): no quotes, no `/*`-formers, no `#`.
+const PAYLOAD_ALPHABET: [char; 46] = [
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+    's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9',
+    '_', ' ', ':', ';', '(', ')', '{', '}', ',', '=',
+];
+
+const IDENT_ALPHABET: [char; 28] = [
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+    's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '_', '0',
+];
+
+/// Full punctuation soup, including quote/comment/raw-string formers.
+const SOUP_ALPHABET: [char; 40] = [
+    'a', 'f', 'n', 'r', 'x', '0', '9', '_', ' ', '\t', '\n', ':', ';', '(', ')', '{', '}', '[',
+    ']', '<', '>', '#', '!', '"', '\'', '/', '*', '.', ',', '=', '&', '|', '-', '+', '%', '^',
+    '@', '?', '$', '~',
+];
+
+const RAW_BODY_ALPHABET: [char; 8] = ['a', 'b', ' ', '"', 'z', '0', '_', '.'];
+
+/// Builds a program from (fn index, callee index, as_method) triples and
+/// returns the expected (qual, callee) list. Duplicate names are fine —
+/// the parser records every item.
+fn build(entries: &[(usize, usize, bool)]) -> (String, Vec<(String, String)>) {
+    let mut src = String::new();
+    let mut expected = Vec::new();
+    for &(f, c, method) in entries {
+        let name = FN_NAMES[f % FN_NAMES.len()];
+        let callee = CALLEES[c % CALLEES.len()];
+        if method {
+            src.push_str(&format!(
+                "impl Widget {{ pub fn {name}(&self) {{ {callee}(); }} }}\n"
+            ));
+            expected.push((format!("Widget::{name}"), callee.to_string()));
+        } else {
+            src.push_str(&format!("pub fn {name}() {{ {callee}(); }}\n"));
+            expected.push((name.to_string(), callee.to_string()));
+        }
+    }
+    (src, expected)
+}
+
+proptest! {
+    #[test]
+    fn generated_programs_parse_to_expected_structure(
+        entries in proptest::collection::vec((0usize..4, 0usize..4, any::<bool>()), 0..10)
+    ) {
+        let (src, expected) = build(&entries);
+        let parsed = parse_file("crates/gen/src/lib.rs", &lex(&src).tokens);
+        let got: Vec<(String, String)> = parsed
+            .fns
+            .iter()
+            .map(|f| {
+                let callee = f.calls.first().map(|c| c.name.clone()).unwrap_or_default();
+                (f.qual.clone(), callee)
+            })
+            .collect();
+        prop_assert_eq!(got, expected, "source:\n{}", src);
+    }
+
+    #[test]
+    fn token_streams_round_trip_through_rendering(
+        entries in proptest::collection::vec((0usize..4, 0usize..4, any::<bool>()), 0..10)
+    ) {
+        let (src, _) = build(&entries);
+        let original = lex(&src).tokens;
+        // Re-render as space-joined token texts (drops comments and all
+        // layout) and re-lex: the token texts must survive unchanged…
+        let rendered: String = original
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let relexed = lex(&rendered).tokens;
+        let a: Vec<&str> = original.iter().map(|t| t.text.as_str()).collect();
+        let b: Vec<&str> = relexed.iter().map(|t| t.text.as_str()).collect();
+        prop_assert_eq!(a, b, "rendered:\n{}", rendered);
+        // …and so must the parsed fn skeleton.
+        let p1 = parse_file("crates/gen/src/lib.rs", &original);
+        let p2 = parse_file("crates/gen/src/lib.rs", &relexed);
+        let q1: Vec<&str> = p1.fns.iter().map(|f| f.qual.as_str()).collect();
+        let q2: Vec<&str> = p2.fns.iter().map(|f| f.qual.as_str()).collect();
+        prop_assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn hidden_payloads_produce_no_phantom_items(
+        payload_idx in proptest::collection::vec(0usize..PAYLOAD_ALPHABET.len(), 0..40),
+        container in 0usize..4
+    ) {
+        let payload: String = payload_idx.iter().map(|&i| PAYLOAD_ALPHABET[i]).collect();
+        // The payload claims to declare fns and test regions, but lives
+        // inside literal/comment containers the parser must not enter.
+        let nasty = format!("fn fake_item() {{ Instant::now(); }} #[test] mod tests {{ {payload} }}");
+        let embedded = match container {
+            0 => format!("let _s = r#\"{nasty}\"#;"),
+            1 => format!("/* outer /* {nasty} */ still comment */"),
+            2 => format!("let _s = \"{nasty}\";"),
+            _ => format!("// {nasty}"),
+        };
+        let src = format!(
+            "pub fn real_one() {{\n    {embedded}\n    work();\n}}\npub fn real_two() {{}}\n"
+        );
+        let lexed = lex(&src);
+        let parsed = parse_file("crates/gen/src/lib.rs", &lexed.tokens);
+        let names: Vec<&str> = parsed.fns.iter().map(|f| f.name.as_str()).collect();
+        prop_assert_eq!(names, vec!["real_one", "real_two"], "source:\n{}", src);
+        // No phantom calls out of the payload either.
+        prop_assert!(
+            parsed.fns[0].calls.iter().all(|c| c.name == "work"),
+            "calls: {:#?}\nsource:\n{}",
+            parsed.fns[0].calls,
+            src
+        );
+        // And the real fns are not classified as test code.
+        let regions = test_regions(&lexed.tokens);
+        for f in &parsed.fns {
+            prop_assert!(!regions.contains(f.line), "fn at {} misclassified", f.line);
+        }
+    }
+
+    #[test]
+    fn r_hash_idents_lex_as_idents_not_raw_strings(
+        name_idx in proptest::collection::vec(0usize..IDENT_ALPHABET.len(), 1..10)
+    ) {
+        let name: String = name_idx.iter().map(|&i| IDENT_ALPHABET[i]).collect();
+        // `r#match` is a raw identifier, not the start of `r#"…"`.
+        let src = format!("pub fn r#{name}() {{ r#{name}(); }}\n");
+        let parsed = parse_file("crates/gen/src/lib.rs", &lex(&src).tokens);
+        prop_assert_eq!(parsed.fns.len(), 1, "source:\n{}", src);
+        prop_assert!(parsed.fns[0].name.ends_with(name.as_str()));
+    }
+
+    #[test]
+    fn arbitrary_soup_never_panics(
+        soup_idx in proptest::collection::vec(0usize..SOUP_ALPHABET.len(), 0..200)
+    ) {
+        let src: String = soup_idx.iter().map(|&i| SOUP_ALPHABET[i]).collect();
+        // Totality: lexer, test-region classifier, parser, and the
+        // single-file taint pipeline must accept anything.
+        let lexed = lex(&src);
+        let regions = test_regions(&lexed.tokens);
+        let parsed = parse_file("crates/soup/src/lib.rs", &lexed.tokens);
+        let unit = dcc_lint::taint::Unit {
+            parsed: &parsed,
+            tokens: &lexed.tokens,
+            test_regions: &regions,
+        };
+        let mut policy = dcc_lint::policy::Policy::default();
+        let _ = dcc_lint::taint::analyze(std::slice::from_ref(&unit), &mut policy);
+    }
+
+    #[test]
+    fn raw_string_edges_never_panic(
+        hashes in 0usize..3,
+        body_idx in proptest::collection::vec(0usize..RAW_BODY_ALPHABET.len(), 0..20)
+    ) {
+        let body: String = body_idx.iter().map(|&i| RAW_BODY_ALPHABET[i]).collect();
+        let h = "#".repeat(hashes);
+        let src = format!("pub fn f() {{ let _s = r{h}\"{body}\"{h}; g(); }}\n");
+        let parsed = parse_file("crates/gen/src/lib.rs", &lex(&src).tokens);
+        // The fn must still be found; whether g() survives depends on
+        // quote/hash collisions in the body, which may legitimately
+        // extend the literal.
+        prop_assert!(!parsed.fns.is_empty());
+    }
+}

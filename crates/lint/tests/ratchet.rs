@@ -1,0 +1,64 @@
+//! Ratchet semantics over the committed `fixtures/ratchet/` workspace:
+//! two known taint findings checked against three baseline variants.
+//! `baseline-ok` covers both (clean), `baseline-short` misses one (a
+//! fresh finding trips the ratchet), `baseline-stale` carries a ghost
+//! entry (a stale entry trips the ratchet even with full coverage).
+//! CI runs the same three cases through the CLI as its trip-proof.
+
+// Test helpers outside `#[test]` fns miss clippy.toml's in-tests exemption.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use dcc_lint::baseline::Baseline;
+use dcc_lint::{run, Config, Finding};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/ratchet")
+}
+
+fn fixture_findings() -> Vec<Finding> {
+    let report = run(&Config::workspace(fixture_root())).expect("ratchet fixture lints");
+    let got: Vec<(&str, u32)> = report.findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        got,
+        [("determinism-taint", 13), ("determinism-taint", 23)],
+        "fixture must produce exactly its two seeded findings: {:#?}",
+        report.findings
+    );
+    report.findings
+}
+
+fn baseline(name: &str) -> Baseline {
+    let src =
+        std::fs::read_to_string(fixture_root().join(name)).expect("baseline variant reads");
+    Baseline::parse(name, &src).expect("baseline variant parses")
+}
+
+#[test]
+fn full_baseline_is_clean() {
+    let out = baseline("baseline-ok").apply(fixture_findings());
+    assert!(out.clean(), "fresh={:#?} stale={:#?}", out.fresh, out.stale);
+    assert_eq!(out.suppressed.len(), 2);
+    // Justifications ride along for SARIF suppression records.
+    assert!(out.suppressed[0].1.contains("legacy digest stamp"));
+}
+
+#[test]
+fn missing_entry_trips_on_the_fresh_finding() {
+    let out = baseline("baseline-short").apply(fixture_findings());
+    assert!(!out.clean());
+    assert_eq!(out.fresh.len(), 1, "{:#?}", out.fresh);
+    assert_eq!(out.fresh[0].line, 23);
+    assert_eq!(out.suppressed.len(), 1);
+    assert!(out.stale.is_empty());
+}
+
+#[test]
+fn ghost_entry_trips_as_stale() {
+    let out = baseline("baseline-stale").apply(fixture_findings());
+    assert!(!out.clean());
+    assert!(out.fresh.is_empty(), "{:#?}", out.fresh);
+    assert_eq!(out.suppressed.len(), 2);
+    assert_eq!(out.stale.len(), 1);
+    assert_eq!(out.stale[0].line, 99);
+}
