@@ -7,7 +7,7 @@
 //! the Rust form is what the experiments build directly.
 
 use crate::BatchError;
-use dcc_core::{DesignConfig, SimulationConfig, StrategyKind};
+use dcc_core::{CollusionProofParams, DesignConfig, SimulationConfig, StrategyKind};
 use dcc_detect::PipelineConfig;
 use dcc_engine::TraceSource;
 use dcc_faults::Json;
@@ -230,36 +230,79 @@ impl ScenarioGrid {
 }
 
 /// Round-trippable CLI/metrics label for a strategy: `dynamic`,
-/// `exclude`, or `fixed:<amount>` (matching [`parse_strategy`]).
+/// `exclude`, `fixed:<amount>`, or
+/// `collusion-proof[:<base>:<slope>:<tolerance>]` (matching
+/// [`parse_strategy`]; the bare form carries the default parameters).
 pub fn strategy_label(strategy: StrategyKind) -> String {
     match strategy {
         StrategyKind::DynamicContract => "dynamic".to_string(),
         StrategyKind::ExcludeMalicious => "exclude".to_string(),
         StrategyKind::FixedPayment { amount } => format!("fixed:{amount}"),
+        StrategyKind::CollusionProof { params } => {
+            if params == CollusionProofParams::default() {
+                "collusion-proof".to_string()
+            } else {
+                format!(
+                    "collusion-proof:{}:{}:{}",
+                    params.base, params.slope, params.tolerance
+                )
+            }
+        }
     }
 }
 
-/// Parses a strategy label (`dynamic`, `exclude`, `fixed:<amount>`).
+/// Parses a strategy label (`dynamic`, `exclude`, `fixed:<amount>`,
+/// `collusion-proof[:<base>:<slope>:<tolerance>]`).
 ///
 /// # Errors
 ///
-/// Returns [`BatchError::Spec`] for an unknown label or a `fixed:`
-/// amount that is not a nonnegative finite number.
+/// Returns [`BatchError::Spec`] for an unknown label, a `fixed:` amount
+/// that is not a nonnegative finite number, or collusion-proof
+/// parameters outside their domain.
 pub fn parse_strategy(label: &str) -> Result<StrategyKind, BatchError> {
     match label {
         "dynamic" => Ok(StrategyKind::DynamicContract),
         "exclude" => Ok(StrategyKind::ExcludeMalicious),
-        other => match other.strip_prefix("fixed:") {
-            Some(amount) => match amount.parse::<f64>() {
-                Ok(a) if a.is_finite() && a >= 0.0 => Ok(StrategyKind::FixedPayment { amount: a }),
-                _ => Err(spec(format!(
-                    "strategy \"fixed:<amount>\" needs a nonnegative finite amount, got \"{amount}\""
+        "collusion-proof" => Ok(StrategyKind::CollusionProof {
+            params: CollusionProofParams::default(),
+        }),
+        other => {
+            if let Some(rest) = other.strip_prefix("collusion-proof:") {
+                let parts: Vec<&str> = rest.split(':').collect();
+                let parsed: Option<Vec<f64>> =
+                    parts.iter().map(|p| p.parse::<f64>().ok()).collect();
+                return match parsed.as_deref() {
+                    Some([base, slope, tolerance]) if parts.len() == 3 => {
+                        let params = CollusionProofParams {
+                            base: *base,
+                            slope: *slope,
+                            tolerance: *tolerance,
+                        };
+                        params.validate().map_err(|e| spec(e.to_string()))?;
+                        Ok(StrategyKind::CollusionProof { params })
+                    }
+                    _ => Err(spec(format!(
+                        "strategy \"collusion-proof:<base>:<slope>:<tolerance>\" needs three \
+                         numbers, got \"{rest}\""
+                    ))),
+                };
+            }
+            match other.strip_prefix("fixed:") {
+                Some(amount) => match amount.parse::<f64>() {
+                    Ok(a) if a.is_finite() && a >= 0.0 => {
+                        Ok(StrategyKind::FixedPayment { amount: a })
+                    }
+                    _ => Err(spec(format!(
+                        "strategy \"fixed:<amount>\" needs a nonnegative finite amount, \
+                         got \"{amount}\""
+                    ))),
+                },
+                None => Err(spec(format!(
+                    "strategy must be \"dynamic\", \"exclude\", \"fixed:<amount>\", or \
+                     \"collusion-proof[:<base>:<slope>:<tolerance>]\", got \"{other}\""
                 ))),
-            },
-            None => Err(spec(format!(
-                "strategy must be \"dynamic\", \"exclude\", or \"fixed:<amount>\", got \"{other}\""
-            ))),
-        },
+            }
+        }
     }
 }
 

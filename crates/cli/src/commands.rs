@@ -4,7 +4,9 @@
 use crate::args::ParsedArgs;
 use crate::error::CliError;
 use dcc_batch::{BatchError, BatchOptions, BatchRunner, ScenarioGrid};
-use dcc_core::{DesignConfig, FailurePolicy, ModelParams, SimulationConfig, StrategyKind};
+use dcc_core::{
+    CollusionProofParams, DesignConfig, FailurePolicy, ModelParams, SimulationConfig, StrategyKind,
+};
 use dcc_detect::{run_pipeline, PipelineConfig, SuspectSource};
 use dcc_engine::{
     Engine, EngineConfig, EngineSimOutcome, PoolSize, RoundContext, SimOptions, StageKind,
@@ -16,8 +18,9 @@ use dcc_label::{LabelMarket, MarketConfig};
 use dcc_obs::{JsonRecorder, Metrics};
 use dcc_serve::{events_from_trace, ServeEvent, ServeService};
 use dcc_trace::{
-    read_trace_columnar, read_trace_csv, write_trace_columnar, write_trace_csv, ColumnarTrace,
-    TraceDataset, TraceSummary, WorkerClass, COLUMNAR_VERSION,
+    read_trace_columnar, read_trace_csv, write_trace_columnar, write_trace_csv, AdversarialConfig,
+    AdversaryPlan, AdversaryPlanConfig, ColumnarTrace, TraceDataset, TraceSummary, WorkerClass,
+    COLUMNAR_VERSION,
 };
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -201,6 +204,9 @@ fn engine_context(args: &ParsedArgs) -> Result<(RoundContext, Option<MetricsSink
         "fixed" => StrategyKind::FixedPayment {
             amount: args.num_flag("amount", 1.0)?,
         },
+        "collusion-proof" => StrategyKind::CollusionProof {
+            params: CollusionProofParams::default(),
+        },
         other => {
             return Err(CliError::Usage(format!(
                 "flag --strategy: unknown strategy {other:?}"
@@ -343,7 +349,7 @@ pub fn cmd_design(args: &ParsedArgs) -> CliResult {
     Ok(out)
 }
 
-/// `dcc simulate TRACE_DIR [--rounds N] [--strategy dynamic|exclude|fixed]
+/// `dcc simulate TRACE_DIR [--rounds N] [--strategy dynamic|exclude|fixed|collusion-proof]
 ///  [--amount F] [--noise F] [--mu F] [--fault-plan FILE]
 ///  [--checkpoint FILE [--kill-at N | --resume]]
 ///  [--policy abort|fallback|skip [--fallback-amount F]]`
@@ -515,6 +521,120 @@ pub fn cmd_faults(args: &ParsedArgs) -> CliResult {
         _ => Err(CliError::Usage(
             "usage: dcc faults gen [FLAGS] | dcc faults show PLAN_FILE".into(),
         )),
+    }
+}
+
+/// `dcc adversary gen [--seed N --campaigns N --rounds N --split-prob F
+///  --merge-prob F --sybil-prob F --max-sybils N --underreport-prob F
+///  --min-factor F --out FILE]` — sample a deterministic adversary plan;
+/// `dcc adversary show FILE` — summarize one; `dcc adversary apply
+///  --plan FILE [--seed N --scale small|paper --out DIR]` — generate the
+/// base trace and write the attacked variant as a CSV trace directory.
+pub fn cmd_adversary(args: &ParsedArgs) -> CliResult {
+    const USAGE: &str =
+        "usage: dcc adversary gen [FLAGS] | dcc adversary show PLAN_FILE | \
+         dcc adversary apply --plan PLAN_FILE [--seed N --scale small|paper --out DIR]";
+    match args.positional.first().map(String::as_str) {
+        Some("gen") => {
+            let config = AdversaryPlanConfig {
+                seed: args.num_flag("seed", 42)?,
+                n_campaigns: args.num_flag("campaigns", 8)?,
+                n_rounds: args.num_flag("rounds", 8)?,
+                split_prob: args.num_flag("split-prob", 0.25)?,
+                merge_prob: args.num_flag("merge-prob", 0.25)?,
+                sybil_prob: args.num_flag("sybil-prob", 0.25)?,
+                max_sybils: args.num_flag("max-sybils", 4)?,
+                underreport_prob: args.num_flag("underreport-prob", 0.25)?,
+                min_factor: args.num_flag("min-factor", 0.2)?,
+            };
+            let plan = config
+                .generate()
+                .map_err(|e| CliError::Failed(format!("cannot sample adversary plan: {e}")))?;
+            let out = args.str_flag("out", "adversary_plan.json");
+            plan.save(Path::new(&out))
+                .map_err(|e| CliError::Failed(format!("cannot write plan {out}: {e}")))?;
+            Ok(format!(
+                "wrote adversary plan to {out}: {} events ({} sybil influxes, {} splits, {} merges, {} under-report windows)",
+                plan.len(),
+                plan.sybils.len(),
+                plan.splits.len(),
+                plan.merges.len(),
+                plan.underreports.len()
+            ))
+        }
+        Some("show") => {
+            let file = args
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage("usage: dcc adversary show PLAN_FILE".into()))?;
+            let plan = AdversaryPlan::load(Path::new(file))
+                .map_err(|e| CliError::Failed(format!("cannot read plan {file}: {e}")))?;
+            let mut out = format!(
+                "adversary plan {file}: {} events (seed {})\n  sybil influxes: {}\n  community splits: {}\n  community merges: {}\n  under-report windows: {}\n",
+                plan.len(),
+                plan.seed,
+                plan.sybils.len(),
+                plan.splits.len(),
+                plan.merges.len(),
+                plan.underreports.len()
+            );
+            for s in plan.sybils.iter().take(10) {
+                writeln!(
+                    out,
+                    "  {} sybils join campaign {} at round {}",
+                    s.count, s.campaign, s.round
+                )
+                .ok();
+            }
+            for s in plan.splits.iter().take(10) {
+                writeln!(out, "  campaign {} splits at round {}", s.campaign, s.round).ok();
+            }
+            for m in plan.merges.iter().take(10) {
+                writeln!(
+                    out,
+                    "  campaigns {} and {} merge at round {}",
+                    m.first, m.second, m.round
+                )
+                .ok();
+            }
+            for u in plan.underreports.iter().take(10) {
+                writeln!(
+                    out,
+                    "  campaign {} damps feedback by {:.2} from round {}",
+                    u.campaign, u.factor, u.from_round
+                )
+                .ok();
+            }
+            Ok(out)
+        }
+        Some("apply") => {
+            let file = args
+                .flags
+                .get("plan")
+                .cloned()
+                .ok_or_else(|| CliError::Usage(USAGE.into()))?;
+            let plan = AdversaryPlan::load(Path::new(&file))
+                .map_err(|e| CliError::Failed(format!("cannot read plan {file}: {e}")))?;
+            let seed: u64 = args.num_flag("seed", 42)?;
+            let scale = ExperimentScale::parse(&args.str_flag("scale", "small"))
+                .ok_or_else(|| "flag --scale: expected small|paper".to_string())?;
+            let out = args.str_flag("out", "adversarial_trace_out");
+            let base = scale.trace_config(seed);
+            let events = plan.len();
+            let trace = AdversarialConfig { base, plan }
+                .generate()
+                .map_err(|e| CliError::Failed(format!("cannot apply plan {file}: {e}")))?;
+            write_trace_csv(&trace, Path::new(&out))
+                .map_err(|e| CliError::Failed(format!("cannot write trace {out}: {e}")))?;
+            Ok(format!(
+                "applied {events} adversarial events; wrote {} reviews / {} reviewers / {} products ({} campaigns) to {out}/",
+                trace.reviews().len(),
+                trace.reviewers().len(),
+                trace.products().len(),
+                trace.campaigns().len()
+            ))
+        }
+        _ => Err(CliError::Usage(USAGE.into())),
     }
 }
 
@@ -999,6 +1119,10 @@ pub fn cmd_experiment(args: &ParsedArgs) -> CliResult {
             .table()
             .to_string(),
         "risk" => dcc_experiments::risk_ext::run(&dcc_experiments::risk_ext::DEFAULT_EXPONENTS)
+            .map_err(err)?
+            .table()
+            .to_string(),
+        "adversarial" => dcc_experiments::adversarial::run(scale, seed)
             .map_err(err)?
             .table()
             .to_string(),
@@ -1528,7 +1652,7 @@ COMMANDS:
   detect     TRACE_DIR [--estimated --threshold F]     detection + clustering report
   design     TRACE_DIR [--mu F --omega F --intervals N --serial --pool N]
                                                        design all contracts
-  simulate   TRACE_DIR [--strategy dynamic|exclude|fixed --rounds N --noise F]
+  simulate   TRACE_DIR [--strategy dynamic|exclude|fixed|collusion-proof --rounds N --noise F]
              [--fault-plan FILE] [--checkpoint FILE [--kill-at N | --resume]]
              [--policy abort|fallback|skip [--fallback-amount F]]
                                                        run the repeated game
@@ -1538,6 +1662,14 @@ COMMANDS:
   faults     gen [--agents N --rounds N --seed N --dropout F --missing F
              --corrupt F --nan F --delay F --out FILE] | show FILE
                                                        deterministic fault plans
+  adversary  gen [--seed N --campaigns N --rounds N --split-prob F
+             --merge-prob F --sybil-prob F --max-sybils N
+             --underreport-prob F --min-factor F --out FILE] | show FILE |
+             apply --plan FILE [--seed N --scale small|paper --out DIR]
+                                                       deterministic adversary
+                                                       plans (sybils, community
+                                                       splits/merges,
+                                                       under-reporting)
   trace      convert SRC DEST | info FILE              CSV dir <-> dcc-trace-col/1
                                                        columnar file; every TRACE
                                                        below accepts either form
@@ -1559,7 +1691,7 @@ COMMANDS:
   check      [--r2 F --r1 F --r0 F --mu F --omega F --weight F --intervals N]
                                                        verify the theory at runtime
   experiment fig6|fig7|fig8a|fig8b|fig8c|table2|table3|adaptive|sensitivity|
-             detection|collusion|all [--scale small|paper --seed N]
+             detection|collusion|adversarial|all [--scale small|paper --seed N]
                                                        regenerate paper artifacts
   label      [--workers N --items N --mu F]            classification extension
   lint       [PATHS...] [--root DIR --json] [--sarif FILE] [--policy FILE]
@@ -1582,6 +1714,7 @@ pub fn dispatch(args: &ParsedArgs) -> CliResult {
         Some("simulate") => cmd_simulate(args),
         Some("run") => cmd_run(args),
         Some("faults") => cmd_faults(args),
+        Some("adversary") => cmd_adversary(args),
         Some("trace") => cmd_trace(args),
         Some("metrics") => cmd_metrics(args),
         Some("batch") => cmd_batch(args),
@@ -1838,6 +1971,34 @@ mod tests {
         assert!(shown.contains("events"));
         assert!(dispatch(&parse("faults show /nonexistent/plan.json")).is_err());
         assert!(dispatch(&parse("faults bogus")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn adversary_gen_show_apply_round_trip() {
+        let dir = temp_dir("advplan");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = format!("{dir}/adversary.json");
+        let out = dispatch(&parse(&format!(
+            "adversary gen --campaigns 3 --rounds 6 --sybil-prob 1.0 --split-prob 0.5 --seed 11 --out {plan}"
+        )))
+        .unwrap();
+        assert!(out.contains("wrote adversary plan"));
+        let shown = dispatch(&parse(&format!("adversary show {plan}"))).unwrap();
+        assert!(shown.contains("sybil influxes"));
+
+        let trace_dir = format!("{dir}/trace");
+        let applied = dispatch(&parse(&format!(
+            "adversary apply --plan {plan} --seed 11 --scale small --out {trace_dir}"
+        )))
+        .unwrap();
+        assert!(applied.contains("adversarial events"));
+        let summary = dispatch(&parse(&format!("summary {trace_dir}"))).unwrap();
+        assert!(summary.contains("honest"));
+
+        assert!(dispatch(&parse("adversary show /nonexistent/plan.json")).is_err());
+        assert!(dispatch(&parse("adversary apply")).is_err());
+        assert!(dispatch(&parse("adversary bogus")).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,9 +1,11 @@
+use crate::proofness::{coalition_payment, CollusionProofParams};
 use crate::{AgentSpec, Contract, ContractDesign, CoreError};
 use dcc_numerics::Quadratic;
-use dcc_trace::ReviewerId;
+use dcc_trace::{ReviewerId, TraceDataset};
 use std::collections::BTreeSet;
 
-/// The pricing strategies compared in Fig. 8(c).
+/// The pricing strategies compared in Fig. 8(c), plus the
+/// collusion-proof baseline from the adversarial head-to-head.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StrategyKind {
     /// The paper's dynamic contract (§IV): every worker gets its designed
@@ -18,6 +20,13 @@ pub enum StrategyKind {
     FixedPayment {
         /// The constant per-round payment.
         amount: f64,
+    },
+    /// The misreport/collusion-proof baseline (Li–Wang–Cheng–Hu): each
+    /// worker is paid on its star bias against the expert consensus and
+    /// never on its (gameable) feedback — see [`crate::proofness`].
+    CollusionProof {
+        /// Payment-rule parameters.
+        params: CollusionProofParams,
     },
 }
 
@@ -51,17 +60,22 @@ impl BaselineStrategy {
     /// `true_psis` supplies each agent's *actual* behavioural response
     /// (the designed ψ may differ from reality when detection erred):
     /// `(honest, ncm, community)`. `suspected` lists the workers the
-    /// strategy considers malicious.
+    /// strategy considers malicious, and `trace` is the review history
+    /// the bias-based [`StrategyKind::CollusionProof`] payments are
+    /// measured on.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidContract`] for a negative fixed
-    /// payment, and propagates contract-construction failures.
+    /// payment, [`CoreError::InvalidParams`] for invalid
+    /// collusion-proof parameters, and propagates contract-construction
+    /// failures.
     pub fn assemble(
         &self,
         design: &ContractDesign,
         omega: f64,
         suspected: &BTreeSet<ReviewerId>,
+        trace: &TraceDataset,
     ) -> Result<Vec<AgentSpec>, CoreError> {
         let mut agents = Vec::with_capacity(design.solution.solutions.len());
         for sol in &design.solution.solutions {
@@ -86,6 +100,16 @@ impl BaselineStrategy {
                 StrategyKind::FixedPayment { amount } => {
                     let knots = sol.built.contract().feedback_knots();
                     let (lo, hi) = (knots[0], knots[knots.len() - 1]);
+                    (Contract::fixed(lo, hi, amount)?, true)
+                }
+                StrategyKind::CollusionProof { params } => {
+                    params.validate()?;
+                    let knots = sol.built.contract().feedback_knots();
+                    let (lo, hi) = (knots[0], knots[knots.len() - 1]);
+                    // Bias-based, feedback-independent pay: within a
+                    // round the contract is flat, so no amount of
+                    // coalition upvoting moves it.
+                    let amount = coalition_payment(trace, &params, &members);
                     (Contract::fixed(lo, hi, amount)?, true)
                 }
             };
@@ -114,23 +138,28 @@ mod tests {
     use dcc_detect::{run_pipeline, PipelineConfig};
     use dcc_trace::SyntheticConfig;
 
-    fn setup() -> (ContractDesign, BTreeSet<ReviewerId>, ModelParams) {
+    fn setup() -> (
+        ContractDesign,
+        BTreeSet<ReviewerId>,
+        ModelParams,
+        dcc_trace::TraceDataset,
+    ) {
         let trace = SyntheticConfig::small(201).generate();
         let detection = run_pipeline(&trace, PipelineConfig::default());
         let config = DesignConfig::default();
         let design = design_contracts(&trace, &detection, &config).unwrap();
         let suspected: BTreeSet<ReviewerId> = detection.suspected.iter().copied().collect();
-        (design, suspected, config.params)
+        (design, suspected, config.params, trace)
     }
 
     #[test]
     fn exclusion_drops_exactly_the_suspects() {
-        let (design, suspected, params) = setup();
+        let (design, suspected, params, trace) = setup();
         let ours = BaselineStrategy::new(StrategyKind::DynamicContract)
-            .assemble(&design, params.omega, &suspected)
+            .assemble(&design, params.omega, &suspected, &trace)
             .unwrap();
         let excl = BaselineStrategy::new(StrategyKind::ExcludeMalicious)
-            .assemble(&design, params.omega, &suspected)
+            .assemble(&design, params.omega, &suspected, &trace)
             .unwrap();
         assert_eq!(ours.len(), excl.len());
         let ours_in = ours.iter().filter(|a| a.in_system).count();
@@ -148,19 +177,19 @@ mod tests {
     #[test]
     fn dynamic_contract_beats_exclusion_in_simulation() {
         // The headline Fig. 8(c) claim.
-        let (design, suspected, params) = setup();
+        let (design, suspected, params, trace) = setup();
         let sim = Simulation::new(params, SimulationConfig::default());
         let ours = sim
             .run(
                 &BaselineStrategy::new(StrategyKind::DynamicContract)
-                    .assemble(&design, params.omega, &suspected)
+                    .assemble(&design, params.omega, &suspected, &trace)
                     .unwrap(),
             )
             .unwrap();
         let excl = sim
             .run(
                 &BaselineStrategy::new(StrategyKind::ExcludeMalicious)
-                    .assemble(&design, params.omega, &suspected)
+                    .assemble(&design, params.omega, &suspected, &trace)
                     .unwrap(),
             )
             .unwrap();
@@ -174,9 +203,9 @@ mod tests {
 
     #[test]
     fn fixed_payment_buys_no_honest_effort() {
-        let (design, suspected, params) = setup();
+        let (design, suspected, params, trace) = setup();
         let fixed = BaselineStrategy::new(StrategyKind::FixedPayment { amount: 1.0 })
-            .assemble(&design, params.omega, &suspected)
+            .assemble(&design, params.omega, &suspected, &trace)
             .unwrap();
         let sim = Simulation::new(params, SimulationConfig::default());
         let outcome = sim.run(&fixed).unwrap();
@@ -189,9 +218,37 @@ mod tests {
 
     #[test]
     fn negative_fixed_payment_rejected() {
-        let (design, suspected, params) = setup();
+        let (design, suspected, params, trace) = setup();
         assert!(BaselineStrategy::new(StrategyKind::FixedPayment { amount: -1.0 })
-            .assemble(&design, params.omega, &suspected)
+            .assemble(&design, params.omega, &suspected, &trace)
+            .is_err());
+    }
+
+    #[test]
+    fn collusion_proof_contracts_are_flat_and_bias_priced() {
+        let (design, suspected, params, trace) = setup();
+        let cp_params = CollusionProofParams::default();
+        let agents = BaselineStrategy::new(StrategyKind::CollusionProof { params: cp_params })
+            .assemble(&design, params.omega, &suspected, &trace)
+            .unwrap();
+        assert!(agents.iter().all(|a| a.in_system));
+        for (agent, sol) in agents.iter().zip(&design.solution.solutions) {
+            let knots = agent.contract.feedback_knots();
+            let low = agent.contract.compensation(knots[0]);
+            let high = agent.contract.compensation(knots[knots.len() - 1]);
+            assert_eq!(low, high, "payment must not read feedback");
+            let members: Vec<ReviewerId> =
+                sol.members.iter().map(|&m| ReviewerId(m)).collect();
+            assert_eq!(
+                low,
+                crate::proofness::coalition_payment(&trace, &cp_params, &members)
+            );
+            assert!(low <= members.len() as f64 * cp_params.max_pay());
+        }
+        // Invalid parameters are rejected.
+        let bad = CollusionProofParams { tolerance: -1.0, ..cp_params };
+        assert!(BaselineStrategy::new(StrategyKind::CollusionProof { params: bad })
+            .assemble(&design, params.omega, &suspected, &trace)
             .is_err());
     }
 }

@@ -130,6 +130,15 @@ impl From<NumericsError> for CoreError {
     }
 }
 
+impl From<dcc_numerics::JsonError> for CoreError {
+    fn from(e: dcc_numerics::JsonError) -> Self {
+        // Matches the message the parser produced when it still returned
+        // `CoreError` directly, so error-text comparisons (the serve
+        // differential's err/err branch) see identical strings.
+        CoreError::InvalidInput(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,6 +66,7 @@ mod effort;
 mod error;
 mod optimal;
 mod params;
+pub mod proofness;
 mod replay;
 mod response;
 mod risk;
@@ -100,6 +101,10 @@ pub use effort::{
 pub use error::{CoreError, IoSource};
 pub use optimal::{exhaustive_best_utility, first_best_utility, incentive_cost};
 pub use params::{Discretization, ModelParams};
+pub use proofness::{
+    best_effort, coalition_payment, coalition_utility, compliant_utility, member_utility,
+    worker_bias, CoalitionMember, CollusionProofParams, Deviation,
+};
 pub use replay::{replay_trace, ReplayOutcome};
 pub use response::{best_response, BestResponse};
 pub use risk::{best_response_risk_averse, risk_effort_drop, RiskProfile};

@@ -1,0 +1,400 @@
+//! A misreport/collusion-proof payment baseline and the utility model
+//! behind the metamorphic proofness harness.
+//!
+//! The paper's BiP contract pays `c(q(f))` on *reported* feedback, so a
+//! coalition that inflates its feedback (intra-community upvoting,
+//! Fig. 7) raises its own pay whenever the detector misses it. Following
+//! the misreport-proof crowdsourcing mechanism of Li–Wang–Cheng–Hu
+//! (arXiv:2003.11814), [`CollusionProofParams`] instead pays on a
+//! worker's **star bias against the expert consensus** — a signal no
+//! non-expert coalition can move in its favour:
+//!
+//! ```text
+//! pay(b) = base + slope · (tolerance − clamp(b, 0, tolerance))
+//! ```
+//!
+//! The rule is maximal at zero measured bias and monotone non-increasing
+//! in the bias, and it ignores upvotes entirely. Three consequences,
+//! exercised exactly by `tests/proofness.rs`:
+//!
+//! 1. **Upvote boosting buys nothing** — payment does not read feedback.
+//! 2. **Star inflation never helps** — any upward shift of reported
+//!    stars weakly increases measured bias and thus weakly decreases
+//!    pay; downward shifts below the truth are clamped at the compliant
+//!    maximum.
+//! 3. **Effort deviations never help** — the productive part of a
+//!    worker's utility, `ω·ψ(e) − cost(e)`, is maximized by the
+//!    compliant best response [`best_effort`] independent of reporting.
+//!
+//! Together: no joint deviation of a coalition can exceed its compliant
+//! utility — the coalition-proofness property, stated per member and
+//! summed by [`coalition_utility`].
+
+use crate::CoreError;
+use dcc_numerics::Quadratic;
+use dcc_trace::{ReviewerId, TraceDataset};
+
+/// Parameters of the collusion-proof payment rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollusionProofParams {
+    /// Pay floor reached at (or beyond) `tolerance` bias.
+    pub base: f64,
+    /// Marginal pay per unit of bias headroom.
+    pub slope: f64,
+    /// Bias level at which pay bottoms out (must be positive).
+    pub tolerance: f64,
+}
+
+impl Default for CollusionProofParams {
+    fn default() -> Self {
+        CollusionProofParams {
+            base: 0.5,
+            slope: 1.0,
+            tolerance: 1.0,
+        }
+    }
+}
+
+impl CollusionProofParams {
+    /// Validates the parameter domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] for non-finite values,
+    /// negative `base` or `slope`, or non-positive `tolerance`.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.base.is_finite() && self.slope.is_finite() && self.tolerance.is_finite()) {
+            return Err(CoreError::InvalidParams(
+                "collusion-proof parameters must be finite".into(),
+            ));
+        }
+        if self.base < 0.0 || self.slope < 0.0 {
+            return Err(CoreError::InvalidParams(
+                "collusion-proof base and slope must be nonnegative".into(),
+            ));
+        }
+        if self.tolerance <= 0.0 {
+            return Err(CoreError::InvalidParams(
+                "collusion-proof tolerance must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The payment for a measured star bias `b` (any real; negative and
+    /// over-tolerance biases are clamped into `[0, tolerance]`).
+    pub fn pay(&self, bias: f64) -> f64 {
+        self.base + self.slope * (self.tolerance - bias.clamp(0.0, self.tolerance))
+    }
+
+    /// The compliant (zero-bias) payment — the rule's maximum.
+    pub fn max_pay(&self) -> f64 {
+        self.pay(0.0)
+    }
+}
+
+/// A worker's measured star bias: the mean signed residual of its star
+/// ratings against the expert consensus, over the reviews where a
+/// consensus exists. Workers with no expert-covered review measure as
+/// unbiased (`0.0`).
+pub fn worker_bias(trace: &TraceDataset, worker: ReviewerId) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for review in trace.reviews_by(worker) {
+        if let Some(consensus) = trace.expert_consensus(review.product) {
+            sum += review.stars - consensus;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Total per-round payment of a worker set under the collusion-proof
+/// rule: the sum of each member's bias-clamped payment.
+pub fn coalition_payment(
+    trace: &TraceDataset,
+    params: &CollusionProofParams,
+    members: &[ReviewerId],
+) -> f64 {
+    members
+        .iter()
+        .map(|&m| params.pay(worker_bias(trace, m)))
+        .sum()
+}
+
+/// One coalition member in the expectation-level utility model: a
+/// malicious-benefit coefficient ω, a true effort→feedback response ψ,
+/// and a linear effort cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoalitionMember {
+    /// Per-unit-feedback external benefit (ω in Eq. 3).
+    pub omega: f64,
+    /// True concave effort→feedback response.
+    pub psi: Quadratic,
+    /// Marginal cost of effort (nonnegative).
+    pub marginal_cost: f64,
+}
+
+impl CoalitionMember {
+    /// Validates the model's assumptions: finite fields, `ω ≥ 0`,
+    /// concave ψ, nonnegative marginal cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] when any assumption fails.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.omega.is_finite()
+            && self.marginal_cost.is_finite()
+            && self.psi.eval(0.0).is_finite()
+            && self.psi.eval(1.0).is_finite())
+        {
+            return Err(CoreError::InvalidParams(
+                "coalition member fields must be finite".into(),
+            ));
+        }
+        if self.omega < 0.0 {
+            return Err(CoreError::InvalidParams("omega must be nonnegative".into()));
+        }
+        if !self.psi.is_concave() {
+            return Err(CoreError::InvalidParams(
+                "psi must be concave (r2 < 0)".into(),
+            ));
+        }
+        if self.marginal_cost < 0.0 {
+            return Err(CoreError::InvalidParams(
+                "marginal cost must be nonnegative".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The productive part of the member's per-round utility at effort
+    /// `e`: external benefit minus effort cost, `ω·ψ(e) − c·e`.
+    pub fn productive_utility(&self, effort: f64) -> f64 {
+        self.omega * self.psi.eval(effort) - self.marginal_cost * effort
+    }
+}
+
+/// The compliant best response: `argmax over e ≥ 0` of
+/// [`CoalitionMember::productive_utility`]. Closed form from the
+/// concave quadratic: the stationary point `(c − ω·r₁) / (2·ω·r₂)`,
+/// clamped to zero (workers with `ω = 0` or a cost above the marginal
+/// benefit at zero effort sit out).
+pub fn best_effort(member: &CoalitionMember) -> f64 {
+    let denom = 2.0 * member.omega * member.psi.r2();
+    if denom >= 0.0 {
+        // ω = 0 (ψ concave ⇒ denom < 0 otherwise): no benefit, no effort.
+        return 0.0;
+    }
+    ((member.marginal_cost - member.omega * member.psi.r1()) / denom).max(0.0)
+}
+
+/// A joint deviation of one member: shift the reported stars, boost the
+/// reported upvotes, and play an arbitrary nonnegative effort.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deviation {
+    /// Signed shift applied to the member's star reports (measured
+    /// bias; the payment clamps it to `[0, tolerance]`).
+    pub star_shift: f64,
+    /// Upvote inflation bought from the coalition. The collusion-proof
+    /// payment never reads feedback, so this channel is inert — the
+    /// field exists so the harness can prove exactly that.
+    pub upvote_boost: f64,
+    /// The effort actually exerted (must be nonnegative).
+    pub effort: f64,
+}
+
+impl Deviation {
+    /// The compliant play: truthful reports and the best-response effort.
+    pub fn compliant(member: &CoalitionMember) -> Deviation {
+        Deviation {
+            star_shift: 0.0,
+            upvote_boost: 0.0,
+            effort: best_effort(member),
+        }
+    }
+}
+
+/// One member's expected per-round utility under the collusion-proof
+/// rule when playing `deviation`:
+/// `pay(star_shift) + ω·ψ(e) − c·e`. The upvote boost does not appear —
+/// that absence is the mechanism.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParams`] when the parameters or member
+/// violate the model assumptions, and [`CoreError::InvalidInput`] for a
+/// negative or non-finite effort or non-finite report deviations.
+pub fn member_utility(
+    params: &CollusionProofParams,
+    member: &CoalitionMember,
+    deviation: &Deviation,
+) -> Result<f64, CoreError> {
+    params.validate()?;
+    member.validate()?;
+    if !(deviation.effort.is_finite() && deviation.effort >= 0.0) {
+        return Err(CoreError::InvalidInput(
+            "deviation effort must be finite and nonnegative".into(),
+        ));
+    }
+    if !(deviation.star_shift.is_finite() && deviation.upvote_boost.is_finite()) {
+        return Err(CoreError::InvalidInput(
+            "deviation reports must be finite".into(),
+        ));
+    }
+    Ok(params.pay(deviation.star_shift) + member.productive_utility(deviation.effort))
+}
+
+/// A coalition's joint expected utility when member `i` plays
+/// `deviations[i]`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInput`] on a length mismatch and
+/// propagates [`member_utility`] failures.
+pub fn coalition_utility(
+    params: &CollusionProofParams,
+    members: &[CoalitionMember],
+    deviations: &[Deviation],
+) -> Result<f64, CoreError> {
+    if members.len() != deviations.len() {
+        return Err(CoreError::InvalidInput(format!(
+            "{} members but {} deviations",
+            members.len(),
+            deviations.len()
+        )));
+    }
+    members
+        .iter()
+        .zip(deviations)
+        .try_fold(0.0, |acc, (m, d)| Ok(acc + member_utility(params, m, d)?))
+}
+
+/// The coalition's utility when every member plays compliantly — the
+/// supremum the proofness property compares deviations against.
+///
+/// # Errors
+///
+/// Propagates [`member_utility`] failures.
+pub fn compliant_utility(
+    params: &CollusionProofParams,
+    members: &[CoalitionMember],
+) -> Result<f64, CoreError> {
+    members.iter().try_fold(0.0, |acc, m| {
+        Ok(acc + member_utility(params, m, &Deviation::compliant(m))?)
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+    use dcc_trace::SyntheticConfig;
+
+    fn member() -> CoalitionMember {
+        CoalitionMember {
+            omega: 0.8,
+            psi: Quadratic::new(-0.13, 2.0, 0.5),
+            marginal_cost: 0.4,
+        }
+    }
+
+    #[test]
+    fn pay_is_maximal_at_zero_bias_and_monotone() {
+        let p = CollusionProofParams::default();
+        assert_eq!(p.pay(0.0), p.max_pay());
+        assert_eq!(p.pay(-3.0), p.max_pay(), "negative bias clamps to compliant");
+        let mut last = p.max_pay();
+        for i in 1..=20 {
+            let pay = p.pay(i as f64 * 0.1);
+            assert!(pay <= last, "pay must be non-increasing in bias");
+            last = pay;
+        }
+        assert_eq!(p.pay(5.0), p.base, "beyond tolerance the floor is paid");
+    }
+
+    #[test]
+    fn invalid_params_and_members_are_rejected() {
+        assert!(CollusionProofParams { tolerance: 0.0, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(CollusionProofParams { base: -1.0, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(CollusionProofParams { slope: f64::NAN, ..Default::default() }
+            .validate()
+            .is_err());
+        let convex = CoalitionMember {
+            psi: Quadratic::new(0.1, 1.0, 0.0),
+            ..member()
+        };
+        assert!(convex.validate().is_err());
+        assert!(CoalitionMember { omega: -1.0, ..member() }.validate().is_err());
+    }
+
+    #[test]
+    fn best_effort_is_the_stationary_point() {
+        let m = member();
+        let e = best_effort(&m);
+        assert!(e > 0.0);
+        // Marginal benefit equals marginal cost at the optimum.
+        let marginal = m.omega * m.psi.derivative_at(e);
+        assert!((marginal - m.marginal_cost).abs() < 1e-12);
+        for trial in [0.0, 0.5 * e, 0.9 * e, 1.1 * e, 2.0 * e] {
+            assert!(m.productive_utility(trial) <= m.productive_utility(e) + 1e-12);
+        }
+        // A worker with no malicious benefit sits out.
+        assert_eq!(best_effort(&CoalitionMember { omega: 0.0, ..m }), 0.0);
+    }
+
+    #[test]
+    fn deviations_never_beat_compliance() {
+        let p = CollusionProofParams::default();
+        let members = vec![member(), CoalitionMember { omega: 0.3, ..member() }];
+        let compliant = compliant_utility(&p, &members).unwrap();
+        let deviations = vec![
+            Deviation { star_shift: 0.7, upvote_boost: 3.0, effort: 1.0 },
+            Deviation { star_shift: -0.2, upvote_boost: 10.0, effort: 0.0 },
+        ];
+        let deviated = coalition_utility(&p, &members, &deviations).unwrap();
+        assert!(deviated <= compliant + 1e-12);
+    }
+
+    #[test]
+    fn mismatched_deviations_are_rejected() {
+        let p = CollusionProofParams::default();
+        assert!(coalition_utility(&p, &[member()], &[]).is_err());
+        let bad = Deviation { star_shift: 0.0, upvote_boost: 0.0, effort: -1.0 };
+        assert!(member_utility(&p, &member(), &bad).is_err());
+    }
+
+    #[test]
+    fn trace_bias_is_zero_without_expert_coverage_and_positive_for_cm() {
+        let trace = SyntheticConfig::small(301).generate();
+        // Collusive workers systematically over-rate (star_bias 2.2), so
+        // the population-mean measured bias of CM workers must exceed the
+        // honest one.
+        let mean_bias = |ids: &[ReviewerId]| {
+            let biases: Vec<f64> = ids.iter().map(|&w| worker_bias(&trace, w)).collect();
+            biases.iter().sum::<f64>() / biases.len() as f64
+        };
+        let cm = trace.workers_of_class(dcc_trace::WorkerClass::CollusiveMalicious);
+        let honest = trace.workers_of_class(dcc_trace::WorkerClass::Honest);
+        assert!(mean_bias(&cm) > mean_bias(&honest));
+    }
+
+    #[test]
+    fn coalition_payment_sums_member_payments() {
+        let trace = SyntheticConfig::small(302).generate();
+        let p = CollusionProofParams::default();
+        let members = trace.campaigns()[0].members.clone();
+        let total = coalition_payment(&trace, &p, &members);
+        let by_hand: f64 = members.iter().map(|&m| p.pay(worker_bias(&trace, m))).sum();
+        assert_eq!(total, by_hand);
+        assert!(total <= members.len() as f64 * p.max_pay() + 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! Detection edge cases around degenerate community structure — the
+//! shapes the adversarial generator (`dcc-trace`) produces at the
+//! extremes: a campaign with a single member, a campaign dissolved by a
+//! merge, and a trace where *every* worker belongs to one campaign.
+
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use dcc_detect::{cluster_collusive, run_pipeline, PipelineConfig};
+use dcc_trace::{
+    AdversarialConfig, AdversaryPlan, Campaign, CommunityMerge, Product, ProductId, Review,
+    Reviewer, ReviewerId, SyntheticConfig, TraceDataset, WorkerClass,
+};
+
+fn product(id: usize, quality: f64) -> Product {
+    Product {
+        id: ProductId(id),
+        true_quality: quality,
+    }
+}
+
+fn reviewer(
+    id: usize,
+    class: WorkerClass,
+    campaign: Option<usize>,
+    is_expert: bool,
+) -> Reviewer {
+    Reviewer {
+        id: ReviewerId(id),
+        class,
+        campaign,
+        is_expert,
+    }
+}
+
+fn review(worker: usize, product: usize, round: usize, stars: f64, upvotes: f64) -> Review {
+    Review {
+        reviewer: ReviewerId(worker),
+        product: ProductId(product),
+        round,
+        stars,
+        length_chars: 100,
+        upvotes,
+    }
+}
+
+/// A campaign with exactly one member must not be reported as a
+/// community (communities have ≥ 2 members); its member is still
+/// suspected and lands in the singleton list with a finite weight.
+#[test]
+fn singleton_campaign_member_is_a_singleton_not_a_community() {
+    let products = vec![product(0, 3.0), product(1, 4.0)];
+    let reviewers = vec![
+        reviewer(0, WorkerClass::Honest, None, true),
+        reviewer(1, WorkerClass::Honest, None, true),
+        reviewer(2, WorkerClass::Honest, None, false),
+        reviewer(3, WorkerClass::CollusiveMalicious, Some(0), false),
+    ];
+    let reviews = vec![
+        review(0, 0, 0, 3.0, 4.0),
+        review(0, 1, 0, 4.0, 4.0),
+        review(1, 0, 0, 3.0, 3.0),
+        review(1, 1, 0, 4.0, 5.0),
+        review(2, 0, 0, 3.0, 2.0),
+        review(3, 0, 0, 5.0, 6.0),
+        review(3, 1, 0, 5.0, 6.0),
+    ];
+    let campaigns = vec![Campaign {
+        id: 0,
+        members: vec![ReviewerId(3)],
+        targets: vec![ProductId(0), ProductId(1)],
+    }];
+    let trace = TraceDataset::new(products, reviewers, reviews, campaigns).unwrap();
+
+    let result = run_pipeline(&trace, PipelineConfig::default());
+    assert_eq!(result.suspected, vec![ReviewerId(3)]);
+    assert!(
+        result.collusion.communities.is_empty(),
+        "a one-member campaign is not a community: {:?}",
+        result.collusion.communities
+    );
+    assert_eq!(result.collusion.singletons, vec![ReviewerId(3)]);
+    assert_eq!(result.weights.as_slice().len(), 4);
+    assert!(result.weights.as_slice().iter().all(|w| w.is_finite()));
+}
+
+/// A community dissolved by an adversarial merge disappears entirely:
+/// the surviving campaigns are renumbered densely, and ground-truth
+/// detection recovers exactly those — never the dissolved id.
+#[test]
+fn dissolved_community_vanishes_from_detection() {
+    let base = {
+        let mut cfg = SyntheticConfig::small(29);
+        cfg.n_cm_target = 60;
+        cfg
+    };
+    let before = base.generate();
+    let n_before = before.campaigns().len();
+    assert!(n_before >= 2, "base must have at least two campaigns");
+
+    let plan = AdversaryPlan {
+        seed: 5,
+        merges: vec![CommunityMerge {
+            first: 0,
+            second: 1,
+            round: 1,
+        }],
+        ..AdversaryPlan::default()
+    };
+    let merged = AdversarialConfig { base, plan }.generate().unwrap();
+    assert_eq!(
+        merged.campaigns().len(),
+        n_before - 1,
+        "the absorbed campaign dissolves"
+    );
+
+    let result = run_pipeline(&merged, PipelineConfig::default());
+    assert_eq!(result.collusion.communities.len(), merged.campaigns().len());
+    let mut expected: Vec<Vec<ReviewerId>> = merged
+        .campaigns()
+        .iter()
+        .map(|c| {
+            let mut m = c.members.clone();
+            m.sort_unstable();
+            m
+        })
+        .collect();
+    expected.sort_by_key(|c| c[0]);
+    assert_eq!(result.collusion.communities, expected);
+}
+
+/// Every worker in one campaign, no honest workers, no experts: the
+/// pipeline must stay total — one community containing everyone, no
+/// singletons, finite weights — even with an empty expert consensus.
+#[test]
+fn all_workers_in_one_campaign_is_one_community() {
+    let n = 6usize;
+    let products = vec![product(0, 2.0), product(1, 4.0)];
+    let reviewers: Vec<Reviewer> = (0..n)
+        .map(|i| reviewer(i, WorkerClass::CollusiveMalicious, Some(0), false))
+        .collect();
+    let reviews: Vec<Review> = (0..n)
+        .flat_map(|i| {
+            [
+                review(i, 0, 0, 5.0, 5.0),
+                review(i, 1, 0, 5.0, 5.0),
+            ]
+        })
+        .collect();
+    let campaigns = vec![Campaign {
+        id: 0,
+        members: (0..n).map(ReviewerId).collect(),
+        targets: vec![ProductId(0), ProductId(1)],
+    }];
+    let trace = TraceDataset::new(products, reviewers, reviews, campaigns).unwrap();
+
+    let result = run_pipeline(&trace, PipelineConfig::default());
+    assert_eq!(result.suspected.len(), n, "everyone is suspected");
+    assert_eq!(result.collusion.communities.len(), 1);
+    assert_eq!(result.collusion.communities[0].len(), n);
+    assert!(result.collusion.singletons.is_empty());
+    assert!(result.weights.as_slice().iter().all(|w| w.is_finite()));
+}
+
+/// Direct clustering of an empty suspect set on a trace with campaigns:
+/// nothing to cluster, nothing reported.
+#[test]
+fn empty_suspect_set_clusters_to_nothing() {
+    let trace = SyntheticConfig::small(31).generate();
+    let report = cluster_collusive(&trace, &[]);
+    assert!(report.communities.is_empty());
+    assert!(report.singletons.is_empty());
+}

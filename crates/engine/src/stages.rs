@@ -210,6 +210,7 @@ impl Stage for DefaultSimulate {
             design,
             config.design.params.omega,
             &suspected,
+            ctx.trace()?,
         )?;
         let sim = Simulation::new(config.design.params, config.sim);
         let mut injector = FaultInjector::new(&options.fault_plan);

@@ -41,7 +41,7 @@ fn engine_matches_hand_wired_chain_bit_exactly() {
     let design = design_contracts(&trace, &detection, &config).unwrap();
     let suspected: BTreeSet<_> = detection.suspected.iter().copied().collect();
     let agents = BaselineStrategy::new(StrategyKind::DynamicContract)
-        .assemble(&design, config.params.omega, &suspected)
+        .assemble(&design, config.params.omega, &suspected, &trace)
         .unwrap();
     let reference = Simulation::new(config.params, SimulationConfig::default())
         .run_with_faults(&agents, &mut NoFaults)

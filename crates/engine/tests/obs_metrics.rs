@@ -166,7 +166,7 @@ fn fault_hit_counters_match_an_independent_injector_recount() {
     let design = ctx.design().unwrap();
     let suspected = ctx.detection().unwrap().suspected.iter().copied().collect();
     let agents = dcc_core::BaselineStrategy::new(config.strategy)
-        .assemble(design, config.design.params.omega, &suspected)
+        .assemble(design, config.design.params.omega, &suspected, ctx.trace().unwrap())
         .unwrap();
     let sim = Simulation::new(config.design.params, config.sim);
     let mut injector = FaultInjector::new(&plan);

@@ -1,0 +1,230 @@
+//! E15 (extension) — **adversarial collusion head-to-head**: the paper's
+//! BiP dynamic contract against the misreport/collusion-proof baseline
+//! (see `dcc_core::proofness`) on traces attacked by dynamic
+//! adversaries — sybil influxes, communities splitting and merging
+//! mid-trace, and strategically under-reporting campaigns.
+//!
+//! Three standard `AdversaryPlan`s are derived deterministically from
+//! the base trace's shape:
+//!
+//! - `sybil-influx` — three campaigns absorb sybil waves at staggered
+//!   rounds,
+//! - `split-merge` — two campaigns fracture and a disjoint pair fuses,
+//!   exercising detection under community churn,
+//! - `stealth` — two campaigns damp their feedback inflation to evade
+//!   the detector while a small sybil wave lands late.
+//!
+//! Every (plan × strategy) cell runs through the supervised batch
+//! runner, so the head-to-head shares detection/fit/solve memoization
+//! exactly like the other sweeps, and the applied plans are reported on
+//! the `adversary.*` counters (see `docs/observability.md`).
+
+use crate::render::fmt_f;
+use crate::{batch_error, batch_runner, current_metrics, ExperimentScale, TextTable};
+use dcc_batch::{ScenarioGrid, ScenarioRecord};
+use dcc_core::{CollusionProofParams, CoreError, SimulationConfig, StrategyKind};
+use dcc_obs::names;
+use dcc_trace::{
+    AdversarialConfig, AdversaryPlan, CommunityMerge, CommunitySplit, SybilInflux, SyntheticConfig,
+    UnderReport,
+};
+
+/// One (plan, strategy-pair) row of the head-to-head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversarialRow {
+    /// Standard plan label.
+    pub plan: String,
+    /// Scheduled adversarial events in the plan.
+    pub events: usize,
+    /// Mean per-round requester utility under the BiP dynamic contract.
+    pub dynamic: f64,
+    /// … under the collusion-proof baseline.
+    pub collusion_proof: f64,
+}
+
+/// The full E15 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversarialResult {
+    /// One row per standard adversary plan.
+    pub rows: Vec<AdversarialRow>,
+}
+
+impl AdversarialResult {
+    /// Renders the comparison table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "adversary plan".into(),
+            "events".into(),
+            "dynamic (BiP)".into(),
+            "collusion-proof".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.plan.clone(),
+                r.events.to_string(),
+                fmt_f(r.dynamic),
+                fmt_f(r.collusion_proof),
+            ]);
+        }
+        t
+    }
+}
+
+/// The three standard adversary plans, deterministic in the base
+/// trace's shape (`n_campaigns`, `n_rounds`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInput`] when the base trace has fewer
+/// than 4 campaigns or 6 rounds (the standard schedules need room).
+pub fn standard_plans(
+    n_campaigns: usize,
+    n_rounds: usize,
+) -> Result<Vec<(&'static str, AdversaryPlan)>, CoreError> {
+    if n_campaigns < 4 || n_rounds < 6 {
+        return Err(CoreError::InvalidInput(format!(
+            "standard adversary plans need >= 4 campaigns and >= 6 rounds, \
+             got {n_campaigns} campaigns / {n_rounds} rounds"
+        )));
+    }
+    let sybil_influx = AdversaryPlan {
+        seed: 101,
+        sybils: vec![
+            SybilInflux { campaign: 0, round: 2, count: 3 },
+            SybilInflux { campaign: 1, round: 3, count: 2 },
+            SybilInflux { campaign: 2, round: 4, count: 4 },
+        ],
+        ..AdversaryPlan::default()
+    };
+    let split_merge = AdversaryPlan {
+        seed: 102,
+        splits: vec![
+            CommunitySplit { campaign: 0, round: 2 },
+            CommunitySplit { campaign: 1, round: 4 },
+        ],
+        merges: vec![CommunityMerge { first: 2, second: 3, round: 3 }],
+        ..AdversaryPlan::default()
+    };
+    let stealth = AdversaryPlan {
+        seed: 103,
+        sybils: vec![SybilInflux { campaign: 2, round: 5, count: 2 }],
+        underreports: vec![
+            UnderReport { campaign: 0, from_round: 2, factor: 0.35 },
+            UnderReport { campaign: 1, from_round: 1, factor: 0.6 },
+        ],
+        ..AdversaryPlan::default()
+    };
+    Ok(vec![
+        ("sybil-influx", sybil_influx),
+        ("split-merge", split_merge),
+        ("stealth", stealth),
+    ])
+}
+
+/// Runs E15 on a base generator configuration.
+///
+/// # Errors
+///
+/// Propagates adversarial generation, design and simulation failures.
+pub fn run_on(base: &SyntheticConfig) -> Result<AdversarialResult, CoreError> {
+    let base_trace = base.generate();
+    let plans = standard_plans(base_trace.campaigns().len(), base.n_rounds)?;
+    let metrics = current_metrics();
+    let runner = batch_runner();
+    let mu = dcc_core::DesignConfig::default().params.mu;
+
+    let mut rows = Vec::with_capacity(plans.len());
+    for (label, plan) in plans {
+        let trace = AdversarialConfig {
+            base: base.clone(),
+            plan: plan.clone(),
+        }
+        .generate()
+        .map_err(|e| CoreError::InvalidInput(e.to_string()))?;
+        if metrics.enabled() {
+            metrics.add(names::COUNTER_ADVERSARY_PLANS, 1);
+            metrics.add(
+                names::COUNTER_ADVERSARY_SYBILS,
+                plan.sybils.iter().map(|s| s.count).sum::<usize>() as u64,
+            );
+            metrics.add(names::COUNTER_ADVERSARY_SPLITS, plan.splits.len() as u64);
+            metrics.add(names::COUNTER_ADVERSARY_MERGES, plan.merges.len() as u64);
+            metrics.add(
+                names::COUNTER_ADVERSARY_UNDERREPORTS,
+                plan.underreports.len() as u64,
+            );
+        }
+
+        let mut grid = ScenarioGrid::for_trace(trace, &[mu]);
+        grid.strategies = vec![
+            StrategyKind::DynamicContract,
+            StrategyKind::CollusionProof {
+                params: CollusionProofParams::default(),
+            },
+        ];
+        grid.sim = Some(SimulationConfig::default());
+        let report = runner.run(&grid).map_err(batch_error)?;
+        let [dynamic_rec, cp_rec] = report.records.as_slice() else {
+            return Err(CoreError::InvalidInput(
+                "adversarial head-to-head lost a scenario".into(),
+            ));
+        };
+        rows.push(AdversarialRow {
+            plan: label.to_string(),
+            events: plan.len(),
+            dynamic: sim_mean_utility(dynamic_rec)?,
+            collusion_proof: sim_mean_utility(cp_rec)?,
+        });
+    }
+    Ok(AdversarialResult { rows })
+}
+
+/// The mean per-round requester utility of one simulated scenario.
+fn sim_mean_utility(record: &ScenarioRecord) -> Result<f64, CoreError> {
+    record
+        .require_outcome()?
+        .sim
+        .as_ref()
+        .map(|sim| sim.mean_round_utility)
+        .ok_or_else(|| CoreError::InvalidInput("adversarial scenario ran design-only".into()))
+}
+
+/// Runs E15 at the given scale and seed.
+///
+/// # Errors
+///
+/// Propagates adversarial generation, design and simulation failures.
+pub fn run(scale: ExperimentScale, seed: u64) -> Result<AdversarialResult, CoreError> {
+    run_on(&scale.trace_config(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_to_head_runs_on_all_standard_plans() {
+        let result = run(ExperimentScale::Small, crate::DEFAULT_SEED).unwrap();
+        assert_eq!(result.rows.len(), 3);
+        for r in &result.rows {
+            assert!(r.events > 0);
+            assert!(r.dynamic.is_finite());
+            assert!(r.collusion_proof.is_finite());
+        }
+        let s = result.table().to_string();
+        assert!(s.contains("collusion-proof"));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(ExperimentScale::Small, 7).unwrap();
+        let b = run(ExperimentScale::Small, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_bases_are_rejected() {
+        assert!(standard_plans(2, 8).is_err());
+        assert!(standard_plans(8, 3).is_err());
+    }
+}

@@ -96,7 +96,7 @@ pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<BaselineLadderResult,
         params.mu = mu;
         let suspected: BTreeSet<_> = outcome.detection.suspected.iter().copied().collect();
         let agents = BaselineStrategy::new(StrategyKind::DynamicContract)
-            .assemble(design, params.omega, &suspected)?;
+            .assemble(design, params.omega, &suspected, trace)?;
         let bandit = LinearPricingBandit::default().run(&params, &agents)?;
 
         let in_system = agents.iter().filter(|a| a.in_system).count().max(1);

@@ -1,0 +1,17 @@
+//! Extension experiment (E15): the adversarial collusion head-to-head.
+
+use dcc_experiments::{adversarial, scale_from_args, DEFAULT_SEED};
+
+fn main() {
+    let scale = scale_from_args();
+    let result = match adversarial::run(scale, DEFAULT_SEED) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: adversarial runner: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("E15 (extension) — BiP dynamic contract vs collusion-proof baseline under adversarial churn ({scale:?} scale)\n");
+    print!("{}", result.table());
+    println!("\nshape check: both columns finite on every plan; the collusion-proof column prices bias, not upvotes.");
+}

@@ -1,6 +1,6 @@
 //! Regenerates every table and figure in sequence.
 //!
-//! Flags: `--scale small|paper`, `--extensions` (also run E8–E14),
+//! Flags: `--scale small|paper`, `--extensions` (also run E8–E15),
 //! `--csv DIR` (additionally write each artifact as CSV into DIR, plus
 //! the suite's engine metrics as `metrics.json` next to them).
 
@@ -97,7 +97,7 @@ fn run_suite(
     emit(csv, "fig8c", &f8c.table());
 
     if !std::env::args().any(|a| a == "--extensions") {
-        println!("(pass --extensions to also run E8-E14)");
+        println!("(pass --extensions to also run E8-E15)");
         return Ok(());
     }
 
@@ -144,5 +144,9 @@ fn run_suite(
     let e14 =
         dcc_experiments::risk_ext::run(&dcc_experiments::risk_ext::DEFAULT_EXPONENTS)?;
     emit(csv, "e14_risk", &e14.table());
+
+    println!("--- E15 / adversarial collusion head-to-head (extension) ---");
+    let e15 = dcc_experiments::adversarial::run(scale, DEFAULT_SEED)?;
+    emit(csv, "e15_adversarial", &e15.table());
     Ok(())
 }

@@ -124,11 +124,13 @@ fn evaluate(
     reference: &DetectionResult,
     params: &ModelParams,
     suspected: &BTreeSet<ReviewerId>,
+    trace: &TraceDataset,
 ) -> Result<(f64, f64), CoreError> {
     let mut agents = BaselineStrategy::new(StrategyKind::DynamicContract).assemble(
         design,
         params.omega,
         suspected,
+        trace,
     )?;
     // Override each agent's weight with the mean reference weight of its
     // members (solutions and agents share ordering).
@@ -203,12 +205,14 @@ pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<CollusionAblationResu
             reference,
             &params,
             &suspected,
+            trace,
         )?;
         let (blind_u, cm_pay_blind) = evaluate(
             blind_ctx.design().map_err(core_error)?,
             reference,
             &params,
             &suspected,
+            trace,
         )?;
         rows.push(CollusionAblationRow {
             mu,

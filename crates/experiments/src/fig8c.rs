@@ -83,7 +83,7 @@ pub fn run_on(trace: &TraceDataset, mus: &[f64]) -> Result<Fig8cResult, CoreErro
             .copied()
             .collect();
         let ours_agents = BaselineStrategy::new(StrategyKind::DynamicContract)
-            .assemble(design, params.omega, &suspected)?;
+            .assemble(design, params.omega, &suspected, ctx.trace().map_err(core_error)?)?;
         let in_system = ours_agents.iter().filter(|a| a.in_system).count().max(1);
         let total_spend: f64 = design.agents.iter().map(|a| a.compensation).sum();
         let amount = (total_spend / in_system as f64).max(0.0);

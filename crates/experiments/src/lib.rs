@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive_ext;
+pub mod adversarial;
 pub mod baselines_ext;
 pub mod budget_ext;
 pub mod risk_ext;

@@ -8,7 +8,7 @@
 //! values are string-encoded, and the RNG's four `u64` words are written
 //! as decimal strings (plain JSON numbers lose bits above `2^53`).
 
-use crate::json::Json;
+use dcc_numerics::Json;
 use dcc_core::{AdaptiveState, Contract, CoreError, RoundRecord, SimState};
 use dcc_numerics::Quadratic;
 use rand::rngs::StdRng;

@@ -53,7 +53,6 @@
 
 pub mod checkpoint;
 mod injector;
-mod json;
 mod plan;
 mod retry;
 
@@ -63,7 +62,10 @@ pub use checkpoint::{
     CHECKPOINT_VERSION,
 };
 pub use injector::{FaultHitCounts, FaultInjector, FiredFault};
-pub use json::Json;
+// The JSON value moved to the bottom of the workspace (`dcc-numerics`)
+// so `dcc-trace` can serialize adversary plans; the re-export keeps
+// every existing `dcc_faults::Json` call site working.
+pub use dcc_numerics::{Json, JsonError};
 pub use plan::{
     Corruption, CorruptFeedback, DropoutWindow, FaultPlan, FaultPlanConfig, MissingFeedback,
     PaymentDelay,

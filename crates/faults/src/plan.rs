@@ -7,7 +7,7 @@
 //! the identical run, which is what makes fault scenarios debuggable and
 //! checkpoint-resumable.
 
-use crate::json::Json;
+use dcc_numerics::Json;
 use dcc_core::CoreError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

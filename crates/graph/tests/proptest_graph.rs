@@ -104,4 +104,101 @@ proptest! {
             prev = cur;
         }
     }
+
+    // ----------------------------------------------- churn invariances
+    //
+    // The adversarial generator (`dcc-trace`) splits and merges
+    // communities mid-trace, so the union-find underneath detection sees
+    // edge sets arriving in adversary-controlled orders with repeated
+    // unions and late-joining sybil elements. These properties pin down
+    // that none of that affects the resulting partition.
+
+    /// Union order invariance: any permutation of the same edge set
+    /// yields the same components.
+    #[test]
+    fn union_order_is_irrelevant(
+        n in 1usize..48,
+        edges in proptest::collection::vec((0usize..48, 0usize..48), 0..96),
+        rot in 0usize..96,
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let mut forward = UnionFind::new(n);
+        for &(u, v) in &edges {
+            forward.union(u, v);
+        }
+        // Reversed order.
+        let mut reversed = UnionFind::new(n);
+        for &(u, v) in edges.iter().rev() {
+            reversed.union(u, v);
+        }
+        prop_assert_eq!(forward.components(), reversed.components());
+        // Rotated order (an arbitrary cyclic permutation).
+        if !edges.is_empty() {
+            let pivot = rot % edges.len();
+            let mut rotated = UnionFind::new(n);
+            for &(u, v) in edges[pivot..].iter().chain(&edges[..pivot]) {
+                rotated.union(u, v);
+            }
+            prop_assert_eq!(forward.components(), rotated.components());
+        }
+    }
+
+    /// Idempotent re-union: replaying any subset of already-applied
+    /// edges (the adversary re-asserting existing collusion links)
+    /// changes nothing — components, count, and pairwise connectivity.
+    #[test]
+    fn re_union_is_idempotent(
+        n in 1usize..48,
+        edges in proptest::collection::vec((0usize..48, 0usize..48), 1..64),
+        replay_mask in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let mut uf = UnionFind::new(n);
+        for &(u, v) in &edges {
+            uf.union(u, v);
+        }
+        let before = uf.components();
+        let count_before = uf.component_count();
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if replay_mask.get(i % replay_mask.len()).copied().unwrap_or(false) {
+                uf.union(u, v);
+                uf.union(v, u); // and with the endpoints swapped
+            }
+        }
+        prop_assert_eq!(uf.components(), before);
+        prop_assert_eq!(uf.component_count(), count_before);
+    }
+
+    /// Push-after-union stability: growing the structure (sybils joining
+    /// after collusion edges already exist) leaves every existing
+    /// component untouched and adds exactly the new singletons.
+    #[test]
+    fn push_after_union_preserves_existing_components(
+        n in 1usize..40,
+        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..60),
+        growth in 1usize..12,
+    ) {
+        let mut uf = UnionFind::new(n);
+        for (u, v) in edges {
+            uf.union(u % n, v % n);
+        }
+        let before = uf.components();
+        let count_before = uf.component_count();
+        for _ in 0..growth {
+            uf.push();
+        }
+        let after = uf.components();
+        prop_assert_eq!(uf.len(), n + growth);
+        prop_assert_eq!(uf.component_count(), count_before + growth);
+        // Every pre-growth component survives verbatim...
+        for comp in &before {
+            prop_assert!(after.contains(comp), "component {:?} disturbed by push", comp);
+        }
+        // ...and each new element is its own singleton.
+        for fresh in n..n + growth {
+            prop_assert!(after.contains(&vec![fresh]));
+        }
+    }
 }

@@ -1,8 +1,9 @@
 //! A minimal, dependency-free JSON value with exact `f64` round-tripping.
 //!
-//! The build environment has no access to crates.io, so checkpoints and
-//! fault plans cannot use `serde`; this module hand-rolls the small JSON
-//! subset they need. Two properties matter for bit-exact resume:
+//! The build environment has no access to crates.io, so checkpoints,
+//! fault plans, and adversary plans cannot use `serde`; this module
+//! hand-rolls the small JSON subset they need. Two properties matter
+//! for bit-exact resume:
 //!
 //! - finite `f64`s are written with Rust's shortest-round-trip formatter
 //!   and therefore parse back to the identical bit pattern;
@@ -10,9 +11,33 @@
 //!   `"-Infinity"` (JSON has no non-finite numbers), and `u64`s (RNG
 //!   words) as decimal strings (JSON numbers are doubles and would lose
 //!   bits above 2^53).
+//!
+//! The module lives at the bottom of the workspace (this crate has no
+//! internal dependencies) so every layer — including `dcc-trace`, which
+//! sits below `dcc-core` — can share the one parser. Higher layers
+//! convert [`JsonError`] into their own error enums.
 
-use dcc_core::CoreError;
 use std::fmt::Write as _;
+
+/// A JSON parse failure: byte offset plus a short description.
+///
+/// Deliberately self-contained (no dependency on any workspace error
+/// enum) so the parser can live at the bottom of the dependency graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,7 +108,7 @@ impl Json {
     /// Decodes a nonnegative integer index.
     pub fn as_idx(&self) -> Option<usize> {
         match self {
-            Json::Num(x) if *x >= 0.0 && dcc_numerics::exact_eq(x.fract(), 0.0) => Some(*x as usize),
+            Json::Num(x) if *x >= 0.0 && crate::exact_eq(x.fract(), 0.0) => Some(*x as usize),
             _ => None,
         }
     }
@@ -164,8 +189,8 @@ impl Json {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidInput`] on malformed input.
-    pub fn parse(text: &str) -> Result<Json, CoreError> {
+    /// Returns [`JsonError`] on malformed input.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
         let value = parse_value(bytes, &mut pos)?;
@@ -205,8 +230,11 @@ fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
-fn err(pos: usize, message: &str) -> CoreError {
-    CoreError::InvalidInput(format!("json parse error at byte {pos}: {message}"))
+fn err(pos: usize, message: &str) -> JsonError {
+    JsonError {
+        pos,
+        message: message.to_string(),
+    }
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -215,7 +243,7 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), CoreError> {
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), JsonError> {
     if *pos < bytes.len() && bytes[*pos] == byte {
         *pos += 1;
         Ok(())
@@ -224,7 +252,7 @@ fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), CoreError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, CoreError> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(err(*pos, "unexpected end of input")),
@@ -288,7 +316,7 @@ fn parse_literal(
     pos: &mut usize,
     literal: &str,
     value: Json,
-) -> Result<Json, CoreError> {
+) -> Result<Json, JsonError> {
     if bytes[*pos..].starts_with(literal.as_bytes()) {
         *pos += literal.len();
         Ok(value)
@@ -297,7 +325,7 @@ fn parse_literal(
     }
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, CoreError> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
     loop {
@@ -349,7 +377,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, CoreError> {
     }
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, CoreError> {
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     let start = *pos;
     while *pos < bytes.len()
         && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')

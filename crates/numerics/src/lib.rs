@@ -32,6 +32,7 @@
 mod cmp;
 mod error;
 mod incremental;
+mod json;
 mod linsolve;
 mod matrix;
 mod piecewise;
@@ -44,6 +45,7 @@ mod stats;
 pub use cmp::{approx_eq, exact_eq, exact_ne};
 pub use error::NumericsError;
 pub use incremental::IncrementalQuadraticFit;
+pub use json::{Json, JsonError};
 pub use linsolve::{solve_cholesky, solve_gaussian};
 pub use matrix::Matrix;
 pub use piecewise::PiecewiseLinear;

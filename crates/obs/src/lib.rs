@@ -215,4 +215,15 @@ pub mod names {
     /// Gauge: fraction of subproblems reused (not re-solved) over the
     /// run so far — the incremental-vs-full work ratio.
     pub const GAUGE_SERVE_INCREMENTAL_RATIO: &str = "serve.incremental_ratio";
+
+    /// Counter: adversary plans applied to generated traces.
+    pub const COUNTER_ADVERSARY_PLANS: &str = "adversary.plans";
+    /// Counter: sybil workers injected across applied adversary plans.
+    pub const COUNTER_ADVERSARY_SYBILS: &str = "adversary.sybils";
+    /// Counter: community splits applied across adversary plans.
+    pub const COUNTER_ADVERSARY_SPLITS: &str = "adversary.splits";
+    /// Counter: community merges applied across adversary plans.
+    pub const COUNTER_ADVERSARY_MERGES: &str = "adversary.merges";
+    /// Counter: under-reporting windows applied across adversary plans.
+    pub const COUNTER_ADVERSARY_UNDERREPORTS: &str = "adversary.underreports";
 }

@@ -50,6 +50,15 @@ impl From<std::io::Error> for TraceError {
     }
 }
 
+impl From<dcc_numerics::JsonError> for TraceError {
+    fn from(e: dcc_numerics::JsonError) -> Self {
+        TraceError::Parse {
+            line: 1,
+            message: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
 mod campaign;
 mod columnar;
 mod csv;
@@ -45,6 +46,10 @@ mod model;
 mod stats;
 mod synth;
 
+pub use adversary::{
+    AdversarialConfig, AdversaryPlan, AdversaryPlanConfig, CommunityMerge, CommunitySplit,
+    SybilInflux, UnderReport, ADVERSARY_SCHEMA,
+};
 pub use campaign::{sample_community_size, Campaign, COMMUNITY_SIZE_DISTRIBUTION};
 pub use columnar::{
     read_trace_columnar, write_trace_columnar, ColF64, ColU64, ColumnarBuilder, ColumnarTrace,

@@ -11,7 +11,8 @@
 #![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
 
 use dyncontract::core::{
-    design_contracts, BaselineStrategy, DesignConfig, Simulation, SimulationConfig, StrategyKind,
+    design_contracts, BaselineStrategy, CollusionProofParams, DesignConfig, Simulation,
+    SimulationConfig, StrategyKind,
 };
 use dyncontract::detect::{run_pipeline, PipelineConfig};
 use dyncontract::trace::SyntheticConfig;
@@ -41,13 +42,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("dynamic contract (ours)", StrategyKind::DynamicContract),
         ("exclude all malicious", StrategyKind::ExcludeMalicious),
         ("fixed payment 2.0", StrategyKind::FixedPayment { amount: 2.0 }),
+        (
+            "collusion-proof (LWCH)",
+            StrategyKind::CollusionProof {
+                params: CollusionProofParams::default(),
+            },
+        ),
     ];
 
     println!("50-round repeated game, noisy feedback (sd 0.8):\n");
     let mut ours = 0.0;
     for (name, kind) in strategies {
         let agents =
-            BaselineStrategy::new(kind).assemble(&design, config.params.omega, &suspected)?;
+            BaselineStrategy::new(kind).assemble(&design, config.params.omega, &suspected, &trace)?;
         let outcome = sim.run(&agents)?;
         if matches!(kind, StrategyKind::DynamicContract) {
             ours = outcome.mean_round_utility;

@@ -24,7 +24,7 @@ fn simulation_round_payments_equal_agent_totals() {
     let design = design_contracts(&trace, &detection, &config).unwrap();
     let suspected: BTreeSet<_> = detection.suspected.iter().copied().collect();
     let agents = BaselineStrategy::new(StrategyKind::DynamicContract)
-        .assemble(&design, config.params.omega, &suspected)
+        .assemble(&design, config.params.omega, &suspected, &trace)
         .unwrap();
     let outcome = Simulation::new(
         config.params,

@@ -1,0 +1,235 @@
+//! Differential coverage for the streaming service under **adversarial
+//! community churn**: every trace produced by the tentpole adversary
+//! generator (`dyncontract::trace::AdversarialConfig`) — communities
+//! splitting and merging, sybil influxes, strategic under-reporting —
+//! must replay through `dcc-serve` **bit-identically** to a cold batch
+//! recompute at every round boundary.
+//!
+//! This extends `tests/serve_differential.rs` (random protocol streams,
+//! hand-written churn scripts) with the real attacked traces the E15
+//! head-to-head runs on: the three standard plans at test scale, a
+//! sampled busy plan, and — behind `DCC_SLOW_TESTS=1`, for the
+//! scheduled CI soak — a paper-scale trace under a sampled churn plan.
+
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use dyncontract::core::{design_contracts, DesignConfig};
+use dyncontract::detect::{run_pipeline, PipelineConfig};
+use dyncontract::experiments::adversarial::standard_plans;
+use dyncontract::obs::Metrics;
+use dyncontract::serve::{design_digest, events_from_trace, ServeEvent, ServeService};
+use dyncontract::trace::{
+    AdversarialConfig, AdversaryPlanConfig, Campaign, Product, ProductId, Review, Reviewer,
+    ReviewerId, SyntheticConfig, TraceDataset,
+};
+
+/// True when slow, paper-scale tests were explicitly requested.
+fn slow_tests_enabled() -> bool {
+    std::env::var("DCC_SLOW_TESTS").map(|v| v == "1").unwrap_or(false)
+}
+
+/// A test-scale base with enough collusive mass that every standard
+/// plan's campaign references are in range (≥ 6 communities).
+fn base_config(seed: u64) -> SyntheticConfig {
+    let mut cfg = SyntheticConfig::small(seed);
+    cfg.n_cm_target = 80;
+    cfg
+}
+
+/// The entity mirror rebuilt per round boundary — identical in role to
+/// the one in `tests/serve_differential.rs`, reconstructing the batch
+/// trace from the event prefix alone so the comparison never trusts the
+/// service's internal state.
+#[derive(Default)]
+struct Mirror {
+    products: Vec<Product>,
+    reviewers: Vec<Reviewer>,
+    reviews: Vec<Review>,
+    campaigns: Vec<Campaign>,
+}
+
+impl Mirror {
+    fn apply(&mut self, event: &ServeEvent) {
+        match event {
+            ServeEvent::Product { id, quality } => self.products.push(Product {
+                id: ProductId(*id),
+                true_quality: *quality,
+            }),
+            ServeEvent::Join {
+                id,
+                class,
+                campaign,
+                expert,
+            } => {
+                self.reviewers.push(Reviewer {
+                    id: ReviewerId(*id),
+                    class: *class,
+                    campaign: *campaign,
+                    is_expert: *expert,
+                });
+                if let Some(c) = campaign {
+                    if *c == self.campaigns.len() {
+                        self.campaigns.push(Campaign {
+                            id: *c,
+                            members: Vec::new(),
+                            targets: Vec::new(),
+                        });
+                    }
+                    self.campaigns[*c].members.push(ReviewerId(*id));
+                }
+            }
+            ServeEvent::Review {
+                worker,
+                product,
+                round,
+                stars,
+                length,
+                upvotes,
+            } => self.reviews.push(Review {
+                reviewer: ReviewerId(*worker),
+                product: ProductId(*product),
+                round: *round,
+                stars: *stars,
+                length_chars: *length,
+                upvotes: *upvotes,
+            }),
+            ServeEvent::Round => {}
+        }
+    }
+
+    fn batch_trace(&self) -> TraceDataset {
+        TraceDataset::new(
+            self.products.clone(),
+            self.reviewers.clone(),
+            self.reviews.clone(),
+            self.campaigns.clone(),
+        )
+        .expect("mirror entities are valid by construction")
+    }
+}
+
+/// Replays `trace` through the service at `pool`, requiring a bitwise
+/// design match (or identical error text) against a cold recompute at
+/// every round boundary. Returns the number of boundaries compared.
+fn replay_and_compare(label: &str, trace: &TraceDataset, pool: usize) -> usize {
+    let design_cfg = DesignConfig::default();
+    let pipeline_cfg = PipelineConfig::default();
+    let mut service =
+        ServeService::new(pipeline_cfg, design_cfg, pool, false, Metrics::noop())
+            .expect("serve config is valid");
+    let mut mirror = Mirror::default();
+    let mut boundaries = 0usize;
+
+    for event in &events_from_trace(trace) {
+        mirror.apply(event);
+        let out = service
+            .apply(event)
+            .unwrap_or_else(|e| panic!("{label} pool {pool}: protocol error: {e}"));
+        let Some(out) = out else { continue };
+        boundaries += 1;
+
+        let prefix = mirror.batch_trace();
+        let detection = run_pipeline(&prefix, pipeline_cfg);
+        let batch = design_contracts(&prefix, &detection, &design_cfg);
+        match (&out.design, &batch) {
+            (Ok(inc), Ok(cold)) => assert!(
+                design_digest(inc) == design_digest(cold),
+                "{label} pool {pool} round {}: designs diverge bitwise \
+                 (incremental U={:016x} vs batch U={:016x})",
+                out.round,
+                inc.total_requester_utility.to_bits(),
+                cold.total_requester_utility.to_bits()
+            ),
+            (Err(inc), Err(cold)) => assert!(
+                inc == &cold.to_string(),
+                "{label} pool {pool} round {}: error mismatch: {inc:?} vs {cold}",
+                out.round
+            ),
+            (Ok(_), Err(cold)) => panic!(
+                "{label} pool {pool} round {}: incremental succeeded, batch failed: {cold}",
+                out.round
+            ),
+            (Err(inc), Ok(_)) => panic!(
+                "{label} pool {pool} round {}: batch succeeded, incremental failed: {inc}",
+                out.round
+            ),
+        }
+    }
+    boundaries
+}
+
+/// The headline differential: all three standard adversary plans (the
+/// ones E15 and the golden snapshot run on), digest-identical at every
+/// round boundary.
+#[test]
+fn standard_adversary_plans_serve_matches_batch() {
+    let base = base_config(42);
+    let base_trace = base.generate();
+    let plans = standard_plans(base_trace.campaigns().len(), base.n_rounds)
+        .expect("test base supports the standard plans");
+    for (label, plan) in plans {
+        let trace = AdversarialConfig {
+            base: base.clone(),
+            plan,
+        }
+        .generate()
+        .expect("standard plan applies to the test base");
+        let boundaries = replay_and_compare(label, &trace, 2);
+        assert!(boundaries >= base.n_rounds, "{label}: every round compared");
+    }
+}
+
+/// A sampled (not hand-written) busy plan: all four adversary event
+/// kinds active at once, exercising the dense campaign renumbering the
+/// generator performs for the serve join protocol.
+#[test]
+fn sampled_busy_plan_serve_matches_batch() {
+    let base = base_config(7);
+    let n_campaigns = base.generate().campaigns().len();
+    let plan = AdversaryPlanConfig {
+        seed: 13,
+        n_campaigns,
+        n_rounds: base.n_rounds,
+        split_prob: 0.6,
+        merge_prob: 0.6,
+        sybil_prob: 0.6,
+        max_sybils: 3,
+        underreport_prob: 0.6,
+        min_factor: 0.3,
+    }
+    .generate()
+    .expect("sampler config is valid");
+    assert!(!plan.is_empty(), "busy sampler produced no events");
+    let trace = AdversarialConfig { base, plan }
+        .generate()
+        .expect("sampled plan applies");
+    for pool in [1, 4] {
+        replay_and_compare("sampled-busy", &trace, pool);
+    }
+}
+
+/// Paper-scale churn soak for the scheduled CI job: a sampled plan over
+/// the full §V workload, still bit-identical at every round boundary.
+/// Gated on `DCC_SLOW_TESTS=1`; plain `cargo test` skips it instantly.
+#[test]
+fn paper_scale_churn_soak() {
+    if !slow_tests_enabled() {
+        eprintln!("skipping paper-scale churn soak; set DCC_SLOW_TESTS=1 to run it");
+        return;
+    }
+    let base = SyntheticConfig::paper_scale(42);
+    let n_campaigns = base.generate().campaigns().len();
+    let plan = AdversaryPlanConfig {
+        seed: 1,
+        n_campaigns,
+        n_rounds: base.n_rounds,
+        ..AdversaryPlanConfig::default()
+    }
+    .generate()
+    .expect("sampler config is valid");
+    let trace = AdversarialConfig { base, plan }
+        .generate()
+        .expect("sampled plan applies at paper scale");
+    let boundaries = replay_and_compare("paper-churn", &trace, 4);
+    println!("paper-scale churn soak: {boundaries} round boundaries bit-identical");
+}

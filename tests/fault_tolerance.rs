@@ -37,7 +37,7 @@ fn assembled_agents() -> (ModelParams, Vec<dyncontract::core::AgentSpec>) {
     let design = design_contracts(&trace, &detection, &config).expect("design");
     let suspected: BTreeSet<_> = detection.suspected.iter().copied().collect();
     let agents = BaselineStrategy::new(StrategyKind::DynamicContract)
-        .assemble(&design, config.params.omega, &suspected)
+        .assemble(&design, config.params.omega, &suspected, &trace)
         .expect("assemble");
     (config.params, agents)
 }

@@ -28,7 +28,9 @@
 use dyncontract::batch::{BatchRunner, ScenarioGrid};
 use dyncontract::core::DesignConfig;
 use dyncontract::detect::PipelineConfig;
-use dyncontract::experiments::{fig8b, fig8c, table2, table3, ExperimentScale, DEFAULT_SEED};
+use dyncontract::experiments::{
+    adversarial, fig8b, fig8c, table2, table3, ExperimentScale, DEFAULT_SEED,
+};
 use dyncontract::faults::Json;
 use dyncontract::obs::{JsonRecorder, Metrics};
 use dyncontract::serve::{design_digest, events_from_trace, fold_digest, ServeService};
@@ -292,6 +294,31 @@ fn encode_serve_replay() -> Json {
     ])
 }
 
+/// The E15 adversarial head-to-head: the BiP dynamic contract and the
+/// collusion-proof baseline simulated on each of the three standard
+/// adversary plans (sybil influx, split/merge churn, stealth
+/// under-reporting) applied to the seeded trace's generator config.
+fn encode_adversarial() -> Json {
+    let r = adversarial::run(ExperimentScale::Small, DEFAULT_SEED)
+        .expect("adversarial head-to-head runs");
+    obj(vec![(
+        "rows",
+        Json::Arr(
+            r.rows
+                .iter()
+                .map(|row| {
+                    obj(vec![
+                        ("plan", Json::Str(row.plan.clone())),
+                        ("events", Json::idx(row.events)),
+                        ("dynamic", Json::num(row.dynamic)),
+                        ("collusion_proof", Json::num(row.collusion_proof)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
 // --------------------------------------------------------------- comparison
 
 /// Walks both documents and records every path where they differ —
@@ -397,6 +424,52 @@ fn golden_batch_grid() {
 #[test]
 fn golden_serve_replay() {
     check_golden("serve_replay", encode_serve_replay());
+}
+
+#[test]
+fn golden_adversarial_head_to_head() {
+    check_golden("adversarial", encode_adversarial());
+}
+
+/// The adversarial snapshot catches drift in the attacked-trace
+/// pipeline: nudging one plan's `collusion_proof` utility by a relative
+/// `1e-6` must surface as a diff naming that leaf, and the pristine
+/// encoding must agree with itself exactly.
+#[test]
+fn a_perturbed_adversarial_utility_fails_the_comparison() {
+    fn perturb_first_cp(value: &mut Json) -> bool {
+        match value {
+            Json::Arr(items) => items.iter_mut().any(perturb_first_cp),
+            Json::Obj(members) => members.iter_mut().any(|(key, member)| {
+                if key == "collusion_proof" {
+                    if let Json::Num(x) = member {
+                        *x += 1e-6 * x.abs().max(1.0);
+                        return true;
+                    }
+                    false
+                } else {
+                    perturb_first_cp(member)
+                }
+            }),
+            _ => false,
+        }
+    }
+
+    let pristine = encode_adversarial();
+    let mut perturbed = pristine.clone();
+    assert!(perturb_first_cp(&mut perturbed), "found a utility to perturb");
+
+    let mut diffs = Vec::new();
+    diff("adversarial", &pristine, &perturbed, &mut diffs);
+    assert!(!diffs.is_empty(), "a 1e-6 utility perturbation must be detected");
+    assert!(
+        diffs[0].contains("collusion_proof"),
+        "the diff names the perturbed leaf: {diffs:?}"
+    );
+
+    let mut clean = Vec::new();
+    diff("adversarial", &pristine, &pristine, &mut clean);
+    assert!(clean.is_empty());
 }
 
 /// The serve snapshot catches drift in the incremental path: nudging

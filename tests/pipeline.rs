@@ -98,14 +98,14 @@ fn simulation_confirms_design_and_dominates_baselines() {
     let ours = sim
         .run(
             &BaselineStrategy::new(StrategyKind::DynamicContract)
-                .assemble(&design, config.params.omega, &suspected)
+                .assemble(&design, config.params.omega, &suspected, &trace)
                 .expect("assemble"),
         )
         .expect("sim");
     let excl = sim
         .run(
             &BaselineStrategy::new(StrategyKind::ExcludeMalicious)
-                .assemble(&design, config.params.omega, &suspected)
+                .assemble(&design, config.params.omega, &suspected, &trace)
                 .expect("assemble"),
         )
         .expect("sim");

@@ -1,0 +1,279 @@
+//! Metamorphic proofness harness for the collusion-proof baseline
+//! (`dyncontract::core::proofness`, after Li–Wang–Cheng–Hu,
+//! arXiv:2003.11814).
+//!
+//! The headline property: **no joint deviation of a coalition —
+//! star-report shifts, bought upvotes, off-best-response efforts, in any
+//! combination — ever exceeds the coalition's compliant utility** under
+//! the collusion-proof payment rule. The suite states it three ways:
+//!
+//! 1. expectation-level, over random coalitions and random joint
+//!    deviations (the proptest below, run at `PROPTEST_CASES=256` by the
+//!    `adversarial` CI job);
+//! 2. trace-level metamorphic: inflating the star reports of non-expert
+//!    workers in a real synthetic trace weakly *decreases* every
+//!    campaign's collusion-proof payment (the manipulation hurts or does
+//!    nothing — it never pays);
+//! 3. by contrast, the paper's BiP contract pays on reported feedback,
+//!    so the same inflation strictly *raises* a collusive community's
+//!    BiP compensation — the gap the baseline exists to close.
+
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use dyncontract::core::{
+    best_effort, coalition_payment, coalition_utility, compliant_utility, design_contracts,
+    member_utility, worker_bias, CoalitionMember, CollusionProofParams, Deviation,
+};
+use dyncontract::detect::{run_pipeline, PipelineConfig};
+use dyncontract::numerics::Quadratic;
+use dyncontract::trace::{SyntheticConfig, TraceDataset};
+use proptest::prelude::*;
+
+/// Tolerance for the proofness inequality: compliance is an exact
+/// argmax, so violations beyond float accumulation are real bugs.
+const EPS: f64 = 1e-9;
+
+// ------------------------------------------------- expectation-level
+
+/// A random valid coalition member from bounded parameter ranges.
+fn member_from(omega: f64, r2: f64, r1: f64, r0: f64, cost: f64) -> CoalitionMember {
+    CoalitionMember {
+        omega,
+        psi: Quadratic::new(r2, r1, r0),
+        marginal_cost: cost,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Proofness, member-wise: no single deviation beats the compliant
+    /// play for any valid member under any valid parameters.
+    #[test]
+    fn no_member_deviation_beats_compliance(
+        base in 0.0f64..5.0,
+        slope in 0.0f64..3.0,
+        tolerance in 0.05f64..4.0,
+        omega in 0.0f64..2.0,
+        r2 in -1.0f64..-0.01,
+        r1 in 0.0f64..4.0,
+        r0 in 0.0f64..2.0,
+        cost in 0.0f64..2.0,
+        star_shift in -6.0f64..6.0,
+        upvote_boost in 0.0f64..50.0,
+        effort in 0.0f64..20.0,
+    ) {
+        let params = CollusionProofParams { base, slope, tolerance };
+        let member = member_from(omega, r2, r1, r0, cost);
+        let compliant =
+            member_utility(&params, &member, &Deviation::compliant(&member)).unwrap();
+        let deviated = member_utility(
+            &params,
+            &member,
+            &Deviation { star_shift, upvote_boost, effort },
+        )
+        .unwrap();
+        prop_assert!(
+            deviated <= compliant + EPS,
+            "deviation ({star_shift}, {upvote_boost}, {effort}) beats compliance: \
+             {deviated} > {compliant}"
+        );
+    }
+
+    /// Proofness, coalition-wise: random coalitions playing arbitrary
+    /// joint deviations never exceed the compliant coalition utility.
+    #[test]
+    fn no_joint_deviation_beats_coalition_compliance(
+        base in 0.0f64..5.0,
+        slope in 0.0f64..3.0,
+        tolerance in 0.05f64..4.0,
+        raw in proptest::collection::vec(
+            (
+                (0.0f64..2.0, -1.0f64..-0.01, 0.0f64..4.0, 0.0f64..2.0, 0.0f64..2.0),
+                (-6.0f64..6.0, 0.0f64..50.0, 0.0f64..20.0),
+            ),
+            1..6,
+        ),
+    ) {
+        let params = CollusionProofParams { base, slope, tolerance };
+        let members: Vec<CoalitionMember> = raw
+            .iter()
+            .map(|((omega, r2, r1, r0, cost), _)| member_from(*omega, *r2, *r1, *r0, *cost))
+            .collect();
+        let deviations: Vec<Deviation> = raw
+            .iter()
+            .map(|(_, (star_shift, upvote_boost, effort))| Deviation {
+                star_shift: *star_shift,
+                upvote_boost: *upvote_boost,
+                effort: *effort,
+            })
+            .collect();
+        let compliant = compliant_utility(&params, &members).unwrap();
+        let deviated = coalition_utility(&params, &members, &deviations).unwrap();
+        prop_assert!(
+            deviated <= compliant + EPS * members.len() as f64,
+            "a joint deviation beats coalition compliance: {deviated} > {compliant}"
+        );
+    }
+
+    /// The upvote channel is exactly inert: utilities with and without a
+    /// bought upvote boost agree to the last bit.
+    #[test]
+    fn upvote_boosts_are_bitwise_inert(
+        omega in 0.0f64..2.0,
+        star_shift in -3.0f64..3.0,
+        effort in 0.0f64..10.0,
+        upvote_boost in 0.0f64..100.0,
+    ) {
+        let params = CollusionProofParams::default();
+        let member = member_from(omega, -0.2, 2.0, 0.5, 0.4);
+        let without = member_utility(
+            &params,
+            &member,
+            &Deviation { star_shift, upvote_boost: 0.0, effort },
+        )
+        .unwrap();
+        let with = member_utility(
+            &params,
+            &member,
+            &Deviation { star_shift, upvote_boost, effort },
+        )
+        .unwrap();
+        prop_assert!(
+            without.to_bits() == with.to_bits(),
+            "buying upvotes changed the payment: {without} vs {with}"
+        );
+    }
+}
+
+// ----------------------------------------------- trace-level metamorphic
+
+/// Returns `trace` with every non-expert review's stars inflated by
+/// `delta` (clamped at 5 to stay a valid rating). Expert reviews — and
+/// therefore the consensus the bias is measured against — are untouched.
+fn inflate_non_expert_stars(trace: &TraceDataset, delta: f64) -> TraceDataset {
+    let reviews = trace
+        .reviews()
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            if !trace.reviewers()[r.reviewer.index()].is_expert {
+                r.stars = (r.stars + delta).min(5.0);
+            }
+            r
+        })
+        .collect();
+    TraceDataset::new(
+        trace.products().to_vec(),
+        trace.reviewers().to_vec(),
+        reviews,
+        trace.campaigns().to_vec(),
+    )
+    .expect("inflating stars preserves trace validity")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Trace-level metamorphic proofness: inflating non-expert star
+    /// reports weakly increases every worker's measured bias and so
+    /// weakly decreases every campaign's collusion-proof payment.
+    #[test]
+    fn star_inflation_never_raises_collusion_proof_payment(
+        seed in 0u64..10_000,
+        delta in 0.1f64..2.5,
+    ) {
+        let trace = SyntheticConfig::small(seed).generate();
+        let inflated = inflate_non_expert_stars(&trace, delta);
+        let params = CollusionProofParams::default();
+        for campaign in trace.campaigns() {
+            let before = coalition_payment(&trace, &params, &campaign.members);
+            let after = coalition_payment(&inflated, &params, &campaign.members);
+            prop_assert!(
+                after <= before + EPS,
+                "campaign {}: inflation raised the collusion-proof payment \
+                 {before} -> {after}",
+                campaign.id
+            );
+        }
+        // And member-wise, the measured bias itself only moves up.
+        for campaign in trace.campaigns() {
+            for &m in &campaign.members {
+                if !trace.reviewers()[m.index()].is_expert {
+                    prop_assert!(worker_bias(&inflated, m) >= worker_bias(&trace, m) - EPS);
+                }
+            }
+        }
+    }
+}
+
+/// The contrast that motivates the baseline: the paper's BiP contract
+/// pays `c(q(f))` on **reported** feedback, so the same star/upvote
+/// inflation that is inert under the collusion-proof rule strictly
+/// raises a BiP agent's compensation whenever its contract has any
+/// slope. BiP is not misreport-proof — by design, it prices feedback.
+#[test]
+fn bip_contracts_reward_inflated_feedback() {
+    let trace = SyntheticConfig::small(42).generate();
+    let detection = run_pipeline(&trace, PipelineConfig::default());
+    let design = design_contracts(&trace, &detection, &Default::default())
+        .expect("seeded trace designs");
+
+    let mut strictly_increasing = 0usize;
+    for agent in &design.agents {
+        let knots = agent.contract.feedback_knots();
+        let Some((&lo, &hi)) = knots.first().zip(knots.last()) else {
+            continue;
+        };
+        if hi <= lo {
+            continue;
+        }
+        let pay_lo = agent.contract.compensation(lo);
+        let pay_hi = agent.contract.compensation(hi);
+        assert!(
+            pay_hi >= pay_lo - EPS,
+            "BiP compensation must be monotone in reported feedback"
+        );
+        if pay_hi > pay_lo + EPS {
+            strictly_increasing += 1;
+        }
+    }
+    assert!(
+        strictly_increasing > 0,
+        "at least one BiP contract must strictly reward higher reported feedback \
+         (otherwise the collusion-proof comparison is vacuous)"
+    );
+}
+
+/// Deterministic anchor for the headline inequality, so a regression
+/// fails even at `PROPTEST_CASES=1`: a textbook coalition attempting the
+/// three pure deviations and their combination.
+#[test]
+fn fixed_coalition_deviation_ladder() {
+    let params = CollusionProofParams::default();
+    let member = CoalitionMember {
+        omega: 0.8,
+        psi: Quadratic::new(-0.13, 2.0, 0.5),
+        marginal_cost: 0.4,
+    };
+    let members = [member, CoalitionMember { omega: 0.2, ..member }];
+    let compliant = compliant_utility(&params, &members).unwrap();
+    let e = best_effort(&member);
+    let ladder = [
+        // pure star inflation
+        [Deviation { star_shift: 0.8, upvote_boost: 0.0, effort: e }; 2],
+        // pure upvote buying
+        [Deviation { star_shift: 0.0, upvote_boost: 25.0, effort: e }; 2],
+        // pure shirking
+        [Deviation { star_shift: 0.0, upvote_boost: 0.0, effort: 0.0 }; 2],
+        // everything at once
+        [Deviation { star_shift: 1.5, upvote_boost: 25.0, effort: 3.0 * e }; 2],
+    ];
+    for deviations in ladder {
+        let deviated = coalition_utility(&params, &members, &deviations).unwrap();
+        assert!(
+            deviated <= compliant + EPS,
+            "{deviations:?} beats compliance: {deviated} > {compliant}"
+        );
+    }
+}

@@ -178,8 +178,7 @@ impl Mirror {
 
 /// Streams `events` through the service at `pool`, comparing every
 /// round boundary against a cold batch recompute over the mirror.
-fn run_case(seed: u64, pool: usize) -> Result<(), String> {
-    let events = random_stream(seed, 160);
+fn run_events(label: &str, events: &[ServeEvent], pool: usize) -> Result<(), String> {
     let design_cfg = DesignConfig::default();
     let pipeline_cfg = PipelineConfig::default();
     let mut service = ServeService::new(
@@ -192,11 +191,11 @@ fn run_case(seed: u64, pool: usize) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     let mut mirror = Mirror::default();
 
-    for event in &events {
+    for event in events {
         mirror.apply(event);
         let out = service
             .apply(event)
-            .map_err(|e| format!("seed {seed} pool {pool}: protocol error: {e}"))?;
+            .map_err(|e| format!("{label} pool {pool}: protocol error: {e}"))?;
         let Some(out) = out else { continue };
 
         let trace = mirror.batch_trace();
@@ -206,7 +205,7 @@ fn run_case(seed: u64, pool: usize) -> Result<(), String> {
             (Ok(inc), Ok(cold)) => {
                 if design_digest(inc) != design_digest(cold) {
                     return Err(format!(
-                        "seed {seed} pool {pool} round {}: designs diverge bitwise \
+                        "{label} pool {pool} round {}: designs diverge bitwise \
                          (incremental U={:016x} vs batch U={:016x})",
                         out.round,
                         inc.total_requester_utility.to_bits(),
@@ -218,7 +217,7 @@ fn run_case(seed: u64, pool: usize) -> Result<(), String> {
                 let cold = cold.to_string();
                 if inc != &cold {
                     return Err(format!(
-                        "seed {seed} pool {pool} round {}: error mismatch: \
+                        "{label} pool {pool} round {}: error mismatch: \
                          incremental {inc:?} vs batch {cold:?}",
                         out.round
                     ));
@@ -226,14 +225,14 @@ fn run_case(seed: u64, pool: usize) -> Result<(), String> {
             }
             (Ok(_), Err(cold)) => {
                 return Err(format!(
-                    "seed {seed} pool {pool} round {}: incremental succeeded, batch \
+                    "{label} pool {pool} round {}: incremental succeeded, batch \
                      failed: {cold}",
                     out.round
                 ));
             }
             (Err(inc), Ok(_)) => {
                 return Err(format!(
-                    "seed {seed} pool {pool} round {}: batch succeeded, incremental \
+                    "{label} pool {pool} round {}: batch succeeded, incremental \
                      failed: {inc}",
                     out.round
                 ));
@@ -241,6 +240,10 @@ fn run_case(seed: u64, pool: usize) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn run_case(seed: u64, pool: usize) -> Result<(), String> {
+    run_events(&format!("seed {seed}"), &random_stream(seed, 160), pool)
 }
 
 proptest! {
@@ -263,5 +266,184 @@ proptest! {
 fn fixed_streams_match_cold_batch() {
     for (seed, pool) in [(1, 1), (7, 3), (42, 8)] {
         run_case(seed, pool).expect("fixed stream must match");
+    }
+}
+
+// ------------------------------------------------- adversarial churn scripts
+
+/// A deterministic event-script prelude: `n_products` products,
+/// `n_honest` honest workers (every third an expert), and two collusive
+/// campaigns of three members each, with every worker reviewing a
+/// spread of products in round 0.
+fn churn_prelude(events: &mut Vec<ServeEvent>, n_products: usize, n_honest: usize) -> usize {
+    for id in 0..n_products {
+        events.push(ServeEvent::Product {
+            id,
+            quality: (id % 5 + 1) as f64,
+        });
+    }
+    let mut workers = 0usize;
+    for i in 0..n_honest {
+        events.push(ServeEvent::Join {
+            id: workers,
+            class: WorkerClass::Honest,
+            campaign: None,
+            expert: i % 3 == 0,
+        });
+        workers += 1;
+    }
+    for campaign in 0..2 {
+        for _ in 0..3 {
+            events.push(ServeEvent::Join {
+                id: workers,
+                class: WorkerClass::CollusiveMalicious,
+                campaign: Some(campaign),
+                expert: false,
+            });
+            workers += 1;
+        }
+    }
+    for worker in 0..workers {
+        for k in 0..3 {
+            let product = (worker * 3 + k) % n_products;
+            events.push(ServeEvent::Review {
+                worker,
+                product,
+                round: 0,
+                stars: ((product % 5) + 1) as f64,
+                length: 80 + 10 * (worker % 7),
+                upvotes: (worker % 4) as f64,
+            });
+        }
+    }
+    workers
+}
+
+/// Three deterministic churn scripts — a sybil influx swelling an
+/// existing campaign mid-stream, a split opening a fresh campaign whose
+/// cohort reviews its own products, and a merge where a wave of joiners
+/// piles into campaign 0 while campaign 1's members bridge onto its
+/// targets. Each interleaves the churn with round boundaries so the
+/// incremental state carries dirty campaign structure across rounds.
+fn churn_script(kind: usize) -> Vec<ServeEvent> {
+    let n_products = 12;
+    let mut events = Vec::new();
+    let mut workers = churn_prelude(&mut events, n_products, 9);
+    events.push(ServeEvent::Round);
+
+    match kind {
+        // Sybil influx: five new collusive workers join campaign 0 and
+        // review in lock-step from round 1 on.
+        0 => {
+            for wave in 0..5 {
+                events.push(ServeEvent::Join {
+                    id: workers,
+                    class: WorkerClass::CollusiveMalicious,
+                    campaign: Some(0),
+                    expert: false,
+                });
+                for round in 1..3 {
+                    events.push(ServeEvent::Review {
+                        worker: workers,
+                        product: (wave + round) % n_products,
+                        round,
+                        stars: 5.0,
+                        length: 60,
+                        upvotes: 6.0,
+                    });
+                }
+                workers += 1;
+            }
+        }
+        // Split: a secession cohort opens campaign 2 with three fresh
+        // products of its own and reviews only those from round 1 on.
+        1 => {
+            for id in n_products..n_products + 3 {
+                events.push(ServeEvent::Product {
+                    id,
+                    quality: (id % 5 + 1) as f64,
+                });
+            }
+            for s in 0..4 {
+                events.push(ServeEvent::Join {
+                    id: workers,
+                    class: WorkerClass::CollusiveMalicious,
+                    campaign: Some(2),
+                    expert: false,
+                });
+                for round in 1..3 {
+                    events.push(ServeEvent::Review {
+                        worker: workers,
+                        product: n_products + (s + round) % 3,
+                        round,
+                        stars: 4.0,
+                        length: 120,
+                        upvotes: 5.0,
+                    });
+                }
+                workers += 1;
+            }
+        }
+        // Merge: three joiners swell campaign 0 while the prelude's
+        // campaign-1 members (ids 12..15 after 9 honest) bridge onto
+        // campaign 0's review targets at round 1.
+        _ => {
+            for _ in 0..3 {
+                events.push(ServeEvent::Join {
+                    id: workers,
+                    class: WorkerClass::CollusiveMalicious,
+                    campaign: Some(0),
+                    expert: false,
+                });
+                events.push(ServeEvent::Review {
+                    worker: workers,
+                    product: workers % n_products,
+                    round: 1,
+                    stars: 5.0,
+                    length: 90,
+                    upvotes: 7.0,
+                });
+                workers += 1;
+            }
+            for member in 12..15 {
+                events.push(ServeEvent::Review {
+                    worker: member,
+                    product: 0,
+                    round: 1,
+                    stars: 5.0,
+                    length: 70,
+                    upvotes: 8.0,
+                });
+            }
+        }
+    }
+
+    events.push(ServeEvent::Round);
+    // A settling round with honest coverage after the churn.
+    for worker in 0..9 {
+        events.push(ServeEvent::Review {
+            worker,
+            product: (worker * 5) % n_products,
+            round: 2,
+            stars: (((worker * 5) % n_products) % 5 + 1) as f64,
+            length: 100,
+            upvotes: 2.0,
+        });
+    }
+    events.push(ServeEvent::Round);
+    events
+}
+
+/// Satellite churn coverage: the split/merge/sybil scripts are
+/// digest-identical to the cold batch recompute at every round
+/// boundary, at several pool sizes.
+#[test]
+fn churn_scripts_match_cold_batch() {
+    for kind in 0..3 {
+        let events = churn_script(kind);
+        for pool in [1, 2, 4] {
+            run_events(&format!("churn script {kind}"), &events, pool)
+                .expect("churn script must match cold batch");
+        }
     }
 }
